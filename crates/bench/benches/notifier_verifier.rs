@@ -1,0 +1,62 @@
+//! Wall-clock costs of the two consistency mechanisms: invalidation
+//! fan-out through the bus (notifier side) and verifier execution on hits
+//! (verifier side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use placeless_core::id::{CacheId, DocumentId};
+use placeless_core::notifier::{Invalidation, InvalidationBus, InvalidationSink};
+use placeless_core::verifier::{run_all, ClosureVerifier, Validity, Verifier};
+use placeless_simenv::VirtualClock;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingSink {
+    id: CacheId,
+    count: AtomicU64,
+}
+
+impl InvalidationSink for CountingSink {
+    fn cache_id(&self) -> CacheId {
+        self.id
+    }
+    fn invalidate(&self, _: &Invalidation) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn bench_bus_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("notifier_bus_fanout");
+    for subscribers in [1usize, 8, 64] {
+        let bus = InvalidationBus::new();
+        for i in 0..subscribers {
+            bus.subscribe(Arc::new(CountingSink {
+                id: CacheId(i as u64),
+                count: AtomicU64::new(0),
+            }));
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(subscribers),
+            &subscribers,
+            |b, _| b.iter(|| bus.post(black_box(Invalidation::Document(DocumentId(1))))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_verifier_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verifier_chain");
+    let clock = VirtualClock::new();
+    for n in [1usize, 4, 16] {
+        let verifiers: Vec<Box<dyn Verifier>> = (0..n)
+            .map(|i| ClosureVerifier::new(&format!("v{i}"), 1, |_| Validity::Valid))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(run_all(&verifiers, &clock)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bus_fanout, bench_verifier_chain);
+criterion_main!(benches);

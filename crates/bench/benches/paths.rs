@@ -1,0 +1,49 @@
+//! Read/write path assembly cost as the property chain grows — the
+//! implementation-side half of "document access latencies are affected by
+//! the interposition of active property execution".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use placeless_bench::support::DelayProperty;
+use placeless_core::prelude::*;
+use placeless_simenv::{LatencyModel, VirtualClock};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn space_with_chain(chain: usize) -> (Arc<DocumentSpace>, DocumentId, UserId) {
+    let user = UserId(1);
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("doc", vec![b'x'; 4_096], 0);
+    let doc = space.create_document(user, provider);
+    for _ in 0..chain {
+        space
+            .attach_active(Scope::Personal(user), doc, DelayProperty::new(0))
+            .expect("attach");
+    }
+    (space, doc, user)
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_path_chain");
+    for chain in [0usize, 2, 8, 32] {
+        let (space, doc, user) = space_with_chain(chain);
+        group.bench_with_input(BenchmarkId::from_parameter(chain), &chain, |b, _| {
+            b.iter(|| black_box(space.read_document(user, doc).expect("read")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_path_chain");
+    for chain in [0usize, 8] {
+        let (space, doc, user) = space_with_chain(chain);
+        let payload = vec![b'y'; 4_096];
+        group.bench_with_input(BenchmarkId::from_parameter(chain), &chain, |b, _| {
+            b.iter(|| space.write_document(user, doc, black_box(&payload)).expect("write"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_path, bench_write_path);
+criterion_main!(benches);

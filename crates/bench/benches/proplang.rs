@@ -1,0 +1,55 @@
+//! PropLang parity: the wall-clock price of *interpreted* properties
+//! versus the equivalent compiled transform (experiment E-PL).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use placeless_proplang::{parse, run, ExtEnv};
+use placeless_simenv::trace::lorem_bytes;
+use std::hint::black_box;
+
+const SOURCE: &str = r#"replace("teh", "the") | upper | first_sentences(3)"#;
+
+/// The compiled equivalent of [`SOURCE`].
+fn compiled(input: &[u8]) -> Bytes {
+    let text = String::from_utf8_lossy(input);
+    let replaced = text.replace("teh", "the").to_uppercase();
+    let mut out = String::new();
+    let mut count = 0;
+    for ch in replaced.chars() {
+        out.push(ch);
+        if matches!(ch, '.' | '!' | '?') {
+            count += 1;
+            if count >= 3 {
+                break;
+            }
+        }
+    }
+    Bytes::from(out)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("proplang_parse", |b| {
+        b.iter(|| black_box(parse(SOURCE).expect("valid")))
+    });
+}
+
+fn bench_interpreted_vs_compiled(c: &mut Criterion) {
+    let input = lorem_bytes(42, 8_192);
+    let program = parse(SOURCE).expect("valid");
+    let env = ExtEnv::new();
+    let no_props = |_: &str| None;
+
+    let mut group = c.benchmark_group("proplang_parity");
+    group.bench_function("interpreted", |b| {
+        b.iter(|| black_box(run(&program, &input, &no_props, &env).expect("run")))
+    });
+    group.bench_function("compiled", |b| b.iter(|| black_box(compiled(&input))));
+    group.finish();
+
+    // Parity: both pipelines produce identical output.
+    let interpreted = run(&program, &input, &no_props, &env).expect("run");
+    assert_eq!(Bytes::from(interpreted), compiled(&input));
+}
+
+criterion_group!(benches, bench_parse, bench_interpreted_vs_compiled);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Wall-clock companion to the Table 1 experiment: the real CPU cost of a
+//! no-cache read, a cache miss, and a cache hit in this implementation.
+//! (Simulated-latency numbers come from `--bin experiments -- table1`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use placeless_bench::table1::bench_setup;
+use placeless_core::notifier::Invalidation;
+use std::hint::black_box;
+
+fn bench_access_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+
+    let (space, _cache, doc, user) = bench_setup();
+    group.bench_function("no_cache_read", |b| {
+        b.iter(|| black_box(space.read_document(user, doc).expect("read")))
+    });
+
+    let (space, cache, doc, user) = bench_setup();
+    group.bench_function("cache_miss", |b| {
+        b.iter(|| {
+            space.bus().post(Invalidation::Document(doc));
+            black_box(cache.read(user, doc).expect("read"))
+        })
+    });
+
+    let (_space, cache, doc, user) = bench_setup();
+    cache.read(user, doc).expect("warm");
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(cache.read(user, doc).expect("read")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_paths);
+criterion_main!(benches);

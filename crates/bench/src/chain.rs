@@ -1,0 +1,89 @@
+//! Experiment **E-CHAIN**: property-chain length versus access latency.
+//!
+//! §3's motivation: "Document access latencies are affected by the
+//! interposition of active property execution... The latency of reading a
+//! document's content can vary drastically depending on the number and
+//! execution times of the active properties attached to a document." This
+//! experiment measures read latency as the chain grows, with and without a
+//! cache — showing that caching hides property execution entirely on hits.
+
+use crate::support::DelayProperty;
+use placeless_cache::{CacheConfig, DocumentCache};
+use placeless_core::prelude::*;
+use placeless_simenv::VirtualClock;
+
+/// The outcome of one chain-length cell.
+#[derive(Debug, Clone)]
+pub struct ChainResult {
+    /// Number of attached transform properties.
+    pub chain: usize,
+    /// No-cache read latency, in simulated microseconds.
+    pub no_cache_micros: u64,
+    /// Cache-hit latency.
+    pub hit_micros: u64,
+    /// Replacement cost the path reported (what GDS would use).
+    pub reported_cost_micros: f64,
+}
+
+/// Measures one chain length; each property costs `per_prop_micros`.
+pub fn run_one(chain: usize, per_prop_micros: u64) -> ChainResult {
+    let user = UserId(1);
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let provider = MemoryProvider::new("doc", vec![b'x'; 4_096], 2_000);
+    let doc = space.create_document(user, provider);
+    for _ in 0..chain {
+        space
+            .attach_active(Scope::Personal(user), doc, DelayProperty::new(per_prop_micros))
+            .expect("attach");
+    }
+
+    let t0 = clock.now();
+    let (_, report) = space.read_document(user, doc).expect("read");
+    let no_cache_micros = clock.now().since(t0);
+
+    let cache = DocumentCache::new(space, CacheConfig::default());
+    let _ = cache.read(user, doc).expect("warm");
+    let t1 = clock.now();
+    let _ = cache.read(user, doc).expect("hit");
+    let hit_micros = clock.now().since(t1);
+
+    ChainResult {
+        chain,
+        no_cache_micros,
+        hit_micros,
+        reported_cost_micros: report.cost.effective_micros(),
+    }
+}
+
+/// Sweeps chain lengths.
+pub fn sweep(chains: &[usize], per_prop_micros: u64) -> Vec<ChainResult> {
+    chains.iter().map(|&c| run_one(c, per_prop_micros)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_linearly_with_chain_length() {
+        let results = sweep(&[0, 4, 16], 2_000);
+        assert!(results[1].no_cache_micros >= results[0].no_cache_micros + 4 * 2_000);
+        assert!(results[2].no_cache_micros >= results[0].no_cache_micros + 16 * 2_000);
+    }
+
+    #[test]
+    fn hits_are_flat_regardless_of_chain() {
+        let results = sweep(&[0, 16], 2_000);
+        // Hit latency does not include property execution at all.
+        let delta = results[1].hit_micros.abs_diff(results[0].hit_micros);
+        assert!(delta < 1_000, "hit latency drifted by {delta}µs");
+        assert!(results[1].hit_micros < results[1].no_cache_micros / 10);
+    }
+
+    #[test]
+    fn reported_cost_tracks_the_chain() {
+        let results = sweep(&[2, 8], 2_000);
+        assert!(results[1].reported_cost_micros > results[0].reported_cost_micros);
+    }
+}

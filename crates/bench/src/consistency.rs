@@ -1,0 +1,204 @@
+//! Experiment **E-CH**: the four invalidation causes (§3 Cache
+//! Consistency).
+//!
+//! Scripted mutations exercise each cause and record which mechanism —
+//! notifier or verifier — restored consistency:
+//!
+//! 1. source modified (a) through Placeless → notifier, (b) at the origin,
+//!    outside Placeless control → provider verifier;
+//! 2. active properties added / deleted / modified → notifier;
+//! 3. property order changed → notifier;
+//! 4. external information a property depends on changed → epoch verifier.
+
+use placeless_cache::{CacheConfig, DocumentCache};
+use placeless_core::prelude::*;
+use placeless_proplang::{ExtEnv, ScriptProperty};
+use placeless_properties::{ContentWriteNotifier, PropertyChangeNotifier, Translate};
+use placeless_simenv::VirtualClock;
+use std::sync::Arc;
+
+/// One row of the consistency matrix.
+#[derive(Debug, Clone)]
+pub struct CauseResult {
+    /// The invalidation cause exercised.
+    pub cause: &'static str,
+    /// Which mechanism caught it.
+    pub mechanism: &'static str,
+    /// Whether the cache returned fresh content afterwards.
+    pub consistent: bool,
+}
+
+struct Rig {
+    space: Arc<DocumentSpace>,
+    cache: Arc<DocumentCache>,
+    provider: Arc<MemoryProvider>,
+    feed: Arc<SimpleExternal>,
+    doc: DocumentId,
+    user: UserId,
+}
+
+fn rig() -> Rig {
+    let user = UserId(1);
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let provider = MemoryProvider::new("doc", "base text | ", 1_000);
+    let doc = space.create_document(user, provider.clone());
+
+    let feed = SimpleExternal::new("feed", "f0");
+    let env = ExtEnv::new();
+    env.add(feed.clone());
+    let embed = ScriptProperty::compile(
+        "embed",
+        "@watch_ext(\"feed\")\nappend_ext(\"feed\")",
+        env,
+    )
+    .expect("valid");
+    space
+        .attach_active(Scope::Personal(user), doc, embed)
+        .expect("attach");
+    space
+        .attach_active(Scope::Universal, doc, ContentWriteNotifier::any())
+        .expect("attach");
+    space
+        .attach_active(Scope::Universal, doc, PropertyChangeNotifier::any())
+        .expect("attach");
+
+    let cache = DocumentCache::new(space.clone(), CacheConfig::default());
+    Rig {
+        space,
+        cache,
+        provider,
+        feed,
+        doc,
+        user,
+    }
+}
+
+/// Runs all causes and returns the matrix.
+pub fn run() -> Vec<CauseResult> {
+    let mut results = Vec::new();
+
+    // Cause 1a: source modified through Placeless.
+    {
+        let r = rig();
+        let _ = r.cache.read(r.user, r.doc).expect("warm");
+        r.space
+            .write_document(r.user, r.doc, b"updated through placeless | ")
+            .expect("write");
+        let fresh = r.cache.read(r.user, r.doc).expect("read");
+        results.push(CauseResult {
+            cause: "1a source modified (through Placeless)",
+            mechanism: "notifier",
+            consistent: fresh.starts_with(b"updated through placeless"),
+        });
+    }
+
+    // Cause 1b: source modified outside Placeless control.
+    {
+        let r = rig();
+        let _ = r.cache.read(r.user, r.doc).expect("warm");
+        r.provider.set_out_of_band("edited at the origin | ");
+        let fresh = r.cache.read(r.user, r.doc).expect("read");
+        results.push(CauseResult {
+            cause: "1b source modified (outside Placeless)",
+            mechanism: "verifier",
+            consistent: fresh.starts_with(b"edited at the origin"),
+        });
+    }
+
+    // Cause 2: property added.
+    {
+        let r = rig();
+        let _ = r.cache.read(r.user, r.doc).expect("warm");
+        r.space
+            .attach_active(Scope::Personal(r.user), r.doc, Translate::to("fr"))
+            .expect("attach");
+        let fresh = r.cache.read(r.user, r.doc).expect("read");
+        // "base" is not in the dictionary; "text" isn't either — use the
+        // stats instead: the entry was invalidated and refilled.
+        let stats = r.cache.stats();
+        let _ = fresh;
+        results.push(CauseResult {
+            cause: "2  property added",
+            mechanism: "notifier",
+            consistent: stats.notifier_invalidations >= 1 && stats.misses == 2,
+        });
+    }
+
+    // Cause 2': property removed.
+    {
+        let r = rig();
+        let id = r
+            .space
+            .attach_active(Scope::Personal(r.user), r.doc, Translate::to("fr"))
+            .expect("attach");
+        let _ = r.cache.read(r.user, r.doc).expect("warm");
+        r.space
+            .remove_property(Scope::Personal(r.user), r.doc, id)
+            .expect("remove");
+        let _ = r.cache.read(r.user, r.doc).expect("read");
+        let stats = r.cache.stats();
+        results.push(CauseResult {
+            cause: "2' property removed",
+            mechanism: "notifier",
+            consistent: stats.notifier_invalidations >= 1 && stats.misses == 2,
+        });
+    }
+
+    // Cause 3: property order changed.
+    {
+        let r = rig();
+        let props = r
+            .space
+            .list_properties(Scope::Personal(r.user), r.doc)
+            .expect("list");
+        let (embed_id, _) = props[0];
+        let _ = r.cache.read(r.user, r.doc).expect("warm");
+        r.space
+            .reorder_property(Scope::Personal(r.user), r.doc, embed_id, 1)
+            .expect("reorder");
+        let _ = r.cache.read(r.user, r.doc).expect("read");
+        let stats = r.cache.stats();
+        results.push(CauseResult {
+            cause: "3  property reordered",
+            mechanism: "notifier",
+            consistent: stats.notifier_invalidations >= 1 && stats.misses == 2,
+        });
+    }
+
+    // Cause 4: external information changed.
+    {
+        let r = rig();
+        let _ = r.cache.read(r.user, r.doc).expect("warm");
+        r.feed.set("f1");
+        let fresh = r.cache.read(r.user, r.doc).expect("read");
+        results.push(CauseResult {
+            cause: "4  external info changed",
+            mechanism: "verifier",
+            consistent: fresh.ends_with(b"f1"),
+        });
+    }
+
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cause_is_caught() {
+        let results = run();
+        assert_eq!(results.len(), 6);
+        for result in &results {
+            assert!(result.consistent, "cause not handled: {}", result.cause);
+        }
+    }
+
+    #[test]
+    fn causes_split_across_both_mechanisms() {
+        let results = run();
+        assert!(results.iter().any(|r| r.mechanism == "notifier"));
+        assert!(results.iter().any(|r| r.mechanism == "verifier"));
+    }
+}

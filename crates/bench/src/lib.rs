@@ -1,0 +1,30 @@
+//! # Experiment harness
+//!
+//! Scenario code shared by the `experiments` binary (which prints
+//! paper-style tables in *simulated* milliseconds) and the criterion
+//! benches (which measure *wall-clock* overheads of the implementation).
+//!
+//! | Module | Experiment | Paper anchor |
+//! |---|---|---|
+//! | [`table1`] | access times: no cache / miss / hit × 3 origins | Table 1 |
+//! | [`nv`] | notifier vs verifier trade-off | §5 future work |
+//! | [`replacement`] | GDS vs LRU/LFU/SIZE/FIFO/GD(1) | §3 cache management |
+//! | [`sharing`] | content-signature sharing | §3 entry identification |
+//! | [`consistency`] | the four invalidation causes | §3 cache consistency |
+//! | [`qos`] | QoS cost inflation | §5 future work |
+//! | [`collections`] | collection-aware prefetch | §5 future work |
+//! | [`chain`] | property-chain length vs latency | §3 motivation |
+//! | [`placement`] | app-level vs server-side cache placement | §4 |
+//! | [`revalidation`] | TTL vs conditional-GET verifiers for web docs | §3 WWW discussion |
+
+pub mod chain;
+pub mod collections;
+pub mod consistency;
+pub mod nv;
+pub mod placement;
+pub mod qos;
+pub mod replacement;
+pub mod revalidation;
+pub mod sharing;
+pub mod support;
+pub mod table1;

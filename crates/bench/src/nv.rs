@@ -1,0 +1,212 @@
+//! Experiment **E-NV**: the notifier-vs-verifier trade-off (§5).
+//!
+//! "In general, verifier execution trades-off cache consistency with cache
+//! access time latencies, while notifier execution adds load to the
+//! Placeless system. The evaluation of these tradeoffs is future work." —
+//! this is that evaluation, on the simulated substrate.
+//!
+//! One document's content embeds a value from an external source (outside
+//! Placeless control). Three configurations keep a cache consistent with
+//! it:
+//!
+//! * **verifier** — the property ships an epoch verifier; every hit pays
+//!   the probe, staleness is zero;
+//! * **notifier** — a timer-driven [`ExternalChangeNotifier`] polls the
+//!   source middleware-side; hits are probe-free but reads between the
+//!   change and the next tick are stale, and every tick adds middleware
+//!   operations;
+//! * **none** — no consistency mechanism: the staleness ceiling.
+
+use placeless_cache::{CacheConfig, DocumentCache};
+use placeless_core::prelude::*;
+use placeless_proplang::{ExtEnv, ScriptProperty};
+use placeless_properties::ExternalChangeNotifier;
+use placeless_simenv::{SimRng, VirtualClock};
+
+/// Which consistency mechanism a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Epoch verifier on every hit.
+    Verifier,
+    /// Timer-driven notifier, verifiers off.
+    Notifier,
+    /// Nothing.
+    None,
+}
+
+impl Mechanism {
+    /// All mechanisms, for sweeps.
+    pub const ALL: [Mechanism; 3] = [Mechanism::Verifier, Mechanism::Notifier, Mechanism::None];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::Verifier => "verifier",
+            Mechanism::Notifier => "notifier",
+            Mechanism::None => "none",
+        }
+    }
+}
+
+/// The outcome of one configuration run.
+#[derive(Debug, Clone)]
+pub struct NvResult {
+    /// The mechanism measured.
+    pub mechanism: Mechanism,
+    /// External-change probability per read.
+    pub change_rate: f64,
+    /// Mean per-read latency in simulated microseconds.
+    pub mean_read_micros: u64,
+    /// Fraction of reads that returned a stale embedded value.
+    pub stale_frac: f64,
+    /// Middleware operations executed (space ops + bus deliveries) —
+    /// the "load on the Placeless system".
+    pub middleware_ops: u64,
+    /// Operations attributable to the consistency machinery alone: timer
+    /// dispatches plus invalidation deliveries.
+    pub consistency_ops: u64,
+    /// Cache hit rate.
+    pub hit_rate: f64,
+}
+
+/// Runs one configuration: `reads` reads, the external source changing
+/// with probability `change_rate` before each read, the notifier timer
+/// ticking every `tick_every` reads.
+pub fn run_one(
+    mechanism: Mechanism,
+    reads: u32,
+    change_rate: f64,
+    tick_every: u32,
+    seed: u64,
+) -> NvResult {
+    let user = UserId(1);
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let provider = MemoryProvider::new("doc", "report body | feed=", 2_000);
+    let doc = space.create_document(user, provider);
+
+    let feed = SimpleExternal::new("feed", "v0");
+    let env = ExtEnv::new();
+    env.add(feed.clone());
+
+    // The content property embeds the feed value; only the verifier
+    // configuration also watches it.
+    let source = match mechanism {
+        Mechanism::Verifier => "@watch_ext(\"feed\")\nappend_ext(\"feed\")",
+        _ => "append_ext(\"feed\")",
+    };
+    let prop = ScriptProperty::compile("embed-feed", source, env).expect("valid program");
+    space
+        .attach_active(Scope::Personal(user), doc, prop)
+        .expect("attach");
+    if mechanism == Mechanism::Notifier {
+        space
+            .attach_active(
+                Scope::Universal,
+                doc,
+                ExternalChangeNotifier::over(vec![feed.clone()]),
+            )
+            .expect("attach");
+    }
+
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig {
+            run_verifiers: mechanism == Mechanism::Verifier,
+            ..CacheConfig::default()
+        },
+    );
+
+    let mut rng = SimRng::seeded(seed);
+    let mut version = 0u64;
+    let mut stale = 0u32;
+    let mut read_micros = 0u64;
+    let mut ticks = 0u64;
+    for i in 0..reads {
+        if rng.chance(change_rate) {
+            version += 1;
+            feed.set(format!("v{version}"));
+        }
+        if mechanism == Mechanism::Notifier && i % tick_every.max(1) == 0 {
+            space.timer_tick().expect("tick");
+            ticks += 1;
+        }
+        let t0 = clock.now();
+        let bytes = cache.read(user, doc).expect("read");
+        read_micros += clock.now().since(t0);
+        let text = String::from_utf8_lossy(&bytes);
+        let expected = format!("v{version}");
+        if !text.ends_with(&expected) {
+            stale += 1;
+        }
+    }
+
+    let (_, delivered) = space.bus().counters();
+    NvResult {
+        mechanism,
+        change_rate,
+        mean_read_micros: read_micros / reads as u64,
+        stale_frac: stale as f64 / reads as f64,
+        middleware_ops: space.ops_count() + delivered,
+        consistency_ops: ticks + delivered,
+        hit_rate: cache.stats().hit_rate().unwrap_or(0.0),
+    }
+}
+
+/// Sweeps all mechanisms over the given change rates.
+pub fn sweep(reads: u32, change_rates: &[f64], tick_every: u32, seed: u64) -> Vec<NvResult> {
+    let mut results = Vec::new();
+    for &rate in change_rates {
+        for mechanism in Mechanism::ALL {
+            results.push(run_one(mechanism, reads, rate, tick_every, seed));
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifier_is_never_stale() {
+        let result = run_one(Mechanism::Verifier, 300, 0.2, 10, 42);
+        assert_eq!(result.stale_frac, 0.0);
+    }
+
+    #[test]
+    fn notifier_is_sometimes_stale_but_cheaper_per_read() {
+        let verifier = run_one(Mechanism::Verifier, 300, 0.2, 10, 42);
+        let notifier = run_one(Mechanism::Notifier, 300, 0.2, 10, 42);
+        assert!(notifier.stale_frac > 0.0, "stale between change and tick");
+        // Ticking more often bounds the staleness tighter.
+        let frequent = run_one(Mechanism::Notifier, 300, 0.2, 2, 42);
+        assert!(
+            frequent.stale_frac < notifier.stale_frac,
+            "tick=2 {} vs tick=10 {}",
+            frequent.stale_frac,
+            notifier.stale_frac
+        );
+        // The notifier run spends more on the consistency machinery
+        // itself (timer dispatches + invalidation deliveries); verifiers
+        // shift that work to the cache's hit path instead.
+        assert!(notifier.consistency_ops > verifier.consistency_ops);
+    }
+
+    #[test]
+    fn none_is_stalest() {
+        let none = run_one(Mechanism::None, 300, 0.2, 10, 42);
+        let notifier = run_one(Mechanism::Notifier, 300, 0.2, 10, 42);
+        assert!(none.stale_frac > notifier.stale_frac);
+        // With nothing invalidating it, the cache always hits.
+        assert!(none.hit_rate > 0.95);
+    }
+
+    #[test]
+    fn stable_source_means_no_staleness_anywhere() {
+        for mechanism in Mechanism::ALL {
+            let result = run_one(mechanism, 100, 0.0, 10, 1);
+            assert_eq!(result.stale_frac, 0.0, "{mechanism:?}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Experiment **E-PLACE**: cache placement (§4).
+//!
+//! "We also experimented with caches co-located with the Placeless server
+//! and on the machine where applications are run." An application-level
+//! cache serves hits at function-call distance; a server-co-located cache
+//! puts a LAN hop between the application and every served byte, but is
+//! shared infrastructure. This experiment measures the same workload under
+//! both placements (and no cache at all).
+
+use placeless_cache::{CacheConfig, DocumentCache};
+use placeless_core::prelude::*;
+use placeless_simenv::{Link, LinkClass, VirtualClock};
+use std::sync::Arc;
+
+/// Where the cache sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// On the application's machine (the paper's Table 1 setup).
+    Application,
+    /// Co-located with the Placeless server, one LAN hop away.
+    Server,
+    /// No cache.
+    None,
+}
+
+impl Placement {
+    /// All placements, for sweeps.
+    pub const ALL: [Placement; 3] = [Placement::Application, Placement::Server, Placement::None];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::Application => "app-level",
+            Placement::Server => "server-side",
+            Placement::None => "no cache",
+        }
+    }
+}
+
+/// The outcome of one placement run.
+#[derive(Debug, Clone)]
+pub struct PlacementResult {
+    /// The placement measured.
+    pub placement: Placement,
+    /// Mean read latency across the workload, in simulated microseconds.
+    pub mean_read_micros: u64,
+    /// Mean latency of hit-only reads (0 when no cache).
+    pub mean_hit_micros: u64,
+}
+
+/// Runs `reads` repeated reads of one 8 KiB document whose origin is a
+/// 30 ms repository, under the given placement.
+pub fn run_one(placement: Placement, reads: u32) -> PlacementResult {
+    let user = UserId(1);
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let provider = MemoryProvider::new("doc", vec![b'd'; 8_192], 30_000);
+    let doc = space.create_document(user, provider);
+
+    let cache: Option<Arc<DocumentCache>> = match placement {
+        Placement::None => None,
+        Placement::Application => Some(DocumentCache::new(space.clone(), CacheConfig::default())),
+        Placement::Server => Some(DocumentCache::new(
+            space.clone(),
+            CacheConfig {
+                access_link: Some(Link::of_class(LinkClass::Lan, 33)),
+                ..CacheConfig::default()
+            },
+        )),
+    };
+
+    let mut total = 0u64;
+    let mut hit_total = 0u64;
+    let mut hit_count = 0u64;
+    for i in 0..reads {
+        let t0 = clock.now();
+        match &cache {
+            Some(cache) => {
+                let _ = cache.read(user, doc).expect("read");
+            }
+            None => {
+                let _ = space.read_document(user, doc).expect("read");
+            }
+        }
+        let took = clock.now().since(t0);
+        total += took;
+        if cache.is_some() && i > 0 {
+            hit_total += took;
+            hit_count += 1;
+        }
+    }
+
+    PlacementResult {
+        placement,
+        mean_read_micros: total / reads as u64,
+        mean_hit_micros: hit_total.checked_div(hit_count).unwrap_or(0),
+    }
+}
+
+/// Runs all placements.
+pub fn sweep(reads: u32) -> Vec<PlacementResult> {
+    Placement::ALL.iter().map(|&p| run_one(p, reads)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_level_hits_beat_server_side_hits() {
+        let app = run_one(Placement::Application, 20);
+        let server = run_one(Placement::Server, 20);
+        assert!(
+            app.mean_hit_micros * 5 < server.mean_hit_micros,
+            "app {}µs vs server {}µs",
+            app.mean_hit_micros,
+            server.mean_hit_micros
+        );
+    }
+
+    #[test]
+    fn any_cache_beats_none() {
+        let none = run_one(Placement::None, 20);
+        for placement in [Placement::Application, Placement::Server] {
+            let cached = run_one(placement, 20);
+            assert!(cached.mean_read_micros < none.mean_read_micros);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Experiment **E-REVAL**: TTL vs conditional-GET revalidation for web
+//! documents.
+//!
+//! §3 observes that 1999 web servers "manage consistency only based on a
+//! time-to-live (TTL) invalidation scheme" — which leaves a staleness
+//! window whenever the origin changes inside the TTL. The verifier
+//! mechanism can do better: a revalidating verifier issues a conditional
+//! GET per hit (HTTP/1.1 semantics), trading an RTT per hit for zero
+//! staleness. This experiment sweeps the origin-edit rate under both.
+
+use placeless_cache::{CacheConfig, DocumentCache};
+use placeless_core::prelude::*;
+use placeless_repository::{WebProvider, WebServer};
+use placeless_simenv::{Link, SimRng, VirtualClock};
+
+/// The verifier flavour measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WebMode {
+    /// Classic TTL freshness.
+    Ttl,
+    /// Conditional GET per hit.
+    Revalidate,
+}
+
+impl WebMode {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WebMode::Ttl => "ttl",
+            WebMode::Revalidate => "revalidate",
+        }
+    }
+}
+
+/// One sweep cell.
+#[derive(Debug, Clone)]
+pub struct RevalResult {
+    /// Verifier flavour.
+    pub mode: WebMode,
+    /// Probability of an origin edit before each read.
+    pub edit_rate: f64,
+    /// Mean read latency, simulated microseconds.
+    pub mean_read_micros: u64,
+    /// Fraction of reads that served content older than the origin's.
+    pub stale_frac: f64,
+}
+
+/// Runs one configuration: `reads` reads of a page with `ttl_micros`
+/// freshness; before each read the origin is edited with probability
+/// `edit_rate`. Think time between reads is `gap_micros`.
+pub fn run_one(
+    mode: WebMode,
+    reads: u32,
+    edit_rate: f64,
+    ttl_micros: u64,
+    gap_micros: u64,
+    seed: u64,
+) -> RevalResult {
+    let user = UserId(1);
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let server = WebServer::new("news.example.com");
+    server.publish("/front", "rev 0", ttl_micros);
+    let link = Link::new(2_000, 1_000_000, 0.0, seed);
+    let provider = match mode {
+        WebMode::Ttl => WebProvider::new(server.clone(), "/front", link),
+        WebMode::Revalidate => WebProvider::with_revalidation(server.clone(), "/front", link),
+    };
+    let doc = space.create_document(user, provider);
+    let cache = DocumentCache::new(space, CacheConfig::default());
+
+    let mut rng = SimRng::seeded(seed);
+    let mut revision = 0u64;
+    let mut stale = 0u32;
+    let mut read_micros = 0u64;
+    for _ in 0..reads {
+        clock.advance(gap_micros);
+        if rng.chance(edit_rate) {
+            revision += 1;
+            server.edit_origin("/front", format!("rev {revision}")).expect("edit");
+        }
+        let t0 = clock.now();
+        let bytes = cache.read(user, doc).expect("read");
+        read_micros += clock.now().since(t0);
+        if !bytes.ends_with(revision.to_string().as_bytes()) {
+            stale += 1;
+        }
+    }
+
+    RevalResult {
+        mode,
+        edit_rate,
+        mean_read_micros: read_micros / reads as u64,
+        stale_frac: stale as f64 / reads as f64,
+    }
+}
+
+/// Sweeps both modes over edit rates.
+pub fn sweep(reads: u32, edit_rates: &[f64], seed: u64) -> Vec<RevalResult> {
+    let mut results = Vec::new();
+    for &rate in edit_rates {
+        for mode in [WebMode::Ttl, WebMode::Revalidate] {
+            // A 60 s TTL with 1 s think time: plenty of room to be stale.
+            results.push(run_one(mode, reads, rate, 60_000_000, 1_000_000, seed));
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revalidation_is_never_stale() {
+        let result = run_one(WebMode::Revalidate, 200, 0.2, 60_000_000, 1_000_000, 5);
+        assert_eq!(result.stale_frac, 0.0);
+    }
+
+    #[test]
+    fn ttl_is_stale_within_the_window_but_cheaper() {
+        let ttl = run_one(WebMode::Ttl, 200, 0.2, 60_000_000, 1_000_000, 5);
+        let reval = run_one(WebMode::Revalidate, 200, 0.2, 60_000_000, 1_000_000, 5);
+        assert!(ttl.stale_frac > 0.5, "long TTL hides edits: {}", ttl.stale_frac);
+        assert!(
+            ttl.mean_read_micros < reval.mean_read_micros,
+            "ttl {} vs reval {}",
+            ttl.mean_read_micros,
+            reval.mean_read_micros
+        );
+    }
+
+    #[test]
+    fn short_ttl_bounds_the_staleness() {
+        let long = run_one(WebMode::Ttl, 200, 0.2, 60_000_000, 1_000_000, 5);
+        let short = run_one(WebMode::Ttl, 200, 0.2, 2_000_000, 1_000_000, 5);
+        assert!(short.stale_frac < long.stale_frac);
+    }
+
+    #[test]
+    fn quiet_origins_are_never_stale() {
+        for mode in [WebMode::Ttl, WebMode::Revalidate] {
+            let result = run_one(mode, 100, 0.0, 60_000_000, 1_000_000, 5);
+            assert_eq!(result.stale_frac, 0.0, "{mode:?}");
+        }
+    }
+}

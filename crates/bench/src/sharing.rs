@@ -1,0 +1,134 @@
+//! Experiment **E-SH**: content-signature sharing (§3, entry
+//! identification).
+//!
+//! Entries are tagged `(document, user)`, so a naive cache stores one copy
+//! per user even when their property chains produce identical bytes. The
+//! signature map shares those. This experiment populates a cache from `n`
+//! users, a fraction of whom apply the *same* transform (shareable) while
+//! the rest apply a per-user watermark (unshareable), and reports
+//! physical-vs-logical bytes.
+
+use placeless_cache::{CacheConfig, DocumentCache};
+use placeless_core::prelude::*;
+use placeless_properties::{Translate, Watermark};
+use placeless_simenv::trace::lorem_bytes;
+use placeless_simenv::VirtualClock;
+
+/// The outcome of one sharing run.
+#[derive(Debug, Clone)]
+pub struct SharingResult {
+    /// Number of users.
+    pub users: usize,
+    /// Fraction whose chains produce identical content.
+    pub identical_frac: f64,
+    /// Deduplicated bytes resident.
+    pub physical_bytes: u64,
+    /// Bytes a share-nothing cache would hold.
+    pub logical_bytes: u64,
+    /// Fills that found the bytes already resident.
+    pub shared_fills: u64,
+}
+
+impl SharingResult {
+    /// Returns `logical / physical` — the storage multiplier sharing saves.
+    pub fn savings_ratio(&self) -> f64 {
+        self.logical_bytes as f64 / self.physical_bytes.max(1) as f64
+    }
+}
+
+/// Runs the sharing experiment: `users` users read `documents` documents;
+/// `identical_frac` of the users attach the same translation property, the
+/// rest attach per-user watermarks.
+pub fn run_one(users: usize, documents: usize, identical_frac: f64) -> SharingResult {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let owner = UserId(0);
+
+    let mut docs = Vec::new();
+    for d in 0..documents {
+        let provider = MemoryProvider::new(
+            &format!("doc{d}"),
+            lorem_bytes(d as u64 + 100, 4_096),
+            1_000,
+        );
+        docs.push(space.create_document(owner, provider));
+    }
+
+    let identical_users = (users as f64 * identical_frac).round() as usize;
+    for u in 1..=users {
+        let user = UserId(u as u64);
+        for &doc in &docs {
+            space.add_reference(user, doc).expect("reference");
+            if u <= identical_users {
+                space
+                    .attach_active(Scope::Personal(user), doc, Translate::to("fr"))
+                    .expect("attach");
+            } else {
+                space
+                    .attach_active(Scope::Personal(user), doc, Watermark::new())
+                    .expect("attach");
+            }
+        }
+    }
+
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig {
+            capacity_bytes: u64::MAX,
+            ..CacheConfig::default()
+        },
+    );
+    for u in 1..=users {
+        for &doc in &docs {
+            let _ = cache.read(UserId(u as u64), doc).expect("read");
+        }
+    }
+
+    let (physical_bytes, logical_bytes) = cache.resident_bytes();
+    SharingResult {
+        users,
+        identical_frac,
+        physical_bytes,
+        logical_bytes,
+        shared_fills: cache.stats().shared_fills,
+    }
+}
+
+/// Sweeps identical fractions.
+pub fn sweep(users: usize, documents: usize, fracs: &[f64]) -> Vec<SharingResult> {
+    fracs
+        .iter()
+        .map(|&f| run_one(users, documents, f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_identical_chains_share_fully() {
+        let result = run_one(8, 3, 1.0);
+        // Eight users, one copy of each document's translated bytes.
+        assert!(result.savings_ratio() > 7.0, "ratio {}", result.savings_ratio());
+        assert_eq!(result.shared_fills, 7 * 3);
+    }
+
+    #[test]
+    fn watermarks_defeat_sharing() {
+        let result = run_one(8, 3, 0.0);
+        assert!(
+            result.savings_ratio() < 1.1,
+            "every view distinct: {}",
+            result.savings_ratio()
+        );
+        assert_eq!(result.shared_fills, 0);
+    }
+
+    #[test]
+    fn savings_grow_with_identical_fraction() {
+        let results = sweep(8, 2, &[0.0, 0.5, 1.0]);
+        assert!(results[0].savings_ratio() <= results[1].savings_ratio());
+        assert!(results[1].savings_ratio() <= results[2].savings_ratio());
+    }
+}

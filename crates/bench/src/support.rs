@@ -1,0 +1,65 @@
+//! Shared helpers for the experiment scenarios.
+
+use placeless_core::error::Result;
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
+use placeless_core::streams::InputStream;
+use std::sync::Arc;
+
+/// A property that models an expensive transform: it charges a fixed
+/// execution cost (clock + replacement cost) but passes content through.
+///
+/// The replacement experiments need documents whose *costs* differ by
+/// orders of magnitude while their bytes stay comparable; this property is
+/// that knob.
+pub struct DelayProperty {
+    name: String,
+    cost_micros: u64,
+}
+
+impl DelayProperty {
+    /// Creates a delay property charging `cost_micros` per read.
+    pub fn new(cost_micros: u64) -> Arc<Self> {
+        Arc::new(Self {
+            name: format!("delay-{cost_micros}us"),
+            cost_micros,
+        })
+    }
+}
+
+impl ActiveProperty for DelayProperty {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream])
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        self.cost_micros
+    }
+
+    fn wrap_input(
+        &self,
+        _ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        Ok(inner)
+    }
+}
+
+/// Formats a milliseconds value for table output.
+pub fn fmt_ms(micros: u64) -> String {
+    format!("{:.2}", micros as f64 / 1_000.0)
+}
+
+/// Prints a table row with fixed-width columns.
+pub fn row(cells: &[&str], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:>width$}  "));
+    }
+    out.trim_end().to_owned()
+}

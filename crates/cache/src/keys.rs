@@ -1,0 +1,186 @@
+//! The two-level entry map enabling cross-user content sharing.
+//!
+//! §3: "content entries could be shared if the cache maps a pair of document
+//! and user identifiers to a content signature (e.g., MD5 hash) and in turn
+//! these signatures map to the actual content. On a cache miss for an
+//! already cached version of the same content, only the document and user
+//! identifier mapping to the content signature needs to be established."
+//!
+//! [`SharedStore`] implements exactly that: `(doc, user) → Signature` and a
+//! refcounted `Signature → Bytes` store, so two users whose property chains
+//! produce identical bytes consume the bytes once.
+
+use crate::digest::{md5, Signature};
+use crate::policy::EntryKey;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+struct Stored {
+    content: Bytes,
+    refs: usize,
+}
+
+/// Refcounted, signature-deduplicated content storage.
+#[derive(Default)]
+pub struct SharedStore {
+    keys: HashMap<EntryKey, Signature>,
+    contents: HashMap<Signature, Stored>,
+}
+
+impl SharedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) the content for a key, returning its
+    /// signature and whether the bytes were already resident (a shared
+    /// fill that cost no new storage).
+    pub fn insert(&mut self, key: EntryKey, content: Bytes) -> (Signature, bool) {
+        let signature = md5(&content);
+        // Drop the key's previous mapping first.
+        self.remove(key);
+        let shared = match self.contents.get_mut(&signature) {
+            Some(stored) => {
+                stored.refs += 1;
+                true
+            }
+            None => {
+                self.contents.insert(
+                    signature,
+                    Stored {
+                        content,
+                        refs: 1,
+                    },
+                );
+                false
+            }
+        };
+        self.keys.insert(key, signature);
+        (signature, shared)
+    }
+
+    /// Looks up a key's content.
+    pub fn get(&self, key: EntryKey) -> Option<Bytes> {
+        let signature = self.keys.get(&key)?;
+        Some(self.contents.get(signature)?.content.clone())
+    }
+
+    /// Returns a key's signature.
+    pub fn signature_of(&self, key: EntryKey) -> Option<Signature> {
+        self.keys.get(&key).copied()
+    }
+
+    /// Removes a key's mapping, dropping the bytes when the last reference
+    /// goes away. Returns `true` if the key existed.
+    pub fn remove(&mut self, key: EntryKey) -> bool {
+        let Some(signature) = self.keys.remove(&key) else {
+            return false;
+        };
+        if let Some(stored) = self.contents.get_mut(&signature) {
+            stored.refs -= 1;
+            if stored.refs == 0 {
+                self.contents.remove(&signature);
+            }
+        }
+        true
+    }
+
+    /// Returns the number of key mappings.
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns the number of distinct contents resident.
+    pub fn distinct_contents(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// Returns the *physical* bytes resident (deduplicated).
+    pub fn physical_bytes(&self) -> u64 {
+        self.contents
+            .values()
+            .map(|s| s.content.len() as u64)
+            .sum()
+    }
+
+    /// Returns the *logical* bytes resident (what a share-nothing cache
+    /// would store) — the sharing experiment reports the ratio.
+    pub fn logical_bytes(&self) -> u64 {
+        self.keys
+            .values()
+            .filter_map(|sig| self.contents.get(sig))
+            .map(|s| s.content.len() as u64)
+            .sum()
+    }
+
+    /// Iterates over the resident keys.
+    pub fn keys(&self) -> impl Iterator<Item = EntryKey> + '_ {
+        self.keys.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::id::{DocumentId, UserId};
+
+    fn key(d: u64, u: u64) -> EntryKey {
+        (DocumentId(d), UserId(u))
+    }
+
+    #[test]
+    fn identical_content_is_stored_once() {
+        let mut store = SharedStore::new();
+        let (sig_a, shared_a) = store.insert(key(1, 1), Bytes::from_static(b"same bytes"));
+        let (sig_b, shared_b) = store.insert(key(1, 2), Bytes::from_static(b"same bytes"));
+        assert_eq!(sig_a, sig_b);
+        assert!(!shared_a, "first fill stores");
+        assert!(shared_b, "second fill shares");
+        assert_eq!(store.key_count(), 2);
+        assert_eq!(store.distinct_contents(), 1);
+        assert_eq!(store.physical_bytes(), 10);
+        assert_eq!(store.logical_bytes(), 20);
+    }
+
+    #[test]
+    fn different_transforms_store_separately() {
+        let mut store = SharedStore::new();
+        store.insert(key(1, 1), Bytes::from_static(b"english"));
+        store.insert(key(1, 2), Bytes::from_static(b"francais"));
+        assert_eq!(store.distinct_contents(), 2);
+        assert_eq!(store.get(key(1, 1)).unwrap(), "english");
+        assert_eq!(store.get(key(1, 2)).unwrap(), "francais");
+    }
+
+    #[test]
+    fn remove_drops_bytes_at_last_reference() {
+        let mut store = SharedStore::new();
+        store.insert(key(1, 1), Bytes::from_static(b"shared"));
+        store.insert(key(1, 2), Bytes::from_static(b"shared"));
+        assert!(store.remove(key(1, 1)));
+        assert_eq!(store.distinct_contents(), 1, "still referenced");
+        assert!(store.get(key(1, 2)).is_some());
+        assert!(store.remove(key(1, 2)));
+        assert_eq!(store.distinct_contents(), 0);
+        assert_eq!(store.physical_bytes(), 0);
+        assert!(!store.remove(key(1, 2)), "already gone");
+    }
+
+    #[test]
+    fn reinsert_replaces_previous_mapping() {
+        let mut store = SharedStore::new();
+        store.insert(key(1, 1), Bytes::from_static(b"v1"));
+        store.insert(key(1, 1), Bytes::from_static(b"v2"));
+        assert_eq!(store.key_count(), 1);
+        assert_eq!(store.distinct_contents(), 1);
+        assert_eq!(store.get(key(1, 1)).unwrap(), "v2");
+    }
+
+    #[test]
+    fn missing_key_lookups() {
+        let store = SharedStore::new();
+        assert!(store.get(key(9, 9)).is_none());
+        assert!(store.signature_of(key(9, 9)).is_none());
+    }
+}

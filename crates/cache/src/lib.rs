@@ -1,0 +1,29 @@
+//! # Caching architecture for Placeless Documents
+//!
+//! Implements the paper's §3 caching design in full:
+//!
+//! * [`manager::DocumentCache`] — the application-level cache: hit/miss
+//!   paths, verifier execution on hits, notifier-driven invalidation,
+//!   cacheability enforcement with operation-event forwarding, and
+//!   write-through / write-back modes.
+//! * [`keys::SharedStore`] — `(document, user) → signature → content`
+//!   mapping so users with identical transforms share bytes.
+//! * [`digest`] — in-tree MD5 (RFC 1321) content signatures.
+//! * [`policy`] — Greedy-Dual-Size driven by property-supplied replacement
+//!   costs, plus LRU / LFU / SIZE / FIFO / GD(1) baselines.
+//! * [`stats::CacheStats`] — the counters every experiment reports.
+
+pub mod digest;
+pub mod entry;
+pub mod keys;
+pub mod manager;
+pub mod policy;
+pub mod prefetch;
+pub mod stats;
+
+pub use digest::{md5, Md5, Signature};
+pub use keys::SharedStore;
+pub use manager::{CacheConfig, DocumentCache, WriteMode};
+pub use prefetch::PrefetchConfig;
+pub use policy::{by_name, EntryKey, GdsFrequency, GreedyDualSize, ReplacementPolicy, ALL_POLICIES};
+pub use stats::CacheStats;

@@ -1,0 +1,788 @@
+//! The document cache manager.
+//!
+//! A [`DocumentCache`] interposes between an application and the Placeless
+//! middleware (the paper's "application-level cache"). It implements the
+//! full §3 design:
+//!
+//! * entries are tagged `(document, user)` and deduplicated by MD5 content
+//!   signature ([`crate::keys::SharedStore`]);
+//! * **verifiers** shipped by the read path run on every hit, trading hit
+//!   latency for consistency with conditions outside Placeless control;
+//! * **notifiers** deliver invalidations through the
+//!   [`placeless_core::notifier::InvalidationBus`] for changes inside
+//!   Placeless control;
+//! * the **cacheability indicator** is honored: `Uncacheable` content is
+//!   never stored, and `CacheableWithEvents` hits forward the operation
+//!   event so audit-like properties still fire;
+//! * the replacement policy (Greedy-Dual-Size by default) consumes the
+//!   **replacement costs** accumulated along the read path;
+//! * writes run **write-through** or **write-back**.
+
+use crate::entry::EntryMeta;
+use crate::keys::SharedStore;
+use crate::prefetch::PrefetchConfig;
+use crate::policy::{EntryKey, GreedyDualSize, ReplacementPolicy};
+use crate::stats::CacheStats;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use placeless_core::cacheability::Cacheability;
+use placeless_core::error::Result;
+use placeless_core::event::EventKind;
+use placeless_core::id::{CacheId, DocumentId, UserId};
+use placeless_core::notifier::{Invalidation, InvalidationSink};
+use placeless_core::space::DocumentSpace;
+use placeless_core::verifier::{run_all, Validity};
+use placeless_simenv::{LatencyModel, Link, Stopwatch};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// How writes reach the middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Forward every write immediately.
+    Through,
+    /// Buffer writes locally; [`DocumentCache::flush`] pushes them.
+    Back,
+}
+
+/// Cache construction parameters.
+pub struct CacheConfig {
+    /// Capacity in *physical* (deduplicated) bytes.
+    pub capacity_bytes: u64,
+    /// Replacement policy; defaults to Greedy-Dual-Size.
+    pub policy: Box<dyn ReplacementPolicy>,
+    /// Whether to run verifiers on hits (disable to measure a
+    /// notifier-only configuration).
+    pub run_verifiers: bool,
+    /// Write handling.
+    pub write_mode: WriteMode,
+    /// Cost of serving a hit from local storage.
+    pub local_latency: LatencyModel,
+    /// Collection prefetching (§5 related-documents mechanism).
+    pub prefetch: PrefetchConfig,
+    /// The network path between the application and this cache, if the
+    /// cache is not co-located with the application — the prototype "also
+    /// experimented with caches co-located with the Placeless server".
+    /// Charged on every served read.
+    pub access_link: Option<Link>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 16 * 1024 * 1024,
+            policy: Box::new(GreedyDualSize::new()),
+            run_verifiers: true,
+            write_mode: WriteMode::Through,
+            local_latency: LatencyModel::new(50, 5),
+            prefetch: PrefetchConfig::OFF,
+            access_link: None,
+        }
+    }
+}
+
+struct Inner {
+    store: SharedStore,
+    meta: HashMap<EntryKey, EntryMeta>,
+    policy: Box<dyn ReplacementPolicy>,
+    dirty: HashMap<EntryKey, Bytes>,
+    stats: CacheStats,
+}
+
+impl Inner {
+    fn drop_entry(&mut self, key: EntryKey) -> bool {
+        let existed = self.store.remove(key);
+        self.meta.remove(&key);
+        self.policy.on_remove(key);
+        existed
+    }
+}
+
+/// An application-level cache over a [`DocumentSpace`].
+pub struct DocumentCache {
+    id: CacheId,
+    space: Arc<DocumentSpace>,
+    capacity_bytes: u64,
+    run_verifiers: bool,
+    write_mode: WriteMode,
+    local_latency: LatencyModel,
+    prefetch: PrefetchConfig,
+    access_link: Option<Link>,
+    inner: Mutex<Inner>,
+}
+
+impl DocumentCache {
+    /// Creates a cache over `space` and subscribes it to the space's
+    /// invalidation bus.
+    pub fn new(space: Arc<DocumentSpace>, config: CacheConfig) -> Arc<Self> {
+        let cache = Arc::new(Self {
+            id: CacheId(NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)),
+            space,
+            capacity_bytes: config.capacity_bytes,
+            run_verifiers: config.run_verifiers,
+            write_mode: config.write_mode,
+            local_latency: config.local_latency,
+            prefetch: config.prefetch,
+            access_link: config.access_link,
+            inner: Mutex::new(Inner {
+                store: SharedStore::new(),
+                meta: HashMap::new(),
+                policy: config.policy,
+                dirty: HashMap::new(),
+                stats: CacheStats::default(),
+            }),
+        });
+        cache.space.bus().subscribe(Arc::new(CacheSink {
+            cache: Arc::downgrade(&cache),
+            id: cache.id,
+        }));
+        cache
+    }
+
+    /// Creates a cache with the default configuration.
+    pub fn with_defaults(space: Arc<DocumentSpace>) -> Arc<Self> {
+        Self::new(space, CacheConfig::default())
+    }
+
+    /// Returns this cache's id.
+    pub fn id(&self) -> CacheId {
+        self.id
+    }
+
+    /// Returns a snapshot of the statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Returns the number of resident `(document, user)` entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().meta.len()
+    }
+
+    /// Returns `true` if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `(physical, logical)` resident bytes; the gap is what
+    /// signature sharing saved.
+    pub fn resident_bytes(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.store.physical_bytes(), inner.store.logical_bytes())
+    }
+
+    /// Returns `true` if `(doc, user)` is resident.
+    pub fn contains(&self, user: UserId, doc: DocumentId) -> bool {
+        self.inner.lock().meta.contains_key(&(doc, user))
+    }
+
+    /// Reads a document for `user`, serving from the cache when possible.
+    pub fn read(&self, user: UserId, doc: DocumentId) -> Result<Bytes> {
+        let key = (doc, user);
+        let clock = self.space.clock().clone();
+        let watch = Stopwatch::start(&clock);
+
+        // Dirty write-back data is the freshest view for its writer.
+        {
+            let inner = self.inner.lock();
+            if let Some(dirty) = inner.dirty.get(&key) {
+                return Ok(dirty.clone());
+            }
+        }
+
+        // Hit path.
+        enum HitOutcome {
+            Serve(Bytes, bool),
+            Miss,
+        }
+        let outcome = {
+            let mut inner = self.inner.lock();
+            if inner.meta.contains_key(&key) {
+                let verdict = if self.run_verifiers {
+                    let meta = inner.meta.get(&key).expect("checked above");
+                    let (verdict, probe_cost) = run_all(&meta.verifiers, &clock);
+                    clock.advance(probe_cost);
+                    inner.stats.verify_micros += probe_cost;
+                    verdict
+                } else {
+                    Validity::Valid
+                };
+                match verdict {
+                    Validity::Valid => {
+                        let bytes = inner.store.get(key).expect("meta implies content");
+                        let meta = inner.meta.get_mut(&key).expect("checked above");
+                        meta.hits += 1;
+                        let was_prefetched = meta.prefetched;
+                        let forward = meta.cacheability.requires_event_forwarding();
+                        inner.policy.on_hit(key);
+                        if was_prefetched {
+                            inner.stats.prefetch_hits += 1;
+                        }
+                        self.local_latency.charge(&clock, bytes.len() as u64);
+                        inner.stats.hits += 1;
+                        inner.stats.hit_micros += watch.elapsed_micros();
+                        HitOutcome::Serve(bytes, forward)
+                    }
+                    Validity::Replace(bytes) => {
+                        // Refresh the entry in place and serve.
+                        let size = bytes.len() as u64;
+                        let (_, shared) = inner.store.insert(key, bytes.clone());
+                        if shared {
+                            inner.stats.shared_fills += 1;
+                        }
+                        let forward = {
+                            let meta = inner.meta.get_mut(&key).expect("checked above");
+                            meta.size = size;
+                            meta.filled_at = clock.now();
+                            meta.hits += 1;
+                            meta.cacheability.requires_event_forwarding()
+                        };
+                        inner.policy.on_hit(key);
+                        self.local_latency.charge(&clock, size);
+                        inner.stats.verifier_replacements += 1;
+                        inner.stats.hits += 1;
+                        inner.stats.hit_micros += watch.elapsed_micros();
+                        HitOutcome::Serve(bytes, forward)
+                    }
+                    Validity::Invalid => {
+                        inner.drop_entry(key);
+                        inner.stats.verifier_invalidations += 1;
+                        HitOutcome::Miss
+                    }
+                }
+            } else {
+                HitOutcome::Miss
+            }
+        };
+
+        if let HitOutcome::Serve(bytes, forward) = outcome {
+            if forward {
+                self.space.post_cache_event(user, doc, EventKind::CacheRead)?;
+                self.inner.lock().stats.events_forwarded += 1;
+            }
+            if let Some(link) = &self.access_link {
+                link.transfer(&clock, bytes.len() as u64);
+            }
+            return Ok(bytes);
+        }
+
+        // Miss path: execute the full read path (no cache lock held — the
+        // path may dispatch events that invalidate entries in this cache).
+        let (bytes, report) = self.space.read_document(user, doc)?;
+        {
+            let mut inner = self.inner.lock();
+            if report.cacheability == Cacheability::Uncacheable {
+                inner.stats.uncacheable_reads += 1;
+                return Ok(bytes);
+            }
+            inner.stats.misses += 1;
+            self.fill_locked(&mut inner, key, bytes.clone(), report, false);
+            inner.stats.miss_micros += watch.elapsed_micros();
+        }
+        if self.prefetch.enabled {
+            self.prefetch_collection_siblings(user, doc);
+        }
+        if let Some(link) = &self.access_link {
+            link.transfer(&clock, bytes.len() as u64);
+        }
+        Ok(bytes)
+    }
+
+    /// Inserts a filled entry, updating sharing stats, pinning, the policy,
+    /// and enforcing capacity. Caller holds the lock.
+    fn fill_locked(
+        &self,
+        inner: &mut Inner,
+        key: EntryKey,
+        bytes: Bytes,
+        report: placeless_core::property::PathReport,
+        prefetched: bool,
+    ) {
+        let clock = self.space.clock();
+        let size = bytes.len() as u64;
+        let (_, shared) = inner.store.insert(key, bytes);
+        if shared {
+            inner.stats.shared_fills += 1;
+        }
+        let mut meta = EntryMeta::new(
+            report.verifiers,
+            report.cacheability,
+            report.cost.effective_micros(),
+            size,
+            clock.now(),
+        );
+        meta.pinned = report.pinned;
+        meta.prefetched = prefetched;
+        inner.meta.insert(key, meta);
+        if report.pinned {
+            // Pinned entries never enter the policy, so they can never be
+            // chosen as eviction victims.
+            inner.stats.pinned_fills += 1;
+        } else {
+            inner
+                .policy
+                .on_insert(key, size, report.cost.effective_micros());
+        }
+        // Enforce capacity on physical bytes.
+        while inner.store.physical_bytes() > self.capacity_bytes {
+            match inner.policy.evict() {
+                Some(victim) => {
+                    inner.store.remove(victim);
+                    inner.meta.remove(&victim);
+                    inner.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Pulls collection siblings of `doc` into the cache after a miss.
+    fn prefetch_collection_siblings(&self, user: UserId, doc: DocumentId) {
+        let mut budget = self.prefetch.max_per_miss;
+        for collection in self.space.collections_of(doc) {
+            for sibling in self.space.collection_members(&collection) {
+                if budget == 0 {
+                    return;
+                }
+                if sibling == doc
+                    || self.contains(user, sibling)
+                    || !self.space.has_reference(user, sibling)
+                {
+                    continue;
+                }
+                // Fetch through the full property path, as a miss would.
+                let Ok((bytes, report)) = self.space.read_document(user, sibling) else {
+                    continue;
+                };
+                if report.cacheability == Cacheability::Uncacheable {
+                    continue;
+                }
+                let mut inner = self.inner.lock();
+                self.fill_locked(&mut inner, (sibling, user), bytes, report, true);
+                inner.stats.prefetches += 1;
+                budget -= 1;
+            }
+        }
+    }
+
+    /// Writes a document for `user` according to the configured
+    /// [`WriteMode`].
+    pub fn write(&self, user: UserId, doc: DocumentId, data: &[u8]) -> Result<()> {
+        match self.write_mode {
+            WriteMode::Through => {
+                self.space.write_document(user, doc, data)?;
+                let mut inner = self.inner.lock();
+                inner.stats.writes += 1;
+                // The source changed: every locally cached version of this
+                // document is stale, whatever notifiers may also say.
+                self.invalidate_doc_locked(&mut inner, doc);
+                Ok(())
+            }
+            WriteMode::Back => {
+                {
+                    let mut inner = self.inner.lock();
+                    inner.stats.writes += 1;
+                    inner.dirty.insert((doc, user), Bytes::copy_from_slice(data));
+                }
+                // §3: write-path properties register their own cacheability
+                // requirements; forward the operation event when any of
+                // them must see every write.
+                let forward = self
+                    .space
+                    .write_cacheability(user, doc)?
+                    .requires_event_forwarding();
+                if forward {
+                    self.space.post_cache_event(user, doc, EventKind::CacheWrite)?;
+                    self.inner.lock().stats.events_forwarded += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Pushes all buffered write-back data to the middleware.
+    pub fn flush(&self) -> Result<()> {
+        let dirty: Vec<(EntryKey, Bytes)> = {
+            let mut inner = self.inner.lock();
+            inner.dirty.drain().collect()
+        };
+        for ((doc, user), data) in dirty {
+            self.space.write_document(user, doc, &data)?;
+            let mut inner = self.inner.lock();
+            inner.stats.flushes += 1;
+            self.invalidate_doc_locked(&mut inner, doc);
+        }
+        Ok(())
+    }
+
+    /// Returns how many writes are buffered (write-back mode).
+    pub fn dirty_count(&self) -> usize {
+        self.inner.lock().dirty.len()
+    }
+
+    fn invalidate_doc_locked(&self, inner: &mut Inner, doc: DocumentId) {
+        let keys: Vec<EntryKey> = inner
+            .store
+            .keys()
+            .filter(|(d, _)| *d == doc)
+            .collect();
+        for key in keys {
+            inner.drop_entry(key);
+        }
+    }
+
+    fn handle_invalidation(&self, invalidation: &Invalidation) {
+        let mut inner = self.inner.lock();
+        let keys: Vec<EntryKey> = inner
+            .store
+            .keys()
+            .filter(|(d, u)| invalidation.covers(*d, *u))
+            .collect();
+        for key in keys {
+            if inner.drop_entry(key) {
+                inner.stats.notifier_invalidations += 1;
+            }
+        }
+    }
+}
+
+/// Bus subscription adapter holding a weak handle so dropping the cache
+/// tears down the subscription naturally.
+struct CacheSink {
+    cache: Weak<DocumentCache>,
+    id: CacheId,
+}
+
+impl InvalidationSink for CacheSink {
+    fn cache_id(&self) -> CacheId {
+        self.id
+    }
+
+    fn invalidate(&self, invalidation: &Invalidation) {
+        if let Some(cache) = self.cache.upgrade() {
+            cache.handle_invalidation(invalidation);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::prelude::*;
+    use placeless_simenv::VirtualClock;
+
+    const ALICE: UserId = UserId(1);
+    const BOB: UserId = UserId(2);
+
+    fn setup(content: &str, fetch_cost: u64) -> (Arc<DocumentSpace>, Arc<MemoryProvider>, DocumentId) {
+        let clock = VirtualClock::new();
+        let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
+        let provider = MemoryProvider::new("t", content.to_owned(), fetch_cost);
+        let doc = space.create_document(ALICE, provider.clone());
+        (space, provider, doc)
+    }
+
+    fn quiet_config() -> CacheConfig {
+        CacheConfig {
+            local_latency: LatencyModel::FREE,
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (space, _provider, doc) = setup("content", 1_000);
+        let cache = DocumentCache::new(space, quiet_config());
+        assert_eq!(cache.read(ALICE, doc).unwrap(), "content");
+        assert_eq!(cache.read(ALICE, doc).unwrap(), "content");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert!(cache.contains(ALICE, doc));
+    }
+
+    #[test]
+    fn hits_are_much_faster_than_misses() {
+        let (space, _provider, doc) = setup("content", 50_000);
+        let clock = space.clock().clone();
+        let cache = DocumentCache::new(space, quiet_config());
+        let t0 = clock.now();
+        cache.read(ALICE, doc).unwrap();
+        let miss_time = clock.now().since(t0);
+        let t1 = clock.now();
+        cache.read(ALICE, doc).unwrap();
+        let hit_time = clock.now().since(t1);
+        assert!(
+            hit_time * 10 < miss_time,
+            "hit {hit_time}µs vs miss {miss_time}µs"
+        );
+    }
+
+    #[test]
+    fn verifier_catches_out_of_band_change() {
+        let (space, provider, doc) = setup("v1", 100);
+        let cache = DocumentCache::new(space, quiet_config());
+        assert_eq!(cache.read(ALICE, doc).unwrap(), "v1");
+        provider.set_out_of_band("v2");
+        assert_eq!(cache.read(ALICE, doc).unwrap(), "v2", "stale entry refilled");
+        let stats = cache.stats();
+        assert_eq!(stats.verifier_invalidations, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn verifiers_can_be_disabled() {
+        let (space, provider, doc) = setup("v1", 100);
+        let cache = DocumentCache::new(
+            space,
+            CacheConfig {
+                run_verifiers: false,
+                local_latency: LatencyModel::FREE,
+                ..CacheConfig::default()
+            },
+        );
+        cache.read(ALICE, doc).unwrap();
+        provider.set_out_of_band("v2");
+        // Without verifiers (and no notifier for out-of-band changes) the
+        // stale content is served — the consistency/latency trade-off.
+        assert_eq!(cache.read(ALICE, doc).unwrap(), "v1");
+    }
+
+    #[test]
+    fn bus_invalidation_drops_entries() {
+        let (space, _provider, doc) = setup("v1", 100);
+        let cache = DocumentCache::new(space.clone(), quiet_config());
+        cache.read(ALICE, doc).unwrap();
+        assert!(cache.contains(ALICE, doc));
+        space.bus().post(Invalidation::Document(doc));
+        assert!(!cache.contains(ALICE, doc));
+        assert_eq!(cache.stats().notifier_invalidations, 1);
+    }
+
+    #[test]
+    fn user_scoped_invalidation_spares_others() {
+        let (space, _provider, doc) = setup("v1", 100);
+        space.add_reference(BOB, doc).unwrap();
+        let cache = DocumentCache::new(space.clone(), quiet_config());
+        cache.read(ALICE, doc).unwrap();
+        cache.read(BOB, doc).unwrap();
+        space.bus().post(Invalidation::UserDocument(doc, ALICE));
+        assert!(!cache.contains(ALICE, doc));
+        assert!(cache.contains(BOB, doc));
+    }
+
+    #[test]
+    fn identical_chains_share_bytes() {
+        let (space, _provider, doc) = setup("shared content", 100);
+        space.add_reference(BOB, doc).unwrap();
+        let cache = DocumentCache::new(space, quiet_config());
+        cache.read(ALICE, doc).unwrap();
+        cache.read(BOB, doc).unwrap();
+        let (physical, logical) = cache.resident_bytes();
+        assert_eq!(physical, 14);
+        assert_eq!(logical, 28);
+        assert_eq!(cache.stats().shared_fills, 1);
+    }
+
+    #[test]
+    fn capacity_forces_evictions() {
+        let clock = VirtualClock::new();
+        let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
+        let mut docs = Vec::new();
+        for i in 0..10u8 {
+            // Distinct bodies, or signature sharing would dedup them all.
+            let mut body = vec![b'x'; 100];
+            body[0] = b'0' + i;
+            let provider = MemoryProvider::new(&format!("d{i}"), body, 100);
+            docs.push(space.create_document(ALICE, provider));
+        }
+        let cache = DocumentCache::new(
+            space,
+            CacheConfig {
+                capacity_bytes: 350,
+                local_latency: LatencyModel::FREE,
+                ..CacheConfig::default()
+            },
+        );
+        for &doc in &docs {
+            cache.read(ALICE, doc).unwrap();
+        }
+        let (physical, _) = cache.resident_bytes();
+        assert!(physical <= 350, "capacity respected, got {physical}");
+        assert!(cache.stats().evictions >= 7);
+        assert_eq!(cache.len() as u64 * 100, physical);
+    }
+
+    #[test]
+    fn write_through_updates_source_and_invalidates() {
+        let (space, provider, doc) = setup("old", 100);
+        let cache = DocumentCache::new(space, quiet_config());
+        cache.read(ALICE, doc).unwrap();
+        cache.write(ALICE, doc, b"new").unwrap();
+        assert_eq!(provider.content(), "new");
+        assert!(!cache.contains(ALICE, doc), "own entry invalidated");
+        assert_eq!(cache.read(ALICE, doc).unwrap(), "new");
+    }
+
+    #[test]
+    fn write_back_buffers_until_flush() {
+        let (space, provider, doc) = setup("old", 100);
+        let cache = DocumentCache::new(
+            space,
+            CacheConfig {
+                write_mode: WriteMode::Back,
+                local_latency: LatencyModel::FREE,
+                ..CacheConfig::default()
+            },
+        );
+        cache.write(ALICE, doc, b"buffered").unwrap();
+        assert_eq!(provider.content(), "old", "not yet flushed");
+        assert_eq!(cache.dirty_count(), 1);
+        // The writer reads their own buffered data.
+        assert_eq!(cache.read(ALICE, doc).unwrap(), "buffered");
+        cache.flush().unwrap();
+        assert_eq!(provider.content(), "buffered");
+        assert_eq!(cache.dirty_count(), 0);
+        assert_eq!(cache.stats().flushes, 1);
+    }
+
+    #[test]
+    fn uncacheable_content_is_never_stored() {
+        struct LiveProvider;
+        impl BitProvider for LiveProvider {
+            fn describe(&self) -> String {
+                "live".into()
+            }
+            fn open_input(
+                &self,
+                clock: &VirtualClock,
+            ) -> Result<Box<dyn InputStream>> {
+                Ok(Box::new(MemoryInput::new(Bytes::from(format!(
+                    "frame@{}",
+                    clock.advance(1).as_micros()
+                )))))
+            }
+            fn open_output(
+                &self,
+                _clock: &VirtualClock,
+            ) -> Result<Box<dyn OutputStream>> {
+                Err(PlacelessError::ReadOnly(DocumentId(0)))
+            }
+            fn make_verifier(
+                &self,
+                _clock: &VirtualClock,
+            ) -> Option<Box<dyn placeless_core::verifier::Verifier>> {
+                None
+            }
+            fn fetch_cost_micros(&self) -> u64 {
+                10
+            }
+            fn cacheability_vote(&self) -> Cacheability {
+                Cacheability::Uncacheable
+            }
+        }
+        let clock = VirtualClock::new();
+        let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
+        let doc = space.create_document(ALICE, Arc::new(LiveProvider));
+        let cache = DocumentCache::new(space, quiet_config());
+        let a = cache.read(ALICE, doc).unwrap();
+        let b = cache.read(ALICE, doc).unwrap();
+        assert_ne!(a, b, "every read reaches the live source");
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().uncacheable_reads, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn latency_and_verifier_accounting() {
+        let (space, _provider, doc) = setup("abcdef", 10_000);
+        let clock = space.clock().clone();
+        let cache = DocumentCache::new(space, quiet_config());
+        cache.read(ALICE, doc).unwrap();
+        cache.read(ALICE, doc).unwrap();
+        cache.read(ALICE, doc).unwrap();
+        let stats = cache.stats();
+        // The provider's mtime verifier costs 2 µs per hit.
+        assert_eq!(stats.verify_micros, 4);
+        assert!(stats.mean_miss_ms().unwrap() >= 10.0);
+        assert!(stats.mean_hit_ms().unwrap() < 1.0);
+        assert!(clock.now().as_micros() >= 10_000);
+    }
+
+    #[test]
+    fn writes_are_counted_per_mode() {
+        let (space, _provider, doc) = setup("x", 0);
+        let through = DocumentCache::new(space.clone(), quiet_config());
+        through.write(ALICE, doc, b"a").unwrap();
+        through.write(ALICE, doc, b"b").unwrap();
+        assert_eq!(through.stats().writes, 2);
+        assert_eq!(through.stats().flushes, 0);
+
+        let back = DocumentCache::new(
+            space,
+            CacheConfig {
+                write_mode: WriteMode::Back,
+                local_latency: LatencyModel::FREE,
+                ..CacheConfig::default()
+            },
+        );
+        back.write(ALICE, doc, b"c").unwrap();
+        back.write(ALICE, doc, b"d").unwrap();
+        back.flush().unwrap();
+        let stats = back.stats();
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.flushes, 1, "coalesced into one flush");
+    }
+
+    #[test]
+    fn cacheable_with_events_forwards_cache_reads() {
+        use parking_lot::Mutex as PMutex;
+        struct Audit {
+            reads: Arc<PMutex<u64>>,
+        }
+        impl ActiveProperty for Audit {
+            fn name(&self) -> &str {
+                "audit"
+            }
+            fn interests(&self) -> Interests {
+                Interests::of(&[EventKind::GetInputStream, EventKind::CacheRead])
+            }
+            fn wrap_input(
+                &self,
+                _ctx: &PathCtx<'_>,
+                report: &mut PathReport,
+                inner: Box<dyn InputStream>,
+            ) -> Result<Box<dyn InputStream>> {
+                report.vote(Cacheability::CacheableWithEvents);
+                *self.reads.lock() += 1;
+                Ok(inner)
+            }
+            fn on_event(
+                &self,
+                _ctx: &EventCtx<'_>,
+                _event: &DocumentEvent,
+            ) -> Result<()> {
+                *self.reads.lock() += 1;
+                Ok(())
+            }
+        }
+        let (space, _provider, doc) = setup("audited", 100);
+        let reads = Arc::new(PMutex::new(0u64));
+        space
+            .attach_active(
+                Scope::Universal,
+                doc,
+                Arc::new(Audit { reads: reads.clone() }),
+            )
+            .unwrap();
+        let cache = DocumentCache::new(space, quiet_config());
+        cache.read(ALICE, doc).unwrap(); // miss: wrap_input counts 1
+        cache.read(ALICE, doc).unwrap(); // hit: forwarded event counts 1
+        cache.read(ALICE, doc).unwrap(); // hit: forwarded event counts 1
+        assert_eq!(*reads.lock(), 3, "audit saw every read despite caching");
+        assert_eq!(cache.stats().events_forwarded, 2);
+        assert_eq!(cache.stats().hits, 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! First-in first-out replacement.
+
+use super::{EntryKey, ReplacementPolicy};
+use std::collections::{HashSet, VecDeque};
+
+/// FIFO: evicts in insertion order, ignoring hits entirely.
+#[derive(Default)]
+pub struct Fifo {
+    order: VecDeque<EntryKey>,
+    live: HashSet<EntryKey>,
+}
+
+impl Fifo {
+    /// Creates an empty FIFO tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn on_insert(&mut self, key: EntryKey, _size: u64, _cost: f64) {
+        if self.live.insert(key) {
+            self.order.push_back(key);
+        }
+    }
+
+    fn on_hit(&mut self, _key: EntryKey) {}
+
+    fn on_remove(&mut self, key: EntryKey) {
+        self.live.remove(&key);
+    }
+
+    fn evict(&mut self) -> Option<EntryKey> {
+        // Skip queue entries removed out of band.
+        while let Some(key) = self.order.pop_front() {
+            if self.live.remove(&key) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::id::{DocumentId, UserId};
+
+    fn key(i: u64) -> EntryKey {
+        (DocumentId(i), UserId(1))
+    }
+
+    #[test]
+    fn evicts_in_insertion_order() {
+        let mut fifo = Fifo::new();
+        fifo.on_insert(key(1), 1, 1.0);
+        fifo.on_insert(key(2), 1, 1.0);
+        fifo.on_hit(key(1)); // hits do not matter
+        assert_eq!(fifo.evict(), Some(key(1)));
+        assert_eq!(fifo.evict(), Some(key(2)));
+        assert_eq!(fifo.evict(), None);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_original_position() {
+        let mut fifo = Fifo::new();
+        fifo.on_insert(key(1), 1, 1.0);
+        fifo.on_insert(key(2), 1, 1.0);
+        fifo.on_insert(key(1), 1, 1.0);
+        assert_eq!(fifo.evict(), Some(key(1)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Greedy-Dual-Size [Cao & Irani 1997].
+//!
+//! Every resident entry carries a credit `H = L + cost / size`, where `L` is
+//! the policy's inflation value. Eviction removes the entry with the lowest
+//! `H` and raises `L` to that value, so recently accessed and
+//! expensive-to-reproduce documents survive. With `cost ≡ 1` this degrades
+//! to GD(1), the cost-blind variant used as an ablation baseline.
+//!
+//! Implementation: a binary heap with lazy deletion (each key has a
+//! generation; stale heap nodes are skipped on pop), giving `O(log n)`
+//! inserts/hits and amortized `O(log n)` evictions.
+
+use super::{EntryKey, ReplacementPolicy};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// An `f64` with total ordering for use in the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Tracked {
+    size: u64,
+    cost: f64,
+    generation: u64,
+}
+
+/// The Greedy-Dual-Size replacement policy.
+pub struct GreedyDualSize {
+    entries: HashMap<EntryKey, Tracked>,
+    heap: BinaryHeap<Reverse<(OrdF64, u64, EntryKey)>>,
+    inflation: f64,
+    next_generation: u64,
+    cost_blind: bool,
+}
+
+impl GreedyDualSize {
+    /// Creates a cost-aware GDS policy.
+    pub fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            heap: BinaryHeap::new(),
+            inflation: 0.0,
+            next_generation: 0,
+            cost_blind: false,
+        }
+    }
+
+    /// Creates GD(1): every entry costs 1, isolating the size/recency terms.
+    pub fn cost_blind() -> Self {
+        Self {
+            cost_blind: true,
+            ..Self::new()
+        }
+    }
+
+    /// Returns the current inflation value `L`.
+    pub fn inflation(&self) -> f64 {
+        self.inflation
+    }
+
+    fn credit(&self, size: u64, cost: f64) -> f64 {
+        let cost = if self.cost_blind { 1.0 } else { cost };
+        self.inflation + cost / size.max(1) as f64
+    }
+
+    fn push(&mut self, key: EntryKey, size: u64, cost: f64) {
+        let h = self.credit(size, cost);
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.entries.insert(
+            key,
+            Tracked {
+                size,
+                cost,
+                generation,
+            },
+        );
+        self.heap.push(Reverse((OrdF64(h), generation, key)));
+    }
+}
+
+impl Default for GreedyDualSize {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplacementPolicy for GreedyDualSize {
+    fn name(&self) -> &'static str {
+        if self.cost_blind {
+            "gd1"
+        } else {
+            "gds"
+        }
+    }
+
+    fn on_insert(&mut self, key: EntryKey, size: u64, cost: f64) {
+        self.push(key, size, cost);
+    }
+
+    fn on_hit(&mut self, key: EntryKey) {
+        // Restore the entry's credit to its full L + cost/size.
+        if let Some(t) = self.entries.get(&key) {
+            let (size, cost) = (t.size, t.cost);
+            self.push(key, size, cost);
+        }
+    }
+
+    fn on_remove(&mut self, key: EntryKey) {
+        self.entries.remove(&key);
+    }
+
+    fn evict(&mut self) -> Option<EntryKey> {
+        while let Some(Reverse((OrdF64(h), generation, key))) = self.heap.pop() {
+            match self.entries.get(&key) {
+                Some(t) if t.generation == generation => {
+                    self.entries.remove(&key);
+                    // Inflate L to the evicted credit; future entries start
+                    // from here, which is what ages out stale residents.
+                    self.inflation = self.inflation.max(h);
+                    return Some(key);
+                }
+                // Stale heap node (entry re-pushed or removed): skip.
+                _ => continue,
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::id::{DocumentId, UserId};
+
+    fn key(i: u64) -> EntryKey {
+        (DocumentId(i), UserId(1))
+    }
+
+    #[test]
+    fn evicts_lowest_credit_first() {
+        let mut gds = GreedyDualSize::new();
+        gds.on_insert(key(1), 100, 1_000.0); // H = 10
+        gds.on_insert(key(2), 100, 100.0); // H = 1
+        gds.on_insert(key(3), 100, 500.0); // H = 5
+        assert_eq!(gds.evict(), Some(key(2)));
+        assert_eq!(gds.evict(), Some(key(3)));
+        assert_eq!(gds.evict(), Some(key(1)));
+        assert_eq!(gds.evict(), None);
+    }
+
+    #[test]
+    fn size_divides_cost() {
+        let mut gds = GreedyDualSize::new();
+        gds.on_insert(key(1), 10, 100.0); // H = 10: small and pricey
+        gds.on_insert(key(2), 1_000, 100.0); // H = 0.1: big
+        assert_eq!(gds.evict(), Some(key(2)), "big documents go first");
+    }
+
+    #[test]
+    fn hit_refreshes_credit() {
+        let mut gds = GreedyDualSize::new();
+        gds.on_insert(key(1), 100, 100.0);
+        gds.on_insert(key(2), 100, 100.0);
+        // Evicting key(1) raises L to 1.0.
+        assert_eq!(gds.evict(), Some(key(1)));
+        assert_eq!(gds.inflation(), 1.0);
+        // Insert a new entry; its credit is L + 1 = 2.
+        gds.on_insert(key(3), 100, 100.0);
+        // key(2) still has its old credit 1.0 and goes first...
+        // unless it is hit, which refreshes it to L + 1 = 2.
+        gds.on_hit(key(2));
+        gds.on_insert(key(4), 1_000_000, 1.0); // essentially L
+        assert_eq!(gds.evict(), Some(key(4)));
+    }
+
+    #[test]
+    fn inflation_is_monotone() {
+        let mut gds = GreedyDualSize::new();
+        for i in 0..10 {
+            gds.on_insert(key(i), 10, (i * 100) as f64 + 10.0);
+        }
+        let mut last = 0.0;
+        while gds.evict().is_some() {
+            assert!(gds.inflation() >= last);
+            last = gds.inflation();
+        }
+    }
+
+    #[test]
+    fn cost_blind_ignores_cost() {
+        let mut gd1 = GreedyDualSize::cost_blind();
+        gd1.on_insert(key(1), 100, 1_000_000.0);
+        gd1.on_insert(key(2), 10, 1.0);
+        // Cost is ignored; only size matters: 1/100 < 1/10.
+        assert_eq!(gd1.evict(), Some(key(1)));
+        assert_eq!(gd1.name(), "gd1");
+    }
+
+    #[test]
+    fn remove_then_evict_skips_stale_nodes() {
+        let mut gds = GreedyDualSize::new();
+        gds.on_insert(key(1), 100, 1.0);
+        gds.on_insert(key(2), 100, 2.0);
+        gds.on_remove(key(1));
+        assert_eq!(gds.evict(), Some(key(2)));
+        assert_eq!(gds.evict(), None);
+        assert!(gds.is_empty());
+    }
+
+    #[test]
+    fn reinsert_updates_metadata() {
+        let mut gds = GreedyDualSize::new();
+        gds.on_insert(key(1), 100, 1.0);
+        gds.on_insert(key(2), 100, 50.0);
+        // Re-insert key(1) with a much higher cost.
+        gds.on_insert(key(1), 100, 10_000.0);
+        assert_eq!(gds.len(), 2);
+        assert_eq!(gds.evict(), Some(key(2)), "refreshed entry survives");
+    }
+
+    #[test]
+    fn zero_size_does_not_divide_by_zero() {
+        let mut gds = GreedyDualSize::new();
+        gds.on_insert(key(1), 0, 100.0);
+        assert_eq!(gds.evict(), Some(key(1)));
+    }
+}

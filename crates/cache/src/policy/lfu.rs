@@ -1,0 +1,88 @@
+//! Least-frequently-used replacement.
+
+use super::{EntryKey, ReplacementPolicy};
+use std::collections::HashMap;
+
+/// LFU with an LRU tiebreak among equal frequencies.
+#[derive(Default)]
+pub struct Lfu {
+    counts: HashMap<EntryKey, (u64, u64)>,
+    tick: u64,
+}
+
+impl Lfu {
+    /// Creates an empty LFU tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for Lfu {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn on_insert(&mut self, key: EntryKey, _size: u64, _cost: f64) {
+        self.tick += 1;
+        self.counts.insert(key, (1, self.tick));
+    }
+
+    fn on_hit(&mut self, key: EntryKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((count, stamp)) = self.counts.get_mut(&key) {
+            *count += 1;
+            *stamp = tick;
+        }
+    }
+
+    fn on_remove(&mut self, key: EntryKey) {
+        self.counts.remove(&key);
+    }
+
+    fn evict(&mut self) -> Option<EntryKey> {
+        let victim = self
+            .counts
+            .iter()
+            .min_by_key(|(_, &(count, stamp))| (count, stamp))
+            .map(|(&k, _)| k)?;
+        self.counts.remove(&victim);
+        Some(victim)
+    }
+
+    fn len(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::id::{DocumentId, UserId};
+
+    fn key(i: u64) -> EntryKey {
+        (DocumentId(i), UserId(1))
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(key(1), 1, 1.0);
+        lfu.on_insert(key(2), 1, 1.0);
+        lfu.on_hit(key(1));
+        lfu.on_hit(key(1));
+        lfu.on_hit(key(2));
+        assert_eq!(lfu.evict(), Some(key(2)));
+        assert_eq!(lfu.evict(), Some(key(1)));
+    }
+
+    #[test]
+    fn ties_break_by_recency() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(key(1), 1, 1.0);
+        lfu.on_insert(key(2), 1, 1.0);
+        lfu.on_hit(key(1));
+        lfu.on_hit(key(2)); // both at count 2; key(1) older
+        assert_eq!(lfu.evict(), Some(key(1)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Least-recently-used replacement.
+
+use super::{EntryKey, ReplacementPolicy};
+use std::collections::HashMap;
+
+/// Classic LRU, tracked with a logical access clock.
+#[derive(Default)]
+pub struct Lru {
+    stamps: HashMap<EntryKey, u64>,
+    tick: u64,
+}
+
+impl Lru {
+    /// Creates an empty LRU tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, key: EntryKey) {
+        self.tick += 1;
+        self.stamps.insert(key, self.tick);
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn on_insert(&mut self, key: EntryKey, _size: u64, _cost: f64) {
+        self.touch(key);
+    }
+
+    fn on_hit(&mut self, key: EntryKey) {
+        // Hits on untracked keys are ignored; only inserts admit keys.
+        if self.stamps.contains_key(&key) {
+            self.touch(key);
+        }
+    }
+
+    fn on_remove(&mut self, key: EntryKey) {
+        self.stamps.remove(&key);
+    }
+
+    fn evict(&mut self) -> Option<EntryKey> {
+        let victim = self
+            .stamps
+            .iter()
+            .min_by_key(|(_, &stamp)| stamp)
+            .map(|(&k, _)| k)?;
+        self.stamps.remove(&victim);
+        Some(victim)
+    }
+
+    fn len(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::id::{DocumentId, UserId};
+
+    fn key(i: u64) -> EntryKey {
+        (DocumentId(i), UserId(1))
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new();
+        lru.on_insert(key(1), 1, 1.0);
+        lru.on_insert(key(2), 1, 1.0);
+        lru.on_insert(key(3), 1, 1.0);
+        lru.on_hit(key(1));
+        assert_eq!(lru.evict(), Some(key(2)));
+        assert_eq!(lru.evict(), Some(key(3)));
+        assert_eq!(lru.evict(), Some(key(1)));
+    }
+
+    #[test]
+    fn hit_order_matters_not_insert_order() {
+        let mut lru = Lru::new();
+        lru.on_insert(key(1), 1, 1.0);
+        lru.on_insert(key(2), 1, 1.0);
+        lru.on_hit(key(1));
+        lru.on_hit(key(2));
+        lru.on_hit(key(1));
+        assert_eq!(lru.evict(), Some(key(2)));
+    }
+}

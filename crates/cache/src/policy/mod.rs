@@ -1,0 +1,134 @@
+//! Cache replacement policies.
+//!
+//! The prototype's policy is "a version of the Greedy-Dual-Size algorithm
+//! [Cao & Irani 1997], based on the replacement cost supplied by the
+//! properties and bit-provider, as well as on the size of the document and
+//! the access frequency of the document at that cache" — implemented here
+//! as [`gdsf::GdsFrequency`] (the full cost+size+frequency form) and
+//! [`gds::GreedyDualSize`] (the frequency-free original). The classic
+//! baselines (LRU, LFU, SIZE, FIFO, and cost-blind GD(1)) let the
+//! replacement benchmark show what cost-awareness buys.
+
+pub mod fifo;
+pub mod gds;
+pub mod gdsf;
+pub mod lfu;
+pub mod lru;
+pub mod size;
+
+pub use fifo::Fifo;
+pub use gds::GreedyDualSize;
+pub use gdsf::GdsFrequency;
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use size::SizePolicy;
+
+use placeless_core::id::{DocumentId, UserId};
+
+/// The key a cache entry is stored under: one per `(document, user)` pair,
+/// because active properties make content per-user.
+pub type EntryKey = (DocumentId, UserId);
+
+/// A replacement policy tracks entry metadata and chooses eviction victims.
+///
+/// The cache manager drives it: `on_insert` when an entry is filled,
+/// `on_hit` on every hit, `on_remove` when an entry is invalidated, and
+/// `evict` when space must be reclaimed.
+pub trait ReplacementPolicy: Send {
+    /// Returns the policy's display name.
+    fn name(&self) -> &'static str;
+
+    /// Records a newly inserted entry with its byte size and replacement
+    /// cost (simulated microseconds to re-produce the content).
+    fn on_insert(&mut self, key: EntryKey, size: u64, cost: f64);
+
+    /// Records a hit on an existing entry.
+    fn on_hit(&mut self, key: EntryKey);
+
+    /// Records that an entry left the cache for a non-eviction reason
+    /// (invalidation).
+    fn on_remove(&mut self, key: EntryKey);
+
+    /// Chooses and removes a victim, or `None` if the policy is empty.
+    fn evict(&mut self) -> Option<EntryKey>;
+
+    /// Returns the number of tracked entries.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no entries are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds a policy by name; the bench harness sweeps these.
+pub fn by_name(name: &str) -> Option<Box<dyn ReplacementPolicy>> {
+    match name {
+        "gds" => Some(Box::new(GreedyDualSize::new())),
+        "gdsf" => Some(Box::new(GdsFrequency::new())),
+        "gd1" => Some(Box::new(GreedyDualSize::cost_blind())),
+        "lru" => Some(Box::new(Lru::new())),
+        "lfu" => Some(Box::new(Lfu::new())),
+        "size" => Some(Box::new(SizePolicy::new())),
+        "fifo" => Some(Box::new(Fifo::new())),
+        _ => None,
+    }
+}
+
+/// All policy names, for sweeps.
+pub const ALL_POLICIES: [&str; 7] = ["gdsf", "gds", "gd1", "lru", "lfu", "size", "fifo"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_knows_all_policies() {
+        for name in ALL_POLICIES {
+            let policy = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(policy.is_empty());
+        }
+        assert!(by_name("random").is_none());
+    }
+
+    /// Every policy must satisfy the basic contract: inserts are tracked,
+    /// evictions drain exactly the tracked keys, removals are honored.
+    #[test]
+    fn contract_insert_evict_drains() {
+        for name in ALL_POLICIES {
+            let mut policy = by_name(name).unwrap();
+            let keys: Vec<EntryKey> = (0..5)
+                .map(|i| (DocumentId(i), UserId(1)))
+                .collect();
+            for (i, &k) in keys.iter().enumerate() {
+                policy.on_insert(k, 100 + i as u64, 1_000.0);
+            }
+            assert_eq!(policy.len(), 5, "{name}");
+            let mut evicted = Vec::new();
+            while let Some(victim) = policy.evict() {
+                evicted.push(victim);
+            }
+            assert_eq!(evicted.len(), 5, "{name}");
+            let mut sorted = evicted.clone();
+            sorted.sort();
+            let mut expected = keys.clone();
+            expected.sort();
+            assert_eq!(sorted, expected, "{name} must evict exactly what it tracks");
+        }
+    }
+
+    #[test]
+    fn contract_remove_prevents_eviction() {
+        for name in ALL_POLICIES {
+            let mut policy = by_name(name).unwrap();
+            let a = (DocumentId(1), UserId(1));
+            let b = (DocumentId(2), UserId(1));
+            policy.on_insert(a, 10, 1.0);
+            policy.on_insert(b, 10, 1.0);
+            policy.on_remove(a);
+            assert_eq!(policy.len(), 1, "{name}");
+            assert_eq!(policy.evict(), Some(b), "{name}");
+            assert_eq!(policy.evict(), None, "{name}");
+        }
+    }
+}

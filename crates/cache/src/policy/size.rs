@@ -1,0 +1,80 @@
+//! SIZE replacement: evict the largest entry first.
+
+use super::{EntryKey, ReplacementPolicy};
+use std::collections::HashMap;
+
+/// Evicts the largest resident entry, the classic proxy-cache heuristic
+/// that maximizes object hit rate by keeping many small documents.
+#[derive(Default)]
+pub struct SizePolicy {
+    sizes: HashMap<EntryKey, (u64, u64)>,
+    tick: u64,
+}
+
+impl SizePolicy {
+    /// Creates an empty SIZE tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for SizePolicy {
+    fn name(&self) -> &'static str {
+        "size"
+    }
+
+    fn on_insert(&mut self, key: EntryKey, size: u64, _cost: f64) {
+        self.tick += 1;
+        self.sizes.insert(key, (size, self.tick));
+    }
+
+    fn on_hit(&mut self, _key: EntryKey) {}
+
+    fn on_remove(&mut self, key: EntryKey) {
+        self.sizes.remove(&key);
+    }
+
+    fn evict(&mut self) -> Option<EntryKey> {
+        // Largest first; FIFO tiebreak (older first) among equals.
+        let victim = self
+            .sizes
+            .iter()
+            .max_by_key(|(_, &(size, stamp))| (size, std::cmp::Reverse(stamp)))
+            .map(|(&k, _)| k)?;
+        self.sizes.remove(&victim);
+        Some(victim)
+    }
+
+    fn len(&self) -> usize {
+        self.sizes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::id::{DocumentId, UserId};
+
+    fn key(i: u64) -> EntryKey {
+        (DocumentId(i), UserId(1))
+    }
+
+    #[test]
+    fn evicts_largest_first() {
+        let mut policy = SizePolicy::new();
+        policy.on_insert(key(1), 10, 1.0);
+        policy.on_insert(key(2), 1_000, 1.0);
+        policy.on_insert(key(3), 100, 1.0);
+        assert_eq!(policy.evict(), Some(key(2)));
+        assert_eq!(policy.evict(), Some(key(3)));
+        assert_eq!(policy.evict(), Some(key(1)));
+    }
+
+    #[test]
+    fn equal_sizes_evict_oldest_first() {
+        let mut policy = SizePolicy::new();
+        policy.on_insert(key(1), 10, 1.0);
+        policy.on_insert(key(2), 10, 1.0);
+        assert_eq!(policy.evict(), Some(key(1)));
+    }
+}

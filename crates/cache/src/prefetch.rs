@@ -1,0 +1,58 @@
+//! Collection prefetching.
+//!
+//! §5's "mechanisms that tailor caching for related documents (e.g.,
+//! contained in a collection)": when a read misses on a document that
+//! belongs to a collection, the cache can pull the sibling documents in the
+//! same pass, so browsing a collection pays one cold start instead of one
+//! per member. [`PrefetchConfig`] bounds how many siblings a single miss
+//! may drag in.
+
+/// How the cache handles collection siblings on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Whether collection prefetch is enabled.
+    pub enabled: bool,
+    /// Maximum sibling documents fetched per triggering miss.
+    pub max_per_miss: usize,
+}
+
+impl PrefetchConfig {
+    /// Prefetch disabled.
+    pub const OFF: PrefetchConfig = PrefetchConfig {
+        enabled: false,
+        max_per_miss: 0,
+    };
+
+    /// Prefetch up to `max_per_miss` siblings per miss.
+    pub fn up_to(max_per_miss: usize) -> Self {
+        Self {
+            enabled: max_per_miss > 0,
+            max_per_miss,
+        }
+    }
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self::OFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_disabled() {
+        let off = PrefetchConfig::OFF;
+        assert!(!off.enabled);
+        assert_eq!(PrefetchConfig::default(), off);
+    }
+
+    #[test]
+    fn up_to_zero_is_disabled() {
+        assert!(!PrefetchConfig::up_to(0).enabled);
+        assert!(PrefetchConfig::up_to(4).enabled);
+        assert_eq!(PrefetchConfig::up_to(4).max_per_miss, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Cache statistics.
+//!
+//! Everything the benchmark harness reports comes from here: hit/miss
+//! counts, invalidation causes (notifier vs verifier — the central §5
+//! trade-off), latency sums over the virtual clock, and sharing/eviction
+//! bookkeeping.
+
+/// Counters accumulated by a [`crate::manager::DocumentCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Reads served from the cache (verifiers passed).
+    pub hits: u64,
+    /// Reads that went to the middleware.
+    pub misses: u64,
+    /// Reads of uncacheable content (always forwarded, never stored).
+    pub uncacheable_reads: u64,
+    /// Entries dropped because a notifier invalidated them.
+    pub notifier_invalidations: u64,
+    /// Hits rejected because a verifier said the entry was stale.
+    pub verifier_invalidations: u64,
+    /// Entries whose content a verifier replaced in place.
+    pub verifier_replacements: u64,
+    /// Entries evicted by the replacement policy.
+    pub evictions: u64,
+    /// Fills that found identical bytes already resident (shared).
+    pub shared_fills: u64,
+    /// Operation events forwarded for `CacheableWithEvents` entries.
+    pub events_forwarded: u64,
+    /// Total simulated microseconds spent serving hits.
+    pub hit_micros: u64,
+    /// Total simulated microseconds spent serving misses.
+    pub miss_micros: u64,
+    /// Total simulated microseconds spent running verifiers.
+    pub verify_micros: u64,
+    /// Writes accepted (through or back).
+    pub writes: u64,
+    /// Write-back flushes pushed to the middleware.
+    pub flushes: u64,
+    /// Entries filled by collection prefetch rather than demand misses.
+    pub prefetches: u64,
+    /// Hits served from prefetched entries.
+    pub prefetch_hits: u64,
+    /// Fills pinned by a QoS property.
+    pub pinned_fills: u64,
+}
+
+impl CacheStats {
+    /// Returns the hit rate over cacheable reads, or `None` before any
+    /// read.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+
+    /// Returns the mean hit latency in milliseconds, or `None` without
+    /// hits.
+    pub fn mean_hit_ms(&self) -> Option<f64> {
+        if self.hits == 0 {
+            None
+        } else {
+            Some(self.hit_micros as f64 / self.hits as f64 / 1_000.0)
+        }
+    }
+
+    /// Returns the mean miss latency in milliseconds, or `None` without
+    /// misses.
+    pub fn mean_miss_ms(&self) -> Option<f64> {
+        if self.misses == 0 {
+            None
+        } else {
+            Some(self.miss_micros as f64 / self.misses as f64 / 1_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_none_before_traffic() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), None);
+        assert_eq!(stats.mean_hit_ms(), None);
+        assert_eq!(stats.mean_miss_ms(), None);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            hit_micros: 6_000,
+            miss_micros: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(stats.hit_rate(), Some(0.75));
+        assert_eq!(stats.mean_hit_ms(), Some(2.0));
+        assert_eq!(stats.mean_miss_ms(), Some(10.0));
+    }
+}

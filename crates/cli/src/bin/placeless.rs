@@ -1,0 +1,39 @@
+//! The interactive Placeless shell.
+//!
+//! ```text
+//! cargo run -p placeless-cli --bin placeless
+//! ```
+//!
+//! Reads commands from stdin (one per line; also works non-interactively:
+//! `echo "help" | placeless`).
+
+use placeless_cli::Shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let mut shell = Shell::new();
+    println!("placeless shell — `help` for commands, `quit` to leave");
+    loop {
+        print!("placeless> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let output = shell.execute(&line);
+                if !output.is_empty() {
+                    println!("{output}");
+                }
+                if shell.is_done() {
+                    break;
+                }
+            }
+            Err(err) => {
+                eprintln!("stdin error: {err}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The shell engine: a live space + repositories + cache behind a
+//! `line in → text out` interface.
+
+use crate::parser::{parse_line, Command};
+use placeless_cache::{CacheConfig, DocumentCache, PrefetchConfig};
+use placeless_core::error::{PlacelessError, Result};
+use placeless_core::id::{DocumentId, UserId};
+use placeless_core::content::{Params, PropertyValue};
+use placeless_core::space::{DocumentSpace, Scope};
+use placeless_properties::{register_standard, ContentWriteNotifier, PropertyChangeNotifier};
+use placeless_proplang::{register_proplang, ExtEnv};
+use placeless_repository::{FsProvider, MemFs, WebProvider, WebServer};
+use placeless_simenv::{Link, LinkClass, VirtualClock};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const HELP: &str = "\
+commands:
+  new fs|web <path> <content...>   create a document over a repository
+  ls                               list documents
+  read <doc>                       read through the cache
+  read! <doc>                      read straight through the middleware
+  write <doc> <content...>         write (write-through cache)
+  oob <path> <content...>          edit the repository behind Placeless's back
+  attach universal|personal <doc> <kind> [param=value...]
+  detach universal|personal <doc> <prop-id>
+  describe <doc>                   show provider, properties, collections
+  collect <name> <doc>             add a document to a collection
+  su <user> / adduser <user> <doc> switch user / grant a reference
+  stats / tick / clock             cache stats / timer event / virtual time
+  help / quit
+registered property kinds: spell-corrector translate summarize rot13-at-rest
+  compress-at-rest watermark uncacheable ttl qos notify-on-write
+  notify-on-property-change proplang (source=\"...\")";
+
+/// The interactive shell state.
+pub struct Shell {
+    space: Arc<DocumentSpace>,
+    cache: Arc<DocumentCache>,
+    fs: Arc<MemFs>,
+    web: Arc<WebServer>,
+    clock: VirtualClock,
+    user: UserId,
+    paths: BTreeMap<String, DocumentId>,
+    done: bool,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Shell {
+    /// Creates a shell over a fresh space with one user, a file system, a
+    /// web origin, and a default cache with prefetch enabled.
+    pub fn new() -> Self {
+        let clock = VirtualClock::new();
+        let space = DocumentSpace::new(clock.clone());
+        register_standard(space.registry());
+        register_proplang(space.registry(), ExtEnv::new());
+        let cache = DocumentCache::new(
+            space.clone(),
+            CacheConfig {
+                prefetch: PrefetchConfig::up_to(4),
+                ..CacheConfig::default()
+            },
+        );
+        Self {
+            fs: MemFs::new(clock.clone()),
+            web: WebServer::new("parcweb"),
+            clock,
+            space,
+            cache,
+            user: UserId(1),
+            paths: BTreeMap::new(),
+            done: false,
+        }
+    }
+
+    /// Returns `true` once `quit` has been issued.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Executes one line, returning the text to show.
+    pub fn execute(&mut self, line: &str) -> String {
+        match parse_line(line).and_then(|cmd| self.run(cmd)) {
+            Ok(output) => output,
+            Err(err) => format!("error: {err}"),
+        }
+    }
+
+    fn resolve(&self, token: &str) -> Result<DocumentId> {
+        let raw = token.strip_prefix("doc-").unwrap_or(token);
+        let id = raw
+            .parse::<u64>()
+            .map_err(|_| PlacelessError::BadPropertyParams(format!("bad document `{token}`")))?;
+        let doc = DocumentId(id);
+        if self.space.documents().contains(&doc) {
+            Ok(doc)
+        } else {
+            Err(PlacelessError::NoSuchDocument(doc))
+        }
+    }
+
+    fn scope(&self, word: &str) -> Result<Scope> {
+        match word {
+            "universal" | "u" => Ok(Scope::Universal),
+            "personal" | "p" => Ok(Scope::Personal(self.user)),
+            other => Err(PlacelessError::BadPropertyParams(format!(
+                "scope must be universal|personal, got `{other}`"
+            ))),
+        }
+    }
+
+    fn run(&mut self, cmd: Command) -> Result<String> {
+        match cmd {
+            Command::Nothing => Ok(String::new()),
+            Command::Help => Ok(HELP.to_owned()),
+            Command::Quit => {
+                self.done = true;
+                Ok("bye".to_owned())
+            }
+            Command::New { repo, path, content } => {
+                let provider: Arc<dyn placeless_core::bitprovider::BitProvider> =
+                    match repo.as_str() {
+                        "fs" => {
+                            self.fs.create(&path, content);
+                            FsProvider::new(
+                                self.fs.clone(),
+                                &path,
+                                Link::of_class(LinkClass::Lan, 1),
+                            )
+                        }
+                        "web" => {
+                            self.web.publish(&path, content, 60_000_000);
+                            WebProvider::new(
+                                self.web.clone(),
+                                &path,
+                                Link::of_class(LinkClass::Wan, 2),
+                            )
+                        }
+                        other => {
+                            return Err(PlacelessError::BadPropertyParams(format!(
+                                "repo must be fs|web, got `{other}`"
+                            )))
+                        }
+                    };
+                let describe = provider.describe();
+                let doc = self.space.create_document(self.user, provider);
+                // Sensible defaults: the standard notifiers.
+                self.space
+                    .attach_active(Scope::Universal, doc, ContentWriteNotifier::any())?;
+                self.space
+                    .attach_active(Scope::Universal, doc, PropertyChangeNotifier::any())?;
+                self.paths.insert(path, doc);
+                Ok(format!("{doc} created over {describe}"))
+            }
+            Command::List => {
+                let mut out = String::new();
+                for doc in self.space.documents() {
+                    let path = self
+                        .paths
+                        .iter()
+                        .find(|(_, &d)| d == doc)
+                        .map(|(p, _)| p.as_str())
+                        .unwrap_or("?");
+                    let users = self.space.users_of(doc).len();
+                    let _ = writeln!(out, "{doc}  {path}  ({users} user(s))");
+                }
+                if out.is_empty() {
+                    out.push_str("no documents; try `new fs /a.txt hello`");
+                }
+                Ok(out.trim_end().to_owned())
+            }
+            Command::SwitchUser(user) => {
+                self.user = UserId(user);
+                Ok(format!("now acting as {}", self.user))
+            }
+            Command::AddReference(user, doc) => {
+                let doc = self.resolve(&doc)?;
+                self.space.add_reference(UserId(user), doc)?;
+                Ok(format!("user-{user} now holds a reference to {doc}"))
+            }
+            Command::Read(doc) => {
+                let doc = self.resolve(&doc)?;
+                let t0 = self.clock.now();
+                let bytes = self.cache.read(self.user, doc)?;
+                let took = self.clock.now().since(t0);
+                Ok(format!(
+                    "{} ({:.2} ms)",
+                    String::from_utf8_lossy(&bytes),
+                    took as f64 / 1_000.0
+                ))
+            }
+            Command::ReadDirect(doc) => {
+                let doc = self.resolve(&doc)?;
+                let t0 = self.clock.now();
+                let (bytes, report) = self.space.read_document(self.user, doc)?;
+                let took = self.clock.now().since(t0);
+                Ok(format!(
+                    "{} ({:.2} ms, {:?}, cost {:.0}µs, {} verifier(s))",
+                    String::from_utf8_lossy(&bytes),
+                    took as f64 / 1_000.0,
+                    report.cacheability,
+                    report.cost.effective_micros(),
+                    report.verifiers.len()
+                ))
+            }
+            Command::Write(doc, content) => {
+                let doc = self.resolve(&doc)?;
+                self.cache.write(self.user, doc, content.as_bytes())?;
+                Ok(format!("wrote {} bytes to {doc}", content.len()))
+            }
+            Command::OutOfBand(path, content) => {
+                if self.fs.exists(&path) {
+                    self.fs.write_direct(&path, content)?;
+                    Ok(format!("edited {path} behind Placeless's back"))
+                } else {
+                    self.web.edit_origin(&path, content)?;
+                    Ok(format!("edited {path} at the origin"))
+                }
+            }
+            Command::Attach {
+                scope,
+                doc,
+                kind,
+                params,
+            } => {
+                let scope = self.scope(&scope)?;
+                let doc = self.resolve(&doc)?;
+                let mut map = Params::new();
+                for word in &params {
+                    let (name, value) = word.split_once('=').ok_or_else(|| {
+                        PlacelessError::BadPropertyParams(format!(
+                            "expected param=value, got `{word}`"
+                        ))
+                    })?;
+                    map.set(name, typed_value(value));
+                }
+                let id = self.space.attach_by_name(scope, doc, &kind, &map)?;
+                Ok(format!("attached {id}"))
+            }
+            Command::Detach { scope, doc, prop } => {
+                let scope = self.scope(&scope)?;
+                let doc = self.resolve(&doc)?;
+                self.space
+                    .remove_property(scope, doc, placeless_core::id::PropertyId(prop))?;
+                Ok(format!("removed prop-{prop}"))
+            }
+            Command::Describe(doc) => {
+                let doc = self.resolve(&doc)?;
+                Ok(self.space.describe(self.user, doc)?.to_string().trim_end().to_owned())
+            }
+            Command::Collect(name, doc) => {
+                let doc = self.resolve(&doc)?;
+                self.space.add_to_collection(&name, doc)?;
+                Ok(format!(
+                    "{doc} added to `{name}` ({} member(s))",
+                    self.space.collection_members(&name).len()
+                ))
+            }
+            Command::Stats => {
+                let s = self.cache.stats();
+                let (physical, logical) = self.cache.resident_bytes();
+                Ok(format!(
+                    "hits {} | misses {} | hit rate {} | evictions {}\n\
+                     invalidations: notifier {} / verifier {} | replaced in place {}\n\
+                     resident: {} B physical, {} B logical | prefetches {}",
+                    s.hits,
+                    s.misses,
+                    s.hit_rate()
+                        .map(|r| format!("{:.1}%", r * 100.0))
+                        .unwrap_or_else(|| "n/a".to_owned()),
+                    s.evictions,
+                    s.notifier_invalidations,
+                    s.verifier_invalidations,
+                    s.verifier_replacements,
+                    physical,
+                    logical,
+                    s.prefetches
+                ))
+            }
+            Command::Tick => {
+                self.space.timer_tick()?;
+                Ok("tick".to_owned())
+            }
+            Command::Clock => Ok(format!(
+                "virtual time: {:.3} s",
+                self.clock.now().as_micros() as f64 / 1e6
+            )),
+        }
+    }
+}
+
+/// Types a raw shell value: integers and floats and booleans parse to
+/// their kinds, everything else stays a string.
+fn typed_value(raw: &str) -> PropertyValue {
+    if let Ok(i) = raw.parse::<i64>() {
+        return PropertyValue::Int(i);
+    }
+    if let Ok(x) = raw.parse::<f64>() {
+        return PropertyValue::Float(x);
+    }
+    match raw {
+        "true" => PropertyValue::Bool(true),
+        "false" => PropertyValue::Bool(false),
+        other => PropertyValue::Str(other.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(shell: &mut Shell, line: &str) -> String {
+        shell.execute(line)
+    }
+
+    #[test]
+    fn create_read_write_session() {
+        let mut shell = Shell::new();
+        let out = run(&mut shell, "new fs /notes.txt hello placeless world");
+        assert!(out.contains("doc-0 created over fs:/notes.txt"), "{out}");
+        assert!(run(&mut shell, "read doc-0").starts_with("hello placeless world"));
+        run(&mut shell, "write doc-0 updated text");
+        assert!(run(&mut shell, "read doc-0").starts_with("updated text"));
+    }
+
+    #[test]
+    fn attach_transforms_the_view() {
+        let mut shell = Shell::new();
+        run(&mut shell, "new fs /d.txt hello world");
+        let out = run(&mut shell, "attach personal doc-0 translate language=\"fr\"");
+        assert!(out.starts_with("attached prop-"), "{out}");
+        assert!(run(&mut shell, "read doc-0").starts_with("bonjour monde"));
+        // Another user sees the original.
+        run(&mut shell, "adduser 2 doc-0");
+        run(&mut shell, "su 2");
+        assert!(run(&mut shell, "read doc-0").starts_with("hello world"));
+    }
+
+    #[test]
+    fn proplang_attaches_from_the_shell() {
+        let mut shell = Shell::new();
+        run(&mut shell, "new fs /d.txt abc");
+        let out = run(
+            &mut shell,
+            r#"attach personal doc-0 proplang source="upper | append(\"!\")""#,
+        );
+        assert!(out.starts_with("attached"), "{out}");
+        assert!(run(&mut shell, "read doc-0").starts_with("ABC!"));
+    }
+
+    #[test]
+    fn oob_edit_is_caught_by_the_verifier() {
+        let mut shell = Shell::new();
+        run(&mut shell, "new fs /d.txt version one");
+        run(&mut shell, "read doc-0");
+        run(&mut shell, "oob /d.txt version two");
+        assert!(run(&mut shell, "read doc-0").starts_with("version two"));
+        assert!(run(&mut shell, "stats").contains("verifier 1"));
+    }
+
+    #[test]
+    fn describe_and_collections() {
+        let mut shell = Shell::new();
+        run(&mut shell, "new fs /d.txt x");
+        run(&mut shell, "collect drafts doc-0");
+        let out = run(&mut shell, "describe doc-0");
+        assert!(out.contains("fs:/d.txt"), "{out}");
+        assert!(out.contains("drafts"), "{out}");
+        assert!(out.contains("notify-on-write"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut shell = Shell::new();
+        assert!(run(&mut shell, "read doc-9").starts_with("error:"));
+        assert!(run(&mut shell, "bogus").starts_with("error:"));
+        assert!(run(&mut shell, "attach sideways doc-0 x").starts_with("error:"));
+        // The shell still works.
+        run(&mut shell, "new fs /d.txt ok");
+        assert!(run(&mut shell, "read doc-0").starts_with("ok"));
+    }
+
+    #[test]
+    fn quit_sets_done() {
+        let mut shell = Shell::new();
+        assert!(!shell.is_done());
+        assert_eq!(run(&mut shell, "quit"), "bye");
+        assert!(shell.is_done());
+    }
+
+    #[test]
+    fn detach_restores_the_original_view() {
+        let mut shell = Shell::new();
+        run(&mut shell, "new fs /d.txt hello world");
+        let out = run(&mut shell, "attach personal doc-0 translate language=\"fr\"");
+        let prop = out.trim_start_matches("attached ").to_owned();
+        assert!(run(&mut shell, "read doc-0").starts_with("bonjour"));
+        run(&mut shell, &format!("detach personal doc-0 {prop}"));
+        assert!(run(&mut shell, "read doc-0").starts_with("hello world"));
+    }
+}

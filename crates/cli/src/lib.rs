@@ -1,0 +1,23 @@
+//! # The Placeless shell
+//!
+//! An interactive command engine over a live document space, its
+//! repositories, and an application-level cache — the quickest way to
+//! *feel* the paper's mechanics: attach a translator, watch the cache
+//! invalidate; edit a file out-of-band, watch the verifier catch it.
+//!
+//! The engine ([`Shell`]) is a pure `line in → text out` function so it is
+//! fully testable; `src/bin/placeless.rs` wraps it in a stdin loop.
+//!
+//! ```text
+//! placeless> new fs /notes.txt hello placeless world
+//! doc-0 created over fs:/notes.txt
+//! placeless> attach personal doc-0 translate language="fr"
+//! placeless> read doc-0
+//! bonjour placeless monde
+//! ```
+
+pub mod engine;
+pub mod parser;
+
+pub use engine::Shell;
+pub use parser::{parse_line, Command};

@@ -1,0 +1,291 @@
+//! Command-line parsing for the Placeless shell.
+//!
+//! Lines are split into shell-style words (double quotes group, `\"` and
+//! `\\` escape) and then matched against the command grammar. Parsing is
+//! separated from execution so the grammar is testable without a space.
+
+use placeless_core::error::{PlacelessError, Result};
+
+/// A parsed shell command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `help`
+    Help,
+    /// `quit` / `exit`
+    Quit,
+    /// `new fs|web <path> <content...>` — create a document.
+    New {
+        /// `fs` or `web`.
+        repo: String,
+        /// Repository path.
+        path: String,
+        /// Initial content.
+        content: String,
+    },
+    /// `ls` — list documents.
+    List,
+    /// `su <user>` — switch the acting user.
+    SwitchUser(u64),
+    /// `adduser <user> <doc>` — give a user a reference.
+    AddReference(u64, String),
+    /// `read <doc>` — read through the cache.
+    Read(String),
+    /// `read! <doc>` — read straight through the middleware.
+    ReadDirect(String),
+    /// `write <doc> <content...>` — write through the cache.
+    Write(String, String),
+    /// `oob <path> <content...>` — out-of-band repository edit.
+    OutOfBand(String, String),
+    /// `attach universal|personal <doc> <kind> [param=value...]`.
+    Attach {
+        /// `universal` or `personal`.
+        scope: String,
+        /// Target document token.
+        doc: String,
+        /// Registered kind name.
+        kind: String,
+        /// `param=value` words (values already unquoted by the splitter).
+        params: Vec<String>,
+    },
+    /// `detach universal|personal <doc> <prop-id>`.
+    Detach {
+        /// `universal` or `personal`.
+        scope: String,
+        /// Target document token.
+        doc: String,
+        /// Property id (number).
+        prop: u64,
+    },
+    /// `describe <doc>`.
+    Describe(String),
+    /// `collect <name> <doc>` — add to a collection.
+    Collect(String, String),
+    /// `stats` — cache statistics.
+    Stats,
+    /// `tick` — fire the timer.
+    Tick,
+    /// `clock` — show virtual time.
+    Clock,
+    /// An empty line.
+    Nothing,
+}
+
+/// Splits a line into words, honoring double quotes and escapes.
+pub fn split_words(line: &str) -> Result<Vec<String>> {
+    let mut words = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars();
+    let mut pending = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                pending = true;
+            }
+            '\\' if in_quotes => match chars.next() {
+                Some('"') => current.push('"'),
+                Some('\\') => current.push('\\'),
+                Some('n') => current.push('\n'),
+                other => {
+                    return Err(PlacelessError::BadPropertyParams(format!(
+                        "bad escape {other:?}"
+                    )))
+                }
+            },
+            c if c.is_whitespace() && !in_quotes => {
+                if pending || !current.is_empty() {
+                    words.push(std::mem::take(&mut current));
+                    pending = false;
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(PlacelessError::BadPropertyParams(
+            "unterminated quote".to_owned(),
+        ));
+    }
+    if pending || !current.is_empty() {
+        words.push(current);
+    }
+    Ok(words)
+}
+
+fn bad(message: impl Into<String>) -> PlacelessError {
+    PlacelessError::BadPropertyParams(message.into())
+}
+
+fn parse_user(word: &str) -> Result<u64> {
+    word.strip_prefix("user-")
+        .unwrap_or(word)
+        .parse::<u64>()
+        .map_err(|_| bad(format!("bad user `{word}`")))
+}
+
+/// Parses one input line.
+pub fn parse_line(line: &str) -> Result<Command> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(Command::Nothing);
+    }
+    let words = split_words(trimmed)?;
+    let rest_from = |n: usize| words[n..].join(" ");
+    match words[0].as_str() {
+        "help" | "?" => Ok(Command::Help),
+        "quit" | "exit" => Ok(Command::Quit),
+        "new" => {
+            if words.len() < 4 {
+                return Err(bad("usage: new fs|web <path> <content...>"));
+            }
+            Ok(Command::New {
+                repo: words[1].clone(),
+                path: words[2].clone(),
+                content: rest_from(3),
+            })
+        }
+        "ls" => Ok(Command::List),
+        "su" => {
+            if words.len() != 2 {
+                return Err(bad("usage: su <user>"));
+            }
+            Ok(Command::SwitchUser(parse_user(&words[1])?))
+        }
+        "adduser" => {
+            if words.len() != 3 {
+                return Err(bad("usage: adduser <user> <doc>"));
+            }
+            Ok(Command::AddReference(parse_user(&words[1])?, words[2].clone()))
+        }
+        "read" => {
+            if words.len() != 2 {
+                return Err(bad("usage: read <doc>"));
+            }
+            Ok(Command::Read(words[1].clone()))
+        }
+        "read!" => {
+            if words.len() != 2 {
+                return Err(bad("usage: read! <doc>"));
+            }
+            Ok(Command::ReadDirect(words[1].clone()))
+        }
+        "write" => {
+            if words.len() < 3 {
+                return Err(bad("usage: write <doc> <content...>"));
+            }
+            Ok(Command::Write(words[1].clone(), rest_from(2)))
+        }
+        "oob" => {
+            if words.len() < 3 {
+                return Err(bad("usage: oob <path> <content...>"));
+            }
+            Ok(Command::OutOfBand(words[1].clone(), rest_from(2)))
+        }
+        "attach" => {
+            if words.len() < 4 {
+                return Err(bad(
+                    "usage: attach universal|personal <doc> <kind> [param=value...]",
+                ));
+            }
+            Ok(Command::Attach {
+                scope: words[1].clone(),
+                doc: words[2].clone(),
+                kind: words[3].clone(),
+                params: words[4..].to_vec(),
+            })
+        }
+        "detach" => {
+            if words.len() != 4 {
+                return Err(bad("usage: detach universal|personal <doc> <prop-id>"));
+            }
+            let prop = words[3]
+                .strip_prefix("prop-")
+                .unwrap_or(&words[3])
+                .parse::<u64>()
+                .map_err(|_| bad(format!("bad property id `{}`", words[3])))?;
+            Ok(Command::Detach {
+                scope: words[1].clone(),
+                doc: words[2].clone(),
+                prop,
+            })
+        }
+        "describe" => {
+            if words.len() != 2 {
+                return Err(bad("usage: describe <doc>"));
+            }
+            Ok(Command::Describe(words[1].clone()))
+        }
+        "collect" => {
+            if words.len() != 3 {
+                return Err(bad("usage: collect <name> <doc>"));
+            }
+            Ok(Command::Collect(words[1].clone(), words[2].clone()))
+        }
+        "stats" => Ok(Command::Stats),
+        "tick" => Ok(Command::Tick),
+        "clock" => Ok(Command::Clock),
+        other => Err(bad(format!("unknown command `{other}` (try `help`)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_split_with_quotes_and_escapes() {
+        assert_eq!(
+            split_words(r#"attach personal doc-0 proplang source="upper | append(\"!\")""#)
+                .unwrap(),
+            vec![
+                "attach",
+                "personal",
+                "doc-0",
+                "proplang",
+                r#"source=upper | append("!")"#
+            ]
+        );
+        assert_eq!(split_words("a  b\tc").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split_words(r#"x "" y"#).unwrap(), vec!["x", "", "y"]);
+        assert!(split_words("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_the_grammar() {
+        assert_eq!(parse_line("help").unwrap(), Command::Help);
+        assert_eq!(parse_line("  ").unwrap(), Command::Nothing);
+        assert_eq!(parse_line("# comment").unwrap(), Command::Nothing);
+        assert_eq!(
+            parse_line("new fs /a.txt hello world").unwrap(),
+            Command::New {
+                repo: "fs".into(),
+                path: "/a.txt".into(),
+                content: "hello world".into()
+            }
+        );
+        assert_eq!(parse_line("su 3").unwrap(), Command::SwitchUser(3));
+        assert_eq!(parse_line("su user-3").unwrap(), Command::SwitchUser(3));
+        assert_eq!(
+            parse_line("read doc-0").unwrap(),
+            Command::Read("doc-0".into())
+        );
+        assert_eq!(
+            parse_line("detach personal doc-0 prop-4").unwrap(),
+            Command::Detach {
+                scope: "personal".into(),
+                doc: "doc-0".into(),
+                prop: 4
+            }
+        );
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(parse_line("new fs /only-path").is_err());
+        assert!(parse_line("su").is_err());
+        assert!(parse_line("su alice").is_err());
+        assert!(parse_line("frobnicate").is_err());
+        assert!(parse_line("detach personal doc-0 four").is_err());
+    }
+}

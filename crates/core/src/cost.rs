@@ -1,0 +1,115 @@
+//! Replacement costs supplied by bit-providers and active properties.
+//!
+//! §3 "Cache Management": as content flows back through the read path, the
+//! bit-provider initialises the document's replacement cost with its fetch
+//! cost, and each active property adds its own execution cost. QoS
+//! properties (§5) may additionally *inflate* the cost multiplicatively so
+//! the replacement policy favours keeping their documents resident.
+
+/// The accumulated cost of re-producing a cached document.
+///
+/// Units are simulated microseconds of work; the Greedy-Dual-Size policy
+/// consumes this value directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplacementCost {
+    micros: f64,
+    inflation: f64,
+}
+
+impl ReplacementCost {
+    /// A zero cost with no inflation.
+    pub const ZERO: ReplacementCost = ReplacementCost {
+        micros: 0.0,
+        inflation: 1.0,
+    };
+
+    /// Initialises the cost with the bit-provider's fetch cost.
+    pub fn from_fetch(micros: u64) -> Self {
+        ReplacementCost {
+            micros: micros as f64,
+            inflation: 1.0,
+        }
+    }
+
+    /// Adds a property's execution cost.
+    pub fn add_micros(&mut self, micros: u64) {
+        self.micros += micros as f64;
+    }
+
+    /// Applies a multiplicative QoS inflation factor (clamped below at 1.0:
+    /// QoS properties can only make documents more valuable to keep).
+    pub fn inflate(&mut self, factor: f64) {
+        self.inflation *= factor.max(1.0);
+    }
+
+    /// Returns the accumulated raw cost (before inflation) in microseconds.
+    pub fn raw_micros(&self) -> f64 {
+        self.micros
+    }
+
+    /// Returns the effective cost after QoS inflation.
+    pub fn effective_micros(&self) -> f64 {
+        self.micros * self.inflation
+    }
+
+    /// Returns the inflation factor.
+    pub fn inflation(&self) -> f64 {
+        self.inflation
+    }
+}
+
+impl Default for ReplacementCost {
+    fn default() -> Self {
+        ReplacementCost::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_fetch_and_property_costs() {
+        let mut cost = ReplacementCost::from_fetch(1_000);
+        cost.add_micros(250);
+        cost.add_micros(750);
+        assert_eq!(cost.raw_micros(), 2_000.0);
+        assert_eq!(cost.effective_micros(), 2_000.0);
+    }
+
+    #[test]
+    fn inflation_multiplies() {
+        let mut cost = ReplacementCost::from_fetch(100);
+        cost.inflate(4.0);
+        cost.inflate(2.0);
+        assert_eq!(cost.inflation(), 8.0);
+        assert_eq!(cost.effective_micros(), 800.0);
+        assert_eq!(cost.raw_micros(), 100.0, "raw cost unaffected");
+    }
+
+    #[test]
+    fn inflation_clamps_below_one() {
+        let mut cost = ReplacementCost::from_fetch(100);
+        cost.inflate(0.1);
+        assert_eq!(cost.effective_micros(), 100.0);
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        let cost = ReplacementCost::ZERO;
+        assert_eq!(cost.effective_micros(), 0.0);
+        assert_eq!(ReplacementCost::default(), ReplacementCost::ZERO);
+    }
+
+    #[test]
+    fn add_after_inflate_is_also_inflated() {
+        // Effective cost is (sum of costs) * inflation, independent of order.
+        let mut a = ReplacementCost::from_fetch(100);
+        a.inflate(2.0);
+        a.add_micros(100);
+        let mut b = ReplacementCost::from_fetch(100);
+        b.add_micros(100);
+        b.inflate(2.0);
+        assert_eq!(a.effective_micros(), b.effective_micros());
+    }
+}

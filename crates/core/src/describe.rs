@@ -1,0 +1,112 @@
+//! Document introspection.
+//!
+//! Placeless UIs (and debugging humans) need to see what a document *is*
+//! for a given user: where its bits come from, which properties sit on the
+//! base and on the reference and in what order, and which collections it
+//! belongs to. [`DocumentDescription`] is that view, with a readable
+//! `Display`.
+
+use crate::id::{DocumentId, PropertyId, UserId};
+
+/// One attached property, as seen by introspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyInfo {
+    /// The property's id.
+    pub id: PropertyId,
+    /// The property's name.
+    pub name: String,
+    /// `true` for active properties, `false` for static labels.
+    pub active: bool,
+    /// The rendered value, for static properties.
+    pub value: Option<String>,
+}
+
+/// A user's complete view of a document's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentDescription {
+    /// The document described.
+    pub doc: DocumentId,
+    /// The describing user.
+    pub user: UserId,
+    /// The bit-provider's description string.
+    pub provider: String,
+    /// Users holding references.
+    pub users: Vec<UserId>,
+    /// Universal properties, in chain order.
+    pub universal: Vec<PropertyInfo>,
+    /// The user's personal properties, in chain order.
+    pub personal: Vec<PropertyInfo>,
+    /// Collections the document belongs to.
+    pub collections: Vec<String>,
+}
+
+impl std::fmt::Display for DocumentDescription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} (as seen by {})", self.doc, self.user)?;
+        writeln!(f, "  provider : {}", self.provider)?;
+        writeln!(
+            f,
+            "  users    : {}",
+            self.users
+                .iter()
+                .map(|u| u.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )?;
+        if !self.collections.is_empty() {
+            writeln!(f, "  in       : {}", self.collections.join(", "))?;
+        }
+        writeln!(f, "  universal:")?;
+        for p in &self.universal {
+            write_prop(f, p)?;
+        }
+        writeln!(f, "  personal :")?;
+        for p in &self.personal {
+            write_prop(f, p)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_prop(f: &mut std::fmt::Formatter<'_>, p: &PropertyInfo) -> std::fmt::Result {
+    match (&p.value, p.active) {
+        (Some(value), _) => writeln!(f, "    [{}] {} = {}", p.id, p.name, value),
+        (None, true) => writeln!(f, "    [{}] {} (active)", p.id, p.name),
+        (None, false) => writeln!(f, "    [{}] {}", p.id, p.name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_all_sections() {
+        let description = DocumentDescription {
+            doc: DocumentId(3),
+            user: UserId(1),
+            provider: "fs:/tilde/edelara/hotos.doc".into(),
+            users: vec![UserId(1), UserId(2)],
+            universal: vec![PropertyInfo {
+                id: PropertyId(10),
+                name: "versioning".into(),
+                active: true,
+                value: None,
+            }],
+            personal: vec![PropertyInfo {
+                id: PropertyId(11),
+                name: "deadline".into(),
+                active: false,
+                value: Some("read by 11/30".into()),
+            }],
+            collections: vec!["drafts".into()],
+        };
+        let text = description.to_string();
+        assert!(text.contains("doc-3"));
+        assert!(text.contains("fs:/tilde/edelara/hotos.doc"));
+        assert!(text.contains("user-1, user-2"));
+        assert!(text.contains("drafts"));
+        assert!(text.contains("versioning (active)"));
+        assert!(text.contains("deadline = read by 11/30"));
+    }
+}

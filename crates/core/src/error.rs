@@ -1,0 +1,103 @@
+//! Error types for the Placeless middleware.
+
+use crate::id::{DocumentId, PropertyId, UserId};
+use std::fmt;
+
+/// Result alias used across the Placeless crates.
+pub type Result<T> = std::result::Result<T, PlacelessError>;
+
+/// Errors surfaced by the Placeless middleware and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacelessError {
+    /// The named base document does not exist.
+    NoSuchDocument(DocumentId),
+    /// The user holds no reference to the document.
+    NoSuchReference(UserId, DocumentId),
+    /// No property with this id is attached to the document.
+    NoSuchProperty(PropertyId),
+    /// A repository-level failure (file missing, HTTP error, ...).
+    Repository(String),
+    /// A stream was used after being closed.
+    StreamClosed,
+    /// An active property failed while executing.
+    Property {
+        /// Name of the failing property.
+        name: String,
+        /// Human-readable failure description.
+        reason: String,
+    },
+    /// The registry has no factory under this name.
+    UnknownPropertyKind(String),
+    /// A property factory rejected its parameters.
+    BadPropertyParams(String),
+    /// The document's properties deem the content uncacheable, and the
+    /// caller required a cacheable read.
+    Uncacheable(DocumentId),
+    /// A PropLang program failed to parse or execute.
+    Script(String),
+    /// Write access denied (e.g. read-only provider).
+    ReadOnly(DocumentId),
+}
+
+impl fmt::Display for PlacelessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacelessError::NoSuchDocument(d) => write!(f, "no such document: {d}"),
+            PlacelessError::NoSuchReference(u, d) => {
+                write!(f, "user {u} holds no reference to {d}")
+            }
+            PlacelessError::NoSuchProperty(p) => write!(f, "no such property: {p}"),
+            PlacelessError::Repository(msg) => write!(f, "repository error: {msg}"),
+            PlacelessError::StreamClosed => write!(f, "stream already closed"),
+            PlacelessError::Property { name, reason } => {
+                write!(f, "active property `{name}` failed: {reason}")
+            }
+            PlacelessError::UnknownPropertyKind(name) => {
+                write!(f, "no registered property kind `{name}`")
+            }
+            PlacelessError::BadPropertyParams(msg) => {
+                write!(f, "bad property parameters: {msg}")
+            }
+            PlacelessError::Uncacheable(d) => write!(f, "document {d} is uncacheable"),
+            PlacelessError::Script(msg) => write!(f, "proplang error: {msg}"),
+            PlacelessError::ReadOnly(d) => write!(f, "document {d} is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for PlacelessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = PlacelessError::NoSuchReference(UserId(4), DocumentId(9));
+        assert_eq!(err.to_string(), "user user-4 holds no reference to doc-9");
+        let err = PlacelessError::Property {
+            name: "spell".into(),
+            reason: "dictionary missing".into(),
+        };
+        assert!(err.to_string().contains("spell"));
+        assert!(err.to_string().contains("dictionary missing"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            PlacelessError::StreamClosed,
+            PlacelessError::StreamClosed
+        );
+        assert_ne!(
+            PlacelessError::NoSuchDocument(DocumentId(1)),
+            PlacelessError::NoSuchDocument(DocumentId(2))
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(PlacelessError::StreamClosed);
+        assert_eq!(err.to_string(), "stream already closed");
+    }
+}

@@ -1,0 +1,205 @@
+//! Notifiers and the invalidation bus.
+//!
+//! "Notifiers are active properties themselves that are used to invalidate
+//! cache entries resulting from changes through the Placeless system.
+//! Notifiers send a notification to each of the affected caches to
+//! invalidate the corresponding entries." They generalize file-system
+//! callbacks (AFS) and semantic callbacks: a notifier fires only when its
+//! predicate over the triggering event is satisfied.
+//!
+//! The [`InvalidationBus`] is the delivery fabric: caches subscribe as
+//! [`InvalidationSink`]s; notifier properties post [`Invalidation`]s which
+//! fan out to every subscribed cache. The bus also counts deliveries, which
+//! the notifier-vs-verifier benchmark uses as the "load added to the
+//! Placeless system".
+
+use crate::id::{CacheId, DocumentId, UserId};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a notifier asks the caches to drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invalidation {
+    /// Drop every user's cached version of the document (e.g. the source
+    /// content changed, so all transformed versions are stale).
+    Document(DocumentId),
+    /// Drop one user's cached version (e.g. that user's personal property
+    /// chain changed).
+    UserDocument(DocumentId, UserId),
+}
+
+impl Invalidation {
+    /// Returns the document this invalidation concerns.
+    pub fn document(&self) -> DocumentId {
+        match self {
+            Invalidation::Document(d) => *d,
+            Invalidation::UserDocument(d, _) => *d,
+        }
+    }
+
+    /// Returns `true` if this invalidation covers `(doc, user)`.
+    pub fn covers(&self, doc: DocumentId, user: UserId) -> bool {
+        match self {
+            Invalidation::Document(d) => *d == doc,
+            Invalidation::UserDocument(d, u) => *d == doc && *u == user,
+        }
+    }
+}
+
+/// A cache's subscription endpoint.
+pub trait InvalidationSink: Send + Sync {
+    /// Returns the subscribing cache's id.
+    fn cache_id(&self) -> CacheId;
+
+    /// Delivers one invalidation.
+    fn invalidate(&self, invalidation: &Invalidation);
+}
+
+/// Fan-out delivery of invalidations from notifier properties to caches.
+///
+/// # Examples
+///
+/// ```
+/// use placeless_core::id::{CacheId, DocumentId};
+/// use placeless_core::notifier::{Invalidation, InvalidationBus, InvalidationSink};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// struct Counting(AtomicUsize);
+/// impl InvalidationSink for Counting {
+///     fn cache_id(&self) -> CacheId { CacheId(1) }
+///     fn invalidate(&self, _: &Invalidation) { self.0.fetch_add(1, Ordering::SeqCst); }
+/// }
+///
+/// let bus = InvalidationBus::new();
+/// let sink = Arc::new(Counting(AtomicUsize::new(0)));
+/// bus.subscribe(sink.clone());
+/// bus.post(Invalidation::Document(DocumentId(9)));
+/// assert_eq!(sink.0.load(Ordering::SeqCst), 1);
+/// ```
+#[derive(Default)]
+pub struct InvalidationBus {
+    sinks: RwLock<Vec<Arc<dyn InvalidationSink>>>,
+    posted: AtomicU64,
+    delivered: AtomicU64,
+}
+
+impl InvalidationBus {
+    /// Creates an empty bus.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Subscribes a cache; it receives every subsequent invalidation.
+    pub fn subscribe(&self, sink: Arc<dyn InvalidationSink>) {
+        self.sinks.write().push(sink);
+    }
+
+    /// Unsubscribes a cache by id.
+    pub fn unsubscribe(&self, id: CacheId) {
+        self.sinks.write().retain(|s| s.cache_id() != id);
+    }
+
+    /// Posts an invalidation to every subscribed cache.
+    pub fn post(&self, invalidation: Invalidation) {
+        self.posted.fetch_add(1, Ordering::Relaxed);
+        let sinks = self.sinks.read();
+        for sink in sinks.iter() {
+            sink.invalidate(&invalidation);
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns `(invalidations posted, deliveries made)`.
+    ///
+    /// Each post fans out to every subscriber, so `delivered >= posted` when
+    /// caches are attached. The notifier-vs-verifier experiment reads these
+    /// as the middleware load notifiers impose.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.posted.load(Ordering::Relaxed),
+            self.delivered.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Returns the number of subscribed caches.
+    pub fn subscriber_count(&self) -> usize {
+        self.sinks.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    struct Recording {
+        id: CacheId,
+        seen: Mutex<Vec<Invalidation>>,
+    }
+
+    impl Recording {
+        fn new(id: u64) -> Arc<Self> {
+            Arc::new(Self {
+                id: CacheId(id),
+                seen: Mutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl InvalidationSink for Recording {
+        fn cache_id(&self) -> CacheId {
+            self.id
+        }
+        fn invalidate(&self, inv: &Invalidation) {
+            self.seen.lock().push(*inv);
+        }
+    }
+
+    #[test]
+    fn covers_matches_scopes() {
+        let doc = DocumentId(1);
+        let all = Invalidation::Document(doc);
+        assert!(all.covers(doc, UserId(1)));
+        assert!(all.covers(doc, UserId(2)));
+        assert!(!all.covers(DocumentId(2), UserId(1)));
+
+        let one = Invalidation::UserDocument(doc, UserId(1));
+        assert!(one.covers(doc, UserId(1)));
+        assert!(!one.covers(doc, UserId(2)));
+        assert_eq!(one.document(), doc);
+    }
+
+    #[test]
+    fn post_fans_out_to_all_subscribers() {
+        let bus = InvalidationBus::new();
+        let a = Recording::new(1);
+        let b = Recording::new(2);
+        bus.subscribe(a.clone());
+        bus.subscribe(b.clone());
+        bus.post(Invalidation::Document(DocumentId(7)));
+        assert_eq!(a.seen.lock().len(), 1);
+        assert_eq!(b.seen.lock().len(), 1);
+        assert_eq!(bus.counters(), (1, 2));
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let bus = InvalidationBus::new();
+        let a = Recording::new(1);
+        bus.subscribe(a.clone());
+        bus.unsubscribe(CacheId(1));
+        bus.post(Invalidation::Document(DocumentId(7)));
+        assert!(a.seen.lock().is_empty());
+        assert_eq!(bus.subscriber_count(), 0);
+        assert_eq!(bus.counters(), (1, 0), "posted but nothing delivered");
+    }
+
+    #[test]
+    fn posts_without_subscribers_are_counted() {
+        let bus = InvalidationBus::new();
+        bus.post(Invalidation::UserDocument(DocumentId(1), UserId(2)));
+        assert_eq!(bus.counters(), (1, 0));
+    }
+}

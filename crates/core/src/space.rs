@@ -1,0 +1,1273 @@
+//! The document space: the Placeless middleware API.
+//!
+//! A [`DocumentSpace`] manages base documents and per-user references,
+//! dispatches document events to registered active properties, assembles the
+//! read and write paths (interposing each property's custom streams in the
+//! order the paper prescribes), and applies the follow-up mutations
+//! properties request.
+//!
+//! Path order (§2):
+//! * **read** — bit-provider → base properties (attachment order) →
+//!   reference properties → application;
+//! * **write** — application → reference properties → base properties →
+//!   bit-provider (the mirror image).
+
+use crate::bitprovider::BitProvider;
+use crate::collection::Collections;
+use crate::describe::{DocumentDescription, PropertyInfo};
+use crate::content::{Params, PropertyValue};
+use crate::document::{BaseDocument, DocumentReference};
+use crate::error::{PlacelessError, Result};
+use crate::event::{DocumentEvent, EventKind, EventSite};
+use crate::id::{DocumentId, IdAllocator, PropertyId, UserId};
+use crate::notifier::InvalidationBus;
+use crate::property::{
+    ActiveProperty, AttachedProperty, EventCtx, FollowUp, PathCtx, PathReport, PropsSnapshot,
+};
+use crate::registry::PropertyRegistry;
+use crate::streams::{read_all, write_all, InputStream, OutputStream};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use placeless_simenv::{LatencyModel, VirtualClock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a property operation targets: the base (universal) or a user's
+/// reference (personal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// The base document — universal properties.
+    Universal,
+    /// A user's reference — personal properties.
+    Personal(UserId),
+}
+
+impl Scope {
+    fn site(self) -> EventSite {
+        match self {
+            Scope::Universal => EventSite::Base,
+            Scope::Personal(u) => EventSite::Reference(u),
+        }
+    }
+}
+
+struct Inner {
+    bases: HashMap<DocumentId, BaseDocument>,
+    refs: HashMap<(UserId, DocumentId), DocumentReference>,
+}
+
+/// The Placeless Documents middleware.
+///
+/// Construct with [`DocumentSpace::new`] and keep behind an [`Arc`]; the
+/// write path captures a handle so it can fire `ContentWritten` when the
+/// application closes its stream.
+pub struct DocumentSpace {
+    clock: VirtualClock,
+    bus: Arc<InvalidationBus>,
+    ids: IdAllocator,
+    registry: PropertyRegistry,
+    middleware: LatencyModel,
+    inner: RwLock<Inner>,
+    collections: Collections,
+    ops: AtomicU64,
+}
+
+impl DocumentSpace {
+    /// Creates a space over `clock` with the default middleware service
+    /// cost (300 µs per operation + 50 µs per KB, modelling the two
+    /// Placeless server hops of the prototype).
+    pub fn new(clock: VirtualClock) -> Arc<Self> {
+        Self::with_middleware_cost(clock, LatencyModel::new(300, 50))
+    }
+
+    /// Creates a space with an explicit middleware cost model.
+    pub fn with_middleware_cost(clock: VirtualClock, middleware: LatencyModel) -> Arc<Self> {
+        Arc::new(Self {
+            clock,
+            bus: InvalidationBus::new(),
+            ids: IdAllocator::new(),
+            registry: PropertyRegistry::new(),
+            middleware,
+            inner: RwLock::new(Inner {
+                bases: HashMap::new(),
+                refs: HashMap::new(),
+            }),
+            collections: Collections::new(),
+            ops: AtomicU64::new(0),
+        })
+    }
+
+    /// Returns the space's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Returns the invalidation bus caches subscribe to.
+    pub fn bus(&self) -> &Arc<InvalidationBus> {
+        &self.bus
+    }
+
+    /// Returns the property registry (for attach-by-name).
+    pub fn registry(&self) -> &PropertyRegistry {
+        &self.registry
+    }
+
+    /// Returns how many middleware operations have executed — the "load on
+    /// the Placeless system" measured by the notifier-vs-verifier
+    /// experiment.
+    pub fn ops_count(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    fn charge_op(&self, bytes: u64) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.middleware.charge(&self.clock, bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Document management
+    // ------------------------------------------------------------------
+
+    /// Creates a base document over `provider`; the creator automatically
+    /// receives a reference.
+    pub fn create_document(&self, owner: UserId, provider: Arc<dyn BitProvider>) -> DocumentId {
+        let id = self.ids.next_document();
+        let mut inner = self.inner.write();
+        inner.bases.insert(id, BaseDocument::new(id, provider));
+        inner
+            .refs
+            .insert((owner, id), DocumentReference::new(owner, id));
+        id
+    }
+
+    /// Gives `user` a reference to an existing document.
+    pub fn add_reference(&self, user: UserId, doc: DocumentId) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.bases.contains_key(&doc) {
+            return Err(PlacelessError::NoSuchDocument(doc));
+        }
+        inner
+            .refs
+            .entry((user, doc))
+            .or_insert_with(|| DocumentReference::new(user, doc));
+        Ok(())
+    }
+
+    /// Returns `true` if `user` holds a reference to `doc`.
+    pub fn has_reference(&self, user: UserId, doc: DocumentId) -> bool {
+        self.inner.read().refs.contains_key(&(user, doc))
+    }
+
+    /// Returns the ids of all documents in the space.
+    pub fn documents(&self) -> Vec<DocumentId> {
+        let mut ids: Vec<DocumentId> = self.inner.read().bases.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Returns the users holding references to `doc`.
+    pub fn users_of(&self, doc: DocumentId) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self
+            .inner
+            .read()
+            .refs
+            .keys()
+            .filter(|(_, d)| *d == doc)
+            .map(|(u, _)| *u)
+            .collect();
+        users.sort();
+        users
+    }
+
+    /// Drops `user`'s reference to `doc` (personal properties included).
+    /// The user's cached versions are invalidated through the bus.
+    pub fn remove_reference(&self, user: UserId, doc: DocumentId) -> Result<()> {
+        let removed = self.inner.write().refs.remove(&(user, doc)).is_some();
+        if !removed {
+            return Err(PlacelessError::NoSuchReference(user, doc));
+        }
+        self.bus
+            .post(crate::notifier::Invalidation::UserDocument(doc, user));
+        Ok(())
+    }
+
+    /// Deletes a document entirely: base, every reference, and collection
+    /// memberships. Every cached version is invalidated through the bus.
+    pub fn delete_document(&self, doc: DocumentId) -> Result<()> {
+        {
+            let mut inner = self.inner.write();
+            if inner.bases.remove(&doc).is_none() {
+                return Err(PlacelessError::NoSuchDocument(doc));
+            }
+            inner.refs.retain(|(_, d), _| *d != doc);
+        }
+        for name in self.collections.collections_of(doc) {
+            self.collections.remove(&name, doc);
+        }
+        self.bus.post(crate::notifier::Invalidation::Document(doc));
+        Ok(())
+    }
+
+    /// Describes a document as `user` sees it: provider, users, property
+    /// chains, and collections.
+    pub fn describe(&self, user: UserId, doc: DocumentId) -> Result<DocumentDescription> {
+        let inner = self.inner.read();
+        let base = inner
+            .bases
+            .get(&doc)
+            .ok_or(PlacelessError::NoSuchDocument(doc))?;
+        let reference = inner
+            .refs
+            .get(&(user, doc))
+            .ok_or(PlacelessError::NoSuchReference(user, doc))?;
+        let info = |slot: &crate::property::PropertySlot| PropertyInfo {
+            id: slot.id,
+            name: slot.prop.name().to_owned(),
+            active: slot.prop.as_active().is_some(),
+            value: slot.prop.as_static().map(|v| v.to_string()),
+        };
+        let mut users: Vec<UserId> = inner
+            .refs
+            .keys()
+            .filter(|(_, d)| *d == doc)
+            .map(|(u, _)| *u)
+            .collect();
+        users.sort();
+        Ok(DocumentDescription {
+            doc,
+            user,
+            provider: base.provider.describe(),
+            users,
+            universal: base.universal.iter().map(info).collect(),
+            personal: reference.personal.iter().map(info).collect(),
+            collections: self.collections.collections_of(doc),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Collections (§5: caching for related documents)
+    // ------------------------------------------------------------------
+
+    /// Adds `doc` to the named collection. Membership is also recorded as
+    /// a universal `collection` static property, so the mutation flows
+    /// through the normal property-event machinery.
+    pub fn add_to_collection(self: &Arc<Self>, name: &str, doc: DocumentId) -> Result<()> {
+        if !self.inner.read().bases.contains_key(&doc) {
+            return Err(PlacelessError::NoSuchDocument(doc));
+        }
+        if self.collections.add(name, doc) {
+            self.attach_static(Scope::Universal, doc, "collection", name)?;
+        }
+        Ok(())
+    }
+
+    /// Removes `doc` from the named collection.
+    pub fn remove_from_collection(self: &Arc<Self>, name: &str, doc: DocumentId) -> Result<()> {
+        if self.collections.remove(name, doc) {
+            // Drop the matching `collection` static property, if present.
+            let id = {
+                let inner = self.inner.read();
+                inner.bases.get(&doc).and_then(|base| {
+                    base.universal.iter().find_map(|slot| {
+                        match (&slot.prop.name(), slot.prop.as_static()) {
+                            (&"collection", Some(value)) if value.as_str() == Some(name) => {
+                                Some(slot.id)
+                            }
+                            _ => None,
+                        }
+                    })
+                })
+            };
+            if let Some(id) = id {
+                self.remove_property(Scope::Universal, doc, id)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the members of a collection, sorted.
+    pub fn collection_members(&self, name: &str) -> Vec<DocumentId> {
+        self.collections.members(name)
+    }
+
+    /// Returns the collections `doc` belongs to, sorted.
+    pub fn collections_of(&self, doc: DocumentId) -> Vec<String> {
+        self.collections.collections_of(doc)
+    }
+
+    // ------------------------------------------------------------------
+    // Property management
+    // ------------------------------------------------------------------
+
+    /// Attaches a static property, firing `PropertySet`.
+    pub fn attach_static(
+        self: &Arc<Self>,
+        scope: Scope,
+        doc: DocumentId,
+        name: &str,
+        value: impl Into<PropertyValue>,
+    ) -> Result<PropertyId> {
+        self.attach(
+            scope,
+            doc,
+            AttachedProperty::Static {
+                name: name.to_owned(),
+                value: value.into(),
+            },
+        )
+    }
+
+    /// Attaches an active property, firing `PropertySet`.
+    pub fn attach_active(
+        self: &Arc<Self>,
+        scope: Scope,
+        doc: DocumentId,
+        prop: Arc<dyn ActiveProperty>,
+    ) -> Result<PropertyId> {
+        self.attach(scope, doc, AttachedProperty::Active(prop))
+    }
+
+    /// Instantiates a registered property kind and attaches it.
+    pub fn attach_by_name(
+        self: &Arc<Self>,
+        scope: Scope,
+        doc: DocumentId,
+        kind: &str,
+        params: &Params,
+    ) -> Result<PropertyId> {
+        let prop = self.registry.instantiate(kind, params)?;
+        self.attach_active(scope, doc, prop)
+    }
+
+    fn attach(
+        self: &Arc<Self>,
+        scope: Scope,
+        doc: DocumentId,
+        prop: AttachedProperty,
+    ) -> Result<PropertyId> {
+        self.charge_op(0);
+        let id = self.ids.next_property();
+        let name = prop.name().to_owned();
+        {
+            let mut inner = self.inner.write();
+            self.list_mut(&mut inner, scope, doc)?.attach(id, prop);
+        }
+        self.dispatch(
+            DocumentEvent::new(EventKind::PropertySet, doc).about_property(
+                scope.site(),
+                id,
+                &name,
+            ),
+        )?;
+        Ok(id)
+    }
+
+    /// Removes a property, firing `PropertyRemoved`.
+    pub fn remove_property(
+        self: &Arc<Self>,
+        scope: Scope,
+        doc: DocumentId,
+        id: PropertyId,
+    ) -> Result<()> {
+        self.charge_op(0);
+        let removed = {
+            let mut inner = self.inner.write();
+            self.list_mut(&mut inner, scope, doc)?.remove(id)?
+        };
+        self.dispatch(
+            DocumentEvent::new(EventKind::PropertyRemoved, doc).about_property(
+                scope.site(),
+                id,
+                removed.name(),
+            ),
+        )
+    }
+
+    /// Replaces a property in place (a *modification*), firing
+    /// `PropertyModified`.
+    pub fn modify_property(
+        self: &Arc<Self>,
+        scope: Scope,
+        doc: DocumentId,
+        id: PropertyId,
+        replacement: AttachedProperty,
+    ) -> Result<()> {
+        self.charge_op(0);
+        let name = replacement.name().to_owned();
+        {
+            let mut inner = self.inner.write();
+            self.list_mut(&mut inner, scope, doc)?.replace(id, replacement)?;
+        }
+        self.dispatch(
+            DocumentEvent::new(EventKind::PropertyModified, doc).about_property(
+                scope.site(),
+                id,
+                &name,
+            ),
+        )
+    }
+
+    /// Moves a property to a new position, firing `PropertyReordered`.
+    pub fn reorder_property(
+        self: &Arc<Self>,
+        scope: Scope,
+        doc: DocumentId,
+        id: PropertyId,
+        index: usize,
+    ) -> Result<()> {
+        self.charge_op(0);
+        let name = {
+            let mut inner = self.inner.write();
+            let list = self.list_mut(&mut inner, scope, doc)?;
+            let name = list
+                .get(id)
+                .ok_or(PlacelessError::NoSuchProperty(id))?
+                .prop
+                .name()
+                .to_owned();
+            list.move_to(id, index)?;
+            name
+        };
+        self.dispatch(
+            DocumentEvent::new(EventKind::PropertyReordered, doc).about_property(
+                scope.site(),
+                id,
+                &name,
+            ),
+        )
+    }
+
+    /// Returns the value of the named static property, personal scope
+    /// shadowing universal.
+    pub fn property_value(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+        name: &str,
+    ) -> Option<PropertyValue> {
+        let inner = self.inner.read();
+        if let Some(r) = inner.refs.get(&(user, doc)) {
+            if let Some(v) = r.personal.static_value(name) {
+                return Some(v.clone());
+            }
+        }
+        inner
+            .bases
+            .get(&doc)
+            .and_then(|b| b.universal.static_value(name).cloned())
+    }
+
+    /// Lists `(id, name)` of the properties visible at a scope, in order.
+    pub fn list_properties(&self, scope: Scope, doc: DocumentId) -> Result<Vec<(PropertyId, String)>> {
+        let inner = self.inner.read();
+        let list = match scope {
+            Scope::Universal => {
+                &inner
+                    .bases
+                    .get(&doc)
+                    .ok_or(PlacelessError::NoSuchDocument(doc))?
+                    .universal
+            }
+            Scope::Personal(u) => {
+                &inner
+                    .refs
+                    .get(&(u, doc))
+                    .ok_or(PlacelessError::NoSuchReference(u, doc))?
+                    .personal
+            }
+        };
+        Ok(list
+            .iter()
+            .map(|s| (s.id, s.prop.name().to_owned()))
+            .collect())
+    }
+
+    fn list_mut<'a>(
+        &self,
+        inner: &'a mut Inner,
+        scope: Scope,
+        doc: DocumentId,
+    ) -> Result<&'a mut crate::property::PropertyList> {
+        match scope {
+            Scope::Universal => Ok(&mut inner
+                .bases
+                .get_mut(&doc)
+                .ok_or(PlacelessError::NoSuchDocument(doc))?
+                .universal),
+            Scope::Personal(user) => Ok(&mut inner
+                .refs
+                .get_mut(&(user, doc))
+                .ok_or(PlacelessError::NoSuchReference(user, doc))?
+                .personal),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Assembles the read path for `user` on `doc`.
+    ///
+    /// Returns the application-side input stream and the [`PathReport`]
+    /// carrying the cacheability indicator, the replacement cost, and the
+    /// verifiers the cache must run on hits.
+    pub fn open_read(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+    ) -> Result<(Box<dyn InputStream>, PathReport)> {
+        // Two middleware hops: the reference's server and the base's.
+        self.charge_op(0);
+        self.charge_op(0);
+
+        let (provider, base_props, ref_props, snapshot) = self.path_parts(user, doc, EventKind::GetInputStream)?;
+
+        let mut report = PathReport::new(provider.fetch_cost_micros());
+        report.vote(provider.cacheability_vote());
+        if let Some(v) = provider.make_verifier(&self.clock) {
+            report.add_verifier(v);
+        }
+        let mut stream = provider.open_input(&self.clock)?;
+
+        for (prop, site) in base_props
+            .iter()
+            .map(|p| (p, EventSite::Base))
+            .chain(ref_props.iter().map(|p| (p, EventSite::Reference(user))))
+        {
+            let ctx = PathCtx {
+                clock: &self.clock,
+                doc,
+                user,
+                site,
+                props: &snapshot,
+            };
+            let cost = prop.execution_cost_micros();
+            self.clock.advance(cost);
+            report.add_cost(cost);
+            stream = prop.wrap_input(&ctx, &mut report, stream)?;
+            report.executed.push(prop.name().to_owned());
+        }
+        Ok((stream, report))
+    }
+
+    /// Reads a document to completion through the full property path.
+    pub fn read_document(&self, user: UserId, doc: DocumentId) -> Result<(Bytes, PathReport)> {
+        let (mut stream, report) = self.open_read(user, doc)?;
+        let bytes = read_all(stream.as_mut())?;
+        Ok((bytes, report))
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Assembles the write path for `user` on `doc`.
+    ///
+    /// The returned stream runs the reference's properties first, then the
+    /// base's, then the bit-provider sink. Closing it commits the content
+    /// and fires `ContentWritten`.
+    pub fn open_write(
+        self: &Arc<Self>,
+        user: UserId,
+        doc: DocumentId,
+    ) -> Result<Box<dyn OutputStream>> {
+        self.charge_op(0);
+        self.charge_op(0);
+
+        let (provider, base_props, ref_props, snapshot) =
+            self.path_parts(user, doc, EventKind::GetOutputStream)?;
+        if !provider.writable() {
+            return Err(PlacelessError::ReadOnly(doc));
+        }
+
+        // Innermost: fire ContentWritten after the provider commits.
+        let sink = provider.open_output(&self.clock)?;
+        let space = Arc::clone(self);
+        let mut stream: Box<dyn OutputStream> = Box::new(NotifyOnClose {
+            inner: Some(sink),
+            hook: Some(Box::new(move || {
+                space.dispatch(DocumentEvent::new(EventKind::ContentWritten, doc).by(user))
+            })),
+        });
+
+        // Wrap base properties, then reference properties, each handing its
+        // custom stream outward; the application ends up writing into the
+        // outermost (reference-side) wrapper.
+        let mut report = PathReport::default();
+        for (prop, site) in base_props
+            .iter()
+            .map(|p| (p, EventSite::Base))
+            .chain(ref_props.iter().map(|p| (p, EventSite::Reference(user))))
+        {
+            let ctx = PathCtx {
+                clock: &self.clock,
+                doc,
+                user,
+                site,
+                props: &snapshot,
+            };
+            self.clock.advance(prop.execution_cost_micros());
+            stream = prop.wrap_output(&ctx, &mut report, stream)?;
+        }
+        Ok(stream)
+    }
+
+    /// Aggregates the write-path cacheability requirements for `user` on
+    /// `doc`: the most restrictive vote of every property registered for
+    /// `GetOutputStream`, plus the provider's vote. Write-back caches
+    /// consult this to decide whether buffered writes must forward
+    /// `CacheWrite` events.
+    pub fn write_cacheability(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+    ) -> Result<crate::cacheability::Cacheability> {
+        let (provider, base_props, ref_props, _snapshot) =
+            self.path_parts(user, doc, EventKind::GetOutputStream)?;
+        let votes = std::iter::once(provider.cacheability_vote())
+            .chain(base_props.iter().map(|p| p.write_cacheability()))
+            .chain(ref_props.iter().map(|p| p.write_cacheability()));
+        Ok(crate::cacheability::aggregate(votes))
+    }
+
+    /// Writes a complete document through the full property path.
+    pub fn write_document(self: &Arc<Self>, user: UserId, doc: DocumentId, data: &[u8]) -> Result<()> {
+        let mut stream = self.open_write(user, doc)?;
+        write_all(stream.as_mut(), data)?;
+        stream.close()
+    }
+
+    fn path_parts(&self, user: UserId, doc: DocumentId, kind: EventKind) -> Result<PathParts> {
+        let inner = self.inner.read();
+        let base = inner
+            .bases
+            .get(&doc)
+            .ok_or(PlacelessError::NoSuchDocument(doc))?;
+        let reference = inner
+            .refs
+            .get(&(user, doc))
+            .ok_or(PlacelessError::NoSuchReference(user, doc))?;
+        // Personal values shadow universal ones, so they come first.
+        let mut pairs = reference.personal.static_pairs();
+        pairs.extend(base.universal.static_pairs());
+        Ok((
+            base.provider.clone(),
+            base.universal.interested(kind),
+            reference.personal.interested(kind),
+            PropsSnapshot::from_pairs(pairs),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    /// Dispatches a timer tick to every property registered for `Timer`.
+    pub fn timer_tick(self: &Arc<Self>) -> Result<()> {
+        let docs = self.documents();
+        for doc in docs {
+            self.dispatch(DocumentEvent::new(EventKind::Timer, doc))?;
+        }
+        Ok(())
+    }
+
+    /// Forwards a cache-served operation event (the `CacheableWithEvents`
+    /// collaboration). The middleware triggers the registered properties
+    /// without executing the full path.
+    pub fn post_cache_event(
+        self: &Arc<Self>,
+        user: UserId,
+        doc: DocumentId,
+        kind: EventKind,
+    ) -> Result<()> {
+        debug_assert!(
+            matches!(kind, EventKind::CacheRead | EventKind::CacheWrite),
+            "only cache events may be posted"
+        );
+        self.charge_op(0);
+        self.dispatch(DocumentEvent::new(kind, doc).by(user))
+    }
+
+    /// Delivers `event` to every interested property on the base and on the
+    /// relevant references, then applies requested follow-ups.
+    fn dispatch(self: &Arc<Self>, event: DocumentEvent) -> Result<()> {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let targets: Vec<Arc<dyn ActiveProperty>> = {
+            let inner = self.inner.read();
+            let Some(base) = inner.bases.get(&event.doc) else {
+                return Ok(());
+            };
+            let mut targets = base.universal.interested(event.kind);
+            match event.site {
+                // A personal-property mutation is visible to the base and
+                // to that reference only.
+                Some(EventSite::Reference(owner)) => {
+                    if let Some(r) = inner.refs.get(&(owner, event.doc)) {
+                        targets.extend(r.personal.interested(event.kind));
+                    }
+                }
+                // Base-site and site-less events reach every reference.
+                _ => {
+                    for ((_, d), r) in inner.refs.iter() {
+                        if *d == event.doc {
+                            targets.extend(r.personal.interested(event.kind));
+                        }
+                    }
+                }
+            }
+            targets
+        };
+
+        let ctx = EventCtx::new(&self.clock, &self.bus);
+        for prop in targets {
+            prop.on_event(&ctx, &event).map_err(|e| match e {
+                PlacelessError::Property { .. } => e,
+                other => PlacelessError::Property {
+                    name: prop.name().to_owned(),
+                    reason: other.to_string(),
+                },
+            })?;
+        }
+        let followups = ctx.take_followups();
+        drop(ctx);
+        for followup in followups {
+            match followup {
+                FollowUp::AttachStatic {
+                    doc,
+                    site,
+                    name,
+                    value,
+                } => {
+                    let scope = match site {
+                        EventSite::Base => Scope::Universal,
+                        EventSite::Reference(u) => Scope::Personal(u),
+                    };
+                    self.attach_static(scope, doc, &name, value)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What `path_parts` extracts under the lock: the provider, the interested
+/// base and reference properties (in order), and the static-value snapshot.
+type PathParts = (
+    Arc<dyn BitProvider>,
+    Vec<Arc<dyn ActiveProperty>>,
+    Vec<Arc<dyn ActiveProperty>>,
+    PropsSnapshot,
+);
+
+/// Output wrapper that runs a hook after the inner sink commits.
+struct NotifyOnClose {
+    inner: Option<Box<dyn OutputStream>>,
+    hook: Option<Box<dyn FnOnce() -> Result<()> + Send>>,
+}
+
+impl OutputStream for NotifyOnClose {
+    fn write(&mut self, buf: &[u8]) -> Result<usize> {
+        match self.inner.as_mut() {
+            Some(inner) => inner.write(buf),
+            None => Err(PlacelessError::StreamClosed),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        let mut inner = self.inner.take().ok_or(PlacelessError::StreamClosed)?;
+        inner.close()?;
+        match self.hook.take() {
+            Some(hook) => hook(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitprovider::MemoryProvider;
+    use crate::cacheability::Cacheability;
+    use crate::event::Interests;
+    use crate::notifier::Invalidation;
+    use crate::streams::{TransformingInput, TransformingOutput};
+    use parking_lot::Mutex;
+
+    const ALICE: UserId = UserId(1);
+    const BOB: UserId = UserId(2);
+
+    /// Uppercases content on the read path.
+    struct Upper;
+    impl ActiveProperty for Upper {
+        fn name(&self) -> &str {
+            "upper"
+        }
+        fn interests(&self) -> Interests {
+            Interests::of(&[EventKind::GetInputStream])
+        }
+        fn execution_cost_micros(&self) -> u64 {
+            100
+        }
+        fn wrap_input(
+            &self,
+            _ctx: &PathCtx<'_>,
+            _report: &mut PathReport,
+            inner: Box<dyn InputStream>,
+        ) -> Result<Box<dyn InputStream>> {
+            Ok(Box::new(TransformingInput::new(
+                inner,
+                Box::new(|b| Ok(Bytes::from(b.to_ascii_uppercase()))),
+            )))
+        }
+    }
+
+    /// Appends a suffix on the read path, to observe ordering.
+    struct Suffix(&'static str);
+    impl ActiveProperty for Suffix {
+        fn name(&self) -> &str {
+            "suffix"
+        }
+        fn interests(&self) -> Interests {
+            Interests::of(&[EventKind::GetInputStream, EventKind::GetOutputStream])
+        }
+        fn wrap_input(
+            &self,
+            _ctx: &PathCtx<'_>,
+            _report: &mut PathReport,
+            inner: Box<dyn InputStream>,
+        ) -> Result<Box<dyn InputStream>> {
+            let tag = self.0;
+            Ok(Box::new(TransformingInput::new(
+                inner,
+                Box::new(move |b| {
+                    let mut v = b.to_vec();
+                    v.extend_from_slice(tag.as_bytes());
+                    Ok(Bytes::from(v))
+                }),
+            )))
+        }
+        fn wrap_output(
+            &self,
+            _ctx: &PathCtx<'_>,
+            _report: &mut PathReport,
+            inner: Box<dyn OutputStream>,
+        ) -> Result<Box<dyn OutputStream>> {
+            let tag = self.0;
+            Ok(Box::new(TransformingOutput::new(
+                inner,
+                Box::new(move |b| {
+                    let mut v = b.to_vec();
+                    v.extend_from_slice(tag.as_bytes());
+                    Ok(Bytes::from(v))
+                }),
+            )))
+        }
+    }
+
+    /// Records the events it receives.
+    struct Recorder {
+        name: String,
+        interests: Interests,
+        seen: Mutex<Vec<EventKind>>,
+    }
+    impl Recorder {
+        fn new(name: &str, interests: Interests) -> Arc<Self> {
+            Arc::new(Self {
+                name: name.to_owned(),
+                interests,
+                seen: Mutex::new(Vec::new()),
+            })
+        }
+    }
+    impl ActiveProperty for Recorder {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn interests(&self) -> Interests {
+            self.interests
+        }
+        fn on_event(&self, _ctx: &EventCtx<'_>, event: &DocumentEvent) -> Result<()> {
+            self.seen.lock().push(event.kind);
+            Ok(())
+        }
+    }
+
+    fn setup(content: &str) -> (Arc<DocumentSpace>, DocumentId) {
+        let clock = VirtualClock::new();
+        let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
+        let provider = MemoryProvider::new("test", content.to_owned(), 0);
+        let doc = space.create_document(ALICE, provider);
+        (space, doc)
+    }
+
+    #[test]
+    fn plain_read_returns_raw_content() {
+        let (space, doc) = setup("hello");
+        let (bytes, report) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "hello");
+        assert_eq!(report.cacheability, Cacheability::Unrestricted);
+        assert_eq!(report.verifiers.len(), 1, "provider verifier only");
+        assert!(report.executed.is_empty());
+    }
+
+    #[test]
+    fn read_without_reference_fails() {
+        let (space, doc) = setup("x");
+        assert_eq!(
+            space.read_document(BOB, doc).unwrap_err(),
+            PlacelessError::NoSuchReference(BOB, doc)
+        );
+        space.add_reference(BOB, doc).unwrap();
+        assert!(space.read_document(BOB, doc).is_ok());
+    }
+
+    #[test]
+    fn personal_properties_only_affect_their_owner() {
+        let (space, doc) = setup("hello");
+        space.add_reference(BOB, doc).unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, Arc::new(Upper))
+            .unwrap();
+        let (alice_view, _) = space.read_document(ALICE, doc).unwrap();
+        let (bob_view, _) = space.read_document(BOB, doc).unwrap();
+        assert_eq!(alice_view, "HELLO");
+        assert_eq!(bob_view, "hello");
+    }
+
+    #[test]
+    fn universal_properties_affect_everyone() {
+        let (space, doc) = setup("hello");
+        space.add_reference(BOB, doc).unwrap();
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(Upper))
+            .unwrap();
+        let (alice_view, _) = space.read_document(ALICE, doc).unwrap();
+        let (bob_view, _) = space.read_document(BOB, doc).unwrap();
+        assert_eq!(alice_view, "HELLO");
+        assert_eq!(bob_view, "HELLO");
+    }
+
+    #[test]
+    fn read_path_runs_base_before_reference() {
+        let (space, doc) = setup("x");
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(Suffix("-base")))
+            .unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, Arc::new(Suffix("-ref")))
+            .unwrap();
+        let (bytes, report) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "x-base-ref");
+        assert_eq!(report.executed, vec!["suffix", "suffix"]);
+    }
+
+    #[test]
+    fn write_path_runs_reference_before_base() {
+        let (space, doc) = setup("");
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(Suffix("-base")))
+            .unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, Arc::new(Suffix("-ref")))
+            .unwrap();
+        space.write_document(ALICE, doc, b"w").unwrap();
+        // Reference transform applies first, then base: w-ref-base.
+        let (bytes, _) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "w-ref-base-base-ref");
+    }
+
+    #[test]
+    fn write_fires_content_written_everywhere() {
+        let (space, doc) = setup("x");
+        space.add_reference(BOB, doc).unwrap();
+        let base_rec = Recorder::new("base-rec", Interests::of(&[EventKind::ContentWritten]));
+        let bob_rec = Recorder::new("bob-rec", Interests::of(&[EventKind::ContentWritten]));
+        space
+            .attach_active(Scope::Universal, doc, base_rec.clone())
+            .unwrap();
+        space
+            .attach_active(Scope::Personal(BOB), doc, bob_rec.clone())
+            .unwrap();
+        space.write_document(ALICE, doc, b"new").unwrap();
+        assert_eq!(base_rec.seen.lock().len(), 1);
+        assert_eq!(
+            bob_rec.seen.lock().len(),
+            1,
+            "other users' notifiers hear about the write"
+        );
+    }
+
+    #[test]
+    fn property_mutations_fire_events() {
+        let (space, doc) = setup("x");
+        let rec = Recorder::new(
+            "rec",
+            Interests::of(&[
+                EventKind::PropertySet,
+                EventKind::PropertyRemoved,
+                EventKind::PropertyModified,
+                EventKind::PropertyReordered,
+            ]),
+        );
+        space.attach_active(Scope::Universal, doc, rec.clone()).unwrap();
+        // The recorder hears its own attachment; discard that event.
+        rec.seen.lock().clear();
+        let id = space
+            .attach_static(Scope::Universal, doc, "label", "v1")
+            .unwrap();
+        space
+            .modify_property(
+                Scope::Universal,
+                doc,
+                id,
+                AttachedProperty::Static {
+                    name: "label".into(),
+                    value: "v2".into(),
+                },
+            )
+            .unwrap();
+        space.reorder_property(Scope::Universal, doc, id, 0).unwrap();
+        space.remove_property(Scope::Universal, doc, id).unwrap();
+        assert_eq!(
+            *rec.seen.lock(),
+            vec![
+                EventKind::PropertySet,
+                EventKind::PropertyModified,
+                EventKind::PropertyReordered,
+                EventKind::PropertyRemoved,
+            ]
+        );
+    }
+
+    #[test]
+    fn personal_mutation_not_visible_to_other_references() {
+        let (space, doc) = setup("x");
+        space.add_reference(BOB, doc).unwrap();
+        let bob_rec = Recorder::new("bob-rec", Interests::of(&[EventKind::PropertySet]));
+        space
+            .attach_active(Scope::Personal(BOB), doc, bob_rec.clone())
+            .unwrap();
+        bob_rec.seen.lock().clear();
+        // Alice attaches a personal property: Bob's recorder must not see it.
+        space
+            .attach_static(Scope::Personal(ALICE), doc, "private", "yes")
+            .unwrap();
+        assert!(bob_rec.seen.lock().is_empty());
+        // But a universal attach reaches Bob.
+        space
+            .attach_static(Scope::Universal, doc, "public", "yes")
+            .unwrap();
+        assert_eq!(bob_rec.seen.lock().len(), 1);
+    }
+
+    #[test]
+    fn property_value_personal_shadows_universal() {
+        let (space, doc) = setup("x");
+        space
+            .attach_static(Scope::Universal, doc, "lang", "en")
+            .unwrap();
+        assert_eq!(
+            space.property_value(ALICE, doc, "lang").unwrap().as_str(),
+            Some("en")
+        );
+        space
+            .attach_static(Scope::Personal(ALICE), doc, "lang", "fr")
+            .unwrap();
+        assert_eq!(
+            space.property_value(ALICE, doc, "lang").unwrap().as_str(),
+            Some("fr")
+        );
+    }
+
+    #[test]
+    fn timer_tick_reaches_registered_properties() {
+        let (space, doc) = setup("x");
+        let rec = Recorder::new("timer-rec", Interests::of(&[EventKind::Timer]));
+        space
+            .attach_active(Scope::Personal(ALICE), doc, rec.clone())
+            .unwrap();
+        space.timer_tick().unwrap();
+        space.timer_tick().unwrap();
+        assert_eq!(*rec.seen.lock(), vec![EventKind::Timer, EventKind::Timer]);
+    }
+
+    #[test]
+    fn cache_events_are_forwarded() {
+        let (space, doc) = setup("x");
+        let rec = Recorder::new("audit", Interests::of(&[EventKind::CacheRead]));
+        space
+            .attach_active(Scope::Universal, doc, rec.clone())
+            .unwrap();
+        space
+            .post_cache_event(ALICE, doc, EventKind::CacheRead)
+            .unwrap();
+        assert_eq!(rec.seen.lock().len(), 1);
+    }
+
+    #[test]
+    fn notifier_property_posts_invalidations() {
+        struct WriteNotifier;
+        impl ActiveProperty for WriteNotifier {
+            fn name(&self) -> &str {
+                "notify-on-write"
+            }
+            fn interests(&self) -> Interests {
+                Interests::of(&[EventKind::ContentWritten])
+            }
+            fn on_event(&self, ctx: &EventCtx<'_>, event: &DocumentEvent) -> Result<()> {
+                ctx.bus.post(Invalidation::Document(event.doc));
+                Ok(())
+            }
+        }
+        let (space, doc) = setup("x");
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(WriteNotifier))
+            .unwrap();
+        space.write_document(ALICE, doc, b"y").unwrap();
+        assert_eq!(space.bus().counters().0, 1);
+    }
+
+    #[test]
+    fn followups_attach_static_properties() {
+        struct VersionLinker;
+        impl ActiveProperty for VersionLinker {
+            fn name(&self) -> &str {
+                "version-linker"
+            }
+            fn interests(&self) -> Interests {
+                Interests::of(&[EventKind::ContentWritten])
+            }
+            fn on_event(&self, ctx: &EventCtx<'_>, event: &DocumentEvent) -> Result<()> {
+                ctx.request(FollowUp::AttachStatic {
+                    doc: event.doc,
+                    site: EventSite::Base,
+                    name: "version:1".into(),
+                    value: "snapshot".into(),
+                });
+                Ok(())
+            }
+        }
+        let (space, doc) = setup("x");
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(VersionLinker))
+            .unwrap();
+        space.write_document(ALICE, doc, b"y").unwrap();
+        assert!(space.property_value(ALICE, doc, "version:1").is_some());
+    }
+
+    #[test]
+    fn execution_costs_accumulate_in_report_and_clock() {
+        let (space, doc) = setup("abc");
+        space
+            .attach_active(Scope::Personal(ALICE), doc, Arc::new(Upper))
+            .unwrap();
+        let t0 = space.clock().now();
+        let (_, report) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(report.cost.raw_micros(), 100.0);
+        assert!(space.clock().now().since(t0) >= 100);
+    }
+
+    #[test]
+    fn ops_counter_tracks_middleware_load() {
+        let (space, doc) = setup("x");
+        let before = space.ops_count();
+        let _ = space.read_document(ALICE, doc).unwrap();
+        assert!(space.ops_count() > before);
+    }
+
+    #[test]
+    fn middleware_cost_is_charged() {
+        let clock = VirtualClock::new();
+        let space =
+            DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::new(500, 0));
+        let provider = MemoryProvider::new("t", "x", 0);
+        let doc = space.create_document(ALICE, provider);
+        let t0 = clock.now();
+        let _ = space.read_document(ALICE, doc).unwrap();
+        // Two hops at 500 µs each.
+        assert!(clock.now().since(t0) >= 1_000);
+    }
+
+    #[test]
+    fn attach_by_name_uses_registry() {
+        let (space, doc) = setup("hello");
+        space.registry().register("upper", |_| Ok(Arc::new(Upper)));
+        space
+            .attach_by_name(Scope::Personal(ALICE), doc, "upper", &Params::new())
+            .unwrap();
+        let (bytes, _) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "HELLO");
+        assert!(space
+            .attach_by_name(Scope::Personal(ALICE), doc, "ghost", &Params::new())
+            .is_err());
+    }
+
+    #[test]
+    fn remove_reference_drops_personal_state_and_invalidates() {
+        let (space, doc) = setup("x");
+        space.add_reference(BOB, doc).unwrap();
+        space
+            .attach_static(Scope::Personal(BOB), doc, "label", "y")
+            .unwrap();
+        space.remove_reference(BOB, doc).unwrap();
+        assert!(!space.has_reference(BOB, doc));
+        assert!(space.read_document(BOB, doc).is_err());
+        assert_eq!(space.bus().counters().0, 1, "user-scoped invalidation");
+        // Re-adding yields a clean reference.
+        space.add_reference(BOB, doc).unwrap();
+        assert!(space.property_value(BOB, doc, "label").is_none());
+        assert!(space.remove_reference(UserId(9), doc).is_err());
+    }
+
+    #[test]
+    fn delete_document_removes_everything() {
+        let (space, doc) = setup("x");
+        space.add_reference(BOB, doc).unwrap();
+        space.add_to_collection("drafts", doc).unwrap();
+        space.delete_document(doc).unwrap();
+        assert!(space.documents().is_empty());
+        assert!(space.read_document(ALICE, doc).is_err());
+        assert!(space.collection_members("drafts").is_empty());
+        assert!(space.delete_document(doc).is_err(), "already gone");
+        // A document-wide invalidation reached the bus.
+        assert!(space.bus().counters().0 >= 1);
+    }
+
+    #[test]
+    fn describe_reports_the_full_structure() {
+        let (space, doc) = setup("x");
+        space.add_reference(BOB, doc).unwrap();
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(Upper))
+            .unwrap();
+        space
+            .attach_static(Scope::Personal(ALICE), doc, "deadline", "11/30")
+            .unwrap();
+        space.add_to_collection("drafts", doc).unwrap();
+        let description = space.describe(ALICE, doc).unwrap();
+        assert_eq!(description.provider, "memory:test");
+        assert_eq!(description.users, vec![ALICE, BOB]);
+        assert_eq!(description.collections, vec!["drafts"]);
+        // Universal: the Upper property plus the collection label.
+        assert_eq!(description.universal.len(), 2);
+        assert!(description.universal[0].active);
+        assert_eq!(description.personal.len(), 1);
+        assert_eq!(description.personal[0].name, "deadline");
+        assert_eq!(description.personal[0].value.as_deref(), Some("11/30"));
+        // Bob has no personal properties.
+        let bob_view = space.describe(BOB, doc).unwrap();
+        assert!(bob_view.personal.is_empty());
+        assert!(space.describe(UserId(9), doc).is_err());
+    }
+
+    #[test]
+    fn users_and_documents_listing() {
+        let (space, doc) = setup("x");
+        space.add_reference(BOB, doc).unwrap();
+        assert_eq!(space.users_of(doc), vec![ALICE, BOB]);
+        assert_eq!(space.documents(), vec![doc]);
+        assert!(space.has_reference(ALICE, doc));
+        assert!(!space.has_reference(UserId(9), doc));
+    }
+}

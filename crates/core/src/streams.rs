@@ -1,0 +1,503 @@
+//! Input/output streams and the transformer chains active properties build.
+//!
+//! The Placeless content I/O model follows Java streams: a `getInputStream`
+//! call produces a raw stream from the bit-provider, and every active
+//! property interested in the operation *wraps* it with a custom stream that
+//! transforms the bytes flowing through. Properties on the write path do the
+//! same in mirror image, wrapping the sink. Most content transforms
+//! (translation, summarization) need the whole document, so this module also
+//! provides buffering adapters ([`TransformingInput`],
+//! [`TransformingOutput`]) that apply a whole-buffer function at the right
+//! moment while still presenting a streaming interface to the layers above.
+
+use crate::error::{PlacelessError, Result};
+use bytes::Bytes;
+
+/// A readable stream of document content.
+pub trait InputStream: Send {
+    /// Reads up to `buf.len()` bytes, returning how many were read; zero
+    /// means end of stream.
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize>;
+}
+
+/// A writable sink for document content.
+pub trait OutputStream: Send {
+    /// Writes the buffer, returning how many bytes were consumed.
+    fn write(&mut self, buf: &[u8]) -> Result<usize>;
+
+    /// Completes the write; transforms that buffer whole documents flush
+    /// here, and bit-provider sinks commit here.
+    fn close(&mut self) -> Result<()>;
+}
+
+/// Reads an input stream to the end.
+pub fn read_all(stream: &mut dyn InputStream) -> Result<Bytes> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    Ok(Bytes::from(out))
+}
+
+/// Writes an entire buffer to an output stream (without closing it).
+pub fn write_all(stream: &mut dyn OutputStream, mut data: &[u8]) -> Result<()> {
+    while !data.is_empty() {
+        let n = stream.write(data)?;
+        if n == 0 {
+            return Err(PlacelessError::StreamClosed);
+        }
+        data = &data[n..];
+    }
+    Ok(())
+}
+
+/// An input stream over an in-memory buffer.
+pub struct MemoryInput {
+    data: Bytes,
+    pos: usize,
+}
+
+impl MemoryInput {
+    /// Creates a stream over `data`.
+    pub fn new(data: Bytes) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl InputStream for MemoryInput {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let remaining = &self.data[self.pos..];
+        let n = remaining.len().min(buf.len());
+        buf[..n].copy_from_slice(&remaining[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Callback invoked with the complete content when the stream closes.
+type OnClose = Box<dyn FnOnce(Bytes) -> Result<()> + Send>;
+
+/// An output stream that buffers everything and hands the final bytes to a
+/// callback on close.
+pub struct CollectOutput {
+    buf: Vec<u8>,
+    on_close: Option<OnClose>,
+}
+
+impl CollectOutput {
+    /// Creates a collector whose `on_close` receives the complete content.
+    pub fn new(on_close: impl FnOnce(Bytes) -> Result<()> + Send + 'static) -> Self {
+        Self {
+            buf: Vec::new(),
+            on_close: Some(Box::new(on_close)),
+        }
+    }
+}
+
+impl OutputStream for CollectOutput {
+    fn write(&mut self, buf: &[u8]) -> Result<usize> {
+        if self.on_close.is_none() {
+            return Err(PlacelessError::StreamClosed);
+        }
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        match self.on_close.take() {
+            Some(f) => f(Bytes::from(std::mem::take(&mut self.buf))),
+            None => Err(PlacelessError::StreamClosed),
+        }
+    }
+}
+
+/// A whole-content transform function, boxed so chains are heterogeneous.
+pub type TransformFn = Box<dyn FnOnce(Bytes) -> Result<Bytes> + Send>;
+
+/// An input stream that buffers its inner stream, applies a whole-content
+/// transform once, and serves the result.
+///
+/// This is the "custom input-stream" of the paper for transforms that need
+/// the full document (translation, summarization, spell correction).
+pub struct TransformingInput {
+    inner: Option<Box<dyn InputStream>>,
+    transform: Option<TransformFn>,
+    buffered: Option<MemoryInput>,
+}
+
+impl TransformingInput {
+    /// Wraps `inner` with `transform`.
+    pub fn new(inner: Box<dyn InputStream>, transform: TransformFn) -> Self {
+        Self {
+            inner: Some(inner),
+            transform: Some(transform),
+            buffered: None,
+        }
+    }
+
+    fn materialize(&mut self) -> Result<()> {
+        if self.buffered.is_none() {
+            let mut inner = self.inner.take().expect("materialize runs once");
+            let raw = read_all(inner.as_mut())?;
+            let transform = self.transform.take().expect("materialize runs once");
+            self.buffered = Some(MemoryInput::new(transform(raw)?));
+        }
+        Ok(())
+    }
+}
+
+impl InputStream for TransformingInput {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.materialize()?;
+        self.buffered
+            .as_mut()
+            .expect("materialized above")
+            .read(buf)
+    }
+}
+
+/// An output stream that buffers writes, applies a whole-content transform
+/// on close, and forwards the result to the inner sink.
+pub struct TransformingOutput {
+    inner: Option<Box<dyn OutputStream>>,
+    transform: Option<TransformFn>,
+    buf: Vec<u8>,
+}
+
+impl TransformingOutput {
+    /// Wraps `inner` with `transform`.
+    pub fn new(inner: Box<dyn OutputStream>, transform: TransformFn) -> Self {
+        Self {
+            inner: Some(inner),
+            transform: Some(transform),
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl OutputStream for TransformingOutput {
+    fn write(&mut self, buf: &[u8]) -> Result<usize> {
+        if self.inner.is_none() {
+            return Err(PlacelessError::StreamClosed);
+        }
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        let mut inner = self.inner.take().ok_or(PlacelessError::StreamClosed)?;
+        let transform = self.transform.take().expect("present until close");
+        let transformed = transform(Bytes::from(std::mem::take(&mut self.buf)))?;
+        write_all(inner.as_mut(), &transformed)?;
+        inner.close()
+    }
+}
+
+/// A streaming (non-buffering) byte-wise input transform, for per-byte
+/// transforms like case folding or ROT13 that do not need the whole
+/// document.
+pub struct MappingInput {
+    inner: Box<dyn InputStream>,
+    map: Box<dyn FnMut(u8) -> u8 + Send>,
+}
+
+impl MappingInput {
+    /// Wraps `inner`, mapping every byte through `map`.
+    pub fn new(inner: Box<dyn InputStream>, map: impl FnMut(u8) -> u8 + Send + 'static) -> Self {
+        Self {
+            inner,
+            map: Box::new(map),
+        }
+    }
+}
+
+impl InputStream for MappingInput {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let n = self.inner.read(buf)?;
+        for b in &mut buf[..n] {
+            *b = (self.map)(*b);
+        }
+        Ok(n)
+    }
+}
+
+/// A streaming byte-wise output transform (mirror of [`MappingInput`]).
+pub struct MappingOutput {
+    inner: Box<dyn OutputStream>,
+    map: Box<dyn FnMut(u8) -> u8 + Send>,
+    scratch: Vec<u8>,
+}
+
+impl MappingOutput {
+    /// Wraps `inner`, mapping every byte through `map`.
+    pub fn new(inner: Box<dyn OutputStream>, map: impl FnMut(u8) -> u8 + Send + 'static) -> Self {
+        Self {
+            inner,
+            map: Box::new(map),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl OutputStream for MappingOutput {
+    fn write(&mut self, buf: &[u8]) -> Result<usize> {
+        self.scratch.clear();
+        self.scratch.extend(buf.iter().map(|&b| (self.map)(b)));
+        write_all(self.inner.as_mut(), &self.scratch)?;
+        Ok(buf.len())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.inner.close()
+    }
+}
+
+/// An input stream that observes (but does not change) the bytes flowing
+/// through, e.g. for audit-trail properties.
+pub struct TapInput {
+    inner: Box<dyn InputStream>,
+    tap: TapFn,
+}
+
+/// Observer invoked with every chunk a [`TapInput`] reads.
+type TapFn = Box<dyn FnMut(&[u8]) + Send>;
+
+impl TapInput {
+    /// Wraps `inner`; `tap` sees every chunk read.
+    pub fn new(inner: Box<dyn InputStream>, tap: impl FnMut(&[u8]) + Send + 'static) -> Self {
+        Self {
+            inner,
+            tap: Box::new(tap),
+        }
+    }
+}
+
+impl InputStream for TapInput {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let n = self.inner.read(buf)?;
+        (self.tap)(&buf[..n]);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn mem(data: &[u8]) -> Box<dyn InputStream> {
+        Box::new(MemoryInput::new(Bytes::copy_from_slice(data)))
+    }
+
+    #[test]
+    fn memory_input_round_trip() {
+        let mut stream = MemoryInput::new(Bytes::from_static(b"hello world"));
+        assert_eq!(read_all(&mut stream).unwrap(), "hello world");
+    }
+
+    #[test]
+    fn memory_input_partial_reads() {
+        let mut stream = MemoryInput::new(Bytes::from_static(b"abcdef"));
+        let mut buf = [0u8; 4];
+        assert_eq!(stream.read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"abcd");
+        assert_eq!(stream.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"ef");
+        assert_eq!(stream.read(&mut buf).unwrap(), 0, "EOF");
+    }
+
+    #[test]
+    fn collect_output_delivers_on_close() {
+        let captured = Arc::new(Mutex::new(None));
+        let sink = captured.clone();
+        let mut out = CollectOutput::new(move |bytes| {
+            *sink.lock().unwrap() = Some(bytes);
+            Ok(())
+        });
+        write_all(&mut out, b"part one, ").unwrap();
+        write_all(&mut out, b"part two").unwrap();
+        assert!(captured.lock().unwrap().is_none(), "nothing until close");
+        out.close().unwrap();
+        assert_eq!(
+            captured.lock().unwrap().as_ref().unwrap(),
+            "part one, part two"
+        );
+    }
+
+    #[test]
+    fn collect_output_rejects_use_after_close() {
+        let mut out = CollectOutput::new(|_| Ok(()));
+        out.close().unwrap();
+        assert_eq!(out.write(b"x").unwrap_err(), PlacelessError::StreamClosed);
+        assert_eq!(out.close().unwrap_err(), PlacelessError::StreamClosed);
+    }
+
+    #[test]
+    fn transforming_input_applies_whole_buffer_transform() {
+        let inner = mem(b"hello");
+        let mut t = TransformingInput::new(
+            inner,
+            Box::new(|b| Ok(Bytes::from(b.to_ascii_uppercase()))),
+        );
+        assert_eq!(read_all(&mut t).unwrap(), "HELLO");
+    }
+
+    #[test]
+    fn transforming_input_is_lazy_until_first_read() {
+        // The transform must not run during construction: build with a
+        // transform that would fail, never read, and observe no panic.
+        let inner = mem(b"data");
+        let _t = TransformingInput::new(
+            inner,
+            Box::new(|_| Err(PlacelessError::StreamClosed)),
+        );
+    }
+
+    #[test]
+    fn transforming_input_propagates_transform_errors() {
+        let inner = mem(b"data");
+        let mut t = TransformingInput::new(
+            inner,
+            Box::new(|_| {
+                Err(PlacelessError::Property {
+                    name: "boom".into(),
+                    reason: "failed".into(),
+                })
+            }),
+        );
+        let mut buf = [0u8; 8];
+        assert!(t.read(&mut buf).is_err());
+    }
+
+    #[test]
+    fn transforming_output_applies_on_close() {
+        let captured = Arc::new(Mutex::new(None));
+        let sink = captured.clone();
+        let collect = CollectOutput::new(move |bytes| {
+            *sink.lock().unwrap() = Some(bytes);
+            Ok(())
+        });
+        let mut out = TransformingOutput::new(
+            Box::new(collect),
+            Box::new(|b| Ok(Bytes::from(b.to_ascii_uppercase()))),
+        );
+        write_all(&mut out, b"save me").unwrap();
+        out.close().unwrap();
+        assert_eq!(captured.lock().unwrap().as_ref().unwrap(), "SAVE ME");
+    }
+
+    #[test]
+    fn chained_transforms_compose_outside_in() {
+        // Outer transform runs on the result of the inner transform on the
+        // read path: provider -> inner wrap -> outer wrap -> application.
+        let inner = TransformingInput::new(
+            mem(b"ab"),
+            Box::new(|b| {
+                let mut v = b.to_vec();
+                v.push(b'1');
+                Ok(Bytes::from(v))
+            }),
+        );
+        let mut outer = TransformingInput::new(
+            Box::new(inner),
+            Box::new(|b| {
+                let mut v = b.to_vec();
+                v.push(b'2');
+                Ok(Bytes::from(v))
+            }),
+        );
+        assert_eq!(read_all(&mut outer).unwrap(), "ab12");
+    }
+
+    #[test]
+    fn chained_output_transforms_compose_in_write_order() {
+        // App writes into the outermost wrapper; its transform runs first,
+        // then the next one, then the sink — the mirror of the read path.
+        let captured = Arc::new(Mutex::new(None));
+        let sink = captured.clone();
+        let collect = CollectOutput::new(move |bytes| {
+            *sink.lock().unwrap() = Some(bytes);
+            Ok(())
+        });
+        let near_sink = TransformingOutput::new(
+            Box::new(collect),
+            Box::new(|b| {
+                let mut v = b.to_vec();
+                v.push(b'B');
+                Ok(Bytes::from(v))
+            }),
+        );
+        let mut app_side = TransformingOutput::new(
+            Box::new(near_sink),
+            Box::new(|b| {
+                let mut v = b.to_vec();
+                v.push(b'A');
+                Ok(Bytes::from(v))
+            }),
+        );
+        write_all(&mut app_side, b"x").unwrap();
+        app_side.close().unwrap();
+        assert_eq!(captured.lock().unwrap().as_ref().unwrap(), "xAB");
+    }
+
+    #[test]
+    fn mapping_input_streams_bytewise() {
+        let mut m = MappingInput::new(mem(b"abc"), |b| b.to_ascii_uppercase());
+        let mut buf = [0u8; 2];
+        assert_eq!(m.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf, b"AB");
+        assert_eq!(m.read(&mut buf).unwrap(), 1);
+        assert_eq!(&buf[..1], b"C");
+    }
+
+    #[test]
+    fn mapping_output_streams_bytewise() {
+        let captured = Arc::new(Mutex::new(None));
+        let sink = captured.clone();
+        let collect = CollectOutput::new(move |bytes| {
+            *sink.lock().unwrap() = Some(bytes);
+            Ok(())
+        });
+        let mut m = MappingOutput::new(Box::new(collect), |b| b.wrapping_add(1));
+        write_all(&mut m, b"HAL").unwrap();
+        m.close().unwrap();
+        assert_eq!(captured.lock().unwrap().as_ref().unwrap(), "IBM");
+    }
+
+    #[test]
+    fn tap_input_observes_without_modifying() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let tap_sink = seen.clone();
+        let mut t = TapInput::new(mem(b"watched"), move |chunk| {
+            tap_sink.lock().unwrap().extend_from_slice(chunk);
+        });
+        assert_eq!(read_all(&mut t).unwrap(), "watched");
+        assert_eq!(seen.lock().unwrap().as_slice(), b"watched");
+    }
+
+    #[test]
+    fn write_all_loops_over_short_writes() {
+        // An output stream that accepts one byte at a time.
+        struct OneByte(Vec<u8>);
+        impl OutputStream for OneByte {
+            fn write(&mut self, buf: &[u8]) -> Result<usize> {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                self.0.push(buf[0]);
+                Ok(1)
+            }
+            fn close(&mut self) -> Result<()> {
+                Ok(())
+            }
+        }
+        let mut s = OneByte(Vec::new());
+        write_all(&mut s, b"slow").unwrap();
+        assert_eq!(s.0, b"slow");
+    }
+}

@@ -1,0 +1,21 @@
+//! # NFS adapter for legacy applications
+//!
+//! "Read and write operations from off-the-shelf applications are
+//! translated into Placeless I/O operations by a NFS server layer." This
+//! crate provides that layer:
+//!
+//! * [`server::NfsServer`] — an exported path namespace with handle-based
+//!   `lookup` / `open` / `read` / `write` / `getattr` / `close`;
+//! * [`backend`] — routing either directly to the middleware or through an
+//!   application-level [`placeless_cache::DocumentCache`] (the Table 1
+//!   configuration);
+//! * [`editor::Editor`] — a scripted MS-Word-like client for tests and
+//!   benchmarks, reproducing the paper's Figure 2 save path.
+
+pub mod backend;
+pub mod editor;
+pub mod server;
+
+pub use backend::{Backend, CachedBackend, DirectBackend};
+pub use editor::Editor;
+pub use server::{FileAttr, FileHandle, NfsServer, OpenMode};

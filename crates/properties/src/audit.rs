@@ -1,0 +1,133 @@
+//! The read-audit-trail property.
+//!
+//! "An active property that creates a read-audit-trail for a document only
+//! needs to know when read operations occur, but does not need to receive
+//! the actual content being read." It therefore votes
+//! `CacheableWithEvents`: the cache may serve the bytes locally, but must
+//! forward the operation event so the trail stays complete.
+
+use placeless_core::cacheability::Cacheability;
+use placeless_core::error::Result;
+use placeless_core::event::{DocumentEvent, EventKind, Interests};
+use placeless_core::id::UserId;
+use placeless_core::property::{ActiveProperty, EventCtx, PathCtx, PathReport};
+use placeless_core::streams::InputStream;
+use parking_lot::Mutex;
+use placeless_simenv::Instant;
+use std::sync::Arc;
+
+/// One audit record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Who read the document, when known.
+    pub user: Option<UserId>,
+    /// When the read happened (virtual time).
+    pub at: Instant,
+    /// Whether the read was served by a cache (forwarded event) rather
+    /// than the full path.
+    pub via_cache: bool,
+}
+
+/// Records every read of the document, including cache-served ones.
+pub struct AuditTrail {
+    records: Arc<Mutex<Vec<AuditRecord>>>,
+}
+
+impl AuditTrail {
+    /// Creates an empty trail.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            records: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// Returns a copy of the trail.
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Returns the number of recorded reads.
+    pub fn read_count(&self) -> usize {
+        self.records.lock().len()
+    }
+}
+
+impl ActiveProperty for AuditTrail {
+    fn name(&self) -> &str {
+        "read-audit-trail"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream, EventKind::CacheRead])
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        20
+    }
+
+    fn wrap_input(
+        &self,
+        ctx: &PathCtx<'_>,
+        report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        report.vote(Cacheability::CacheableWithEvents);
+        self.records.lock().push(AuditRecord {
+            user: Some(ctx.user),
+            at: ctx.clock.now(),
+            via_cache: false,
+        });
+        // The content itself is not needed; pass it through untouched.
+        Ok(inner)
+    }
+
+    fn on_event(&self, ctx: &EventCtx<'_>, event: &DocumentEvent) -> Result<()> {
+        if event.kind == EventKind::CacheRead {
+            self.records.lock().push(AuditRecord {
+                user: event.user,
+                at: ctx.clock.now(),
+                via_cache: true,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::read_through_with_report;
+    use placeless_core::prelude::*;
+    use placeless_simenv::{LatencyModel, VirtualClock};
+
+    #[test]
+    fn votes_cacheable_with_events_and_passes_content() {
+        let trail = AuditTrail::new();
+        let (bytes, report) = read_through_with_report(trail.clone(), b"secret plans");
+        assert_eq!(bytes, "secret plans");
+        assert_eq!(report.cacheability, Cacheability::CacheableWithEvents);
+        assert_eq!(trail.read_count(), 1);
+        assert!(!trail.records()[0].via_cache);
+    }
+
+    #[test]
+    fn cache_served_reads_still_land_in_the_trail() {
+        let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+        let provider = MemoryProvider::new("t", "content", 0);
+        let alice = UserId(1);
+        let doc = space.create_document(alice, provider);
+        let trail = AuditTrail::new();
+        space
+            .attach_active(Scope::Universal, doc, trail.clone())
+            .unwrap();
+        let _ = space.read_document(alice, doc).unwrap();
+        space
+            .post_cache_event(alice, doc, EventKind::CacheRead)
+            .unwrap();
+        let records = trail.records();
+        assert_eq!(records.len(), 2);
+        assert!(!records[0].via_cache);
+        assert!(records[1].via_cache);
+        assert_eq!(records[1].user, Some(alice));
+    }
+}

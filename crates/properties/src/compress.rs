@@ -1,0 +1,155 @@
+//! Storage-side compression property (run-length encoding).
+//!
+//! Content is RLE-compressed on the write path and decompressed on the read
+//! path, so the repository stores the compact form while applications see
+//! plain content. RLE is trivially weak, but the property exercises an
+//! *asymmetric* transform pair — the two directions differ, unlike ROT13 —
+//! and the codec is a substrate others reuse.
+
+use placeless_core::error::{PlacelessError, Result};
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
+use placeless_core::streams::{
+    InputStream, OutputStream, TransformingInput, TransformingOutput,
+};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// RLE-compresses `data` as `(count, byte)` pairs with runs capped at 255.
+pub fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut iter = data.iter().copied();
+    let Some(mut current) = iter.next() else {
+        return out;
+    };
+    let mut run: u8 = 1;
+    for b in iter {
+        if b == current && run < u8::MAX {
+            run += 1;
+        } else {
+            out.push(run);
+            out.push(current);
+            current = b;
+            run = 1;
+        }
+    }
+    out.push(run);
+    out.push(current);
+    out
+}
+
+/// Decompresses an [`rle_compress`] buffer.
+pub fn rle_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if !data.len().is_multiple_of(2) {
+        return Err(PlacelessError::Repository(
+            "RLE: truncated stream".to_owned(),
+        ));
+    }
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for pair in data.chunks_exact(2) {
+        let (run, byte) = (pair[0], pair[1]);
+        if run == 0 {
+            return Err(PlacelessError::Repository("RLE: zero-length run".to_owned()));
+        }
+        out.extend(std::iter::repeat_n(byte, run as usize));
+    }
+    Ok(out)
+}
+
+/// Compresses at rest, decompresses on read.
+pub struct CompressAtRest;
+
+impl CompressAtRest {
+    /// Creates the property.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self)
+    }
+}
+
+impl ActiveProperty for CompressAtRest {
+    fn name(&self) -> &str {
+        "compress-at-rest"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream, EventKind::GetOutputStream])
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        300
+    }
+
+    fn wrap_input(
+        &self,
+        _ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        Ok(Box::new(TransformingInput::new(
+            inner,
+            Box::new(|bytes| Ok(Bytes::from(rle_decompress(&bytes)?))),
+        )))
+    }
+
+    fn wrap_output(
+        &self,
+        _ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn OutputStream>,
+    ) -> Result<Box<dyn OutputStream>> {
+        Ok(Box::new(TransformingOutput::new(
+            inner,
+            Box::new(|bytes| Ok(Bytes::from(rle_compress(&bytes)))),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{read_through, write_through};
+
+    #[test]
+    fn codec_roundtrips() {
+        for data in [
+            &b""[..],
+            b"a",
+            b"aaaa",
+            b"abcabc",
+            b"aaaaaaaaaabbbbbbbbbbcccccccccc",
+        ] {
+            let compressed = rle_compress(data);
+            assert_eq!(rle_decompress(&compressed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn long_runs_split_at_255() {
+        let data = vec![b'x'; 300];
+        let compressed = rle_compress(&data);
+        assert_eq!(compressed, vec![255, b'x', 45, b'x']);
+        assert_eq!(rle_decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(rle_decompress(&[1]).is_err(), "odd length");
+        assert!(rle_decompress(&[0, b'x']).is_err(), "zero run");
+    }
+
+    #[test]
+    fn repetitive_content_shrinks() {
+        let data = vec![b'-'; 1_000];
+        assert!(rle_compress(&data).len() < 20);
+    }
+
+    #[test]
+    fn property_roundtrips_through_storage() {
+        let stored = write_through(CompressAtRest::new(), b"aaaabbbbcccc plain tail");
+        assert_ne!(&stored[..], b"aaaabbbbcccc plain tail");
+        assert_eq!(
+            read_through(CompressAtRest::new(), &stored),
+            "aaaabbbbcccc plain tail"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Doug's "read by 11/30" property, made active.
+//!
+//! In Figure 1 the deadline is a static statement. This active variant
+//! watches the timer and, once the due instant passes without the owner
+//! having read the document, marks the reference with an `overdue` static
+//! property (via the follow-up mechanism) — a small demonstration of
+//! properties that *react to time* and mutate their own document.
+
+use placeless_core::content::PropertyValue;
+use placeless_core::error::Result;
+use placeless_core::event::{DocumentEvent, EventKind, EventSite, Interests};
+use placeless_core::id::UserId;
+use placeless_core::property::{ActiveProperty, EventCtx, FollowUp, PathCtx, PathReport};
+use placeless_core::streams::InputStream;
+use parking_lot::Mutex;
+use placeless_simenv::Instant;
+use std::sync::Arc;
+
+/// States the deadline can be in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Due in the future, not yet read.
+    Pending,
+    /// The owner read the document before the deadline.
+    Met,
+    /// The deadline passed unread; `overdue` has been attached.
+    Overdue,
+}
+
+/// A read-by deadline on a user's reference.
+pub struct Deadline {
+    owner: UserId,
+    due: Instant,
+    state: Mutex<State>,
+}
+
+impl Deadline {
+    /// Creates a deadline for `owner`, due at `due`.
+    pub fn read_by(owner: UserId, due: Instant) -> Arc<Self> {
+        Arc::new(Self {
+            owner,
+            due,
+            state: Mutex::new(State::Pending),
+        })
+    }
+
+    /// Returns `true` if the owner read the document in time.
+    pub fn met(&self) -> bool {
+        *self.state.lock() == State::Met
+    }
+
+    /// Returns `true` if the deadline lapsed unread.
+    pub fn overdue(&self) -> bool {
+        *self.state.lock() == State::Overdue
+    }
+}
+
+impl ActiveProperty for Deadline {
+    fn name(&self) -> &str {
+        "deadline"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream, EventKind::Timer, EventKind::CacheRead])
+    }
+
+    fn wrap_input(
+        &self,
+        ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        // A read by the owner before the due instant meets the deadline.
+        let mut state = self.state.lock();
+        if *state == State::Pending && ctx.user == self.owner && ctx.clock.now() <= self.due {
+            *state = State::Met;
+        }
+        Ok(inner)
+    }
+
+    fn on_event(&self, ctx: &EventCtx<'_>, event: &DocumentEvent) -> Result<()> {
+        match event.kind {
+            // Cache-served reads count too (the audit pattern).
+            EventKind::CacheRead => {
+                let mut state = self.state.lock();
+                if *state == State::Pending
+                    && event.user == Some(self.owner)
+                    && ctx.clock.now() <= self.due
+                {
+                    *state = State::Met;
+                }
+            }
+            EventKind::Timer => {
+                let mut state = self.state.lock();
+                if *state == State::Pending && ctx.clock.now() > self.due {
+                    *state = State::Overdue;
+                    ctx.request(FollowUp::AttachStatic {
+                        doc: event.doc,
+                        site: EventSite::Reference(self.owner),
+                        name: "overdue".to_owned(),
+                        value: PropertyValue::Bool(true),
+                    });
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::prelude::*;
+    use placeless_simenv::{LatencyModel, VirtualClock};
+
+    const DOUG: UserId = UserId(3);
+    const EYAL: UserId = UserId(1);
+
+    fn setup() -> (Arc<DocumentSpace>, DocumentId, VirtualClock) {
+        let clock = VirtualClock::new();
+        let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+        let provider = MemoryProvider::new("paper", "the draft", 0);
+        let doc = space.create_document(EYAL, provider);
+        space.add_reference(DOUG, doc).unwrap();
+        (space, doc, clock)
+    }
+
+    #[test]
+    fn reading_in_time_meets_the_deadline() {
+        let (space, doc, clock) = setup();
+        let deadline = Deadline::read_by(DOUG, clock.now().plus(1_000_000));
+        space
+            .attach_active(Scope::Personal(DOUG), doc, deadline.clone())
+            .unwrap();
+        let _ = space.read_document(DOUG, doc).unwrap();
+        assert!(deadline.met());
+        // Ticking past the due date changes nothing.
+        clock.advance(2_000_000);
+        space.timer_tick().unwrap();
+        assert!(!deadline.overdue());
+        assert!(space.property_value(DOUG, doc, "overdue").is_none());
+    }
+
+    #[test]
+    fn lapsing_unread_marks_overdue() {
+        let (space, doc, clock) = setup();
+        let deadline = Deadline::read_by(DOUG, clock.now().plus(1_000));
+        space
+            .attach_active(Scope::Personal(DOUG), doc, deadline.clone())
+            .unwrap();
+        clock.advance(5_000);
+        space.timer_tick().unwrap();
+        assert!(deadline.overdue());
+        assert_eq!(
+            space.property_value(DOUG, doc, "overdue"),
+            Some(PropertyValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn other_users_reads_do_not_count() {
+        let (space, doc, clock) = setup();
+        let deadline = Deadline::read_by(DOUG, clock.now().plus(1_000));
+        space
+            .attach_active(Scope::Personal(DOUG), doc, deadline.clone())
+            .unwrap();
+        // Doug's property is personal, so Eyal's read never even reaches
+        // it; lapse and confirm overdue.
+        let _ = space.read_document(EYAL, doc).unwrap();
+        clock.advance(5_000);
+        space.timer_tick().unwrap();
+        assert!(deadline.overdue());
+    }
+
+    #[test]
+    fn cache_served_reads_meet_the_deadline_too() {
+        let (space, doc, clock) = setup();
+        let deadline = Deadline::read_by(DOUG, clock.now().plus(1_000_000));
+        space
+            .attach_active(Scope::Personal(DOUG), doc, deadline.clone())
+            .unwrap();
+        // A cache serves Doug locally but forwards the operation event.
+        space
+            .post_cache_event(DOUG, doc, EventKind::CacheRead)
+            .unwrap();
+        assert!(deadline.met());
+    }
+
+    #[test]
+    fn late_reads_do_not_retroactively_meet() {
+        let (space, doc, clock) = setup();
+        let deadline = Deadline::read_by(DOUG, clock.now().plus(1_000));
+        space
+            .attach_active(Scope::Personal(DOUG), doc, deadline.clone())
+            .unwrap();
+        clock.advance(5_000);
+        let _ = space.read_document(DOUG, doc).unwrap();
+        assert!(!deadline.met(), "read after the due instant");
+        space.timer_tick().unwrap();
+        assert!(deadline.overdue());
+    }
+}

@@ -1,0 +1,147 @@
+//! Small marker and helper properties: uncacheable, TTL, watermark.
+
+use placeless_core::cacheability::Cacheability;
+use placeless_core::error::Result;
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
+use placeless_core::streams::{InputStream, TransformingInput};
+use placeless_core::verifier::TtlVerifier;
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Marks a document's content uncacheable regardless of its source.
+pub struct UncacheableMarker;
+
+impl UncacheableMarker {
+    /// Creates the marker.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self)
+    }
+}
+
+impl ActiveProperty for UncacheableMarker {
+    fn name(&self) -> &str {
+        "uncacheable"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream])
+    }
+
+    fn wrap_input(
+        &self,
+        _ctx: &PathCtx<'_>,
+        report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        report.vote(Cacheability::Uncacheable);
+        Ok(inner)
+    }
+}
+
+/// Attaches a TTL verifier to every read, bounding staleness even for
+/// repositories with no consistency mechanism at all.
+pub struct TtlProperty {
+    ttl_micros: u64,
+}
+
+impl TtlProperty {
+    /// Creates a TTL property granting `ttl_micros` of freshness per fill.
+    pub fn new(ttl_micros: u64) -> Arc<Self> {
+        Arc::new(Self { ttl_micros })
+    }
+}
+
+impl ActiveProperty for TtlProperty {
+    fn name(&self) -> &str {
+        "ttl"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream])
+    }
+
+    fn wrap_input(
+        &self,
+        ctx: &PathCtx<'_>,
+        report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        report.add_verifier(TtlVerifier::for_ttl(ctx.clock.now(), self.ttl_micros));
+        Ok(inner)
+    }
+}
+
+/// Prepends a per-user watermark line on the read path, making each user's
+/// view distinct (and therefore unshareable in the cache — the sharing
+/// benchmark's counterpoint).
+pub struct Watermark;
+
+impl Watermark {
+    /// Creates the watermark property.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self)
+    }
+}
+
+impl ActiveProperty for Watermark {
+    fn name(&self) -> &str {
+        "watermark"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream])
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        30
+    }
+
+    fn wrap_input(
+        &self,
+        ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        let line = format!("[licensed to {}]\n", ctx.user);
+        Ok(Box::new(TransformingInput::new(
+            inner,
+            Box::new(move |bytes| {
+                let mut out = Vec::with_capacity(line.len() + bytes.len());
+                out.extend_from_slice(line.as_bytes());
+                out.extend_from_slice(&bytes);
+                Ok(Bytes::from(out))
+            }),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{read_through, read_through_with_report};
+    use placeless_core::verifier::Validity;
+    use placeless_simenv::VirtualClock;
+
+    #[test]
+    fn uncacheable_marker_votes() {
+        let (_bytes, report) = read_through_with_report(UncacheableMarker::new(), b"x");
+        assert_eq!(report.cacheability, Cacheability::Uncacheable);
+    }
+
+    #[test]
+    fn ttl_property_ships_a_verifier() {
+        let (_bytes, report) = read_through_with_report(TtlProperty::new(5_000), b"x");
+        assert_eq!(report.verifiers.len(), 1);
+        let clock = VirtualClock::new();
+        assert_eq!(report.verifiers[0].check(&clock), Validity::Valid);
+        clock.advance(5_001);
+        assert_eq!(report.verifiers[0].check(&clock), Validity::Invalid);
+    }
+
+    #[test]
+    fn watermark_prepends_user_line() {
+        let out = read_through(Watermark::new(), b"body");
+        assert_eq!(out, "[licensed to user-1]\nbody");
+    }
+}

@@ -1,0 +1,211 @@
+//! The financial-portfolio property: heavy per-user customization from
+//! external sources.
+//!
+//! §3: "For a document with heavy customization, like a financial portfolio
+//! page, the verifier may invalidate the cached entry only if there has
+//! been significant change in the stock quotes or even modify these values
+//! as needed."
+//!
+//! [`Portfolio`] appends a live quotes section to the document on the read
+//! path and ships a *smart verifier*: quotes unchanged → `Valid`; quotes
+//! moved but all within the configured threshold → `Valid` (insignificant);
+//! any quote moved beyond the threshold → `Replace` with the quotes section
+//! rebuilt in place, so the cache refreshes the entry without re-running
+//! the full read path.
+
+use placeless_core::error::Result;
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::external::ExternalSource;
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
+use placeless_core::streams::{InputStream, TransformingInput};
+use placeless_core::verifier::{ClosureVerifier, Validity};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Appends live quotes and ships a threshold verifier.
+pub struct Portfolio {
+    sources: Vec<(String, Arc<dyn ExternalSource>)>,
+    /// Relative price move (e.g. `0.01` = 1 %) below which a change is
+    /// insignificant.
+    threshold: f64,
+}
+
+impl Portfolio {
+    /// Creates a portfolio over `(symbol, source)` pairs with a relative
+    /// significance threshold.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(sources: Vec<(String, Arc<dyn ExternalSource>)>, threshold: f64) -> Arc<Self> {
+        Arc::new(Self {
+            sources,
+            threshold: threshold.max(0.0),
+        })
+    }
+
+    fn quotes_section(sources: &[(String, Arc<dyn ExternalSource>)]) -> String {
+        let mut out = String::from("\n--- portfolio ---\n");
+        for (symbol, source) in sources {
+            out.push_str(symbol);
+            out.push(' ');
+            out.push_str(&String::from_utf8_lossy(&source.read()));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn read_values(sources: &[(String, Arc<dyn ExternalSource>)]) -> Vec<f64> {
+        sources
+            .iter()
+            .map(|(_, s)| {
+                String::from_utf8_lossy(&s.read())
+                    .trim()
+                    .parse::<f64>()
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+}
+
+impl ActiveProperty for Portfolio {
+    fn name(&self) -> &str {
+        "portfolio"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream])
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        500 + 100 * self.sources.len() as u64
+    }
+
+    fn wrap_input(
+        &self,
+        _ctx: &PathCtx<'_>,
+        report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        let sources = self.sources.clone();
+        let threshold = self.threshold;
+
+        // The body (content before the quotes section) is captured when the
+        // transform runs so the verifier can rebuild the entry in place.
+        let body: Arc<Mutex<Option<Bytes>>> = Arc::new(Mutex::new(None));
+        let fill_values: Arc<Mutex<Vec<f64>>> =
+            Arc::new(Mutex::new(Self::read_values(&sources)));
+
+        let probe_cost = 25 * sources.len().max(1) as u64;
+
+        let v_sources = sources.clone();
+        let v_body = body.clone();
+        let v_values = fill_values.clone();
+        report.add_verifier(ClosureVerifier::new(
+            "portfolio-quotes",
+            probe_cost,
+            move |_| {
+                let pinned = v_values.lock().clone();
+                let now = Portfolio::read_values(&v_sources);
+                if pinned == now {
+                    return Validity::Valid;
+                }
+                let significant = pinned.iter().zip(&now).any(|(&old, &new)| {
+                    let base = old.abs().max(f64::EPSILON);
+                    (new - old).abs() / base > threshold
+                });
+                if !significant {
+                    return Validity::Valid;
+                }
+                // Rebuild the entry in place: body + fresh quotes.
+                match v_body.lock().as_ref() {
+                    Some(body) => {
+                        *v_values.lock() = now;
+                        let mut out = body.to_vec();
+                        out.extend_from_slice(
+                            Portfolio::quotes_section(&v_sources).as_bytes(),
+                        );
+                        Validity::Replace(Bytes::from(out))
+                    }
+                    // Body unknown (entry filled elsewhere): force a refill.
+                    None => Validity::Invalid,
+                }
+            },
+        ));
+
+        Ok(Box::new(TransformingInput::new(
+            inner,
+            Box::new(move |bytes| {
+                *body.lock() = Some(bytes.clone());
+                *fill_values.lock() = Portfolio::read_values(&sources);
+                let mut out = bytes.to_vec();
+                out.extend_from_slice(Portfolio::quotes_section(&sources).as_bytes());
+                Ok(Bytes::from(out))
+            }),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::read_through_with_report;
+    use placeless_core::external::SimpleExternal;
+    use placeless_simenv::VirtualClock;
+
+    type SourceList = Vec<(String, Arc<dyn ExternalSource>)>;
+
+    fn sources(price: &str) -> (Arc<SimpleExternal>, SourceList) {
+        let xrx = SimpleExternal::new("stock:XRX", price.to_owned());
+        let list: Vec<(String, Arc<dyn ExternalSource>)> =
+            vec![("XRX".to_owned(), xrx.clone() as Arc<dyn ExternalSource>)];
+        (xrx, list)
+    }
+
+    #[test]
+    fn appends_quotes_section() {
+        let (_xrx, list) = sources("42.50");
+        let prop = Portfolio::new(list, 0.01);
+        let (bytes, report) = read_through_with_report(prop, b"My investments");
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.starts_with("My investments"));
+        assert!(text.contains("XRX 42.50"));
+        assert_eq!(report.verifiers.len(), 1);
+    }
+
+    #[test]
+    fn unchanged_quotes_stay_valid() {
+        let clock = VirtualClock::new();
+        let (_xrx, list) = sources("42.50");
+        let prop = Portfolio::new(list, 0.01);
+        let (_bytes, report) = read_through_with_report(prop, b"body");
+        assert_eq!(report.verifiers[0].check(&clock), Validity::Valid);
+    }
+
+    #[test]
+    fn insignificant_moves_stay_valid() {
+        let clock = VirtualClock::new();
+        let (xrx, list) = sources("100.0");
+        let prop = Portfolio::new(list, 0.05);
+        let (_bytes, report) = read_through_with_report(prop, b"body");
+        xrx.set("101.0"); // 1 % move, threshold 5 %
+        assert_eq!(report.verifiers[0].check(&clock), Validity::Valid);
+    }
+
+    #[test]
+    fn significant_moves_replace_in_place() {
+        let clock = VirtualClock::new();
+        let (xrx, list) = sources("100.0");
+        let prop = Portfolio::new(list, 0.01);
+        let (_bytes, report) = read_through_with_report(prop, b"body");
+        xrx.set("110.0"); // 10 % move
+        match report.verifiers[0].check(&clock) {
+            Validity::Replace(bytes) => {
+                let text = String::from_utf8_lossy(&bytes);
+                assert!(text.starts_with("body"));
+                assert!(text.contains("XRX 110"));
+            }
+            other => panic!("expected Replace, got {other:?}"),
+        }
+        // After the in-place refresh, the verifier is valid again.
+        assert_eq!(report.verifiers[0].check(&clock), Validity::Valid);
+    }
+}

@@ -1,0 +1,102 @@
+//! A streaming at-rest scrambling property (ROT13).
+//!
+//! Stands in for an encryption property: content is scrambled on the write
+//! path (so the repository stores ciphertext) and unscrambled on the read
+//! path. Because ROT13 is an involution, the same byte map serves both
+//! directions, and because it is byte-wise it uses the *streaming*
+//! (non-buffering) wrappers — exercising the chunked half of the stream
+//! machinery.
+
+use placeless_core::error::Result;
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
+use placeless_core::streams::{InputStream, MappingInput, MappingOutput, OutputStream};
+use std::sync::Arc;
+
+/// Maps one byte through ROT13 (letters only).
+pub fn rot13_byte(b: u8) -> u8 {
+    match b {
+        b'a'..=b'z' => (b - b'a' + 13) % 26 + b'a',
+        b'A'..=b'Z' => (b - b'A' + 13) % 26 + b'A',
+        _ => b,
+    }
+}
+
+/// Scrambles at rest, unscrambles on read.
+pub struct Rot13AtRest;
+
+impl Rot13AtRest {
+    /// Creates the property.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self)
+    }
+}
+
+impl ActiveProperty for Rot13AtRest {
+    fn name(&self) -> &str {
+        "rot13-at-rest"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream, EventKind::GetOutputStream])
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        50
+    }
+
+    fn wrap_input(
+        &self,
+        _ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        Ok(Box::new(MappingInput::new(inner, rot13_byte)))
+    }
+
+    fn wrap_output(
+        &self,
+        _ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn OutputStream>,
+    ) -> Result<Box<dyn OutputStream>> {
+        Ok(Box::new(MappingOutput::new(inner, rot13_byte)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{read_through, write_through};
+
+    #[test]
+    fn byte_map_is_involution() {
+        for b in 0..=255u8 {
+            assert_eq!(rot13_byte(rot13_byte(b)), b);
+        }
+    }
+
+    #[test]
+    fn scrambles_on_write() {
+        let prop = Rot13AtRest::new();
+        assert_eq!(write_through(prop, b"Hello, World!"), "Uryyb, Jbeyq!");
+    }
+
+    #[test]
+    fn unscrambles_on_read() {
+        let prop = Rot13AtRest::new();
+        assert_eq!(read_through(prop, b"Uryyb, Jbeyq!"), "Hello, World!");
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let stored = write_through(Rot13AtRest::new(), b"round trip 123");
+        assert_eq!(read_through(Rot13AtRest::new(), &stored), "round trip 123");
+    }
+
+    #[test]
+    fn non_letters_untouched() {
+        let prop = Rot13AtRest::new();
+        assert_eq!(read_through(prop, b"123 !@# \n"), "123 !@# \n");
+    }
+}

@@ -1,0 +1,108 @@
+//! The "summary" property: returns a condensed version of the document.
+//!
+//! "A summary property may return a condensed version of the document
+//! instead of its original in full length." The condensation keeps the
+//! first `n` sentences.
+
+use placeless_core::error::Result;
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
+use placeless_core::streams::{InputStream, TransformingInput};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// First-`n`-sentences summarization on the read path.
+pub struct Summarize {
+    sentences: usize,
+    cost_micros: u64,
+}
+
+impl Summarize {
+    /// Creates a summarizer keeping the first `sentences` sentences.
+    pub fn first_sentences(sentences: usize) -> Arc<Self> {
+        Arc::new(Self {
+            sentences: sentences.max(1),
+            cost_micros: 1_500,
+        })
+    }
+
+    /// Condenses a buffer to the first `n` sentences.
+    pub fn condense(n: usize, text: &[u8]) -> Bytes {
+        let text = String::from_utf8_lossy(text);
+        let mut out = String::new();
+        let mut count = 0;
+        for ch in text.chars() {
+            out.push(ch);
+            if matches!(ch, '.' | '!' | '?') {
+                count += 1;
+                if count >= n {
+                    break;
+                }
+            }
+        }
+        Bytes::from(out)
+    }
+}
+
+impl ActiveProperty for Summarize {
+    fn name(&self) -> &str {
+        "summarize"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream])
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        self.cost_micros
+    }
+
+    fn wrap_input(
+        &self,
+        _ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        let n = self.sentences;
+        Ok(Box::new(TransformingInput::new(
+            inner,
+            Box::new(move |bytes| Ok(Self::condense(n, &bytes))),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::read_through;
+
+    #[test]
+    fn keeps_first_sentences() {
+        let prop = Summarize::first_sentences(2);
+        assert_eq!(
+            read_through(prop, b"One. Two! Three? Four."),
+            "One. Two!"
+        );
+    }
+
+    #[test]
+    fn shorter_text_is_unchanged() {
+        let prop = Summarize::first_sentences(5);
+        assert_eq!(read_through(prop, b"Only one."), "Only one.");
+        let prop = Summarize::first_sentences(5);
+        assert_eq!(read_through(prop, b"no terminator"), "no terminator");
+    }
+
+    #[test]
+    fn zero_clamps_to_one() {
+        let prop = Summarize::first_sentences(0);
+        assert_eq!(read_through(prop, b"A. B."), "A.");
+    }
+
+    #[test]
+    fn read_path_only() {
+        let prop = Summarize::first_sentences(1);
+        assert!(prop.interests().contains(EventKind::GetInputStream));
+        assert!(!prop.interests().contains(EventKind::GetOutputStream));
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared helpers for property unit tests.
+
+use placeless_core::event::EventSite;
+use placeless_core::id::{DocumentId, UserId};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport, PropsSnapshot};
+use placeless_core::streams::{read_all, write_all, CollectOutput, InputStream, MemoryInput};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use placeless_simenv::VirtualClock;
+use std::sync::Arc;
+
+/// Runs `input` through a property's read-path wrapper and returns the
+/// transformed bytes.
+pub fn read_through(prop: Arc<dyn ActiveProperty>, input: &[u8]) -> Bytes {
+    read_through_with_report(prop, input).0
+}
+
+/// Like [`read_through`], also returning the path report.
+pub fn read_through_with_report(
+    prop: Arc<dyn ActiveProperty>,
+    input: &[u8],
+) -> (Bytes, PathReport) {
+    let clock = VirtualClock::new();
+    let snap = PropsSnapshot::default();
+    let ctx = PathCtx {
+        clock: &clock,
+        doc: DocumentId(1),
+        user: UserId(1),
+        site: EventSite::Reference(UserId(1)),
+        props: &snap,
+    };
+    let mut report = PathReport::default();
+    let inner: Box<dyn InputStream> = Box::new(MemoryInput::new(Bytes::copy_from_slice(input)));
+    let mut wrapped = prop.wrap_input(&ctx, &mut report, inner).expect("wrap_input");
+    let bytes = read_all(wrapped.as_mut()).expect("read");
+    (bytes, report)
+}
+
+/// Runs `input` through a property's write-path wrapper and returns what
+/// reached the sink.
+pub fn write_through(prop: Arc<dyn ActiveProperty>, input: &[u8]) -> Bytes {
+    let clock = VirtualClock::new();
+    let snap = PropsSnapshot::default();
+    let ctx = PathCtx {
+        clock: &clock,
+        doc: DocumentId(1),
+        user: UserId(1),
+        site: EventSite::Reference(UserId(1)),
+        props: &snap,
+    };
+    let mut report = PathReport::default();
+    let captured = Arc::new(Mutex::new(Bytes::new()));
+    let sink_capture = captured.clone();
+    let sink = CollectOutput::new(move |bytes| {
+        *sink_capture.lock() = bytes;
+        Ok(())
+    });
+    let mut wrapped = prop
+        .wrap_output(&ctx, &mut report, Box::new(sink))
+        .expect("wrap_output");
+    write_all(wrapped.as_mut(), input).expect("write");
+    wrapped.close().expect("close");
+    let result = captured.lock().clone();
+    result
+}

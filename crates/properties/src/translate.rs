@@ -1,0 +1,239 @@
+//! The "translate to French" property.
+//!
+//! A word-map translation standing in for the paper's language translation
+//! service. The target language can be fixed at attach time or resolved
+//! from the document's `preferredLanguage` static property at read time —
+//! the latter demonstrates a property depending on *other property values*
+//! (changing `preferredLanguage` is then an invalidation cause).
+
+use placeless_core::error::Result;
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
+use placeless_core::streams::{InputStream, TransformingInput};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// English → French.
+pub const EN_FR: &[(&str, &str)] = &[
+    ("the", "le"),
+    ("document", "document"),
+    ("paper", "papier"),
+    ("workshop", "atelier"),
+    ("cache", "cache"),
+    ("property", "propriété"),
+    ("active", "actif"),
+    ("draft", "brouillon"),
+    ("hello", "bonjour"),
+    ("world", "monde"),
+    ("budget", "budget"),
+    ("and", "et"),
+    ("content", "contenu"),
+    ("system", "système"),
+];
+
+/// English → Spanish.
+pub const EN_ES: &[(&str, &str)] = &[
+    ("the", "el"),
+    ("document", "documento"),
+    ("paper", "papel"),
+    ("workshop", "taller"),
+    ("cache", "caché"),
+    ("property", "propiedad"),
+    ("active", "activo"),
+    ("draft", "borrador"),
+    ("hello", "hola"),
+    ("world", "mundo"),
+    ("budget", "presupuesto"),
+    ("and", "y"),
+    ("content", "contenido"),
+    ("system", "sistema"),
+];
+
+/// How the target language is chosen.
+enum Target {
+    /// Fixed at attach time.
+    Fixed(String),
+    /// Read from the `preferredLanguage` static property on each path.
+    FromProperty,
+}
+
+/// Word-map translation on the read path.
+pub struct Translate {
+    target: Target,
+    tables: Arc<HashMap<String, HashMap<String, String>>>,
+    cost_micros: u64,
+}
+
+fn builtin_tables() -> Arc<HashMap<String, HashMap<String, String>>> {
+    let mut tables = HashMap::new();
+    for (lang, pairs) in [("fr", EN_FR), ("es", EN_ES)] {
+        tables.insert(
+            lang.to_owned(),
+            pairs
+                .iter()
+                .map(|&(a, b)| (a.to_owned(), b.to_owned()))
+                .collect(),
+        );
+    }
+    Arc::new(tables)
+}
+
+impl Translate {
+    /// Creates a translator with a fixed target language (`"fr"`, `"es"`).
+    pub fn to(language: &str) -> Arc<Self> {
+        Arc::new(Self {
+            target: Target::Fixed(language.to_owned()),
+            tables: builtin_tables(),
+            cost_micros: 2_000,
+        })
+    }
+
+    /// Creates a translator that resolves `preferredLanguage` from the
+    /// document's properties at read time.
+    pub fn from_preferred_language() -> Arc<Self> {
+        Arc::new(Self {
+            target: Target::FromProperty,
+            tables: builtin_tables(),
+            cost_micros: 2_000,
+        })
+    }
+
+    /// Translates a whole buffer to `language`, leaving unknown words
+    /// untouched. An unknown language leaves the text unchanged.
+    pub fn translate(
+        tables: &HashMap<String, HashMap<String, String>>,
+        language: &str,
+        text: &[u8],
+    ) -> Bytes {
+        let Some(table) = tables.get(language) else {
+            return Bytes::copy_from_slice(text);
+        };
+        let text = String::from_utf8_lossy(text);
+        let mut out = String::with_capacity(text.len());
+        let mut word = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() || ch == '\'' {
+                word.push(ch);
+            } else {
+                flush(table, &mut out, &mut word);
+                out.push(ch);
+            }
+        }
+        flush(table, &mut out, &mut word);
+        Bytes::from(out)
+    }
+}
+
+fn flush(table: &HashMap<String, String>, out: &mut String, word: &mut String) {
+    if word.is_empty() {
+        return;
+    }
+    match table.get(&word.to_lowercase()) {
+        Some(t) => out.push_str(t),
+        None => out.push_str(word),
+    }
+    word.clear();
+}
+
+impl ActiveProperty for Translate {
+    fn name(&self) -> &str {
+        "translate"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream])
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        self.cost_micros
+    }
+
+    fn wrap_input(
+        &self,
+        ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        let language = match &self.target {
+            Target::Fixed(lang) => lang.clone(),
+            Target::FromProperty => ctx
+                .props
+                .get("preferredLanguage")
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .unwrap_or_else(|| "en".to_owned()),
+        };
+        let tables = self.tables.clone();
+        Ok(Box::new(TransformingInput::new(
+            inner,
+            Box::new(move |bytes| Ok(Self::translate(&tables, &language, &bytes))),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::read_through;
+    use placeless_core::property::PropsSnapshot;
+    use placeless_core::streams::{read_all, MemoryInput};
+
+    #[test]
+    fn translates_to_french() {
+        let prop = Translate::to("fr");
+        assert_eq!(
+            read_through(prop, b"hello world, the workshop paper"),
+            "bonjour monde, le atelier papier"
+        );
+    }
+
+    #[test]
+    fn translates_to_spanish() {
+        let prop = Translate::to("es");
+        assert_eq!(read_through(prop, b"hello world"), "hola mundo");
+    }
+
+    #[test]
+    fn unknown_language_is_identity() {
+        let prop = Translate::to("klingon");
+        assert_eq!(read_through(prop, b"hello world"), "hello world");
+    }
+
+    #[test]
+    fn unknown_words_pass_through() {
+        let prop = Translate::to("fr");
+        assert_eq!(read_through(prop, b"hello xyzzy"), "bonjour xyzzy");
+    }
+
+    #[test]
+    fn resolves_preferred_language_from_properties() {
+        use placeless_core::event::EventSite;
+        use placeless_core::id::{DocumentId, UserId};
+        use placeless_core::property::{PathCtx, PathReport};
+        use placeless_simenv::VirtualClock;
+
+        let prop = Translate::from_preferred_language();
+        let clock = VirtualClock::new();
+        let snap = PropsSnapshot::from_pairs(vec![(
+            "preferredLanguage".to_owned(),
+            "es".into(),
+        )]);
+        let ctx = PathCtx {
+            clock: &clock,
+            doc: DocumentId(1),
+            user: UserId(1),
+            site: EventSite::Reference(UserId(1)),
+            props: &snap,
+        };
+        let mut report = PathReport::default();
+        let inner = Box::new(MemoryInput::new(Bytes::from_static(b"hello world")));
+        let mut wrapped = prop.wrap_input(&ctx, &mut report, inner).unwrap();
+        assert_eq!(read_all(wrapped.as_mut()).unwrap(), "hola mundo");
+    }
+
+    #[test]
+    fn no_preference_means_no_translation() {
+        let prop = Translate::from_preferred_language();
+        assert_eq!(read_through(prop, b"hello world"), "hello world");
+    }
+}

@@ -1,0 +1,166 @@
+//! The versioning property from the paper's running example.
+//!
+//! A universal property on the base document that "saves an old version of
+//! the paper each time someone opens it for writing": it tees the write
+//! path to capture each committed revision in its version store, and after
+//! the write completes it links the snapshot into the document by attaching
+//! a `version:N` static property to the base (via the follow-up mechanism —
+//! properties may not mutate documents mid-dispatch).
+
+use placeless_core::content::PropertyValue;
+use placeless_core::error::{PlacelessError, Result};
+use placeless_core::event::{DocumentEvent, EventKind, EventSite, Interests};
+use placeless_core::property::{
+    ActiveProperty, EventCtx, FollowUp, PathCtx, PathReport,
+};
+use placeless_core::streams::OutputStream;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Saves a version of the content on every write.
+pub struct Versioning {
+    versions: Arc<Mutex<Vec<Bytes>>>,
+}
+
+impl Versioning {
+    /// Creates an empty version store.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            versions: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// Returns the saved versions, oldest first.
+    pub fn versions(&self) -> Vec<Bytes> {
+        self.versions.lock().clone()
+    }
+
+    /// Returns the number of saved versions.
+    pub fn version_count(&self) -> usize {
+        self.versions.lock().len()
+    }
+}
+
+impl ActiveProperty for Versioning {
+    fn name(&self) -> &str {
+        "versioning"
+    }
+
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetOutputStream, EventKind::ContentWritten])
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        800
+    }
+
+    fn wrap_output(
+        &self,
+        _ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn OutputStream>,
+    ) -> Result<Box<dyn OutputStream>> {
+        Ok(Box::new(VersionTee {
+            inner: Some(inner),
+            buf: Vec::new(),
+            versions: self.versions.clone(),
+        }))
+    }
+
+    fn on_event(&self, ctx: &EventCtx<'_>, event: &DocumentEvent) -> Result<()> {
+        if event.kind != EventKind::ContentWritten {
+            return Ok(());
+        }
+        // The tee already captured the new revision (write-path wrappers
+        // close before ContentWritten fires); link it into the document.
+        let versions = self.versions.lock();
+        if let Some(snapshot) = versions.last() {
+            ctx.request(FollowUp::AttachStatic {
+                doc: event.doc,
+                site: EventSite::Base,
+                name: format!("version:{}", versions.len()),
+                value: PropertyValue::Blob(snapshot.clone()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Pass-through output that snapshots the full content on close.
+struct VersionTee {
+    inner: Option<Box<dyn OutputStream>>,
+    buf: Vec<u8>,
+    versions: Arc<Mutex<Vec<Bytes>>>,
+}
+
+impl OutputStream for VersionTee {
+    fn write(&mut self, buf: &[u8]) -> Result<usize> {
+        let inner = self.inner.as_mut().ok_or(PlacelessError::StreamClosed)?;
+        placeless_core::streams::write_all(inner.as_mut(), buf)?;
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        let mut inner = self.inner.take().ok_or(PlacelessError::StreamClosed)?;
+        self.versions
+            .lock()
+            .push(Bytes::from(std::mem::take(&mut self.buf)));
+        inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::prelude::*;
+    use placeless_simenv::{LatencyModel, VirtualClock};
+
+    const ALICE: UserId = UserId(1);
+
+    #[test]
+    fn each_write_saves_a_version() {
+        let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+        let provider = MemoryProvider::new("t", "original", 0);
+        let doc = space.create_document(ALICE, provider);
+        let versioning = Versioning::new();
+        space
+            .attach_active(Scope::Universal, doc, versioning.clone())
+            .unwrap();
+        space.write_document(ALICE, doc, b"draft 1").unwrap();
+        space.write_document(ALICE, doc, b"draft 2").unwrap();
+        assert_eq!(versioning.versions(), vec!["draft 1", "draft 2"]);
+    }
+
+    #[test]
+    fn versions_are_linked_as_static_properties() {
+        let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+        let provider = MemoryProvider::new("t", "original", 0);
+        let doc = space.create_document(ALICE, provider);
+        space
+            .attach_active(Scope::Universal, doc, Versioning::new())
+            .unwrap();
+        space.write_document(ALICE, doc, b"draft 1").unwrap();
+        let link = space.property_value(ALICE, doc, "version:1").unwrap();
+        match link {
+            PropertyValue::Blob(b) => assert_eq!(b, "draft 1"),
+            other => panic!("expected blob link, got {other:?}"),
+        }
+        space.write_document(ALICE, doc, b"draft 2").unwrap();
+        assert!(space.property_value(ALICE, doc, "version:2").is_some());
+    }
+
+    #[test]
+    fn reads_do_not_create_versions() {
+        let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+        let provider = MemoryProvider::new("t", "original", 0);
+        let doc = space.create_document(ALICE, provider);
+        let versioning = Versioning::new();
+        space
+            .attach_active(Scope::Universal, doc, versioning.clone())
+            .unwrap();
+        let _ = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(versioning.version_count(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! PropLang abstract syntax.
+//!
+//! A program is a list of `@`-directives (caching metadata) followed by a
+//! pipeline of transform stages. Example:
+//!
+//! ```text
+//! @cost(800)
+//! @cacheable(events)
+//! @watch_ext("stock:XRX")
+//! upper | replace("teh", "the") | if(prop("lang") == "fr", append(" [fr]"))
+//! ```
+
+use placeless_core::cacheability::Cacheability;
+
+/// Which paths a program's pipeline runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunOn {
+    /// The read path only (the default).
+    #[default]
+    Read,
+    /// The write path only.
+    Write,
+    /// Both paths.
+    Both,
+}
+
+impl RunOn {
+    /// Returns `true` if the pipeline runs on reads.
+    pub fn reads(self) -> bool {
+        matches!(self, RunOn::Read | RunOn::Both)
+    }
+
+    /// Returns `true` if the pipeline runs on writes.
+    pub fn writes(self) -> bool {
+        matches!(self, RunOn::Write | RunOn::Both)
+    }
+}
+
+/// One transform stage in a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// Uppercase the content.
+    Upper,
+    /// Lowercase the content.
+    Lower,
+    /// Trim leading/trailing whitespace.
+    Trim,
+    /// ROT13 the content.
+    Rot13,
+    /// Replace all occurrences of the first string with the second.
+    Replace(String, String),
+    /// Prepend a string.
+    Prepend(String),
+    /// Append a string.
+    Append(String),
+    /// Keep the first `n` sentences.
+    FirstSentences(i64),
+    /// Keep the first `n` lines.
+    TakeLines(i64),
+    /// Append the current value of a named external source.
+    AppendExt(String),
+    /// Substitute `${prop:NAME}` and `${ext:NAME}` placeholders in the
+    /// content.
+    Subst,
+    /// Word-wrap to at most `n` columns.
+    Wrap(i64),
+    /// Prefix each line with its 1-based number.
+    NumberLines,
+    /// Replace every occurrence of the word with `█` characters.
+    Redact(String),
+    /// Keep only the first `n` bytes (on a char boundary).
+    HeadBytes(i64),
+    /// Run the inner stage only when the condition holds.
+    If(Cond, Box<Stage>),
+}
+
+/// A condition over the document's visible static properties.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `prop("name") == "value"`
+    PropEquals(String, String),
+    /// `prop("name") != "value"`
+    PropNotEquals(String, String),
+    /// `prop("name")` — the property exists.
+    PropExists(String),
+    /// `!cond`
+    Not(Box<Cond>),
+}
+
+/// A parsed PropLang program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The transform pipeline, applied left to right.
+    pub stages: Vec<Stage>,
+    /// Declared execution cost in microseconds (`@cost(n)`).
+    pub cost_micros: Option<u64>,
+    /// Declared cacheability vote (`@cacheable(unrestricted|events|never)`).
+    pub cacheability: Option<Cacheability>,
+    /// TTL verifier to ship with reads (`@ttl(micros)`).
+    pub ttl_micros: Option<u64>,
+    /// External sources whose changes invalidate cached results
+    /// (`@watch_ext("name")`).
+    pub watch_ext: Vec<String>,
+    /// Which paths the pipeline runs on (`@on(read|write|both)`).
+    pub run_on: RunOn,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_program_is_empty() {
+        let p = Program::default();
+        assert!(p.stages.is_empty());
+        assert_eq!(p.cost_micros, None);
+        assert_eq!(p.cacheability, None);
+    }
+
+    #[test]
+    fn stages_compare_structurally() {
+        assert_eq!(
+            Stage::Replace("a".into(), "b".into()),
+            Stage::Replace("a".into(), "b".into())
+        );
+        assert_ne!(Stage::Upper, Stage::Lower);
+        let cond = Cond::Not(Box::new(Cond::PropExists("x".into())));
+        assert_eq!(cond.clone(), cond);
+    }
+}

@@ -1,0 +1,30 @@
+//! # PropLang: runtime-authored active properties
+//!
+//! The original Placeless system attached *executable* properties to
+//! documents — Java objects loaded at runtime. A statically compiled Rust
+//! reproduction cannot load code, so PropLang closes the gap: a small
+//! interpreted transform language whose programs are plain strings,
+//! attachable to documents through the property registry and executed on
+//! the read path.
+//!
+//! ```text
+//! @cost(800)                      # replacement/execution cost in µs
+//! @cacheable(events)              # cacheability vote
+//! @ttl(5000000)                   # ship a TTL verifier
+//! @watch_ext("stock:XRX")         # ship an epoch verifier
+//! upper | replace("teh", "the") | if(prop("lang") == "fr", append(" [fr]"))
+//! ```
+//!
+//! See [`property::ScriptProperty`] for the [`placeless_core::property::ActiveProperty`]
+//! bridge and [`property::register_proplang`] for registry integration.
+
+pub mod ast;
+pub mod interp;
+pub mod parser;
+pub mod property;
+pub mod token;
+
+pub use ast::{Cond, Program, Stage};
+pub use interp::{run, ExtEnv};
+pub use parser::parse;
+pub use property::{register_proplang, ScriptProperty};

@@ -1,0 +1,374 @@
+//! PropLang recursive-descent parser.
+
+use crate::ast::{Cond, Program, RunOn, Stage};
+use crate::token::{lex, Token};
+use placeless_core::cacheability::Cacheability;
+use placeless_core::error::{PlacelessError, Result};
+
+/// Parses a PropLang source string into a [`Program`].
+pub fn parse(source: &str) -> Result<Program> {
+    let tokens = lex(source)?;
+    Parser {
+        tokens,
+        position: 0,
+    }
+    .program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    position: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.position)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.position).cloned();
+        if token.is_some() {
+            self.position += 1;
+        }
+        token
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<()> {
+        match self.next() {
+            Some(ref token) if token == expected => Ok(()),
+            other => Err(err(format!("expected {expected:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(err(format!("expected string, found {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(i),
+            other => Err(err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(Token::Sep) => {
+                    self.next();
+                }
+                Some(Token::At) => {
+                    self.next();
+                    self.directive(&mut program)?;
+                }
+                Some(_) => {
+                    if !program.stages.is_empty() {
+                        return Err(err("multiple pipelines; use `|` to chain".to_owned()));
+                    }
+                    program.stages = self.pipeline()?;
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn directive(&mut self, program: &mut Program) -> Result<()> {
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        match name.as_str() {
+            "cost" => {
+                let micros = self.int()?;
+                if micros < 0 {
+                    return Err(err("@cost must be non-negative".to_owned()));
+                }
+                program.cost_micros = Some(micros as u64);
+            }
+            "ttl" => {
+                let micros = self.int()?;
+                if micros < 0 {
+                    return Err(err("@ttl must be non-negative".to_owned()));
+                }
+                program.ttl_micros = Some(micros as u64);
+            }
+            "cacheable" => {
+                let level = self.ident()?;
+                program.cacheability = Some(match level.as_str() {
+                    "unrestricted" => Cacheability::Unrestricted,
+                    "events" => Cacheability::CacheableWithEvents,
+                    "never" => Cacheability::Uncacheable,
+                    other => {
+                        return Err(err(format!(
+                            "unknown cacheability `{other}` (unrestricted|events|never)"
+                        )))
+                    }
+                });
+            }
+            "watch_ext" => {
+                let name = self.string()?;
+                program.watch_ext.push(name);
+            }
+            "on" => {
+                let path = self.ident()?;
+                program.run_on = match path.as_str() {
+                    "read" => RunOn::Read,
+                    "write" => RunOn::Write,
+                    "both" => RunOn::Both,
+                    other => {
+                        return Err(err(format!(
+                            "unknown path `{other}` (read|write|both)"
+                        )))
+                    }
+                };
+            }
+            other => return Err(err(format!("unknown directive `@{other}`"))),
+        }
+        self.expect(&Token::RParen)
+    }
+
+    fn pipeline(&mut self) -> Result<Vec<Stage>> {
+        let mut stages = vec![self.stage()?];
+        while self.peek() == Some(&Token::Pipe) {
+            self.next();
+            stages.push(self.stage()?);
+        }
+        Ok(stages)
+    }
+
+    fn stage(&mut self) -> Result<Stage> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "upper" => Ok(Stage::Upper),
+            "lower" => Ok(Stage::Lower),
+            "trim" => Ok(Stage::Trim),
+            "rot13" => Ok(Stage::Rot13),
+            "subst" => Ok(Stage::Subst),
+            "replace" => {
+                self.expect(&Token::LParen)?;
+                let from = self.string()?;
+                self.expect(&Token::Comma)?;
+                let to = self.string()?;
+                self.expect(&Token::RParen)?;
+                if from.is_empty() {
+                    return Err(err("replace() needs a non-empty pattern".to_owned()));
+                }
+                Ok(Stage::Replace(from, to))
+            }
+            "prepend" => {
+                self.expect(&Token::LParen)?;
+                let s = self.string()?;
+                self.expect(&Token::RParen)?;
+                Ok(Stage::Prepend(s))
+            }
+            "append" => {
+                self.expect(&Token::LParen)?;
+                let s = self.string()?;
+                self.expect(&Token::RParen)?;
+                Ok(Stage::Append(s))
+            }
+            "first_sentences" => {
+                self.expect(&Token::LParen)?;
+                let n = self.int()?;
+                self.expect(&Token::RParen)?;
+                if n < 1 {
+                    return Err(err("first_sentences() needs n >= 1".to_owned()));
+                }
+                Ok(Stage::FirstSentences(n))
+            }
+            "take_lines" => {
+                self.expect(&Token::LParen)?;
+                let n = self.int()?;
+                self.expect(&Token::RParen)?;
+                if n < 0 {
+                    return Err(err("take_lines() needs n >= 0".to_owned()));
+                }
+                Ok(Stage::TakeLines(n))
+            }
+            "wrap" => {
+                self.expect(&Token::LParen)?;
+                let n = self.int()?;
+                self.expect(&Token::RParen)?;
+                if n < 1 {
+                    return Err(err("wrap() needs a width >= 1".to_owned()));
+                }
+                Ok(Stage::Wrap(n))
+            }
+            "number_lines" => Ok(Stage::NumberLines),
+            "redact" => {
+                self.expect(&Token::LParen)?;
+                let word = self.string()?;
+                self.expect(&Token::RParen)?;
+                if word.is_empty() {
+                    return Err(err("redact() needs a non-empty word".to_owned()));
+                }
+                Ok(Stage::Redact(word))
+            }
+            "head_bytes" => {
+                self.expect(&Token::LParen)?;
+                let n = self.int()?;
+                self.expect(&Token::RParen)?;
+                if n < 0 {
+                    return Err(err("head_bytes() needs n >= 0".to_owned()));
+                }
+                Ok(Stage::HeadBytes(n))
+            }
+            "append_ext" => {
+                self.expect(&Token::LParen)?;
+                let name = self.string()?;
+                self.expect(&Token::RParen)?;
+                Ok(Stage::AppendExt(name))
+            }
+            "if" => {
+                self.expect(&Token::LParen)?;
+                let cond = self.cond()?;
+                self.expect(&Token::Comma)?;
+                let inner = self.stage()?;
+                self.expect(&Token::RParen)?;
+                Ok(Stage::If(cond, Box::new(inner)))
+            }
+            other => Err(err(format!("unknown transform `{other}`"))),
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond> {
+        if self.peek() == Some(&Token::Bang) {
+            self.next();
+            return Ok(Cond::Not(Box::new(self.cond()?)));
+        }
+        let name = self.ident()?;
+        if name != "prop" {
+            return Err(err(format!("conditions start with prop(...), got `{name}`")));
+        }
+        self.expect(&Token::LParen)?;
+        let prop = self.string()?;
+        self.expect(&Token::RParen)?;
+        match self.peek() {
+            Some(Token::EqEq) => {
+                self.next();
+                let value = self.string()?;
+                Ok(Cond::PropEquals(prop, value))
+            }
+            Some(Token::NotEq) => {
+                self.next();
+                let value = self.string()?;
+                Ok(Cond::PropNotEquals(prop, value))
+            }
+            _ => Ok(Cond::PropExists(prop)),
+        }
+    }
+}
+
+fn err(message: String) -> PlacelessError {
+    PlacelessError::Script(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_pipeline() {
+        let program = parse(r#"upper | replace("a", "b") | append("!")"#).unwrap();
+        assert_eq!(
+            program.stages,
+            vec![
+                Stage::Upper,
+                Stage::Replace("a".into(), "b".into()),
+                Stage::Append("!".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_on_directive() {
+        assert_eq!(parse("@on(write)\nupper").unwrap().run_on, RunOn::Write);
+        assert_eq!(parse("@on(both)\nupper").unwrap().run_on, RunOn::Both);
+        assert_eq!(parse("upper").unwrap().run_on, RunOn::Read);
+        assert!(parse("@on(sideways)").is_err());
+    }
+
+    #[test]
+    fn parses_directives() {
+        let program = parse(
+            "@cost(800)\n@cacheable(events)\n@ttl(5000)\n@watch_ext(\"stock:XRX\")\nupper",
+        )
+        .unwrap();
+        assert_eq!(program.cost_micros, Some(800));
+        assert_eq!(program.cacheability, Some(Cacheability::CacheableWithEvents));
+        assert_eq!(program.ttl_micros, Some(5_000));
+        assert_eq!(program.watch_ext, vec!["stock:XRX"]);
+        assert_eq!(program.stages, vec![Stage::Upper]);
+    }
+
+    #[test]
+    fn parses_conditionals() {
+        let program = parse(r#"if(prop("lang") == "fr", append(" [fr]"))"#).unwrap();
+        assert_eq!(
+            program.stages,
+            vec![Stage::If(
+                Cond::PropEquals("lang".into(), "fr".into()),
+                Box::new(Stage::Append(" [fr]".into()))
+            )]
+        );
+        let program = parse(r#"if(!prop("draft"), prepend("FINAL: "))"#).unwrap();
+        assert_eq!(
+            program.stages,
+            vec![Stage::If(
+                Cond::Not(Box::new(Cond::PropExists("draft".into()))),
+                Box::new(Stage::Prepend("FINAL: ".into()))
+            )]
+        );
+    }
+
+    #[test]
+    fn parses_not_equals() {
+        let program = parse(r#"if(prop("lang") != "en", upper)"#).unwrap();
+        assert_eq!(
+            program.stages,
+            vec![Stage::If(
+                Cond::PropNotEquals("lang".into(), "en".into()),
+                Box::new(Stage::Upper)
+            )]
+        );
+    }
+
+    #[test]
+    fn empty_program_is_identity() {
+        let program = parse("").unwrap();
+        assert!(program.stages.is_empty());
+        let program = parse("@cost(10)").unwrap();
+        assert!(program.stages.is_empty());
+        assert_eq!(program.cost_micros, Some(10));
+    }
+
+    #[test]
+    fn rejects_bad_programs() {
+        assert!(parse("unknown_transform").is_err());
+        assert!(parse("@unknown(1)").is_err());
+        assert!(parse("@cost(-5)").is_err());
+        assert!(parse("@cacheable(sometimes)").is_err());
+        assert!(parse(r#"replace("", "x")"#).is_err());
+        assert!(parse("first_sentences(0)").is_err());
+        assert!(parse("upper\nlower").is_err(), "two pipelines need a pipe");
+        assert!(parse(r#"if(other("x"), upper)"#).is_err());
+        assert!(parse("replace(\"a\"").is_err(), "unclosed paren");
+    }
+
+    #[test]
+    fn directives_may_interleave_after_pipeline() {
+        let program = parse("upper\n@cost(10)").unwrap();
+        assert_eq!(program.stages, vec![Stage::Upper]);
+        assert_eq!(program.cost_micros, Some(10));
+    }
+}

@@ -1,0 +1,364 @@
+//! PropLang programs as attachable active properties.
+//!
+//! [`ScriptProperty`] wraps a parsed program in the
+//! [`ActiveProperty`] interface: the pipeline transforms the read path, the
+//! `@cacheable` directive becomes the cacheability vote, `@cost` the
+//! execution/replacement cost, `@ttl` ships a TTL verifier, and
+//! `@watch_ext` ships epoch verifiers over the named external sources.
+//!
+//! [`register_proplang`] exposes the whole mechanism through the property
+//! registry: `attach_by_name(..., "proplang", {name, source})` turns a
+//! *string written at runtime* into live document behaviour — the paper's
+//! executable attached properties without dynamic code loading.
+
+use crate::ast::Program;
+use crate::interp::{run, ExtEnv};
+use crate::parser::parse;
+use placeless_core::error::{PlacelessError, Result};
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
+use placeless_core::registry::PropertyRegistry;
+use placeless_core::streams::{InputStream, OutputStream, TransformingInput, TransformingOutput};
+use placeless_core::verifier::{EpochVerifier, TtlVerifier};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// A runtime-authored active property backed by the PropLang interpreter.
+pub struct ScriptProperty {
+    name: String,
+    program: Program,
+    env: ExtEnv,
+}
+
+impl ScriptProperty {
+    /// Compiles `source` into an attachable property.
+    pub fn compile(name: &str, source: &str, env: ExtEnv) -> Result<Arc<Self>> {
+        Ok(Arc::new(Self {
+            name: format!("proplang:{name}"),
+            program: parse(source)?,
+            env,
+        }))
+    }
+
+    /// Returns the parsed program (for inspection).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl ActiveProperty for ScriptProperty {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interests(&self) -> Interests {
+        let mut interests = Interests::NONE;
+        if self.program.run_on.reads() {
+            interests = interests.and(EventKind::GetInputStream);
+        }
+        if self.program.run_on.writes() {
+            interests = interests.and(EventKind::GetOutputStream);
+        }
+        interests
+    }
+
+    fn execution_cost_micros(&self) -> u64 {
+        // Declared cost, or a default proportional to pipeline length (an
+        // interpreted stage is pricier than a compiled one).
+        self.program
+            .cost_micros
+            .unwrap_or(200 + 100 * self.program.stages.len() as u64)
+    }
+
+    fn wrap_output(
+        &self,
+        ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn OutputStream>,
+    ) -> Result<Box<dyn OutputStream>> {
+        if !self.program.run_on.writes() {
+            return Ok(inner);
+        }
+        let program = self.program.clone();
+        let env = self.env.clone();
+        let props: Vec<(String, String)> = collect_props(ctx, &program);
+        Ok(Box::new(TransformingOutput::new(
+            inner,
+            Box::new(move |bytes| {
+                let lookup = |name: &str| {
+                    props
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| v.clone())
+                };
+                Ok(Bytes::from(run(&program, &bytes, &lookup, &env)?))
+            }),
+        )))
+    }
+
+    fn wrap_input(
+        &self,
+        ctx: &PathCtx<'_>,
+        report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        if !self.program.run_on.reads() {
+            return Ok(inner);
+        }
+        if let Some(vote) = self.program.cacheability {
+            report.vote(vote);
+        }
+        if let Some(ttl) = self.program.ttl_micros {
+            report.add_verifier(TtlVerifier::for_ttl(ctx.clock.now(), ttl));
+        }
+        for name in &self.program.watch_ext {
+            let source = self.env.get(name).ok_or_else(|| {
+                PlacelessError::Script(format!("@watch_ext: unknown source `{name}`"))
+            })?;
+            report.add_verifier(EpochVerifier::pinned(source));
+        }
+
+        // Snapshot the property values the interpreter may consult; the
+        // snapshot outlives the lazily-run transform.
+        let program = self.program.clone();
+        let env = self.env.clone();
+        let props: Vec<(String, String)> = collect_props(ctx, &program);
+        Ok(Box::new(TransformingInput::new(
+            inner,
+            Box::new(move |bytes| {
+                let lookup = |name: &str| {
+                    props
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| v.clone())
+                };
+                Ok(Bytes::from(run(&program, &bytes, &lookup, &env)?))
+            }),
+        )))
+    }
+}
+
+/// Pre-resolves every property name the program mentions.
+fn collect_props(ctx: &PathCtx<'_>, program: &Program) -> Vec<(String, String)> {
+    let mut names = Vec::new();
+    collect_names(&program.stages, &mut names);
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .filter_map(|name| {
+            ctx.props
+                .get(&name)
+                .map(|value| (name, value.to_string()))
+        })
+        .collect()
+}
+
+fn collect_names(stages: &[crate::ast::Stage], out: &mut Vec<String>) {
+    use crate::ast::{Cond, Stage};
+    fn cond_names(cond: &Cond, out: &mut Vec<String>) {
+        match cond {
+            Cond::PropEquals(name, _)
+            | Cond::PropNotEquals(name, _)
+            | Cond::PropExists(name) => out.push(name.clone()),
+            Cond::Not(inner) => cond_names(inner, out),
+        }
+    }
+    for stage in stages {
+        match stage {
+            Stage::If(cond, inner) => {
+                cond_names(cond, out);
+                collect_names(std::slice::from_ref(inner), out);
+            }
+            Stage::Subst => {
+                // `subst` can reference any property; resolve the common
+                // ones by scanning is impossible here, so `subst` programs
+                // should prefer explicit `if`/`append` forms. Placeholders
+                // over unresolved names substitute as empty.
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Registers the `proplang` kind: parameters `name` (label) and `source`
+/// (the program text).
+pub fn register_proplang(registry: &PropertyRegistry, env: ExtEnv) {
+    registry.register("proplang", move |params| {
+        let source = params.get_str("source").ok_or_else(|| {
+            PlacelessError::BadPropertyParams("`source` is required".to_owned())
+        })?;
+        let name = params.get_str("name").unwrap_or("anonymous");
+        Ok(ScriptProperty::compile(name, source, env.clone())? as Arc<dyn ActiveProperty>)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use placeless_core::cacheability::Cacheability;
+    use placeless_core::content::Params;
+    use placeless_core::external::SimpleExternal;
+    use placeless_core::prelude::*;
+    use placeless_core::verifier::Validity;
+    use placeless_simenv::{LatencyModel, VirtualClock};
+
+    const ALICE: UserId = UserId(1);
+
+    fn setup(content: &str) -> (Arc<DocumentSpace>, DocumentId) {
+        let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+        let provider = MemoryProvider::new("t", content.to_owned(), 0);
+        let doc = space.create_document(ALICE, provider);
+        (space, doc)
+    }
+
+    #[test]
+    fn script_transforms_the_read_path() {
+        let (space, doc) = setup("teh draft");
+        let prop =
+            ScriptProperty::compile("fix", r#"replace("teh", "the") | upper"#, ExtEnv::new())
+                .unwrap();
+        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        let (bytes, _) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "THE DRAFT");
+    }
+
+    #[test]
+    fn directives_flow_into_the_report() {
+        let (space, doc) = setup("content");
+        let prop = ScriptProperty::compile(
+            "meta",
+            "@cost(1234)\n@cacheable(events)\n@ttl(9000)\nupper",
+            ExtEnv::new(),
+        )
+        .unwrap();
+        assert_eq!(prop.execution_cost_micros(), 1_234);
+        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        let (_, report) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(report.cacheability, Cacheability::CacheableWithEvents);
+        // Provider mtime verifier + TTL verifier.
+        assert_eq!(report.verifiers.len(), 2);
+        assert!(report.cost.raw_micros() >= 1_234.0);
+    }
+
+    #[test]
+    fn watch_ext_ships_epoch_verifiers() {
+        let env = ExtEnv::new();
+        let quotes = SimpleExternal::new("stock:XRX", "42.50");
+        env.add(quotes.clone());
+        let (space, doc) = setup("body");
+        let prop = ScriptProperty::compile(
+            "quotes",
+            "@watch_ext(\"stock:XRX\")\nappend_ext(\"stock:XRX\")",
+            env,
+        )
+        .unwrap();
+        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        let (bytes, report) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "body42.50");
+        let clock = space.clock();
+        let epoch_verifier = report.verifiers.last().unwrap();
+        assert_eq!(epoch_verifier.check(clock), Validity::Valid);
+        quotes.set("43.00");
+        assert_eq!(epoch_verifier.check(clock), Validity::Invalid);
+    }
+
+    #[test]
+    fn conditions_see_document_properties() {
+        let (space, doc) = setup("doc");
+        space
+            .attach_static(Scope::Personal(ALICE), doc, "lang", "fr")
+            .unwrap();
+        let prop = ScriptProperty::compile(
+            "tag",
+            r#"if(prop("lang") == "fr", append(" [fr]"))"#,
+            ExtEnv::new(),
+        )
+        .unwrap();
+        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        let (bytes, _) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "doc [fr]");
+    }
+
+    #[test]
+    fn registry_attaches_source_strings() {
+        let (space, doc) = setup("runtime");
+        register_proplang(space.registry(), ExtEnv::new());
+        space
+            .attach_by_name(
+                Scope::Personal(ALICE),
+                doc,
+                "proplang",
+                &Params::new()
+                    .with("name", "shout")
+                    .with("source", "upper | append(\"!\")"),
+            )
+            .unwrap();
+        let (bytes, _) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "RUNTIME!");
+    }
+
+    #[test]
+    fn bad_source_fails_at_attach_time() {
+        let (space, doc) = setup("x");
+        register_proplang(space.registry(), ExtEnv::new());
+        let err = space
+            .attach_by_name(
+                Scope::Personal(ALICE),
+                doc,
+                "proplang",
+                &Params::new().with("source", "bogus_transform"),
+            )
+            .err()
+            .unwrap();
+        assert!(matches!(err, PlacelessError::Script(_)));
+        assert!(space
+            .attach_by_name(Scope::Personal(ALICE), doc, "proplang", &Params::new())
+            .is_err());
+    }
+
+    #[test]
+    fn on_write_scripts_transform_the_write_path() {
+        let (space, doc) = setup("original");
+        let prop = ScriptProperty::compile(
+            "normalize",
+            "@on(write)\ntrim | replace(\"teh\", \"the\")",
+            ExtEnv::new(),
+        )
+        .unwrap();
+        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        space
+            .write_document(ALICE, doc, b"  teh saved draft  ")
+            .unwrap();
+        let (bytes, _) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "the saved draft", "write-path pipeline ran");
+    }
+
+    #[test]
+    fn on_both_scripts_run_twice() {
+        let (space, doc) = setup("");
+        let prop = ScriptProperty::compile(
+            "stamp",
+            "@on(both)\nappend(\"+\")",
+            ExtEnv::new(),
+        )
+        .unwrap();
+        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        space.write_document(ALICE, doc, b"x").unwrap();
+        let (bytes, _) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "x++", "once on write, once on read");
+    }
+
+    #[test]
+    fn missing_watch_ext_source_fails_at_read_time() {
+        let (space, doc) = setup("x");
+        let prop = ScriptProperty::compile(
+            "broken",
+            "@watch_ext(\"ghost\")\nupper",
+            ExtEnv::new(),
+        )
+        .unwrap();
+        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        assert!(space.read_document(ALICE, doc).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! PropLang tokens and lexer.
+//!
+//! PropLang is deliberately tiny: identifiers, string and integer literals,
+//! pipes, parentheses, commas, the `@` directive marker, `==`/`!=`
+//! comparators, and statement separators (newline or `;`). Comments run
+//! from `#` to end of line.
+
+use placeless_core::error::{PlacelessError, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword, e.g. `upper`, `replace`, `if`.
+    Ident(String),
+    /// A double-quoted string literal (supports `\"`, `\\`, `\n`, `\t`).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// `|`
+    Pipe,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `@`
+    At,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `!`
+    Bang,
+    /// Statement separator (newline or `;`).
+    Sep,
+}
+
+/// Lexes a PropLang source string.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\r' => {
+                chars.next();
+            }
+            '\n' | ';' => {
+                chars.next();
+                // Collapse runs of separators.
+                if tokens.last() != Some(&Token::Sep) && !tokens.is_empty() {
+                    tokens.push(Token::Sep);
+                }
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+                if tokens.last() != Some(&Token::Sep) && !tokens.is_empty() {
+                    tokens.push(Token::Sep);
+                }
+            }
+            '|' => {
+                chars.next();
+                tokens.push(Token::Pipe);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '@' => {
+                chars.next();
+                tokens.push(Token::At);
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::EqEq);
+                } else {
+                    return Err(PlacelessError::Script("expected `==`".to_owned()));
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::NotEq);
+                } else {
+                    tokens.push(Token::Bang);
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            other => {
+                                return Err(PlacelessError::Script(format!(
+                                    "bad escape: {other:?}"
+                                )))
+                            }
+                        },
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(PlacelessError::Script(
+                                "unterminated string".to_owned(),
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                chars.next();
+                let mut s = String::from(c);
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value = s
+                    .parse::<i64>()
+                    .map_err(|_| PlacelessError::Script(format!("bad integer `{s}`")))?;
+                tokens.push(Token::Int(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '-' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => {
+                return Err(PlacelessError::Script(format!(
+                    "unexpected character `{other}`"
+                )))
+            }
+        }
+    }
+    // Trim a trailing separator.
+    if tokens.last() == Some(&Token::Sep) {
+        tokens.pop();
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_pipeline() {
+        let tokens = lex(r#"upper | replace("teh", "the")"#).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("upper".into()),
+                Token::Pipe,
+                Token::Ident("replace".into()),
+                Token::LParen,
+                Token::Str("teh".into()),
+                Token::Comma,
+                Token::Str("the".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_directives_and_ints() {
+        let tokens = lex("@cost(500)").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::At,
+                Token::Ident("cost".into()),
+                Token::LParen,
+                Token::Int(500),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(lex("-42").unwrap(), vec![Token::Int(-42)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let tokens = lex(r#""a\nb\t\"c\"\\d""#).unwrap();
+        assert_eq!(tokens, vec![Token::Str("a\nb\t\"c\"\\d".into())]);
+    }
+
+    #[test]
+    fn comments_and_separators_collapse() {
+        let tokens = lex("upper # shout\n\n\nlower").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("upper".into()),
+                Token::Sep,
+                Token::Ident("lower".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparators() {
+        assert_eq!(lex("==").unwrap(), vec![Token::EqEq]);
+        assert_eq!(lex("!=").unwrap(), vec![Token::NotEq]);
+        assert_eq!(lex("!").unwrap(), vec![Token::Bang]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("=").is_err());
+        assert!(lex(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn empty_source_lexes_empty() {
+        assert_eq!(lex("").unwrap(), vec![]);
+        assert_eq!(lex("  \n\n # only a comment\n").unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,200 @@
+//! A simulated document management system (DMS) with check-in/check-out and
+//! server-side change callbacks.
+//!
+//! Unlike the file system (mtime polling) and the web server (TTL), a DMS
+//! offers the *strongest* consistency mechanism in the paper's repository
+//! zoo: explicit change subscriptions, in the spirit of AFS callbacks
+//! [Howard et al. 1988]. A bit-provider over a DMS can therefore install a
+//! callback instead of shipping a polling verifier.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use placeless_core::error::{PlacelessError, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A change-callback invoked when a DMS item gets a new version.
+pub type ChangeCallback = Box<dyn Fn(&str, u64) + Send + Sync>;
+
+struct Item {
+    versions: Vec<Bytes>,
+    checked_out_by: Option<String>,
+}
+
+/// The simulated DMS.
+#[derive(Default)]
+pub struct Dms {
+    inner: Mutex<DmsInner>,
+}
+
+#[derive(Default)]
+struct DmsInner {
+    items: BTreeMap<String, Item>,
+    callbacks: Vec<ChangeCallback>,
+}
+
+impl Dms {
+    /// Creates an empty DMS.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Imports a new item at version 1.
+    pub fn import(&self, key: &str, content: impl Into<Bytes>) {
+        let mut inner = self.inner.lock();
+        inner.items.insert(
+            key.to_owned(),
+            Item {
+                versions: vec![content.into()],
+                checked_out_by: None,
+            },
+        );
+    }
+
+    /// Returns the latest version's content.
+    pub fn fetch_latest(&self, key: &str) -> Result<Bytes> {
+        let inner = self.inner.lock();
+        inner
+            .items
+            .get(key)
+            .and_then(|i| i.versions.last().cloned())
+            .ok_or_else(|| PlacelessError::Repository(format!("DMS: no item {key}")))
+    }
+
+    /// Returns a specific version (1-based).
+    pub fn fetch_version(&self, key: &str, version: u64) -> Result<Bytes> {
+        let inner = self.inner.lock();
+        inner
+            .items
+            .get(key)
+            .and_then(|i| i.versions.get(version.checked_sub(1)? as usize).cloned())
+            .ok_or_else(|| {
+                PlacelessError::Repository(format!("DMS: no item {key} v{version}"))
+            })
+    }
+
+    /// Returns the latest version number (1-based), or an error if absent.
+    pub fn latest_version(&self, key: &str) -> Result<u64> {
+        let inner = self.inner.lock();
+        inner
+            .items
+            .get(key)
+            .map(|i| i.versions.len() as u64)
+            .ok_or_else(|| PlacelessError::Repository(format!("DMS: no item {key}")))
+    }
+
+    /// Checks an item out for exclusive editing.
+    pub fn check_out(&self, key: &str, who: &str) -> Result<Bytes> {
+        let mut inner = self.inner.lock();
+        let item = inner
+            .items
+            .get_mut(key)
+            .ok_or_else(|| PlacelessError::Repository(format!("DMS: no item {key}")))?;
+        match &item.checked_out_by {
+            Some(holder) if holder != who => Err(PlacelessError::Repository(format!(
+                "DMS: {key} checked out by {holder}"
+            ))),
+            _ => {
+                item.checked_out_by = Some(who.to_owned());
+                Ok(item.versions.last().expect("items have >=1 version").clone())
+            }
+        }
+    }
+
+    /// Checks an item back in with new content, creating a version and
+    /// firing change callbacks.
+    pub fn check_in(&self, key: &str, who: &str, content: impl Into<Bytes>) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let item = inner
+            .items
+            .get_mut(key)
+            .ok_or_else(|| PlacelessError::Repository(format!("DMS: no item {key}")))?;
+        match &item.checked_out_by {
+            Some(holder) if holder == who => {
+                item.versions.push(content.into());
+                item.checked_out_by = None;
+                let version = item.versions.len() as u64;
+                let key = key.to_owned();
+                // Fire callbacks outside the borrow of `items` but inside
+                // the lock (callbacks must not re-enter the DMS).
+                let callbacks = std::mem::take(&mut inner.callbacks);
+                for cb in &callbacks {
+                    cb(&key, version);
+                }
+                inner.callbacks = callbacks;
+                Ok(version)
+            }
+            Some(holder) => Err(PlacelessError::Repository(format!(
+                "DMS: {key} checked out by {holder}, not {who}"
+            ))),
+            None => Err(PlacelessError::Repository(format!(
+                "DMS: {key} not checked out"
+            ))),
+        }
+    }
+
+    /// Subscribes a change callback, invoked as `(key, new_version)`.
+    pub fn subscribe(&self, callback: impl Fn(&str, u64) + Send + Sync + 'static) {
+        self.inner.lock().callbacks.push(Box::new(callback));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn import_and_fetch() {
+        let dms = Dms::new();
+        dms.import("spec", "v1 text");
+        assert_eq!(dms.fetch_latest("spec").unwrap(), "v1 text");
+        assert_eq!(dms.latest_version("spec").unwrap(), 1);
+        assert!(dms.fetch_latest("other").is_err());
+    }
+
+    #[test]
+    fn check_out_check_in_creates_versions() {
+        let dms = Dms::new();
+        dms.import("spec", "v1");
+        let content = dms.check_out("spec", "eyal").unwrap();
+        assert_eq!(content, "v1");
+        let v = dms.check_in("spec", "eyal", "v2").unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(dms.fetch_latest("spec").unwrap(), "v2");
+        assert_eq!(dms.fetch_version("spec", 1).unwrap(), "v1");
+        assert_eq!(dms.fetch_version("spec", 2).unwrap(), "v2");
+        assert!(dms.fetch_version("spec", 3).is_err());
+    }
+
+    #[test]
+    fn exclusive_checkout() {
+        let dms = Dms::new();
+        dms.import("spec", "v1");
+        dms.check_out("spec", "eyal").unwrap();
+        assert!(dms.check_out("spec", "doug").is_err());
+        // Re-checkout by the same holder is idempotent.
+        assert!(dms.check_out("spec", "eyal").is_ok());
+        // Check-in by a non-holder fails.
+        assert!(dms.check_in("spec", "doug", "x").is_err());
+        dms.check_in("spec", "eyal", "v2").unwrap();
+        // Not checked out any more.
+        assert!(dms.check_in("spec", "eyal", "v3").is_err());
+    }
+
+    #[test]
+    fn callbacks_fire_on_check_in() {
+        let dms = Dms::new();
+        dms.import("spec", "v1");
+        let count = Arc::new(AtomicU64::new(0));
+        let seen = count.clone();
+        dms.subscribe(move |key, version| {
+            assert_eq!(key, "spec");
+            assert_eq!(version, 2);
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        dms.check_out("spec", "eyal").unwrap();
+        dms.check_in("spec", "eyal", "v2").unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # Content repositories for the Placeless Documents reproduction
+//!
+//! "Documents originate from any number of repositories, many of which
+//! provide different mechanisms to handle cache consistency." This crate
+//! provides the repository zoo the paper assumes, each with the consistency
+//! mechanism its real 1999 counterpart offered, plus the bit-providers that
+//! link Placeless base documents to them:
+//!
+//! * [`memfs::MemFs`] — an NFS-style file system (mtime polling, direct
+//!   out-of-band writes);
+//! * [`webserver::WebServer`] — a web origin (TTL responses, GET/PUT,
+//!   origin edits the server never announces);
+//! * [`dms::Dms`] — a document management system (check-in/out, version
+//!   history, server-side change callbacks);
+//! * [`livefeed::LiveFeed`] — a live video stand-in whose content differs
+//!   on every read;
+//! * [`mailstore::MailStore`] — an IMAP-like append-only mail store whose
+//!   digest documents verify by message count;
+//! * [`market`] — external information sources (stock quotes, travel
+//!   status) that active properties depend on.
+//!
+//! See [`providers`] for the [`placeless_core::bitprovider::BitProvider`]
+//! implementations, including each repository's verifier.
+
+pub mod dms;
+pub mod livefeed;
+pub mod mailstore;
+pub mod market;
+pub mod memfs;
+pub mod providers;
+pub mod webserver;
+
+pub use dms::Dms;
+pub use livefeed::LiveFeed;
+pub use mailstore::{MailDigestProvider, MailStore};
+pub use market::{StockMarket, TravelBoard};
+pub use memfs::MemFs;
+pub use providers::{DmsProvider, FsProvider, LiveFeedProvider, WebProvider};
+pub use webserver::{table1_origins, WebServer};

@@ -1,0 +1,252 @@
+//! A simulated 1999-era web server with TTL-based consistency.
+//!
+//! Pages carry a time-to-live, the only consistency mechanism web servers of
+//! the era offered ("web-servers so far manage consistency only based on a
+//! time-to-live (TTL) invalidation scheme"). Pages can be updated through an
+//! HTTP `PUT` (in Placeless control when driven by the provider) or edited
+//! out-of-band at the origin ([`WebServer::edit_origin`]), which no event
+//! will announce — exactly the dual update model of the WWW.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use placeless_core::error::{PlacelessError, Result};
+use placeless_simenv::VirtualClock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A served page: content plus its TTL policy.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Current body.
+    pub body: Bytes,
+    /// Time-to-live attached to each response, in microseconds.
+    pub ttl_micros: u64,
+    /// Number of times the page has been updated.
+    pub revision: u64,
+}
+
+/// The response to a GET: the body plus the freshness metadata a cache
+/// needs.
+#[derive(Debug, Clone)]
+pub struct GetResponse {
+    /// The page body.
+    pub body: Bytes,
+    /// TTL granted by this response, in microseconds.
+    pub ttl_micros: u64,
+    /// The page revision serving the response.
+    pub revision: u64,
+}
+
+/// A simulated web origin hosting named pages.
+pub struct WebServer {
+    host: String,
+    pages: RwLock<BTreeMap<String, Page>>,
+    gets: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl WebServer {
+    /// Creates an origin named `host` (e.g. `"parcweb"`).
+    pub fn new(host: &str) -> Arc<Self> {
+        Arc::new(Self {
+            host: host.to_owned(),
+            pages: RwLock::new(BTreeMap::new()),
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        })
+    }
+
+    /// Returns the origin's host name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Publishes (or replaces) a page with the given TTL.
+    pub fn publish(&self, path: &str, body: impl Into<Bytes>, ttl_micros: u64) {
+        let mut pages = self.pages.write();
+        let revision = pages.get(path).map(|p| p.revision + 1).unwrap_or(0);
+        pages.insert(
+            path.to_owned(),
+            Page {
+                body: body.into(),
+                ttl_micros,
+                revision,
+            },
+        );
+    }
+
+    /// Serves a GET.
+    pub fn get(&self, path: &str) -> Result<GetResponse> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.pages
+            .read()
+            .get(path)
+            .map(|p| GetResponse {
+                body: p.body.clone(),
+                ttl_micros: p.ttl_micros,
+                revision: p.revision,
+            })
+            .ok_or_else(|| {
+                PlacelessError::Repository(format!("404 {}{path}", self.host))
+            })
+    }
+
+    /// Serves a conditional GET (`If-None-Match` by revision): returns
+    /// `None` when the page is unchanged (a 304, headers only) or the full
+    /// response when it moved — the HTTP/1.1 revalidation model.
+    pub fn conditional_get(&self, path: &str, if_revision: u64) -> Result<Option<GetResponse>> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let pages = self.pages.read();
+        let page = pages.get(path).ok_or_else(|| {
+            PlacelessError::Repository(format!("404 {}{path}", self.host))
+        })?;
+        if page.revision == if_revision {
+            Ok(None)
+        } else {
+            Ok(Some(GetResponse {
+                body: page.body.clone(),
+                ttl_micros: page.ttl_micros,
+                revision: page.revision,
+            }))
+        }
+    }
+
+    /// Serves a PUT (an update through the server, visible to Placeless
+    /// when the bit-provider issues it).
+    pub fn put(&self, path: &str, body: impl Into<Bytes>) -> Result<()> {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        let mut pages = self.pages.write();
+        let page = pages.get_mut(path).ok_or_else(|| {
+            PlacelessError::Repository(format!("404 {}{path}", self.host))
+        })?;
+        page.body = body.into();
+        page.revision += 1;
+        Ok(())
+    }
+
+    /// Edits a page at the origin, *bypassing* HTTP — the web-site update
+    /// Placeless cannot see. Caches relying on the granted TTL will serve
+    /// the stale body until it expires.
+    pub fn edit_origin(&self, path: &str, body: impl Into<Bytes>) -> Result<()> {
+        let mut pages = self.pages.write();
+        let page = pages.get_mut(path).ok_or_else(|| {
+            PlacelessError::Repository(format!("404 {}{path}", self.host))
+        })?;
+        page.body = body.into();
+        page.revision += 1;
+        Ok(())
+    }
+
+    /// Returns a page's current revision (test/bench introspection, not
+    /// part of the HTTP surface).
+    pub fn revision(&self, path: &str) -> Option<u64> {
+        self.pages.read().get(path).map(|p| p.revision)
+    }
+
+    /// Returns the TTL a response for `path` would grant (a HEAD-like
+    /// metadata probe; does not count as a GET).
+    pub fn get_ttl(&self, path: &str) -> Option<u64> {
+        self.pages.read().get(path).map(|p| p.ttl_micros)
+    }
+
+    /// Returns the current body length of `path`.
+    pub fn body_len(&self, path: &str) -> Option<u64> {
+        self.pages.read().get(path).map(|p| p.body.len() as u64)
+    }
+
+    /// Returns `(gets, puts)` served so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.gets.load(Ordering::Relaxed),
+            self.puts.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Convenience: builds the three origins of the paper's Table 1 with their
+/// 1999 payload sizes — `parcweb` (1,915 bytes, local), a large remote site
+/// (10,883 bytes), and a small remote site (1,104 bytes).
+pub fn table1_origins(clock: &VirtualClock) -> [Arc<WebServer>; 3] {
+    use placeless_simenv::trace::lorem_bytes;
+    let _ = clock;
+    let parcweb = WebServer::new("parcweb");
+    parcweb.publish("/index.html", lorem_bytes(1, 1_915), 60_000_000);
+    let big = WebServer::new("www.remote-large.com");
+    big.publish("/index.html", lorem_bytes(2, 10_883), 60_000_000);
+    let small = WebServer::new("www.remote-small.com");
+    small.publish("/index.html", lorem_bytes(3, 1_104), 60_000_000);
+    [parcweb, big, small]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_get_roundtrip() {
+        let server = WebServer::new("parcweb");
+        server.publish("/index.html", "welcome", 1_000);
+        let resp = server.get("/index.html").unwrap();
+        assert_eq!(resp.body, "welcome");
+        assert_eq!(resp.ttl_micros, 1_000);
+        assert_eq!(resp.revision, 0);
+    }
+
+    #[test]
+    fn get_missing_is_404() {
+        let server = WebServer::new("h");
+        let err = server.get("/nope").err().unwrap();
+        assert!(err.to_string().contains("404"));
+    }
+
+    #[test]
+    fn put_bumps_revision() {
+        let server = WebServer::new("h");
+        server.publish("/p", "v0", 10);
+        server.put("/p", "v1").unwrap();
+        assert_eq!(server.get("/p").unwrap().revision, 1);
+        assert_eq!(server.get("/p").unwrap().body, "v1");
+        assert!(server.put("/nope", "x").is_err());
+    }
+
+    #[test]
+    fn edit_origin_also_bumps_revision() {
+        let server = WebServer::new("h");
+        server.publish("/p", "v0", 10);
+        server.edit_origin("/p", "hacked").unwrap();
+        assert_eq!(server.revision("/p"), Some(1));
+        assert_eq!(server.get("/p").unwrap().body, "hacked");
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let server = WebServer::new("h");
+        server.publish("/p", "v0", 10);
+        let _ = server.get("/p");
+        let _ = server.get("/p");
+        server.put("/p", "v1").unwrap();
+        assert_eq!(server.counters(), (2, 1));
+    }
+
+    #[test]
+    fn conditional_get_returns_304_when_unchanged() {
+        let server = WebServer::new("h");
+        server.publish("/p", "v0", 10);
+        assert!(server.conditional_get("/p", 0).unwrap().is_none(), "304");
+        server.edit_origin("/p", "v1").unwrap();
+        let fresh = server.conditional_get("/p", 0).unwrap().unwrap();
+        assert_eq!(fresh.body, "v1");
+        assert_eq!(fresh.revision, 1);
+        assert!(server.conditional_get("/missing", 0).is_err());
+    }
+
+    #[test]
+    fn table1_origins_have_paper_sizes() {
+        let clock = VirtualClock::new();
+        let [parcweb, big, small] = table1_origins(&clock);
+        assert_eq!(parcweb.get("/index.html").unwrap().body.len(), 1_915);
+        assert_eq!(big.get("/index.html").unwrap().body.len(), 10_883);
+        assert_eq!(small.get("/index.html").unwrap().body.len(), 1_104);
+    }
+}

@@ -1,0 +1,280 @@
+//! Workload generation for the benchmark harness.
+//!
+//! The paper evaluates caching under document workloads; its successors
+//! (e.g. the Greedy-Dual-Size paper it cites) use Zipf-distributed document
+//! popularity and mixed read/write streams. This module produces such
+//! streams deterministically from a seed: a [`ZipfSampler`] for popularity,
+//! and a [`WorkloadBuilder`] that emits a sequence of [`AccessEvent`]s over a
+//! simulated user population.
+
+use crate::rng::SimRng;
+
+/// Samples from a Zipf distribution over ranks `0..n`.
+///
+/// Rank 0 is the most popular item. Uses the classic inverse-CDF over a
+/// precomputed harmonic table, which is exact and fast enough for the corpus
+/// sizes used in the benches (≤ tens of thousands).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` items with exponent `theta` (typically
+    /// 0.6–1.0 for web workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Returns the number of items in the universe.
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// One access in a generated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Index of the user performing the access.
+    pub user: usize,
+    /// Index (rank) of the document accessed.
+    pub doc: usize,
+    /// Whether the access is a write (save) rather than a read (open).
+    pub is_write: bool,
+    /// Microseconds of think time before this access.
+    pub think_micros: u64,
+}
+
+/// Deterministically generates a stream of [`AccessEvent`]s.
+///
+/// # Examples
+///
+/// ```
+/// use placeless_simenv::trace::WorkloadBuilder;
+///
+/// let events = WorkloadBuilder::new(99)
+///     .users(4)
+///     .documents(100)
+///     .zipf_theta(0.8)
+///     .write_fraction(0.1)
+///     .events(1_000)
+///     .build();
+/// assert_eq!(events.len(), 1_000);
+/// assert!(events.iter().all(|e| e.user < 4 && e.doc < 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    seed: u64,
+    users: usize,
+    documents: usize,
+    zipf_theta: f64,
+    write_fraction: f64,
+    events: usize,
+    mean_think_micros: u64,
+}
+
+impl WorkloadBuilder {
+    /// Creates a builder with small defaults (1 user, 10 documents,
+    /// theta 0.8, 10 % writes, 100 events, 1 ms mean think time).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            users: 1,
+            documents: 10,
+            zipf_theta: 0.8,
+            write_fraction: 0.1,
+            events: 100,
+            mean_think_micros: 1_000,
+        }
+    }
+
+    /// Sets the number of simulated users.
+    pub fn users(mut self, n: usize) -> Self {
+        self.users = n.max(1);
+        self
+    }
+
+    /// Sets the number of documents in the corpus.
+    pub fn documents(mut self, n: usize) -> Self {
+        self.documents = n.max(1);
+        self
+    }
+
+    /// Sets the Zipf exponent for document popularity.
+    pub fn zipf_theta(mut self, theta: f64) -> Self {
+        self.zipf_theta = theta;
+        self
+    }
+
+    /// Sets the fraction of accesses that are writes.
+    pub fn write_fraction(mut self, f: f64) -> Self {
+        self.write_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the number of events to generate.
+    pub fn events(mut self, n: usize) -> Self {
+        self.events = n;
+        self
+    }
+
+    /// Sets the mean think time between accesses, in microseconds.
+    pub fn mean_think_micros(mut self, micros: u64) -> Self {
+        self.mean_think_micros = micros;
+        self
+    }
+
+    /// Generates the event stream.
+    pub fn build(&self) -> Vec<AccessEvent> {
+        let mut rng = SimRng::seeded(self.seed);
+        let zipf = ZipfSampler::new(self.documents, self.zipf_theta);
+        (0..self.events)
+            .map(|_| {
+                let user = rng.next_below(self.users as u64) as usize;
+                let doc = zipf.sample(&mut rng);
+                let is_write = rng.chance(self.write_fraction);
+                // Geometric-ish think time: uniform in [0, 2 * mean].
+                let think_micros = if self.mean_think_micros == 0 {
+                    0
+                } else {
+                    rng.next_below(self.mean_think_micros * 2 + 1)
+                };
+                AccessEvent {
+                    user,
+                    doc,
+                    is_write,
+                    think_micros,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Generates deterministic pseudo-text of roughly `bytes` length.
+///
+/// Used by repositories and benches to fill documents with word-like content
+/// that transform properties (spell-check, translation, summarization) can
+/// operate on meaningfully.
+pub fn lorem_bytes(seed: u64, bytes: usize) -> Vec<u8> {
+    const WORDS: &[&str] = &[
+        "document", "property", "active", "cache", "placeless", "content", "stream", "verifier",
+        "notifier", "replacement", "policy", "system", "server", "reference", "base", "user",
+        "teh", "recieve", "adress", "workshop", "paper", "draft", "budget", "version", "latency",
+    ];
+    let mut rng = SimRng::seeded(seed);
+    let mut out = Vec::with_capacity(bytes + 16);
+    while out.len() < bytes {
+        let w = WORDS[rng.next_below(WORDS.len() as u64) as usize];
+        out.extend_from_slice(w.as_bytes());
+        if rng.chance(0.12) {
+            out.extend_from_slice(b".\n");
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.truncate(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let zipf = ZipfSampler::new(100, 0.9);
+        let mut rng = SimRng::seeded(11);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] && counts[0] > counts[99]);
+        // Rank 0 should carry several percent of the mass at theta 0.9.
+        assert!(counts[0] > 1_000, "rank 0 drew {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let zipf = ZipfSampler::new(10, 0.0);
+        let mut rng = SimRng::seeded(12);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_500..2_500).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let zipf = ZipfSampler::new(1, 1.0);
+        let mut rng = SimRng::seeded(13);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = WorkloadBuilder::new(5).users(3).documents(50).events(200).build();
+        let b = WorkloadBuilder::new(5).users(3).documents(50).events(200).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_respects_bounds() {
+        let events = WorkloadBuilder::new(6)
+            .users(7)
+            .documents(13)
+            .write_fraction(0.5)
+            .events(500)
+            .build();
+        assert!(events.iter().all(|e| e.user < 7 && e.doc < 13));
+        let writes = events.iter().filter(|e| e.is_write).count();
+        assert!((150..350).contains(&writes), "write mix {writes} off target");
+    }
+
+    #[test]
+    fn write_fraction_zero_means_reads_only() {
+        let events = WorkloadBuilder::new(7).write_fraction(0.0).events(300).build();
+        assert!(events.iter().all(|e| !e.is_write));
+    }
+
+    #[test]
+    fn lorem_bytes_exact_length_and_deterministic() {
+        let a = lorem_bytes(1, 1_915);
+        let b = lorem_bytes(1, 1_915);
+        assert_eq!(a.len(), 1_915);
+        assert_eq!(a, b);
+        assert_ne!(a, lorem_bytes(2, 1_915));
+        assert!(std::str::from_utf8(&a).is_ok());
+    }
+}

@@ -1,0 +1,111 @@
+//! A daily mail briefing: documents over an append-only mail store,
+//! composed with external sources, prefetched as a collection.
+//!
+//! Demonstrates three corners of the system at once:
+//! * the [`MailStore`] repository, whose digest documents verify by
+//!   message count (new mail invalidates the cached briefing);
+//! * a PropLang header that stamps the briefing with live data;
+//! * collection prefetch: opening one folder's briefing warms the rest.
+//!
+//! Run with `cargo run --example mail_briefing`.
+
+use placeless::prelude::*;
+use placeless_cache::PrefetchConfig;
+
+fn main() -> Result<()> {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let user = UserId(1);
+
+    // The mail store, reached over the LAN.
+    let mail = MailStore::new();
+    mail.deliver("inbox", "doug@parc", "review by 11/30", "please");
+    mail.deliver("inbox", "karin@parc", "re: caching section", "comments inline");
+    mail.deliver("hotos", "chair@hotos99", "submission received", "#42");
+    mail.deliver("board", "facilities@parc", "garage closed friday", "");
+
+    let mut docs = Vec::new();
+    for folder in ["inbox", "hotos", "board"] {
+        let provider = MailDigestProvider::new(
+            mail.clone(),
+            folder,
+            10,
+            Link::of_class(LinkClass::Lan, 17),
+        );
+        let doc = space.create_document(user, provider);
+        space.add_to_collection("briefing", doc)?;
+        docs.push(doc);
+    }
+
+    // A runtime-authored header stamping each digest with the XRX quote.
+    let market = StockMarket::new();
+    let xrx = market.list("XRX", 4_250);
+    let env = ExtEnv::new();
+    env.add(xrx.clone());
+    for &doc in &docs {
+        let header = ScriptProperty::compile(
+            "brief-header",
+            "@watch_ext(\"stock:XRX\")\nprepend(\"MORNING BRIEFING (XRX \") | prepend_guard",
+            env.clone(),
+        );
+        // `prepend_guard` is not a transform — show the parse error path,
+        // then attach the correct program.
+        assert!(header.is_err(), "typo'd programs fail at compile time");
+        let header = ScriptProperty::compile(
+            "brief-header",
+            "@watch_ext(\"stock:XRX\")\nappend(\"\\n-- XRX \") | append_ext(\"stock:XRX\")",
+            env.clone(),
+        )?;
+        space.attach_active(Scope::Personal(user), doc, header)?;
+    }
+
+    // An application-level cache with collection prefetch.
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig {
+            prefetch: PrefetchConfig::up_to(8),
+            ..CacheConfig::default()
+        },
+    );
+
+    // Opening the inbox briefing warms the whole collection.
+    let inbox = cache.read(user, docs[0])?;
+    println!("{}", String::from_utf8_lossy(&inbox));
+    println!(
+        "after first read: prefetches={} resident={}",
+        cache.stats().prefetches,
+        cache.len()
+    );
+    let t0 = clock.now();
+    let hotos = cache.read(user, docs[1])?;
+    println!(
+        "\n{}\n(hotos briefing served in {:.3} ms — prefetched)",
+        String::from_utf8_lossy(&hotos),
+        clock.now().since(t0) as f64 / 1_000.0
+    );
+
+    // New mail arrives: the count verifier invalidates the cached inbox.
+    mail.deliver("inbox", "eyal@rice", "latency numbers", "attached");
+    let fresh = cache.read(user, docs[0])?;
+    assert!(String::from_utf8_lossy(&fresh).contains("latency numbers"));
+    println!(
+        "\nnew mail detected by the count verifier: verifier_invalidations={}",
+        cache.stats().verifier_invalidations
+    );
+
+    // The stock moves: every briefing's @watch_ext verifier invalidates.
+    market.set_price("XRX", 4_410);
+    let restamped = cache.read(user, docs[2])?;
+    assert!(String::from_utf8_lossy(&restamped).contains("44.10"));
+    println!(
+        "quote moved: briefings restamped (verifier_invalidations={})",
+        cache.stats().verifier_invalidations
+    );
+
+    let stats = cache.stats();
+    println!(
+        "\nfinal: hits={} misses={} prefetches={} prefetch_hits={}",
+        stats.hits, stats.misses, stats.prefetches, stats.prefetch_hits
+    );
+    Ok(())
+}

@@ -1,0 +1,219 @@
+//! A day at the lab: the full system under a mixed, multi-user workload.
+//!
+//! Six researchers share a document space spanning four repositories (file
+//! system, web, DMS, mail), each with their own personal property profile
+//! and their own application-level cache. The simulation drives thousands
+//! of reads and writes — through NFS editors, with out-of-band edits,
+//! property churn, stock ticks, timer-driven replication, and collection
+//! browsing — then prints the day's ledger.
+//!
+//! Run with `cargo run --example office_simulation`.
+
+use placeless::prelude::*;
+use placeless_cache::PrefetchConfig;
+use placeless_simenv::trace::WorkloadBuilder;
+use placeless_simenv::SimRng;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    register_standard(space.registry());
+
+    let users: Vec<UserId> = (1..=6).map(UserId).collect();
+    let names = ["eyal", "karin", "doug", "anthony", "paul", "keith"];
+
+    // --- Repositories -----------------------------------------------------
+    let fs = MemFs::new(clock.clone());
+    let web = WebServer::new("parcweb");
+    let dms = Dms::new();
+    let market = StockMarket::new();
+    let xrx = market.list("XRX", 4_250);
+
+    let mut docs: Vec<DocumentId> = Vec::new();
+    // Eight shared drafts on the file system.
+    for i in 0..8 {
+        let path = format!("/shared/draft-{i}.doc");
+        fs.create(&path, format!("draft {i}: teh placeless documents paper. more text follows."));
+        let provider = FsProvider::new(fs.clone(), &path, Link::of_class(LinkClass::Lan, i as u64));
+        docs.push(space.create_document(users[0], provider));
+    }
+    // Four web pages.
+    for i in 0..4 {
+        let path = format!("/pages/{i}.html");
+        web.publish(&path, format!("page {i} content. workshop schedule."), 30_000_000);
+        let provider = WebProvider::new(web.clone(), &path, Link::of_class(LinkClass::Lan, 20 + i));
+        docs.push(space.create_document(users[0], provider));
+    }
+    // Two DMS specs.
+    for i in 0..2 {
+        let key = format!("spec-{i}");
+        dms.import(&key, format!("specification {i} v1"));
+        let provider = DmsProvider::new(dms.clone(), &key, "placeless", Link::of_class(LinkClass::Lan, 30 + i));
+        let doc = space.create_document(users[0], provider.clone());
+        provider.wire_invalidations(space.bus().clone(), doc);
+        docs.push(doc);
+    }
+
+    // Everyone gets references; the drafts form a collection.
+    for &user in &users {
+        for &doc in &docs {
+            space.add_reference(user, doc)?;
+        }
+    }
+    for &doc in &docs[..8] {
+        space.add_to_collection("drafts", doc)?;
+    }
+
+    // --- Properties -------------------------------------------------------
+    // Universal: notifiers + versioning on the shared drafts.
+    let versioning = Versioning::new();
+    for &doc in &docs {
+        space.attach_active(Scope::Universal, doc, ContentWriteNotifier::any())?;
+        space.attach_active(Scope::Universal, doc, PropertyChangeNotifier::any())?;
+    }
+    space.attach_active(Scope::Universal, docs[0], versioning.clone())?;
+
+    // Personal profiles, applied as data.
+    let profiles = [
+        "spell-corrector\nqos factor=20.0",          // eyal
+        "translate language=\"fr\"",                  // karin
+        "summarize sentences=2",                      // doug
+        "watermark",                                  // anthony
+        "",                                           // paul: vanilla
+        "rot13-at-rest",                              // keith (at-rest scrambling)
+    ];
+    for (&user, profile) in users.iter().zip(profiles) {
+        let specs = parse_profile(profile)?;
+        for &doc in &docs[..8] {
+            apply_profile(&space, Scope::Personal(user), doc, &specs)?;
+        }
+    }
+    // Eyal's portfolio page on top of one web doc.
+    space.attach_active(
+        Scope::Personal(users[0]),
+        docs[8],
+        Portfolio::new(
+            vec![("XRX".to_owned(), xrx.clone() as Arc<dyn ExternalSource>)],
+            0.02,
+        ),
+    )?;
+    // Eyal replicates draft 0 to Rice nightly.
+    let rice = MemFs::new(clock.clone());
+    let replicate = ReplicateTo::new(rice.clone(), "/rice/draft-0.doc", Link::of_class(LinkClass::Wan, 40));
+    space.attach_active(Scope::Personal(users[0]), docs[0], replicate.clone())?;
+
+    // --- Caches: one per user, GDSF with collection prefetch --------------
+    let caches: Vec<Arc<DocumentCache>> = users
+        .iter()
+        .map(|_| {
+            DocumentCache::new(
+                space.clone(),
+                CacheConfig {
+                    capacity_bytes: 64 * 1024,
+                    policy: placeless_cache::by_name("gdsf").expect("gdsf"),
+                    prefetch: PrefetchConfig::up_to(4),
+                    ..CacheConfig::default()
+                },
+            )
+        })
+        .collect();
+
+    // NFS layer for the editors, over each user's cache.
+    let nfs_servers: Vec<Arc<NfsServer>> = caches
+        .iter()
+        .map(|cache| {
+            let nfs = NfsServer::new(CachedBackend::new(cache.clone()));
+            for (i, &doc) in docs[..8].iter().enumerate() {
+                nfs.export(&format!("/shared/draft-{i}.doc"), doc);
+            }
+            nfs
+        })
+        .collect();
+
+    // --- The day ----------------------------------------------------------
+    let events = WorkloadBuilder::new(1999)
+        .users(users.len())
+        .documents(docs.len())
+        .zipf_theta(0.7)
+        .write_fraction(0.08)
+        .events(3_000)
+        .mean_think_micros(20_000)
+        .build();
+    let mut rng = SimRng::seeded(42);
+    let mut editor_saves = 0u64;
+    let mut oob_edits = 0u64;
+
+    for (i, event) in events.iter().enumerate() {
+        clock.advance(event.think_micros);
+        let user = users[event.user];
+        let doc = docs[event.doc];
+        let cache = &caches[event.user];
+
+        if event.is_write && event.doc < 8 {
+            // A save through the user's MS-Word over NFS.
+            let path = format!("/shared/draft-{}.doc", event.doc);
+            if let Ok(mut editor) = Editor::open(nfs_servers[event.user].clone(), user, &path) {
+                editor.type_text(&format!(" [edit by {} at {}]", names[event.user], i));
+                editor.save()?;
+                editor_saves += 1;
+            }
+        } else {
+            let _ = cache.read(user, doc)?;
+        }
+
+        // Background noise.
+        if i % 100 == 99 {
+            market.set_price("XRX", 4_000 + rng.next_below(600));
+        }
+        if i % 250 == 249 {
+            // Someone edits a draft directly over a raw NFS mount.
+            let victim = rng.next_below(8) as usize;
+            fs.write_direct(
+                &format!("/shared/draft-{victim}.doc"),
+                format!("draft {victim}: rewritten out-of-band at event {i}."),
+            )?;
+            oob_edits += 1;
+        }
+        if i % 500 == 499 {
+            space.timer_tick()?; // end-of-“hour”: replication etc.
+        }
+    }
+    space.timer_tick()?;
+
+    // --- The ledger ---------------------------------------------------------
+    println!("=== a day at the lab: {} events ===\n", events.len());
+    println!(
+        "{:<10} {:>6} {:>7} {:>7} {:>10} {:>10} {:>9}",
+        "user", "hits", "misses", "hit %", "notif.inv", "verif.inv", "prefetch"
+    );
+    for (i, cache) in caches.iter().enumerate() {
+        let s = cache.stats();
+        println!(
+            "{:<10} {:>6} {:>7} {:>6.1}% {:>10} {:>10} {:>9}",
+            names[i],
+            s.hits,
+            s.misses,
+            s.hit_rate().unwrap_or(0.0) * 100.0,
+            s.notifier_invalidations,
+            s.verifier_invalidations,
+            s.prefetches
+        );
+    }
+    let (posted, delivered) = space.bus().counters();
+    println!("\neditor saves       : {editor_saves}");
+    println!("out-of-band edits  : {oob_edits}");
+    println!("versions of draft-0: {}", versioning.version_count());
+    println!("rice replicas made : {}", replicate.copies_made());
+    println!("invalidations      : {posted} posted, {delivered} delivered");
+    println!("middleware ops     : {}", space.ops_count());
+    println!("virtual time       : {:.1} s", clock.now().as_micros() as f64 / 1e6);
+
+    // Spot-check consistency: every user's final view of draft 1 reflects
+    // the latest content (no cache serves stale bytes at rest).
+    let (truth, _) = space.read_document(users[4], docs[1])?;
+    let paul_cached = caches[4].read(users[4], docs[1])?;
+    assert_eq!(truth, paul_cached, "cache agrees with the middleware");
+    println!("\nfinal consistency spot-check: OK");
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! A personalized web portal: the paper's "financial portfolio tracking
+//! and travel status" scenario (§3).
+//!
+//! Each user composes a my.yahoo-style page from a web-served template plus
+//! live external sources. The portfolio property ships a *smart verifier*:
+//! small quote moves are insignificant (entry stays valid), large moves
+//! refresh the cached entry **in place** without re-running the read path.
+//!
+//! Run with `cargo run --example personalized_portal`.
+
+use placeless::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+
+    let trader = UserId(1);
+    let traveler = UserId(2);
+
+    // The portal template is a web page with a 60 s TTL, like my.yahoo.
+    let portal = WebServer::new("my.portal.com");
+    portal.publish("/home.html", "== Your morning briefing ==", 60_000_000);
+    let provider = WebProvider::new(portal, "/home.html", Link::of_class(LinkClass::Wan, 3));
+    let doc = space.create_document(trader, provider);
+    space.add_reference(traveler, doc)?;
+
+    // External sources outside Placeless control.
+    let market = StockMarket::new();
+    let xrx = market.list("XRX", 4_250); // $42.50
+    let ibm = market.list("IBM", 11_800); // $118.00
+    let board = TravelBoard::new();
+    let aa100 = board.add_flight("AA100", "on time");
+
+    // The trader's view appends live quotes; 2 % significance threshold.
+    space.attach_active(
+        Scope::Personal(trader),
+        doc,
+        Portfolio::new(
+            vec![
+                ("XRX".to_owned(), xrx.clone() as Arc<dyn ExternalSource>),
+                ("IBM".to_owned(), ibm as Arc<dyn ExternalSource>),
+            ],
+            0.02,
+        ),
+    )?;
+
+    // The traveler composes flight status with a runtime-authored
+    // PropLang property instead of compiled code.
+    let env = ExtEnv::new();
+    env.add(aa100.clone());
+    let flight_widget = ScriptProperty::compile(
+        "flight-status",
+        "@cost(300)\n@watch_ext(\"flight:AA100\")\nappend(\"\\nAA100: \") | append_ext(\"flight:AA100\")",
+        env,
+    )?;
+    space.attach_active(Scope::Personal(traveler), doc, flight_widget)?;
+
+    let cache = DocumentCache::with_defaults(space.clone());
+
+    // First loads: per-user versions of the same document.
+    println!(
+        "trader view:\n{}\n",
+        String::from_utf8_lossy(&cache.read(trader, doc)?)
+    );
+    println!(
+        "traveler view:\n{}\n",
+        String::from_utf8_lossy(&cache.read(traveler, doc)?)
+    );
+
+    // A 0.5 % move in XRX: insignificant, the trader's hit stays valid.
+    market.set_price("XRX", 4_270);
+    let _ = cache.read(trader, doc)?;
+    let s = cache.stats();
+    println!(
+        "after +0.5% : hits={} replacements={} (small move tolerated)",
+        s.hits, s.verifier_replacements
+    );
+
+    // A 10 % crash: the verifier rewrites the quotes section in place —
+    // no full read path, no middleware round trip.
+    market.set_price("XRX", 3_850);
+    let view = cache.read(trader, doc)?;
+    let s = cache.stats();
+    println!(
+        "after -10%  : hits={} replacements={}",
+        s.hits, s.verifier_replacements
+    );
+    assert!(String::from_utf8_lossy(&view).contains("38.50"));
+
+    // The traveler's flight is delayed: the PropLang @watch_ext epoch
+    // verifier invalidates, and the refill shows the new status.
+    aa100.set("delayed 45m");
+    let view = cache.read(traveler, doc)?;
+    println!(
+        "traveler after delay:\n{}",
+        String::from_utf8_lossy(&view)
+    );
+    let s = cache.stats();
+    println!(
+        "\nfinal stats : hits={} misses={} verifier_invalidations={} replacements={}",
+        s.hits, s.misses, s.verifier_invalidations, s.verifier_replacements
+    );
+    Ok(())
+}

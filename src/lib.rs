@@ -1,0 +1,41 @@
+//! # Placeless Documents — caching documents with active properties
+//!
+//! A complete Rust reproduction of *Caching Documents with Active
+//! Properties* (de Lara et al., HotOS VII, 1999): the Placeless Documents
+//! middleware, its active-property framework, the repository zoo, the NFS
+//! adapter for legacy applications, and the full caching architecture —
+//! notifiers, verifiers, cacheability indicators, replacement costs, and a
+//! Greedy-Dual-Size cache with content-signature sharing.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] — the middleware ([`core::space::DocumentSpace`], properties,
+//!   streams, verifiers, notifiers);
+//! * [`repository`] — content sources (file system, web server, DMS, live
+//!   feeds, external info);
+//! * [`cache`] — the document cache and replacement policies;
+//! * [`properties`] — the standard property library;
+//! * [`proplang`] — runtime-authored properties via a small interpreter;
+//! * [`nfs`] — the legacy-application adapter;
+//! * [`simenv`] — virtual clock, links, and workload generation.
+//!
+//! See `examples/quickstart.rs` for a first tour.
+
+pub use placeless_cache as cache;
+pub use placeless_core as core;
+pub use placeless_nfs as nfs;
+pub use placeless_properties as properties;
+pub use placeless_proplang as proplang;
+pub use placeless_repository as repository;
+pub use placeless_simenv as simenv;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use placeless_cache::{CacheConfig, DocumentCache, WriteMode};
+    pub use placeless_core::prelude::*;
+    pub use placeless_nfs::{CachedBackend, DirectBackend, Editor, NfsServer, OpenMode};
+    pub use placeless_properties::*;
+    pub use placeless_proplang::{register_proplang, ExtEnv, ScriptProperty};
+    pub use placeless_repository::*;
+    pub use placeless_simenv::{Link, LinkClass, VirtualClock};
+}

@@ -1,0 +1,204 @@
+//! Integration tests for §3's four causes of cached-content invalidation,
+//! each exercised end to end through a real cache.
+
+use placeless::prelude::*;
+use placeless_simenv::LatencyModel;
+use std::sync::Arc;
+
+const USER: UserId = UserId(1);
+const OTHER: UserId = UserId(2);
+
+struct Rig {
+    space: Arc<DocumentSpace>,
+    cache: Arc<DocumentCache>,
+    provider: Arc<MemoryProvider>,
+    doc: DocumentId,
+}
+
+fn rig(content: &str) -> Rig {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("doc", content.to_owned(), 500);
+    let doc = space.create_document(USER, provider.clone());
+    space.add_reference(OTHER, doc).unwrap();
+    space
+        .attach_active(Scope::Universal, doc, ContentWriteNotifier::any())
+        .unwrap();
+    space
+        .attach_active(Scope::Universal, doc, PropertyChangeNotifier::any())
+        .unwrap();
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig {
+            local_latency: LatencyModel::FREE,
+            ..CacheConfig::default()
+        },
+    );
+    Rig {
+        space,
+        cache,
+        provider,
+        doc,
+    }
+}
+
+#[test]
+fn cause1_source_modified_through_placeless() {
+    let r = rig("v1");
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "v1");
+    // Another user writes through the middleware; the base notifier fires.
+    r.space.write_document(OTHER, r.doc, b"v2").unwrap();
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "v2");
+    assert!(r.cache.stats().notifier_invalidations >= 1);
+}
+
+#[test]
+fn cause1_source_modified_outside_placeless() {
+    let r = rig("v1");
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "v1");
+    // Out-of-band edit: no event fires — only the provider's verifier
+    // (mtime poll) can catch this.
+    r.provider.set_out_of_band("v2");
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "v2");
+    let stats = r.cache.stats();
+    assert_eq!(stats.verifier_invalidations, 1);
+    assert_eq!(stats.notifier_invalidations, 0);
+}
+
+#[test]
+fn cause2_property_added_removed_modified() {
+    let r = rig("hello world");
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "hello world");
+
+    // Added: the cached untranslated version must go.
+    let id = r
+        .space
+        .attach_active(Scope::Personal(USER), r.doc, Translate::to("fr"))
+        .unwrap();
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "bonjour monde");
+
+    // Modified: upgrade to Spanish in place.
+    r.space
+        .modify_property(
+            Scope::Personal(USER),
+            r.doc,
+            id,
+            AttachedProperty::Active(Translate::to("es")),
+        )
+        .unwrap();
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "hola mundo");
+
+    // Removed: back to the original.
+    r.space
+        .remove_property(Scope::Personal(USER), r.doc, id)
+        .unwrap();
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "hello world");
+
+    assert!(r.cache.stats().notifier_invalidations >= 3);
+}
+
+#[test]
+fn cause2_personal_change_spares_other_users_entries() {
+    let r = rig("hello world");
+    r.cache.read(USER, r.doc).unwrap();
+    r.cache.read(OTHER, r.doc).unwrap();
+    // USER's personal property change invalidates only USER's entry.
+    r.space
+        .attach_active(Scope::Personal(USER), r.doc, Translate::to("fr"))
+        .unwrap();
+    assert!(!r.cache.contains(USER, r.doc));
+    assert!(r.cache.contains(OTHER, r.doc));
+}
+
+#[test]
+fn cause3_property_order_changed() {
+    let r = rig("teh document");
+    r.space
+        .attach_active(Scope::Personal(USER), r.doc, SpellCheck::new())
+        .unwrap();
+    let translate_id = r
+        .space
+        .attach_active(Scope::Personal(USER), r.doc, Translate::to("fr"))
+        .unwrap();
+    // spell → translate: "teh"→"the"→"le".
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "le document");
+    // Reorder: translate first, spell second: "teh" survives translation,
+    // then gets corrected — different bytes, so the entry must have been
+    // invalidated.
+    r.space
+        .reorder_property(Scope::Personal(USER), r.doc, translate_id, 0)
+        .unwrap();
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "the document");
+    assert!(r.cache.stats().notifier_invalidations >= 1);
+}
+
+#[test]
+fn cause4_external_information_changed() {
+    let r = rig("price: ");
+    let quotes = SimpleExternal::new("stock:XRX", "42.50");
+    let env = ExtEnv::new();
+    env.add(quotes.clone());
+    let ticker = ScriptProperty::compile(
+        "ticker",
+        "@watch_ext(\"stock:XRX\")\nappend_ext(\"stock:XRX\")",
+        env,
+    )
+    .unwrap();
+    r.space
+        .attach_active(Scope::Personal(USER), r.doc, ticker)
+        .unwrap();
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "price: 42.50");
+    quotes.set("43.25");
+    assert_eq!(r.cache.read(USER, r.doc).unwrap(), "price: 43.25");
+    assert!(r.cache.stats().verifier_invalidations >= 1);
+}
+
+#[test]
+fn web_ttl_bounds_staleness_for_unannounced_origin_edits() {
+    // The WWW case: within the TTL even an origin edit goes unseen; after
+    // expiry the verifier forces a refill.
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let server = WebServer::new("news.com");
+    server.publish("/front", "headline v1", 10_000);
+    let provider = WebProvider::new(server.clone(), "/front", Link::new(1_000, 1_000_000, 0.0, 5));
+    let doc = space.create_document(USER, provider);
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig {
+            local_latency: LatencyModel::FREE,
+            ..CacheConfig::default()
+        },
+    );
+    assert_eq!(cache.read(USER, doc).unwrap(), "headline v1");
+    server.edit_origin("/front", "headline v2").unwrap();
+    // Still within the TTL: stale by design.
+    assert_eq!(cache.read(USER, doc).unwrap(), "headline v1");
+    clock.advance(10_001);
+    assert_eq!(cache.read(USER, doc).unwrap(), "headline v2");
+}
+
+#[test]
+fn dms_callbacks_invalidate_without_polling() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
+    let dms = Dms::new();
+    dms.import("spec", "spec v1");
+    let provider = DmsProvider::new(dms.clone(), "spec", "placeless", Link::new(500, 1_000_000, 0.0, 6));
+    let doc = space.create_document(USER, provider.clone());
+    // Wire the DMS's native change callback to the invalidation bus and
+    // run the cache with verifiers off: the callback alone keeps it fresh.
+    provider.wire_invalidations(space.bus().clone(), doc);
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig {
+            run_verifiers: false,
+            local_latency: LatencyModel::FREE,
+            ..CacheConfig::default()
+        },
+    );
+    assert_eq!(cache.read(USER, doc).unwrap(), "spec v1");
+    dms.check_out("spec", "someone").unwrap();
+    dms.check_in("spec", "someone", "spec v2").unwrap();
+    assert_eq!(cache.read(USER, doc).unwrap(), "spec v2");
+    assert_eq!(cache.stats().notifier_invalidations, 1);
+}

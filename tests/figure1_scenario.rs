@@ -1,0 +1,108 @@
+//! Integration test for the paper's Figure 1: one base document, three
+//! users' references, universal and personal properties — verifying the
+//! visibility and scoping rules end to end.
+
+use placeless::prelude::*;
+use placeless_simenv::LatencyModel;
+use std::sync::Arc;
+
+const EYAL: UserId = UserId(1);
+const PAUL: UserId = UserId(2);
+const DOUG: UserId = UserId(3);
+
+fn hotos_setup() -> (Arc<DocumentSpace>, DocumentId, Arc<Versioning>) {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let provider = MemoryProvider::new(
+        "hotos.doc",
+        "Caching in teh Placeless Documents system poses new challenges.",
+        1_000,
+    );
+    let doc = space.create_document(EYAL, provider);
+    space.add_reference(PAUL, doc).unwrap();
+    space.add_reference(DOUG, doc).unwrap();
+
+    // Universal: versioning on the base.
+    let versioning = Versioning::new();
+    space
+        .attach_active(Scope::Universal, doc, versioning.clone())
+        .unwrap();
+
+    // Personal: Eyal spell-corrects; Paul labels; Doug sets a deadline.
+    space
+        .attach_active(Scope::Personal(EYAL), doc, SpellCheck::new())
+        .unwrap();
+    space
+        .attach_static(Scope::Personal(PAUL), doc, "label", "1999 workshop submission")
+        .unwrap();
+    space
+        .attach_static(Scope::Personal(DOUG), doc, "deadline", "read by 11/30")
+        .unwrap();
+
+    (space, doc, versioning)
+}
+
+#[test]
+fn personal_properties_personalize_content() {
+    let (space, doc, _versioning) = hotos_setup();
+    let (eyal_view, _) = space.read_document(EYAL, doc).unwrap();
+    let (paul_view, _) = space.read_document(PAUL, doc).unwrap();
+    // Only Eyal's view is spell-corrected.
+    assert!(String::from_utf8_lossy(&eyal_view).contains("the Placeless"));
+    assert!(String::from_utf8_lossy(&paul_view).contains("teh Placeless"));
+}
+
+#[test]
+fn personal_statics_are_invisible_to_others() {
+    let (space, doc, _versioning) = hotos_setup();
+    // Doug sees his deadline; Eyal and Paul do not.
+    assert!(space.property_value(DOUG, doc, "deadline").is_some());
+    assert!(space.property_value(EYAL, doc, "deadline").is_none());
+    assert!(space.property_value(PAUL, doc, "deadline").is_none());
+    // Paul sees his label; the others do not.
+    assert!(space.property_value(PAUL, doc, "label").is_some());
+    assert!(space.property_value(DOUG, doc, "label").is_none());
+}
+
+#[test]
+fn universal_versioning_is_visible_to_everyone() {
+    let (space, doc, versioning) = hotos_setup();
+    // Doug saves a new draft.
+    space
+        .write_document(DOUG, doc, b"Doug rewrote the abstract.")
+        .unwrap();
+    assert_eq!(versioning.version_count(), 1);
+    // All three users see the version link (it lives on the base).
+    for user in [EYAL, PAUL, DOUG] {
+        assert!(
+            space.property_value(user, doc, "version:1").is_some(),
+            "{user} should see the universal version link"
+        );
+    }
+}
+
+#[test]
+fn writes_by_one_user_are_read_by_all_with_their_own_transforms() {
+    let (space, doc, _versioning) = hotos_setup();
+    space
+        .write_document(PAUL, doc, b"Paul adds: teh workshop is in March.")
+        .unwrap();
+    let (eyal_view, _) = space.read_document(EYAL, doc).unwrap();
+    let (doug_view, _) = space.read_document(DOUG, doc).unwrap();
+    assert_eq!(eyal_view, "Paul adds: the workshop is in March.");
+    assert_eq!(doug_view, "Paul adds: teh workshop is in March.");
+}
+
+#[test]
+fn each_user_reference_is_independent() {
+    let (space, doc, _versioning) = hotos_setup();
+    assert_eq!(space.users_of(doc), vec![EYAL, PAUL, DOUG]);
+    // Removing Paul's label does not disturb Doug's deadline.
+    let paul_props = space.list_properties(Scope::Personal(PAUL), doc).unwrap();
+    let (label_id, _) = paul_props[0];
+    space
+        .remove_property(Scope::Personal(PAUL), doc, label_id)
+        .unwrap();
+    assert!(space.property_value(PAUL, doc, "label").is_none());
+    assert!(space.property_value(DOUG, doc, "deadline").is_some());
+}

@@ -1,0 +1,155 @@
+//! Document lifecycle and write-back collaboration: deletes and reference
+//! removals propagate to caches; write-path properties demand per-write
+//! events from write-back caches.
+
+use placeless::prelude::*;
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::property::{ActiveProperty, EventCtx};
+use placeless_simenv::LatencyModel;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const ALICE: UserId = UserId(1);
+const BOB: UserId = UserId(2);
+
+fn quiet() -> CacheConfig {
+    CacheConfig {
+        local_latency: LatencyModel::FREE,
+        ..CacheConfig::default()
+    }
+}
+
+#[test]
+fn delete_document_purges_every_cache() {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("d", "content", 100);
+    let doc = space.create_document(ALICE, provider);
+    space.add_reference(BOB, doc).unwrap();
+    let cache_a = DocumentCache::new(space.clone(), quiet());
+    let cache_b = DocumentCache::new(space.clone(), quiet());
+    cache_a.read(ALICE, doc).unwrap();
+    cache_b.read(BOB, doc).unwrap();
+
+    space.delete_document(doc).unwrap();
+    assert!(cache_a.is_empty(), "deletion invalidated cache A");
+    assert!(cache_b.is_empty(), "deletion invalidated cache B");
+    assert!(cache_a.read(ALICE, doc).is_err(), "document is gone");
+}
+
+#[test]
+fn remove_reference_purges_only_that_user() {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("d", "content", 100);
+    let doc = space.create_document(ALICE, provider);
+    space.add_reference(BOB, doc).unwrap();
+    let cache = DocumentCache::new(space.clone(), quiet());
+    cache.read(ALICE, doc).unwrap();
+    cache.read(BOB, doc).unwrap();
+
+    space.remove_reference(BOB, doc).unwrap();
+    assert!(cache.contains(ALICE, doc));
+    assert!(!cache.contains(BOB, doc));
+    assert!(cache.read(BOB, doc).is_err());
+    assert_eq!(cache.read(ALICE, doc).unwrap(), "content");
+}
+
+/// A property that must see every individual write (a write-audit trail).
+struct WriteAudit {
+    writes_seen: Arc<Mutex<u64>>,
+}
+
+impl ActiveProperty for WriteAudit {
+    fn name(&self) -> &str {
+        "write-audit"
+    }
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetOutputStream, EventKind::CacheWrite])
+    }
+    fn write_cacheability(&self) -> Cacheability {
+        // "Some may want to know exactly when each write-operation occurs."
+        Cacheability::CacheableWithEvents
+    }
+    fn on_event(&self, _ctx: &EventCtx<'_>, event: &DocumentEvent) -> Result<()> {
+        if event.kind == EventKind::CacheWrite {
+            *self.writes_seen.lock() += 1;
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn write_back_forwards_events_when_a_property_demands_them() {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("d", "v0", 100);
+    let doc = space.create_document(ALICE, provider.clone());
+    let writes_seen = Arc::new(Mutex::new(0u64));
+    space
+        .attach_active(
+            Scope::Universal,
+            doc,
+            Arc::new(WriteAudit {
+                writes_seen: writes_seen.clone(),
+            }),
+        )
+        .unwrap();
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig {
+            write_mode: WriteMode::Back,
+            local_latency: LatencyModel::FREE,
+            ..CacheConfig::default()
+        },
+    );
+    // Three buffered writes: nothing reaches the provider, but the audit
+    // property hears about each one through forwarded CacheWrite events.
+    cache.write(ALICE, doc, b"v1").unwrap();
+    cache.write(ALICE, doc, b"v2").unwrap();
+    cache.write(ALICE, doc, b"v3").unwrap();
+    assert_eq!(provider.content(), "v0");
+    assert_eq!(*writes_seen.lock(), 3);
+    assert_eq!(cache.stats().events_forwarded, 3);
+    cache.flush().unwrap();
+    assert_eq!(provider.content(), "v3");
+}
+
+#[test]
+fn write_back_stays_quiet_without_demanding_properties() {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("d", "v0", 100);
+    let doc = space.create_document(ALICE, provider);
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig {
+            write_mode: WriteMode::Back,
+            local_latency: LatencyModel::FREE,
+            ..CacheConfig::default()
+        },
+    );
+    let ops_before = space.ops_count();
+    cache.write(ALICE, doc, b"v1").unwrap();
+    cache.write(ALICE, doc, b"v2").unwrap();
+    assert_eq!(cache.stats().events_forwarded, 0);
+    // Only the write_cacheability probes ran; no event dispatches.
+    assert!(space.ops_count() - ops_before <= 4);
+}
+
+#[test]
+fn profiles_survive_a_round_trip_through_text() {
+    // End-to-end: render a profile, parse it back, apply it, observe the
+    // composed behaviour.
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    register_standard(space.registry());
+    let provider = MemoryProvider::new("d", "teh report. second sentence. third.", 100);
+    let doc = space.create_document(ALICE, provider);
+
+    let specs = parse_profile(
+        "spell-corrector\nsummarize sentences=1\n",
+    )
+    .unwrap();
+    let text = format_profile(&specs);
+    let reparsed = parse_profile(&text).unwrap();
+    assert_eq!(reparsed, specs);
+    apply_profile(&space, Scope::Personal(ALICE), doc, &reparsed).unwrap();
+    let (bytes, _) = space.read_document(ALICE, doc).unwrap();
+    assert_eq!(bytes, "the report.");
+}

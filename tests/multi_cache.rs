@@ -1,0 +1,125 @@
+//! Multiple caches sharing one invalidation bus: the paper assumes "the
+//! number of caches storing any particular document for a user is likely
+//! to be small" and that they "collaborate with the Placeless system" —
+//! e.g. one cache co-located with the Placeless server plus one per
+//! application machine.
+
+use placeless::prelude::*;
+use placeless_simenv::LatencyModel;
+use std::sync::Arc;
+
+const ALICE: UserId = UserId(1);
+const BOB: UserId = UserId(2);
+
+fn rig() -> (Arc<DocumentSpace>, Arc<DocumentCache>, Arc<DocumentCache>, DocumentId) {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("shared", "v1", 500);
+    let doc = space.create_document(ALICE, provider);
+    space.add_reference(BOB, doc).unwrap();
+    space
+        .attach_active(Scope::Universal, doc, ContentWriteNotifier::any())
+        .unwrap();
+    let quiet = || CacheConfig {
+        local_latency: LatencyModel::FREE,
+        ..CacheConfig::default()
+    };
+    let alice_cache = DocumentCache::new(space.clone(), quiet());
+    let bob_cache = DocumentCache::new(space.clone(), quiet());
+    (space, alice_cache, bob_cache, doc)
+}
+
+#[test]
+fn a_write_through_one_cache_invalidates_the_other() {
+    let (_space, alice_cache, bob_cache, doc) = rig();
+    assert_eq!(alice_cache.read(ALICE, doc).unwrap(), "v1");
+    assert_eq!(bob_cache.read(BOB, doc).unwrap(), "v1");
+
+    // Alice saves through *her* cache; the notifier reaches Bob's cache.
+    alice_cache.write(ALICE, doc, b"v2").unwrap();
+    assert!(!bob_cache.contains(BOB, doc), "remote cache invalidated");
+    assert_eq!(bob_cache.read(BOB, doc).unwrap(), "v2");
+    assert!(bob_cache.stats().notifier_invalidations >= 1);
+}
+
+#[test]
+fn notifications_fan_out_to_every_subscribed_cache() {
+    let (space, alice_cache, bob_cache, doc) = rig();
+    alice_cache.read(ALICE, doc).unwrap();
+    alice_cache.read(BOB, doc).unwrap();
+    bob_cache.read(ALICE, doc).unwrap();
+    bob_cache.read(BOB, doc).unwrap();
+    space.write_document(ALICE, doc, b"v2").unwrap();
+    // Both caches dropped both users' entries (4 invalidations total,
+    // 2 per cache).
+    assert!(alice_cache.is_empty());
+    assert!(bob_cache.is_empty());
+    assert_eq!(alice_cache.stats().notifier_invalidations, 2);
+    assert_eq!(bob_cache.stats().notifier_invalidations, 2);
+}
+
+#[test]
+fn write_back_cache_coalesces_saves_then_publishes() {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("draft", "start", 500);
+    let doc = space.create_document(ALICE, provider.clone());
+    space
+        .attach_active(Scope::Universal, doc, ContentWriteNotifier::any())
+        .unwrap();
+    let reader_cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig {
+            local_latency: LatencyModel::FREE,
+            ..CacheConfig::default()
+        },
+    );
+    let writer_cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig {
+            write_mode: WriteMode::Back,
+            local_latency: LatencyModel::FREE,
+            ..CacheConfig::default()
+        },
+    );
+
+    reader_cache.read(ALICE, doc).unwrap();
+    // Three quick saves buffer locally; the middleware sees nothing yet.
+    writer_cache.write(ALICE, doc, b"draft 1").unwrap();
+    writer_cache.write(ALICE, doc, b"draft 2").unwrap();
+    writer_cache.write(ALICE, doc, b"draft 3").unwrap();
+    assert_eq!(provider.content(), "start");
+    assert!(reader_cache.contains(ALICE, doc), "no invalidation yet");
+    // The writer reads their own buffered draft.
+    assert_eq!(writer_cache.read(ALICE, doc).unwrap(), "draft 3");
+
+    // Flush: one write reaches the provider, notifiers fire, the reader
+    // cache drops its stale entry.
+    writer_cache.flush().unwrap();
+    assert_eq!(provider.content(), "draft 3");
+    assert!(!reader_cache.contains(ALICE, doc));
+    assert_eq!(writer_cache.stats().flushes, 1);
+}
+
+#[test]
+fn per_user_versions_do_not_interfere_across_caches() {
+    let (space, alice_cache, bob_cache, doc) = rig();
+    space
+        .attach_active(Scope::Personal(ALICE), doc, Translate::to("fr"))
+        .unwrap();
+    space
+        .attach_active(Scope::Universal, doc, PropertyChangeNotifier::any())
+        .unwrap();
+    // Different users' views through different caches.
+    let provider_text = bob_cache.read(BOB, doc).unwrap();
+    let alice_text = alice_cache.read(ALICE, doc).unwrap();
+    assert_eq!(provider_text, "v1");
+    assert_eq!(alice_text, "v1"); // "v1" has no dictionary words
+    // Alice's personal change invalidates only her entries — in both
+    // caches — while Bob's survive everywhere.
+    alice_cache.read(BOB, doc).unwrap();
+    space
+        .attach_active(Scope::Personal(ALICE), doc, Watermark::new())
+        .unwrap();
+    assert!(!alice_cache.contains(ALICE, doc));
+    assert!(alice_cache.contains(BOB, doc));
+    assert!(bob_cache.contains(BOB, doc));
+}

@@ -1,0 +1,204 @@
+//! Property-based tests over the caching layer: the shared store against a
+//! reference model, replacement-policy contracts under random operation
+//! sequences, GDS invariants, and the simulation substrate.
+
+use bytes::Bytes;
+use placeless_cache::keys::SharedStore;
+use placeless_cache::policy::{by_name, EntryKey, GreedyDualSize, ReplacementPolicy, ALL_POLICIES};
+use placeless_core::id::{DocumentId, UserId};
+use placeless_simenv::trace::{WorkloadBuilder, ZipfSampler};
+use placeless_simenv::{SimRng, VirtualClock};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn key_strategy() -> impl Strategy<Value = EntryKey> {
+    (0u64..12, 0u64..4).prop_map(|(d, u)| (DocumentId(d), UserId(u)))
+}
+
+/// Operations the store/policy models replay.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(EntryKey, u8),
+    Remove(EntryKey),
+    Hit(EntryKey),
+    Evict,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key_strategy().prop_map(Op::Remove),
+        key_strategy().prop_map(Op::Hit),
+        Just(Op::Evict),
+    ]
+}
+
+proptest! {
+    /// The shared store behaves like a plain `(key → bytes)` map for
+    /// lookups, while storing each distinct value once.
+    #[test]
+    fn shared_store_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut store = SharedStore::new();
+        let mut model: HashMap<EntryKey, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(key, v) => {
+                    // Content derived from the value: equal values share.
+                    store.insert(key, Bytes::from(vec![v; 16]));
+                    model.insert(key, v);
+                }
+                Op::Remove(key) => {
+                    let existed = store.remove(key);
+                    prop_assert_eq!(existed, model.remove(&key).is_some());
+                }
+                _ => {}
+            }
+            // Lookups agree.
+            for (&key, &v) in &model {
+                prop_assert_eq!(store.get(key), Some(Bytes::from(vec![v; 16])));
+            }
+            prop_assert_eq!(store.key_count(), model.len());
+            // Physical bytes: one copy per distinct value.
+            let distinct: HashSet<u8> = model.values().copied().collect();
+            prop_assert_eq!(store.distinct_contents(), distinct.len());
+            prop_assert_eq!(store.physical_bytes(), distinct.len() as u64 * 16);
+            prop_assert_eq!(store.logical_bytes(), model.len() as u64 * 16);
+        }
+    }
+
+    /// Every policy maintains the contract: it tracks exactly the live
+    /// keys, evicts only live keys, and empties exactly when drained.
+    #[test]
+    fn policy_contract_under_random_ops(
+        name in proptest::sample::select(ALL_POLICIES.to_vec()),
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        let mut policy = by_name(name).unwrap();
+        let mut live: HashSet<EntryKey> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(key, v) => {
+                    policy.on_insert(key, 1 + v as u64, v as f64 + 1.0);
+                    live.insert(key);
+                }
+                Op::Remove(key) => {
+                    policy.on_remove(key);
+                    live.remove(&key);
+                }
+                Op::Hit(key) => {
+                    // Hits on non-resident keys may occur in the manager
+                    // only for resident ones; policies must tolerate both.
+                    policy.on_hit(key);
+                }
+                Op::Evict => {
+                    match policy.evict() {
+                        Some(victim) => {
+                            prop_assert!(live.remove(&victim), "{}: evicted dead key", name);
+                        }
+                        None => prop_assert!(live.is_empty(), "{}: refused with live keys", name),
+                    }
+                }
+            }
+            prop_assert_eq!(policy.len(), live.len(), "{}", name);
+        }
+        // Drain: every live key comes out exactly once.
+        let mut drained = HashSet::new();
+        while let Some(victim) = policy.evict() {
+            prop_assert!(drained.insert(victim), "{}: duplicate eviction", name);
+        }
+        prop_assert_eq!(drained, live, "{}", name);
+    }
+
+    /// GDS inflation (`L`) never decreases, and eviction order respects
+    /// credits for a pure-insert workload.
+    #[test]
+    fn gds_inflation_is_monotone(costs in proptest::collection::vec(1u64..10_000, 1..64)) {
+        let mut gds = GreedyDualSize::new();
+        for (i, &cost) in costs.iter().enumerate() {
+            gds.on_insert((DocumentId(i as u64), UserId(1)), 100, cost as f64);
+        }
+        let mut last = gds.inflation();
+        while gds.evict().is_some() {
+            prop_assert!(gds.inflation() >= last);
+            last = gds.inflation();
+        }
+    }
+
+    /// For equal sizes and no hits, GDS evicts in ascending cost order.
+    #[test]
+    fn gds_pure_insert_evicts_cheapest_first(costs in proptest::collection::vec(1u64..1_000_000, 1..40)) {
+        let mut gds = GreedyDualSize::new();
+        for (i, &cost) in costs.iter().enumerate() {
+            gds.on_insert((DocumentId(i as u64), UserId(1)), 64, cost as f64);
+        }
+        let mut evicted_costs = Vec::new();
+        while let Some((DocumentId(i), _)) = gds.evict() {
+            evicted_costs.push(costs[i as usize]);
+        }
+        let mut sorted = evicted_costs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(evicted_costs, sorted);
+    }
+
+    /// The virtual clock never goes backwards under arbitrary advances.
+    #[test]
+    fn clock_is_monotone(advances in proptest::collection::vec(0u64..1_000_000, 0..64)) {
+        let clock = VirtualClock::new();
+        let mut last = clock.now();
+        for a in advances {
+            if a % 2 == 0 {
+                clock.advance(a);
+            } else {
+                clock.advance_to(placeless_simenv::Instant(a));
+            }
+            let now = clock.now();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+
+    /// Zipf samples stay within the universe and the generator is
+    /// deterministic per seed.
+    #[test]
+    fn zipf_within_bounds(n in 1usize..500, theta in 0.0f64..1.5, seed in any::<u64>()) {
+        let zipf = ZipfSampler::new(n, theta);
+        let mut a = SimRng::seeded(seed);
+        let mut b = SimRng::seeded(seed);
+        for _ in 0..64 {
+            let x = zipf.sample(&mut a);
+            prop_assert!(x < n);
+            prop_assert_eq!(x, zipf.sample(&mut b));
+        }
+    }
+
+    /// Workloads honor their parameters.
+    #[test]
+    fn workload_respects_parameters(
+        seed in any::<u64>(),
+        users in 1usize..8,
+        docs in 1usize..64,
+        events in 0usize..256,
+    ) {
+        let workload = WorkloadBuilder::new(seed)
+            .users(users)
+            .documents(docs)
+            .events(events)
+            .build();
+        prop_assert_eq!(workload.len(), events);
+        for e in &workload {
+            prop_assert!(e.user < users);
+            prop_assert!(e.doc < docs);
+        }
+    }
+
+    /// `SimRng::next_range` is inclusive and in bounds.
+    #[test]
+    fn rng_range_inclusive(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let hi = lo + span;
+        let mut rng = SimRng::seeded(seed);
+        for _ in 0..32 {
+            let v = rng.next_range(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Model-based property test for the NFS adapter: random open/read/write/
+//! close sequences against a plain in-memory reference model must agree
+//! byte-for-byte.
+
+use placeless::prelude::*;
+use placeless_simenv::LatencyModel;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const USER: UserId = UserId(1);
+
+/// Operations the model replays.
+#[derive(Debug, Clone)]
+enum NfsOp {
+    /// Full-file read via a read handle.
+    ReadAll,
+    /// Truncating write of the given content.
+    WriteAll(Vec<u8>),
+    /// Read-modify-write patch at an offset.
+    Patch { offset: u8, data: Vec<u8> },
+    /// Attribute probe.
+    GetAttr,
+}
+
+fn op_strategy() -> impl Strategy<Value = NfsOp> {
+    prop_oneof![
+        Just(NfsOp::ReadAll),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(NfsOp::WriteAll),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..16))
+            .prop_map(|(offset, data)| NfsOp::Patch { offset, data }),
+        Just(NfsOp::GetAttr),
+    ]
+}
+
+fn setup(initial: &[u8]) -> (Arc<NfsServer>, Arc<MemoryProvider>) {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("f", bytes::Bytes::copy_from_slice(initial), 0);
+    let doc = space.create_document(USER, provider.clone());
+    let nfs = NfsServer::new(DirectBackend::new(space));
+    nfs.export("/f", doc);
+    (nfs, provider)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nfs_matches_reference_model(
+        initial in proptest::collection::vec(any::<u8>(), 0..64),
+        ops in proptest::collection::vec(op_strategy(), 0..24),
+    ) {
+        let (nfs, provider) = setup(&initial);
+        let mut model: Vec<u8> = initial;
+
+        for op in ops {
+            match op {
+                NfsOp::ReadAll => {
+                    let h = nfs.open(USER, "/f", OpenMode::Read).unwrap();
+                    let mut got = Vec::new();
+                    let mut offset = 0u64;
+                    loop {
+                        let chunk = nfs.read(h, offset, 7).unwrap();
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        offset += chunk.len() as u64;
+                        got.extend_from_slice(&chunk);
+                    }
+                    nfs.close(h).unwrap();
+                    prop_assert_eq!(&got, &model);
+                }
+                NfsOp::WriteAll(data) => {
+                    let h = nfs.open(USER, "/f", OpenMode::Write).unwrap();
+                    nfs.write(h, 0, &data).unwrap();
+                    nfs.close(h).unwrap();
+                    model = data;
+                }
+                NfsOp::Patch { offset, data } => {
+                    let h = nfs.open(USER, "/f", OpenMode::ReadWrite).unwrap();
+                    nfs.write(h, offset as u64, &data).unwrap();
+                    nfs.close(h).unwrap();
+                    let end = offset as usize + data.len();
+                    if model.len() < end {
+                        model.resize(end, 0);
+                    }
+                    model[offset as usize..end].copy_from_slice(&data);
+                }
+                NfsOp::GetAttr => {
+                    let attr = nfs.getattr(USER, "/f").unwrap();
+                    prop_assert_eq!(attr.size, model.len() as u64);
+                }
+            }
+            // The provider always holds exactly the model bytes.
+            prop_assert_eq!(&provider.content()[..], &model[..]);
+        }
+        prop_assert_eq!(nfs.open_count(), 0, "no leaked handles");
+    }
+}

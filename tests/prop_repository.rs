@@ -1,0 +1,159 @@
+//! Model-based property tests for the repository substrates: the file
+//! system, the DMS, and the mail store each replay random operation
+//! sequences against plain reference models.
+
+use placeless::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Create(u8, Vec<u8>),
+    WriteDirect(u8, Vec<u8>),
+    Unlink(u8),
+}
+
+fn fs_op() -> impl Strategy<Value = FsOp> {
+    let content = proptest::collection::vec(any::<u8>(), 0..32);
+    prop_oneof![
+        (0u8..6, content.clone()).prop_map(|(p, c)| FsOp::Create(p, c)),
+        (0u8..6, content).prop_map(|(p, c)| FsOp::WriteDirect(p, c)),
+        (0u8..6).prop_map(FsOp::Unlink),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memfs_matches_reference_model(ops in proptest::collection::vec(fs_op(), 0..64)) {
+        let clock = VirtualClock::new();
+        let fs = MemFs::new(clock.clone());
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        let mut writes: HashMap<String, u64> = HashMap::new();
+        for op in ops {
+            clock.advance(1);
+            match op {
+                FsOp::Create(p, content) => {
+                    let path = format!("/f{p}");
+                    fs.create(&path, content.clone());
+                    model.insert(path.clone(), content);
+                    *writes.entry(path).or_insert(0) += 1;
+                }
+                FsOp::WriteDirect(p, content) => {
+                    let path = format!("/f{p}");
+                    let result = fs.write_direct(&path, content.clone());
+                    if model.contains_key(&path) {
+                        prop_assert!(result.is_ok());
+                        model.insert(path.clone(), content);
+                        *writes.entry(path).or_insert(0) += 1;
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                FsOp::Unlink(p) => {
+                    let path = format!("/f{p}");
+                    let existed = model.remove(&path).is_some();
+                    prop_assert_eq!(fs.unlink(&path).is_ok(), existed);
+                    // Unlinking ends the file's identity; a re-created
+                    // file restarts its generation counter.
+                    writes.remove(&path);
+                }
+            }
+            // The views agree at every step.
+            let mut paths: Vec<&String> = model.keys().collect();
+            paths.sort();
+            prop_assert_eq!(
+                fs.list(),
+                paths.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+            );
+            for (path, content) in &model {
+                prop_assert_eq!(&fs.read(path).unwrap()[..], &content[..]);
+                // Generation counts every write since first creation.
+                let stat = fs.stat(path).unwrap();
+                prop_assert_eq!(stat.generation + 1, writes[path]);
+            }
+        }
+    }
+
+    #[test]
+    fn dms_versions_are_append_only(
+        contents in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..12),
+    ) {
+        let dms = Dms::new();
+        dms.import("item", contents[0].clone());
+        for (i, content) in contents.iter().enumerate().skip(1) {
+            dms.check_out("item", "writer").unwrap();
+            let version = dms.check_in("item", "writer", content.clone()).unwrap();
+            prop_assert_eq!(version, i as u64 + 1);
+        }
+        // Every historical version is intact and the latest agrees.
+        prop_assert_eq!(dms.latest_version("item").unwrap(), contents.len() as u64);
+        for (i, content) in contents.iter().enumerate() {
+            prop_assert_eq!(
+                &dms.fetch_version("item", i as u64 + 1).unwrap()[..],
+                &content[..]
+            );
+        }
+        prop_assert_eq!(
+            &dms.fetch_latest("item").unwrap()[..],
+            &contents.last().unwrap()[..]
+        );
+    }
+
+    #[test]
+    fn mailstore_digest_reflects_every_delivery(
+        subjects in proptest::collection::vec("[a-z]{1,8}", 1..16),
+        limit in 1usize..8,
+    ) {
+        let mail = MailStore::new();
+        for (i, subject) in subjects.iter().enumerate() {
+            let seq = mail.deliver("inbox", "a@b", subject, "");
+            prop_assert_eq!(seq, i as u64 + 1);
+        }
+        prop_assert_eq!(mail.count("inbox").unwrap(), subjects.len() as u64);
+        let digest = String::from_utf8_lossy(&mail.digest("inbox", limit).unwrap()).into_owned();
+        // The newest `limit` messages appear; older ones do not (modulo
+        // duplicate subject strings, which we skip).
+        let shown = &subjects[subjects.len().saturating_sub(limit)..];
+        for subject in shown {
+            prop_assert!(digest.contains(subject.as_str()), "{digest} missing {subject}");
+        }
+        for (i, subject) in subjects.iter().enumerate() {
+            if i < subjects.len() - shown.len() && !shown.contains(subject) {
+                prop_assert!(
+                    !digest.contains(&format!(" {subject}\n")),
+                    "{digest} leaked {subject}"
+                );
+            }
+        }
+        // Fetching by sequence matches insertion order.
+        for (i, subject) in subjects.iter().enumerate() {
+            prop_assert_eq!(&mail.fetch("inbox", i as u64 + 1).unwrap().subject, subject);
+        }
+    }
+
+    #[test]
+    fn webserver_revisions_count_all_mutations(
+        edits in proptest::collection::vec(any::<bool>(), 0..24),
+    ) {
+        let server = WebServer::new("h");
+        server.publish("/p", "v0", 1_000);
+        let mut expected = 0u64;
+        for through_http in edits {
+            if through_http {
+                server.put("/p", "x").unwrap();
+            } else {
+                server.edit_origin("/p", "y").unwrap();
+            }
+            expected += 1;
+            prop_assert_eq!(server.revision("/p"), Some(expected));
+            // Conditional GET: 304 on the current revision, fresh body on
+            // any older pin.
+            prop_assert!(server.conditional_get("/p", expected).unwrap().is_none());
+            if expected > 0 {
+                prop_assert!(server.conditional_get("/p", expected - 1).unwrap().is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Experiment E-PL: a runtime-authored (PropLang) property must be a full
+//! citizen of the caching architecture — identical content, cacheability,
+//! cost reporting, and verifier behaviour to the equivalent compiled
+//! property.
+
+use placeless::prelude::*;
+use placeless_core::cacheability::Cacheability as C;
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
+use placeless_core::streams::{InputStream, TransformingInput};
+use placeless_simenv::LatencyModel;
+use std::sync::Arc;
+
+const USER: UserId = UserId(1);
+
+/// The compiled twin of the PropLang program under test.
+struct CompiledShout;
+
+impl ActiveProperty for CompiledShout {
+    fn name(&self) -> &str {
+        "compiled-shout"
+    }
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream])
+    }
+    fn execution_cost_micros(&self) -> u64 {
+        700
+    }
+    fn wrap_input(
+        &self,
+        _ctx: &PathCtx<'_>,
+        report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> placeless_core::error::Result<Box<dyn InputStream>> {
+        report.vote(C::CacheableWithEvents);
+        Ok(Box::new(TransformingInput::new(
+            inner,
+            Box::new(|b| {
+                let text = String::from_utf8_lossy(&b).replace("teh", "the");
+                Ok(bytes::Bytes::from(format!("{}!", text.to_uppercase())))
+            }),
+        )))
+    }
+}
+
+const SCRIPT: &str = "@cost(700)\n@cacheable(events)\nreplace(\"teh\", \"the\") | upper | append(\"!\")";
+
+fn space_with(content: &str) -> (Arc<DocumentSpace>, DocumentId) {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let provider = MemoryProvider::new("doc", content.to_owned(), 1_000);
+    let doc = space.create_document(USER, provider);
+    (space, doc)
+}
+
+#[test]
+fn identical_content() {
+    let (space_a, doc_a) = space_with("read teh draft");
+    space_a
+        .attach_active(Scope::Personal(USER), doc_a, Arc::new(CompiledShout))
+        .unwrap();
+    let (compiled, _) = space_a.read_document(USER, doc_a).unwrap();
+
+    let (space_b, doc_b) = space_with("read teh draft");
+    let scripted = ScriptProperty::compile("shout", SCRIPT, ExtEnv::new()).unwrap();
+    space_b
+        .attach_active(Scope::Personal(USER), doc_b, scripted)
+        .unwrap();
+    let (interpreted, _) = space_b.read_document(USER, doc_b).unwrap();
+
+    assert_eq!(compiled, interpreted);
+    assert_eq!(compiled, "READ THE DRAFT!");
+}
+
+#[test]
+fn identical_path_reports() {
+    let (space_a, doc_a) = space_with("x");
+    space_a
+        .attach_active(Scope::Personal(USER), doc_a, Arc::new(CompiledShout))
+        .unwrap();
+    let (_, report_a) = space_a.read_document(USER, doc_a).unwrap();
+
+    let (space_b, doc_b) = space_with("x");
+    let scripted = ScriptProperty::compile("shout", SCRIPT, ExtEnv::new()).unwrap();
+    space_b
+        .attach_active(Scope::Personal(USER), doc_b, scripted)
+        .unwrap();
+    let (_, report_b) = space_b.read_document(USER, doc_b).unwrap();
+
+    assert_eq!(report_a.cacheability, report_b.cacheability);
+    assert_eq!(report_a.cost.raw_micros(), report_b.cost.raw_micros());
+    assert_eq!(report_a.verifiers.len(), report_b.verifiers.len());
+}
+
+#[test]
+fn identical_cache_behaviour() {
+    for scripted in [false, true] {
+        let (space, doc) = space_with("content");
+        if scripted {
+            let prop = ScriptProperty::compile("shout", SCRIPT, ExtEnv::new()).unwrap();
+            space.attach_active(Scope::Personal(USER), doc, prop).unwrap();
+        } else {
+            space
+                .attach_active(Scope::Personal(USER), doc, Arc::new(CompiledShout))
+                .unwrap();
+        }
+        let cache = DocumentCache::new(
+            space.clone(),
+            CacheConfig {
+                local_latency: LatencyModel::FREE,
+                ..CacheConfig::default()
+            },
+        );
+        cache.read(USER, doc).unwrap();
+        cache.read(USER, doc).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "scripted={scripted}");
+        assert_eq!(stats.hits, 1, "scripted={scripted}");
+        // @cacheable(events) → operation events forwarded on hits.
+        assert_eq!(stats.events_forwarded, 1, "scripted={scripted}");
+    }
+}
+
+#[test]
+fn scripted_properties_can_be_shipped_as_plain_strings() {
+    // The registry path: behaviour arrives as data.
+    let (space, doc) = space_with("the payload");
+    register_proplang(space.registry(), ExtEnv::new());
+    let over_the_wire = r#"prepend("<<") | append(">>")"#;
+    space
+        .attach_by_name(
+            Scope::Personal(USER),
+            doc,
+            "proplang",
+            &Params::new().with("name", "wrap").with("source", over_the_wire),
+        )
+        .unwrap();
+    let (bytes, _) = space.read_document(USER, doc).unwrap();
+    assert_eq!(bytes, "<<the payload>>");
+}

@@ -1,0 +1,204 @@
+//! Soak test: a scaled-down office simulation with end-state invariants.
+//!
+//! Drives a mixed multi-user workload (reads, NFS saves, out-of-band
+//! edits, property churn, external changes, timers) and then asserts the
+//! global invariants the architecture promises.
+
+use placeless::prelude::*;
+use placeless_cache::PrefetchConfig;
+use placeless_simenv::trace::WorkloadBuilder;
+use placeless_simenv::{LatencyModel, SimRng};
+use std::sync::Arc;
+
+struct World {
+    space: Arc<DocumentSpace>,
+    fs: Arc<MemFs>,
+    docs: Vec<DocumentId>,
+    users: Vec<UserId>,
+    caches: Vec<Arc<DocumentCache>>,
+}
+
+fn build() -> World {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::new(100, 10));
+    register_standard(space.registry());
+
+    let fs = MemFs::new(clock.clone());
+    let users: Vec<UserId> = (1..=4).map(UserId).collect();
+    let mut docs = Vec::new();
+    for i in 0..10 {
+        let path = format!("/doc-{i}");
+        fs.create(&path, format!("document {i} original text."));
+        let provider = FsProvider::new(fs.clone(), &path, Link::new(500, 2_000_000, 0.0, i));
+        let doc = space.create_document(users[0], provider);
+        space
+            .attach_active(Scope::Universal, doc, ContentWriteNotifier::any())
+            .unwrap();
+        space
+            .attach_active(Scope::Universal, doc, PropertyChangeNotifier::any())
+            .unwrap();
+        docs.push(doc);
+    }
+    for &user in &users {
+        for &doc in &docs {
+            space.add_reference(user, doc).unwrap();
+        }
+    }
+    let caches = users
+        .iter()
+        .map(|_| {
+            DocumentCache::new(
+                space.clone(),
+                CacheConfig {
+                    capacity_bytes: 8 * 1024,
+                    prefetch: PrefetchConfig::up_to(2),
+                    local_latency: LatencyModel::FREE,
+                    ..CacheConfig::default()
+                },
+            )
+        })
+        .collect();
+    World {
+        space,
+        fs,
+        docs,
+        users,
+        caches,
+    }
+}
+
+#[test]
+fn soak_mixed_workload_preserves_invariants() {
+    let world = build();
+    let events = WorkloadBuilder::new(7)
+        .users(world.users.len())
+        .documents(world.docs.len())
+        .zipf_theta(0.8)
+        .write_fraction(0.1)
+        .events(1_500)
+        .mean_think_micros(0)
+        .build();
+    let mut rng = SimRng::seeded(8);
+    let mut reads = vec![0u64; world.users.len()];
+
+    for (i, event) in events.iter().enumerate() {
+        let user = world.users[event.user];
+        let doc = world.docs[event.doc];
+        if event.is_write {
+            world
+                .space
+                .write_document(user, doc, format!("rev {i} by {user}").as_bytes())
+                .unwrap();
+        } else {
+            let bytes = world.caches[event.user].read(user, doc).unwrap();
+            assert!(!bytes.is_empty());
+            reads[event.user] += 1;
+        }
+        if i % 120 == 60 {
+            // Out-of-band edit under the middleware's feet.
+            world
+                .fs
+                .write_direct(&format!("/doc-{}", event.doc), format!("oob {i}"))
+                .unwrap();
+        }
+        if i % 200 == 100 {
+            // Property churn: attach and remove a translator.
+            let id = world
+                .space
+                .attach_active(Scope::Personal(user), doc, Translate::to("fr"))
+                .unwrap();
+            world
+                .space
+                .remove_property(Scope::Personal(user), doc, id)
+                .unwrap();
+        }
+        if i % 300 == 299 {
+            world.space.timer_tick().unwrap();
+        }
+    }
+
+    // Invariant 1: accounting adds up per cache. Demand reads equal
+    // hits + misses (uncacheable content never occurs here), and every
+    // read returned data.
+    for (i, cache) in world.caches.iter().enumerate() {
+        let s = cache.stats();
+        assert_eq!(
+            s.hits + s.misses,
+            reads[i],
+            "user {i}: reads={} hits={} misses={}",
+            reads[i],
+            s.hits,
+            s.misses
+        );
+    }
+
+    // Invariant 2: capacity was respected throughout (checked at the end;
+    // eviction keeps it true at every fill).
+    for cache in &world.caches {
+        let (physical, _) = cache.resident_bytes();
+        assert!(physical <= 8 * 1024, "capacity exceeded: {physical}");
+    }
+
+    // Invariant 3: after the dust settles, every cache agrees with the
+    // middleware on every (user, doc) pair — no stale entries at rest.
+    for (i, &user) in world.users.iter().enumerate() {
+        for &doc in &world.docs {
+            let (truth, _) = world.space.read_document(user, doc).unwrap();
+            let cached = world.caches[i].read(user, doc).unwrap();
+            assert_eq!(truth, cached, "stale entry for {user}/{doc}");
+        }
+    }
+
+    // Invariant 4: both mechanisms actually fired during the run.
+    let totals = world
+        .caches
+        .iter()
+        .map(|c| c.stats())
+        .fold((0u64, 0u64), |acc, s| {
+            (
+                acc.0 + s.notifier_invalidations,
+                acc.1 + s.verifier_invalidations,
+            )
+        });
+    assert!(totals.0 > 0, "no notifier invalidations at all");
+    assert!(totals.1 > 0, "no verifier invalidations at all");
+    let _ = rng.next_u64();
+}
+
+#[test]
+fn soak_is_deterministic() {
+    // Two identical worlds driven by identical workloads end identical.
+    let run = || {
+        let world = build();
+        let events = WorkloadBuilder::new(99)
+            .users(world.users.len())
+            .documents(world.docs.len())
+            .write_fraction(0.15)
+            .events(400)
+            .mean_think_micros(0)
+            .build();
+        for (i, event) in events.iter().enumerate() {
+            let user = world.users[event.user];
+            let doc = world.docs[event.doc];
+            if event.is_write {
+                world
+                    .space
+                    .write_document(user, doc, format!("rev {i}").as_bytes())
+                    .unwrap();
+            } else {
+                world.caches[event.user].read(user, doc).unwrap();
+            }
+        }
+        let clock_end = world.space.clock().now().as_micros();
+        let stats: Vec<(u64, u64, u64)> = world
+            .caches
+            .iter()
+            .map(|c| {
+                let s = c.stats();
+                (s.hits, s.misses, s.evictions)
+            })
+            .collect();
+        (clock_end, stats)
+    };
+    assert_eq!(run(), run());
+}
