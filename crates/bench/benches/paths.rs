@@ -39,7 +39,11 @@ fn bench_write_path(c: &mut Criterion) {
         let (space, doc, user) = space_with_chain(chain);
         let payload = vec![b'y'; 4_096];
         group.bench_with_input(BenchmarkId::from_parameter(chain), &chain, |b, _| {
-            b.iter(|| space.write_document(user, doc, black_box(&payload)).expect("write"))
+            b.iter(|| {
+                space
+                    .write_document(user, doc, black_box(&payload))
+                    .expect("write")
+            })
         });
     }
     group.finish();

@@ -4,7 +4,7 @@
 //! `O(n)` on evict — visible here, invisible in the simulated experiment.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use placeless_cache::{by_name, ALL_POLICIES};
+use placeless_cache::{by_name, EntryAttrs, ALL_POLICIES};
 use placeless_core::id::{DocumentId, UserId};
 use std::hint::black_box;
 
@@ -21,8 +21,7 @@ fn bench_policy_cycle(c: &mut Criterion) {
                         for i in 0..4_096u64 {
                             policy.on_insert(
                                 (DocumentId(i), UserId(1)),
-                                256 + (i % 1_024),
-                                (i % 97) as f64 * 100.0,
+                                &EntryAttrs::new(256 + (i % 1_024), (i % 97) as f64 * 100.0),
                             );
                         }
                         policy
@@ -32,8 +31,7 @@ fn bench_policy_cycle(c: &mut Criterion) {
                             policy.on_hit((DocumentId(i * 13 % 4_096), UserId(1)));
                             policy.on_insert(
                                 (DocumentId(10_000 + i), UserId(1)),
-                                512,
-                                1_000.0,
+                                &EntryAttrs::new(512, 1_000.0),
                             );
                             black_box(policy.evict());
                         }

@@ -1,0 +1,34 @@
+//! Wall-clock read-throughput scaling of the sharded cache: the Zipf
+//! hit-dominated mix from `placeless_bench::scale`, at 1–16 threads, with
+//! the single-shard (global-lock) baseline next to the sharded cache.
+//! On a multi-core host the sharded rows should pull ahead as threads
+//! grow; on one CPU the interesting number is parity (sharding must not
+//! cost throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use placeless_bench::scale::{run_one, ScaleParams};
+use std::hint::black_box;
+
+fn bench_scale(c: &mut Criterion) {
+    let params = ScaleParams {
+        reads_per_thread: 4_000,
+        ..ScaleParams::default()
+    };
+    let mut group = c.benchmark_group("scale_read_throughput");
+    for threads in [1usize, 2, 4, 8, 16] {
+        group.throughput(Throughput::Elements(
+            (threads * params.reads_per_thread) as u64,
+        ));
+        for shards in [1usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("shards{shards}"), threads),
+                &(threads, shards),
+                |b, &(threads, shards)| b.iter(|| black_box(run_one(threads, shards, params))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -8,10 +8,10 @@
 //!
 //! Experiments: `table1`, `notifier-verifier`, `replacement`, `sharing`,
 //! `consistency`, `qos`, `collections`, `chain`, `placement`,
-//! `revalidation`.
+//! `revalidation`, `scale`.
 
 use placeless_bench::{
-    chain, collections, consistency, nv, placement, qos, replacement, revalidation, sharing,
+    chain, collections, consistency, nv, placement, qos, replacement, revalidation, scale, sharing,
     table1,
 };
 use placeless_cache::ALL_POLICIES;
@@ -51,6 +51,41 @@ fn main() {
     if want("revalidation") {
         run_revalidation();
     }
+    if want("scale") {
+        run_scale();
+    }
+}
+
+fn run_scale() {
+    println!("== E-SCALE: sharded-cache read throughput (wall clock, Zipf(0.9) reads) ==\n");
+    println!(
+        "{:<8} {:<8} {:>14} {:>10} {:>10}",
+        "threads", "shards", "reads/sec", "hit %", "speedup"
+    );
+    let params = scale::ScaleParams::default();
+    let shards = 16;
+    for &threads in &[1usize, 2, 4, 8, 16] {
+        let single = scale::run_one(threads, 1, params);
+        let sharded = scale::run_one(threads, shards, params);
+        for r in [&single, &sharded] {
+            println!(
+                "{:<8} {:<8} {:>14.0} {:>10.1} {:>10}",
+                r.threads,
+                r.shards,
+                r.ops_per_sec(),
+                r.hit_rate * 100.0,
+                if r.shards == 1 {
+                    "1.00x".to_string()
+                } else {
+                    format!("{:.2}x", r.ops_per_sec() / single.ops_per_sec())
+                }
+            );
+        }
+        println!();
+    }
+    println!("(the single-shard rows are the old global-lock design; shards should");
+    println!(" scale read throughput with threads while the hit rate stays put —");
+    println!(" a single-CPU host will show parity instead of speedup)\n");
 }
 
 fn run_revalidation() {
@@ -74,7 +109,10 @@ fn run_revalidation() {
 
 fn run_placement() {
     println!("== E-PLACE: cache placement (8 KiB doc, 30 ms origin, 50 reads) ==\n");
-    println!("{:<14} {:>14} {:>14}", "placement", "mean read ms", "mean hit ms");
+    println!(
+        "{:<14} {:>14} {:>14}",
+        "placement", "mean read ms", "mean hit ms"
+    );
     for r in placement::sweep(50) {
         println!(
             "{:<14} {:>14.3} {:>14.3}",

@@ -34,7 +34,11 @@ pub fn run_one(chain: usize, per_prop_micros: u64) -> ChainResult {
     let doc = space.create_document(user, provider);
     for _ in 0..chain {
         space
-            .attach_active(Scope::Personal(user), doc, DelayProperty::new(per_prop_micros))
+            .attach_active(
+                Scope::Personal(user),
+                doc,
+                DelayProperty::new(per_prop_micros),
+            )
             .expect("attach");
     }
 
@@ -58,7 +62,10 @@ pub fn run_one(chain: usize, per_prop_micros: u64) -> ChainResult {
 
 /// Sweeps chain lengths.
 pub fn sweep(chains: &[usize], per_prop_micros: u64) -> Vec<ChainResult> {
-    chains.iter().map(|&c| run_one(c, per_prop_micros)).collect()
+    chains
+        .iter()
+        .map(|&c| run_one(c, per_prop_micros))
+        .collect()
 }
 
 #[cfg(test)]

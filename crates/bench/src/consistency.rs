@@ -12,8 +12,8 @@
 
 use placeless_cache::{CacheConfig, DocumentCache};
 use placeless_core::prelude::*;
-use placeless_proplang::{ExtEnv, ScriptProperty};
 use placeless_properties::{ContentWriteNotifier, PropertyChangeNotifier, Translate};
+use placeless_proplang::{ExtEnv, ScriptProperty};
 use placeless_simenv::VirtualClock;
 use std::sync::Arc;
 
@@ -47,12 +47,8 @@ fn rig() -> Rig {
     let feed = SimpleExternal::new("feed", "f0");
     let env = ExtEnv::new();
     env.add(feed.clone());
-    let embed = ScriptProperty::compile(
-        "embed",
-        "@watch_ext(\"feed\")\nappend_ext(\"feed\")",
-        env,
-    )
-    .expect("valid");
+    let embed = ScriptProperty::compile("embed", "@watch_ext(\"feed\")\nappend_ext(\"feed\")", env)
+        .expect("valid");
     space
         .attach_active(Scope::Personal(user), doc, embed)
         .expect("attach");

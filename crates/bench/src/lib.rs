@@ -16,6 +16,7 @@
 //! | [`chain`] | property-chain length vs latency | §3 motivation |
 //! | [`placement`] | app-level vs server-side cache placement | §4 |
 //! | [`revalidation`] | TTL vs conditional-GET verifiers for web docs | §3 WWW discussion |
+//! | [`scale`] | sharded-cache read-throughput scaling (wall-clock) | §4 implementation |
 
 pub mod chain;
 pub mod collections;
@@ -25,6 +26,7 @@ pub mod placement;
 pub mod qos;
 pub mod replacement;
 pub mod revalidation;
+pub mod scale;
 pub mod sharing;
 pub mod support;
 pub mod table1;

@@ -19,8 +19,8 @@
 
 use placeless_cache::{CacheConfig, DocumentCache};
 use placeless_core::prelude::*;
-use placeless_proplang::{ExtEnv, ScriptProperty};
 use placeless_properties::ExternalChangeNotifier;
+use placeless_proplang::{ExtEnv, ScriptProperty};
 use placeless_simenv::{SimRng, VirtualClock};
 
 /// Which consistency mechanism a run uses.

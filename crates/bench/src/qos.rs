@@ -7,7 +7,7 @@
 //! documents of equal popularity — and under a cost-blind policy they
 //! should not.
 
-use placeless_cache::{by_name, CacheConfig, DocumentCache};
+use placeless_cache::{CacheConfig, DocumentCache, PolicyFactory};
 use placeless_core::prelude::*;
 use placeless_simenv::trace::{lorem_bytes, WorkloadBuilder};
 use placeless_simenv::VirtualClock;
@@ -64,7 +64,7 @@ pub fn run_one(policy_name: &str, documents: usize, reads: usize, seed: u64) -> 
         space.clone(),
         CacheConfig {
             capacity_bytes: corpus_bytes / 8,
-            policy: by_name(policy_name).expect("known policy"),
+            policy: PolicyFactory::by_name(policy_name).expect("known policy"),
             ..CacheConfig::default()
         },
     );

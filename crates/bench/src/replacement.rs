@@ -9,7 +9,7 @@
 //! which only a cost-aware policy optimizes.
 
 use crate::support::DelayProperty;
-use placeless_cache::{by_name, CacheConfig, DocumentCache};
+use placeless_cache::{CacheConfig, DocumentCache, PolicyFactory};
 use placeless_core::prelude::*;
 use placeless_simenv::trace::{lorem_bytes, WorkloadBuilder};
 use placeless_simenv::VirtualClock;
@@ -59,7 +59,11 @@ impl Default for ReplacementParams {
 /// cost varies 0 – 5 delay properties of 2 ms each, both deterministic in
 /// the document index, so every policy sees the identical universe and
 /// workload.
-pub fn run_one(policy_name: &str, capacity_frac: f64, params: ReplacementParams) -> ReplacementResult {
+pub fn run_one(
+    policy_name: &str,
+    capacity_frac: f64,
+    params: ReplacementParams,
+) -> ReplacementResult {
     let user = UserId(1);
     let clock = VirtualClock::new();
     let space = DocumentSpace::new(clock.clone());
@@ -71,11 +75,8 @@ pub fn run_one(policy_name: &str, capacity_frac: f64, params: ReplacementParams)
         // not systematically small or big.
         let size = 256usize << (i % 7);
         corpus_bytes += size as u64;
-        let provider = MemoryProvider::new(
-            &format!("doc{i}"),
-            lorem_bytes(i as u64 + 1, size),
-            1_000,
-        );
+        let provider =
+            MemoryProvider::new(&format!("doc{i}"), lorem_bytes(i as u64 + 1, size), 1_000);
         let doc = space.create_document(user, provider);
         // Property cost: 0–5 transforms of 2 ms each, cycling with a
         // stride coprime to the size cycle.
@@ -91,7 +92,7 @@ pub fn run_one(policy_name: &str, capacity_frac: f64, params: ReplacementParams)
         space.clone(),
         CacheConfig {
             capacity_bytes: ((corpus_bytes as f64) * capacity_frac) as u64,
-            policy: by_name(policy_name).expect("known policy"),
+            policy: PolicyFactory::by_name(policy_name).expect("known policy"),
             ..CacheConfig::default()
         },
     );
@@ -123,7 +124,11 @@ pub fn run_one(policy_name: &str, capacity_frac: f64, params: ReplacementParams)
 }
 
 /// Sweeps all policies over the capacity fractions.
-pub fn sweep(policies: &[&str], fracs: &[f64], params: ReplacementParams) -> Vec<ReplacementResult> {
+pub fn sweep(
+    policies: &[&str],
+    fracs: &[f64],
+    params: ReplacementParams,
+) -> Vec<ReplacementResult> {
     let mut results = Vec::new();
     for &frac in fracs {
         for &policy in policies {

@@ -77,7 +77,9 @@ pub fn run_one(
         clock.advance(gap_micros);
         if rng.chance(edit_rate) {
             revision += 1;
-            server.edit_origin("/front", format!("rev {revision}")).expect("edit");
+            server
+                .edit_origin("/front", format!("rev {revision}"))
+                .expect("edit");
         }
         let t0 = clock.now();
         let bytes = cache.read(user, doc).expect("read");
@@ -121,7 +123,11 @@ mod tests {
     fn ttl_is_stale_within_the_window_but_cheaper() {
         let ttl = run_one(WebMode::Ttl, 200, 0.2, 60_000_000, 1_000_000, 5);
         let reval = run_one(WebMode::Revalidate, 200, 0.2, 60_000_000, 1_000_000, 5);
-        assert!(ttl.stale_frac > 0.5, "long TTL hides edits: {}", ttl.stale_frac);
+        assert!(
+            ttl.stale_frac > 0.5,
+            "long TTL hides edits: {}",
+            ttl.stale_frac
+        );
         assert!(
             ttl.mean_read_micros < reval.mean_read_micros,
             "ttl {} vs reval {}",

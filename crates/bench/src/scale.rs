@@ -1,0 +1,181 @@
+//! Experiment **E-SCALE**: read-throughput scaling of the sharded cache.
+//!
+//! The paper's prototype served one interactive user; a shared
+//! application-level cache (or the server-co-located variant of §4) takes
+//! concurrent readers. This experiment drives the *same* hit-dominated
+//! Zipf read mix through the cache from 1–16 threads, once with a single
+//! shard (equivalent to the original global-lock design) and once sharded,
+//! and reports **wall-clock** operations per second — the only experiment
+//! in the harness that measures real time rather than the virtual clock.
+//!
+//! Sharding must buy throughput without changing behaviour: the hit rate
+//! under every shard count should agree within a couple of percentage
+//! points (placement changes victim choice slightly, nothing else).
+
+use placeless_cache::{CacheConfig, DocumentCache};
+use placeless_core::prelude::*;
+use placeless_simenv::trace::{lorem_bytes, ZipfSampler};
+use placeless_simenv::{LatencyModel, SimRng, VirtualClock};
+use std::sync::Arc;
+
+/// The outcome of one `(threads, shards)` cell.
+#[derive(Debug, Clone)]
+pub struct ScaleResult {
+    /// Reader threads driven concurrently.
+    pub threads: usize,
+    /// Shard count the cache was built with (`1` = global-lock baseline).
+    pub shards: usize,
+    /// Total reads issued across all threads.
+    pub ops: u64,
+    /// Wall-clock duration of the read phase, in microseconds.
+    pub wall_micros: u64,
+    /// Hit rate over cacheable reads.
+    pub hit_rate: f64,
+}
+
+impl ScaleResult {
+    /// Returns wall-clock read throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.wall_micros.max(1) as f64 / 1_000_000.0)
+    }
+}
+
+/// Parameters for one scaling run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleParams {
+    /// Distinct documents in the universe.
+    pub documents: usize,
+    /// Bytes per document body.
+    pub doc_bytes: usize,
+    /// Zipf skew of the access stream (higher = more hit-dominated).
+    pub zipf_theta: f64,
+    /// Reads issued by each thread.
+    pub reads_per_thread: usize,
+    /// RNG seed; thread `t` derives its stream from `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for ScaleParams {
+    fn default() -> Self {
+        Self {
+            documents: 256,
+            doc_bytes: 512,
+            zipf_theta: 0.9,
+            reads_per_thread: 20_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs one cell: `threads` readers against a cache with `shards` shards.
+///
+/// Every thread is its own user (entries are per-`(document, user)`), all
+/// users reference all documents, and the byte budget holds roughly half
+/// the per-user working set, so the Zipf head stays resident — a
+/// hit-dominated mix where the global lock, not the miss path, is the
+/// bottleneck being measured.
+pub fn run_one(threads: usize, shards: usize, params: ScaleParams) -> ScaleResult {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let mut docs = Vec::new();
+    for d in 0..params.documents {
+        let provider = MemoryProvider::new(
+            &format!("doc{d}"),
+            lorem_bytes(params.seed + d as u64, params.doc_bytes),
+            200,
+        );
+        let doc = space.create_document(UserId(1), provider);
+        for t in 2..=threads as u64 {
+            space.add_reference(UserId(t), doc).expect("reference");
+        }
+        docs.push(doc);
+    }
+    let capacity = (params.documents * params.doc_bytes * threads) as u64 / 2;
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .capacity_bytes(capacity.max(params.doc_bytes as u64 * 4))
+            .local_latency(LatencyModel::FREE)
+            .shards(shards)
+            .build(),
+    );
+
+    let zipf = Arc::new(ZipfSampler::new(params.documents, params.zipf_theta));
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let cache = &cache;
+            let docs = &docs;
+            let zipf = Arc::clone(&zipf);
+            scope.spawn(move || {
+                let user = UserId(t + 1);
+                let mut rng = SimRng::seeded(params.seed + t);
+                for _ in 0..params.reads_per_thread {
+                    let doc = docs[zipf.sample(&mut rng)];
+                    std::hint::black_box(cache.read(user, doc).expect("read"));
+                }
+            });
+        }
+    });
+    let wall_micros = started.elapsed().as_micros() as u64;
+
+    let stats = cache.stats();
+    ScaleResult {
+        threads,
+        shards,
+        ops: stats.hits + stats.misses + stats.uncacheable_reads,
+        wall_micros,
+        hit_rate: stats.hit_rate().unwrap_or(0.0),
+    }
+}
+
+/// Sweeps thread counts, pairing every cell with its single-shard
+/// baseline.
+pub fn sweep(thread_counts: &[usize], shards: usize, params: ScaleParams) -> Vec<ScaleResult> {
+    let mut results = Vec::new();
+    for &threads in thread_counts {
+        results.push(run_one(threads, 1, params));
+        results.push(run_one(threads, shards, params));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScaleParams {
+        ScaleParams {
+            documents: 64,
+            doc_bytes: 128,
+            reads_per_thread: 1_500,
+            ..ScaleParams::default()
+        }
+    }
+
+    #[test]
+    fn every_read_is_accounted() {
+        let r = run_one(4, 8, small());
+        assert_eq!(r.ops, 4 * 1_500);
+        assert!(r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn workload_is_hit_dominated() {
+        let r = run_one(2, 4, small());
+        assert!(r.hit_rate > 0.5, "hit rate {}", r.hit_rate);
+    }
+
+    #[test]
+    fn hit_rate_parity_across_shard_counts() {
+        // Sharding changes victim placement, not behaviour: the hit rate
+        // must agree with the global-lock baseline within 2 points.
+        let single = run_one(4, 1, small());
+        let sharded = run_one(4, 8, small());
+        assert!(
+            (single.hit_rate - sharded.hit_rate).abs() < 0.02,
+            "hit-rate divergence: {} vs {}",
+            single.hit_rate,
+            sharded.hit_rate
+        );
+    }
+}

@@ -110,7 +110,11 @@ mod tests {
     fn all_identical_chains_share_fully() {
         let result = run_one(8, 3, 1.0);
         // Eight users, one copy of each document's translated bytes.
-        assert!(result.savings_ratio() > 7.0, "ratio {}", result.savings_ratio());
+        assert!(
+            result.savings_ratio() > 7.0,
+            "ratio {}",
+            result.savings_ratio()
+        );
         assert_eq!(result.shared_fills, 7 * 3);
     }
 

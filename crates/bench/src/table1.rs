@@ -134,10 +134,7 @@ mod tests {
     fn table1_shape_matches_the_paper() {
         let rows = run(5);
         assert_eq!(rows.len(), 3);
-        assert!(
-            shape_holds(&rows),
-            "shape violated: {rows:#?}"
-        );
+        assert!(shape_holds(&rows), "shape violated: {rows:#?}");
     }
 
     #[test]

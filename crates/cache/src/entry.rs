@@ -93,7 +93,13 @@ mod tests {
 
     #[test]
     fn debug_does_not_require_verifier_debug() {
-        let meta = EntryMeta::new(vec![], Cacheability::CacheableWithEvents, 0.0, 0, Instant(0));
+        let meta = EntryMeta::new(
+            vec![],
+            Cacheability::CacheableWithEvents,
+            0.0,
+            0,
+            Instant(0),
+        );
         let s = format!("{meta:?}");
         assert!(s.contains("CacheableWithEvents"));
     }

@@ -46,13 +46,7 @@ impl SharedStore {
                 true
             }
             None => {
-                self.contents.insert(
-                    signature,
-                    Stored {
-                        content,
-                        refs: 1,
-                    },
-                );
+                self.contents.insert(signature, Stored { content, refs: 1 });
                 false
             }
         };
@@ -98,10 +92,7 @@ impl SharedStore {
 
     /// Returns the *physical* bytes resident (deduplicated).
     pub fn physical_bytes(&self) -> u64 {
-        self.contents
-            .values()
-            .map(|s| s.content.len() as u64)
-            .sum()
+        self.contents.values().map(|s| s.content.len() as u64).sum()
     }
 
     /// Returns the *logical* bytes resident (what a share-nothing cache

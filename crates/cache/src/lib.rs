@@ -5,13 +5,21 @@
 //! * [`manager::DocumentCache`] — the application-level cache: hit/miss
 //!   paths, verifier execution on hits, notifier-driven invalidation,
 //!   cacheability enforcement with operation-event forwarding, and
-//!   write-through / write-back modes.
-//! * [`keys::SharedStore`] — `(document, user) → signature → content`
-//!   mapping so users with identical transforms share bytes.
+//!   write-through / write-back modes. Sharded for concurrent readers
+//!   (see the module docs for the lock-ordering argument); configured via
+//!   [`manager::CacheConfig::builder`].
+//! * [`store::ConcurrentStore`] — striped, refcounted
+//!   `signature → content` storage with atomic byte accounting, so
+//!   identical renditions share bytes across shards and users.
+//! * [`keys::SharedStore`] — the single-threaded predecessor mapping,
+//!   kept for reference models and microbenchmarks.
 //! * [`digest`] — in-tree MD5 (RFC 1321) content signatures.
 //! * [`policy`] — Greedy-Dual-Size driven by property-supplied replacement
-//!   costs, plus LRU / LFU / SIZE / FIFO / GD(1) baselines.
-//! * [`stats::CacheStats`] — the counters every experiment reports.
+//!   costs, plus LRU / LFU / SIZE / FIFO / GD(1) baselines; policies are
+//!   built per shard from a cloneable [`policy::PolicyFactory`] and fed
+//!   [`policy::EntryAttrs`] at insert time.
+//! * [`stats::CacheStats`] — the counters every experiment reports
+//!   (accumulated lock-free in [`stats::AtomicCacheStats`]).
 
 pub mod digest;
 pub mod entry;
@@ -20,10 +28,15 @@ pub mod manager;
 pub mod policy;
 pub mod prefetch;
 pub mod stats;
+pub mod store;
 
 pub use digest::{md5, Md5, Signature};
 pub use keys::SharedStore;
-pub use manager::{CacheConfig, DocumentCache, WriteMode};
+pub use manager::{default_shard_count, CacheConfig, CacheConfigBuilder, DocumentCache, WriteMode};
+pub use policy::{
+    by_name, EntryAttrs, EntryKey, GdsFrequency, GreedyDualSize, PolicyFactory, ReplacementPolicy,
+    UnknownPolicy, ALL_POLICIES,
+};
 pub use prefetch::PrefetchConfig;
-pub use policy::{by_name, EntryKey, GdsFrequency, GreedyDualSize, ReplacementPolicy, ALL_POLICIES};
 pub use stats::CacheStats;
+pub use store::ConcurrentStore;

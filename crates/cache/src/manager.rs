@@ -5,7 +5,7 @@
 //! full §3 design:
 //!
 //! * entries are tagged `(document, user)` and deduplicated by MD5 content
-//!   signature ([`crate::keys::SharedStore`]);
+//!   signature ([`crate::store::ConcurrentStore`]);
 //! * **verifiers** shipped by the read path run on every hit, trading hit
 //!   latency for consistency with conditions outside Placeless control;
 //! * **notifiers** deliver invalidations through the
@@ -17,12 +17,62 @@
 //! * the replacement policy (Greedy-Dual-Size by default) consumes the
 //!   **replacement costs** accumulated along the read path;
 //! * writes run **write-through** or **write-back**.
+//!
+//! # Concurrency architecture
+//!
+//! The cache is sharded: entry state — the `(doc, user) → signature`
+//! binding, entry metadata, the replacement-policy instance, and dirty
+//! write-back data — is split over N [`Shard`]s, each behind its own
+//! mutex, with the shard chosen by a *fixed* multiplicative hash of the
+//! key (no per-process hasher seeds, so runs are reproducible). Content
+//! bytes live outside the shards in one [`ConcurrentStore`], so identical
+//! renditions are deduplicated **across** shards exactly as they were in
+//! the single-lock design, and the global physical/logical byte totals
+//! are plain atomic counters.
+//!
+//! Reads, writes, and user-scoped invalidations touch only the target
+//! key's shard; document-scoped invalidations and flushes sweep the
+//! shards one at a time. Statistics are relaxed atomics
+//! ([`AtomicCacheStats`]), so no counter update ever takes a lock it
+//! would not otherwise hold. With `shards: 1` the cache degenerates to
+//! the original global-lock design and reproduces its statistics exactly.
+//!
+//! ## Capacity
+//!
+//! The byte budget is global. A fill *reserves* physical bytes in the
+//! content store with a compare-and-swap bounded by the budget
+//! ([`ConcurrentStore::try_acquire`]), and evicts until the reservation
+//! succeeds — so concurrent fills can never overshoot the budget, unlike
+//! an insert-then-evict scheme. Victims come from the filling shard's own
+//! policy first; when that shard has nothing (more) to give, the fill
+//! *steals* one eviction from a sibling shard. The one deliberate
+//! exception is the verifier replace path, which (as in the original
+//! design) refreshes content in place and reclaims any overshoot
+//! immediately afterwards.
+//!
+//! ## Lock ordering (deadlock freedom)
+//!
+//! Three rules, checkable by inspection of this file:
+//!
+//! 1. a thread **blocks** on at most one shard lock, acquired while
+//!    holding no other cache lock;
+//! 2. a thread already holding a shard lock may probe sibling shards only
+//!    via `try_lock` (work-stealing eviction), which never blocks;
+//! 3. content-store stripe locks are **leaves**: taken after any shard
+//!    locks, released before returning, never two at once, and no shard
+//!    lock is ever requested while a stripe lock is held.
+//!
+//! Every blocking edge therefore points from "holding nothing" to a shard
+//! lock, or from a shard lock to a stripe lock; the wait-for graph is
+//! acyclic and no deadlock is possible. Miss fetches, flush writes, and
+//! event forwarding run with **no** cache lock held, because the
+//! middleware path may re-enter the cache through the invalidation bus.
 
 use crate::entry::EntryMeta;
-use crate::keys::SharedStore;
+use crate::policy::{EntryAttrs, EntryKey, PolicyFactory, ReplacementPolicy};
 use crate::prefetch::PrefetchConfig;
-use crate::policy::{EntryKey, GreedyDualSize, ReplacementPolicy};
-use crate::stats::CacheStats;
+use crate::stats::{AtomicCacheStats, CacheStats};
+use crate::store::{ConcurrentStore, NoRoom};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use placeless_core::cacheability::Cacheability;
@@ -48,12 +98,24 @@ pub enum WriteMode {
     Back,
 }
 
+/// Returns one shard per available CPU (the `shards: 0` default).
+pub fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Cache construction parameters.
+///
+/// All fields are public and `..CacheConfig::default()` keeps working;
+/// [`CacheConfig::builder`] is the ergonomic front door.
+#[derive(Clone)]
 pub struct CacheConfig {
     /// Capacity in *physical* (deduplicated) bytes.
     pub capacity_bytes: u64,
-    /// Replacement policy; defaults to Greedy-Dual-Size.
-    pub policy: Box<dyn ReplacementPolicy>,
+    /// Replacement policy recipe; defaults to Greedy-Dual-Size. Each
+    /// shard builds its own instance.
+    pub policy: PolicyFactory,
     /// Whether to run verifiers on hits (disable to measure a
     /// notifier-only configuration).
     pub run_verifiers: bool,
@@ -68,38 +130,116 @@ pub struct CacheConfig {
     /// experimented with caches co-located with the Placeless server".
     /// Charged on every served read.
     pub access_link: Option<Link>,
+    /// Number of lock shards; `0` means one per available CPU. `1`
+    /// reproduces the original global-lock behaviour exactly.
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
     fn default() -> Self {
         Self {
             capacity_bytes: 16 * 1024 * 1024,
-            policy: Box::new(GreedyDualSize::new()),
+            policy: PolicyFactory::default(),
             run_verifiers: true,
             write_mode: WriteMode::Through,
             local_latency: LatencyModel::new(50, 5),
             prefetch: PrefetchConfig::OFF,
             access_link: None,
+            shards: 0,
         }
     }
 }
 
-struct Inner {
-    store: SharedStore,
+impl CacheConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`CacheConfig`]; obtain via [`CacheConfig::builder`].
+#[derive(Clone)]
+pub struct CacheConfigBuilder {
+    config: CacheConfig,
+}
+
+impl CacheConfigBuilder {
+    /// Sets the capacity in physical (deduplicated) bytes.
+    pub fn capacity_bytes(mut self, bytes: u64) -> Self {
+        self.config.capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the replacement-policy recipe.
+    pub fn policy(mut self, policy: PolicyFactory) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the replacement policy by name (case-insensitive); the error
+    /// lists every known policy.
+    pub fn policy_name(
+        mut self,
+        name: &str,
+    ) -> std::result::Result<Self, crate::policy::UnknownPolicy> {
+        self.config.policy = PolicyFactory::by_name(name)?;
+        Ok(self)
+    }
+
+    /// Enables or disables verifier runs on hits.
+    pub fn run_verifiers(mut self, run: bool) -> Self {
+        self.config.run_verifiers = run;
+        self
+    }
+
+    /// Sets the write mode.
+    pub fn write_mode(mut self, mode: WriteMode) -> Self {
+        self.config.write_mode = mode;
+        self
+    }
+
+    /// Sets the local hit latency model.
+    pub fn local_latency(mut self, latency: LatencyModel) -> Self {
+        self.config.local_latency = latency;
+        self
+    }
+
+    /// Sets the collection-prefetch configuration.
+    pub fn prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.config.prefetch = prefetch;
+        self
+    }
+
+    /// Sets the application-to-cache network link.
+    pub fn access_link(mut self, link: Link) -> Self {
+        self.config.access_link = Some(link);
+        self
+    }
+
+    /// Sets the shard count (`0` = one per available CPU).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> CacheConfig {
+        self.config
+    }
+}
+
+/// One lock-striped slice of the cache's entry state. Content bytes live
+/// outside, in the cache-wide [`ConcurrentStore`].
+struct Shard {
+    sigs: HashMap<EntryKey, Signature>,
     meta: HashMap<EntryKey, EntryMeta>,
     policy: Box<dyn ReplacementPolicy>,
     dirty: HashMap<EntryKey, Bytes>,
-    stats: CacheStats,
 }
 
-impl Inner {
-    fn drop_entry(&mut self, key: EntryKey) -> bool {
-        let existed = self.store.remove(key);
-        self.meta.remove(&key);
-        self.policy.on_remove(key);
-        existed
-    }
-}
+use crate::digest::Signature;
 
 /// An application-level cache over a [`DocumentSpace`].
 pub struct DocumentCache {
@@ -111,13 +251,30 @@ pub struct DocumentCache {
     local_latency: LatencyModel,
     prefetch: PrefetchConfig,
     access_link: Option<Link>,
-    inner: Mutex<Inner>,
+    shards: Box<[Mutex<Shard>]>,
+    store: ConcurrentStore,
+    stats: AtomicCacheStats,
 }
 
 impl DocumentCache {
     /// Creates a cache over `space` and subscribes it to the space's
     /// invalidation bus.
     pub fn new(space: Arc<DocumentSpace>, config: CacheConfig) -> Arc<Self> {
+        let shard_count = if config.shards == 0 {
+            default_shard_count()
+        } else {
+            config.shards
+        };
+        let shards = (0..shard_count)
+            .map(|_| {
+                Mutex::new(Shard {
+                    sigs: HashMap::new(),
+                    meta: HashMap::new(),
+                    policy: config.policy.build(),
+                    dirty: HashMap::new(),
+                })
+            })
+            .collect();
         let cache = Arc::new(Self {
             id: CacheId(NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)),
             space,
@@ -127,13 +284,9 @@ impl DocumentCache {
             local_latency: config.local_latency,
             prefetch: config.prefetch,
             access_link: config.access_link,
-            inner: Mutex::new(Inner {
-                store: SharedStore::new(),
-                meta: HashMap::new(),
-                policy: config.policy,
-                dirty: HashMap::new(),
-                stats: CacheStats::default(),
-            }),
+            shards,
+            store: ConcurrentStore::new(),
+            stats: AtomicCacheStats::default(),
         });
         cache.space.bus().subscribe(Arc::new(CacheSink {
             cache: Arc::downgrade(&cache),
@@ -152,14 +305,20 @@ impl DocumentCache {
         self.id
     }
 
-    /// Returns a snapshot of the statistics.
+    /// Returns the number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Returns a snapshot of the statistics. Exact when the cache is
+    /// quiescent; a moment-in-time approximation under concurrent load.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
     }
 
     /// Returns the number of resident `(document, user)` entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().meta.len()
+        self.shards.iter().map(|s| s.lock().meta.len()).sum()
     }
 
     /// Returns `true` if no entries are resident.
@@ -168,15 +327,73 @@ impl DocumentCache {
     }
 
     /// Returns `(physical, logical)` resident bytes; the gap is what
-    /// signature sharing saved.
+    /// signature sharing saved. Lock-free.
     pub fn resident_bytes(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.store.physical_bytes(), inner.store.logical_bytes())
+        (self.store.physical_bytes(), self.store.logical_bytes())
     }
 
     /// Returns `true` if `(doc, user)` is resident.
     pub fn contains(&self, user: UserId, doc: DocumentId) -> bool {
-        self.inner.lock().meta.contains_key(&(doc, user))
+        let key = (doc, user);
+        self.shard(key).lock().meta.contains_key(&key)
+    }
+
+    /// Picks the shard for a key with a fixed multiplicative hash, so
+    /// placement is identical across runs and machines (std's default
+    /// hasher is randomly seeded and would break reproducibility).
+    fn shard_index(&self, key: EntryKey) -> usize {
+        let (DocumentId(doc), UserId(user)) = key;
+        let mixed =
+            doc.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ user.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        // Use the high bits: multiplicative hashing mixes upward.
+        (mixed >> 32) as usize % self.shards.len()
+    }
+
+    fn shard(&self, key: EntryKey) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Removes an entry for a non-eviction reason (invalidation), telling
+    /// the policy. Returns `true` if the entry existed.
+    fn drop_entry(shard: &mut Shard, store: &ConcurrentStore, key: EntryKey) -> bool {
+        let existed = match shard.sigs.remove(&key) {
+            Some(sig) => {
+                store.release(sig);
+                true
+            }
+            None => false,
+        };
+        shard.meta.remove(&key);
+        shard.policy.on_remove(key);
+        existed
+    }
+
+    /// Removes an entry the policy already chose (and forgot) as an
+    /// eviction victim.
+    fn drop_victim(shard: &mut Shard, store: &ConcurrentStore, victim: EntryKey) {
+        if let Some(sig) = shard.sigs.remove(&victim) {
+            store.release(sig);
+        }
+        shard.meta.remove(&victim);
+    }
+
+    /// Evicts one entry from some *other* shard to make room, probing
+    /// with `try_lock` only (rule 2 of the lock order: a blocking
+    /// acquisition here could deadlock with a concurrent steal in the
+    /// opposite direction). Returns `true` if an entry was evicted.
+    fn steal_one(&self, skip: usize) -> bool {
+        for offset in 1..self.shards.len() {
+            let index = (skip + offset) % self.shards.len();
+            let Some(mut shard) = self.shards[index].try_lock() else {
+                continue;
+            };
+            if let Some(victim) = shard.policy.evict() {
+                Self::drop_victim(&mut shard, &self.store, victim);
+                AtomicCacheStats::bump(&self.stats.evictions);
+                return true;
+            }
+        }
+        false
     }
 
     /// Reads a document for `user`, serving from the cache when possible.
@@ -185,103 +402,113 @@ impl DocumentCache {
         let clock = self.space.clock().clone();
         let watch = Stopwatch::start(&clock);
 
-        // Dirty write-back data is the freshest view for its writer.
-        {
-            let inner = self.inner.lock();
-            if let Some(dirty) = inner.dirty.get(&key) {
-                return Ok(dirty.clone());
-            }
-        }
-
-        // Hit path.
-        enum HitOutcome {
+        enum Outcome {
+            Dirty(Bytes),
             Serve(Bytes, bool),
             Miss,
         }
+        let index = self.shard_index(key);
         let outcome = {
-            let mut inner = self.inner.lock();
-            if inner.meta.contains_key(&key) {
+            let mut shard = self.shards[index].lock();
+            // Dirty write-back data is the freshest view for its writer.
+            if let Some(dirty) = shard.dirty.get(&key) {
+                Outcome::Dirty(dirty.clone())
+            } else if shard.meta.contains_key(&key) {
                 let verdict = if self.run_verifiers {
-                    let meta = inner.meta.get(&key).expect("checked above");
+                    let meta = shard.meta.get(&key).expect("checked above");
                     let (verdict, probe_cost) = run_all(&meta.verifiers, &clock);
                     clock.advance(probe_cost);
-                    inner.stats.verify_micros += probe_cost;
+                    AtomicCacheStats::add(&self.stats.verify_micros, probe_cost);
                     verdict
                 } else {
                     Validity::Valid
                 };
                 match verdict {
                     Validity::Valid => {
-                        let bytes = inner.store.get(key).expect("meta implies content");
-                        let meta = inner.meta.get_mut(&key).expect("checked above");
+                        let sig = *shard.sigs.get(&key).expect("meta implies content");
+                        let bytes = self.store.get(sig).expect("binding implies content");
+                        let meta = shard.meta.get_mut(&key).expect("checked above");
                         meta.hits += 1;
                         let was_prefetched = meta.prefetched;
                         let forward = meta.cacheability.requires_event_forwarding();
-                        inner.policy.on_hit(key);
+                        shard.policy.on_hit(key);
                         if was_prefetched {
-                            inner.stats.prefetch_hits += 1;
+                            AtomicCacheStats::bump(&self.stats.prefetch_hits);
                         }
                         self.local_latency.charge(&clock, bytes.len() as u64);
-                        inner.stats.hits += 1;
-                        inner.stats.hit_micros += watch.elapsed_micros();
-                        HitOutcome::Serve(bytes, forward)
+                        AtomicCacheStats::bump(&self.stats.hits);
+                        AtomicCacheStats::add(&self.stats.hit_micros, watch.elapsed_micros());
+                        Outcome::Serve(bytes, forward)
                     }
                     Validity::Replace(bytes) => {
                         // Refresh the entry in place and serve.
                         let size = bytes.len() as u64;
-                        let (_, shared) = inner.store.insert(key, bytes.clone());
-                        if shared {
-                            inner.stats.shared_fills += 1;
+                        if let Some(old) = shard.sigs.remove(&key) {
+                            self.store.release(old);
                         }
+                        let sig = ConcurrentStore::signature_of(&bytes);
+                        if self.store.acquire(sig, &bytes) {
+                            AtomicCacheStats::bump(&self.stats.shared_fills);
+                        }
+                        shard.sigs.insert(key, sig);
                         let forward = {
-                            let meta = inner.meta.get_mut(&key).expect("checked above");
+                            let meta = shard.meta.get_mut(&key).expect("checked above");
                             meta.size = size;
                             meta.filled_at = clock.now();
                             meta.hits += 1;
                             meta.cacheability.requires_event_forwarding()
                         };
-                        inner.policy.on_hit(key);
+                        shard.policy.on_hit(key);
+                        // The replacement may have grown the content past
+                        // the budget; reclaim, sparing the fresh entry.
+                        self.reclaim_over_budget(index, &mut shard, Some(key));
                         self.local_latency.charge(&clock, size);
-                        inner.stats.verifier_replacements += 1;
-                        inner.stats.hits += 1;
-                        inner.stats.hit_micros += watch.elapsed_micros();
-                        HitOutcome::Serve(bytes, forward)
+                        AtomicCacheStats::bump(&self.stats.verifier_replacements);
+                        AtomicCacheStats::bump(&self.stats.hits);
+                        AtomicCacheStats::add(&self.stats.hit_micros, watch.elapsed_micros());
+                        Outcome::Serve(bytes, forward)
                     }
                     Validity::Invalid => {
-                        inner.drop_entry(key);
-                        inner.stats.verifier_invalidations += 1;
-                        HitOutcome::Miss
+                        Self::drop_entry(&mut shard, &self.store, key);
+                        AtomicCacheStats::bump(&self.stats.verifier_invalidations);
+                        Outcome::Miss
                     }
                 }
             } else {
-                HitOutcome::Miss
+                Outcome::Miss
             }
         };
 
-        if let HitOutcome::Serve(bytes, forward) = outcome {
-            if forward {
-                self.space.post_cache_event(user, doc, EventKind::CacheRead)?;
-                self.inner.lock().stats.events_forwarded += 1;
-            }
-            if let Some(link) = &self.access_link {
-                link.transfer(&clock, bytes.len() as u64);
-            }
-            return Ok(bytes);
-        }
-
-        // Miss path: execute the full read path (no cache lock held — the
-        // path may dispatch events that invalidate entries in this cache).
-        let (bytes, report) = self.space.read_document(user, doc)?;
-        {
-            let mut inner = self.inner.lock();
-            if report.cacheability == Cacheability::Uncacheable {
-                inner.stats.uncacheable_reads += 1;
+        match outcome {
+            Outcome::Dirty(bytes) => return Ok(bytes),
+            Outcome::Serve(bytes, forward) => {
+                if forward {
+                    self.space
+                        .post_cache_event(user, doc, EventKind::CacheRead)?;
+                    AtomicCacheStats::bump(&self.stats.events_forwarded);
+                }
+                if let Some(link) = &self.access_link {
+                    link.transfer(&clock, bytes.len() as u64);
+                }
                 return Ok(bytes);
             }
-            inner.stats.misses += 1;
-            self.fill_locked(&mut inner, key, bytes.clone(), report, false);
-            inner.stats.miss_micros += watch.elapsed_micros();
+            Outcome::Miss => {}
         }
+
+        // Miss path: execute the full read path with no shard lock held —
+        // the path may dispatch events that invalidate entries in this
+        // cache (lock-order rule: no cache lock across middleware calls).
+        let (bytes, report) = self.space.read_document(user, doc)?;
+        if report.cacheability == Cacheability::Uncacheable {
+            AtomicCacheStats::bump(&self.stats.uncacheable_reads);
+            return Ok(bytes);
+        }
+        AtomicCacheStats::bump(&self.stats.misses);
+        {
+            let mut shard = self.shards[index].lock();
+            self.fill_locked(index, &mut shard, key, bytes.clone(), report, false);
+        }
+        AtomicCacheStats::add(&self.stats.miss_micros, watch.elapsed_micros());
         if self.prefetch.enabled {
             self.prefetch_collection_siblings(user, doc);
         }
@@ -291,11 +518,23 @@ impl DocumentCache {
         Ok(bytes)
     }
 
-    /// Inserts a filled entry, updating sharing stats, pinning, the policy,
-    /// and enforcing capacity. Caller holds the lock.
+    /// Inserts a filled entry, updating sharing stats, pinning, the
+    /// policy, and enforcing the global byte budget. Caller holds the
+    /// shard lock for `index`.
+    ///
+    /// Room is *reserved* before the content is published
+    /// ([`ConcurrentStore::try_acquire`]), evicting until the reservation
+    /// succeeds — the budget is never overshot. Victim order matches the
+    /// classic insert-then-evict loop: the incoming entry enters its
+    /// shard's policy first, so it competes for residency like any other
+    /// entry; if the policy nominates *it*, the fill tries to steal room
+    /// from a sibling shard and otherwise gives the entry up (with
+    /// `shards: 1` that reproduces the original "evict the entry just
+    /// inserted" behaviour, statistics included).
     fn fill_locked(
         &self,
-        inner: &mut Inner,
+        index: usize,
+        shard: &mut Shard,
         key: EntryKey,
         bytes: Bytes,
         report: placeless_core::property::PathReport,
@@ -303,38 +542,86 @@ impl DocumentCache {
     ) {
         let clock = self.space.clock();
         let size = bytes.len() as u64;
-        let (_, shared) = inner.store.insert(key, bytes);
-        if shared {
-            inner.stats.shared_fills += 1;
+        let cost = report.cost.effective_micros();
+        // A re-fill over an existing binding releases the old content.
+        if let Some(old) = shard.sigs.remove(&key) {
+            self.store.release(old);
         }
         let mut meta = EntryMeta::new(
             report.verifiers,
             report.cacheability,
-            report.cost.effective_micros(),
+            cost,
             size,
             clock.now(),
         );
         meta.pinned = report.pinned;
         meta.prefetched = prefetched;
-        inner.meta.insert(key, meta);
+        shard.meta.insert(key, meta);
         if report.pinned {
             // Pinned entries never enter the policy, so they can never be
             // chosen as eviction victims.
-            inner.stats.pinned_fills += 1;
+            AtomicCacheStats::bump(&self.stats.pinned_fills);
         } else {
-            inner
-                .policy
-                .on_insert(key, size, report.cost.effective_micros());
+            shard.policy.on_insert(key, &EntryAttrs::new(size, cost));
         }
-        // Enforce capacity on physical bytes.
-        while inner.store.physical_bytes() > self.capacity_bytes {
-            match inner.policy.evict() {
-                Some(victim) => {
-                    inner.store.remove(victim);
-                    inner.meta.remove(&victim);
-                    inner.stats.evictions += 1;
+        let sig = ConcurrentStore::signature_of(&bytes);
+        loop {
+            match self.store.try_acquire(sig, &bytes, self.capacity_bytes) {
+                Ok(shared) => {
+                    if shared {
+                        AtomicCacheStats::bump(&self.stats.shared_fills);
+                    }
+                    shard.sigs.insert(key, sig);
+                    return;
                 }
-                None => break,
+                Err(NoRoom) => {
+                    if let Some(victim) = shard.policy.evict() {
+                        if victim == key {
+                            // The incoming entry is its own shard's
+                            // minimum; prefer room from a sibling shard.
+                            if self.steal_one(index) {
+                                shard.policy.on_insert(key, &EntryAttrs::new(size, cost));
+                                continue;
+                            }
+                            shard.meta.remove(&key);
+                            AtomicCacheStats::bump(&self.stats.evictions);
+                            return;
+                        }
+                        Self::drop_victim(shard, &self.store, victim);
+                        AtomicCacheStats::bump(&self.stats.evictions);
+                    } else if !self.steal_one(index) {
+                        // Nothing evictable anywhere (everything pinned):
+                        // serve without caching rather than overshoot.
+                        shard.meta.remove(&key);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evicts until the store fits the budget again, sparing `spare`
+    /// (re-entered into the policy if nominated). Used after in-place
+    /// verifier replacements, the one path that can overshoot. Caller
+    /// holds the shard lock for `index`.
+    fn reclaim_over_budget(&self, index: usize, shard: &mut Shard, spare: Option<EntryKey>) {
+        while self.store.physical_bytes() > self.capacity_bytes {
+            if let Some(victim) = shard.policy.evict() {
+                if spare == Some(victim) {
+                    if let Some(meta) = shard.meta.get(&victim) {
+                        shard
+                            .policy
+                            .on_insert(victim, &EntryAttrs::new(meta.size, meta.cost_micros));
+                    }
+                    if !self.steal_one(index) {
+                        return;
+                    }
+                    continue;
+                }
+                Self::drop_victim(shard, &self.store, victim);
+                AtomicCacheStats::bump(&self.stats.evictions);
+            } else if !self.steal_one(index) {
+                return;
             }
         }
     }
@@ -360,9 +647,11 @@ impl DocumentCache {
                 if report.cacheability == Cacheability::Uncacheable {
                     continue;
                 }
-                let mut inner = self.inner.lock();
-                self.fill_locked(&mut inner, (sibling, user), bytes, report, true);
-                inner.stats.prefetches += 1;
+                let key = (sibling, user);
+                let index = self.shard_index(key);
+                let mut shard = self.shards[index].lock();
+                self.fill_locked(index, &mut shard, key, bytes, report, true);
+                AtomicCacheStats::bump(&self.stats.prefetches);
                 budget -= 1;
             }
         }
@@ -374,19 +663,19 @@ impl DocumentCache {
         match self.write_mode {
             WriteMode::Through => {
                 self.space.write_document(user, doc, data)?;
-                let mut inner = self.inner.lock();
-                inner.stats.writes += 1;
+                AtomicCacheStats::bump(&self.stats.writes);
                 // The source changed: every locally cached version of this
                 // document is stale, whatever notifiers may also say.
-                self.invalidate_doc_locked(&mut inner, doc);
+                self.invalidate_doc(doc);
                 Ok(())
             }
             WriteMode::Back => {
                 {
-                    let mut inner = self.inner.lock();
-                    inner.stats.writes += 1;
-                    inner.dirty.insert((doc, user), Bytes::copy_from_slice(data));
+                    let key = (doc, user);
+                    let mut shard = self.shard(key).lock();
+                    shard.dirty.insert(key, Bytes::copy_from_slice(data));
                 }
+                AtomicCacheStats::bump(&self.stats.writes);
                 // §3: write-path properties register their own cacheability
                 // requirements; forward the operation event when any of
                 // them must see every write.
@@ -395,8 +684,9 @@ impl DocumentCache {
                     .write_cacheability(user, doc)?
                     .requires_event_forwarding();
                 if forward {
-                    self.space.post_cache_event(user, doc, EventKind::CacheWrite)?;
-                    self.inner.lock().stats.events_forwarded += 1;
+                    self.space
+                        .post_cache_event(user, doc, EventKind::CacheWrite)?;
+                    AtomicCacheStats::bump(&self.stats.events_forwarded);
                 }
                 Ok(())
             }
@@ -404,46 +694,70 @@ impl DocumentCache {
     }
 
     /// Pushes all buffered write-back data to the middleware.
+    ///
+    /// Dirty data is drained holding one shard lock at a time; the
+    /// middleware writes then run with no cache lock held.
     pub fn flush(&self) -> Result<()> {
-        let dirty: Vec<(EntryKey, Bytes)> = {
-            let mut inner = self.inner.lock();
-            inner.dirty.drain().collect()
-        };
+        let mut dirty: Vec<(EntryKey, Bytes)> = Vec::new();
+        for mutex in self.shards.iter() {
+            dirty.extend(mutex.lock().dirty.drain());
+        }
         for ((doc, user), data) in dirty {
             self.space.write_document(user, doc, &data)?;
-            let mut inner = self.inner.lock();
-            inner.stats.flushes += 1;
-            self.invalidate_doc_locked(&mut inner, doc);
+            AtomicCacheStats::bump(&self.stats.flushes);
+            self.invalidate_doc(doc);
         }
         Ok(())
     }
 
     /// Returns how many writes are buffered (write-back mode).
     pub fn dirty_count(&self) -> usize {
-        self.inner.lock().dirty.len()
+        self.shards.iter().map(|s| s.lock().dirty.len()).sum()
     }
 
-    fn invalidate_doc_locked(&self, inner: &mut Inner, doc: DocumentId) {
-        let keys: Vec<EntryKey> = inner
-            .store
-            .keys()
-            .filter(|(d, _)| *d == doc)
-            .collect();
-        for key in keys {
-            inner.drop_entry(key);
+    /// Drops every resident version of `doc`, sweeping the shards one at
+    /// a time (no two shard locks are ever held together).
+    fn invalidate_doc(&self, doc: DocumentId) {
+        for mutex in self.shards.iter() {
+            let mut shard = mutex.lock();
+            let keys: Vec<EntryKey> = shard
+                .sigs
+                .keys()
+                .filter(|(d, _)| *d == doc)
+                .copied()
+                .collect();
+            for key in keys {
+                Self::drop_entry(&mut shard, &self.store, key);
+            }
         }
     }
 
     fn handle_invalidation(&self, invalidation: &Invalidation) {
-        let mut inner = self.inner.lock();
-        let keys: Vec<EntryKey> = inner
-            .store
-            .keys()
-            .filter(|(d, u)| invalidation.covers(*d, *u))
-            .collect();
-        for key in keys {
-            if inner.drop_entry(key) {
-                inner.stats.notifier_invalidations += 1;
+        match *invalidation {
+            // User-scoped invalidations resolve to exactly one key, so
+            // only that key's shard is locked.
+            Invalidation::UserDocument(doc, user) => {
+                let key = (doc, user);
+                let mut shard = self.shard(key).lock();
+                if Self::drop_entry(&mut shard, &self.store, key) {
+                    AtomicCacheStats::bump(&self.stats.notifier_invalidations);
+                }
+            }
+            Invalidation::Document(doc) => {
+                for mutex in self.shards.iter() {
+                    let mut shard = mutex.lock();
+                    let keys: Vec<EntryKey> = shard
+                        .sigs
+                        .keys()
+                        .filter(|(d, _)| *d == doc)
+                        .copied()
+                        .collect();
+                    for key in keys {
+                        if Self::drop_entry(&mut shard, &self.store, key) {
+                            AtomicCacheStats::bump(&self.stats.notifier_invalidations);
+                        }
+                    }
+                }
             }
         }
     }
@@ -477,7 +791,10 @@ mod tests {
     const ALICE: UserId = UserId(1);
     const BOB: UserId = UserId(2);
 
-    fn setup(content: &str, fetch_cost: u64) -> (Arc<DocumentSpace>, Arc<MemoryProvider>, DocumentId) {
+    fn setup(
+        content: &str,
+        fetch_cost: u64,
+    ) -> (Arc<DocumentSpace>, Arc<MemoryProvider>, DocumentId) {
         let clock = VirtualClock::new();
         let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
         let provider = MemoryProvider::new("t", content.to_owned(), fetch_cost);
@@ -526,7 +843,11 @@ mod tests {
         let cache = DocumentCache::new(space, quiet_config());
         assert_eq!(cache.read(ALICE, doc).unwrap(), "v1");
         provider.set_out_of_band("v2");
-        assert_eq!(cache.read(ALICE, doc).unwrap(), "v2", "stale entry refilled");
+        assert_eq!(
+            cache.read(ALICE, doc).unwrap(),
+            "v2",
+            "stale entry refilled"
+        );
         let stats = cache.stats();
         assert_eq!(stats.verifier_invalidations, 1);
         assert_eq!(stats.misses, 2);
@@ -584,6 +905,67 @@ mod tests {
         assert_eq!(physical, 14);
         assert_eq!(logical, 28);
         assert_eq!(cache.stats().shared_fills, 1);
+    }
+
+    #[test]
+    fn sharing_crosses_shard_boundaries() {
+        // Same bytes for many users land in different shards but are
+        // stored once: the content store is global.
+        let (space, _provider, doc) = setup("cross-shard bytes", 100);
+        let users: Vec<UserId> = (2..=9).map(UserId).collect();
+        for &user in &users {
+            space.add_reference(user, doc).unwrap();
+        }
+        let cache = DocumentCache::new(
+            space,
+            CacheConfig {
+                shards: 8,
+                local_latency: LatencyModel::FREE,
+                ..CacheConfig::default()
+            },
+        );
+        cache.read(ALICE, doc).unwrap();
+        for &user in &users {
+            cache.read(user, doc).unwrap();
+        }
+        let (physical, logical) = cache.resident_bytes();
+        assert_eq!(physical, 17);
+        assert_eq!(logical, 17 * 9);
+        assert_eq!(cache.stats().shared_fills, 8);
+    }
+
+    #[test]
+    fn shard_placement_is_deterministic() {
+        let (space, _provider, doc) = setup("x", 0);
+        let cache_a = DocumentCache::new(
+            space.clone(),
+            CacheConfig {
+                shards: 8,
+                ..quiet_config()
+            },
+        );
+        let cache_b = DocumentCache::new(
+            space,
+            CacheConfig {
+                shards: 8,
+                ..quiet_config()
+            },
+        );
+        for d in 0..64u64 {
+            for u in 1..4u64 {
+                let key = (DocumentId(d), UserId(u));
+                assert_eq!(cache_a.shard_index(key), cache_b.shard_index(key));
+            }
+        }
+        let spread: std::collections::HashSet<usize> = (0..64u64)
+            .map(|d| cache_a.shard_index((DocumentId(d), UserId(1))))
+            .collect();
+        assert!(
+            spread.len() >= 4,
+            "64 docs hit only {} of 8 shards",
+            spread.len()
+        );
+        let _ = doc;
     }
 
     #[test]
@@ -655,19 +1037,13 @@ mod tests {
             fn describe(&self) -> String {
                 "live".into()
             }
-            fn open_input(
-                &self,
-                clock: &VirtualClock,
-            ) -> Result<Box<dyn InputStream>> {
+            fn open_input(&self, clock: &VirtualClock) -> Result<Box<dyn InputStream>> {
                 Ok(Box::new(MemoryInput::new(Bytes::from(format!(
                     "frame@{}",
                     clock.advance(1).as_micros()
                 )))))
             }
-            fn open_output(
-                &self,
-                _clock: &VirtualClock,
-            ) -> Result<Box<dyn OutputStream>> {
+            fn open_output(&self, _clock: &VirtualClock) -> Result<Box<dyn OutputStream>> {
                 Err(PlacelessError::ReadOnly(DocumentId(0)))
             }
             fn make_verifier(
@@ -759,11 +1135,7 @@ mod tests {
                 *self.reads.lock() += 1;
                 Ok(inner)
             }
-            fn on_event(
-                &self,
-                _ctx: &EventCtx<'_>,
-                _event: &DocumentEvent,
-            ) -> Result<()> {
+            fn on_event(&self, _ctx: &EventCtx<'_>, _event: &DocumentEvent) -> Result<()> {
                 *self.reads.lock() += 1;
                 Ok(())
             }
@@ -774,7 +1146,9 @@ mod tests {
             .attach_active(
                 Scope::Universal,
                 doc,
-                Arc::new(Audit { reads: reads.clone() }),
+                Arc::new(Audit {
+                    reads: reads.clone(),
+                }),
             )
             .unwrap();
         let cache = DocumentCache::new(space, quiet_config());
@@ -784,5 +1158,77 @@ mod tests {
         assert_eq!(*reads.lock(), 3, "audit saw every read despite caching");
         assert_eq!(cache.stats().events_forwarded, 2);
         assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn builder_mirrors_struct_config() {
+        let config = CacheConfig::builder()
+            .capacity_bytes(4_096)
+            .policy_name("LFU")
+            .unwrap()
+            .run_verifiers(false)
+            .write_mode(WriteMode::Back)
+            .local_latency(LatencyModel::FREE)
+            .prefetch(PrefetchConfig::up_to(3))
+            .shards(2)
+            .build();
+        assert_eq!(config.capacity_bytes, 4_096);
+        assert_eq!(config.policy.name(), "lfu");
+        assert!(!config.run_verifiers);
+        assert_eq!(config.write_mode, WriteMode::Back);
+        assert_eq!(config.shards, 2);
+        assert!(config.prefetch.enabled);
+        assert!(CacheConfig::builder().policy_name("bogus").is_err());
+
+        let (space, _provider, doc) = setup("built", 100);
+        let cache = DocumentCache::new(space, config);
+        assert_eq!(cache.shard_count(), 2);
+        cache.write(ALICE, doc, b"dirty").unwrap();
+        assert_eq!(cache.read(ALICE, doc).unwrap(), "dirty", "write-back took");
+    }
+
+    #[test]
+    fn zero_shards_means_auto() {
+        let (space, _provider, _doc) = setup("auto", 0);
+        let cache = DocumentCache::new(space, quiet_config());
+        assert_eq!(cache.shard_count(), default_shard_count());
+        assert!(cache.shard_count() >= 1);
+    }
+
+    #[test]
+    fn multi_shard_cache_behaves_like_single_shard() {
+        // The same single-threaded workload through 1 and 8 shards must
+        // agree on every outcome that does not depend on victim choice.
+        let run = |shards: usize| {
+            let clock = VirtualClock::new();
+            let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
+            let mut docs = Vec::new();
+            for i in 0..12u8 {
+                let provider = MemoryProvider::new(&format!("m{i}"), format!("body {i}"), 100);
+                docs.push(space.create_document(ALICE, provider));
+            }
+            let cache = DocumentCache::new(
+                space.clone(),
+                CacheConfig {
+                    shards,
+                    local_latency: LatencyModel::FREE,
+                    ..CacheConfig::default()
+                },
+            );
+            for &doc in &docs {
+                cache.read(ALICE, doc).unwrap();
+                cache.read(ALICE, doc).unwrap();
+            }
+            space.bus().post(Invalidation::Document(docs[0]));
+            let stats = cache.stats();
+            (
+                stats.hits,
+                stats.misses,
+                stats.notifier_invalidations,
+                cache.len(),
+                cache.resident_bytes(),
+            )
+        };
+        assert_eq!(run(1), run(8));
     }
 }

@@ -1,6 +1,6 @@
 //! First-in first-out replacement.
 
-use super::{EntryKey, ReplacementPolicy};
+use super::{EntryAttrs, EntryKey, ReplacementPolicy};
 use std::collections::{HashSet, VecDeque};
 
 /// FIFO: evicts in insertion order, ignoring hits entirely.
@@ -22,7 +22,7 @@ impl ReplacementPolicy for Fifo {
         "fifo"
     }
 
-    fn on_insert(&mut self, key: EntryKey, _size: u64, _cost: f64) {
+    fn on_insert(&mut self, key: EntryKey, _attrs: &EntryAttrs) {
         if self.live.insert(key) {
             self.order.push_back(key);
         }
@@ -61,8 +61,8 @@ mod tests {
     #[test]
     fn evicts_in_insertion_order() {
         let mut fifo = Fifo::new();
-        fifo.on_insert(key(1), 1, 1.0);
-        fifo.on_insert(key(2), 1, 1.0);
+        fifo.on_insert(key(1), &EntryAttrs::new(1, 1.0));
+        fifo.on_insert(key(2), &EntryAttrs::new(1, 1.0));
         fifo.on_hit(key(1)); // hits do not matter
         assert_eq!(fifo.evict(), Some(key(1)));
         assert_eq!(fifo.evict(), Some(key(2)));
@@ -72,9 +72,9 @@ mod tests {
     #[test]
     fn duplicate_insert_keeps_original_position() {
         let mut fifo = Fifo::new();
-        fifo.on_insert(key(1), 1, 1.0);
-        fifo.on_insert(key(2), 1, 1.0);
-        fifo.on_insert(key(1), 1, 1.0);
+        fifo.on_insert(key(1), &EntryAttrs::new(1, 1.0));
+        fifo.on_insert(key(2), &EntryAttrs::new(1, 1.0));
+        fifo.on_insert(key(1), &EntryAttrs::new(1, 1.0));
         assert_eq!(fifo.evict(), Some(key(1)));
     }
 }

@@ -10,7 +10,7 @@
 //! generation; stale heap nodes are skipped on pop), giving `O(log n)`
 //! inserts/hits and amortized `O(log n)` evictions.
 
-use super::{EntryKey, ReplacementPolicy};
+use super::{EntryAttrs, EntryKey, ReplacementPolicy};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -108,8 +108,8 @@ impl ReplacementPolicy for GreedyDualSize {
         }
     }
 
-    fn on_insert(&mut self, key: EntryKey, size: u64, cost: f64) {
-        self.push(key, size, cost);
+    fn on_insert(&mut self, key: EntryKey, attrs: &EntryAttrs) {
+        self.push(key, attrs.size, attrs.cost);
     }
 
     fn on_hit(&mut self, key: EntryKey) {
@@ -158,9 +158,9 @@ mod tests {
     #[test]
     fn evicts_lowest_credit_first() {
         let mut gds = GreedyDualSize::new();
-        gds.on_insert(key(1), 100, 1_000.0); // H = 10
-        gds.on_insert(key(2), 100, 100.0); // H = 1
-        gds.on_insert(key(3), 100, 500.0); // H = 5
+        gds.on_insert(key(1), &EntryAttrs::new(100, 1_000.0)); // H = 10
+        gds.on_insert(key(2), &EntryAttrs::new(100, 100.0)); // H = 1
+        gds.on_insert(key(3), &EntryAttrs::new(100, 500.0)); // H = 5
         assert_eq!(gds.evict(), Some(key(2)));
         assert_eq!(gds.evict(), Some(key(3)));
         assert_eq!(gds.evict(), Some(key(1)));
@@ -170,25 +170,25 @@ mod tests {
     #[test]
     fn size_divides_cost() {
         let mut gds = GreedyDualSize::new();
-        gds.on_insert(key(1), 10, 100.0); // H = 10: small and pricey
-        gds.on_insert(key(2), 1_000, 100.0); // H = 0.1: big
+        gds.on_insert(key(1), &EntryAttrs::new(10, 100.0)); // H = 10: small and pricey
+        gds.on_insert(key(2), &EntryAttrs::new(1_000, 100.0)); // H = 0.1: big
         assert_eq!(gds.evict(), Some(key(2)), "big documents go first");
     }
 
     #[test]
     fn hit_refreshes_credit() {
         let mut gds = GreedyDualSize::new();
-        gds.on_insert(key(1), 100, 100.0);
-        gds.on_insert(key(2), 100, 100.0);
+        gds.on_insert(key(1), &EntryAttrs::new(100, 100.0));
+        gds.on_insert(key(2), &EntryAttrs::new(100, 100.0));
         // Evicting key(1) raises L to 1.0.
         assert_eq!(gds.evict(), Some(key(1)));
         assert_eq!(gds.inflation(), 1.0);
         // Insert a new entry; its credit is L + 1 = 2.
-        gds.on_insert(key(3), 100, 100.0);
+        gds.on_insert(key(3), &EntryAttrs::new(100, 100.0));
         // key(2) still has its old credit 1.0 and goes first...
         // unless it is hit, which refreshes it to L + 1 = 2.
         gds.on_hit(key(2));
-        gds.on_insert(key(4), 1_000_000, 1.0); // essentially L
+        gds.on_insert(key(4), &EntryAttrs::new(1_000_000, 1.0)); // essentially L
         assert_eq!(gds.evict(), Some(key(4)));
     }
 
@@ -196,7 +196,7 @@ mod tests {
     fn inflation_is_monotone() {
         let mut gds = GreedyDualSize::new();
         for i in 0..10 {
-            gds.on_insert(key(i), 10, (i * 100) as f64 + 10.0);
+            gds.on_insert(key(i), &EntryAttrs::new(10, (i * 100) as f64 + 10.0));
         }
         let mut last = 0.0;
         while gds.evict().is_some() {
@@ -208,8 +208,8 @@ mod tests {
     #[test]
     fn cost_blind_ignores_cost() {
         let mut gd1 = GreedyDualSize::cost_blind();
-        gd1.on_insert(key(1), 100, 1_000_000.0);
-        gd1.on_insert(key(2), 10, 1.0);
+        gd1.on_insert(key(1), &EntryAttrs::new(100, 1_000_000.0));
+        gd1.on_insert(key(2), &EntryAttrs::new(10, 1.0));
         // Cost is ignored; only size matters: 1/100 < 1/10.
         assert_eq!(gd1.evict(), Some(key(1)));
         assert_eq!(gd1.name(), "gd1");
@@ -218,8 +218,8 @@ mod tests {
     #[test]
     fn remove_then_evict_skips_stale_nodes() {
         let mut gds = GreedyDualSize::new();
-        gds.on_insert(key(1), 100, 1.0);
-        gds.on_insert(key(2), 100, 2.0);
+        gds.on_insert(key(1), &EntryAttrs::new(100, 1.0));
+        gds.on_insert(key(2), &EntryAttrs::new(100, 2.0));
         gds.on_remove(key(1));
         assert_eq!(gds.evict(), Some(key(2)));
         assert_eq!(gds.evict(), None);
@@ -229,10 +229,10 @@ mod tests {
     #[test]
     fn reinsert_updates_metadata() {
         let mut gds = GreedyDualSize::new();
-        gds.on_insert(key(1), 100, 1.0);
-        gds.on_insert(key(2), 100, 50.0);
+        gds.on_insert(key(1), &EntryAttrs::new(100, 1.0));
+        gds.on_insert(key(2), &EntryAttrs::new(100, 50.0));
         // Re-insert key(1) with a much higher cost.
-        gds.on_insert(key(1), 100, 10_000.0);
+        gds.on_insert(key(1), &EntryAttrs::new(100, 10_000.0));
         assert_eq!(gds.len(), 2);
         assert_eq!(gds.evict(), Some(key(2)), "refreshed entry survives");
     }
@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn zero_size_does_not_divide_by_zero() {
         let mut gds = GreedyDualSize::new();
-        gds.on_insert(key(1), 0, 100.0);
+        gds.on_insert(key(1), &EntryAttrs::new(0, 100.0));
         assert_eq!(gds.evict(), Some(key(1)));
     }
 }

@@ -8,7 +8,7 @@
 //! GDS-Frequency: `H = L + frequency · cost / size`, so repeatedly accessed
 //! documents accumulate credit beyond what one touch grants.
 
-use super::{EntryKey, ReplacementPolicy};
+use super::{EntryAttrs, EntryKey, ReplacementPolicy};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -88,10 +88,10 @@ impl ReplacementPolicy for GdsFrequency {
         "gdsf"
     }
 
-    fn on_insert(&mut self, key: EntryKey, size: u64, cost: f64) {
+    fn on_insert(&mut self, key: EntryKey, attrs: &EntryAttrs) {
         // A re-insert of a resident key keeps its earned frequency.
         let frequency = self.entries.get(&key).map(|t| t.frequency).unwrap_or(1);
-        self.push(key, size, cost, frequency);
+        self.push(key, attrs.size, attrs.cost, frequency);
     }
 
     fn on_hit(&mut self, key: EntryKey) {
@@ -136,8 +136,8 @@ mod tests {
     #[test]
     fn frequency_raises_credit() {
         let mut gdsf = GdsFrequency::new();
-        gdsf.on_insert(key(1), 100, 100.0);
-        gdsf.on_insert(key(2), 100, 100.0);
+        gdsf.on_insert(key(1), &EntryAttrs::new(100, 100.0));
+        gdsf.on_insert(key(2), &EntryAttrs::new(100, 100.0));
         // Hit key(1) three times: its credit triples.
         gdsf.on_hit(key(1));
         gdsf.on_hit(key(1));
@@ -149,8 +149,8 @@ mod tests {
     #[test]
     fn frequency_can_outweigh_cost() {
         let mut gdsf = GdsFrequency::new();
-        gdsf.on_insert(key(1), 100, 300.0); // pricey, touched once: H = 3
-        gdsf.on_insert(key(2), 100, 100.0); // cheap, hot
+        gdsf.on_insert(key(1), &EntryAttrs::new(100, 300.0)); // pricey, touched once: H = 3
+        gdsf.on_insert(key(2), &EntryAttrs::new(100, 100.0)); // cheap, hot
         for _ in 0..4 {
             gdsf.on_hit(key(2)); // frequency 5: H = 5
         }
@@ -160,8 +160,8 @@ mod tests {
     #[test]
     fn cost_still_matters_at_equal_frequency() {
         let mut gdsf = GdsFrequency::new();
-        gdsf.on_insert(key(1), 100, 500.0);
-        gdsf.on_insert(key(2), 100, 50.0);
+        gdsf.on_insert(key(1), &EntryAttrs::new(100, 500.0));
+        gdsf.on_insert(key(2), &EntryAttrs::new(100, 50.0));
         assert_eq!(gdsf.evict(), Some(key(2)));
     }
 
@@ -169,7 +169,7 @@ mod tests {
     fn inflation_is_monotone() {
         let mut gdsf = GdsFrequency::new();
         for i in 0..12 {
-            gdsf.on_insert(key(i), 10, (i + 1) as f64 * 10.0);
+            gdsf.on_insert(key(i), &EntryAttrs::new(10, (i + 1) as f64 * 10.0));
             if i % 3 == 0 {
                 gdsf.on_hit(key(i));
             }
@@ -185,12 +185,12 @@ mod tests {
     #[test]
     fn reinsert_preserves_earned_frequency() {
         let mut gdsf = GdsFrequency::new();
-        gdsf.on_insert(key(1), 100, 100.0);
+        gdsf.on_insert(key(1), &EntryAttrs::new(100, 100.0));
         gdsf.on_hit(key(1));
         gdsf.on_hit(key(1)); // frequency 3
-        // Re-insert (e.g. verifier replaced the content): frequency kept.
-        gdsf.on_insert(key(1), 100, 100.0);
-        gdsf.on_insert(key(2), 100, 250.0); // frequency 1, H = 2.5 < 3
+                             // Re-insert (e.g. verifier replaced the content): frequency kept.
+        gdsf.on_insert(key(1), &EntryAttrs::new(100, 100.0));
+        gdsf.on_insert(key(2), &EntryAttrs::new(100, 250.0)); // frequency 1, H = 2.5 < 3
         assert_eq!(gdsf.evict(), Some(key(2)));
     }
 }

@@ -1,6 +1,6 @@
 //! Least-frequently-used replacement.
 
-use super::{EntryKey, ReplacementPolicy};
+use super::{EntryAttrs, EntryKey, ReplacementPolicy};
 use std::collections::HashMap;
 
 /// LFU with an LRU tiebreak among equal frequencies.
@@ -22,7 +22,7 @@ impl ReplacementPolicy for Lfu {
         "lfu"
     }
 
-    fn on_insert(&mut self, key: EntryKey, _size: u64, _cost: f64) {
+    fn on_insert(&mut self, key: EntryKey, _attrs: &EntryAttrs) {
         self.tick += 1;
         self.counts.insert(key, (1, self.tick));
     }
@@ -67,8 +67,8 @@ mod tests {
     #[test]
     fn evicts_least_frequent() {
         let mut lfu = Lfu::new();
-        lfu.on_insert(key(1), 1, 1.0);
-        lfu.on_insert(key(2), 1, 1.0);
+        lfu.on_insert(key(1), &EntryAttrs::new(1, 1.0));
+        lfu.on_insert(key(2), &EntryAttrs::new(1, 1.0));
         lfu.on_hit(key(1));
         lfu.on_hit(key(1));
         lfu.on_hit(key(2));
@@ -79,8 +79,8 @@ mod tests {
     #[test]
     fn ties_break_by_recency() {
         let mut lfu = Lfu::new();
-        lfu.on_insert(key(1), 1, 1.0);
-        lfu.on_insert(key(2), 1, 1.0);
+        lfu.on_insert(key(1), &EntryAttrs::new(1, 1.0));
+        lfu.on_insert(key(2), &EntryAttrs::new(1, 1.0));
         lfu.on_hit(key(1));
         lfu.on_hit(key(2)); // both at count 2; key(1) older
         assert_eq!(lfu.evict(), Some(key(1)));

@@ -1,6 +1,6 @@
 //! Least-recently-used replacement.
 
-use super::{EntryKey, ReplacementPolicy};
+use super::{EntryAttrs, EntryKey, ReplacementPolicy};
 use std::collections::HashMap;
 
 /// Classic LRU, tracked with a logical access clock.
@@ -27,7 +27,7 @@ impl ReplacementPolicy for Lru {
         "lru"
     }
 
-    fn on_insert(&mut self, key: EntryKey, _size: u64, _cost: f64) {
+    fn on_insert(&mut self, key: EntryKey, _attrs: &EntryAttrs) {
         self.touch(key);
     }
 
@@ -69,9 +69,9 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut lru = Lru::new();
-        lru.on_insert(key(1), 1, 1.0);
-        lru.on_insert(key(2), 1, 1.0);
-        lru.on_insert(key(3), 1, 1.0);
+        lru.on_insert(key(1), &EntryAttrs::new(1, 1.0));
+        lru.on_insert(key(2), &EntryAttrs::new(1, 1.0));
+        lru.on_insert(key(3), &EntryAttrs::new(1, 1.0));
         lru.on_hit(key(1));
         assert_eq!(lru.evict(), Some(key(2)));
         assert_eq!(lru.evict(), Some(key(3)));
@@ -81,8 +81,8 @@ mod tests {
     #[test]
     fn hit_order_matters_not_insert_order() {
         let mut lru = Lru::new();
-        lru.on_insert(key(1), 1, 1.0);
-        lru.on_insert(key(2), 1, 1.0);
+        lru.on_insert(key(1), &EntryAttrs::new(1, 1.0));
+        lru.on_insert(key(2), &EntryAttrs::new(1, 1.0));
         lru.on_hit(key(1));
         lru.on_hit(key(2));
         lru.on_hit(key(1));

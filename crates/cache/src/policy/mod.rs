@@ -24,10 +24,48 @@ pub use lru::Lru;
 pub use size::SizePolicy;
 
 use placeless_core::id::{DocumentId, UserId};
+use std::sync::Arc;
 
 /// The key a cache entry is stored under: one per `(document, user)` pair,
 /// because active properties make content per-user.
 pub type EntryKey = (DocumentId, UserId);
+
+/// Attributes of an entry at insert time, as seen by a replacement policy.
+///
+/// Marked `#[non_exhaustive]` so new signals (e.g. QoS pin levels) can be
+/// added without breaking policy implementations: construct via
+/// [`EntryAttrs::new`] and read the fields you care about.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryAttrs {
+    /// Content size in bytes.
+    pub size: u64,
+    /// Replacement cost: simulated microseconds to re-produce the content
+    /// (bit-provider fetch plus active-property work).
+    pub cost: f64,
+    /// QoS pin level; 0 means unpinned. Reserved for collection-level
+    /// quality-of-service: fully pinned entries never reach a policy, but
+    /// intermediate levels may in the future bias eviction order.
+    pub pin_level: u8,
+}
+
+impl EntryAttrs {
+    /// Attributes for an unpinned entry of `size` bytes costing `cost`
+    /// simulated microseconds to reproduce.
+    pub fn new(size: u64, cost: f64) -> Self {
+        Self {
+            size,
+            cost,
+            pin_level: 0,
+        }
+    }
+
+    /// Sets the QoS pin level.
+    pub fn with_pin_level(mut self, level: u8) -> Self {
+        self.pin_level = level;
+        self
+    }
+}
 
 /// A replacement policy tracks entry metadata and chooses eviction victims.
 ///
@@ -38,9 +76,8 @@ pub trait ReplacementPolicy: Send {
     /// Returns the policy's display name.
     fn name(&self) -> &'static str;
 
-    /// Records a newly inserted entry with its byte size and replacement
-    /// cost (simulated microseconds to re-produce the content).
-    fn on_insert(&mut self, key: EntryKey, size: u64, cost: f64);
+    /// Records a newly inserted entry with its attributes (size, cost, …).
+    fn on_insert(&mut self, key: EntryKey, attrs: &EntryAttrs);
 
     /// Records a hit on an existing entry.
     fn on_hit(&mut self, key: EntryKey);
@@ -61,22 +98,106 @@ pub trait ReplacementPolicy: Send {
     }
 }
 
-/// Builds a policy by name; the bench harness sweeps these.
-pub fn by_name(name: &str) -> Option<Box<dyn ReplacementPolicy>> {
-    match name {
-        "gds" => Some(Box::new(GreedyDualSize::new())),
-        "gdsf" => Some(Box::new(GdsFrequency::new())),
-        "gd1" => Some(Box::new(GreedyDualSize::cost_blind())),
-        "lru" => Some(Box::new(Lru::new())),
-        "lfu" => Some(Box::new(Lfu::new())),
-        "size" => Some(Box::new(SizePolicy::new())),
-        "fifo" => Some(Box::new(Fifo::new())),
-        _ => None,
+/// Error returned by [`by_name`] for an unrecognised policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy {
+    /// The name that failed to resolve.
+    pub requested: String,
+}
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown replacement policy `{}`; known policies: {}",
+            self.requested,
+            ALL_POLICIES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+/// Builds a policy by name (case-insensitive); the bench harness sweeps
+/// these. The error lists every known policy.
+pub fn by_name(name: &str) -> Result<Box<dyn ReplacementPolicy>, UnknownPolicy> {
+    match name.to_ascii_lowercase().as_str() {
+        "gds" => Ok(Box::new(GreedyDualSize::new())),
+        "gdsf" => Ok(Box::new(GdsFrequency::new())),
+        "gd1" => Ok(Box::new(GreedyDualSize::cost_blind())),
+        "lru" => Ok(Box::new(Lru::new())),
+        "lfu" => Ok(Box::new(Lfu::new())),
+        "size" => Ok(Box::new(SizePolicy::new())),
+        "fifo" => Ok(Box::new(Fifo::new())),
+        _ => Err(UnknownPolicy {
+            requested: name.to_string(),
+        }),
     }
 }
 
 /// All policy names, for sweeps.
 pub const ALL_POLICIES: [&str; 7] = ["gdsf", "gds", "gd1", "lru", "lfu", "size", "fifo"];
+
+/// A cloneable recipe for constructing [`ReplacementPolicy`] instances.
+///
+/// The sharded cache needs one policy instance per shard; a bare
+/// `Box<dyn ReplacementPolicy>` can describe only one. A factory captures
+/// the construction itself, so configuration stays a single value while
+/// every shard gets an independent policy.
+#[derive(Clone)]
+pub struct PolicyFactory {
+    name: Arc<str>,
+    make: Arc<dyn Fn() -> Box<dyn ReplacementPolicy> + Send + Sync>,
+}
+
+impl PolicyFactory {
+    /// Creates a factory from a display name and a constructor closure.
+    pub fn new<F>(name: &str, make: F) -> Self
+    where
+        F: Fn() -> Box<dyn ReplacementPolicy> + Send + Sync + 'static,
+    {
+        Self {
+            name: Arc::from(name),
+            make: Arc::new(make),
+        }
+    }
+
+    /// Resolves a factory by policy name (case-insensitive).
+    pub fn by_name(name: &str) -> Result<Self, UnknownPolicy> {
+        // Validate eagerly so the error surfaces at configuration time.
+        by_name(name)?;
+        let canonical = name.to_ascii_lowercase();
+        let captured = canonical.clone();
+        Ok(Self::new(&canonical, move || {
+            by_name(&captured).expect("validated above")
+        }))
+    }
+
+    /// Constructs a fresh policy instance.
+    pub fn build(&self) -> Box<dyn ReplacementPolicy> {
+        (self.make)()
+    }
+
+    /// Returns the factory's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for PolicyFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyFactory")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Default for PolicyFactory {
+    /// The paper's choice: Greedy-Dual-Size over replacement cost.
+    fn default() -> Self {
+        Self::new("gds", || Box::new(GreedyDualSize::new()))
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -85,10 +206,47 @@ mod tests {
     #[test]
     fn by_name_knows_all_policies() {
         for name in ALL_POLICIES {
-            let policy = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            let policy = by_name(name).unwrap_or_else(|_| panic!("missing {name}"));
             assert!(policy.is_empty());
         }
-        assert!(by_name("random").is_none());
+        assert!(by_name("random").is_err());
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert_eq!(by_name("GDSF").unwrap().name(), "gdsf");
+        assert_eq!(by_name("Lru").unwrap().name(), "lru");
+    }
+
+    #[test]
+    fn unknown_policy_error_lists_alternatives() {
+        let err = by_name("random").err().expect("unknown name must fail");
+        assert_eq!(err.requested, "random");
+        let message = err.to_string();
+        for name in ALL_POLICIES {
+            assert!(message.contains(name), "error should list {name}");
+        }
+    }
+
+    #[test]
+    fn factory_builds_independent_instances() {
+        let factory = PolicyFactory::by_name("LRU").unwrap();
+        assert_eq!(factory.name(), "lru");
+        let mut a = factory.build();
+        let b = factory.build();
+        a.on_insert((DocumentId(1), UserId(1)), &EntryAttrs::new(1, 1.0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 0, "instances must not share state");
+        assert!(PolicyFactory::by_name("nope").is_err());
+    }
+
+    #[test]
+    fn entry_attrs_defaults_unpinned() {
+        let attrs = EntryAttrs::new(64, 2.5);
+        assert_eq!(attrs.size, 64);
+        assert_eq!(attrs.cost, 2.5);
+        assert_eq!(attrs.pin_level, 0);
+        assert_eq!(attrs.with_pin_level(3).pin_level, 3);
     }
 
     /// Every policy must satisfy the basic contract: inserts are tracked,
@@ -97,11 +255,9 @@ mod tests {
     fn contract_insert_evict_drains() {
         for name in ALL_POLICIES {
             let mut policy = by_name(name).unwrap();
-            let keys: Vec<EntryKey> = (0..5)
-                .map(|i| (DocumentId(i), UserId(1)))
-                .collect();
+            let keys: Vec<EntryKey> = (0..5).map(|i| (DocumentId(i), UserId(1))).collect();
             for (i, &k) in keys.iter().enumerate() {
-                policy.on_insert(k, 100 + i as u64, 1_000.0);
+                policy.on_insert(k, &EntryAttrs::new(100 + i as u64, 1_000.0));
             }
             assert_eq!(policy.len(), 5, "{name}");
             let mut evicted = Vec::new();
@@ -123,8 +279,8 @@ mod tests {
             let mut policy = by_name(name).unwrap();
             let a = (DocumentId(1), UserId(1));
             let b = (DocumentId(2), UserId(1));
-            policy.on_insert(a, 10, 1.0);
-            policy.on_insert(b, 10, 1.0);
+            policy.on_insert(a, &EntryAttrs::new(10, 1.0));
+            policy.on_insert(b, &EntryAttrs::new(10, 1.0));
             policy.on_remove(a);
             assert_eq!(policy.len(), 1, "{name}");
             assert_eq!(policy.evict(), Some(b), "{name}");

@@ -1,6 +1,6 @@
 //! SIZE replacement: evict the largest entry first.
 
-use super::{EntryKey, ReplacementPolicy};
+use super::{EntryAttrs, EntryKey, ReplacementPolicy};
 use std::collections::HashMap;
 
 /// Evicts the largest resident entry, the classic proxy-cache heuristic
@@ -23,9 +23,9 @@ impl ReplacementPolicy for SizePolicy {
         "size"
     }
 
-    fn on_insert(&mut self, key: EntryKey, size: u64, _cost: f64) {
+    fn on_insert(&mut self, key: EntryKey, attrs: &EntryAttrs) {
         self.tick += 1;
-        self.sizes.insert(key, (size, self.tick));
+        self.sizes.insert(key, (attrs.size, self.tick));
     }
 
     fn on_hit(&mut self, _key: EntryKey) {}
@@ -62,9 +62,9 @@ mod tests {
     #[test]
     fn evicts_largest_first() {
         let mut policy = SizePolicy::new();
-        policy.on_insert(key(1), 10, 1.0);
-        policy.on_insert(key(2), 1_000, 1.0);
-        policy.on_insert(key(3), 100, 1.0);
+        policy.on_insert(key(1), &EntryAttrs::new(10, 1.0));
+        policy.on_insert(key(2), &EntryAttrs::new(1_000, 1.0));
+        policy.on_insert(key(3), &EntryAttrs::new(100, 1.0));
         assert_eq!(policy.evict(), Some(key(2)));
         assert_eq!(policy.evict(), Some(key(3)));
         assert_eq!(policy.evict(), Some(key(1)));
@@ -73,8 +73,8 @@ mod tests {
     #[test]
     fn equal_sizes_evict_oldest_first() {
         let mut policy = SizePolicy::new();
-        policy.on_insert(key(1), 10, 1.0);
-        policy.on_insert(key(2), 10, 1.0);
+        policy.on_insert(key(1), &EntryAttrs::new(10, 1.0));
+        policy.on_insert(key(2), &EntryAttrs::new(10, 1.0));
         assert_eq!(policy.evict(), Some(key(1)));
     }
 }

@@ -5,6 +5,8 @@
 //! trade-off), latency sums over the virtual clock, and sharing/eviction
 //! bookkeeping.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Counters accumulated by a [`crate::manager::DocumentCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CacheStats {
@@ -77,9 +79,84 @@ impl CacheStats {
     }
 }
 
+/// Lock-free counters shared by every shard of a sharded cache.
+///
+/// Each field mirrors one [`CacheStats`] counter. Increments use relaxed
+/// atomics: counters are monotone sums with no cross-field invariant that
+/// readers could observe torn, and [`AtomicCacheStats::snapshot`] is
+/// documented as a moment-in-time approximation under concurrency (exact
+/// whenever the cache is quiescent).
+#[derive(Debug, Default)]
+pub struct AtomicCacheStats {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) uncacheable_reads: AtomicU64,
+    pub(crate) notifier_invalidations: AtomicU64,
+    pub(crate) verifier_invalidations: AtomicU64,
+    pub(crate) verifier_replacements: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) shared_fills: AtomicU64,
+    pub(crate) events_forwarded: AtomicU64,
+    pub(crate) hit_micros: AtomicU64,
+    pub(crate) miss_micros: AtomicU64,
+    pub(crate) verify_micros: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) flushes: AtomicU64,
+    pub(crate) prefetches: AtomicU64,
+    pub(crate) prefetch_hits: AtomicU64,
+    pub(crate) pinned_fills: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, amount: u64) {
+        counter.fetch_add(amount, Ordering::Relaxed);
+    }
+
+    /// Returns a plain-old-data copy of the counters.
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            uncacheable_reads: self.uncacheable_reads.load(Ordering::Relaxed),
+            notifier_invalidations: self.notifier_invalidations.load(Ordering::Relaxed),
+            verifier_invalidations: self.verifier_invalidations.load(Ordering::Relaxed),
+            verifier_replacements: self.verifier_replacements.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            shared_fills: self.shared_fills.load(Ordering::Relaxed),
+            events_forwarded: self.events_forwarded.load(Ordering::Relaxed),
+            hit_micros: self.hit_micros.load(Ordering::Relaxed),
+            miss_micros: self.miss_micros.load(Ordering::Relaxed),
+            verify_micros: self.verify_micros.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            prefetches: self.prefetches.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            pinned_fills: self.pinned_fills.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn atomic_stats_snapshot_round_trips() {
+        let atomic = AtomicCacheStats::default();
+        AtomicCacheStats::bump(&atomic.hits);
+        AtomicCacheStats::bump(&atomic.hits);
+        AtomicCacheStats::bump(&atomic.misses);
+        AtomicCacheStats::add(&atomic.hit_micros, 6_000);
+        let snap = atomic.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.hit_micros, 6_000);
+        assert_eq!(snap.evictions, 0);
+    }
 
     #[test]
     fn rates_are_none_before_traffic() {

@@ -3,9 +3,9 @@
 
 use crate::parser::{parse_line, Command};
 use placeless_cache::{CacheConfig, DocumentCache, PrefetchConfig};
+use placeless_core::content::{Params, PropertyValue};
 use placeless_core::error::{PlacelessError, Result};
 use placeless_core::id::{DocumentId, UserId};
-use placeless_core::content::{Params, PropertyValue};
 use placeless_core::space::{DocumentSpace, Scope};
 use placeless_properties::{register_standard, ContentWriteNotifier, PropertyChangeNotifier};
 use placeless_proplang::{register_proplang, ExtEnv};
@@ -123,31 +123,28 @@ impl Shell {
                 self.done = true;
                 Ok("bye".to_owned())
             }
-            Command::New { repo, path, content } => {
-                let provider: Arc<dyn placeless_core::bitprovider::BitProvider> =
-                    match repo.as_str() {
-                        "fs" => {
-                            self.fs.create(&path, content);
-                            FsProvider::new(
-                                self.fs.clone(),
-                                &path,
-                                Link::of_class(LinkClass::Lan, 1),
-                            )
-                        }
-                        "web" => {
-                            self.web.publish(&path, content, 60_000_000);
-                            WebProvider::new(
-                                self.web.clone(),
-                                &path,
-                                Link::of_class(LinkClass::Wan, 2),
-                            )
-                        }
-                        other => {
-                            return Err(PlacelessError::BadPropertyParams(format!(
-                                "repo must be fs|web, got `{other}`"
-                            )))
-                        }
-                    };
+            Command::New {
+                repo,
+                path,
+                content,
+            } => {
+                let provider: Arc<dyn placeless_core::bitprovider::BitProvider> = match repo
+                    .as_str()
+                {
+                    "fs" => {
+                        self.fs.create(&path, content);
+                        FsProvider::new(self.fs.clone(), &path, Link::of_class(LinkClass::Lan, 1))
+                    }
+                    "web" => {
+                        self.web.publish(&path, content, 60_000_000);
+                        WebProvider::new(self.web.clone(), &path, Link::of_class(LinkClass::Wan, 2))
+                    }
+                    other => {
+                        return Err(PlacelessError::BadPropertyParams(format!(
+                            "repo must be fs|web, got `{other}`"
+                        )))
+                    }
+                };
                 let describe = provider.describe();
                 let doc = self.space.create_document(self.user, provider);
                 // Sensible defaults: the standard notifiers.
@@ -252,7 +249,12 @@ impl Shell {
             }
             Command::Describe(doc) => {
                 let doc = self.resolve(&doc)?;
-                Ok(self.space.describe(self.user, doc)?.to_string().trim_end().to_owned())
+                Ok(self
+                    .space
+                    .describe(self.user, doc)?
+                    .to_string()
+                    .trim_end()
+                    .to_owned())
             }
             Command::Collect(name, doc) => {
                 let doc = self.resolve(&doc)?;
@@ -333,7 +335,10 @@ mod tests {
     fn attach_transforms_the_view() {
         let mut shell = Shell::new();
         run(&mut shell, "new fs /d.txt hello world");
-        let out = run(&mut shell, "attach personal doc-0 translate language=\"fr\"");
+        let out = run(
+            &mut shell,
+            "attach personal doc-0 translate language=\"fr\"",
+        );
         assert!(out.starts_with("attached prop-"), "{out}");
         assert!(run(&mut shell, "read doc-0").starts_with("bonjour monde"));
         // Another user sees the original.
@@ -398,7 +403,10 @@ mod tests {
     fn detach_restores_the_original_view() {
         let mut shell = Shell::new();
         run(&mut shell, "new fs /d.txt hello world");
-        let out = run(&mut shell, "attach personal doc-0 translate language=\"fr\"");
+        let out = run(
+            &mut shell,
+            "attach personal doc-0 translate language=\"fr\"",
+        );
         let prop = out.trim_start_matches("attached ").to_owned();
         assert!(run(&mut shell, "read doc-0").starts_with("bonjour"));
         run(&mut shell, &format!("detach personal doc-0 {prop}"));

@@ -156,7 +156,10 @@ pub fn parse_line(line: &str) -> Result<Command> {
             if words.len() != 3 {
                 return Err(bad("usage: adduser <user> <doc>"));
             }
-            Ok(Command::AddReference(parse_user(&words[1])?, words[2].clone()))
+            Ok(Command::AddReference(
+                parse_user(&words[1])?,
+                words[2].clone(),
+            ))
         }
         "read" => {
             if words.len() != 2 {

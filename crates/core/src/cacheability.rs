@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn combine_picks_most_restrictive() {
         assert_eq!(Unrestricted.combine(Unrestricted), Unrestricted);
-        assert_eq!(Unrestricted.combine(CacheableWithEvents), CacheableWithEvents);
+        assert_eq!(
+            Unrestricted.combine(CacheableWithEvents),
+            CacheableWithEvents
+        );
         assert_eq!(Unrestricted.combine(Uncacheable), Uncacheable);
         assert_eq!(CacheableWithEvents.combine(Uncacheable), Uncacheable);
     }
@@ -116,10 +119,7 @@ mod tests {
             aggregate([Unrestricted, CacheableWithEvents, Unrestricted]),
             CacheableWithEvents
         );
-        assert_eq!(
-            aggregate([CacheableWithEvents, Uncacheable]),
-            Uncacheable
-        );
+        assert_eq!(aggregate([CacheableWithEvents, Uncacheable]), Uncacheable);
     }
 
     #[test]

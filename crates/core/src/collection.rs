@@ -75,7 +75,11 @@ impl Collections {
 
     /// Returns the number of members in a collection.
     pub fn len_of(&self, name: &str) -> usize {
-        self.by_name.read().get(name).map(BTreeSet::len).unwrap_or(0)
+        self.by_name
+            .read()
+            .get(name)
+            .map(BTreeSet::len)
+            .unwrap_or(0)
     }
 }
 
@@ -103,7 +107,10 @@ mod tests {
         collections.add("budget", DocumentId(1));
         collections.add("drafts", DocumentId(1));
         collections.add("drafts", DocumentId(2));
-        assert_eq!(collections.collections_of(DocumentId(1)), vec!["budget", "drafts"]);
+        assert_eq!(
+            collections.collections_of(DocumentId(1)),
+            vec!["budget", "drafts"]
+        );
         assert_eq!(collections.collections_of(DocumentId(2)), vec!["drafts"]);
         assert!(collections.collections_of(DocumentId(3)).is_empty());
         assert_eq!(collections.names(), vec!["budget", "drafts"]);

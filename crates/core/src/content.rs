@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn params_builder_and_lookup() {
-        let p = Params::new().with("a", 1i64).with("b", "two").with("c", 0.5);
+        let p = Params::new()
+            .with("a", 1i64)
+            .with("b", "two")
+            .with("c", 0.5);
         assert_eq!(p.len(), 3);
         assert_eq!(p.get_int("a"), Some(1));
         assert_eq!(p.get_str("b"), Some("two"));

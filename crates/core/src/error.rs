@@ -85,10 +85,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            PlacelessError::StreamClosed,
-            PlacelessError::StreamClosed
-        );
+        assert_eq!(PlacelessError::StreamClosed, PlacelessError::StreamClosed);
         assert_ne!(
             PlacelessError::NoSuchDocument(DocumentId(1)),
             PlacelessError::NoSuchDocument(DocumentId(2))

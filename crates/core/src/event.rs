@@ -106,7 +106,9 @@ impl Interests {
 
     /// Iterates over the kinds in the set.
     pub fn iter(self) -> impl Iterator<Item = EventKind> {
-        EventKind::ALL.into_iter().filter(move |&k| self.contains(k))
+        EventKind::ALL
+            .into_iter()
+            .filter(move |&k| self.contains(k))
     }
 }
 

@@ -85,7 +85,5 @@ pub mod prelude {
         read_all, write_all, InputStream, MemoryInput, OutputStream, TransformingInput,
         TransformingOutput,
     };
-    pub use crate::verifier::{
-        ClosureVerifier, EpochVerifier, TtlVerifier, Validity, Verifier,
-    };
+    pub use crate::verifier::{ClosureVerifier, EpochVerifier, TtlVerifier, Validity, Verifier};
 }

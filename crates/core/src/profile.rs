@@ -94,8 +94,7 @@ pub fn parse_profile(text: &str) -> Result<Vec<PropertySpec>> {
             continue;
         }
         let mut chars = line.chars().peekable();
-        let kind = read_ident(&mut chars)
-            .ok_or_else(|| bad(lineno, "expected a property kind"))?;
+        let kind = read_ident(&mut chars).ok_or_else(|| bad(lineno, "expected a property kind"))?;
         let mut params = Params::new();
         loop {
             while chars.peek() == Some(&' ') {

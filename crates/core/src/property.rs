@@ -409,10 +409,7 @@ impl PropertyList {
     }
 
     /// Returns the active properties interested in `kind`, in order.
-    pub fn interested(
-        &self,
-        kind: crate::event::EventKind,
-    ) -> Vec<Arc<dyn ActiveProperty>> {
+    pub fn interested(&self, kind: crate::event::EventKind) -> Vec<Arc<dyn ActiveProperty>> {
         self.actives()
             .filter(|p| p.interests().contains(kind))
             .cloned()
@@ -424,9 +421,7 @@ impl PropertyList {
         self.slots
             .iter()
             .filter_map(|s| match &s.prop {
-                AttachedProperty::Static { name, value } => {
-                    Some((name.clone(), value.clone()))
-                }
+                AttachedProperty::Static { name, value } => Some((name.clone(), value.clone())),
                 AttachedProperty::Active(_) => None,
             })
             .collect()

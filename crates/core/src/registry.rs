@@ -17,8 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A factory producing active-property instances from parameters.
-pub type PropertyFactory =
-    Box<dyn Fn(&Params) -> Result<Arc<dyn ActiveProperty>> + Send + Sync>;
+pub type PropertyFactory = Box<dyn Fn(&Params) -> Result<Arc<dyn ActiveProperty>> + Send + Sync>;
 
 /// A name → factory map for instantiating active properties at runtime.
 ///

@@ -14,8 +14,8 @@
 
 use crate::bitprovider::BitProvider;
 use crate::collection::Collections;
-use crate::describe::{DocumentDescription, PropertyInfo};
 use crate::content::{Params, PropertyValue};
+use crate::describe::{DocumentDescription, PropertyInfo};
 use crate::document::{BaseDocument, DocumentReference};
 use crate::error::{PlacelessError, Result};
 use crate::event::{DocumentEvent, EventKind, EventSite};
@@ -354,11 +354,7 @@ impl DocumentSpace {
             self.list_mut(&mut inner, scope, doc)?.attach(id, prop);
         }
         self.dispatch(
-            DocumentEvent::new(EventKind::PropertySet, doc).about_property(
-                scope.site(),
-                id,
-                &name,
-            ),
+            DocumentEvent::new(EventKind::PropertySet, doc).about_property(scope.site(), id, &name),
         )?;
         Ok(id)
     }
@@ -397,7 +393,8 @@ impl DocumentSpace {
         let name = replacement.name().to_owned();
         {
             let mut inner = self.inner.write();
-            self.list_mut(&mut inner, scope, doc)?.replace(id, replacement)?;
+            self.list_mut(&mut inner, scope, doc)?
+                .replace(id, replacement)?;
         }
         self.dispatch(
             DocumentEvent::new(EventKind::PropertyModified, doc).about_property(
@@ -459,7 +456,11 @@ impl DocumentSpace {
     }
 
     /// Lists `(id, name)` of the properties visible at a scope, in order.
-    pub fn list_properties(&self, scope: Scope, doc: DocumentId) -> Result<Vec<(PropertyId, String)>> {
+    pub fn list_properties(
+        &self,
+        scope: Scope,
+        doc: DocumentId,
+    ) -> Result<Vec<(PropertyId, String)>> {
         let inner = self.inner.read();
         let list = match scope {
             Scope::Universal => {
@@ -521,7 +522,8 @@ impl DocumentSpace {
         self.charge_op(0);
         self.charge_op(0);
 
-        let (provider, base_props, ref_props, snapshot) = self.path_parts(user, doc, EventKind::GetInputStream)?;
+        let (provider, base_props, ref_props, snapshot) =
+            self.path_parts(user, doc, EventKind::GetInputStream)?;
 
         let mut report = PathReport::new(provider.fetch_cost_micros());
         report.vote(provider.cacheability_vote());
@@ -632,7 +634,12 @@ impl DocumentSpace {
     }
 
     /// Writes a complete document through the full property path.
-    pub fn write_document(self: &Arc<Self>, user: UserId, doc: DocumentId, data: &[u8]) -> Result<()> {
+    pub fn write_document(
+        self: &Arc<Self>,
+        user: UserId,
+        doc: DocumentId,
+        data: &[u8],
+    ) -> Result<()> {
         let mut stream = self.open_write(user, doc)?;
         write_all(stream.as_mut(), data)?;
         stream.close()
@@ -1010,7 +1017,9 @@ mod tests {
                 EventKind::PropertyReordered,
             ]),
         );
-        space.attach_active(Scope::Universal, doc, rec.clone()).unwrap();
+        space
+            .attach_active(Scope::Universal, doc, rec.clone())
+            .unwrap();
         // The recorder hears its own attachment; discard that event.
         rec.seen.lock().clear();
         let id = space
@@ -1027,7 +1036,9 @@ mod tests {
                 },
             )
             .unwrap();
-        space.reorder_property(Scope::Universal, doc, id, 0).unwrap();
+        space
+            .reorder_property(Scope::Universal, doc, id, 0)
+            .unwrap();
         space.remove_property(Scope::Universal, doc, id).unwrap();
         assert_eq!(
             *rec.seen.lock(),
@@ -1179,8 +1190,7 @@ mod tests {
     #[test]
     fn middleware_cost_is_charged() {
         let clock = VirtualClock::new();
-        let space =
-            DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::new(500, 0));
+        let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::new(500, 0));
         let provider = MemoryProvider::new("t", "x", 0);
         let doc = space.create_document(ALICE, provider);
         let t0 = clock.now();

@@ -340,10 +340,8 @@ mod tests {
     #[test]
     fn transforming_input_applies_whole_buffer_transform() {
         let inner = mem(b"hello");
-        let mut t = TransformingInput::new(
-            inner,
-            Box::new(|b| Ok(Bytes::from(b.to_ascii_uppercase()))),
-        );
+        let mut t =
+            TransformingInput::new(inner, Box::new(|b| Ok(Bytes::from(b.to_ascii_uppercase()))));
         assert_eq!(read_all(&mut t).unwrap(), "HELLO");
     }
 
@@ -352,10 +350,7 @@ mod tests {
         // The transform must not run during construction: build with a
         // transform that would fail, never read, and observe no panic.
         let inner = mem(b"data");
-        let _t = TransformingInput::new(
-            inner,
-            Box::new(|_| Err(PlacelessError::StreamClosed)),
-        );
+        let _t = TransformingInput::new(inner, Box::new(|_| Err(PlacelessError::StreamClosed)));
     }
 
     #[test]

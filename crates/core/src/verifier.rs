@@ -285,14 +285,20 @@ mod tests {
             ClosureVerifier::new("dead", 1, |_| Validity::Invalid),
         ];
         let (verdict, _) = run_all(&vs, &clock);
-        assert_eq!(verdict, Validity::Invalid, "later invalid overrides replace");
+        assert_eq!(
+            verdict,
+            Validity::Invalid,
+            "later invalid overrides replace"
+        );
     }
 
     #[test]
     fn describe_is_informative() {
         let clock = VirtualClock::new();
         let src = SimpleExternal::new("db", "x");
-        assert!(TtlVerifier::for_ttl(clock.now(), 10).describe().contains("ttl"));
+        assert!(TtlVerifier::for_ttl(clock.now(), 10)
+            .describe()
+            .contains("ttl"));
         assert!(EpochVerifier::pinned(src).describe().contains("db"));
     }
 }

@@ -125,9 +125,7 @@ impl NfsServer {
     /// Reads up to `len` bytes at `offset`.
     pub fn read(&self, handle: FileHandle, offset: u64, len: usize) -> Result<Bytes> {
         let files = self.open_files.lock();
-        let file = files
-            .get(&handle)
-            .ok_or(PlacelessError::StreamClosed)?;
+        let file = files.get(&handle).ok_or(PlacelessError::StreamClosed)?;
         if file.mode == OpenMode::Write {
             return Err(PlacelessError::Repository(
                 "NFS: handle is write-only".to_owned(),
@@ -141,9 +139,7 @@ impl NfsServer {
     /// Writes `data` at `offset`, zero-filling any gap.
     pub fn write(&self, handle: FileHandle, offset: u64, data: &[u8]) -> Result<usize> {
         let mut files = self.open_files.lock();
-        let file = files
-            .get_mut(&handle)
-            .ok_or(PlacelessError::StreamClosed)?;
+        let file = files.get_mut(&handle).ok_or(PlacelessError::StreamClosed)?;
         if file.mode == OpenMode::Read {
             return Err(PlacelessError::Repository(
                 "NFS: handle is read-only".to_owned(),
@@ -281,6 +277,8 @@ mod tests {
     #[test]
     fn user_without_reference_cannot_open() {
         let (nfs, _provider, _doc) = setup("data");
-        assert!(nfs.open(UserId(99), "/docs/file.txt", OpenMode::Read).is_err());
+        assert!(nfs
+            .open(UserId(99), "/docs/file.txt", OpenMode::Read)
+            .is_err());
     }
 }

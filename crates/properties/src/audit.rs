@@ -6,13 +6,13 @@
 //! `CacheableWithEvents`: the cache may serve the bytes locally, but must
 //! forward the operation event so the trail stays complete.
 
+use parking_lot::Mutex;
 use placeless_core::cacheability::Cacheability;
 use placeless_core::error::Result;
 use placeless_core::event::{DocumentEvent, EventKind, Interests};
 use placeless_core::id::UserId;
 use placeless_core::property::{ActiveProperty, EventCtx, PathCtx, PathReport};
 use placeless_core::streams::InputStream;
-use parking_lot::Mutex;
 use placeless_simenv::Instant;
 use std::sync::Arc;
 

@@ -6,13 +6,11 @@
 //! *asymmetric* transform pair — the two directions differ, unlike ROT13 —
 //! and the codec is a substrate others reuse.
 
+use bytes::Bytes;
 use placeless_core::error::{PlacelessError, Result};
 use placeless_core::event::{EventKind, Interests};
 use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
-use placeless_core::streams::{
-    InputStream, OutputStream, TransformingInput, TransformingOutput,
-};
-use bytes::Bytes;
+use placeless_core::streams::{InputStream, OutputStream, TransformingInput, TransformingOutput};
 use std::sync::Arc;
 
 /// RLE-compresses `data` as `(count, byte)` pairs with runs capped at 255.
@@ -49,7 +47,9 @@ pub fn rle_decompress(data: &[u8]) -> Result<Vec<u8>> {
     for pair in data.chunks_exact(2) {
         let (run, byte) = (pair[0], pair[1]);
         if run == 0 {
-            return Err(PlacelessError::Repository("RLE: zero-length run".to_owned()));
+            return Err(PlacelessError::Repository(
+                "RLE: zero-length run".to_owned(),
+            ));
         }
         out.extend(std::iter::repeat_n(byte, run as usize));
     }

@@ -6,13 +6,13 @@
 //! property (via the follow-up mechanism) — a small demonstration of
 //! properties that *react to time* and mutate their own document.
 
+use parking_lot::Mutex;
 use placeless_core::content::PropertyValue;
 use placeless_core::error::Result;
 use placeless_core::event::{DocumentEvent, EventKind, EventSite, Interests};
 use placeless_core::id::UserId;
 use placeless_core::property::{ActiveProperty, EventCtx, FollowUp, PathCtx, PathReport};
 use placeless_core::streams::InputStream;
-use parking_lot::Mutex;
 use placeless_simenv::Instant;
 use std::sync::Arc;
 
@@ -61,7 +61,11 @@ impl ActiveProperty for Deadline {
     }
 
     fn interests(&self) -> Interests {
-        Interests::of(&[EventKind::GetInputStream, EventKind::Timer, EventKind::CacheRead])
+        Interests::of(&[
+            EventKind::GetInputStream,
+            EventKind::Timer,
+            EventKind::CacheRead,
+        ])
     }
 
     fn wrap_input(

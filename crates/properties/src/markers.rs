@@ -1,12 +1,12 @@
 //! Small marker and helper properties: uncacheable, TTL, watermark.
 
+use bytes::Bytes;
 use placeless_core::cacheability::Cacheability;
 use placeless_core::error::Result;
 use placeless_core::event::{EventKind, Interests};
 use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
 use placeless_core::streams::{InputStream, TransformingInput};
 use placeless_core::verifier::TtlVerifier;
-use bytes::Bytes;
 use std::sync::Arc;
 
 /// Marks a document's content uncacheable regardless of its source.

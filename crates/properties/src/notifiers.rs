@@ -14,13 +14,13 @@
 //!   depends on (cause 4, handled notifier-side instead of verifier-side —
 //!   the §5 trade-off).
 
+use parking_lot::Mutex;
 use placeless_core::error::Result;
 use placeless_core::event::{DocumentEvent, EventKind, EventSite, Interests};
 use placeless_core::external::ExternalSource;
 use placeless_core::id::UserId;
 use placeless_core::notifier::Invalidation;
 use placeless_core::property::{ActiveProperty, EventCtx};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Invalidates all cached versions of a document when its content is

@@ -13,14 +13,14 @@
 //! rebuilt in place, so the cache refreshes the entry without re-running
 //! the full read path.
 
+use bytes::Bytes;
+use parking_lot::Mutex;
 use placeless_core::error::Result;
 use placeless_core::event::{EventKind, Interests};
 use placeless_core::external::ExternalSource;
 use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
 use placeless_core::streams::{InputStream, TransformingInput};
 use placeless_core::verifier::{ClosureVerifier, Validity};
-use bytes::Bytes;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Appends live quotes and ships a threshold verifier.
@@ -91,8 +91,7 @@ impl ActiveProperty for Portfolio {
         // The body (content before the quotes section) is captured when the
         // transform runs so the verifier can rebuild the entry in place.
         let body: Arc<Mutex<Option<Bytes>>> = Arc::new(Mutex::new(None));
-        let fill_values: Arc<Mutex<Vec<f64>>> =
-            Arc::new(Mutex::new(Self::read_values(&sources)));
+        let fill_values: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Self::read_values(&sources)));
 
         let probe_cost = 25 * sources.len().max(1) as u64;
 
@@ -120,9 +119,7 @@ impl ActiveProperty for Portfolio {
                     Some(body) => {
                         *v_values.lock() = now;
                         let mut out = body.to_vec();
-                        out.extend_from_slice(
-                            Portfolio::quotes_section(&v_sources).as_bytes(),
-                        );
+                        out.extend_from_slice(Portfolio::quotes_section(&v_sources).as_bytes());
                         Validity::Replace(Bytes::from(out))
                     }
                     // Body unknown (entry filled elsewhere): force a refill.

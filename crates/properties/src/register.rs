@@ -6,9 +6,9 @@
 //! environment handles (replication targets, portfolio sources) are
 //! constructed directly instead.
 
+use crate::compress::CompressAtRest;
 use crate::markers::{TtlProperty, UncacheableMarker, Watermark};
 use crate::notifiers::{ContentWriteNotifier, PropertyChangeNotifier};
-use crate::compress::CompressAtRest;
 use crate::rot13::Rot13AtRest;
 use crate::spellcheck::SpellCheck;
 use crate::summarize::Summarize;
@@ -59,9 +59,9 @@ pub fn register_standard(registry: &PropertyRegistry) {
     registry.register("uncacheable", |_| Ok(UncacheableMarker::new()));
 
     registry.register("ttl", |params| {
-        let micros = params.get_int("micros").ok_or_else(|| {
-            PlacelessError::BadPropertyParams("`micros` is required".to_owned())
-        })?;
+        let micros = params
+            .get_int("micros")
+            .ok_or_else(|| PlacelessError::BadPropertyParams("`micros` is required".to_owned()))?;
         if micros < 0 {
             return Err(PlacelessError::BadPropertyParams(
                 "`micros` must be non-negative".to_owned(),
@@ -74,7 +74,10 @@ pub fn register_standard(registry: &PropertyRegistry) {
         if let Some(factor) = params.get_float("factor") {
             return Ok(QosProperty::with_factor("qos", factor));
         }
-        match (params.get_int("bound_micros"), params.get_int("refetch_micros")) {
+        match (
+            params.get_int("bound_micros"),
+            params.get_int("refetch_micros"),
+        ) {
             (Some(bound), Some(refetch)) if bound >= 0 && refetch >= 0 => {
                 Ok(QosProperty::access_time_bound(bound as u64, refetch as u64))
             }

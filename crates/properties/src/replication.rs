@@ -7,13 +7,13 @@
 //! next timer tick, copies the latest revision to the remote file system
 //! over its (slow) link.
 
+use bytes::Bytes;
+use parking_lot::Mutex;
 use placeless_core::error::{PlacelessError, Result};
 use placeless_core::event::{DocumentEvent, EventKind, Interests};
 use placeless_core::property::{ActiveProperty, EventCtx, PathCtx, PathReport};
 use placeless_core::streams::OutputStream;
 use placeless_repository::MemFs;
-use bytes::Bytes;
-use parking_lot::Mutex;
 use placeless_simenv::Link;
 use std::sync::Arc;
 

@@ -5,11 +5,11 @@
 //! and `getOutputStream` (as in Figure 2) and rewrites known misspellings
 //! word by word, preserving capitalization of the first letter.
 
+use bytes::Bytes;
 use placeless_core::error::Result;
 use placeless_core::event::{EventKind, Interests};
 use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
 use placeless_core::streams::{InputStream, OutputStream, TransformingInput, TransformingOutput};
-use bytes::Bytes;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn preserves_leading_capitals() {
         let prop = SpellCheck::new();
-        assert_eq!(read_through(prop, b"Teh end. Wich one?"), "The end. Which one?");
+        assert_eq!(
+            read_through(prop, b"Teh end. Wich one?"),
+            "The end. Which one?"
+        );
     }
 
     #[test]

@@ -4,11 +4,11 @@
 //! instead of its original in full length." The condensation keeps the
 //! first `n` sentences.
 
+use bytes::Bytes;
 use placeless_core::error::Result;
 use placeless_core::event::{EventKind, Interests};
 use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
 use placeless_core::streams::{InputStream, TransformingInput};
-use bytes::Bytes;
 use std::sync::Arc;
 
 /// First-`n`-sentences summarization on the read path.
@@ -79,10 +79,7 @@ mod tests {
     #[test]
     fn keeps_first_sentences() {
         let prop = Summarize::first_sentences(2);
-        assert_eq!(
-            read_through(prop, b"One. Two! Three? Four."),
-            "One. Two!"
-        );
+        assert_eq!(read_through(prop, b"One. Two! Three? Four."), "One. Two!");
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Shared helpers for property unit tests.
 
+use bytes::Bytes;
+use parking_lot::Mutex;
 use placeless_core::event::EventSite;
 use placeless_core::id::{DocumentId, UserId};
 use placeless_core::property::{ActiveProperty, PathCtx, PathReport, PropsSnapshot};
 use placeless_core::streams::{read_all, write_all, CollectOutput, InputStream, MemoryInput};
-use bytes::Bytes;
-use parking_lot::Mutex;
 use placeless_simenv::VirtualClock;
 use std::sync::Arc;
 
@@ -31,7 +31,9 @@ pub fn read_through_with_report(
     };
     let mut report = PathReport::default();
     let inner: Box<dyn InputStream> = Box::new(MemoryInput::new(Bytes::copy_from_slice(input)));
-    let mut wrapped = prop.wrap_input(&ctx, &mut report, inner).expect("wrap_input");
+    let mut wrapped = prop
+        .wrap_input(&ctx, &mut report, inner)
+        .expect("wrap_input");
     let bytes = read_all(wrapped.as_mut()).expect("read");
     (bytes, report)
 }

@@ -6,11 +6,11 @@
 //! the latter demonstrates a property depending on *other property values*
 //! (changing `preferredLanguage` is then an invalidation cause).
 
+use bytes::Bytes;
 use placeless_core::error::Result;
 use placeless_core::event::{EventKind, Interests};
 use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
 use placeless_core::streams::{InputStream, TransformingInput};
-use bytes::Bytes;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -214,10 +214,7 @@ mod tests {
 
         let prop = Translate::from_preferred_language();
         let clock = VirtualClock::new();
-        let snap = PropsSnapshot::from_pairs(vec![(
-            "preferredLanguage".to_owned(),
-            "es".into(),
-        )]);
+        let snap = PropsSnapshot::from_pairs(vec![("preferredLanguage".to_owned(), "es".into())]);
         let ctx = PathCtx {
             clock: &clock,
             doc: DocumentId(1),

@@ -7,15 +7,13 @@
 //! a `version:N` static property to the base (via the follow-up mechanism —
 //! properties may not mutate documents mid-dispatch).
 
+use bytes::Bytes;
+use parking_lot::Mutex;
 use placeless_core::content::PropertyValue;
 use placeless_core::error::{PlacelessError, Result};
 use placeless_core::event::{DocumentEvent, EventKind, EventSite, Interests};
-use placeless_core::property::{
-    ActiveProperty, EventCtx, FollowUp, PathCtx, PathReport,
-};
+use placeless_core::property::{ActiveProperty, EventCtx, FollowUp, PathCtx, PathReport};
 use placeless_core::streams::OutputStream;
-use bytes::Bytes;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Saves a version of the content on every write.

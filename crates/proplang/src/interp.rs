@@ -5,9 +5,9 @@
 //! document's visible static properties and named external sources.
 
 use crate::ast::{Cond, Program, Stage};
+use parking_lot::RwLock;
 use placeless_core::error::{PlacelessError, Result};
 use placeless_core::external::ExternalSource;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -55,12 +55,7 @@ pub fn run(
     Ok(text.into_bytes())
 }
 
-fn run_stage(
-    stage: &Stage,
-    text: String,
-    props: PropLookup<'_>,
-    env: &ExtEnv,
-) -> Result<String> {
+fn run_stage(stage: &Stage, text: String, props: PropLookup<'_>, env: &ExtEnv) -> Result<String> {
     Ok(match stage {
         Stage::Upper => text.to_uppercase(),
         Stage::Lower => text.to_lowercase(),
@@ -224,8 +219,14 @@ mod tests {
 
     #[test]
     fn wrap_reflows_words() {
-        assert_eq!(run_src("wrap(10)", "one two three four"), "one two\nthree four");
-        assert_eq!(run_src("wrap(5)", "supercalifragilistic"), "supercalifragilistic");
+        assert_eq!(
+            run_src("wrap(10)", "one two three four"),
+            "one two\nthree four"
+        );
+        assert_eq!(
+            run_src("wrap(5)", "supercalifragilistic"),
+            "supercalifragilistic"
+        );
         assert_eq!(run_src("wrap(80)", "short line"), "short line");
     }
 
@@ -236,7 +237,10 @@ mod tests {
 
     #[test]
     fn redact_masks_words() {
-        assert_eq!(run_src(r#"redact("secret")"#, "the secret plan"), "the ██████ plan");
+        assert_eq!(
+            run_src(r#"redact("secret")"#, "the secret plan"),
+            "the ██████ plan"
+        );
     }
 
     #[test]

@@ -125,11 +125,7 @@ impl Parser {
                     "read" => RunOn::Read,
                     "write" => RunOn::Write,
                     "both" => RunOn::Both,
-                    other => {
-                        return Err(err(format!(
-                            "unknown path `{other}` (read|write|both)"
-                        )))
-                    }
+                    other => return Err(err(format!("unknown path `{other}` (read|write|both)"))),
                 };
             }
             other => return Err(err(format!("unknown directive `@{other}`"))),
@@ -248,7 +244,9 @@ impl Parser {
         }
         let name = self.ident()?;
         if name != "prop" {
-            return Err(err(format!("conditions start with prop(...), got `{name}`")));
+            return Err(err(format!(
+                "conditions start with prop(...), got `{name}`"
+            )));
         }
         self.expect(&Token::LParen)?;
         let prop = self.string()?;
@@ -300,12 +298,14 @@ mod tests {
 
     #[test]
     fn parses_directives() {
-        let program = parse(
-            "@cost(800)\n@cacheable(events)\n@ttl(5000)\n@watch_ext(\"stock:XRX\")\nupper",
-        )
-        .unwrap();
+        let program =
+            parse("@cost(800)\n@cacheable(events)\n@ttl(5000)\n@watch_ext(\"stock:XRX\")\nupper")
+                .unwrap();
         assert_eq!(program.cost_micros, Some(800));
-        assert_eq!(program.cacheability, Some(Cacheability::CacheableWithEvents));
+        assert_eq!(
+            program.cacheability,
+            Some(Cacheability::CacheableWithEvents)
+        );
         assert_eq!(program.ttl_micros, Some(5_000));
         assert_eq!(program.watch_ext, vec!["stock:XRX"]);
         assert_eq!(program.stages, vec![Stage::Upper]);

@@ -14,13 +14,13 @@
 use crate::ast::Program;
 use crate::interp::{run, ExtEnv};
 use crate::parser::parse;
+use bytes::Bytes;
 use placeless_core::error::{PlacelessError, Result};
 use placeless_core::event::{EventKind, Interests};
 use placeless_core::property::{ActiveProperty, PathCtx, PathReport};
 use placeless_core::registry::PropertyRegistry;
 use placeless_core::streams::{InputStream, OutputStream, TransformingInput, TransformingOutput};
 use placeless_core::verifier::{EpochVerifier, TtlVerifier};
-use bytes::Bytes;
 use std::sync::Arc;
 
 /// A runtime-authored active property backed by the PropLang interpreter.
@@ -146,11 +146,7 @@ fn collect_props(ctx: &PathCtx<'_>, program: &Program) -> Vec<(String, String)> 
     names.dedup();
     names
         .into_iter()
-        .filter_map(|name| {
-            ctx.props
-                .get(&name)
-                .map(|value| (name, value.to_string()))
-        })
+        .filter_map(|name| ctx.props.get(&name).map(|value| (name, value.to_string())))
         .collect()
 }
 
@@ -158,9 +154,9 @@ fn collect_names(stages: &[crate::ast::Stage], out: &mut Vec<String>) {
     use crate::ast::{Cond, Stage};
     fn cond_names(cond: &Cond, out: &mut Vec<String>) {
         match cond {
-            Cond::PropEquals(name, _)
-            | Cond::PropNotEquals(name, _)
-            | Cond::PropExists(name) => out.push(name.clone()),
+            Cond::PropEquals(name, _) | Cond::PropNotEquals(name, _) | Cond::PropExists(name) => {
+                out.push(name.clone())
+            }
             Cond::Not(inner) => cond_names(inner, out),
         }
     }
@@ -185,9 +181,9 @@ fn collect_names(stages: &[crate::ast::Stage], out: &mut Vec<String>) {
 /// (the program text).
 pub fn register_proplang(registry: &PropertyRegistry, env: ExtEnv) {
     registry.register("proplang", move |params| {
-        let source = params.get_str("source").ok_or_else(|| {
-            PlacelessError::BadPropertyParams("`source` is required".to_owned())
-        })?;
+        let source = params
+            .get_str("source")
+            .ok_or_else(|| PlacelessError::BadPropertyParams("`source` is required".to_owned()))?;
         let name = params.get_str("name").unwrap_or("anonymous");
         Ok(ScriptProperty::compile(name, source, env.clone())? as Arc<dyn ActiveProperty>)
     });
@@ -218,7 +214,9 @@ mod tests {
         let prop =
             ScriptProperty::compile("fix", r#"replace("teh", "the") | upper"#, ExtEnv::new())
                 .unwrap();
-        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, prop)
+            .unwrap();
         let (bytes, _) = space.read_document(ALICE, doc).unwrap();
         assert_eq!(bytes, "THE DRAFT");
     }
@@ -233,7 +231,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(prop.execution_cost_micros(), 1_234);
-        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, prop)
+            .unwrap();
         let (_, report) = space.read_document(ALICE, doc).unwrap();
         assert_eq!(report.cacheability, Cacheability::CacheableWithEvents);
         // Provider mtime verifier + TTL verifier.
@@ -253,7 +253,9 @@ mod tests {
             env,
         )
         .unwrap();
-        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, prop)
+            .unwrap();
         let (bytes, report) = space.read_document(ALICE, doc).unwrap();
         assert_eq!(bytes, "body42.50");
         let clock = space.clock();
@@ -275,7 +277,9 @@ mod tests {
             ExtEnv::new(),
         )
         .unwrap();
-        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, prop)
+            .unwrap();
         let (bytes, _) = space.read_document(ALICE, doc).unwrap();
         assert_eq!(bytes, "doc [fr]");
     }
@@ -326,7 +330,9 @@ mod tests {
             ExtEnv::new(),
         )
         .unwrap();
-        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, prop)
+            .unwrap();
         space
             .write_document(ALICE, doc, b"  teh saved draft  ")
             .unwrap();
@@ -337,13 +343,11 @@ mod tests {
     #[test]
     fn on_both_scripts_run_twice() {
         let (space, doc) = setup("");
-        let prop = ScriptProperty::compile(
-            "stamp",
-            "@on(both)\nappend(\"+\")",
-            ExtEnv::new(),
-        )
-        .unwrap();
-        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        let prop =
+            ScriptProperty::compile("stamp", "@on(both)\nappend(\"+\")", ExtEnv::new()).unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, prop)
+            .unwrap();
         space.write_document(ALICE, doc, b"x").unwrap();
         let (bytes, _) = space.read_document(ALICE, doc).unwrap();
         assert_eq!(bytes, "x++", "once on write, once on read");
@@ -352,13 +356,11 @@ mod tests {
     #[test]
     fn missing_watch_ext_source_fails_at_read_time() {
         let (space, doc) = setup("x");
-        let prop = ScriptProperty::compile(
-            "broken",
-            "@watch_ext(\"ghost\")\nupper",
-            ExtEnv::new(),
-        )
-        .unwrap();
-        space.attach_active(Scope::Personal(ALICE), doc, prop).unwrap();
+        let prop = ScriptProperty::compile("broken", "@watch_ext(\"ghost\")\nupper", ExtEnv::new())
+            .unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, prop)
+            .unwrap();
         assert!(space.read_document(ALICE, doc).is_err());
     }
 }

@@ -119,9 +119,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                         },
                         Some(c) => s.push(c),
                         None => {
-                            return Err(PlacelessError::Script(
-                                "unterminated string".to_owned(),
-                            ))
+                            return Err(PlacelessError::Script("unterminated string".to_owned()))
                         }
                     }
                 }

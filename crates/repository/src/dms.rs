@@ -68,9 +68,7 @@ impl Dms {
             .items
             .get(key)
             .and_then(|i| i.versions.get(version.checked_sub(1)? as usize).cloned())
-            .ok_or_else(|| {
-                PlacelessError::Repository(format!("DMS: no item {key} v{version}"))
-            })
+            .ok_or_else(|| PlacelessError::Repository(format!("DMS: no item {key} v{version}")))
     }
 
     /// Returns the latest version number (1-based), or an error if absent.
@@ -96,7 +94,11 @@ impl Dms {
             ))),
             _ => {
                 item.checked_out_by = Some(who.to_owned());
-                Ok(item.versions.last().expect("items have >=1 version").clone())
+                Ok(item
+                    .versions
+                    .last()
+                    .expect("items have >=1 version")
+                    .clone())
             }
         }
     }

@@ -37,7 +37,9 @@ impl LiveFeed {
         state.0 += 1;
         let frame_no = state.0;
         let mut frame = Vec::with_capacity(self.frame_bytes);
-        frame.extend_from_slice(format!("frame {frame_no} @{} | ", clock.now().as_micros()).as_bytes());
+        frame.extend_from_slice(
+            format!("frame {frame_no} @{} | ", clock.now().as_micros()).as_bytes(),
+        );
         while frame.len() < self.frame_bytes {
             frame.push(b'a' + (state.1.next_below(26) as u8));
         }

@@ -72,9 +72,7 @@ impl MailStore {
             .read()
             .get(folder)
             .and_then(|m| m.get(seq.checked_sub(1)? as usize).cloned())
-            .ok_or_else(|| {
-                PlacelessError::Repository(format!("mail: no message {folder}/{seq}"))
-            })
+            .ok_or_else(|| PlacelessError::Repository(format!("mail: no message {folder}/{seq}")))
     }
 
     /// Renders a digest of the newest `limit` messages, newest first.
@@ -177,8 +175,14 @@ mod tests {
     #[test]
     fn deliver_and_fetch() {
         let store = MailStore::new();
-        assert_eq!(store.deliver("inbox", "doug@parc", "review due", "by 11/30"), 1);
-        assert_eq!(store.deliver("inbox", "karin@parc", "re: caching", "lgtm"), 2);
+        assert_eq!(
+            store.deliver("inbox", "doug@parc", "review due", "by 11/30"),
+            1
+        );
+        assert_eq!(
+            store.deliver("inbox", "karin@parc", "re: caching", "lgtm"),
+            2
+        );
         let m = store.fetch("inbox", 1).unwrap();
         assert_eq!(m.from, "doug@parc");
         assert_eq!(m.body, "by 11/30");
@@ -223,7 +227,11 @@ mod tests {
         assert!(String::from_utf8_lossy(&digest).contains("draft attached"));
         assert_eq!(verifier.check(&clock), Validity::Valid);
         store.deliver("inbox", "paul@parc", "comments", "inline");
-        assert_eq!(verifier.check(&clock), Validity::Invalid, "new mail detected");
+        assert_eq!(
+            verifier.check(&clock),
+            Validity::Invalid,
+            "new mail detected"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! are the paper's fourth invalidation cause (information used by active
 //! properties changes, outside Placeless control).
 
-use placeless_core::external::{ExternalSource, SimpleExternal};
 use parking_lot::RwLock;
+use placeless_core::external::{ExternalSource, SimpleExternal};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

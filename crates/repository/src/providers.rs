@@ -90,12 +90,19 @@ impl BitProvider for FsProvider {
     }
 
     fn fetch_cost_micros(&self) -> u64 {
-        let size = self.fs.stat(&self.path).map(|s| s.content.len()).unwrap_or(0);
+        let size = self
+            .fs
+            .stat(&self.path)
+            .map(|s| s.content.len())
+            .unwrap_or(0);
         self.link.estimate_micros(size as u64)
     }
 
     fn content_len_hint(&self) -> Option<u64> {
-        self.fs.stat(&self.path).ok().map(|s| s.content.len() as u64)
+        self.fs
+            .stat(&self.path)
+            .ok()
+            .map(|s| s.content.len() as u64)
     }
 }
 

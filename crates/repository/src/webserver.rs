@@ -87,9 +87,7 @@ impl WebServer {
                 ttl_micros: p.ttl_micros,
                 revision: p.revision,
             })
-            .ok_or_else(|| {
-                PlacelessError::Repository(format!("404 {}{path}", self.host))
-            })
+            .ok_or_else(|| PlacelessError::Repository(format!("404 {}{path}", self.host)))
     }
 
     /// Serves a conditional GET (`If-None-Match` by revision): returns
@@ -98,9 +96,9 @@ impl WebServer {
     pub fn conditional_get(&self, path: &str, if_revision: u64) -> Result<Option<GetResponse>> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         let pages = self.pages.read();
-        let page = pages.get(path).ok_or_else(|| {
-            PlacelessError::Repository(format!("404 {}{path}", self.host))
-        })?;
+        let page = pages
+            .get(path)
+            .ok_or_else(|| PlacelessError::Repository(format!("404 {}{path}", self.host)))?;
         if page.revision == if_revision {
             Ok(None)
         } else {
@@ -117,9 +115,9 @@ impl WebServer {
     pub fn put(&self, path: &str, body: impl Into<Bytes>) -> Result<()> {
         self.puts.fetch_add(1, Ordering::Relaxed);
         let mut pages = self.pages.write();
-        let page = pages.get_mut(path).ok_or_else(|| {
-            PlacelessError::Repository(format!("404 {}{path}", self.host))
-        })?;
+        let page = pages
+            .get_mut(path)
+            .ok_or_else(|| PlacelessError::Repository(format!("404 {}{path}", self.host)))?;
         page.body = body.into();
         page.revision += 1;
         Ok(())
@@ -130,9 +128,9 @@ impl WebServer {
     /// the stale body until it expires.
     pub fn edit_origin(&self, path: &str, body: impl Into<Bytes>) -> Result<()> {
         let mut pages = self.pages.write();
-        let page = pages.get_mut(path).ok_or_else(|| {
-            PlacelessError::Repository(format!("404 {}{path}", self.host))
-        })?;
+        let page = pages
+            .get_mut(path)
+            .ok_or_else(|| PlacelessError::Repository(format!("404 {}{path}", self.host)))?;
         page.body = body.into();
         page.revision += 1;
         Ok(())

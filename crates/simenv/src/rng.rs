@@ -26,7 +26,11 @@ impl SimRng {
     /// non-zero constant because xorshift has an all-zero fixed point.
     pub fn seeded(seed: u64) -> Self {
         Self {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

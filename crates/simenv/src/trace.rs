@@ -184,9 +184,31 @@ impl WorkloadBuilder {
 /// operate on meaningfully.
 pub fn lorem_bytes(seed: u64, bytes: usize) -> Vec<u8> {
     const WORDS: &[&str] = &[
-        "document", "property", "active", "cache", "placeless", "content", "stream", "verifier",
-        "notifier", "replacement", "policy", "system", "server", "reference", "base", "user",
-        "teh", "recieve", "adress", "workshop", "paper", "draft", "budget", "version", "latency",
+        "document",
+        "property",
+        "active",
+        "cache",
+        "placeless",
+        "content",
+        "stream",
+        "verifier",
+        "notifier",
+        "replacement",
+        "policy",
+        "system",
+        "server",
+        "reference",
+        "base",
+        "user",
+        "teh",
+        "recieve",
+        "adress",
+        "workshop",
+        "paper",
+        "draft",
+        "budget",
+        "version",
+        "latency",
     ];
     let mut rng = SimRng::seeded(seed);
     let mut out = Vec::with_capacity(bytes + 16);
@@ -244,8 +266,16 @@ mod tests {
 
     #[test]
     fn workload_is_deterministic() {
-        let a = WorkloadBuilder::new(5).users(3).documents(50).events(200).build();
-        let b = WorkloadBuilder::new(5).users(3).documents(50).events(200).build();
+        let a = WorkloadBuilder::new(5)
+            .users(3)
+            .documents(50)
+            .events(200)
+            .build();
+        let b = WorkloadBuilder::new(5)
+            .users(3)
+            .documents(50)
+            .events(200)
+            .build();
         assert_eq!(a, b);
     }
 
@@ -259,12 +289,18 @@ mod tests {
             .build();
         assert!(events.iter().all(|e| e.user < 7 && e.doc < 13));
         let writes = events.iter().filter(|e| e.is_write).count();
-        assert!((150..350).contains(&writes), "write mix {writes} off target");
+        assert!(
+            (150..350).contains(&writes),
+            "write mix {writes} off target"
+        );
     }
 
     #[test]
     fn write_fraction_zero_means_reads_only() {
-        let events = WorkloadBuilder::new(7).write_fraction(0.0).events(300).build();
+        let events = WorkloadBuilder::new(7)
+            .write_fraction(0.0)
+            .events(300)
+            .build();
         assert!(events.iter().all(|e| !e.is_write));
     }
 

@@ -57,7 +57,12 @@ fn main() -> Result<()> {
     space.attach_active(Scope::Personal(eyal), doc, SpellCheck::new())?;
 
     // Paul and Doug: static statements about the document's context.
-    space.attach_static(Scope::Personal(paul), doc, "label", "1999 workshop submission")?;
+    space.attach_static(
+        Scope::Personal(paul),
+        doc,
+        "label",
+        "1999 workshop submission",
+    )?;
     space.attach_static(Scope::Personal(doug), doc, "deadline", "read by 11/30")?;
 
     // --- Figure 2: MS Word saves through NFS + cache ----------------------

@@ -20,18 +20,19 @@ fn main() -> Result<()> {
     // The mail store, reached over the LAN.
     let mail = MailStore::new();
     mail.deliver("inbox", "doug@parc", "review by 11/30", "please");
-    mail.deliver("inbox", "karin@parc", "re: caching section", "comments inline");
+    mail.deliver(
+        "inbox",
+        "karin@parc",
+        "re: caching section",
+        "comments inline",
+    );
     mail.deliver("hotos", "chair@hotos99", "submission received", "#42");
     mail.deliver("board", "facilities@parc", "garage closed friday", "");
 
     let mut docs = Vec::new();
     for folder in ["inbox", "hotos", "board"] {
-        let provider = MailDigestProvider::new(
-            mail.clone(),
-            folder,
-            10,
-            Link::of_class(LinkClass::Lan, 17),
-        );
+        let provider =
+            MailDigestProvider::new(mail.clone(), folder, 10, Link::of_class(LinkClass::Lan, 17));
         let doc = space.create_document(user, provider);
         space.add_to_collection("briefing", doc)?;
         docs.push(doc);

@@ -34,14 +34,21 @@ fn main() -> Result<()> {
     // Eight shared drafts on the file system.
     for i in 0..8 {
         let path = format!("/shared/draft-{i}.doc");
-        fs.create(&path, format!("draft {i}: teh placeless documents paper. more text follows."));
+        fs.create(
+            &path,
+            format!("draft {i}: teh placeless documents paper. more text follows."),
+        );
         let provider = FsProvider::new(fs.clone(), &path, Link::of_class(LinkClass::Lan, i as u64));
         docs.push(space.create_document(users[0], provider));
     }
     // Four web pages.
     for i in 0..4 {
         let path = format!("/pages/{i}.html");
-        web.publish(&path, format!("page {i} content. workshop schedule."), 30_000_000);
+        web.publish(
+            &path,
+            format!("page {i} content. workshop schedule."),
+            30_000_000,
+        );
         let provider = WebProvider::new(web.clone(), &path, Link::of_class(LinkClass::Lan, 20 + i));
         docs.push(space.create_document(users[0], provider));
     }
@@ -49,7 +56,12 @@ fn main() -> Result<()> {
     for i in 0..2 {
         let key = format!("spec-{i}");
         dms.import(&key, format!("specification {i} v1"));
-        let provider = DmsProvider::new(dms.clone(), &key, "placeless", Link::of_class(LinkClass::Lan, 30 + i));
+        let provider = DmsProvider::new(
+            dms.clone(),
+            &key,
+            "placeless",
+            Link::of_class(LinkClass::Lan, 30 + i),
+        );
         let doc = space.create_document(users[0], provider.clone());
         provider.wire_invalidations(space.bus().clone(), doc);
         docs.push(doc);
@@ -76,12 +88,12 @@ fn main() -> Result<()> {
 
     // Personal profiles, applied as data.
     let profiles = [
-        "spell-corrector\nqos factor=20.0",          // eyal
-        "translate language=\"fr\"",                  // karin
-        "summarize sentences=2",                      // doug
-        "watermark",                                  // anthony
-        "",                                           // paul: vanilla
-        "rot13-at-rest",                              // keith (at-rest scrambling)
+        "spell-corrector\nqos factor=20.0", // eyal
+        "translate language=\"fr\"",        // karin
+        "summarize sentences=2",            // doug
+        "watermark",                        // anthony
+        "",                                 // paul: vanilla
+        "rot13-at-rest",                    // keith (at-rest scrambling)
     ];
     for (&user, profile) in users.iter().zip(profiles) {
         let specs = parse_profile(profile)?;
@@ -100,7 +112,11 @@ fn main() -> Result<()> {
     )?;
     // Eyal replicates draft 0 to Rice nightly.
     let rice = MemFs::new(clock.clone());
-    let replicate = ReplicateTo::new(rice.clone(), "/rice/draft-0.doc", Link::of_class(LinkClass::Wan, 40));
+    let replicate = ReplicateTo::new(
+        rice.clone(),
+        "/rice/draft-0.doc",
+        Link::of_class(LinkClass::Wan, 40),
+    );
     space.attach_active(Scope::Personal(users[0]), docs[0], replicate.clone())?;
 
     // --- Caches: one per user, GDSF with collection prefetch --------------
@@ -111,7 +127,7 @@ fn main() -> Result<()> {
                 space.clone(),
                 CacheConfig {
                     capacity_bytes: 64 * 1024,
-                    policy: placeless_cache::by_name("gdsf").expect("gdsf"),
+                    policy: placeless_cache::PolicyFactory::by_name("gdsf").expect("gdsf"),
                     prefetch: PrefetchConfig::up_to(4),
                     ..CacheConfig::default()
                 },
@@ -207,7 +223,10 @@ fn main() -> Result<()> {
     println!("rice replicas made : {}", replicate.copies_made());
     println!("invalidations      : {posted} posted, {delivered} delivered");
     println!("middleware ops     : {}", space.ops_count());
-    println!("virtual time       : {:.1} s", clock.now().as_micros() as f64 / 1e6);
+    println!(
+        "virtual time       : {:.1} s",
+        clock.now().as_micros() as f64 / 1e6
+    );
 
     // Spot-check consistency: every user's final view of draft 1 reflects
     // the latest content (no cache serves stale bytes at rest).

@@ -92,10 +92,7 @@ fn main() -> Result<()> {
     // verifier invalidates, and the refill shows the new status.
     aa100.set("delayed 45m");
     let view = cache.read(traveler, doc)?;
-    println!(
-        "traveler after delay:\n{}",
-        String::from_utf8_lossy(&view)
-    );
+    println!("traveler after delay:\n{}", String::from_utf8_lossy(&view));
     let s = cache.stats();
     println!(
         "\nfinal stats : hits={} misses={} verifier_invalidations={} replacements={}",

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI runs, in the order cheapest-feedback-first.
+#
+#   scripts/check.sh            # build + test + fmt + clippy
+#   OFFLINE=1 scripts/check.sh  # pass --offline to every cargo call
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+if [[ "${OFFLINE:-0}" == "1" ]]; then
+  CARGO_FLAGS+=(--offline)
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release "${CARGO_FLAGS[@]}" --workspace
+
+echo "==> cargo test"
+cargo test -q "${CARGO_FLAGS[@]}" --workspace
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

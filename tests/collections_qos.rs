@@ -12,8 +12,7 @@ fn space_with_docs(n: usize, body: &str) -> (Arc<DocumentSpace>, Vec<DocumentId>
     let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
     let docs = (0..n)
         .map(|i| {
-            let provider =
-                MemoryProvider::new(&format!("d{i}"), format!("{body} #{i}"), 10_000);
+            let provider = MemoryProvider::new(&format!("d{i}"), format!("{body} #{i}"), 10_000);
             space.create_document(USER, provider)
         })
         .collect();
@@ -30,7 +29,10 @@ fn collection_membership_round_trips() {
     assert_eq!(space.collections_of(docs[1]), vec!["budget", "drafts"]);
     // Membership is visible as a normal static property.
     assert_eq!(
-        space.property_value(USER, docs[0], "collection").unwrap().as_str(),
+        space
+            .property_value(USER, docs[0], "collection")
+            .unwrap()
+            .as_str(),
         Some("budget")
     );
     space.remove_from_collection("budget", docs[1]).unwrap();
@@ -133,13 +135,18 @@ fn pinned_entries_survive_any_eviction_pressure() {
     let pinned_provider = MemoryProvider::new("pinned", vec![b'p'; 512], 10_000);
     let pinned_doc = space.create_document(USER, pinned_provider);
     space
-        .attach_active(Scope::Personal(USER), pinned_doc, QosProperty::always_available())
+        .attach_active(
+            Scope::Personal(USER),
+            pinned_doc,
+            QosProperty::always_available(),
+        )
         .unwrap();
     let mut fillers = Vec::new();
     for i in 0..20u8 {
         let mut body = vec![b'f'; 512];
         body[0] = i;
-        fillers.push(space.create_document(USER, MemoryProvider::new(&format!("f{i}"), body, 1_000)));
+        fillers
+            .push(space.create_document(USER, MemoryProvider::new(&format!("f{i}"), body, 1_000)));
     }
     let cache = DocumentCache::new(
         space,

@@ -11,8 +11,7 @@ fn setup(docs: usize) -> (Arc<DocumentSpace>, Arc<DocumentCache>, Vec<DocumentId
     let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
     let ids = (0..docs)
         .map(|i| {
-            let provider =
-                MemoryProvider::new(&format!("d{i}"), format!("content {i}"), 100);
+            let provider = MemoryProvider::new(&format!("d{i}"), format!("content {i}"), 100);
             let doc = space.create_document(UserId(1), provider);
             for u in 2..=4 {
                 space.add_reference(UserId(u), doc).unwrap();
@@ -170,7 +169,9 @@ fn concurrent_nfs_clients() {
             let nfs = nfs.clone();
             scope.spawn(move |_| {
                 for _ in 0..50 {
-                    let h = nfs.open(UserId(user), "/shared.txt", OpenMode::Read).unwrap();
+                    let h = nfs
+                        .open(UserId(user), "/shared.txt", OpenMode::Read)
+                        .unwrap();
                     let _ = nfs.read(h, 0, 64).unwrap();
                     nfs.close(h).unwrap();
                 }

@@ -160,7 +160,11 @@ fn web_ttl_bounds_staleness_for_unannounced_origin_edits() {
     let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
     let server = WebServer::new("news.com");
     server.publish("/front", "headline v1", 10_000);
-    let provider = WebProvider::new(server.clone(), "/front", Link::new(1_000, 1_000_000, 0.0, 5));
+    let provider = WebProvider::new(
+        server.clone(),
+        "/front",
+        Link::new(1_000, 1_000_000, 0.0, 5),
+    );
     let doc = space.create_document(USER, provider);
     let cache = DocumentCache::new(
         space,
@@ -183,7 +187,12 @@ fn dms_callbacks_invalidate_without_polling() {
     let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
     let dms = Dms::new();
     dms.import("spec", "spec v1");
-    let provider = DmsProvider::new(dms.clone(), "spec", "placeless", Link::new(500, 1_000_000, 0.0, 6));
+    let provider = DmsProvider::new(
+        dms.clone(),
+        "spec",
+        "placeless",
+        Link::new(500, 1_000_000, 0.0, 6),
+    );
     let doc = space.create_document(USER, provider.clone());
     // Wire the DMS's native change callback to the invalidation bus and
     // run the cache with verifiers off: the callback alone keeps it fresh.

@@ -111,7 +111,9 @@ fn broken_read_property_fails_the_read_not_the_space() {
     let err = space.read_document(USER, doc).err().unwrap();
     assert!(matches!(err, PlacelessError::Property { .. }));
     // Removing the property heals the document.
-    space.remove_property(Scope::Personal(USER), doc, id).unwrap();
+    space
+        .remove_property(Scope::Personal(USER), doc, id)
+        .unwrap();
     assert_eq!(space.read_document(USER, doc).unwrap().0, "ok");
 }
 
@@ -200,7 +202,11 @@ fn nfs_failures_release_handles() {
     let h = nfs.open(USER, "/dead", OpenMode::Write).unwrap();
     nfs.write(h, 0, b"x").unwrap();
     assert!(nfs.close(h).is_err());
-    assert_eq!(nfs.open_count(), 0, "failed close still releases the handle");
+    assert_eq!(
+        nfs.open_count(),
+        0,
+        "failed close still releases the handle"
+    );
 }
 
 #[test]
@@ -210,7 +216,9 @@ fn proplang_runtime_errors_propagate() {
     // `append_ext` of a source the environment does not know fails at read
     // time (the program parsed fine).
     let prop = ScriptProperty::compile("bad", "append_ext(\"ghost\")", ExtEnv::new()).unwrap();
-    space.attach_active(Scope::Personal(USER), doc, prop).unwrap();
+    space
+        .attach_active(Scope::Personal(USER), doc, prop)
+        .unwrap();
     let err = space.read_document(USER, doc).err().unwrap();
     assert!(matches!(err, PlacelessError::Script(_)));
 }

@@ -33,7 +33,12 @@ fn hotos_setup() -> (Arc<DocumentSpace>, DocumentId, Arc<Versioning>) {
         .attach_active(Scope::Personal(EYAL), doc, SpellCheck::new())
         .unwrap();
     space
-        .attach_static(Scope::Personal(PAUL), doc, "label", "1999 workshop submission")
+        .attach_static(
+            Scope::Personal(PAUL),
+            doc,
+            "label",
+            "1999 workshop submission",
+        )
         .unwrap();
     space
         .attach_static(Scope::Personal(DOUG), doc, "deadline", "read by 11/30")

@@ -2,11 +2,11 @@
 //! removals propagate to caches; write-path properties demand per-write
 //! events from write-back caches.
 
+use parking_lot::Mutex;
 use placeless::prelude::*;
 use placeless_core::event::{EventKind, Interests};
 use placeless_core::property::{ActiveProperty, EventCtx};
 use placeless_simenv::LatencyModel;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 const ALICE: UserId = UserId(1);
@@ -142,10 +142,7 @@ fn profiles_survive_a_round_trip_through_text() {
     let provider = MemoryProvider::new("d", "teh report. second sentence. third.", 100);
     let doc = space.create_document(ALICE, provider);
 
-    let specs = parse_profile(
-        "spell-corrector\nsummarize sentences=1\n",
-    )
-    .unwrap();
+    let specs = parse_profile("spell-corrector\nsummarize sentences=1\n").unwrap();
     let text = format_profile(&specs);
     let reparsed = parse_profile(&text).unwrap();
     assert_eq!(reparsed, specs);

@@ -11,7 +11,12 @@ use std::sync::Arc;
 const ALICE: UserId = UserId(1);
 const BOB: UserId = UserId(2);
 
-fn rig() -> (Arc<DocumentSpace>, Arc<DocumentCache>, Arc<DocumentCache>, DocumentId) {
+fn rig() -> (
+    Arc<DocumentSpace>,
+    Arc<DocumentCache>,
+    Arc<DocumentCache>,
+    DocumentId,
+) {
     let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
     let provider = MemoryProvider::new("shared", "v1", 500);
     let doc = space.create_document(ALICE, provider);
@@ -113,8 +118,8 @@ fn per_user_versions_do_not_interfere_across_caches() {
     let alice_text = alice_cache.read(ALICE, doc).unwrap();
     assert_eq!(provider_text, "v1");
     assert_eq!(alice_text, "v1"); // "v1" has no dictionary words
-    // Alice's personal change invalidates only her entries — in both
-    // caches — while Bob's survive everywhere.
+                                  // Alice's personal change invalidates only her entries — in both
+                                  // caches — while Bob's survive everywhere.
     alice_cache.read(BOB, doc).unwrap();
     space
         .attach_active(Scope::Personal(ALICE), doc, Watermark::new())

@@ -4,7 +4,9 @@
 
 use bytes::Bytes;
 use placeless_cache::keys::SharedStore;
-use placeless_cache::policy::{by_name, EntryKey, GreedyDualSize, ReplacementPolicy, ALL_POLICIES};
+use placeless_cache::policy::{
+    by_name, EntryAttrs, EntryKey, GreedyDualSize, ReplacementPolicy, ALL_POLICIES,
+};
 use placeless_core::id::{DocumentId, UserId};
 use placeless_simenv::trace::{WorkloadBuilder, ZipfSampler};
 use placeless_simenv::{SimRng, VirtualClock};
@@ -78,7 +80,7 @@ proptest! {
         for op in ops {
             match op {
                 Op::Insert(key, v) => {
-                    policy.on_insert(key, 1 + v as u64, v as f64 + 1.0);
+                    policy.on_insert(key, &EntryAttrs::new(1 + v as u64, v as f64 + 1.0));
                     live.insert(key);
                 }
                 Op::Remove(key) => {
@@ -115,7 +117,7 @@ proptest! {
     fn gds_inflation_is_monotone(costs in proptest::collection::vec(1u64..10_000, 1..64)) {
         let mut gds = GreedyDualSize::new();
         for (i, &cost) in costs.iter().enumerate() {
-            gds.on_insert((DocumentId(i as u64), UserId(1)), 100, cost as f64);
+            gds.on_insert((DocumentId(i as u64), UserId(1)), &EntryAttrs::new(100, cost as f64));
         }
         let mut last = gds.inflation();
         while gds.evict().is_some() {
@@ -129,7 +131,7 @@ proptest! {
     fn gds_pure_insert_evicts_cheapest_first(costs in proptest::collection::vec(1u64..1_000_000, 1..40)) {
         let mut gds = GreedyDualSize::new();
         for (i, &cost) in costs.iter().enumerate() {
-            gds.on_insert((DocumentId(i as u64), UserId(1)), 64, cost as f64);
+            gds.on_insert((DocumentId(i as u64), UserId(1)), &EntryAttrs::new(64, cost as f64));
         }
         let mut evicted_costs = Vec::new();
         while let Some((DocumentId(i), _)) = gds.evict() {

@@ -5,9 +5,9 @@
 use bytes::Bytes;
 use placeless_cache::digest::{md5, Md5};
 use placeless_core::cacheability::{aggregate, Cacheability};
-use placeless_core::streams::{read_all, InputStream, MemoryInput, TransformingInput};
 use placeless_core::content::Params;
 use placeless_core::profile::{format_profile, parse_profile, PropertySpec};
+use placeless_core::streams::{read_all, InputStream, MemoryInput, TransformingInput};
 use placeless_properties::compress::{rle_compress, rle_decompress};
 use placeless_proplang::{parse, run, ExtEnv};
 use proptest::prelude::*;

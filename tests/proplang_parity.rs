@@ -43,7 +43,8 @@ impl ActiveProperty for CompiledShout {
     }
 }
 
-const SCRIPT: &str = "@cost(700)\n@cacheable(events)\nreplace(\"teh\", \"the\") | upper | append(\"!\")";
+const SCRIPT: &str =
+    "@cost(700)\n@cacheable(events)\nreplace(\"teh\", \"the\") | upper | append(\"!\")";
 
 fn space_with(content: &str) -> (Arc<DocumentSpace>, DocumentId) {
     let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
@@ -97,7 +98,9 @@ fn identical_cache_behaviour() {
         let (space, doc) = space_with("content");
         if scripted {
             let prop = ScriptProperty::compile("shout", SCRIPT, ExtEnv::new()).unwrap();
-            space.attach_active(Scope::Personal(USER), doc, prop).unwrap();
+            space
+                .attach_active(Scope::Personal(USER), doc, prop)
+                .unwrap();
         } else {
             space
                 .attach_active(Scope::Personal(USER), doc, Arc::new(CompiledShout))
@@ -131,7 +134,9 @@ fn scripted_properties_can_be_shipped_as_plain_strings() {
             Scope::Personal(USER),
             doc,
             "proplang",
-            &Params::new().with("name", "wrap").with("source", over_the_wire),
+            &Params::new()
+                .with("name", "wrap")
+                .with("source", over_the_wire),
         )
         .unwrap();
     let (bytes, _) = space.read_document(USER, doc).unwrap();

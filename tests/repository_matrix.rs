@@ -71,7 +71,11 @@ fn web_revalidation_has_no_blind_spot() {
     );
     assert_eq!(cache.read(USER, doc).unwrap(), "v1");
     server.edit_origin("/p", "v2").unwrap();
-    assert_eq!(cache.read(USER, doc).unwrap(), "v2", "caught inside the TTL");
+    assert_eq!(
+        cache.read(USER, doc).unwrap(),
+        "v2",
+        "caught inside the TTL"
+    );
     assert_eq!(cache.stats().verifier_invalidations, 1);
 }
 

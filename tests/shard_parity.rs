@@ -1,0 +1,112 @@
+//! Parity test: the sharded cache in single-shard mode must reproduce the
+//! seed (global-lock) cache's single-threaded statistics exactly.
+//!
+//! The expected values below were captured by running this exact workload
+//! against the pre-sharding implementation; any drift means the refactor
+//! changed observable behaviour, not just concurrency.
+
+use placeless::prelude::*;
+use placeless_cache::{CacheStats, PrefetchConfig};
+use placeless_simenv::trace::WorkloadBuilder;
+use placeless_simenv::LatencyModel;
+use std::sync::Arc;
+
+struct World {
+    space: Arc<DocumentSpace>,
+    docs: Vec<DocumentId>,
+    users: Vec<UserId>,
+    cache: Arc<DocumentCache>,
+}
+
+fn build() -> World {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::new(100, 10));
+    register_standard(space.registry());
+
+    let fs = MemFs::new(clock.clone());
+    let users: Vec<UserId> = (1..=3).map(UserId).collect();
+    let mut docs = Vec::new();
+    for i in 0..40 {
+        let path = format!("/doc-{i}");
+        fs.create(&path, format!("document {i}: {}", "word ".repeat(i % 13)));
+        let provider = FsProvider::new(fs.clone(), &path, Link::new(500, 2_000_000, 0.0, i as u64));
+        let doc = space.create_document(users[0], provider);
+        space
+            .attach_active(Scope::Universal, doc, ContentWriteNotifier::any())
+            .unwrap();
+        docs.push(doc);
+    }
+    for &user in &users {
+        for &doc in &docs {
+            space.add_reference(user, doc).unwrap();
+        }
+    }
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig {
+            capacity_bytes: 512,
+            prefetch: PrefetchConfig::up_to(2),
+            local_latency: LatencyModel::FREE,
+            // Single-shard mode must reproduce the original global-lock
+            // cache's statistics bit for bit; this test pins them.
+            shards: 1,
+            ..CacheConfig::default()
+        },
+    );
+    World {
+        space,
+        docs,
+        users,
+        cache,
+    }
+}
+
+fn run_workload() -> (u64, CacheStats, u64) {
+    let world = build();
+    let events = WorkloadBuilder::new(42)
+        .users(world.users.len())
+        .documents(world.docs.len())
+        .zipf_theta(0.8)
+        .write_fraction(0.1)
+        .events(1_200)
+        .mean_think_micros(0)
+        .build();
+    for (i, event) in events.iter().enumerate() {
+        let user = world.users[event.user];
+        let doc = world.docs[event.doc];
+        if event.is_write {
+            world
+                .cache
+                .write(user, doc, format!("rev {i} by {user}").as_bytes())
+                .unwrap();
+        } else {
+            world.cache.read(user, doc).unwrap();
+        }
+    }
+    let (physical, _) = world.cache.resident_bytes();
+    (
+        world.space.clock().now().as_micros(),
+        world.cache.stats(),
+        physical,
+    )
+}
+
+#[test]
+fn single_shard_reproduces_seed_stats() {
+    let (clock_end, stats, physical) = run_workload();
+    assert_eq!(clock_end, 754_425);
+    assert_eq!(stats.hits, 493);
+    assert_eq!(stats.misses, 579);
+    assert_eq!(stats.evictions, 341);
+    assert_eq!(stats.writes, 128);
+    assert_eq!(stats.notifier_invalidations, 197);
+    assert_eq!(stats.verifier_invalidations, 0);
+    assert_eq!(stats.shared_fills, 254);
+    assert_eq!(stats.uncacheable_reads, 0);
+    assert_eq!(physical, 470);
+}
+
+#[test]
+fn workload_runs_are_identical() {
+    assert_eq!(run_workload(), run_workload());
+}

@@ -1,0 +1,204 @@
+//! Stress test for the sharded cache: eight threads hammer one cache with
+//! a mixed read/write/invalidate workload over ~200 documents while the
+//! byte budget is tight enough to keep the eviction path hot.
+//!
+//! The invariants checked are the ones a lock-striping bug would break:
+//!
+//! * the run completes (no deadlock between shard locks, stripe locks,
+//!   and bus-driven re-entry);
+//! * every read is accounted exactly once:
+//!   `hits + misses + uncacheable_reads == issued reads`;
+//! * physical residency never exceeds the budget, *including while the
+//!   threads are still running* — the reserve-before-publish fill path
+//!   must hold under contention, not just at quiescence.
+
+use crossbeam::thread;
+use placeless::prelude::*;
+use placeless_simenv::LatencyModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const THREADS: u64 = 8;
+const CACHEABLE_DOCS: usize = 200;
+const UNCACHEABLE_DOCS: usize = 8;
+const OPS_PER_THREAD: u64 = 400;
+const CAPACITY: u64 = 1_024;
+
+/// Deterministic per-thread RNG (xorshift64*), so failures reproduce.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn build_world() -> (Arc<DocumentSpace>, Arc<DocumentCache>, Vec<DocumentId>) {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let mut docs = Vec::new();
+    for i in 0..CACHEABLE_DOCS + UNCACHEABLE_DOCS {
+        // Distinct bodies so signature sharing cannot hide eviction
+        // pressure; ~26–38 bytes each against a 1 KiB budget.
+        let provider = MemoryProvider::new(
+            &format!("doc{i}"),
+            format!("document {i} body {}", "x".repeat(i % 13)),
+            100,
+        );
+        let doc = space.create_document(UserId(1), provider);
+        for user in 2..=THREADS {
+            space.add_reference(UserId(user), doc).unwrap();
+        }
+        space
+            .attach_active(Scope::Universal, doc, ContentWriteNotifier::any())
+            .unwrap();
+        if i >= CACHEABLE_DOCS {
+            space
+                .attach_active(Scope::Universal, doc, UncacheableMarker::new())
+                .unwrap();
+        }
+        docs.push(doc);
+    }
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig::builder()
+            .capacity_bytes(CAPACITY)
+            .local_latency(LatencyModel::FREE)
+            .shards(8)
+            .build(),
+    );
+    (space, cache, docs)
+}
+
+#[test]
+fn stress_mixed_ops_hold_invariants() {
+    let (space, cache, docs) = build_world();
+    let issued_reads = AtomicU64::new(0);
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let space = &space;
+            let docs = &docs;
+            let issued_reads = &issued_reads;
+            scope.spawn(move |_| {
+                let user = UserId(t + 1);
+                let mut rng = Rng(0x9E37_79B9 + t);
+                for _ in 0..OPS_PER_THREAD {
+                    let roll = rng.next() % 100;
+                    if roll < 80 {
+                        // Read a cacheable document (Zipf-ish: favor the
+                        // low indices so shards see real hit traffic).
+                        let r = rng.next();
+                        let doc = docs[if r.is_multiple_of(4) {
+                            (r / 4) as usize % CACHEABLE_DOCS
+                        } else {
+                            (r / 4) as usize % 16
+                        }];
+                        let bytes = cache.read(user, doc).unwrap();
+                        assert!(bytes.starts_with(b"document ") || bytes.starts_with(b"rev"));
+                        issued_reads.fetch_add(1, Ordering::Relaxed);
+                    } else if roll < 85 {
+                        // Read an uncacheable document.
+                        let doc = docs[CACHEABLE_DOCS + rng.next() as usize % UNCACHEABLE_DOCS];
+                        cache.read(user, doc).unwrap();
+                        issued_reads.fetch_add(1, Ordering::Relaxed);
+                    } else if roll < 95 {
+                        // Write through the cache (invalidates everywhere).
+                        let doc = docs[rng.next() as usize % CACHEABLE_DOCS];
+                        cache
+                            .write(user, doc, format!("rev{t} by {}", user.0).as_bytes())
+                            .unwrap();
+                    } else {
+                        // Out-of-band invalidation through the bus.
+                        let doc = docs[rng.next() as usize % CACHEABLE_DOCS];
+                        space.bus().post(Invalidation::Document(doc));
+                    }
+                    // The budget must hold *during* the run: fills reserve
+                    // room before publishing content.
+                    let (physical, logical) = cache.resident_bytes();
+                    assert!(
+                        physical <= CAPACITY,
+                        "budget overshot mid-run: {physical} > {CAPACITY}"
+                    );
+                    assert!(physical <= logical);
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let stats = cache.stats();
+    let issued = issued_reads.load(Ordering::Relaxed);
+    assert_eq!(
+        stats.hits + stats.misses + stats.uncacheable_reads,
+        issued,
+        "every read accounted exactly once: {stats:?}"
+    );
+    assert!(stats.uncacheable_reads > 0, "uncacheable docs were read");
+    assert!(stats.evictions > 0, "budget pressure forced evictions");
+    assert!(
+        stats.notifier_invalidations > 0,
+        "bus traffic reached the cache"
+    );
+    let (physical, _) = cache.resident_bytes();
+    assert!(physical <= CAPACITY, "budget holds at quiescence");
+    // The entry map and the content store agree after the dust settles.
+    assert!(!cache.is_empty());
+}
+
+#[test]
+fn stress_write_back_flush_races_with_readers() {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let mut docs = Vec::new();
+    for i in 0..32 {
+        let provider = MemoryProvider::new(&format!("wb{i}"), format!("original {i}"), 100);
+        let doc = space.create_document(UserId(1), provider);
+        for user in 2..=4 {
+            space.add_reference(UserId(user), doc).unwrap();
+        }
+        docs.push(doc);
+    }
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig::builder()
+            .capacity_bytes(4_096)
+            .write_mode(WriteMode::Back)
+            .local_latency(LatencyModel::FREE)
+            .shards(4)
+            .build(),
+    );
+    thread::scope(|scope| {
+        for t in 0..3u64 {
+            let cache = &cache;
+            let docs = &docs;
+            scope.spawn(move |_| {
+                let user = UserId(t + 2);
+                let mut rng = Rng(7 + t);
+                for round in 0..200 {
+                    let doc = docs[rng.next() as usize % docs.len()];
+                    if rng.next().is_multiple_of(4) {
+                        cache
+                            .write(user, doc, format!("w{t}r{round}").as_bytes())
+                            .unwrap();
+                    } else {
+                        cache.read(user, doc).unwrap();
+                    }
+                }
+            });
+        }
+        let cache = &cache;
+        scope.spawn(move |_| {
+            for _ in 0..20 {
+                cache.flush().unwrap();
+            }
+        });
+    })
+    .unwrap();
+    cache.flush().unwrap();
+    assert_eq!(cache.dirty_count(), 0, "final flush drained everything");
+    let stats = cache.stats();
+    assert!(stats.writes > 0);
+    assert!(stats.flushes > 0);
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function` /
+//! `benchmark_group`, `BenchmarkGroup::{throughput, bench_function,
+//! bench_with_input, finish}`, `Bencher::{iter, iter_with_setup}`,
+//! `BenchmarkId`, `Throughput`, and `black_box` — over a simple
+//! time-bounded runner that reports the median wall-clock time per
+//! iteration. No statistics, plots, or baseline comparisons.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets) each benchmark runs a single iteration so test runs
+//! stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark in normal (non `--test`) runs.
+const MEASURE_BUDGET: Duration = Duration::from_millis(120);
+/// Iteration cap per benchmark in normal runs.
+const MAX_ITERS: u32 = 60;
+
+/// Identifier for one parameterised benchmark case.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying just a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation; recorded but only echoed in output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating until the budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_with_setup(|| (), |()| routine());
+    }
+
+    /// Times `routine` with a fresh untimed `setup` product per iteration.
+    pub fn iter_with_setup<S, O, P, R>(&mut self, mut setup: P, mut routine: R)
+    where
+        P: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        let budget_start = Instant::now();
+        let max_iters = if self.quick { 1 } else { MAX_ITERS };
+        for _ in 0..max_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if !self.quick && budget_start.elapsed() >= MEASURE_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// Top-level benchmark registry / runner.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`.
+        let quick = std::env::args().any(|a| a == "--test");
+        Self { quick }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.quick, name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.quick, &label, self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion.quick, &label, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. Present for API compatibility.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    quick: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        quick,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let median = bencher.median();
+    let iters = bencher.samples.len();
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if median > Duration::ZERO => {
+            let mbps = bytes as f64 / median.as_secs_f64() / 1e6;
+            format!("  {mbps:.1} MB/s")
+        }
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let eps = n as f64 / median.as_secs_f64();
+            format!("  {eps:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<44} median {median:>12?} ({iters} iters){rate}");
+}
+
+/// Declares a benchmark group function runnable via [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut count = 0u32;
+        let mut criterion = Criterion { quick: true };
+        criterion.bench_function("probe", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut criterion = Criterion { quick: true };
+        let mut group = criterion.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        let data = vec![1u8; 16];
+        let mut touched = false;
+        group.bench_with_input(BenchmarkId::from_parameter(16), &data, |b, d| {
+            b.iter(|| {
+                touched = true;
+                d.len()
+            })
+        });
+        group.finish();
+        assert!(touched);
+    }
+
+    #[test]
+    fn iter_with_setup_separates_phases() {
+        let mut bencher = Bencher {
+            quick: true,
+            samples: Vec::new(),
+        };
+        bencher.iter_with_setup(|| vec![0u8; 8], |v| v.len());
+        assert_eq!(bencher.samples.len(), 1);
+    }
+}

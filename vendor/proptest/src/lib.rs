@@ -1,0 +1,654 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests use a modest slice of proptest: the
+//! `proptest!` macro, `prop_assert*`, `prop_oneof!`, `Just`, `any`,
+//! numeric-range strategies, tuple composition, `prop_map`,
+//! `collection::vec`, `sample::select`, and regex-string strategies. This
+//! crate implements exactly that slice over a deterministic xorshift RNG.
+//!
+//! Differences from real proptest, accepted for offline builds:
+//! * no shrinking — a failing case panics with the generated inputs
+//!   embedded in the assertion message only;
+//! * deterministic per-test seeding (test name + case index) instead of
+//!   OS entropy, so runs are reproducible by construction;
+//! * the regex-string strategy supports the subset of syntax the tests
+//!   use: literals, escapes, `[...]` classes with ranges, `\PC`
+//!   (printable char), and the `*`/`+`/`?`/`{m}`/`{m,n}` quantifiers.
+
+pub mod test_runner {
+    /// Run-time configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Creates a config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic xorshift64* generator used for case generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for `(test name, case index)`. The same pair
+        /// always produces the same stream.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let state = h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            Self { state }
+        }
+
+        /// Returns the next pseudo-random 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Returns a value uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Returns a value uniform in `[lo, hi)`; the range must be
+        /// non-empty.
+        pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.below(hi - lo)
+        }
+
+        /// Returns a float uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A value generator. The minimal analogue of proptest's `Strategy`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy (not `Send`; tests are single-threaded).
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union over `arms`; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value, with a bias toward edge values.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    // One case in eight is an edge value.
+                    if rng.below(8) == 0 {
+                        match rng.below(3) {
+                            0 => 0 as $ty,
+                            1 => <$ty>::MAX,
+                            _ => <$ty>::MIN,
+                        }
+                    } else {
+                        rng.next_u64() as $ty
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.below(2) == 0
+        }
+    }
+
+    /// Strategy for [`Arbitrary`] types; build with [`any`].
+    #[derive(Clone)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with a length drawn from `len`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.start < self.len.end {
+                rng.in_range(self.len.start as u64, self.len.end as u64) as usize
+            } else {
+                self.len.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy selecting uniformly from a fixed list.
+    #[derive(Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Picks uniformly from `options`; must be non-empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over an empty list");
+        Select { options }
+    }
+}
+
+mod string {
+    use super::test_runner::TestRng;
+
+    /// Cap for unbounded quantifiers (`*`, `+`).
+    const UNBOUNDED_CAP: u32 = 48;
+
+    /// Occasional non-ASCII characters emitted for `\PC`, exercising
+    /// UTF-8 handling in parsers under test.
+    const EXOTIC: [char; 8] = ['é', 'ß', 'Ω', 'λ', 'ю', '中', '☃', '🦀'];
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// A fixed character.
+        Literal(char),
+        /// A `[...]` class stored as inclusive ranges.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any printable character.
+        Printable,
+    }
+
+    fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> char {
+        match chars.next().expect("dangling escape in pattern") {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            c => c,
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated [ class in pattern");
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    break;
+                }
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().expect("checked above");
+                    let mut hi = chars.next().expect("dangling - in class");
+                    if hi == '\\' {
+                        hi = parse_escape(chars);
+                    }
+                    ranges.push((lo, hi));
+                }
+                '\\' => {
+                    if let Some(p) = pending.replace(parse_escape(chars)) {
+                        ranges.push((p, p));
+                    }
+                }
+                other => {
+                    if let Some(p) = pending.replace(other) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+        Atom::Class(ranges)
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Option<(u32, u32)> {
+        match chars.peek() {
+            Some('*') => {
+                chars.next();
+                Some((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                chars.next();
+                Some((1, UNBOUNDED_CAP))
+            }
+            Some('?') => {
+                chars.next();
+                Some((0, 1))
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} quantifier"),
+                        hi.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                };
+                Some((lo, hi))
+            }
+            _ => None,
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, u32, u32)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => parse_class(&mut chars),
+                '\\' => match chars.peek() {
+                    Some('P') => {
+                        chars.next();
+                        let cat = chars.next().expect("dangling \\P in pattern");
+                        assert_eq!(cat, 'C', "only \\PC is supported");
+                        Atom::Printable
+                    }
+                    _ => Atom::Literal(parse_escape(&mut chars)),
+                },
+                other => Atom::Literal(other),
+            };
+            let (lo, hi) = parse_quantifier(&mut chars).unwrap_or((1, 1));
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+
+    fn emit(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                let code = lo as u32 + rng.below(span as u64) as u32;
+                out.push(char::from_u32(code).unwrap_or(lo));
+            }
+            Atom::Printable => {
+                if rng.below(16) == 0 {
+                    out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                } else {
+                    out.push((0x20 + rng.below(0x5F) as u8) as char);
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse(pattern) {
+            let count = if lo == hi {
+                lo
+            } else {
+                rng.in_range(lo as u64, hi as u64 + 1) as u32
+            };
+            for _ in 0..count {
+                emit(&atom, rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use super::collection;
+    pub use super::sample;
+    pub use super::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body runs
+/// once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..256 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_select_compose() {
+        let mut rng = TestRng::for_case("compose", 0);
+        let strat = collection::vec(sample::select(vec!["a", "b"]), 2..5);
+        for _ in 0..64 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|s| *s == "a" || *s == "b"));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::for_case("oneof", 0);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..128 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn regex_strings_match_shape() {
+        let mut rng = TestRng::for_case("regex", 0);
+        for _ in 0..128 {
+            let s = "[a-z][a-z0-9-]{0,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 13);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            let t = "[ -~]{0,24}".generate(&mut rng);
+            assert!(t.len() <= 24 && t.chars().all(|c| (' '..='~').contains(&c)));
+            let u = "x\\n?y{2}".generate(&mut rng);
+            assert!(u == "xyy" || u == "x\nyy");
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let gen = || {
+            let mut rng = TestRng::for_case("pin", 7);
+            collection::vec(any::<u8>(), 0..64).generate(&mut rng)
+        };
+        assert_eq!(gen(), gen());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, bodies run per case.
+        #[test]
+        fn macro_binds_arguments(x in 0u8..8, ys in collection::vec(any::<bool>(), 1..4)) {
+            prop_assert!(x < 8);
+            prop_assert!(!ys.is_empty(), "len {}", ys.len());
+            prop_assert_eq!(ys.len(), ys.len());
+            prop_assert_ne!(ys.len(), 0);
+        }
+    }
+}
