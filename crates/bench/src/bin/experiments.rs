@@ -8,11 +8,11 @@
 //!
 //! Experiments: `table1`, `notifier-verifier`, `replacement`, `sharing`,
 //! `consistency`, `qos`, `collections`, `chain`, `placement`,
-//! `revalidation`, `scale`.
+//! `revalidation`, `scale`, `fault`.
 
 use placeless_bench::{
-    chain, collections, consistency, nv, placement, qos, replacement, revalidation, scale, sharing,
-    table1,
+    chain, collections, consistency, fault, nv, placement, qos, replacement, revalidation, scale,
+    sharing, table1,
 };
 use placeless_cache::ALL_POLICIES;
 
@@ -54,6 +54,39 @@ fn main() {
     if want("scale") {
         run_scale();
     }
+    if want("fault") {
+        run_fault();
+    }
+}
+
+fn run_fault() {
+    println!("== E-FAULT: read availability across a scripted origin outage ==\n");
+    let params = fault::FaultParams::default();
+    println!(
+        "outage: [{:.1}s, {:.1}s) of a {:.1}s timeline, {} docs, {} reads\n",
+        params.outage_from as f64 / 1e6,
+        params.outage_until as f64 / 1e6,
+        (params.reads * params.read_gap_micros) as f64 / 1e6,
+        params.docs,
+        params.reads
+    );
+    println!(
+        "{:<15} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "mode", "availability", "failed", "retries", "trips", "stale", "misses"
+    );
+    for r in fault::sweep(params) {
+        println!(
+            "{:<15} {:>11.1}% {:>8} {:>8} {:>8} {:>8} {:>8}",
+            r.mode.label(),
+            r.availability() * 100.0,
+            r.failed,
+            r.stats.retries,
+            r.stats.breaker_trips,
+            r.stats.stale_served,
+            r.stats.misses
+        );
+    }
+    println!();
 }
 
 fn run_scale() {

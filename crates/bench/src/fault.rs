@@ -1,0 +1,258 @@
+//! Experiment **E-FAULT**: read availability under origin outages.
+//!
+//! A file origin goes dark for a scripted window
+//! ([`placeless_simenv::FaultPlan`]) while an application keeps reading a
+//! working set it had already cached. Three cache configurations face the
+//! same fault schedule:
+//!
+//! * **off** — the seed cache: every fetch failure surfaces to the
+//!   application;
+//! * **breaker** — bounded retries plus a per-origin circuit breaker:
+//!   fewer doomed origin attempts, but reads still fail;
+//! * **breaker+stale** — the full pipeline: when the origin is
+//!   unreachable and the freshness probe is [`Validity::Unverifiable`],
+//!   resident entries within the staleness bound are served anyway.
+//!
+//! The headline metric is [`CacheStats::read_availability`]. The scenario
+//! is fully deterministic over the virtual clock: identical parameters
+//! produce identical statistics, which `tests/fault_matrix.rs` asserts.
+//!
+//! [`Validity::Unverifiable`]: placeless_core::verifier::Validity::Unverifiable
+//! [`CacheStats::read_availability`]: placeless_cache::CacheStats::read_availability
+
+use placeless_cache::{
+    BreakerConfig, CacheConfig, CacheStats, DocumentCache, ResilienceConfig, StalenessBound,
+};
+use placeless_core::id::{DocumentId, UserId};
+use placeless_core::space::DocumentSpace;
+use placeless_repository::{FsProvider, MemFs};
+use placeless_simenv::{FaultPlan, LatencyModel, Link, VirtualClock};
+
+/// Which resilience mechanisms the cache under test enables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResilienceMode {
+    /// Seed behaviour: fail fast, no degradation.
+    Off,
+    /// Retries + per-origin circuit breaker; no stale service.
+    Breaker,
+    /// Retries + breaker + serve-stale within a generous bound.
+    BreakerAndStale,
+}
+
+impl ResilienceMode {
+    /// All modes, in presentation order.
+    pub const ALL: [ResilienceMode; 3] = [
+        ResilienceMode::Off,
+        ResilienceMode::Breaker,
+        ResilienceMode::BreakerAndStale,
+    ];
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResilienceMode::Off => "off",
+            ResilienceMode::Breaker => "breaker",
+            ResilienceMode::BreakerAndStale => "breaker+stale",
+        }
+    }
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultParams {
+    /// Documents in the working set (all on the one faulted origin).
+    pub docs: u64,
+    /// Reads issued after the warm-up pass, spread over the timeline.
+    pub reads: u64,
+    /// Virtual time between consecutive reads, in µs.
+    pub read_gap_micros: u64,
+    /// Outage window start (virtual µs).
+    pub outage_from: u64,
+    /// Outage window end (exclusive, virtual µs).
+    pub outage_until: u64,
+    /// Seed for the fault plan and retry jitter.
+    pub seed: u64,
+}
+
+impl Default for FaultParams {
+    fn default() -> Self {
+        Self {
+            docs: 8,
+            reads: 400,
+            read_gap_micros: 5_000,
+            // The middle half of the 2-second timeline is dark.
+            outage_from: 500_000,
+            outage_until: 1_500_000,
+            seed: 7,
+        }
+    }
+}
+
+/// One mode's outcome under the shared fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultResult {
+    /// The configuration measured.
+    pub mode: ResilienceMode,
+    /// Reads that returned bytes.
+    pub served: u64,
+    /// Reads that surfaced an error to the application.
+    pub failed: u64,
+    /// Full counter snapshot (retries, breaker trips, stale serves…).
+    pub stats: CacheStats,
+}
+
+impl FaultResult {
+    /// Fraction of reads that returned bytes.
+    pub fn availability(&self) -> f64 {
+        if self.served + self.failed == 0 {
+            return 1.0;
+        }
+        self.served as f64 / (self.served + self.failed) as f64
+    }
+}
+
+fn config_for(mode: ResilienceMode, params: &FaultParams) -> ResilienceConfig {
+    let retries = ResilienceConfig::builder()
+        .max_retries(2)
+        .backoff_base_micros(500)
+        .backoff_jitter_frac(64)
+        .retry_seed(params.seed)
+        .breaker(BreakerConfig {
+            failure_threshold: 3,
+            open_micros: 50_000,
+            half_open_probes: 1,
+        });
+    match mode {
+        ResilienceMode::Off => ResilienceConfig::default(),
+        ResilienceMode::Breaker => retries.build(),
+        ResilienceMode::BreakerAndStale => retries
+            // Entries are warmed just before t=0 and the outage ends well
+            // inside the timeline, so this bound always covers the window.
+            .serve_stale(StalenessBound::micros(
+                params.outage_until + params.read_gap_micros,
+            ))
+            .build(),
+    }
+}
+
+/// Runs one mode against the scripted outage and returns its outcome.
+pub fn run_one(mode: ResilienceMode, params: FaultParams) -> FaultResult {
+    let user = UserId(1);
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    let link = Link::new(1_000, 10_000_000, 0.0, params.seed);
+    link.set_fault_plan(
+        FaultPlan::builder(params.seed)
+            .outage(params.outage_from, params.outage_until)
+            .build(),
+    );
+    let mut docs: Vec<DocumentId> = Vec::new();
+    for i in 0..params.docs {
+        let path = format!("/srv/doc-{i}");
+        fs.create(&path, format!("document {i} body"));
+        docs.push(space.create_document(user, FsProvider::new(fs.clone(), &path, link.clone())));
+    }
+
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .shards(1)
+            .resilience(config_for(mode, &params))
+            .build(),
+    );
+
+    // Warm pass: every document is resident before the clock reaches the
+    // outage (provider fetches advance the clock by link RTT only).
+    for &doc in &docs {
+        let _ = cache.read(user, doc);
+    }
+
+    let mut served = 0;
+    let mut failed = 0;
+    for i in 0..params.reads {
+        // Pin each read to its slot on the timeline; retries/backoff may
+        // have advanced the clock past the slot, in which case the read
+        // happens "late", exactly as a real client's would.
+        let slot = placeless_simenv::Instant(i * params.read_gap_micros);
+        if clock.now() < slot {
+            clock.advance_to(slot);
+        }
+        let doc = docs[(i % params.docs) as usize];
+        match cache.read(user, doc) {
+            Ok(_) => served += 1,
+            Err(_) => failed += 1,
+        }
+    }
+
+    FaultResult {
+        mode,
+        served,
+        failed,
+        stats: cache.stats(),
+    }
+}
+
+/// Runs every mode against the same schedule.
+pub fn sweep(params: FaultParams) -> Vec<FaultResult> {
+    ResilienceMode::ALL
+        .iter()
+        .map(|&mode| run_one(mode, params))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_degrades_the_unprotected_cache() {
+        let result = run_one(ResilienceMode::Off, FaultParams::default());
+        assert!(result.failed > 0, "the outage must be visible");
+        assert!(result.availability() < 1.0);
+        assert_eq!(result.stats.stale_served, 0);
+        assert_eq!(result.stats.retries, 0);
+    }
+
+    #[test]
+    fn serve_stale_masks_the_outage() {
+        let result = run_one(ResilienceMode::BreakerAndStale, FaultParams::default());
+        assert_eq!(result.failed, 0, "every read inside the bound is served");
+        assert!(result.stats.stale_served > 0);
+        assert!(result.stats.breaker_trips >= 1);
+    }
+
+    #[test]
+    fn modes_rank_by_availability() {
+        let results = sweep(FaultParams::default());
+        let avail: Vec<f64> = results.iter().map(FaultResult::availability).collect();
+        assert!(
+            avail[2] > avail[0],
+            "breaker+stale {} must beat off {}",
+            avail[2],
+            avail[0]
+        );
+        assert!(avail[2] >= avail[1]);
+    }
+
+    #[test]
+    fn breaker_cuts_origin_attempts() {
+        let breaker = run_one(ResilienceMode::Breaker, FaultParams::default());
+        assert!(breaker.stats.breaker_trips >= 1);
+        // Once open, fetches fast-fail without consuming retries.
+        let unprotected_failures = run_one(ResilienceMode::Off, FaultParams::default()).failed;
+        assert!(breaker.failed <= unprotected_failures + breaker.stats.retries);
+    }
+
+    #[test]
+    fn identical_params_identical_stats() {
+        let params = FaultParams::default();
+        for mode in ResilienceMode::ALL {
+            let a = run_one(mode, params);
+            let b = run_one(mode, params);
+            assert_eq!(a.stats, b.stats, "{mode:?} must replay exactly");
+            assert_eq!((a.served, a.failed), (b.served, b.failed));
+        }
+    }
+}

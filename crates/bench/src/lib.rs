@@ -17,10 +17,12 @@
 //! | [`placement`] | app-level vs server-side cache placement | §4 |
 //! | [`revalidation`] | TTL vs conditional-GET verifiers for web docs | §3 WWW discussion |
 //! | [`scale`] | sharded-cache read-throughput scaling (wall-clock) | §4 implementation |
+//! | [`fault`] | read availability under origin outages | §3 robustness ablation |
 
 pub mod chain;
 pub mod collections;
 pub mod consistency;
+pub mod fault;
 pub mod nv;
 pub mod placement;
 pub mod qos;

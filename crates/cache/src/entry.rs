@@ -27,6 +27,11 @@ pub struct EntryMeta {
     pub pinned: bool,
     /// Whether the entry was filled by a prefetch rather than a miss.
     pub prefetched: bool,
+    /// Set when a dropped invalidation may have covered this entry: the
+    /// notifier guarantee is void, so verifiers must run on the next hit
+    /// even if the cache normally skips them. Cleared once a verification
+    /// passes.
+    pub force_verify: bool,
 }
 
 impl EntryMeta {
@@ -47,6 +52,7 @@ impl EntryMeta {
             hits: 0,
             pinned: false,
             prefetched: false,
+            force_verify: false,
         }
     }
 

@@ -18,6 +18,10 @@
 //!   costs, plus LRU / LFU / SIZE / FIFO / GD(1) baselines; policies are
 //!   built per shard from a cloneable [`policy::PolicyFactory`] and fed
 //!   [`policy::EntryAttrs`] at insert time.
+//! * [`resilience::ResilienceConfig`] — the resilient-fetch policy:
+//!   bounded retries with deterministic backoff, per-origin circuit
+//!   breakers, and serve-stale degradation within a
+//!   [`resilience::StalenessBound`]; all off by default.
 //! * [`stats::CacheStats`] — the counters every experiment reports
 //!   (accumulated lock-free in [`stats::AtomicCacheStats`]).
 
@@ -27,6 +31,7 @@ pub mod keys;
 pub mod manager;
 pub mod policy;
 pub mod prefetch;
+pub mod resilience;
 pub mod stats;
 pub mod store;
 
@@ -38,5 +43,9 @@ pub use policy::{
     UnknownPolicy, ALL_POLICIES,
 };
 pub use prefetch::PrefetchConfig;
+pub use resilience::{
+    Admission, BreakerConfig, BreakerSet, BreakerState, ResilienceConfig, ResilienceConfigBuilder,
+    StalenessBound,
+};
 pub use stats::CacheStats;
 pub use store::ConcurrentStore;

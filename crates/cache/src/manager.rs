@@ -71,18 +71,20 @@
 use crate::entry::EntryMeta;
 use crate::policy::{EntryAttrs, EntryKey, PolicyFactory, ReplacementPolicy};
 use crate::prefetch::PrefetchConfig;
+use crate::resilience::{Admission, BackoffSchedule, BreakerSet, BreakerState, ResilienceConfig};
 use crate::stats::{AtomicCacheStats, CacheStats};
 use crate::store::{ConcurrentStore, NoRoom};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use placeless_core::cacheability::Cacheability;
-use placeless_core::error::Result;
+use placeless_core::error::{PlacelessError, Result};
 use placeless_core::event::EventKind;
 use placeless_core::id::{CacheId, DocumentId, UserId};
 use placeless_core::notifier::{Invalidation, InvalidationSink};
+use placeless_core::property::PathReport;
 use placeless_core::space::DocumentSpace;
 use placeless_core::verifier::{run_all, Validity};
-use placeless_simenv::{LatencyModel, Link, Stopwatch};
+use placeless_simenv::{Instant, LatencyModel, Link, Stopwatch, VirtualClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -133,6 +135,10 @@ pub struct CacheConfig {
     /// Number of lock shards; `0` means one per available CPU. `1`
     /// reproduces the original global-lock behaviour exactly.
     pub shards: usize,
+    /// Resilient-fetch policy: retries, circuit breakers, serve-stale
+    /// degradation. The default disables all of it, reproducing the
+    /// fail-fast behaviour exactly.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for CacheConfig {
@@ -146,6 +152,7 @@ impl Default for CacheConfig {
             prefetch: PrefetchConfig::OFF,
             access_link: None,
             shards: 0,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -224,6 +231,13 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Sets the resilient-fetch policy (retries, circuit breakers,
+    /// serve-stale degradation); see [`ResilienceConfig::builder`].
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.config.resilience = resilience;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> CacheConfig {
         self.config
@@ -254,6 +268,12 @@ pub struct DocumentCache {
     shards: Box<[Mutex<Shard>]>,
     store: ConcurrentStore,
     stats: AtomicCacheStats,
+    resilience: ResilienceConfig,
+    breakers: BreakerSet,
+    /// Highest invalidation-bus sequence number seen; `0` until the first
+    /// delivery. Gaps mean dropped notifications (see
+    /// [`DocumentCache::note_sequence`]).
+    last_seq: AtomicU64,
 }
 
 impl DocumentCache {
@@ -287,6 +307,9 @@ impl DocumentCache {
             shards,
             store: ConcurrentStore::new(),
             stats: AtomicCacheStats::default(),
+            resilience: config.resilience,
+            breakers: BreakerSet::new(),
+            last_seq: AtomicU64::new(0),
         });
         cache.space.bus().subscribe(Arc::new(CacheSink {
             cache: Arc::downgrade(&cache),
@@ -314,6 +337,13 @@ impl DocumentCache {
     /// quiescent; a moment-in-time approximation under concurrent load.
     pub fn stats(&self) -> CacheStats {
         self.stats.snapshot()
+    }
+
+    /// Returns the circuit-breaker state for an origin key (as reported
+    /// by [`placeless_core::bitprovider::BitProvider::origin_key`]);
+    /// `Closed` if the origin has never failed.
+    pub fn breaker_state(&self, origin: &str) -> BreakerState {
+        self.breakers.state(origin)
     }
 
     /// Returns the number of resident `(document, user)` entries.
@@ -406,6 +436,14 @@ impl DocumentCache {
             Dirty(Bytes),
             Serve(Bytes, bool),
             Miss,
+            /// The entry's freshness could not be checked (origin
+            /// unreachable): go to the origin for a fresh copy, keeping
+            /// these bytes as the stale-service candidate.
+            MissWithStale {
+                bytes: Bytes,
+                filled_at: Instant,
+                forward: bool,
+            },
         }
         let index = self.shard_index(key);
         let outcome = {
@@ -414,8 +452,11 @@ impl DocumentCache {
             if let Some(dirty) = shard.dirty.get(&key) {
                 Outcome::Dirty(dirty.clone())
             } else if shard.meta.contains_key(&key) {
-                let verdict = if self.run_verifiers {
-                    let meta = shard.meta.get(&key).expect("checked above");
+                let meta = shard.meta.get(&key).expect("checked above");
+                // `force_verify` (set after an invalidation gap) overrides
+                // a notifier-only configuration: the notifier guarantee is
+                // void for this entry until a verification passes.
+                let verdict = if self.run_verifiers || meta.force_verify {
                     let (verdict, probe_cost) = run_all(&meta.verifiers, &clock);
                     clock.advance(probe_cost);
                     AtomicCacheStats::add(&self.stats.verify_micros, probe_cost);
@@ -429,6 +470,7 @@ impl DocumentCache {
                         let bytes = self.store.get(sig).expect("binding implies content");
                         let meta = shard.meta.get_mut(&key).expect("checked above");
                         meta.hits += 1;
+                        meta.force_verify = false;
                         let was_prefetched = meta.prefetched;
                         let forward = meta.cacheability.requires_event_forwarding();
                         shard.policy.on_hit(key);
@@ -456,6 +498,7 @@ impl DocumentCache {
                             meta.size = size;
                             meta.filled_at = clock.now();
                             meta.hits += 1;
+                            meta.force_verify = false;
                             meta.cacheability.requires_event_forwarding()
                         };
                         shard.policy.on_hit(key);
@@ -473,13 +516,26 @@ impl DocumentCache {
                         AtomicCacheStats::bump(&self.stats.verifier_invalidations);
                         Outcome::Miss
                     }
+                    Validity::Unverifiable => {
+                        // Neither fresh nor refuted. Keep the entry; the
+                        // miss path decides whether the staleness bound
+                        // lets it stand in for an unreachable origin.
+                        let sig = *shard.sigs.get(&key).expect("meta implies content");
+                        let bytes = self.store.get(sig).expect("binding implies content");
+                        let meta = shard.meta.get(&key).expect("checked above");
+                        Outcome::MissWithStale {
+                            bytes,
+                            filled_at: meta.filled_at,
+                            forward: meta.cacheability.requires_event_forwarding(),
+                        }
+                    }
                 }
             } else {
                 Outcome::Miss
             }
         };
 
-        match outcome {
+        let stale = match outcome {
             Outcome::Dirty(bytes) => return Ok(bytes),
             Outcome::Serve(bytes, forward) => {
                 if forward {
@@ -492,13 +548,46 @@ impl DocumentCache {
                 }
                 return Ok(bytes);
             }
-            Outcome::Miss => {}
-        }
+            Outcome::Miss => None,
+            Outcome::MissWithStale {
+                bytes,
+                filled_at,
+                forward,
+            } => Some((bytes, filled_at, forward)),
+        };
 
         // Miss path: execute the full read path with no shard lock held —
         // the path may dispatch events that invalidate entries in this
         // cache (lock-order rule: no cache lock across middleware calls).
-        let (bytes, report) = self.space.read_document(user, doc)?;
+        let (bytes, report) = match self.fetch_with_resilience(user, doc, &clock) {
+            Ok(fetched) => fetched,
+            Err(error) if error.is_transient() => {
+                // Graceful degradation: within the staleness bound,
+                // resident bytes whose freshness is merely *unknown* may
+                // stand in for the unreachable origin. Verifier-rejected
+                // entries were dropped above and can never get here.
+                if let (Some(bound), Some((bytes, filled_at, forward))) =
+                    (self.resilience.serve_stale, stale)
+                {
+                    if bound.permits(filled_at, clock.now()) {
+                        AtomicCacheStats::bump(&self.stats.stale_served);
+                        self.local_latency.charge(&clock, bytes.len() as u64);
+                        if forward {
+                            self.space
+                                .post_cache_event(user, doc, EventKind::CacheRead)?;
+                            AtomicCacheStats::bump(&self.stats.events_forwarded);
+                        }
+                        if let Some(link) = &self.access_link {
+                            link.transfer(&clock, bytes.len() as u64);
+                        }
+                        return Ok(bytes);
+                    }
+                }
+                AtomicCacheStats::bump(&self.stats.degraded_errors);
+                return Err(error);
+            }
+            Err(error) => return Err(error),
+        };
         if report.cacheability == Cacheability::Uncacheable {
             AtomicCacheStats::bump(&self.stats.uncacheable_reads);
             return Ok(bytes);
@@ -516,6 +605,119 @@ impl DocumentCache {
             link.transfer(&clock, bytes.len() as u64);
         }
         Ok(bytes)
+    }
+
+    /// Executes the middleware read under the configured resilience
+    /// policy: circuit-breaker admission before every attempt, bounded
+    /// retries with deterministic exponential backoff charged to the
+    /// virtual clock, and an overall fetch deadline. With the no-op
+    /// default config this is exactly one plain read — bit-identical to
+    /// the pre-resilience cache.
+    ///
+    /// Runs with no cache lock held (the middleware path may re-enter
+    /// this cache through the invalidation bus).
+    fn fetch_with_resilience(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+        clock: &VirtualClock,
+    ) -> Result<(Bytes, PathReport)> {
+        if self.resilience.is_noop() {
+            return self.space.read_document(user, doc);
+        }
+        let origin = self
+            .space
+            .origin_of(doc)
+            .unwrap_or_else(|| format!("doc:{}", doc.0));
+        let started = clock.now();
+        let deadline = self.resilience.fetch_deadline_micros;
+        // Salting the jitter stream with the key keeps concurrent fetches
+        // from sharing one schedule while staying deterministic per key.
+        let mut backoff = BackoffSchedule::new(&self.resilience, doc.0 ^ user.0.rotate_left(32));
+        let mut attempt = 0u32;
+        loop {
+            if let Some(config) = &self.resilience.breaker {
+                if let Admission::Reject { retry_after } =
+                    self.breakers.admit(config, &origin, clock.now())
+                {
+                    // Fast-fail without contacting the origin at all.
+                    return Err(PlacelessError::Unavailable {
+                        source: origin,
+                        retry_after: Some(retry_after),
+                    });
+                }
+            }
+            match self.space.read_document(user, doc) {
+                Ok(fetched) => {
+                    if let Some(config) = &self.resilience.breaker {
+                        self.breakers.record_success(config, &origin);
+                    }
+                    return Ok(fetched);
+                }
+                Err(error) if error.is_transient() => {
+                    if let Some(config) = &self.resilience.breaker {
+                        if self.breakers.record_failure(config, &origin, clock.now()) {
+                            AtomicCacheStats::bump(&self.stats.breaker_trips);
+                        }
+                    }
+                    if attempt >= self.resilience.max_retries {
+                        return Err(error);
+                    }
+                    let delay = backoff.delay_micros(attempt);
+                    if let Some(budget) = deadline {
+                        // Don't start a backoff the deadline can't cover.
+                        if clock.now().since(started) + delay > budget {
+                            return Err(PlacelessError::Timeout {
+                                source: origin,
+                                elapsed_micros: clock.now().since(started),
+                            });
+                        }
+                    }
+                    clock.advance(delay);
+                    AtomicCacheStats::bump(&self.stats.retries);
+                    attempt += 1;
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
+    /// Records an invalidation-bus sequence number and reacts to gaps.
+    ///
+    /// Sequence numbers are dense over every bus post; a jump of more
+    /// than one means notifications were lost, and *any* resident entry
+    /// might have been covered by one of them. The notifier consistency
+    /// guarantee is void, so every entry is demoted to verifier
+    /// revalidation: entries with verifiers are flagged `force_verify`
+    /// (checked on their next hit even in notifier-only configurations),
+    /// and entries with no verifier — nothing could ever catch their
+    /// staleness — are dropped outright.
+    ///
+    /// The first delivery after subscribing (`prev == 0`) establishes the
+    /// baseline and is never treated as a gap.
+    fn note_sequence(&self, seq: u64) {
+        let prev = self.last_seq.swap(seq, Ordering::AcqRel);
+        if prev == 0 || seq <= prev + 1 {
+            return;
+        }
+        AtomicCacheStats::bump(&self.stats.notifier_gaps);
+        for mutex in self.shards.iter() {
+            let mut shard = mutex.lock();
+            let keys: Vec<EntryKey> = shard.meta.keys().copied().collect();
+            for key in keys {
+                let has_verifiers = shard
+                    .meta
+                    .get(&key)
+                    .is_some_and(|meta| !meta.verifiers.is_empty());
+                if has_verifiers {
+                    if let Some(meta) = shard.meta.get_mut(&key) {
+                        meta.force_verify = true;
+                    }
+                } else {
+                    Self::drop_entry(&mut shard, &self.store, key);
+                }
+            }
+        }
     }
 
     /// Inserts a filled entry, updating sharing stats, pinning, the
@@ -537,7 +739,7 @@ impl DocumentCache {
         shard: &mut Shard,
         key: EntryKey,
         bytes: Bytes,
-        report: placeless_core::property::PathReport,
+        report: PathReport,
         prefetched: bool,
     ) {
         let clock = self.space.clock();
@@ -780,6 +982,13 @@ impl InvalidationSink for CacheSink {
             cache.handle_invalidation(invalidation);
         }
     }
+
+    fn invalidate_seq(&self, seq: u64, invalidation: &Invalidation) {
+        if let Some(cache) = self.cache.upgrade() {
+            cache.note_sequence(seq);
+            cache.handle_invalidation(invalidation);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -813,8 +1022,14 @@ mod tests {
     fn miss_then_hit() {
         let (space, _provider, doc) = setup("content", 1_000);
         let cache = DocumentCache::new(space, quiet_config());
-        assert_eq!(cache.read(ALICE, doc).unwrap(), "content");
-        assert_eq!(cache.read(ALICE, doc).unwrap(), "content");
+        assert_eq!(
+            cache.read(ALICE, doc).expect("read must succeed"),
+            "content"
+        );
+        assert_eq!(
+            cache.read(ALICE, doc).expect("read must succeed"),
+            "content"
+        );
         let stats = cache.stats();
         assert_eq!((stats.misses, stats.hits), (1, 1));
         assert!(cache.contains(ALICE, doc));
@@ -826,10 +1041,10 @@ mod tests {
         let clock = space.clock().clone();
         let cache = DocumentCache::new(space, quiet_config());
         let t0 = clock.now();
-        cache.read(ALICE, doc).unwrap();
+        cache.read(ALICE, doc).expect("read must succeed");
         let miss_time = clock.now().since(t0);
         let t1 = clock.now();
-        cache.read(ALICE, doc).unwrap();
+        cache.read(ALICE, doc).expect("read must succeed");
         let hit_time = clock.now().since(t1);
         assert!(
             hit_time * 10 < miss_time,
@@ -841,10 +1056,10 @@ mod tests {
     fn verifier_catches_out_of_band_change() {
         let (space, provider, doc) = setup("v1", 100);
         let cache = DocumentCache::new(space, quiet_config());
-        assert_eq!(cache.read(ALICE, doc).unwrap(), "v1");
+        assert_eq!(cache.read(ALICE, doc).expect("read must succeed"), "v1");
         provider.set_out_of_band("v2");
         assert_eq!(
-            cache.read(ALICE, doc).unwrap(),
+            cache.read(ALICE, doc).expect("read must succeed"),
             "v2",
             "stale entry refilled"
         );
@@ -864,18 +1079,18 @@ mod tests {
                 ..CacheConfig::default()
             },
         );
-        cache.read(ALICE, doc).unwrap();
+        cache.read(ALICE, doc).expect("read must succeed");
         provider.set_out_of_band("v2");
         // Without verifiers (and no notifier for out-of-band changes) the
         // stale content is served — the consistency/latency trade-off.
-        assert_eq!(cache.read(ALICE, doc).unwrap(), "v1");
+        assert_eq!(cache.read(ALICE, doc).expect("read must succeed"), "v1");
     }
 
     #[test]
     fn bus_invalidation_drops_entries() {
         let (space, _provider, doc) = setup("v1", 100);
         let cache = DocumentCache::new(space.clone(), quiet_config());
-        cache.read(ALICE, doc).unwrap();
+        cache.read(ALICE, doc).expect("read must succeed");
         assert!(cache.contains(ALICE, doc));
         space.bus().post(Invalidation::Document(doc));
         assert!(!cache.contains(ALICE, doc));
@@ -885,10 +1100,12 @@ mod tests {
     #[test]
     fn user_scoped_invalidation_spares_others() {
         let (space, _provider, doc) = setup("v1", 100);
-        space.add_reference(BOB, doc).unwrap();
+        space
+            .add_reference(BOB, doc)
+            .expect("reference must attach");
         let cache = DocumentCache::new(space.clone(), quiet_config());
-        cache.read(ALICE, doc).unwrap();
-        cache.read(BOB, doc).unwrap();
+        cache.read(ALICE, doc).expect("read must succeed");
+        cache.read(BOB, doc).expect("read must succeed");
         space.bus().post(Invalidation::UserDocument(doc, ALICE));
         assert!(!cache.contains(ALICE, doc));
         assert!(cache.contains(BOB, doc));
@@ -897,10 +1114,12 @@ mod tests {
     #[test]
     fn identical_chains_share_bytes() {
         let (space, _provider, doc) = setup("shared content", 100);
-        space.add_reference(BOB, doc).unwrap();
+        space
+            .add_reference(BOB, doc)
+            .expect("reference must attach");
         let cache = DocumentCache::new(space, quiet_config());
-        cache.read(ALICE, doc).unwrap();
-        cache.read(BOB, doc).unwrap();
+        cache.read(ALICE, doc).expect("read must succeed");
+        cache.read(BOB, doc).expect("read must succeed");
         let (physical, logical) = cache.resident_bytes();
         assert_eq!(physical, 14);
         assert_eq!(logical, 28);
@@ -914,7 +1133,9 @@ mod tests {
         let (space, _provider, doc) = setup("cross-shard bytes", 100);
         let users: Vec<UserId> = (2..=9).map(UserId).collect();
         for &user in &users {
-            space.add_reference(user, doc).unwrap();
+            space
+                .add_reference(user, doc)
+                .expect("reference must attach");
         }
         let cache = DocumentCache::new(
             space,
@@ -924,9 +1145,9 @@ mod tests {
                 ..CacheConfig::default()
             },
         );
-        cache.read(ALICE, doc).unwrap();
+        cache.read(ALICE, doc).expect("read must succeed");
         for &user in &users {
-            cache.read(user, doc).unwrap();
+            cache.read(user, doc).expect("read must succeed");
         }
         let (physical, logical) = cache.resident_bytes();
         assert_eq!(physical, 17);
@@ -989,7 +1210,7 @@ mod tests {
             },
         );
         for &doc in &docs {
-            cache.read(ALICE, doc).unwrap();
+            cache.read(ALICE, doc).expect("read must succeed");
         }
         let (physical, _) = cache.resident_bytes();
         assert!(physical <= 350, "capacity respected, got {physical}");
@@ -1001,11 +1222,13 @@ mod tests {
     fn write_through_updates_source_and_invalidates() {
         let (space, provider, doc) = setup("old", 100);
         let cache = DocumentCache::new(space, quiet_config());
-        cache.read(ALICE, doc).unwrap();
-        cache.write(ALICE, doc, b"new").unwrap();
+        cache.read(ALICE, doc).expect("read must succeed");
+        cache
+            .write(ALICE, doc, b"new")
+            .expect("write-through must succeed");
         assert_eq!(provider.content(), "new");
         assert!(!cache.contains(ALICE, doc), "own entry invalidated");
-        assert_eq!(cache.read(ALICE, doc).unwrap(), "new");
+        assert_eq!(cache.read(ALICE, doc).expect("read must succeed"), "new");
     }
 
     #[test]
@@ -1019,12 +1242,17 @@ mod tests {
                 ..CacheConfig::default()
             },
         );
-        cache.write(ALICE, doc, b"buffered").unwrap();
+        cache
+            .write(ALICE, doc, b"buffered")
+            .expect("write-back must buffer");
         assert_eq!(provider.content(), "old", "not yet flushed");
         assert_eq!(cache.dirty_count(), 1);
         // The writer reads their own buffered data.
-        assert_eq!(cache.read(ALICE, doc).unwrap(), "buffered");
-        cache.flush().unwrap();
+        assert_eq!(
+            cache.read(ALICE, doc).expect("read must succeed"),
+            "buffered"
+        );
+        cache.flush().expect("flush must push every dirty entry");
         assert_eq!(provider.content(), "buffered");
         assert_eq!(cache.dirty_count(), 0);
         assert_eq!(cache.stats().flushes, 1);
@@ -1063,8 +1291,8 @@ mod tests {
         let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
         let doc = space.create_document(ALICE, Arc::new(LiveProvider));
         let cache = DocumentCache::new(space, quiet_config());
-        let a = cache.read(ALICE, doc).unwrap();
-        let b = cache.read(ALICE, doc).unwrap();
+        let a = cache.read(ALICE, doc).expect("read must succeed");
+        let b = cache.read(ALICE, doc).expect("read must succeed");
         assert_ne!(a, b, "every read reaches the live source");
         assert!(cache.is_empty());
         assert_eq!(cache.stats().uncacheable_reads, 2);
@@ -1076,14 +1304,14 @@ mod tests {
         let (space, _provider, doc) = setup("abcdef", 10_000);
         let clock = space.clock().clone();
         let cache = DocumentCache::new(space, quiet_config());
-        cache.read(ALICE, doc).unwrap();
-        cache.read(ALICE, doc).unwrap();
-        cache.read(ALICE, doc).unwrap();
+        cache.read(ALICE, doc).expect("read must succeed");
+        cache.read(ALICE, doc).expect("read must succeed");
+        cache.read(ALICE, doc).expect("read must succeed");
         let stats = cache.stats();
         // The provider's mtime verifier costs 2 µs per hit.
         assert_eq!(stats.verify_micros, 4);
-        assert!(stats.mean_miss_ms().unwrap() >= 10.0);
-        assert!(stats.mean_hit_ms().unwrap() < 1.0);
+        assert!(stats.mean_miss_ms().expect("misses were recorded") >= 10.0);
+        assert!(stats.mean_hit_ms().expect("hits were recorded") < 1.0);
         assert!(clock.now().as_micros() >= 10_000);
     }
 
@@ -1091,8 +1319,12 @@ mod tests {
     fn writes_are_counted_per_mode() {
         let (space, _provider, doc) = setup("x", 0);
         let through = DocumentCache::new(space.clone(), quiet_config());
-        through.write(ALICE, doc, b"a").unwrap();
-        through.write(ALICE, doc, b"b").unwrap();
+        through
+            .write(ALICE, doc, b"a")
+            .expect("write-through must succeed");
+        through
+            .write(ALICE, doc, b"b")
+            .expect("write-through must succeed");
         assert_eq!(through.stats().writes, 2);
         assert_eq!(through.stats().flushes, 0);
 
@@ -1104,9 +1336,11 @@ mod tests {
                 ..CacheConfig::default()
             },
         );
-        back.write(ALICE, doc, b"c").unwrap();
-        back.write(ALICE, doc, b"d").unwrap();
-        back.flush().unwrap();
+        back.write(ALICE, doc, b"c")
+            .expect("write-back must buffer");
+        back.write(ALICE, doc, b"d")
+            .expect("write-back must buffer");
+        back.flush().expect("flush must push every dirty entry");
         let stats = back.stats();
         assert_eq!(stats.writes, 2);
         assert_eq!(stats.flushes, 1, "coalesced into one flush");
@@ -1150,11 +1384,11 @@ mod tests {
                     reads: reads.clone(),
                 }),
             )
-            .unwrap();
+            .expect("property must attach to an existing document");
         let cache = DocumentCache::new(space, quiet_config());
-        cache.read(ALICE, doc).unwrap(); // miss: wrap_input counts 1
-        cache.read(ALICE, doc).unwrap(); // hit: forwarded event counts 1
-        cache.read(ALICE, doc).unwrap(); // hit: forwarded event counts 1
+        cache.read(ALICE, doc).expect("read must succeed"); // miss: wrap_input counts 1
+        cache.read(ALICE, doc).expect("read must succeed"); // hit: forwarded event counts 1
+        cache.read(ALICE, doc).expect("read must succeed"); // hit: forwarded event counts 1
         assert_eq!(*reads.lock(), 3, "audit saw every read despite caching");
         assert_eq!(cache.stats().events_forwarded, 2);
         assert_eq!(cache.stats().hits, 2);
@@ -1165,7 +1399,7 @@ mod tests {
         let config = CacheConfig::builder()
             .capacity_bytes(4_096)
             .policy_name("LFU")
-            .unwrap()
+            .expect("LFU is a known policy")
             .run_verifiers(false)
             .write_mode(WriteMode::Back)
             .local_latency(LatencyModel::FREE)
@@ -1183,8 +1417,14 @@ mod tests {
         let (space, _provider, doc) = setup("built", 100);
         let cache = DocumentCache::new(space, config);
         assert_eq!(cache.shard_count(), 2);
-        cache.write(ALICE, doc, b"dirty").unwrap();
-        assert_eq!(cache.read(ALICE, doc).unwrap(), "dirty", "write-back took");
+        cache
+            .write(ALICE, doc, b"dirty")
+            .expect("write-back must buffer");
+        assert_eq!(
+            cache.read(ALICE, doc).expect("read must succeed"),
+            "dirty",
+            "write-back took"
+        );
     }
 
     #[test]
@@ -1216,8 +1456,8 @@ mod tests {
                 },
             );
             for &doc in &docs {
-                cache.read(ALICE, doc).unwrap();
-                cache.read(ALICE, doc).unwrap();
+                cache.read(ALICE, doc).expect("read must succeed");
+                cache.read(ALICE, doc).expect("read must succeed");
             }
             space.bus().post(Invalidation::Document(docs[0]));
             let stats = cache.stats();

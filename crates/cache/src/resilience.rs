@@ -1,0 +1,555 @@
+//! Resilient fetch policy: retries, circuit breakers, serve-stale bounds.
+//!
+//! The paper's cache assumes the middleware answers every read. Under the
+//! fault plans scripted by `placeless_simenv::fault`, it doesn't — so the
+//! cache needs a policy for *transient* failures ([`PlacelessError::
+//! is_transient`]): how many times to retry, how long to back off, when to
+//! stop contacting a dead origin altogether, and whether a resident-but-
+//! unverifiable entry may be served anyway.
+//!
+//! Everything here is deterministic over the virtual clock. Backoff jitter
+//! comes from a seeded [`SimRng`], delays are charged with
+//! `clock.advance`, and breaker state transitions key off `clock.now()` —
+//! two runs with the same seed produce byte-identical schedules and
+//! [`crate::stats::CacheStats`].
+//!
+//! The default [`ResilienceConfig`] disables every mechanism, so a cache
+//! built without [`crate::manager::CacheConfigBuilder::resilience`] behaves
+//! exactly as it did before this module existed.
+
+use parking_lot::Mutex;
+use placeless_simenv::{Instant, SimRng};
+use std::collections::HashMap;
+
+/// How long a resident entry may be served past a failed freshness check.
+///
+/// Age is measured from the entry's fill time. `StalenessBound::ZERO`
+/// permits nothing; use [`StalenessBound::micros`] for a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalenessBound {
+    /// Maximum entry age, in virtual microseconds, at which stale service
+    /// is still acceptable.
+    pub max_age_micros: u64,
+}
+
+impl StalenessBound {
+    /// No stale service at all.
+    pub const ZERO: Self = Self { max_age_micros: 0 };
+
+    /// Allows serving entries up to `max_age_micros` old.
+    pub fn micros(max_age_micros: u64) -> Self {
+        Self { max_age_micros }
+    }
+
+    /// Returns `true` if an entry filled at `filled_at` may still be
+    /// served at `now`.
+    pub fn permits(&self, filled_at: Instant, now: Instant) -> bool {
+        now.as_micros().saturating_sub(filled_at.as_micros()) <= self.max_age_micros
+    }
+}
+
+/// Per-origin circuit breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long (virtual µs) an open breaker rejects without probing.
+    pub open_micros: u64,
+    /// Successful half-open probes required to close again.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            open_micros: 500_000,
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// The resilient-fetch policy attached to a cache.
+///
+/// Built with [`ResilienceConfig::builder`]; the [`Default`] turns every
+/// mechanism off (no retries, no breaker, no stale service, no deadline).
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Retries after the first failed fetch attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff before retry *n* is `backoff_base_micros << n`.
+    pub backoff_base_micros: u64,
+    /// Jitter added per backoff, as a fraction of the base delay in
+    /// 1/256ths (e.g. 64 ≈ ±25 %). Sampled from the seeded RNG.
+    pub backoff_jitter_frac: u8,
+    /// Seed for the backoff-jitter RNG; same seed → same schedule.
+    pub retry_seed: u64,
+    /// Total virtual-time budget for one fetch including backoffs, or
+    /// `None` for unbounded. Exceeding it aborts with `Timeout`.
+    pub fetch_deadline_micros: Option<u64>,
+    /// Per-origin circuit breaker, or `None` to always contact origins.
+    pub breaker: Option<BreakerConfig>,
+    /// Stale-service window, or `None` to never serve unverified bytes.
+    pub serve_stale: Option<StalenessBound>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_base_micros: 1_000,
+            backoff_jitter_frac: 0,
+            retry_seed: 0,
+            fetch_deadline_micros: None,
+            breaker: None,
+            serve_stale: None,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Starts a builder with everything disabled.
+    pub fn builder() -> ResilienceConfigBuilder {
+        ResilienceConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Returns `true` if no mechanism is enabled — the cache can skip the
+    /// resilience machinery entirely and behave exactly as the seed did.
+    pub fn is_noop(&self) -> bool {
+        self.max_retries == 0
+            && self.fetch_deadline_micros.is_none()
+            && self.breaker.is_none()
+            && self.serve_stale.is_none()
+    }
+}
+
+/// Builder for [`ResilienceConfig`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfigBuilder {
+    config: ResilienceConfig,
+}
+
+impl ResilienceConfigBuilder {
+    /// Retries after the first failed attempt.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.config.max_retries = n;
+        self
+    }
+
+    /// Base backoff delay (doubled per attempt) in virtual µs.
+    pub fn backoff_base_micros(mut self, micros: u64) -> Self {
+        self.config.backoff_base_micros = micros;
+        self
+    }
+
+    /// Jitter per backoff in 1/256ths of the delay (0 = none, 64 ≈ 25 %).
+    pub fn backoff_jitter_frac(mut self, frac: u8) -> Self {
+        self.config.backoff_jitter_frac = frac;
+        self
+    }
+
+    /// Seeds the jitter RNG for reproducible schedules.
+    pub fn retry_seed(mut self, seed: u64) -> Self {
+        self.config.retry_seed = seed;
+        self
+    }
+
+    /// Caps one fetch (attempts + backoffs) at `micros` of virtual time.
+    pub fn fetch_deadline_micros(mut self, micros: u64) -> Self {
+        self.config.fetch_deadline_micros = Some(micros);
+        self
+    }
+
+    /// Enables per-origin circuit breakers.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = Some(breaker);
+        self
+    }
+
+    /// Permits serving resident entries within `bound` when the origin is
+    /// unreachable or the freshness check cannot run.
+    pub fn serve_stale(mut self, bound: StalenessBound) -> Self {
+        self.config.serve_stale = Some(bound);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ResilienceConfig {
+        self.config
+    }
+}
+
+/// A circuit breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// Fetches are rejected without contacting the origin until the
+    /// cool-down elapses.
+    Open,
+    /// Cool-down elapsed: a limited number of probe fetches go through;
+    /// success closes the breaker, failure re-opens it.
+    HalfOpen,
+}
+
+/// One origin's breaker bookkeeping.
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Instant,
+    half_open_successes: u32,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: Instant(0),
+            half_open_successes: 0,
+        }
+    }
+}
+
+/// The verdict of [`BreakerSet::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Contact the origin normally.
+    Allow,
+    /// Contact the origin as a half-open probe.
+    Probe,
+    /// Do not contact the origin; `retry_after` is the remaining
+    /// cool-down in virtual µs.
+    Reject {
+        /// Remaining cool-down before the breaker half-opens.
+        retry_after: u64,
+    },
+}
+
+/// Circuit breakers keyed by origin, shared by every shard of a cache.
+///
+/// All transitions are driven by the virtual clock, so breaker behaviour
+/// replays exactly under a fixed fault plan.
+#[derive(Debug, Default)]
+pub struct BreakerSet {
+    breakers: Mutex<HashMap<String, Breaker>>,
+    trips: Mutex<u64>,
+}
+
+impl BreakerSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asks whether a fetch against `origin` may proceed at `now`.
+    ///
+    /// An `Open` breaker whose cool-down has elapsed transitions to
+    /// `HalfOpen` here and admits the caller as a probe.
+    pub fn admit(&self, config: &BreakerConfig, origin: &str, now: Instant) -> Admission {
+        let mut breakers = self.breakers.lock();
+        let breaker = breakers
+            .entry(origin.to_owned())
+            .or_insert_with(Breaker::new);
+        match breaker.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => {
+                let elapsed = now
+                    .as_micros()
+                    .saturating_sub(breaker.opened_at.as_micros());
+                if elapsed >= config.open_micros {
+                    breaker.state = BreakerState::HalfOpen;
+                    breaker.half_open_successes = 0;
+                    Admission::Probe
+                } else {
+                    Admission::Reject {
+                        retry_after: config.open_micros - elapsed,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a successful fetch against `origin`.
+    pub fn record_success(&self, config: &BreakerConfig, origin: &str) {
+        let mut breakers = self.breakers.lock();
+        let breaker = breakers
+            .entry(origin.to_owned())
+            .or_insert_with(Breaker::new);
+        match breaker.state {
+            BreakerState::Closed => breaker.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                breaker.half_open_successes += 1;
+                if breaker.half_open_successes >= config.half_open_probes {
+                    breaker.state = BreakerState::Closed;
+                    breaker.consecutive_failures = 0;
+                }
+            }
+            // A success while open can only come from a fetch admitted
+            // before the breaker tripped; it doesn't close anything.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a transient fetch failure against `origin` at `now`.
+    /// Returns `true` if this failure tripped the breaker open.
+    pub fn record_failure(&self, config: &BreakerConfig, origin: &str, now: Instant) -> bool {
+        let mut breakers = self.breakers.lock();
+        let breaker = breakers
+            .entry(origin.to_owned())
+            .or_insert_with(Breaker::new);
+        match breaker.state {
+            BreakerState::Closed => {
+                breaker.consecutive_failures += 1;
+                if breaker.consecutive_failures >= config.failure_threshold {
+                    breaker.state = BreakerState::Open;
+                    breaker.opened_at = now;
+                    *self.trips.lock() += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                // A failed probe re-opens immediately and restarts the
+                // cool-down.
+                breaker.state = BreakerState::Open;
+                breaker.opened_at = now;
+                *self.trips.lock() += 1;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Returns `origin`'s current state (Closed if never seen).
+    pub fn state(&self, origin: &str) -> BreakerState {
+        self.breakers
+            .lock()
+            .get(origin)
+            .map(|b| b.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Returns how many times any breaker tripped open.
+    pub fn trip_count(&self) -> u64 {
+        *self.trips.lock()
+    }
+}
+
+/// The deterministic backoff schedule for one fetch.
+///
+/// Delay before retry *n* (0-based) is `base << n`, plus a jitter sampled
+/// from the seeded RNG: `delay * jitter_frac/256` scaled by a uniform
+/// sample. Same seed, same sequence of calls → identical delays.
+#[derive(Debug)]
+pub struct BackoffSchedule {
+    base: u64,
+    jitter_frac: u8,
+    rng: SimRng,
+}
+
+impl BackoffSchedule {
+    /// Creates a schedule from the config, deriving the RNG from
+    /// `config.retry_seed` xor a per-fetch salt (e.g. the document id) so
+    /// concurrent fetches don't share a jitter stream.
+    pub fn new(config: &ResilienceConfig, salt: u64) -> Self {
+        Self {
+            base: config.backoff_base_micros,
+            jitter_frac: config.backoff_jitter_frac,
+            rng: SimRng::seeded(config.retry_seed ^ salt ^ 0xBAC0_FF5E_BAC0_FF5E),
+        }
+    }
+
+    /// Returns the delay in virtual µs before retry `attempt` (0-based),
+    /// consuming one RNG sample when jitter is enabled.
+    pub fn delay_micros(&mut self, attempt: u32) -> u64 {
+        let exp = attempt.min(20); // cap the shift; delays beyond 2^20×base are academic
+        let base = self.base.saturating_mul(1 << exp);
+        if self.jitter_frac == 0 || base == 0 {
+            return base;
+        }
+        let span = base * u64::from(self.jitter_frac) / 256;
+        if span == 0 {
+            return base;
+        }
+        base + self.rng.next_below(span + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_noop() {
+        let config = ResilienceConfig::default();
+        assert!(config.is_noop());
+        let built = ResilienceConfig::builder().build();
+        assert!(built.is_noop());
+        assert!(!ResilienceConfig::builder().max_retries(1).build().is_noop());
+        assert!(!ResilienceConfig::builder()
+            .serve_stale(StalenessBound::micros(1))
+            .build()
+            .is_noop());
+    }
+
+    #[test]
+    fn staleness_bound_measures_from_fill() {
+        let bound = StalenessBound::micros(1_000);
+        assert!(bound.permits(Instant(500), Instant(1_500)));
+        assert!(!bound.permits(Instant(500), Instant(1_501)));
+        assert!(StalenessBound::ZERO.permits(Instant(5), Instant(5)));
+        assert!(!StalenessBound::ZERO.permits(Instant(5), Instant(6)));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers() {
+        let config = BreakerConfig {
+            failure_threshold: 2,
+            open_micros: 1_000,
+            half_open_probes: 1,
+        };
+        let set = BreakerSet::new();
+        assert_eq!(set.admit(&config, "web", Instant(0)), Admission::Allow);
+        assert!(!set.record_failure(&config, "web", Instant(10)));
+        assert!(
+            set.record_failure(&config, "web", Instant(20)),
+            "second failure trips"
+        );
+        assert_eq!(set.state("web"), BreakerState::Open);
+        assert_eq!(set.trip_count(), 1);
+
+        // While open, fetches are rejected with the remaining cool-down.
+        assert_eq!(
+            set.admit(&config, "web", Instant(120)),
+            Admission::Reject { retry_after: 900 }
+        );
+
+        // After the cool-down, one probe is admitted.
+        assert_eq!(set.admit(&config, "web", Instant(1_020)), Admission::Probe);
+        assert_eq!(set.state("web"), BreakerState::HalfOpen);
+        set.record_success(&config, "web");
+        assert_eq!(set.state("web"), BreakerState::Closed);
+        assert_eq!(set.admit(&config, "web", Instant(1_030)), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            open_micros: 100,
+            half_open_probes: 1,
+        };
+        let set = BreakerSet::new();
+        assert!(set.record_failure(&config, "dms", Instant(0)));
+        assert_eq!(set.admit(&config, "dms", Instant(100)), Admission::Probe);
+        assert!(
+            set.record_failure(&config, "dms", Instant(110)),
+            "probe failed"
+        );
+        assert_eq!(set.state("dms"), BreakerState::Open);
+        assert_eq!(
+            set.admit(&config, "dms", Instant(150)),
+            Admission::Reject { retry_after: 60 },
+            "cool-down restarted at the failed probe"
+        );
+        assert_eq!(set.trip_count(), 2);
+    }
+
+    #[test]
+    fn breakers_are_per_origin() {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            open_micros: 1_000,
+            half_open_probes: 1,
+        };
+        let set = BreakerSet::new();
+        set.record_failure(&config, "web-a", Instant(0));
+        assert_eq!(set.state("web-a"), BreakerState::Open);
+        assert_eq!(set.state("web-b"), BreakerState::Closed);
+        assert_eq!(set.admit(&config, "web-b", Instant(1)), Admission::Allow);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let config = BreakerConfig {
+            failure_threshold: 2,
+            open_micros: 1_000,
+            half_open_probes: 1,
+        };
+        let set = BreakerSet::new();
+        set.record_failure(&config, "web", Instant(0));
+        set.record_success(&config, "web");
+        assert!(
+            !set.record_failure(&config, "web", Instant(10)),
+            "streak restarted after the success"
+        );
+        assert_eq!(set.state("web"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn multiple_half_open_probes_required_when_configured() {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            open_micros: 100,
+            half_open_probes: 2,
+        };
+        let set = BreakerSet::new();
+        set.record_failure(&config, "web", Instant(0));
+        assert_eq!(set.admit(&config, "web", Instant(100)), Admission::Probe);
+        set.record_success(&config, "web");
+        assert_eq!(
+            set.state("web"),
+            BreakerState::HalfOpen,
+            "one probe is not enough"
+        );
+        set.record_success(&config, "web");
+        assert_eq!(set.state("web"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn backoff_doubles_and_is_deterministic() {
+        let config = ResilienceConfig::builder()
+            .max_retries(3)
+            .backoff_base_micros(1_000)
+            .retry_seed(42)
+            .build();
+        let mut sched = BackoffSchedule::new(&config, 7);
+        assert_eq!(sched.delay_micros(0), 1_000);
+        assert_eq!(sched.delay_micros(1), 2_000);
+        assert_eq!(sched.delay_micros(2), 4_000);
+
+        let jittered = ResilienceConfig::builder()
+            .backoff_base_micros(1_000)
+            .backoff_jitter_frac(64)
+            .retry_seed(42)
+            .build();
+        let mut a = BackoffSchedule::new(&jittered, 7);
+        let mut b = BackoffSchedule::new(&jittered, 7);
+        for attempt in 0..4 {
+            let da = a.delay_micros(attempt);
+            assert_eq!(da, b.delay_micros(attempt), "same seed, same schedule");
+            let base = 1_000u64 << attempt;
+            assert!(
+                da >= base && da < base + base / 4 + 1,
+                "jitter within +25%: {da}"
+            );
+        }
+        let mut c = BackoffSchedule::new(&jittered, 8);
+        let schedules_differ =
+            (0..4).any(|n| BackoffSchedule::new(&jittered, 7).delay_micros(n) != c.delay_micros(n));
+        assert!(schedules_differ, "different salt, different jitter");
+    }
+
+    #[test]
+    fn backoff_shift_is_capped() {
+        let config = ResilienceConfig::builder().backoff_base_micros(1).build();
+        let mut sched = BackoffSchedule::new(&config, 0);
+        assert_eq!(sched.delay_micros(63), 1 << 20, "shift capped, no overflow");
+    }
+}

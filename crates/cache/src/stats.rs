@@ -44,6 +44,17 @@ pub struct CacheStats {
     pub prefetch_hits: u64,
     /// Fills pinned by a QoS property.
     pub pinned_fills: u64,
+    /// Fetch attempts repeated after a transient failure.
+    pub retries: u64,
+    /// Circuit breakers tripped open by consecutive failures.
+    pub breaker_trips: u64,
+    /// Reads served from a resident entry despite a failed or impossible
+    /// freshness check, within the configured staleness bound.
+    pub stale_served: u64,
+    /// Reads that failed even after retries / stale fallback.
+    pub degraded_errors: u64,
+    /// Invalidation sequence gaps detected (dropped notifications).
+    pub notifier_gaps: u64,
 }
 
 impl CacheStats {
@@ -65,6 +76,20 @@ impl CacheStats {
             None
         } else {
             Some(self.hit_micros as f64 / self.hits as f64 / 1_000.0)
+        }
+    }
+
+    /// Returns the fraction of cacheable reads that returned bytes —
+    /// hits, misses, and stale-served reads over those plus degraded
+    /// errors — or `None` before any read. The E-FAULT experiment's
+    /// headline metric.
+    pub fn read_availability(&self) -> Option<f64> {
+        let served = self.hits + self.misses + self.stale_served;
+        let total = served + self.degraded_errors;
+        if total == 0 {
+            None
+        } else {
+            Some(served as f64 / total as f64)
         }
     }
 
@@ -105,6 +130,11 @@ pub struct AtomicCacheStats {
     pub(crate) prefetches: AtomicU64,
     pub(crate) prefetch_hits: AtomicU64,
     pub(crate) pinned_fills: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) breaker_trips: AtomicU64,
+    pub(crate) stale_served: AtomicU64,
+    pub(crate) degraded_errors: AtomicU64,
+    pub(crate) notifier_gaps: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -136,6 +166,11 @@ impl AtomicCacheStats {
             prefetches: self.prefetches.load(Ordering::Relaxed),
             prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
             pinned_fills: self.pinned_fills.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
+            degraded_errors: self.degraded_errors.load(Ordering::Relaxed),
+            notifier_gaps: self.notifier_gaps.load(Ordering::Relaxed),
         }
     }
 }
@@ -178,5 +213,18 @@ mod tests {
         assert_eq!(stats.hit_rate(), Some(0.75));
         assert_eq!(stats.mean_hit_ms(), Some(2.0));
         assert_eq!(stats.mean_miss_ms(), Some(10.0));
+    }
+
+    #[test]
+    fn availability_counts_stale_service_as_served() {
+        assert_eq!(CacheStats::default().read_availability(), None);
+        let stats = CacheStats {
+            hits: 5,
+            misses: 2,
+            stale_served: 2,
+            degraded_errors: 1,
+            ..Default::default()
+        };
+        assert_eq!(stats.read_availability(), Some(0.9));
     }
 }

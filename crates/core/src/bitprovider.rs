@@ -23,6 +23,15 @@ pub trait BitProvider: Send + Sync {
     /// Returns a short description of the provider and its repository.
     fn describe(&self) -> String;
 
+    /// Returns a key identifying the provider's *origin* (the repository
+    /// or server behind it), shared by every document served from that
+    /// origin. The cache's per-provider circuit breakers group failures by
+    /// this key, so one dead origin trips one breaker rather than one per
+    /// document. Defaults to [`BitProvider::describe`] (per-document).
+    fn origin_key(&self) -> String {
+        self.describe()
+    }
+
     /// Opens the raw content stream, charging fetch latency to the clock.
     fn open_input(&self, clock: &VirtualClock) -> Result<Box<dyn InputStream>>;
 

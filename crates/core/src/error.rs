@@ -7,7 +7,12 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, PlacelessError>;
 
 /// Errors surfaced by the Placeless middleware and its substrates.
+///
+/// Marked `#[non_exhaustive]`: the failure taxonomy grows as new
+/// substrates and resilience mechanisms land, so downstream matches must
+/// carry a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PlacelessError {
     /// The named base document does not exist.
     NoSuchDocument(DocumentId),
@@ -37,6 +42,22 @@ pub enum PlacelessError {
     Script(String),
     /// Write access denied (e.g. read-only provider).
     ReadOnly(DocumentId),
+    /// The origin repository is temporarily unreachable (outage,
+    /// partition, dropped connection). Transient: retrying may succeed.
+    Unavailable {
+        /// The unreachable origin, as described by its provider.
+        source: String,
+        /// Hint for when a retry might succeed (µs from now), if known.
+        retry_after: Option<u64>,
+    },
+    /// An operation exceeded its deadline. Transient: retrying may
+    /// succeed, but the attempt already consumed its latency budget.
+    Timeout {
+        /// The origin or operation that timed out.
+        source: String,
+        /// Virtual microseconds consumed before giving up.
+        elapsed_micros: u64,
+    },
 }
 
 impl fmt::Display for PlacelessError {
@@ -61,11 +82,52 @@ impl fmt::Display for PlacelessError {
             PlacelessError::Uncacheable(d) => write!(f, "document {d} is uncacheable"),
             PlacelessError::Script(msg) => write!(f, "proplang error: {msg}"),
             PlacelessError::ReadOnly(d) => write!(f, "document {d} is read-only"),
+            PlacelessError::Unavailable {
+                source,
+                retry_after,
+            } => {
+                write!(f, "origin `{source}` unavailable")?;
+                if let Some(after) = retry_after {
+                    write!(f, " (retry after {after}µs)")?;
+                }
+                Ok(())
+            }
+            PlacelessError::Timeout {
+                source,
+                elapsed_micros,
+            } => {
+                write!(f, "`{source}` timed out after {elapsed_micros}µs")
+            }
         }
     }
 }
 
 impl std::error::Error for PlacelessError {}
+
+impl PlacelessError {
+    /// Converts an injected link fault into the middleware error space.
+    pub fn from_fault(source: &str, fault: placeless_simenv::FaultError, elapsed: u64) -> Self {
+        match fault.kind {
+            placeless_simenv::FaultErrorKind::Unavailable => PlacelessError::Unavailable {
+                source: source.to_owned(),
+                retry_after: fault.retry_after,
+            },
+            placeless_simenv::FaultErrorKind::Timeout => PlacelessError::Timeout {
+                source: source.to_owned(),
+                elapsed_micros: elapsed,
+            },
+        }
+    }
+
+    /// Returns `true` for failures a retry might cure (the resilient
+    /// fetch pipeline only retries these).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            PlacelessError::Unavailable { .. } | PlacelessError::Timeout { .. }
+        )
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -90,6 +152,59 @@ mod tests {
             PlacelessError::NoSuchDocument(DocumentId(1)),
             PlacelessError::NoSuchDocument(DocumentId(2))
         );
+    }
+
+    #[test]
+    fn transient_classification() {
+        let unavailable = PlacelessError::Unavailable {
+            source: "web:origin".into(),
+            retry_after: Some(1_000),
+        };
+        let timeout = PlacelessError::Timeout {
+            source: "dms:spec".into(),
+            elapsed_micros: 80_000,
+        };
+        assert!(unavailable.is_transient());
+        assert!(timeout.is_transient());
+        assert!(!PlacelessError::StreamClosed.is_transient());
+        assert!(!PlacelessError::NoSuchDocument(DocumentId(1)).is_transient());
+        assert!(unavailable.to_string().contains("retry after 1000µs"));
+        assert!(timeout.to_string().contains("80000µs"));
+    }
+
+    #[test]
+    fn from_fault_maps_kinds() {
+        use placeless_simenv::{FaultError, FaultErrorKind};
+        let err = PlacelessError::from_fault(
+            "fs:/doc",
+            FaultError {
+                kind: FaultErrorKind::Unavailable,
+                retry_after: Some(7),
+            },
+            0,
+        );
+        assert_eq!(
+            err,
+            PlacelessError::Unavailable {
+                source: "fs:/doc".into(),
+                retry_after: Some(7)
+            }
+        );
+        let err = PlacelessError::from_fault(
+            "fs:/doc",
+            FaultError {
+                kind: FaultErrorKind::Timeout,
+                retry_after: None,
+            },
+            123,
+        );
+        assert!(matches!(
+            err,
+            PlacelessError::Timeout {
+                elapsed_micros: 123,
+                ..
+            }
+        ));
     }
 
     #[test]

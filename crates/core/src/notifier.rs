@@ -54,6 +54,18 @@ pub trait InvalidationSink: Send + Sync {
 
     /// Delivers one invalidation.
     fn invalidate(&self, invalidation: &Invalidation);
+
+    /// Delivers one invalidation together with the bus's sequence number.
+    ///
+    /// Sequence numbers are dense (1, 2, 3, …) over every *post*, whether
+    /// or not it was delivered, so a sink that tracks the last number it
+    /// saw detects dropped notifications as gaps and can demote the
+    /// affected entries from notifier-based consistency to verifier
+    /// revalidation. The default implementation ignores the number.
+    fn invalidate_seq(&self, seq: u64, invalidation: &Invalidation) {
+        let _ = seq;
+        self.invalidate(invalidation);
+    }
 }
 
 /// Fan-out delivery of invalidations from notifier properties to caches.
@@ -83,6 +95,8 @@ pub struct InvalidationBus {
     sinks: RwLock<Vec<Arc<dyn InvalidationSink>>>,
     posted: AtomicU64,
     delivered: AtomicU64,
+    drop_next: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl InvalidationBus {
@@ -102,13 +116,38 @@ impl InvalidationBus {
     }
 
     /// Posts an invalidation to every subscribed cache.
+    ///
+    /// Every post consumes the next sequence number. If a delivery fault
+    /// is armed ([`InvalidationBus::drop_next_deliveries`]), the number is
+    /// consumed but nothing is delivered — subscribers that track
+    /// sequence numbers observe the gap on the next delivery.
     pub fn post(&self, invalidation: Invalidation) {
-        self.posted.fetch_add(1, Ordering::Relaxed);
+        let seq = self.posted.fetch_add(1, Ordering::Relaxed) + 1;
+        if self
+            .drop_next
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let sinks = self.sinks.read();
         for sink in sinks.iter() {
-            sink.invalidate(&invalidation);
+            sink.invalidate_seq(seq, &invalidation);
             self.delivered.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Arms a delivery fault: the next `n` posts are silently dropped
+    /// (their sequence numbers are still consumed). Models a lossy
+    /// notification channel in resilience experiments.
+    pub fn drop_next_deliveries(&self, n: u64) {
+        self.drop_next.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns how many posts were dropped by armed delivery faults.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Returns `(invalidations posted, deliveries made)`.
@@ -194,6 +233,47 @@ mod tests {
         assert!(a.seen.lock().is_empty());
         assert_eq!(bus.subscriber_count(), 0);
         assert_eq!(bus.counters(), (1, 0), "posted but nothing delivered");
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_survive_drops() {
+        struct Seqs {
+            seen: Mutex<Vec<u64>>,
+        }
+        impl InvalidationSink for Seqs {
+            fn cache_id(&self) -> CacheId {
+                CacheId(9)
+            }
+            fn invalidate(&self, _: &Invalidation) {}
+            fn invalidate_seq(&self, seq: u64, inv: &Invalidation) {
+                self.seen.lock().push(seq);
+                self.invalidate(inv);
+            }
+        }
+        let bus = InvalidationBus::new();
+        let sink = Arc::new(Seqs {
+            seen: Mutex::new(Vec::new()),
+        });
+        bus.subscribe(sink.clone());
+        bus.post(Invalidation::Document(DocumentId(1)));
+        bus.drop_next_deliveries(2);
+        bus.post(Invalidation::Document(DocumentId(2)));
+        bus.post(Invalidation::Document(DocumentId(3)));
+        bus.post(Invalidation::Document(DocumentId(4)));
+        // Seq 2 and 3 were consumed but never delivered: the gap is
+        // visible to the subscriber.
+        assert_eq!(*sink.seen.lock(), vec![1, 4]);
+        assert_eq!(bus.dropped_count(), 2);
+        assert_eq!(bus.counters(), (4, 2), "4 posted, 2 delivered");
+    }
+
+    #[test]
+    fn default_sink_ignores_sequence_numbers() {
+        let bus = InvalidationBus::new();
+        let a = Recording::new(1);
+        bus.subscribe(a.clone());
+        bus.post(Invalidation::Document(DocumentId(5)));
+        assert_eq!(a.seen.lock().len(), 1, "legacy sinks keep working");
     }
 
     #[test]

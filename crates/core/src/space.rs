@@ -553,6 +553,16 @@ impl DocumentSpace {
         Ok((stream, report))
     }
 
+    /// Returns the origin key of `doc`'s bit-provider — the grouping key
+    /// the cache's per-provider circuit breakers use.
+    pub fn origin_of(&self, doc: DocumentId) -> Option<String> {
+        self.inner
+            .read()
+            .bases
+            .get(&doc)
+            .map(|base| base.provider.origin_key())
+    }
+
     /// Reads a document to completion through the full property path.
     pub fn read_document(&self, user: UserId, doc: DocumentId) -> Result<(Bytes, PathReport)> {
         let (mut stream, report) = self.open_read(user, doc)?;

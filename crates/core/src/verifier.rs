@@ -28,6 +28,10 @@ pub enum Validity {
     /// then served — the paper's "or even modify these values as needed"
     /// case for heavily customized documents like portfolio pages.
     Replace(Bytes),
+    /// The check could not be performed (origin unreachable, probe timed
+    /// out): freshness is *unknown*, not refuted. The cache decides
+    /// whether its staleness bound permits serving the entry anyway.
+    Unverifiable,
 }
 
 /// A validity check executed by the cache on each hit.
@@ -170,8 +174,12 @@ impl Verifier for ClosureVerifier {
 ///
 /// The first [`Validity::Invalid`] wins; a [`Validity::Replace`] is carried
 /// forward but can still be overridden to `Invalid` by a later verifier
-/// (replacement content must itself pass the remaining checks). Returns the
-/// total probe cost alongside the verdict so the caller can charge it.
+/// (replacement content must itself pass the remaining checks). A
+/// [`Validity::Unverifiable`] also overrides any carried `Replace` or
+/// `Valid` — if one probe could not reach its origin, the combined
+/// freshness is unknown — but a later definite `Invalid` still wins.
+/// Returns the total probe cost alongside the verdict so the caller can
+/// charge it.
 pub fn run_all(verifiers: &[Box<dyn Verifier>], clock: &VirtualClock) -> (Validity, u64) {
     let mut verdict = Validity::Valid;
     let mut cost = 0;
@@ -180,7 +188,12 @@ pub fn run_all(verifiers: &[Box<dyn Verifier>], clock: &VirtualClock) -> (Validi
         match v.check(clock) {
             Validity::Valid => {}
             Validity::Invalid => return (Validity::Invalid, cost),
-            Validity::Replace(bytes) => verdict = Validity::Replace(bytes),
+            Validity::Replace(bytes) => {
+                if verdict != Validity::Unverifiable {
+                    verdict = Validity::Replace(bytes);
+                }
+            }
+            Validity::Unverifiable => verdict = Validity::Unverifiable,
         }
     }
     (verdict, cost)
@@ -289,6 +302,38 @@ mod tests {
             verdict,
             Validity::Invalid,
             "later invalid overrides replace"
+        );
+    }
+
+    #[test]
+    fn run_all_unverifiable_dominates_valid_and_replace() {
+        let clock = VirtualClock::new();
+        let vs: Vec<Box<dyn Verifier>> = vec![
+            ClosureVerifier::new("down", 1, |_| Validity::Unverifiable),
+            ClosureVerifier::new("ok", 1, |_| Validity::Valid),
+        ];
+        assert_eq!(run_all(&vs, &clock).0, Validity::Unverifiable);
+
+        let vs: Vec<Box<dyn Verifier>> = vec![
+            ClosureVerifier::new("fresh", 1, |_| {
+                Validity::Replace(Bytes::from_static(b"new"))
+            }),
+            ClosureVerifier::new("down", 1, |_| Validity::Unverifiable),
+        ];
+        assert_eq!(
+            run_all(&vs, &clock).0,
+            Validity::Unverifiable,
+            "replacement bytes cannot be trusted if a later probe is blind"
+        );
+
+        let vs: Vec<Box<dyn Verifier>> = vec![
+            ClosureVerifier::new("down", 1, |_| Validity::Unverifiable),
+            ClosureVerifier::new("dead", 1, |_| Validity::Invalid),
+        ];
+        assert_eq!(
+            run_all(&vs, &clock).0,
+            Validity::Invalid,
+            "a definite rejection beats an unknown"
         );
     }
 

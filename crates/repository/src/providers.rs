@@ -28,6 +28,25 @@ use placeless_core::verifier::{ClosureVerifier, TtlVerifier, Validity, Verifier}
 use placeless_simenv::{Link, VirtualClock};
 use std::sync::Arc;
 
+/// Consults the link's fault plan before an origin operation, mapping an
+/// injected fault into the middleware error space. The failed attempt's
+/// wire time has already been charged by [`Link::faulted_op`].
+fn check_link(link: &Link, clock: &VirtualClock, source: &str) -> Result<()> {
+    let t0 = clock.now();
+    link.faulted_op(clock)
+        .map_err(|fault| PlacelessError::from_fault(source, fault, clock.now().since(t0)))
+}
+
+/// Consults the link's fault plan inside a verifier probe: an unreachable
+/// origin makes the probe [`Validity::Unverifiable`], never a panic or a
+/// false `Invalid`.
+fn probe_link(link: &Link, clock: &VirtualClock) -> std::result::Result<(), Validity> {
+    match link.faulted_op(clock) {
+        Ok(()) => Ok(()),
+        Err(_) => Err(Validity::Unverifiable),
+    }
+}
+
 /// Bit-provider over a path in a [`MemFs`].
 pub struct FsProvider {
     fs: Arc<MemFs>,
@@ -51,7 +70,12 @@ impl BitProvider for FsProvider {
         format!("fs:{}", self.path)
     }
 
+    fn origin_key(&self) -> String {
+        "fs".to_owned()
+    }
+
     fn open_input(&self, clock: &VirtualClock) -> Result<Box<dyn InputStream>> {
+        check_link(&self.link, clock, &self.describe())?;
         let content = self.fs.read(&self.path)?;
         self.link.transfer(clock, content.len() as u64);
         Ok(Box::new(MemoryInput::new(content)))
@@ -63,6 +87,7 @@ impl BitProvider for FsProvider {
         let link = self.link.clone();
         let clock = clock.clone();
         Ok(Box::new(CollectOutput::new(move |bytes| {
+            check_link(&link, &clock, &format!("fs:{path}"))?;
             link.transfer(&clock, bytes.len() as u64);
             if fs.exists(&path) {
                 fs.write_direct(&path, bytes)
@@ -78,13 +103,19 @@ impl BitProvider for FsProvider {
         let pinned = self.fs.stat(&self.path).ok()?.generation;
         let fs = self.fs.clone();
         let path = self.path.clone();
+        let link = self.link.clone();
         let rtt = self.link.rtt_micros();
         Some(ClosureVerifier::new(
             &format!("fs-mtime:{path}"),
             rtt,
-            move |_| match fs.stat(&path) {
-                Ok(stat) if stat.generation == pinned => Validity::Valid,
-                _ => Validity::Invalid,
+            move |clock| {
+                if let Err(unverifiable) = probe_link(&link, clock) {
+                    return unverifiable;
+                }
+                match fs.stat(&path) {
+                    Ok(stat) if stat.generation == pinned => Validity::Valid,
+                    _ => Validity::Invalid,
+                }
             },
         ))
     }
@@ -145,7 +176,12 @@ impl BitProvider for WebProvider {
         format!("http://{}{}", self.server.host(), self.path)
     }
 
+    fn origin_key(&self) -> String {
+        format!("http://{}", self.server.host())
+    }
+
     fn open_input(&self, clock: &VirtualClock) -> Result<Box<dyn InputStream>> {
+        check_link(&self.link, clock, &self.describe())?;
         let resp = self.server.get(&self.path)?;
         self.link.transfer(clock, resp.body.len() as u64);
         Ok(Box::new(MemoryInput::new(resp.body)))
@@ -156,7 +192,9 @@ impl BitProvider for WebProvider {
         let path = self.path.clone();
         let link = self.link.clone();
         let clock = clock.clone();
+        let source = self.describe();
         Ok(Box::new(CollectOutput::new(move |bytes| {
+            check_link(&link, &clock, &source)?;
             link.transfer(&clock, bytes.len() as u64);
             server.put(&path, bytes)
         })))
@@ -170,13 +208,19 @@ impl BitProvider for WebProvider {
             let pinned = self.server.revision(&self.path)?;
             let server = self.server.clone();
             let path = self.path.clone();
+            let link = self.link.clone();
             let rtt = self.link.rtt_micros();
             return Some(ClosureVerifier::new(
                 &format!("http-revalidate:{path}"),
                 rtt,
-                move |_| match server.conditional_get(&path, pinned) {
-                    Ok(None) => Validity::Valid,
-                    _ => Validity::Invalid,
+                move |clock| {
+                    if let Err(unverifiable) = probe_link(&link, clock) {
+                        return unverifiable;
+                    }
+                    match server.conditional_get(&path, pinned) {
+                        Ok(None) => Validity::Valid,
+                        _ => Validity::Invalid,
+                    }
                 },
             ));
         }
@@ -234,7 +278,12 @@ impl BitProvider for DmsProvider {
         format!("dms:{}", self.key)
     }
 
+    fn origin_key(&self) -> String {
+        "dms".to_owned()
+    }
+
     fn open_input(&self, clock: &VirtualClock) -> Result<Box<dyn InputStream>> {
+        check_link(&self.link, clock, &self.describe())?;
         let content = self.dms.fetch_latest(&self.key)?;
         self.link.transfer(clock, content.len() as u64);
         Ok(Box::new(MemoryInput::new(content)))
@@ -248,6 +297,7 @@ impl BitProvider for DmsProvider {
         let link = self.link.clone();
         let clock = clock.clone();
         Ok(Box::new(CollectOutput::new(move |bytes| {
+            check_link(&link, &clock, &format!("dms:{key}"))?;
             link.transfer(&clock, bytes.len() as u64);
             dms.check_out(&key, &holder)?;
             dms.check_in(&key, &holder, bytes)?;
@@ -261,13 +311,19 @@ impl BitProvider for DmsProvider {
         let pinned = self.dms.latest_version(&self.key).ok()?;
         let dms = self.dms.clone();
         let key = self.key.clone();
+        let link = self.link.clone();
         let rtt = self.link.rtt_micros();
         Some(ClosureVerifier::new(
             &format!("dms-version:{key}"),
             rtt,
-            move |_| match dms.latest_version(&key) {
-                Ok(v) if v == pinned => Validity::Valid,
-                _ => Validity::Invalid,
+            move |clock| {
+                if let Err(unverifiable) = probe_link(&link, clock) {
+                    return unverifiable;
+                }
+                match dms.latest_version(&key) {
+                    Ok(v) if v == pinned => Validity::Valid,
+                    _ => Validity::Invalid,
+                }
             },
         ))
     }
@@ -300,7 +356,12 @@ impl BitProvider for LiveFeedProvider {
         format!("live:{}", self.feed.name())
     }
 
+    fn origin_key(&self) -> String {
+        self.describe()
+    }
+
     fn open_input(&self, clock: &VirtualClock) -> Result<Box<dyn InputStream>> {
+        check_link(&self.link, clock, &self.describe())?;
         let frame = self.feed.next_frame(clock);
         self.link.transfer(clock, frame.len() as u64);
         Ok(Box::new(MemoryInput::new(frame)))
@@ -449,6 +510,116 @@ mod tests {
         dms.check_in("spec", "doug", "v2").unwrap();
         assert_eq!(bus.counters().0, 1, "check-in posted an invalidation");
         let _ = clock;
+    }
+
+    #[test]
+    fn faulted_link_surfaces_unavailable_from_open_input() {
+        use placeless_simenv::FaultPlan;
+        let clock = VirtualClock::new();
+        let fs = MemFs::new(clock.clone());
+        fs.create("/doc", "body");
+        let link = lan();
+        let plan = FaultPlan::builder(3).outage(0, 10_000).build();
+        link.set_fault_plan(plan);
+        let provider = FsProvider::new(fs, "/doc", link);
+        let err = match provider.open_input(&clock) {
+            Err(err) => err,
+            Ok(_) => panic!("open_input must fail inside the outage window"),
+        };
+        assert!(matches!(err, PlacelessError::Unavailable { .. }), "{err}");
+        assert!(err.is_transient());
+        assert!(
+            clock.now().as_micros() >= 1_000,
+            "the failed attempt still cost a round trip"
+        );
+        // Past the window the provider recovers.
+        clock.advance_to(placeless_simenv::Instant(10_000));
+        assert!(provider.open_input(&clock).is_ok());
+    }
+
+    #[test]
+    fn timeout_window_surfaces_timeout_and_charges_the_hang() {
+        use placeless_simenv::FaultPlan;
+        let clock = VirtualClock::new();
+        let server = WebServer::new("slow");
+        server.publish("/p", "page", 60_000_000);
+        let link = lan();
+        link.set_fault_plan(FaultPlan::builder(4).timeout(0, 50_000).build());
+        let provider = WebProvider::new(server, "/p", link);
+        let err = match provider.open_input(&clock) {
+            Err(err) => err,
+            Ok(_) => panic!("open_input must fail inside the timeout window"),
+        };
+        assert!(matches!(err, PlacelessError::Timeout { .. }), "{err}");
+        assert!(
+            clock.now().as_micros() >= 50_000,
+            "a timeout hangs until the window closes, got {}µs",
+            clock.now().as_micros()
+        );
+    }
+
+    #[test]
+    fn faulted_probe_is_unverifiable_not_invalid() {
+        use placeless_simenv::FaultPlan;
+        let clock = VirtualClock::new();
+        let fs = MemFs::new(clock.clone());
+        fs.create("/doc", "v1");
+        let link = lan();
+        let plan = FaultPlan::none();
+        link.set_fault_plan(plan.clone());
+        let provider = FsProvider::new(fs.clone(), "/doc", link);
+        let verifier = provider.make_verifier(&clock).unwrap();
+        assert_eq!(verifier.check(&clock), Validity::Valid);
+        plan.set_partitioned(true);
+        assert_eq!(
+            verifier.check(&clock),
+            Validity::Unverifiable,
+            "an unreachable origin is unknown freshness, not staleness"
+        );
+        plan.set_partitioned(false);
+        fs.write_direct("/doc", "v2").unwrap();
+        assert_eq!(
+            verifier.check(&clock),
+            Validity::Invalid,
+            "back online, real staleness is still caught"
+        );
+    }
+
+    #[test]
+    fn drop_next_fails_writes_too() {
+        use placeless_simenv::FaultPlan;
+        let clock = VirtualClock::new();
+        let dms = Dms::new();
+        dms.import("spec", "v1");
+        let link = lan();
+        let plan = FaultPlan::none();
+        link.set_fault_plan(plan.clone());
+        let provider = DmsProvider::new(dms.clone(), "spec", "placeless", link);
+        plan.drop_next(1);
+        let mut sink = provider.open_output(&clock).unwrap();
+        write_all(sink.as_mut(), b"v2").unwrap();
+        assert!(sink.close().is_err(), "commit hits the dropped op");
+        assert_eq!(dms.fetch_latest("spec").unwrap(), "v1", "nothing committed");
+        // The next attempt goes through.
+        let mut sink = provider.open_output(&clock).unwrap();
+        write_all(sink.as_mut(), b"v2").unwrap();
+        sink.close().unwrap();
+        assert_eq!(dms.fetch_latest("spec").unwrap(), "v2");
+    }
+
+    #[test]
+    fn origin_keys_group_documents_by_origin() {
+        let clock = VirtualClock::new();
+        let server = WebServer::new("parcweb");
+        server.publish("/a", "a", 10);
+        server.publish("/b", "b", 10);
+        let p1 = WebProvider::new(server.clone(), "/a", lan());
+        let p2 = WebProvider::new(server, "/b", lan());
+        assert_eq!(p1.origin_key(), p2.origin_key(), "same server, one origin");
+        assert_ne!(p1.describe(), p2.describe(), "but distinct documents");
+        let fs = MemFs::new(clock.clone());
+        fs.create("/x", "x");
+        assert_eq!(FsProvider::new(fs, "/x", lan()).origin_key(), "fs");
     }
 
     #[test]

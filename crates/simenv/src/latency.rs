@@ -8,6 +8,7 @@
 //! (e.g. a repository's request-processing overhead).
 
 use crate::clock::VirtualClock;
+use crate::fault::{FaultError, FaultPlan};
 use crate::rng::SimRng;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -76,6 +77,7 @@ struct LinkState {
     rng: SimRng,
     transfers: u64,
     bytes_moved: u64,
+    fault: Option<FaultPlan>,
 }
 
 impl Link {
@@ -93,6 +95,7 @@ impl Link {
                 rng: SimRng::seeded(seed ^ 0xC0FF_EE00_DEAD_BEEF),
                 transfers: 0,
                 bytes_moved: 0,
+                fault: None,
             })),
         }
     }
@@ -152,6 +155,48 @@ impl Link {
     pub fn counters(&self) -> (u64, u64) {
         let state = self.shared.lock();
         (state.transfers, state.bytes_moved)
+    }
+
+    /// Attaches a [`FaultPlan`]; all clones of this link share it.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.shared.lock().fault = Some(plan);
+    }
+
+    /// Detaches the fault plan, restoring a fault-free link.
+    pub fn clear_fault_plan(&self) {
+        self.shared.lock().fault = None;
+    }
+
+    /// Returns a handle to the attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.shared.lock().fault.clone()
+    }
+
+    /// Consults the attached fault plan for one operation.
+    ///
+    /// On an injected failure the wire time of the doomed attempt — one
+    /// round trip (a full timeout window for [`FaultError`] timeouts, when
+    /// the window end is known) — is charged to the clock before the error
+    /// returns. Scheduled latency spikes are charged by the plan itself.
+    /// Links with no plan attached always succeed and charge nothing.
+    pub fn faulted_op(&self, clock: &VirtualClock) -> Result<(), FaultError> {
+        let Some(plan) = self.fault_plan() else {
+            return Ok(());
+        };
+        match plan.assess(clock) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                let attempt_cost = match (err.kind, err.retry_after) {
+                    // A timeout hangs until its window closes.
+                    (crate::fault::FaultErrorKind::Timeout, Some(remaining)) => {
+                        self.rtt_micros.max(remaining)
+                    }
+                    _ => self.rtt_micros,
+                };
+                clock.advance(attempt_cost);
+                Err(err)
+            }
+        }
     }
 }
 

@@ -12,6 +12,8 @@
 //!   bandwidth profiles (local, LAN, WAN) with deterministic jitter.
 //! * [`rng::SimRng`] — a small, seedable xorshift generator so every
 //!   experiment is reproducible bit-for-bit.
+//! * [`fault::FaultPlan`] — scripted, deterministic failure schedules
+//!   (outages, timeouts, latency spikes, partitions) attachable to links.
 //! * [`trace`] — workload generators (Zipf document popularity, read/write
 //!   mixes, user populations) used by the benchmark harness.
 //!
@@ -19,10 +21,12 @@
 //! substrate the rest of the workspace builds on.
 
 pub mod clock;
+pub mod fault;
 pub mod latency;
 pub mod rng;
 pub mod trace;
 
 pub use clock::{Instant, Stopwatch, VirtualClock};
+pub use fault::{FaultError, FaultErrorKind, FaultPlan};
 pub use latency::{LatencyModel, Link, LinkClass};
 pub use rng::SimRng;

@@ -20,6 +20,12 @@ cargo build --release "${CARGO_FLAGS[@]}" --workspace
 echo "==> cargo test"
 cargo test -q "${CARGO_FLAGS[@]}" --workspace
 
+echo "==> fault matrix (resilience + fault-injection suite)"
+cargo test -q "${CARGO_FLAGS[@]}" --test fault_matrix
+
+echo "==> E-FAULT smoke (availability table under a scripted outage)"
+cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- fault
+
 echo "==> cargo clippy (-D warnings)"
 cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 

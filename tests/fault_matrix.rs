@@ -1,0 +1,562 @@
+//! Fault matrix: scripted repository failures against the resilient fetch
+//! pipeline (retries, circuit breaker, serve-stale degradation) and the
+//! sequence-numbered invalidation bus.
+//!
+//! Every scenario runs on the virtual clock with seeded fault plans, so
+//! each test is a deterministic replay — the determinism properties at the
+//! bottom assert that outright by comparing whole `CacheStats` structs
+//! across same-seed runs.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use placeless_bench::fault::{self, FaultParams, ResilienceMode};
+use placeless_cache::{
+    BreakerConfig, BreakerState, CacheConfig, CacheStats, DocumentCache, ResilienceConfig,
+    StalenessBound,
+};
+use placeless_core::bitprovider::BitProvider;
+use placeless_core::cacheability::Cacheability;
+use placeless_core::error::{PlacelessError, Result};
+use placeless_core::id::{DocumentId, UserId};
+use placeless_core::notifier::Invalidation;
+use placeless_core::space::DocumentSpace;
+use placeless_core::streams::{InputStream, MemoryInput, OutputStream};
+use placeless_core::verifier::{ClosureVerifier, Validity, Verifier};
+use placeless_repository::{FsProvider, MemFs, WebProvider, WebServer};
+use placeless_simenv::{FaultPlan, Instant, LatencyModel, Link, VirtualClock};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const USER: UserId = UserId(1);
+
+fn lan(seed: u64) -> Link {
+    Link::new(1_000, 10_000_000, 0.0, seed)
+}
+
+/// Outage while an entry is resident: without resilience the read fails;
+/// the entry survives and serves again once the origin returns.
+#[test]
+fn provider_outage_mid_read_surfaces_and_recovers() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/doc", "body");
+    let link = lan(1);
+    link.set_fault_plan(FaultPlan::builder(1).outage(10_000, 60_000).build());
+    let doc = space.create_document(USER, FsProvider::new(fs, "/doc", link));
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .build(),
+    );
+
+    assert_eq!(cache.read(USER, doc).expect("warm fill"), "body");
+
+    clock.advance_to(Instant(20_000));
+    let err = cache.read(USER, doc).expect_err("origin is dark");
+    assert!(matches!(err, PlacelessError::Unavailable { .. }), "{err}");
+    assert!(cache.contains(USER, doc), "the entry is kept, not poisoned");
+
+    clock.advance_to(Instant(60_000));
+    assert_eq!(cache.read(USER, doc).expect("origin is back"), "body");
+
+    let stats = cache.stats();
+    assert_eq!(stats.degraded_errors, 1);
+    assert_eq!(stats.misses, 1, "only the warm fill went to the origin");
+    assert_eq!(stats.hits, 1, "the post-outage read verified and hit");
+    assert_eq!(stats.stale_served, 0, "no stale service was configured");
+}
+
+/// Serve-stale masks the same outage — but only within the bound.
+#[test]
+fn serve_stale_honors_the_staleness_bound() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/doc", "body");
+    let link = lan(2);
+    link.set_fault_plan(FaultPlan::builder(2).outage(10_000, 500_000).build());
+    let doc = space.create_document(USER, FsProvider::new(fs, "/doc", link));
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .resilience(
+                ResilienceConfig::builder()
+                    .serve_stale(StalenessBound::micros(50_000))
+                    .build(),
+            )
+            .build(),
+    );
+
+    assert_eq!(cache.read(USER, doc).expect("warm fill"), "body");
+
+    // Within the bound: the unverifiable entry stands in for the origin.
+    clock.advance_to(Instant(20_000));
+    assert_eq!(cache.read(USER, doc).expect("stale service"), "body");
+
+    // Beyond the bound: the same entry is too old to trust.
+    clock.advance_to(Instant(200_000));
+    let err = cache.read(USER, doc).expect_err("bound exceeded");
+    assert!(err.is_transient());
+
+    let stats = cache.stats();
+    assert_eq!(stats.stale_served, 1);
+    assert_eq!(stats.degraded_errors, 1);
+}
+
+/// Timeout faults: a hung conditional-GET probe charges the whole hang to
+/// the virtual clock before the read recovers, and a cold fetch inside a
+/// timeout window surfaces [`PlacelessError::Timeout`] to the caller.
+#[test]
+fn timeout_during_revalidation_charges_and_surfaces() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let server = WebServer::new("origin");
+    server.publish("/page", "page body", 60_000_000);
+    server.publish("/cold", "cold body", 60_000_000);
+    let link = lan(3);
+    link.set_fault_plan(
+        FaultPlan::builder(3)
+            .timeout(10_000, 80_000)
+            .timeout(100_000, 150_000)
+            .build(),
+    );
+    let warm = space.create_document(
+        USER,
+        WebProvider::with_revalidation(server.clone(), "/page", link.clone()),
+    );
+    let cold = space.create_document(USER, WebProvider::with_revalidation(server, "/cold", link));
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .build(),
+    );
+
+    assert_eq!(cache.read(USER, warm).expect("warm fill"), "page body");
+
+    // Hit revalidation inside the window: the probe hangs until the
+    // window closes (the hang is charged), then the refetch goes through.
+    clock.advance_to(Instant(20_000));
+    assert_eq!(
+        cache.read(USER, warm).expect("refetched after hang"),
+        "page body"
+    );
+    assert!(
+        clock.now().as_micros() >= 80_000,
+        "the hang was charged to the clock, now={}µs",
+        clock.now().as_micros()
+    );
+    assert_eq!(cache.stats().misses, 2, "the hung probe forced a refetch");
+
+    // A cold fetch inside the second window has no entry to fall back on:
+    // the timeout surfaces, with the hang on the bill.
+    clock.advance_to(Instant(110_000));
+    let err = cache.read(USER, cold).expect_err("cold fetch hangs");
+    assert!(matches!(err, PlacelessError::Timeout { .. }), "{err}");
+    assert!(clock.now().as_micros() >= 150_000);
+
+    // Past the window everything flows again.
+    assert_eq!(cache.read(USER, cold).expect("recovered"), "cold body");
+    assert_eq!(cache.stats().degraded_errors, 1);
+}
+
+/// The per-fetch deadline bounds retry storms: a fetch that would retry
+/// past the budget aborts with `Timeout` instead of backing off forever.
+#[test]
+fn fetch_deadline_caps_the_retry_budget() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/doc", "body");
+    let link = lan(4);
+    link.set_fault_plan(FaultPlan::builder(4).outage(0, 10_000_000).build());
+    let doc = space.create_document(USER, FsProvider::new(fs, "/doc", link));
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .resilience(
+                ResilienceConfig::builder()
+                    .max_retries(10)
+                    .backoff_base_micros(4_000)
+                    .retry_seed(4)
+                    .fetch_deadline_micros(20_000)
+                    .build(),
+            )
+            .build(),
+    );
+
+    let err = cache.read(USER, doc).expect_err("deadline must fire");
+    assert!(matches!(err, PlacelessError::Timeout { .. }), "{err}");
+    let stats = cache.stats();
+    assert!(
+        stats.retries < 10,
+        "the deadline cut the retry budget short, used {}",
+        stats.retries
+    );
+    assert!(clock.now().as_micros() <= 40_000, "no unbounded backoff");
+}
+
+/// Breaker lifecycle: consecutive failures trip it open, open fast-fails
+/// without contacting the origin, a half-open probe fails and re-opens,
+/// and a successful probe closes it again.
+#[test]
+fn breaker_opens_half_opens_and_recovers() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    let link = lan(5);
+    let plan = FaultPlan::builder(5).outage(0, 200_000).build();
+    link.set_fault_plan(plan.clone());
+    let mut docs = Vec::new();
+    for i in 0..3 {
+        let path = format!("/doc-{i}");
+        fs.create(&path, "body");
+        docs.push(space.create_document(USER, FsProvider::new(fs.clone(), &path, link.clone())));
+    }
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .resilience(
+                ResilienceConfig::builder()
+                    .breaker(BreakerConfig {
+                        failure_threshold: 2,
+                        open_micros: 50_000,
+                        half_open_probes: 1,
+                    })
+                    .build(),
+            )
+            .build(),
+    );
+
+    // Two cold reads fail against the dark origin and trip the breaker.
+    assert!(cache.read(USER, docs[0]).is_err());
+    assert_eq!(cache.breaker_state("fs"), BreakerState::Closed);
+    assert!(cache.read(USER, docs[1]).is_err());
+    assert_eq!(cache.breaker_state("fs"), BreakerState::Open);
+    let failures_at_trip = plan.counters().failures_injected;
+
+    // Open: the next read fast-fails without touching the origin.
+    let err = cache.read(USER, docs[2]).expect_err("breaker rejects");
+    match err {
+        PlacelessError::Unavailable { retry_after, .. } => {
+            assert!(retry_after.is_some(), "cool-down is advertised");
+        }
+        other => panic!("expected Unavailable, got {other}"),
+    }
+    assert_eq!(
+        plan.counters().failures_injected,
+        failures_at_trip,
+        "no origin contact while open"
+    );
+
+    // Cool-down elapsed but the outage persists: the half-open probe
+    // fails and re-opens the breaker.
+    clock.advance_to(Instant(100_000));
+    assert!(cache.read(USER, docs[2]).is_err());
+    assert_eq!(cache.breaker_state("fs"), BreakerState::Open);
+
+    // Outage over, cool-down over: the probe succeeds and closes it.
+    clock.advance_to(Instant(250_000));
+    assert_eq!(cache.read(USER, docs[2]).expect("recovered"), "body");
+    assert_eq!(cache.breaker_state("fs"), BreakerState::Closed);
+
+    let stats = cache.stats();
+    assert_eq!(stats.breaker_trips, 2);
+    assert_eq!(stats.degraded_errors, 4);
+    assert_eq!(stats.misses, 1, "exactly one read ever got real bytes");
+}
+
+/// A dropped invalidation opens a consistency hole in a notifier-only
+/// cache; the sequence gap demotes the entries to verifier revalidation,
+/// which catches the stale bytes on the next read.
+#[test]
+fn dropped_invalidation_is_caught_by_demoted_verifiers() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
+    let provider = placeless_core::bitprovider::MemoryProvider::new("doc", "v1", 1_000);
+    let doc = space.create_document(USER, provider.clone());
+    let other = space.create_document(
+        USER,
+        placeless_core::bitprovider::MemoryProvider::new("other", "x", 1_000),
+    );
+    // Notifier-only configuration: verifiers are not run on hits.
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .run_verifiers(false)
+            .build(),
+    );
+    assert_eq!(cache.read(USER, doc).expect("warm"), "v1");
+    cache.read(USER, other).expect("warm");
+
+    // Baseline delivery so the sink has a sequence number to compare to.
+    space
+        .bus()
+        .post(Invalidation::UserDocument(other, UserId(99)));
+
+    // The source changes and the invalidation for it is lost in flight.
+    provider.set_out_of_band("v2");
+    space.bus().drop_next_deliveries(1);
+    space.bus().post(Invalidation::Document(doc));
+
+    // The hole is real: a notifier-only cache serves the stale bytes.
+    assert_eq!(cache.read(USER, doc).expect("hazard"), "v1");
+    assert_eq!(cache.stats().notifier_gaps, 0, "gap not yet visible");
+
+    // The next delivered notification reveals the gap; every resident
+    // entry is demoted to verifier revalidation.
+    space
+        .bus()
+        .post(Invalidation::UserDocument(other, UserId(99)));
+    assert_eq!(cache.stats().notifier_gaps, 1);
+
+    // The demoted entry's verifier now runs despite run_verifiers(false)
+    // and rejects the stale bytes — the cache never serves them again.
+    assert_eq!(cache.read(USER, doc).expect("refetched"), "v2");
+    let stats = cache.stats();
+    assert_eq!(stats.verifier_invalidations, 1);
+    assert_eq!(stats.misses, 3, "two warm fills + the demoted refetch");
+}
+
+/// An origin whose fetches fail while an out-of-band verifier still works.
+/// Serve-stale must never override a definite verifier rejection.
+struct RejectedOrigin {
+    state: Arc<Mutex<(u64, Bytes)>>,
+    down: AtomicBool,
+}
+
+impl RejectedOrigin {
+    fn new(content: &str) -> Arc<Self> {
+        Arc::new(Self {
+            state: Arc::new(Mutex::new((0, Bytes::copy_from_slice(content.as_bytes())))),
+            down: AtomicBool::new(false),
+        })
+    }
+
+    fn update(&self, content: &str) {
+        let mut state = self.state.lock();
+        state.0 += 1;
+        state.1 = Bytes::copy_from_slice(content.as_bytes());
+    }
+}
+
+impl BitProvider for RejectedOrigin {
+    fn describe(&self) -> String {
+        "rejected-origin".into()
+    }
+
+    fn open_input(&self, clock: &VirtualClock) -> Result<Box<dyn InputStream>> {
+        clock.advance(10);
+        if self.down.load(Ordering::SeqCst) {
+            return Err(PlacelessError::Unavailable {
+                source: self.describe(),
+                retry_after: None,
+            });
+        }
+        Ok(Box::new(MemoryInput::new(self.state.lock().1.clone())))
+    }
+
+    fn open_output(&self, _clock: &VirtualClock) -> Result<Box<dyn OutputStream>> {
+        Err(PlacelessError::ReadOnly(DocumentId(0)))
+    }
+
+    fn make_verifier(&self, _clock: &VirtualClock) -> Option<Box<dyn Verifier>> {
+        // The verifier checks a side channel that keeps working during
+        // the outage: it can still *refute* freshness while fetches fail.
+        let seen = self.state.lock().0;
+        let cell = Arc::clone(&self.state);
+        Some(ClosureVerifier::new("side-channel", 2, move |_| {
+            if cell.lock().0 == seen {
+                Validity::Valid
+            } else {
+                Validity::Invalid
+            }
+        }))
+    }
+
+    fn fetch_cost_micros(&self) -> u64 {
+        10
+    }
+
+    fn writable(&self) -> bool {
+        false
+    }
+
+    fn cacheability_vote(&self) -> Cacheability {
+        Cacheability::Unrestricted
+    }
+}
+
+/// Verifier-rejected bytes are never served stale, whatever the bound.
+#[test]
+fn stale_service_never_overrides_a_verifier_rejection() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
+    let origin = RejectedOrigin::new("v1");
+    let doc = space.create_document(USER, origin.clone());
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .resilience(
+                ResilienceConfig::builder()
+                    .serve_stale(StalenessBound::micros(u64::MAX))
+                    .build(),
+            )
+            .build(),
+    );
+
+    assert_eq!(cache.read(USER, doc).expect("warm"), "v1");
+
+    // The content changes and the origin goes down for fetches; the
+    // side-channel verifier still works and rejects the cached bytes.
+    origin.update("v2");
+    origin.down.store(true, Ordering::SeqCst);
+    let err = cache.read(USER, doc).expect_err("rejected, not degraded");
+    assert!(err.is_transient());
+    let stats = cache.stats();
+    assert_eq!(
+        stats.stale_served, 0,
+        "an unbounded staleness window still cannot serve refuted bytes"
+    );
+    assert_eq!(stats.verifier_invalidations, 1);
+    assert_eq!(stats.degraded_errors, 1);
+
+    // Back up: the fresh content flows.
+    origin.down.store(false, Ordering::SeqCst);
+    assert_eq!(cache.read(USER, doc).expect("recovered"), "v2");
+}
+
+/// The E-FAULT acceptance claim: with serve-stale + breaker, availability
+/// during the scripted outage is strictly higher than without resilience,
+/// and the numbers replay identically for the same seed.
+#[test]
+fn e_fault_availability_ranks_and_replays() {
+    let params = FaultParams::default();
+    let first = fault::sweep(params);
+    let second = fault::sweep(params);
+
+    let off = &first[0];
+    let full = &first[2];
+    assert_eq!(off.mode, ResilienceMode::Off);
+    assert_eq!(full.mode, ResilienceMode::BreakerAndStale);
+    assert!(
+        full.availability() > off.availability(),
+        "resilient {} must strictly beat unprotected {}",
+        full.availability(),
+        off.availability()
+    );
+    assert_eq!(full.failed, 0, "serve-stale masks the whole outage");
+    assert!(full.stats.stale_served > 0);
+    assert!(full.stats.breaker_trips > 0);
+
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.stats, b.stats, "{:?} must replay exactly", a.mode);
+        assert_eq!((a.served, a.failed), (b.served, b.failed));
+    }
+}
+
+/// Deterministic replay of a full cache run under a probabilistic fault
+/// plan: same seed in, byte-for-byte equal stats out.
+fn faulted_run(seed: u64, error_rate: f64, reads: u64) -> (Vec<Option<Bytes>>, CacheStats, u64) {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    let link = lan(seed);
+    link.set_fault_plan(
+        FaultPlan::builder(seed)
+            .error_rate(error_rate)
+            .outage(40_000, 80_000)
+            .build(),
+    );
+    let mut docs = Vec::new();
+    for i in 0..4 {
+        let path = format!("/d{i}");
+        fs.create(&path, format!("content {i}"));
+        docs.push(space.create_document(USER, FsProvider::new(fs.clone(), &path, link.clone())));
+    }
+    let plan = link.fault_plan().expect("plan attached");
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .shards(1)
+            .resilience(
+                ResilienceConfig::builder()
+                    .max_retries(2)
+                    .backoff_base_micros(500)
+                    .backoff_jitter_frac(128)
+                    .retry_seed(seed)
+                    .breaker(BreakerConfig {
+                        failure_threshold: 3,
+                        open_micros: 20_000,
+                        half_open_probes: 1,
+                    })
+                    .serve_stale(StalenessBound::micros(500_000))
+                    .build(),
+            )
+            .build(),
+    );
+    let mut outcomes = Vec::new();
+    for i in 0..reads {
+        let slot = Instant(i * 2_000);
+        if clock.now() < slot {
+            clock.advance_to(slot);
+        }
+        outcomes.push(cache.read(USER, docs[(i % 4) as usize]).ok());
+    }
+    (outcomes, cache.stats(), plan.counters().failures_injected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The backoff schedule is a pure function of (config, salt).
+    #[test]
+    fn backoff_schedule_replays_exactly(
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+        jitter in any::<u8>(),
+        base in 1u64..100_000,
+    ) {
+        use placeless_cache::resilience::BackoffSchedule;
+        let config = ResilienceConfig::builder()
+            .backoff_base_micros(base)
+            .backoff_jitter_frac(jitter)
+            .retry_seed(seed)
+            .build();
+        let mut a = BackoffSchedule::new(&config, salt);
+        let mut b = BackoffSchedule::new(&config, salt);
+        for attempt in 0..12 {
+            let da = a.delay_micros(attempt);
+            prop_assert_eq!(da, b.delay_micros(attempt));
+            // Jitter never exceeds the documented fraction of the base.
+            let floor = base.saturating_mul(1 << attempt.min(20));
+            prop_assert!(da >= floor);
+            prop_assert!(da <= floor + floor * u64::from(jitter) / 256 + 1);
+        }
+    }
+
+    /// Whole-cache fault replays: same seed, same outcome sequence, same
+    /// stats struct, same number of injected faults.
+    #[test]
+    fn fault_sequence_is_deterministic(
+        seed in any::<u64>(),
+        error_pct in 0u32..61,
+        reads in 8u64..48,
+    ) {
+        let rate = f64::from(error_pct) / 100.0;
+        let (out_a, stats_a, injected_a) = faulted_run(seed, rate, reads);
+        let (out_b, stats_b, injected_b) = faulted_run(seed, rate, reads);
+        prop_assert_eq!(out_a, out_b);
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(injected_a, injected_b);
+    }
+}
