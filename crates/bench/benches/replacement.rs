@@ -4,7 +4,7 @@
 //! `O(n)` on evict — visible here, invisible in the simulated experiment.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use placeless_cache::{by_name, EntryAttrs, ALL_POLICIES};
+use placeless_cache::{by_name, EntryAttrs, EntryKey, ALL_POLICIES};
 use placeless_core::id::{DocumentId, UserId};
 use std::hint::black_box;
 
@@ -20,7 +20,7 @@ fn bench_policy_cycle(c: &mut Criterion) {
                         let mut policy = by_name(name).expect("known");
                         for i in 0..4_096u64 {
                             policy.on_insert(
-                                (DocumentId(i), UserId(1)),
+                                EntryKey::Version(DocumentId(i), UserId(1)),
                                 &EntryAttrs::new(256 + (i % 1_024), (i % 97) as f64 * 100.0),
                             );
                         }
@@ -28,9 +28,9 @@ fn bench_policy_cycle(c: &mut Criterion) {
                     },
                     |mut policy| {
                         for i in 0..256u64 {
-                            policy.on_hit((DocumentId(i * 13 % 4_096), UserId(1)));
+                            policy.on_hit(EntryKey::Version(DocumentId(i * 13 % 4_096), UserId(1)));
                             policy.on_insert(
-                                (DocumentId(10_000 + i), UserId(1)),
+                                EntryKey::Version(DocumentId(10_000 + i), UserId(1)),
                                 &EntryAttrs::new(512, 1_000.0),
                             );
                             black_box(policy.evict());

@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use placeless_cache::{md5, SharedStore};
+use placeless_cache::{md5, EntryKey, SharedStore};
 use placeless_core::id::{DocumentId, UserId};
 use std::hint::black_box;
 
@@ -30,17 +30,20 @@ fn bench_shared_store(c: &mut Criterion) {
             i += 1;
             let mut content = payload.to_vec();
             content[0..8].copy_from_slice(&i.to_le_bytes());
-            black_box(store.insert((DocumentId(i), UserId(1)), Bytes::from(content)))
+            black_box(store.insert(
+                EntryKey::Version(DocumentId(i), UserId(1)),
+                Bytes::from(content),
+            ))
         })
     });
 
     group.bench_function("insert_shared", |b| {
         let mut i = 0u64;
         let mut store = SharedStore::new();
-        store.insert((DocumentId(0), UserId(0)), payload.clone());
+        store.insert(EntryKey::Version(DocumentId(0), UserId(0)), payload.clone());
         b.iter(|| {
             i += 1;
-            black_box(store.insert((DocumentId(i), UserId(1)), payload.clone()))
+            black_box(store.insert(EntryKey::Version(DocumentId(i), UserId(1)), payload.clone()))
         })
     });
 

@@ -8,11 +8,15 @@
 //!
 //! Experiments: `table1`, `notifier-verifier`, `replacement`, `sharing`,
 //! `consistency`, `qos`, `collections`, `chain`, `placement`,
-//! `revalidation`, `scale`, `fault`.
+//! `revalidation`, `scale`, `fault`, `stage`.
+//!
+//! The `stage` experiment additionally writes `BENCH_stage.json` next to
+//! the working directory so the staged-caching numbers are
+//! machine-readable run over run.
 
 use placeless_bench::{
     chain, collections, consistency, fault, nv, placement, qos, replacement, revalidation, scale,
-    sharing, table1,
+    sharing, stage, table1,
 };
 use placeless_cache::ALL_POLICIES;
 
@@ -57,6 +61,90 @@ fn main() {
     if want("fault") {
         run_fault();
     }
+    if want("stage") {
+        run_stage();
+    }
+}
+
+fn run_stage() {
+    let params = stage::StageParams::default();
+    println!(
+        "== E-STAGE: staged transform plans ({} users, {}-stage base chain, {} ms/stage) ==\n",
+        params.users,
+        params.base_chain,
+        params.per_stage_micros as f64 / 1_000.0
+    );
+    println!(
+        "{:<12} {:>10} {:>14} {:>10} {:>10} {:>10} {:>12}",
+        "stage cache", "first ms", "later user ms", "hit ms", "st.hits", "entries", "physical KB"
+    );
+    let results = stage::sweep(params);
+    for r in &results {
+        println!(
+            "{:<12} {:>10.2} {:>14.2} {:>10.3} {:>10} {:>10} {:>12.1}",
+            if r.stage_cache { "on" } else { "off" },
+            r.first_user_micros as f64 / 1_000.0,
+            r.later_user_mean_micros as f64 / 1_000.0,
+            r.repeat_hit_micros as f64 / 1_000.0,
+            r.stats.stage_hits,
+            r.stage_entries,
+            r.physical_bytes as f64 / 1_024.0
+        );
+    }
+    println!("\n(with staging, later users replay only the per-user suffix over the");
+    println!(" shared base prefix; the base intermediates are resident exactly once)\n");
+
+    let json = stage_json(params, &results);
+    match std::fs::write("BENCH_stage.json", &json) {
+        Ok(()) => println!("wrote BENCH_stage.json\n"),
+        Err(e) => eprintln!("could not write BENCH_stage.json: {e}\n"),
+    }
+}
+
+/// Hand-formats the E-STAGE results as JSON (no serde in the tree).
+fn stage_json(params: stage::StageParams, results: &[stage::StageResult]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"stage\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"users\": {}, \"base_chain\": {}, \"body_bytes\": {}, \
+         \"per_stage_micros\": {}, \"tag_micros\": {}, \"fetch_micros\": {}}},\n",
+        params.users,
+        params.base_chain,
+        params.body_bytes,
+        params.per_stage_micros,
+        params.tag_micros,
+        params.fetch_micros
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let reads = r.stats.hits + r.stats.misses;
+        out.push_str(&format!(
+            "    {{\"stage_cache\": {}, \"first_user_micros\": {}, \
+             \"later_user_mean_micros\": {}, \"repeat_hit_micros\": {}, \
+             \"mean_read_micros\": {:.1}, \"stage_hits\": {}, \
+             \"stage_partial_hits\": {}, \"stage_hit_rate\": {:.4}, \
+             \"stage_entries\": {}, \"stage_bytes\": {}, \
+             \"physical_bytes\": {}, \"logical_bytes\": {}}}{}\n",
+            r.stage_cache,
+            r.first_user_micros,
+            r.later_user_mean_micros,
+            r.repeat_hit_micros,
+            (r.stats.hit_micros + r.stats.miss_micros) as f64 / reads.max(1) as f64,
+            r.stats.stage_hits,
+            r.stats.stage_partial_hits,
+            if r.stats.misses == 0 {
+                0.0
+            } else {
+                r.stats.stage_partial_hits as f64 / r.stats.misses as f64
+            },
+            r.stage_entries,
+            r.stats.stage_bytes,
+            r.physical_bytes,
+            r.logical_bytes,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn run_fault() {

@@ -18,6 +18,7 @@
 //! | [`revalidation`] | TTL vs conditional-GET verifiers for web docs | §3 WWW discussion |
 //! | [`scale`] | sharded-cache read-throughput scaling (wall-clock) | §4 implementation |
 //! | [`fault`] | read availability under origin outages | §3 robustness ablation |
+//! | [`stage`] | staged transform plans: partial hits over a shared base prefix | §3 per-user versions |
 
 pub mod chain;
 pub mod collections;
@@ -30,5 +31,6 @@ pub mod replacement;
 pub mod revalidation;
 pub mod scale;
 pub mod sharing;
+pub mod stage;
 pub mod support;
 pub mod table1;

@@ -1,0 +1,256 @@
+//! Experiment **E-STAGE**: staged transform plans with intermediate-result
+//! caching — the partial hit.
+//!
+//! The paper's central cost is that active properties force per-user
+//! versions: every miss re-executes the full transform chain even when two
+//! users share an identical base-property prefix. With stage caching on,
+//! the compiled [`placeless_core::plan::TransformPlan`] content-addresses
+//! each stage's output, so the first reader pays for the base chain once
+//! and every later user's miss replays only its per-user reference suffix.
+//!
+//! The scenario: one document behind a `fetch_micros` provider, a
+//! universal base chain of `base_chain` tagging transforms (each charging
+//! `per_stage_micros`), and one per-user tagging transform. Every user's
+//! rendition is distinct (the per-user tag defeats whole-version sharing),
+//! so any saving must come from the staged prefix.
+
+use crate::support::TagProperty;
+use placeless_cache::{CacheConfig, CacheStats, DocumentCache};
+use placeless_core::prelude::*;
+use placeless_simenv::trace::lorem_bytes;
+use placeless_simenv::VirtualClock;
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StageParams {
+    /// Number of users reading the document.
+    pub users: usize,
+    /// Number of universal (user-independent) base transforms.
+    pub base_chain: usize,
+    /// Provider body size in bytes.
+    pub body_bytes: usize,
+    /// Execution cost of each base transform.
+    pub per_stage_micros: u64,
+    /// Execution cost of the per-user transform.
+    pub tag_micros: u64,
+    /// Provider fetch latency.
+    pub fetch_micros: u64,
+}
+
+impl Default for StageParams {
+    fn default() -> Self {
+        Self {
+            users: 4,
+            base_chain: 3,
+            body_bytes: 4_096,
+            per_stage_micros: 2_000,
+            tag_micros: 500,
+            fetch_micros: 1_000,
+        }
+    }
+}
+
+impl StageParams {
+    /// Bytes each `[base-i]` / `[user-u]` marker appends (single-digit
+    /// indices).
+    pub const MARKER_BYTES: usize = 8;
+
+    /// Size of the `i`-th base stage's output (1-based).
+    pub fn base_output_bytes(&self, i: usize) -> usize {
+        self.body_bytes + i * Self::MARKER_BYTES
+    }
+
+    /// Size of one user's final rendition.
+    pub fn final_bytes(&self) -> usize {
+        self.base_output_bytes(self.base_chain) + Self::MARKER_BYTES
+    }
+}
+
+/// The outcome of one run (stage caching on or off).
+#[derive(Debug, Clone)]
+pub struct StageResult {
+    /// Whether intermediate stage outputs were retained.
+    pub stage_cache: bool,
+    /// The parameters the run used.
+    pub params: StageParams,
+    /// Cost of the very first read (cold everything).
+    pub first_user_micros: u64,
+    /// Mean cost of each *later* user's first read — the partial-hit
+    /// measurement.
+    pub later_user_mean_micros: u64,
+    /// Cost of a repeat read by the first user (a whole-version hit).
+    pub repeat_hit_micros: u64,
+    /// Intermediate stage entries resident at the end.
+    pub stage_entries: usize,
+    /// Deduplicated content bytes resident.
+    pub physical_bytes: u64,
+    /// Bytes a share-nothing cache would hold.
+    pub logical_bytes: u64,
+    /// Full counter snapshot.
+    pub stats: CacheStats,
+}
+
+/// Runs the scenario once with stage caching `on` or off.
+pub fn run_one(stage_cache: bool, params: StageParams) -> StageResult {
+    assert!(params.users >= 2, "need a second user for the partial hit");
+    assert!(params.users < 10 && params.base_chain < 10, "single digits");
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let provider = MemoryProvider::new(
+        "doc",
+        lorem_bytes(7, params.body_bytes),
+        params.fetch_micros,
+    );
+    let doc = space.create_document(UserId(0), provider);
+    for i in 0..params.base_chain {
+        space
+            .attach_active(
+                Scope::Universal,
+                doc,
+                TagProperty::new(&format!("base-{i}"), params.per_stage_micros),
+            )
+            .expect("attach base");
+    }
+    let users: Vec<UserId> = (1..=params.users as u64).map(UserId).collect();
+    for &user in &users {
+        space.add_reference(user, doc).expect("reference");
+        space
+            .attach_active(
+                Scope::Personal(user),
+                doc,
+                TagProperty::new(&format!("user-{}", user.0), params.tag_micros),
+            )
+            .expect("attach tag");
+    }
+
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .capacity_bytes(u64::MAX)
+            .stage_cache(stage_cache)
+            .build(),
+    );
+
+    let t0 = clock.now();
+    let _ = cache.read(users[0], doc).expect("first read");
+    let first_user_micros = clock.now().since(t0);
+
+    let t1 = clock.now();
+    for &user in &users[1..] {
+        let _ = cache.read(user, doc).expect("later read");
+    }
+    let later_user_mean_micros = clock.now().since(t1) / (params.users as u64 - 1);
+
+    let t2 = clock.now();
+    let _ = cache.read(users[0], doc).expect("repeat read");
+    let repeat_hit_micros = clock.now().since(t2);
+
+    let (physical_bytes, logical_bytes) = cache.resident_bytes();
+    StageResult {
+        stage_cache,
+        params,
+        first_user_micros,
+        later_user_mean_micros,
+        repeat_hit_micros,
+        stage_entries: cache.stage_entry_count(),
+        physical_bytes,
+        logical_bytes,
+        stats: cache.stats(),
+    }
+}
+
+/// Runs the off/on pair.
+pub fn sweep(params: StageParams) -> Vec<StageResult> {
+    vec![run_one(false, params), run_one(true, params)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance criterion: with stage caching on, a later user's
+    /// read replays only the per-user suffix, so it costs less than the
+    /// full-chain re-execution the plain cache pays.
+    #[test]
+    fn later_users_pay_only_the_reference_suffix() {
+        let params = StageParams::default();
+        let off = run_one(false, params);
+        let on = run_one(true, params);
+
+        // Plain cache: every user's first read re-executes the whole chain.
+        let full_chain = params.fetch_micros + params.base_chain as u64 * params.per_stage_micros;
+        assert!(off.later_user_mean_micros > full_chain);
+
+        // Staged cache: later users skip the base chain entirely.
+        assert!(
+            on.later_user_mean_micros < off.later_user_mean_micros,
+            "partial hit {} vs full re-execution {}",
+            on.later_user_mean_micros,
+            off.later_user_mean_micros
+        );
+        assert!(
+            on.later_user_mean_micros
+                < full_chain - (params.base_chain as u64 - 1) * params.per_stage_micros,
+            "later read {} did not skip the base stages",
+            on.later_user_mean_micros
+        );
+        // The first read still pays for everything.
+        assert!(on.first_user_micros > full_chain);
+        // Whole-version hits are unaffected either way.
+        assert!(on.repeat_hit_micros < params.fetch_micros);
+    }
+
+    /// The other acceptance half: the shared base-stage bytes are resident
+    /// exactly once across users.
+    #[test]
+    fn base_stage_bytes_resident_exactly_once() {
+        let params = StageParams::default();
+        let off = run_one(false, params);
+        let on = run_one(true, params);
+
+        // Every user's rendition is distinct, so the plain cache holds one
+        // copy per user and nothing else.
+        let finals = params.users as u64 * params.final_bytes() as u64;
+        assert_eq!(off.physical_bytes, finals);
+        assert_eq!(off.stage_entries, 0);
+
+        // The staged cache adds each base intermediate once — not once per
+        // user — and each user's tag-stage output shares bytes with that
+        // user's final version entry.
+        let base_once: u64 = (1..=params.base_chain)
+            .map(|i| params.base_output_bytes(i) as u64)
+            .sum();
+        assert_eq!(on.physical_bytes, finals + base_once);
+        assert_eq!(
+            on.stage_entries,
+            params.base_chain + params.users,
+            "one entry per base stage plus one per user tag stage"
+        );
+        assert_eq!(on.stats.stage_bytes, base_once + finals);
+    }
+
+    /// Stage counters reflect the partial hits.
+    #[test]
+    fn stage_counters_track_partial_hits() {
+        let params = StageParams::default();
+        let on = run_one(true, params);
+        // Each later user hits every base stage.
+        assert_eq!(
+            on.stats.stage_hits,
+            (params.users as u64 - 1) * params.base_chain as u64
+        );
+        assert_eq!(on.stats.stage_partial_hits, params.users as u64 - 1);
+        // The repeat read was a whole-version hit, not a stage walk.
+        assert_eq!(on.stats.hits, 1);
+        assert_eq!(on.stats.misses, params.users as u64);
+    }
+
+    /// With stage caching off the staged machinery is inert.
+    #[test]
+    fn stage_cache_off_is_inert() {
+        let off = run_one(false, StageParams::default());
+        assert_eq!(off.stats.stage_hits, 0);
+        assert_eq!(off.stats.stage_partial_hits, 0);
+        assert_eq!(off.stats.stage_bytes, 0);
+    }
+}

@@ -117,7 +117,7 @@ mod tests {
     use placeless_core::id::{DocumentId, UserId};
 
     fn key(d: u64, u: u64) -> EntryKey {
-        (DocumentId(d), UserId(u))
+        EntryKey::Version(DocumentId(d), UserId(u))
     }
 
     #[test]
@@ -166,6 +166,44 @@ mod tests {
         assert_eq!(store.key_count(), 1);
         assert_eq!(store.distinct_contents(), 1);
         assert_eq!(store.get(key(1, 1)).unwrap(), "v2");
+    }
+
+    /// Regression test for the re-point path: `insert` over a live key must
+    /// decrement the *old* signature's refcount (via the leading `remove`)
+    /// before establishing the new mapping, and orphaned bytes must leave
+    /// the store immediately — not linger until some later removal.
+    #[test]
+    fn repoint_decrements_old_refcount_and_evicts_orphans() {
+        let mut store = SharedStore::new();
+        // Two keys share v1; a third holds v2.
+        store.insert(key(1, 1), Bytes::from_static(b"v1-bytes"));
+        store.insert(key(1, 2), Bytes::from_static(b"v1-bytes"));
+        store.insert(key(2, 1), Bytes::from_static(b"v2-bytes!"));
+        assert_eq!(store.distinct_contents(), 2);
+        assert_eq!(store.physical_bytes(), 8 + 9);
+
+        // Re-point one v1 holder onto v2: v1 must survive (one ref left)
+        // and the fill must report sharing v2's bytes.
+        let (sig, shared) = store.insert(key(1, 1), Bytes::from_static(b"v2-bytes!"));
+        assert!(shared, "v2 bytes were already resident");
+        assert_eq!(store.signature_of(key(2, 1)), Some(sig));
+        assert_eq!(store.distinct_contents(), 2, "one v1 reference remains");
+        assert_eq!(store.logical_bytes(), 8 + 9 + 9);
+
+        // Re-point the last v1 holder: the orphaned v1 bytes must be
+        // evicted by the insert itself.
+        store.insert(key(1, 2), Bytes::from_static(b"v2-bytes!"));
+        assert_eq!(store.distinct_contents(), 1, "v1 orphan evicted");
+        assert_eq!(store.physical_bytes(), 9);
+        assert_eq!(store.key_count(), 3);
+
+        // And the refcount actually moved: dropping two of the three v2
+        // holders keeps the bytes, dropping the last frees them.
+        assert!(store.remove(key(1, 1)));
+        assert!(store.remove(key(1, 2)));
+        assert_eq!(store.physical_bytes(), 9, "still one v2 reference");
+        assert!(store.remove(key(2, 1)));
+        assert_eq!(store.physical_bytes(), 0);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   identical renditions share bytes across shards and users.
 //! * [`keys::SharedStore`] — the single-threaded predecessor mapping,
 //!   kept for reference models and microbenchmarks.
-//! * [`digest`] — in-tree MD5 (RFC 1321) content signatures.
+//! * [`digest`] — in-tree MD5 (RFC 1321) content signatures (re-exported
+//!   from `placeless_core`, where the plan compiler also derives per-stage
+//!   signatures from them).
 //! * [`policy`] — Greedy-Dual-Size driven by property-supplied replacement
 //!   costs, plus LRU / LFU / SIZE / FIFO / GD(1) baselines; policies are
 //!   built per shard from a cloneable [`policy::PolicyFactory`] and fed
@@ -25,7 +27,8 @@
 //! * [`stats::CacheStats`] — the counters every experiment reports
 //!   (accumulated lock-free in [`stats::AtomicCacheStats`]).
 
-pub mod digest;
+pub use placeless_core::digest;
+
 pub mod entry;
 pub mod keys;
 pub mod manager;
@@ -40,7 +43,7 @@ pub use keys::SharedStore;
 pub use manager::{default_shard_count, CacheConfig, CacheConfigBuilder, DocumentCache, WriteMode};
 pub use policy::{
     by_name, EntryAttrs, EntryKey, GdsFrequency, GreedyDualSize, PolicyFactory, ReplacementPolicy,
-    UnknownPolicy, ALL_POLICIES,
+    UnknownPolicy, ALL_POLICIES, STAGE_COST_DISCOUNT, STAGE_PIN_LEVEL,
 };
 pub use prefetch::PrefetchConfig;
 pub use resilience::{

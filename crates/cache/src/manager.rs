@@ -69,7 +69,7 @@
 //! middleware path may re-enter the cache through the invalidation bus.
 
 use crate::entry::EntryMeta;
-use crate::policy::{EntryAttrs, EntryKey, PolicyFactory, ReplacementPolicy};
+use crate::policy::{EntryAttrs, EntryKey, PolicyFactory, ReplacementPolicy, STAGE_PIN_LEVEL};
 use crate::prefetch::PrefetchConfig;
 use crate::resilience::{Admission, BackoffSchedule, BreakerSet, BreakerState, ResilienceConfig};
 use crate::stats::{AtomicCacheStats, CacheStats};
@@ -83,6 +83,7 @@ use placeless_core::id::{CacheId, DocumentId, UserId};
 use placeless_core::notifier::{Invalidation, InvalidationSink};
 use placeless_core::property::PathReport;
 use placeless_core::space::DocumentSpace;
+use placeless_core::streams::read_all;
 use placeless_core::verifier::{run_all, Validity};
 use placeless_simenv::{Instant, LatencyModel, Link, Stopwatch, VirtualClock};
 use std::collections::HashMap;
@@ -139,6 +140,13 @@ pub struct CacheConfig {
     /// degradation. The default disables all of it, reproducing the
     /// fail-fast behaviour exactly.
     pub resilience: ResilienceConfig,
+    /// Retain intermediate stage outputs from the compiled transform plan,
+    /// content-addressed by stage signature, so the user-independent base
+    /// prefix of a property chain is computed once and shared across
+    /// users; later misses replay only the per-user reference suffix. Off
+    /// by default: misses then execute the chain as one opaque stream,
+    /// exactly as before.
+    pub stage_cache: bool,
 }
 
 impl Default for CacheConfig {
@@ -153,6 +161,7 @@ impl Default for CacheConfig {
             access_link: None,
             shards: 0,
             resilience: ResilienceConfig::default(),
+            stage_cache: false,
         }
     }
 }
@@ -238,6 +247,13 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Enables or disables intermediate-result (stage) caching on the miss
+    /// path.
+    pub fn stage_cache(mut self, on: bool) -> Self {
+        self.config.stage_cache = on;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> CacheConfig {
         self.config
@@ -269,6 +285,7 @@ pub struct DocumentCache {
     store: ConcurrentStore,
     stats: AtomicCacheStats,
     resilience: ResilienceConfig,
+    stage_cache: bool,
     breakers: BreakerSet,
     /// Highest invalidation-bus sequence number seen; `0` until the first
     /// delivery. Gaps mean dropped notifications (see
@@ -308,6 +325,7 @@ impl DocumentCache {
             store: ConcurrentStore::new(),
             stats: AtomicCacheStats::default(),
             resilience: config.resilience,
+            stage_cache: config.stage_cache,
             breakers: BreakerSet::new(),
             last_seq: AtomicU64::new(0),
         });
@@ -346,9 +364,18 @@ impl DocumentCache {
         self.breakers.state(origin)
     }
 
-    /// Returns the number of resident `(document, user)` entries.
+    /// Returns the number of resident entries — final `(document, user)`
+    /// versions plus (with stage caching) intermediate stage entries.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().meta.len()).sum()
+    }
+
+    /// Returns the number of resident intermediate stage entries.
+    pub fn stage_entry_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().meta.keys().filter(|k| k.is_stage()).count())
+            .sum()
     }
 
     /// Returns `true` if no entries are resident.
@@ -364,7 +391,7 @@ impl DocumentCache {
 
     /// Returns `true` if `(doc, user)` is resident.
     pub fn contains(&self, user: UserId, doc: DocumentId) -> bool {
-        let key = (doc, user);
+        let key = EntryKey::Version(doc, user);
         self.shard(key).lock().meta.contains_key(&key)
     }
 
@@ -372,9 +399,18 @@ impl DocumentCache {
     /// placement is identical across runs and machines (std's default
     /// hasher is randomly seeded and would break reproducibility).
     fn shard_index(&self, key: EntryKey) -> usize {
-        let (DocumentId(doc), UserId(user)) = key;
-        let mixed =
-            doc.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ user.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let mixed = match key {
+            EntryKey::Version(DocumentId(doc), UserId(user)) => {
+                doc.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ user.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            }
+            // A stage signature is an MD5 digest: hash its two halves with
+            // the same mixers for identical distribution properties.
+            EntryKey::Stage(sig) => {
+                let lo = u64::from_le_bytes(sig.0[..8].try_into().expect("8 bytes"));
+                let hi = u64::from_le_bytes(sig.0[8..].try_into().expect("8 bytes"));
+                lo.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ hi.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            }
+        };
         // Use the high bits: multiplicative hashing mixes upward.
         (mixed >> 32) as usize % self.shards.len()
     }
@@ -385,26 +421,34 @@ impl DocumentCache {
 
     /// Removes an entry for a non-eviction reason (invalidation), telling
     /// the policy. Returns `true` if the entry existed.
-    fn drop_entry(shard: &mut Shard, store: &ConcurrentStore, key: EntryKey) -> bool {
+    fn drop_entry(&self, shard: &mut Shard, key: EntryKey) -> bool {
         let existed = match shard.sigs.remove(&key) {
             Some(sig) => {
-                store.release(sig);
+                self.store.release(sig);
                 true
             }
             None => false,
         };
-        shard.meta.remove(&key);
+        if let Some(meta) = shard.meta.remove(&key) {
+            if key.is_stage() {
+                AtomicCacheStats::sub(&self.stats.stage_bytes, meta.size);
+            }
+        }
         shard.policy.on_remove(key);
         existed
     }
 
     /// Removes an entry the policy already chose (and forgot) as an
     /// eviction victim.
-    fn drop_victim(shard: &mut Shard, store: &ConcurrentStore, victim: EntryKey) {
+    fn drop_victim(&self, shard: &mut Shard, victim: EntryKey) {
         if let Some(sig) = shard.sigs.remove(&victim) {
-            store.release(sig);
+            self.store.release(sig);
         }
-        shard.meta.remove(&victim);
+        if let Some(meta) = shard.meta.remove(&victim) {
+            if victim.is_stage() {
+                AtomicCacheStats::sub(&self.stats.stage_bytes, meta.size);
+            }
+        }
     }
 
     /// Evicts one entry from some *other* shard to make room, probing
@@ -418,7 +462,7 @@ impl DocumentCache {
                 continue;
             };
             if let Some(victim) = shard.policy.evict() {
-                Self::drop_victim(&mut shard, &self.store, victim);
+                self.drop_victim(&mut shard, victim);
                 AtomicCacheStats::bump(&self.stats.evictions);
                 return true;
             }
@@ -428,7 +472,7 @@ impl DocumentCache {
 
     /// Reads a document for `user`, serving from the cache when possible.
     pub fn read(&self, user: UserId, doc: DocumentId) -> Result<Bytes> {
-        let key = (doc, user);
+        let key = EntryKey::Version(doc, user);
         let clock = self.space.clock().clone();
         let watch = Stopwatch::start(&clock);
 
@@ -512,7 +556,7 @@ impl DocumentCache {
                         Outcome::Serve(bytes, forward)
                     }
                     Validity::Invalid => {
-                        Self::drop_entry(&mut shard, &self.store, key);
+                        self.drop_entry(&mut shard, key);
                         AtomicCacheStats::bump(&self.stats.verifier_invalidations);
                         Outcome::Miss
                     }
@@ -623,7 +667,7 @@ impl DocumentCache {
         clock: &VirtualClock,
     ) -> Result<(Bytes, PathReport)> {
         if self.resilience.is_noop() {
-            return self.space.read_document(user, doc);
+            return self.fetch_once(user, doc, clock);
         }
         let origin = self
             .space
@@ -647,7 +691,7 @@ impl DocumentCache {
                     });
                 }
             }
-            match self.space.read_document(user, doc) {
+            match self.fetch_once(user, doc, clock) {
                 Ok(fetched) => {
                     if let Some(config) = &self.resilience.breaker {
                         self.breakers.record_success(config, &origin);
@@ -682,6 +726,127 @@ impl DocumentCache {
         }
     }
 
+    /// Executes one middleware read attempt: the plain opaque-stream read,
+    /// or — with stage caching on — the compiled-plan walk with
+    /// intermediate-result lookups. Runs with no cache lock held.
+    fn fetch_once(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+        clock: &VirtualClock,
+    ) -> Result<(Bytes, PathReport)> {
+        if self.stage_cache {
+            self.read_through_stages(user, doc, clock)
+        } else {
+            self.space.read_document(user, doc)
+        }
+    }
+
+    /// Walks the compiled [`TransformPlan`](placeless_core::plan::TransformPlan)
+    /// stage by stage, executing each stage buffered and skipping stages
+    /// whose output is already resident under its stage signature.
+    ///
+    /// The provider bytes are always fetched fresh: they root the signature
+    /// chain, so a stage hit is *proof* that the resident intermediate was
+    /// derived from exactly these source bytes by exactly this transform —
+    /// stale intermediates are never served, they just stop being looked
+    /// up. Skipped stages do not charge the virtual clock (that is the
+    /// saving) but still accrue their replacement cost and still register
+    /// their path metadata (votes, verifiers, pins) via a lazy dummy wrap.
+    fn read_through_stages(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+        clock: &VirtualClock,
+    ) -> Result<(Bytes, PathReport)> {
+        let plan = self.space.read_plan(user, doc)?;
+        let mut report = plan.seed_report(clock);
+        let mut stream = plan.provider.open_input(clock)?;
+        let mut bytes = read_all(stream.as_mut())?;
+        drop(stream);
+        // The chain signature: the provider digest, then each signed
+        // stage's signature (or a digest of an opaque stage's real output).
+        let mut chain_sig = ConcurrentStore::signature_of(&bytes);
+        let mut any_hit = false;
+        for index in 0..plan.len() {
+            match plan.stage_signature(index, chain_sig) {
+                Some(stage_sig) => {
+                    if let Some(cached) = self.stage_lookup(stage_sig) {
+                        plan.note_stage_hit(clock, index, &mut report, stage_sig)?;
+                        AtomicCacheStats::bump(&self.stats.stage_hits);
+                        any_hit = true;
+                        bytes = cached;
+                    } else {
+                        bytes = plan.run_stage_buffered(
+                            clock,
+                            index,
+                            &mut report,
+                            bytes,
+                            Some(stage_sig),
+                        )?;
+                        if report.cacheability != Cacheability::Uncacheable {
+                            // Replacement cost = everything it would take to
+                            // rebuild this intermediate: provider fetch plus
+                            // the chain prefix up to and including this stage.
+                            self.fill_stage(
+                                stage_sig,
+                                bytes.clone(),
+                                report.cost.effective_micros(),
+                            );
+                        }
+                    }
+                    chain_sig = stage_sig;
+                }
+                None => {
+                    // Opaque stage: executes on every read; the signature
+                    // chain restarts from its actual output, so downstream
+                    // stages stay cacheable.
+                    bytes = plan.run_stage_buffered(clock, index, &mut report, bytes, None)?;
+                    chain_sig = ConcurrentStore::signature_of(&bytes);
+                }
+            }
+        }
+        if any_hit {
+            AtomicCacheStats::bump(&self.stats.stage_partial_hits);
+        }
+        Ok((bytes, report))
+    }
+
+    /// Looks up an intermediate stage entry, registering the hit with the
+    /// entry's shard policy. Briefly takes one shard lock.
+    fn stage_lookup(&self, sig: Signature) -> Option<Bytes> {
+        let key = EntryKey::Stage(sig);
+        let mut shard = self.shard(key).lock();
+        let content_sig = *shard.sigs.get(&key)?;
+        let bytes = self.store.get(content_sig)?;
+        if let Some(meta) = shard.meta.get_mut(&key) {
+            meta.hits += 1;
+        }
+        shard.policy.on_hit(key);
+        Some(bytes)
+    }
+
+    /// Inserts an intermediate stage output under its stage signature,
+    /// competing for residency like any other entry but tagged
+    /// [`STAGE_PIN_LEVEL`] so cost-aware policies discount it.
+    fn fill_stage(&self, sig: Signature, bytes: Bytes, cost: f64) {
+        let key = EntryKey::Stage(sig);
+        let index = self.shard_index(key);
+        let mut shard = self.shards[index].lock();
+        // Content-addressed: an existing binding is already this content.
+        if shard.sigs.contains_key(&key) {
+            return;
+        }
+        let meta = EntryMeta::new(
+            Vec::new(),
+            Cacheability::Unrestricted,
+            cost,
+            bytes.len() as u64,
+            self.space.clock().now(),
+        );
+        self.install_locked(index, &mut shard, key, bytes, meta, STAGE_PIN_LEVEL);
+    }
+
     /// Records an invalidation-bus sequence number and reacts to gaps.
     ///
     /// Sequence numbers are dense over every bus post; a jump of more
@@ -705,6 +870,12 @@ impl DocumentCache {
             let mut shard = mutex.lock();
             let keys: Vec<EntryKey> = shard.meta.keys().copied().collect();
             for key in keys {
+                // Stage entries are exempt: they are content-addressed, so a
+                // lost invalidation can never make one serve stale data —
+                // the lookup key itself stops resolving.
+                if key.is_stage() {
+                    continue;
+                }
                 let has_verifiers = shard
                     .meta
                     .get(&key)
@@ -714,7 +885,7 @@ impl DocumentCache {
                         meta.force_verify = true;
                     }
                 } else {
-                    Self::drop_entry(&mut shard, &self.store, key);
+                    self.drop_entry(&mut shard, key);
                 }
             }
         }
@@ -743,28 +914,50 @@ impl DocumentCache {
         prefetched: bool,
     ) {
         let clock = self.space.clock();
-        let size = bytes.len() as u64;
-        let cost = report.cost.effective_micros();
-        // A re-fill over an existing binding releases the old content.
-        if let Some(old) = shard.sigs.remove(&key) {
-            self.store.release(old);
-        }
         let mut meta = EntryMeta::new(
             report.verifiers,
             report.cacheability,
-            cost,
-            size,
+            report.cost.effective_micros(),
+            bytes.len() as u64,
             clock.now(),
         );
         meta.pinned = report.pinned;
         meta.prefetched = prefetched;
+        self.install_locked(index, shard, key, bytes, meta, 0);
+    }
+
+    /// The shared insert-with-reservation loop behind [`Self::fill_locked`]
+    /// (final versions) and [`Self::fill_stage`] (intermediates). Caller
+    /// holds the shard lock for `index`.
+    fn install_locked(
+        &self,
+        index: usize,
+        shard: &mut Shard,
+        key: EntryKey,
+        bytes: Bytes,
+        meta: EntryMeta,
+        pin_level: u8,
+    ) {
+        let size = meta.size;
+        let cost = meta.cost_micros;
+        let pinned = meta.pinned;
+        // A re-fill over an existing binding releases the old content.
+        if let Some(old) = shard.sigs.remove(&key) {
+            self.store.release(old);
+            if key.is_stage() {
+                if let Some(old_meta) = shard.meta.get(&key) {
+                    AtomicCacheStats::sub(&self.stats.stage_bytes, old_meta.size);
+                }
+            }
+        }
         shard.meta.insert(key, meta);
-        if report.pinned {
+        let attrs = EntryAttrs::new(size, cost).with_pin_level(pin_level);
+        if pinned {
             // Pinned entries never enter the policy, so they can never be
             // chosen as eviction victims.
             AtomicCacheStats::bump(&self.stats.pinned_fills);
         } else {
-            shard.policy.on_insert(key, &EntryAttrs::new(size, cost));
+            shard.policy.on_insert(key, &attrs);
         }
         let sig = ConcurrentStore::signature_of(&bytes);
         loop {
@@ -774,6 +967,9 @@ impl DocumentCache {
                         AtomicCacheStats::bump(&self.stats.shared_fills);
                     }
                     shard.sigs.insert(key, sig);
+                    if key.is_stage() {
+                        AtomicCacheStats::add(&self.stats.stage_bytes, size);
+                    }
                     return;
                 }
                 Err(NoRoom) => {
@@ -782,14 +978,14 @@ impl DocumentCache {
                             // The incoming entry is its own shard's
                             // minimum; prefer room from a sibling shard.
                             if self.steal_one(index) {
-                                shard.policy.on_insert(key, &EntryAttrs::new(size, cost));
+                                shard.policy.on_insert(key, &attrs);
                                 continue;
                             }
                             shard.meta.remove(&key);
                             AtomicCacheStats::bump(&self.stats.evictions);
                             return;
                         }
-                        Self::drop_victim(shard, &self.store, victim);
+                        self.drop_victim(shard, victim);
                         AtomicCacheStats::bump(&self.stats.evictions);
                     } else if !self.steal_one(index) {
                         // Nothing evictable anywhere (everything pinned):
@@ -820,7 +1016,7 @@ impl DocumentCache {
                     }
                     continue;
                 }
-                Self::drop_victim(shard, &self.store, victim);
+                self.drop_victim(shard, victim);
                 AtomicCacheStats::bump(&self.stats.evictions);
             } else if !self.steal_one(index) {
                 return;
@@ -843,13 +1039,14 @@ impl DocumentCache {
                     continue;
                 }
                 // Fetch through the full property path, as a miss would.
-                let Ok((bytes, report)) = self.space.read_document(user, sibling) else {
+                let clock = self.space.clock().clone();
+                let Ok((bytes, report)) = self.fetch_once(user, sibling, &clock) else {
                     continue;
                 };
                 if report.cacheability == Cacheability::Uncacheable {
                     continue;
                 }
-                let key = (sibling, user);
+                let key = EntryKey::Version(sibling, user);
                 let index = self.shard_index(key);
                 let mut shard = self.shards[index].lock();
                 self.fill_locked(index, &mut shard, key, bytes, report, true);
@@ -873,7 +1070,7 @@ impl DocumentCache {
             }
             WriteMode::Back => {
                 {
-                    let key = (doc, user);
+                    let key = EntryKey::Version(doc, user);
                     let mut shard = self.shard(key).lock();
                     shard.dirty.insert(key, Bytes::copy_from_slice(data));
                 }
@@ -904,7 +1101,11 @@ impl DocumentCache {
         for mutex in self.shards.iter() {
             dirty.extend(mutex.lock().dirty.drain());
         }
-        for ((doc, user), data) in dirty {
+        for (key, data) in dirty {
+            let EntryKey::Version(doc, user) = key else {
+                // Dirty data is only ever buffered under version keys.
+                continue;
+            };
             self.space.write_document(user, doc, &data)?;
             AtomicCacheStats::bump(&self.stats.flushes);
             self.invalidate_doc(doc);
@@ -925,11 +1126,11 @@ impl DocumentCache {
             let keys: Vec<EntryKey> = shard
                 .sigs
                 .keys()
-                .filter(|(d, _)| *d == doc)
+                .filter(|key| key.doc() == Some(doc))
                 .copied()
                 .collect();
             for key in keys {
-                Self::drop_entry(&mut shard, &self.store, key);
+                self.drop_entry(&mut shard, key);
             }
         }
     }
@@ -939,9 +1140,9 @@ impl DocumentCache {
             // User-scoped invalidations resolve to exactly one key, so
             // only that key's shard is locked.
             Invalidation::UserDocument(doc, user) => {
-                let key = (doc, user);
+                let key = EntryKey::Version(doc, user);
                 let mut shard = self.shard(key).lock();
-                if Self::drop_entry(&mut shard, &self.store, key) {
+                if self.drop_entry(&mut shard, key) {
                     AtomicCacheStats::bump(&self.stats.notifier_invalidations);
                 }
             }
@@ -951,11 +1152,11 @@ impl DocumentCache {
                     let keys: Vec<EntryKey> = shard
                         .sigs
                         .keys()
-                        .filter(|(d, _)| *d == doc)
+                        .filter(|key| key.doc() == Some(doc))
                         .copied()
                         .collect();
                     for key in keys {
-                        if Self::drop_entry(&mut shard, &self.store, key) {
+                        if self.drop_entry(&mut shard, key) {
                             AtomicCacheStats::bump(&self.stats.notifier_invalidations);
                         }
                     }
@@ -1174,12 +1375,12 @@ mod tests {
         );
         for d in 0..64u64 {
             for u in 1..4u64 {
-                let key = (DocumentId(d), UserId(u));
+                let key = EntryKey::Version(DocumentId(d), UserId(u));
                 assert_eq!(cache_a.shard_index(key), cache_b.shard_index(key));
             }
         }
         let spread: std::collections::HashSet<usize> = (0..64u64)
-            .map(|d| cache_a.shard_index((DocumentId(d), UserId(1))))
+            .map(|d| cache_a.shard_index(EntryKey::Version(DocumentId(d), UserId(1))))
             .collect();
         assert!(
             spread.len() >= 4,

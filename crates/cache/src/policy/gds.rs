@@ -10,7 +10,7 @@
 //! generation; stale heap nodes are skipped on pop), giving `O(log n)`
 //! inserts/hits and amortized `O(log n)` evictions.
 
-use super::{EntryAttrs, EntryKey, ReplacementPolicy};
+use super::{EntryAttrs, EntryKey, ReplacementPolicy, STAGE_COST_DISCOUNT, STAGE_PIN_LEVEL};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -109,7 +109,14 @@ impl ReplacementPolicy for GreedyDualSize {
     }
 
     fn on_insert(&mut self, key: EntryKey, attrs: &EntryAttrs) {
-        self.push(key, attrs.size, attrs.cost);
+        // Intermediate stage entries are rebuildable from any final read:
+        // discount their cost so they lose ties against final versions.
+        let cost = if attrs.pin_level == STAGE_PIN_LEVEL {
+            attrs.cost * STAGE_COST_DISCOUNT
+        } else {
+            attrs.cost
+        };
+        self.push(key, attrs.size, cost);
     }
 
     fn on_hit(&mut self, key: EntryKey) {
@@ -152,7 +159,7 @@ mod tests {
     use placeless_core::id::{DocumentId, UserId};
 
     fn key(i: u64) -> EntryKey {
-        (DocumentId(i), UserId(1))
+        EntryKey::Version(DocumentId(i), UserId(1))
     }
 
     #[test]
@@ -235,6 +242,23 @@ mod tests {
         gds.on_insert(key(1), &EntryAttrs::new(100, 10_000.0));
         assert_eq!(gds.len(), 2);
         assert_eq!(gds.evict(), Some(key(2)), "refreshed entry survives");
+    }
+
+    #[test]
+    fn stage_entries_lose_ties_against_final_versions() {
+        let mut gds = GreedyDualSize::new();
+        let stage = EntryKey::Stage(placeless_core::digest::md5(b"stage"));
+        gds.on_insert(key(1), &EntryAttrs::new(100, 1_000.0));
+        gds.on_insert(
+            stage,
+            &EntryAttrs::new(100, 1_000.0).with_pin_level(STAGE_PIN_LEVEL),
+        );
+        assert_eq!(
+            gds.evict(),
+            Some(stage),
+            "equal cost/size: stage goes first"
+        );
+        assert_eq!(gds.evict(), Some(key(1)));
     }
 
     #[test]

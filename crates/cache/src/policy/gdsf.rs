@@ -8,7 +8,7 @@
 //! GDS-Frequency: `H = L + frequency · cost / size`, so repeatedly accessed
 //! documents accumulate credit beyond what one touch grants.
 
-use super::{EntryAttrs, EntryKey, ReplacementPolicy};
+use super::{EntryAttrs, EntryKey, ReplacementPolicy, STAGE_COST_DISCOUNT, STAGE_PIN_LEVEL};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -91,7 +91,14 @@ impl ReplacementPolicy for GdsFrequency {
     fn on_insert(&mut self, key: EntryKey, attrs: &EntryAttrs) {
         // A re-insert of a resident key keeps its earned frequency.
         let frequency = self.entries.get(&key).map(|t| t.frequency).unwrap_or(1);
-        self.push(key, attrs.size, attrs.cost, frequency);
+        // Intermediate stage entries are rebuildable from any final read:
+        // discount their cost so they lose ties against final versions.
+        let cost = if attrs.pin_level == STAGE_PIN_LEVEL {
+            attrs.cost * STAGE_COST_DISCOUNT
+        } else {
+            attrs.cost
+        };
+        self.push(key, attrs.size, cost, frequency);
     }
 
     fn on_hit(&mut self, key: EntryKey) {
@@ -130,7 +137,7 @@ mod tests {
     use placeless_core::id::{DocumentId, UserId};
 
     fn key(i: u64) -> EntryKey {
-        (DocumentId(i), UserId(1))
+        EntryKey::Version(DocumentId(i), UserId(1))
     }
 
     #[test]

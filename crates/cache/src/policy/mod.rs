@@ -23,12 +23,55 @@ pub use lfu::Lfu;
 pub use lru::Lru;
 pub use size::SizePolicy;
 
+use placeless_core::digest::Signature;
 use placeless_core::id::{DocumentId, UserId};
 use std::sync::Arc;
 
-/// The key a cache entry is stored under: one per `(document, user)` pair,
-/// because active properties make content per-user.
-pub type EntryKey = (DocumentId, UserId);
+/// The key a cache entry is stored under.
+///
+/// Final renditions are per-`(document, user)` pairs, because active
+/// properties make content per-user. Intermediate stage outputs from the
+/// staged transform pipeline are content-addressed by their stage
+/// signature: user-independent by construction, so one entry serves every
+/// user whose chain shares the prefix that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntryKey {
+    /// A final per-user rendition of a document.
+    Version(DocumentId, UserId),
+    /// An intermediate stage output, keyed by its stage signature.
+    Stage(Signature),
+}
+
+impl EntryKey {
+    /// Returns the document this entry renders, for [`EntryKey::Version`]
+    /// keys. Stage entries return `None`: they are content-addressed and
+    /// deliberately *not* tied to a document, so document-scoped
+    /// invalidation passes over them (a stale stage entry is unreachable —
+    /// its signature chain no longer resolves — rather than served).
+    pub fn doc(&self) -> Option<DocumentId> {
+        match self {
+            EntryKey::Version(doc, _) => Some(*doc),
+            EntryKey::Stage(_) => None,
+        }
+    }
+
+    /// Returns `true` for intermediate stage entries.
+    pub fn is_stage(&self) -> bool {
+        matches!(self, EntryKey::Stage(_))
+    }
+}
+
+/// The [`EntryAttrs::pin_level`] tagging intermediate stage entries, so
+/// cost-aware policies can recognise them and trade them off against final
+/// versions (they are cheaper to lose: any final read can rebuild them).
+pub const STAGE_PIN_LEVEL: u8 = 1;
+
+/// Cost discount the Greedy-Dual policies apply to entries tagged
+/// [`STAGE_PIN_LEVEL`]. Losing an intermediate entry costs one partial
+/// re-execution on the *next* miss, not a user-visible full-chain replay,
+/// so at equal cost/size a stage entry should be evicted before a final
+/// version.
+pub const STAGE_COST_DISCOUNT: f64 = 0.5;
 
 /// Attributes of an entry at insert time, as seen by a replacement policy.
 ///
@@ -234,7 +277,10 @@ mod tests {
         assert_eq!(factory.name(), "lru");
         let mut a = factory.build();
         let b = factory.build();
-        a.on_insert((DocumentId(1), UserId(1)), &EntryAttrs::new(1, 1.0));
+        a.on_insert(
+            EntryKey::Version(DocumentId(1), UserId(1)),
+            &EntryAttrs::new(1, 1.0),
+        );
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 0, "instances must not share state");
         assert!(PolicyFactory::by_name("nope").is_err());
@@ -255,7 +301,9 @@ mod tests {
     fn contract_insert_evict_drains() {
         for name in ALL_POLICIES {
             let mut policy = by_name(name).unwrap();
-            let keys: Vec<EntryKey> = (0..5).map(|i| (DocumentId(i), UserId(1))).collect();
+            let keys: Vec<EntryKey> = (0..5)
+                .map(|i| EntryKey::Version(DocumentId(i), UserId(1)))
+                .collect();
             for (i, &k) in keys.iter().enumerate() {
                 policy.on_insert(k, &EntryAttrs::new(100 + i as u64, 1_000.0));
             }
@@ -277,8 +325,8 @@ mod tests {
     fn contract_remove_prevents_eviction() {
         for name in ALL_POLICIES {
             let mut policy = by_name(name).unwrap();
-            let a = (DocumentId(1), UserId(1));
-            let b = (DocumentId(2), UserId(1));
+            let a = EntryKey::Version(DocumentId(1), UserId(1));
+            let b = EntryKey::Version(DocumentId(2), UserId(1));
             policy.on_insert(a, &EntryAttrs::new(10, 1.0));
             policy.on_insert(b, &EntryAttrs::new(10, 1.0));
             policy.on_remove(a);

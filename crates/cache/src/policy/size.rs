@@ -56,7 +56,7 @@ mod tests {
     use placeless_core::id::{DocumentId, UserId};
 
     fn key(i: u64) -> EntryKey {
-        (DocumentId(i), UserId(1))
+        EntryKey::Version(DocumentId(i), UserId(1))
     }
 
     #[test]

@@ -55,6 +55,16 @@ pub struct CacheStats {
     pub degraded_errors: u64,
     /// Invalidation sequence gaps detected (dropped notifications).
     pub notifier_gaps: u64,
+    /// Chain stages served from the intermediate-result store instead of
+    /// executing (stage caching only).
+    pub stage_hits: u64,
+    /// Misses that replayed only part of the chain because at least one
+    /// stage hit — the paper's per-user suffix served over a shared base
+    /// prefix.
+    pub stage_partial_hits: u64,
+    /// Logical bytes currently resident as intermediate stage entries (a
+    /// gauge: rises on stage fills, falls when stage entries leave).
+    pub stage_bytes: u64,
 }
 
 impl CacheStats {
@@ -135,6 +145,9 @@ pub struct AtomicCacheStats {
     pub(crate) stale_served: AtomicU64,
     pub(crate) degraded_errors: AtomicU64,
     pub(crate) notifier_gaps: AtomicU64,
+    pub(crate) stage_hits: AtomicU64,
+    pub(crate) stage_partial_hits: AtomicU64,
+    pub(crate) stage_bytes: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -144,6 +157,12 @@ impl AtomicCacheStats {
 
     pub(crate) fn add(counter: &AtomicU64, amount: u64) {
         counter.fetch_add(amount, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge-style counter (used for `stage_bytes`, which
+    /// tracks resident bytes rather than a monotone sum).
+    pub(crate) fn sub(counter: &AtomicU64, amount: u64) {
+        counter.fetch_sub(amount, Ordering::Relaxed);
     }
 
     /// Returns a plain-old-data copy of the counters.
@@ -171,6 +190,9 @@ impl AtomicCacheStats {
             stale_served: self.stale_served.load(Ordering::Relaxed),
             degraded_errors: self.degraded_errors.load(Ordering::Relaxed),
             notifier_gaps: self.notifier_gaps.load(Ordering::Relaxed),
+            stage_hits: self.stage_hits.load(Ordering::Relaxed),
+            stage_partial_hits: self.stage_partial_hits.load(Ordering::Relaxed),
+            stage_bytes: self.stage_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -191,6 +213,15 @@ mod tests {
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.hit_micros, 6_000);
         assert_eq!(snap.evictions, 0);
+    }
+
+    #[test]
+    fn stage_bytes_gauge_rises_and_falls() {
+        let atomic = AtomicCacheStats::default();
+        AtomicCacheStats::add(&atomic.stage_bytes, 500);
+        AtomicCacheStats::add(&atomic.stage_bytes, 200);
+        AtomicCacheStats::sub(&atomic.stage_bytes, 500);
+        assert_eq!(atomic.snapshot().stage_bytes, 200);
     }
 
     #[test]

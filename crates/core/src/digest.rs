@@ -2,9 +2,12 @@
 //!
 //! The paper proposes sharing cached entries between users by mapping
 //! `(document, user)` pairs to a *content signature* ("e.g., MD5 hash") and
-//! signatures to the actual bytes. MD5 is long broken for security but
-//! remains exactly what the paper specifies for content equality, and an
-//! in-tree implementation keeps the workspace free of crypto dependencies.
+//! signatures to the actual bytes. The staged transform pipeline
+//! ([`crate::plan`]) additionally derives per-stage signatures from these
+//! digests, which is why the module lives in `core` rather than the cache
+//! crate (which re-exports it). MD5 is long broken for security but remains
+//! exactly what the paper specifies for content equality, and an in-tree
+//! implementation keeps the workspace free of crypto dependencies.
 
 /// A 128-bit MD5 digest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,7 +42,7 @@ pub fn md5(data: &[u8]) -> Signature {
 /// # Examples
 ///
 /// ```
-/// use placeless_cache::digest::{md5, Md5};
+/// use placeless_core::digest::{md5, Md5};
 ///
 /// let mut ctx = Md5::new();
 /// ctx.update(b"hello ");

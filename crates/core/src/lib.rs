@@ -47,12 +47,14 @@ pub mod collection;
 pub mod content;
 pub mod cost;
 pub mod describe;
+pub mod digest;
 pub mod document;
 pub mod error;
 pub mod event;
 pub mod external;
 pub mod id;
 pub mod notifier;
+pub mod plan;
 pub mod profile;
 pub mod property;
 pub mod qos;
@@ -69,14 +71,16 @@ pub mod prelude {
     pub use crate::content::{Content, Params, PropertyValue};
     pub use crate::cost::ReplacementCost;
     pub use crate::describe::{DocumentDescription, PropertyInfo};
+    pub use crate::digest::{md5, Md5, Signature};
     pub use crate::error::{PlacelessError, Result};
     pub use crate::event::{DocumentEvent, EventKind, EventSite, Interests};
     pub use crate::external::{ExternalSource, SimpleExternal};
     pub use crate::id::{CacheId, DocumentId, PropertyId, UserId};
     pub use crate::notifier::{Invalidation, InvalidationBus, InvalidationSink};
+    pub use crate::plan::{PlanStage, TransformPlan};
     pub use crate::profile::{apply_profile, format_profile, parse_profile, PropertySpec};
     pub use crate::property::{
-        ActiveProperty, AttachedProperty, EventCtx, FollowUp, PathCtx, PathReport,
+        ActiveProperty, AttachedProperty, EventCtx, FollowUp, PathCtx, PathReport, StageRecord,
     };
     pub use crate::qos::QosProperty;
     pub use crate::registry::PropertyRegistry;

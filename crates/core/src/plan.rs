@@ -1,0 +1,461 @@
+//! Compiled transform plans — the explicit form of a property chain.
+//!
+//! The read and write paths used to be implicit: `DocumentSpace` re-derived
+//! the base-then-reference property chain inline and folded each property's
+//! stream wrapper into the previous one. A [`TransformPlan`] makes that
+//! chain a first-class value: an ordered list of [`PlanStage`]s compiled
+//! once per path, which the space replays for plain reads/writes and which
+//! a cache can *walk* — executing stages buffered, content-addressing each
+//! stage's output by a **stage signature**, and skipping stages whose
+//! output it already holds.
+//!
+//! ## Stage signatures
+//!
+//! A stage's signature is `md5(input signature ‖ property name ‖ transform
+//! token)`, where the token is the property's own declaration of everything
+//! its transform depends on (parameters, resolved static properties,
+//! external-input epochs — see
+//! [`ActiveProperty::transform_token`]). Because the *input* signature is
+//! folded in, the signatures form a chain rooted at the digest of the
+//! provider bytes: any change to the source content, to a property's
+//! parameters or program text, to an external input's epoch, or to the
+//! chain order changes every downstream signature. Stale intermediate
+//! entries are therefore never *served* — they simply stop being looked up
+//! and age out — which is how the staged cache inherits the paper's four
+//! invalidation causes by construction.
+//!
+//! A stage whose property declines to produce a token (`None`) is *opaque*:
+//! it executes on every read, and the chain restarts from a digest of its
+//! actual output, so stages downstream of an opaque stage remain cacheable.
+
+use crate::bitprovider::BitProvider;
+use crate::cacheability::Cacheability;
+use crate::digest::{Md5, Signature};
+use crate::error::Result;
+use crate::event::EventSite;
+use crate::id::{DocumentId, UserId};
+use crate::property::{ActiveProperty, PathCtx, PathReport, PropsSnapshot, StageRecord};
+use crate::streams::{read_all, InputStream, MemoryInput, OutputStream};
+use bytes::Bytes;
+use placeless_simenv::VirtualClock;
+use std::sync::Arc;
+
+/// One compiled stage of a transform plan: a property, where it is
+/// attached, and its (optional) transform token.
+pub struct PlanStage {
+    /// The property that runs at this stage.
+    pub prop: Arc<dyn ActiveProperty>,
+    /// Where the property is attached (base or the user's reference).
+    pub site: EventSite,
+    /// The property's declared execution cost, captured at compile time.
+    pub cost_micros: u64,
+    /// The transform token, or `None` for an opaque stage.
+    pub token: Option<Vec<u8>>,
+}
+
+impl std::fmt::Debug for PlanStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanStage")
+            .field("prop", &self.prop.name())
+            .field("site", &self.site)
+            .field("cost_micros", &self.cost_micros)
+            .field("token", &self.token.as_ref().map(|t| t.len()))
+            .finish()
+    }
+}
+
+/// An explicit, compiled property chain for one `(user, document)` path.
+///
+/// Compiled by [`crate::space::DocumentSpace`] (which owns the chain
+/// assembly) and consumed either by the space itself — replaying the
+/// stages as stream wrappers exactly as the old inline loops did — or by a
+/// cache walking the stages buffered with intermediate-result lookups.
+pub struct TransformPlan {
+    /// The base document the plan reads or writes.
+    pub doc: DocumentId,
+    /// The user whose reference initiated the path.
+    pub user: UserId,
+    /// The base document's bit-provider.
+    pub provider: Arc<dyn BitProvider>,
+    /// Static property values visible on the path (personal shadowing
+    /// universal).
+    pub snapshot: PropsSnapshot,
+    /// The stages in execution order: base properties first, then the
+    /// user's reference properties.
+    pub stages: Vec<PlanStage>,
+    /// How many leading stages come from the base document. Stages
+    /// `0..base_len` are user-independent; `base_len..` are the per-user
+    /// reference suffix.
+    pub base_len: usize,
+}
+
+impl TransformPlan {
+    /// Compiles a plan from the already-assembled chain halves. Transform
+    /// tokens are captured here, so the plan is a point-in-time snapshot of
+    /// the chain *and* of every input the chain's transforms declared.
+    pub fn compile(
+        clock: &VirtualClock,
+        doc: DocumentId,
+        user: UserId,
+        provider: Arc<dyn BitProvider>,
+        base_props: Vec<Arc<dyn ActiveProperty>>,
+        ref_props: Vec<Arc<dyn ActiveProperty>>,
+        snapshot: PropsSnapshot,
+    ) -> Self {
+        let base_len = base_props.len();
+        let stages = base_props
+            .into_iter()
+            .map(|p| (p, EventSite::Base))
+            .chain(
+                ref_props
+                    .into_iter()
+                    .map(|p| (p, EventSite::Reference(user))),
+            )
+            .map(|(prop, site)| {
+                let ctx = PathCtx {
+                    clock,
+                    doc,
+                    user,
+                    site,
+                    props: &snapshot,
+                };
+                let token = prop.transform_token(&ctx);
+                let cost_micros = prop.execution_cost_micros();
+                PlanStage {
+                    prop,
+                    site,
+                    cost_micros,
+                    token,
+                }
+            })
+            .collect();
+        Self {
+            doc,
+            user,
+            provider,
+            snapshot,
+            stages,
+            base_len,
+        }
+    }
+
+    /// Returns the number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Returns `true` if the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Builds the path context for stage `index`.
+    fn ctx<'a>(&'a self, clock: &'a VirtualClock, index: usize) -> PathCtx<'a> {
+        PathCtx {
+            clock,
+            doc: self.doc,
+            user: self.user,
+            site: self.stages[index].site,
+            props: &self.snapshot,
+        }
+    }
+
+    /// Seeds a [`PathReport`] with the provider's fetch cost, cacheability
+    /// vote, and (if any) verifier — the pre-chain state of a read path.
+    pub fn seed_report(&self, clock: &VirtualClock) -> PathReport {
+        let mut report = PathReport::new(self.provider.fetch_cost_micros());
+        report.vote(self.provider.cacheability_vote());
+        if let Some(v) = self.provider.make_verifier(clock) {
+            report.add_verifier(v);
+        }
+        report
+    }
+
+    /// Computes stage `index`'s signature given its input's signature, or
+    /// `None` if the stage is opaque.
+    ///
+    /// The signature chains: callers thread the previous stage's signature
+    /// (or a digest of the opaque stage's actual output) in as `input`.
+    pub fn stage_signature(&self, index: usize, input: Signature) -> Option<Signature> {
+        let stage = &self.stages[index];
+        let token = stage.token.as_ref()?;
+        let name = stage.prop.name().as_bytes();
+        let mut ctx = Md5::new();
+        ctx.update(b"stage-v1");
+        ctx.update(&input.0);
+        ctx.update(&(name.len() as u64).to_le_bytes());
+        ctx.update(name);
+        ctx.update(&(token.len() as u64).to_le_bytes());
+        ctx.update(token);
+        Some(ctx.finalize())
+    }
+
+    /// Replays stage `index` as a read-path stream wrapper, exactly as the
+    /// old inline loop did: charge the clock, accumulate the replacement
+    /// cost, interpose the property's stream, record the execution.
+    pub fn wrap_input_stage(
+        &self,
+        clock: &VirtualClock,
+        index: usize,
+        report: &mut PathReport,
+        stream: Box<dyn InputStream>,
+    ) -> Result<Box<dyn InputStream>> {
+        let ctx = self.ctx(clock, index);
+        let stage = &self.stages[index];
+        clock.advance(stage.cost_micros);
+        report.add_cost(stage.cost_micros);
+        let stream = stage.prop.wrap_input(&ctx, report, stream)?;
+        report.executed.push(stage.prop.name().to_owned());
+        report.record_stage(StageRecord {
+            name: stage.prop.name().to_owned(),
+            site: stage.site,
+            cost_micros: stage.cost_micros,
+            cached: false,
+            signature: None,
+        });
+        Ok(stream)
+    }
+
+    /// Replays stage `index` as a write-path stream wrapper (clock charge
+    /// plus `wrap_output`, mirroring the old inline loop).
+    pub fn wrap_output_stage(
+        &self,
+        clock: &VirtualClock,
+        index: usize,
+        report: &mut PathReport,
+        stream: Box<dyn OutputStream>,
+    ) -> Result<Box<dyn OutputStream>> {
+        let ctx = self.ctx(clock, index);
+        let stage = &self.stages[index];
+        clock.advance(stage.cost_micros);
+        stage.prop.wrap_output(&ctx, report, stream)
+    }
+
+    /// Executes stage `index` to completion over buffered `input`,
+    /// returning the stage's output bytes. Cost accounting matches
+    /// [`Self::wrap_input_stage`]; `signature` (if the stage has one) is
+    /// recorded for observability.
+    pub fn run_stage_buffered(
+        &self,
+        clock: &VirtualClock,
+        index: usize,
+        report: &mut PathReport,
+        input: Bytes,
+        signature: Option<Signature>,
+    ) -> Result<Bytes> {
+        let ctx = self.ctx(clock, index);
+        let stage = &self.stages[index];
+        clock.advance(stage.cost_micros);
+        report.add_cost(stage.cost_micros);
+        let inner: Box<dyn InputStream> = Box::new(MemoryInput::new(input));
+        let mut wrapped = stage.prop.wrap_input(&ctx, report, inner)?;
+        let out = read_all(wrapped.as_mut())?;
+        report.executed.push(stage.prop.name().to_owned());
+        report.record_stage(StageRecord {
+            name: stage.prop.name().to_owned(),
+            site: stage.site,
+            cost_micros: stage.cost_micros,
+            cached: false,
+            signature,
+        });
+        Ok(out)
+    }
+
+    /// Registers stage `index`'s path-metadata without executing its
+    /// transform — the cache calls this when it serves the stage's output
+    /// from the intermediate store.
+    ///
+    /// The property's `wrap_input` still runs (over an empty stream that is
+    /// dropped unread) so cacheability votes, verifiers, and pins register
+    /// exactly as on a real execution; transforming streams are lazy, so
+    /// the transform itself never fires. The stage's cost still accrues to
+    /// the replacement cost — it is the cost to reproduce the entry without
+    /// a cache — but the clock is *not* charged: that is the saving.
+    pub fn note_stage_hit(
+        &self,
+        clock: &VirtualClock,
+        index: usize,
+        report: &mut PathReport,
+        signature: Signature,
+    ) -> Result<()> {
+        let ctx = self.ctx(clock, index);
+        let stage = &self.stages[index];
+        report.add_cost(stage.cost_micros);
+        let inner: Box<dyn InputStream> = Box::new(MemoryInput::new(Bytes::new()));
+        let _unread = stage.prop.wrap_input(&ctx, report, inner)?;
+        report.record_stage(StageRecord {
+            name: stage.prop.name().to_owned(),
+            site: stage.site,
+            cost_micros: stage.cost_micros,
+            cached: true,
+            signature: Some(signature),
+        });
+        Ok(())
+    }
+
+    /// Aggregates the write-path cacheability requirement: the provider's
+    /// vote combined with every stage property's `write_cacheability`.
+    pub fn write_cacheability(&self) -> Cacheability {
+        crate::cacheability::aggregate(
+            std::iter::once(self.provider.cacheability_vote())
+                .chain(self.stages.iter().map(|s| s.prop.write_cacheability())),
+        )
+    }
+}
+
+impl std::fmt::Debug for TransformPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransformPlan")
+            .field("doc", &self.doc)
+            .field("user", &self.user)
+            .field("base_len", &self.base_len)
+            .field("stages", &self.stages)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::md5;
+    use crate::event::{EventKind, Interests};
+    use crate::streams::TransformingInput;
+
+    struct Suffix {
+        name: String,
+        token: Option<Vec<u8>>,
+        cost: u64,
+    }
+
+    impl ActiveProperty for Suffix {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn interests(&self) -> Interests {
+            Interests::of(&[EventKind::GetInputStream])
+        }
+        fn execution_cost_micros(&self) -> u64 {
+            self.cost
+        }
+        fn wrap_input(
+            &self,
+            _ctx: &PathCtx<'_>,
+            _report: &mut PathReport,
+            inner: Box<dyn InputStream>,
+        ) -> Result<Box<dyn InputStream>> {
+            let suffix = self.name.clone();
+            Ok(Box::new(TransformingInput::new(
+                inner,
+                Box::new(move |bytes| {
+                    let mut out = bytes.to_vec();
+                    out.extend_from_slice(suffix.as_bytes());
+                    Ok(Bytes::from(out))
+                }),
+            )))
+        }
+        fn transform_token(&self, _ctx: &PathCtx<'_>) -> Option<Vec<u8>> {
+            self.token.clone()
+        }
+    }
+
+    fn plan_of(stages: Vec<(&str, Option<&[u8]>)>) -> TransformPlan {
+        let clock = VirtualClock::new();
+        let provider = crate::bitprovider::MemoryProvider::new("p", "body", 0);
+        let props: Vec<Arc<dyn ActiveProperty>> = stages
+            .into_iter()
+            .map(|(name, token)| {
+                Arc::new(Suffix {
+                    name: name.to_owned(),
+                    token: token.map(|t| t.to_vec()),
+                    cost: 10,
+                }) as Arc<dyn ActiveProperty>
+            })
+            .collect();
+        TransformPlan::compile(
+            &clock,
+            DocumentId(1),
+            UserId(1),
+            provider,
+            props,
+            Vec::new(),
+            PropsSnapshot::default(),
+        )
+    }
+
+    #[test]
+    fn signatures_chain_and_separate() {
+        let plan = plan_of(vec![("a", Some(b"t1")), ("b", Some(b"t2"))]);
+        let root = md5(b"body");
+        let s0 = plan.stage_signature(0, root).unwrap();
+        let s1 = plan.stage_signature(1, s0).unwrap();
+        assert_ne!(s0, s1);
+        // Deterministic.
+        assert_eq!(plan.stage_signature(0, root).unwrap(), s0);
+        // Different input signature shifts the whole chain.
+        let other_root = md5(b"body2");
+        assert_ne!(plan.stage_signature(0, other_root).unwrap(), s0);
+    }
+
+    #[test]
+    fn token_and_name_both_disambiguate() {
+        let root = md5(b"body");
+        let a = plan_of(vec![("p", Some(b"t1"))]);
+        let b = plan_of(vec![("p", Some(b"t2"))]);
+        let c = plan_of(vec![("q", Some(b"t1"))]);
+        let sa = a.stage_signature(0, root).unwrap();
+        assert_ne!(sa, b.stage_signature(0, root).unwrap());
+        assert_ne!(sa, c.stage_signature(0, root).unwrap());
+    }
+
+    #[test]
+    fn length_prefixing_prevents_concatenation_collisions() {
+        let root = md5(b"body");
+        // ("ab", "c") vs ("a", "bc"): same concatenation, distinct stages.
+        let a = plan_of(vec![("ab", Some(b"c"))]);
+        let b = plan_of(vec![("a", Some(b"bc"))]);
+        assert_ne!(
+            a.stage_signature(0, root).unwrap(),
+            b.stage_signature(0, root).unwrap()
+        );
+    }
+
+    #[test]
+    fn opaque_stage_has_no_signature() {
+        let plan = plan_of(vec![("a", None)]);
+        assert!(plan.stage_signature(0, md5(b"body")).is_none());
+    }
+
+    #[test]
+    fn run_stage_buffered_matches_wrapping_and_charges_clock() {
+        let plan = plan_of(vec![("a", Some(b"t"))]);
+        let clock = VirtualClock::new();
+        let mut report = PathReport::default();
+        let out = plan
+            .run_stage_buffered(&clock, 0, &mut report, Bytes::from_static(b"body"), None)
+            .unwrap();
+        assert_eq!(out, Bytes::from_static(b"bodya"));
+        assert_eq!(clock.now().0, 10);
+        assert_eq!(report.cost.raw_micros(), 10.0);
+        assert_eq!(report.executed, vec!["a"]);
+        assert_eq!(report.stages.len(), 1);
+        assert!(!report.stages[0].cached);
+    }
+
+    #[test]
+    fn note_stage_hit_registers_metadata_without_clock_charge() {
+        let plan = plan_of(vec![("a", Some(b"t"))]);
+        let clock = VirtualClock::new();
+        let mut report = PathReport::default();
+        let sig = md5(b"whatever");
+        plan.note_stage_hit(&clock, 0, &mut report, sig).unwrap();
+        assert_eq!(clock.now().0, 0, "hit must not charge execution time");
+        assert_eq!(
+            report.cost.raw_micros(),
+            10.0,
+            "replacement cost still counts the stage"
+        );
+        assert!(report.executed.is_empty(), "transform did not execute");
+        assert_eq!(report.stage_hits(), 1);
+        assert_eq!(report.stages[0].signature, Some(sig));
+    }
+}

@@ -18,6 +18,7 @@
 use crate::cacheability::Cacheability;
 use crate::content::PropertyValue;
 use crate::cost::ReplacementCost;
+use crate::digest::Signature;
 use crate::error::{PlacelessError, Result};
 use crate::event::{DocumentEvent, EventSite, Interests};
 use crate::id::{DocumentId, PropertyId, UserId};
@@ -74,6 +75,29 @@ pub struct PathCtx<'a> {
     pub props: &'a PropsSnapshot,
 }
 
+/// Per-stage record of one property's contribution to a read path.
+///
+/// Produced by the staged transform plan ([`crate::plan::TransformPlan`])
+/// so callers can see *where* a read spent its time and which stages were
+/// satisfied from the cache's intermediate-result store.
+#[derive(Debug, Clone)]
+pub struct StageRecord {
+    /// The property's name.
+    pub name: String,
+    /// Where the property is attached (base or a user's reference).
+    pub site: EventSite,
+    /// The stage's declared execution cost in microseconds. Recorded even
+    /// when the stage was served from cache (it still contributes to the
+    /// entry's replacement cost — the cost to reproduce without a cache).
+    pub cost_micros: u64,
+    /// `true` if the stage output came from the intermediate-result cache
+    /// instead of executing the transform.
+    pub cached: bool,
+    /// The stage signature, when the stage is content-addressable
+    /// (`None` for opaque stages that declared no transform token).
+    pub signature: Option<Signature>,
+}
+
 /// What the read path reports back alongside the content stream.
 ///
 /// As the bit-provider and each property execute, they accumulate the three
@@ -88,6 +112,9 @@ pub struct PathReport {
     pub verifiers: Vec<Box<dyn Verifier>>,
     /// Names of the properties that executed, in execution order.
     pub executed: Vec<String>,
+    /// Per-stage cost/hit breakdown, in execution order (one record per
+    /// chain stage when the path was driven by a [`crate::plan::TransformPlan`]).
+    pub stages: Vec<StageRecord>,
     /// Whether a QoS property demanded the entry be pinned (never
     /// evicted) — the `always available` requirement.
     pub pinned: bool,
@@ -101,6 +128,7 @@ impl PathReport {
             cost: ReplacementCost::from_fetch(fetch_cost_micros),
             verifiers: Vec::new(),
             executed: Vec::new(),
+            stages: Vec::new(),
             pinned: false,
         }
     }
@@ -129,6 +157,16 @@ impl PathReport {
     pub fn pin(&mut self) {
         self.pinned = true;
     }
+
+    /// Records a per-stage breakdown entry.
+    pub fn record_stage(&mut self, record: StageRecord) {
+        self.stages.push(record);
+    }
+
+    /// Returns how many stages were served from the intermediate cache.
+    pub fn stage_hits(&self) -> usize {
+        self.stages.iter().filter(|s| s.cached).count()
+    }
 }
 
 impl Default for PathReport {
@@ -144,6 +182,7 @@ impl std::fmt::Debug for PathReport {
             .field("cost", &self.cost)
             .field("verifiers", &self.verifiers.len())
             .field("executed", &self.executed)
+            .field("stages", &self.stages)
             .field("pinned", &self.pinned)
             .finish()
     }
@@ -265,6 +304,26 @@ pub trait ActiveProperty: Send + Sync {
     /// `CacheWrite` events per buffered write.
     fn write_cacheability(&self) -> Cacheability {
         Cacheability::Unrestricted
+    }
+
+    /// Declares the property's read-path transform as content-addressable.
+    ///
+    /// The returned token must change whenever the transform *function*
+    /// changes: it should fold in the property's parameters, any static
+    /// property values the transform reads from [`PathCtx::props`], and a
+    /// `(name, epoch)` pair for every external input. The plan compiler
+    /// hashes `(input signature, property name, token)` into a *stage
+    /// signature* under which the cache may retain the stage's output; a
+    /// stale token would therefore serve stale bytes.
+    ///
+    /// The default (`None`) marks the stage *opaque*: its output is never
+    /// cached, it executes on every read, and the signature chain restarts
+    /// from a digest of its actual output so downstream stages remain
+    /// cacheable. Properties whose `wrap_input` has side effects beyond the
+    /// pure byte transform (or that cannot enumerate their inputs) must
+    /// keep the default.
+    fn transform_token(&self, _ctx: &PathCtx<'_>) -> Option<Vec<u8>> {
+        None
     }
 }
 

@@ -21,8 +21,9 @@ use crate::error::{PlacelessError, Result};
 use crate::event::{DocumentEvent, EventKind, EventSite};
 use crate::id::{DocumentId, IdAllocator, PropertyId, UserId};
 use crate::notifier::InvalidationBus;
+use crate::plan::TransformPlan;
 use crate::property::{
-    ActiveProperty, AttachedProperty, EventCtx, FollowUp, PathCtx, PathReport, PropsSnapshot,
+    ActiveProperty, AttachedProperty, EventCtx, FollowUp, PathReport, PropsSnapshot,
 };
 use crate::registry::PropertyRegistry;
 use crate::streams::{read_all, write_all, InputStream, OutputStream};
@@ -518,39 +519,25 @@ impl DocumentSpace {
         user: UserId,
         doc: DocumentId,
     ) -> Result<(Box<dyn InputStream>, PathReport)> {
+        let plan = self.read_plan(user, doc)?;
+        let mut report = plan.seed_report(&self.clock);
+        let mut stream = plan.provider.open_input(&self.clock)?;
+        for index in 0..plan.len() {
+            stream = plan.wrap_input_stage(&self.clock, index, &mut report, stream)?;
+        }
+        Ok((stream, report))
+    }
+
+    /// Compiles the read-path [`TransformPlan`] for `user` on `doc`,
+    /// charging the same two middleware hops as [`Self::open_read`].
+    ///
+    /// Caches use this to walk the chain stage-by-stage with
+    /// intermediate-result lookups instead of opening an opaque stream.
+    pub fn read_plan(&self, user: UserId, doc: DocumentId) -> Result<TransformPlan> {
         // Two middleware hops: the reference's server and the base's.
         self.charge_op(0);
         self.charge_op(0);
-
-        let (provider, base_props, ref_props, snapshot) =
-            self.path_parts(user, doc, EventKind::GetInputStream)?;
-
-        let mut report = PathReport::new(provider.fetch_cost_micros());
-        report.vote(provider.cacheability_vote());
-        if let Some(v) = provider.make_verifier(&self.clock) {
-            report.add_verifier(v);
-        }
-        let mut stream = provider.open_input(&self.clock)?;
-
-        for (prop, site) in base_props
-            .iter()
-            .map(|p| (p, EventSite::Base))
-            .chain(ref_props.iter().map(|p| (p, EventSite::Reference(user))))
-        {
-            let ctx = PathCtx {
-                clock: &self.clock,
-                doc,
-                user,
-                site,
-                props: &snapshot,
-            };
-            let cost = prop.execution_cost_micros();
-            self.clock.advance(cost);
-            report.add_cost(cost);
-            stream = prop.wrap_input(&ctx, &mut report, stream)?;
-            report.executed.push(prop.name().to_owned());
-        }
-        Ok((stream, report))
+        self.compile_plan(user, doc, EventKind::GetInputStream)
     }
 
     /// Returns the origin key of `doc`'s bit-provider — the grouping key
@@ -587,14 +574,13 @@ impl DocumentSpace {
         self.charge_op(0);
         self.charge_op(0);
 
-        let (provider, base_props, ref_props, snapshot) =
-            self.path_parts(user, doc, EventKind::GetOutputStream)?;
-        if !provider.writable() {
+        let plan = self.compile_plan(user, doc, EventKind::GetOutputStream)?;
+        if !plan.provider.writable() {
             return Err(PlacelessError::ReadOnly(doc));
         }
 
         // Innermost: fire ContentWritten after the provider commits.
-        let sink = provider.open_output(&self.clock)?;
+        let sink = plan.provider.open_output(&self.clock)?;
         let space = Arc::clone(self);
         let mut stream: Box<dyn OutputStream> = Box::new(NotifyOnClose {
             inner: Some(sink),
@@ -607,20 +593,8 @@ impl DocumentSpace {
         // custom stream outward; the application ends up writing into the
         // outermost (reference-side) wrapper.
         let mut report = PathReport::default();
-        for (prop, site) in base_props
-            .iter()
-            .map(|p| (p, EventSite::Base))
-            .chain(ref_props.iter().map(|p| (p, EventSite::Reference(user))))
-        {
-            let ctx = PathCtx {
-                clock: &self.clock,
-                doc,
-                user,
-                site,
-                props: &snapshot,
-            };
-            self.clock.advance(prop.execution_cost_micros());
-            stream = prop.wrap_output(&ctx, &mut report, stream)?;
+        for index in 0..plan.len() {
+            stream = plan.wrap_output_stage(&self.clock, index, &mut report, stream)?;
         }
         Ok(stream)
     }
@@ -635,12 +609,8 @@ impl DocumentSpace {
         user: UserId,
         doc: DocumentId,
     ) -> Result<crate::cacheability::Cacheability> {
-        let (provider, base_props, ref_props, _snapshot) =
-            self.path_parts(user, doc, EventKind::GetOutputStream)?;
-        let votes = std::iter::once(provider.cacheability_vote())
-            .chain(base_props.iter().map(|p| p.write_cacheability()))
-            .chain(ref_props.iter().map(|p| p.write_cacheability()));
-        Ok(crate::cacheability::aggregate(votes))
+        let plan = self.compile_plan(user, doc, EventKind::GetOutputStream)?;
+        Ok(plan.write_cacheability())
     }
 
     /// Writes a complete document through the full property path.
@@ -655,24 +625,48 @@ impl DocumentSpace {
         stream.close()
     }
 
-    fn path_parts(&self, user: UserId, doc: DocumentId, kind: EventKind) -> Result<PathParts> {
-        let inner = self.inner.read();
-        let base = inner
-            .bases
-            .get(&doc)
-            .ok_or(PlacelessError::NoSuchDocument(doc))?;
-        let reference = inner
-            .refs
-            .get(&(user, doc))
-            .ok_or(PlacelessError::NoSuchReference(user, doc))?;
-        // Personal values shadow universal ones, so they come first.
-        let mut pairs = reference.personal.static_pairs();
-        pairs.extend(base.universal.static_pairs());
-        Ok((
-            base.provider.clone(),
-            base.universal.interested(kind),
-            reference.personal.interested(kind),
-            PropsSnapshot::from_pairs(pairs),
+    /// The shared chain-assembly helper: snapshots the base and reference
+    /// halves of the property chain under the space lock, then compiles
+    /// them into a [`TransformPlan`] (base stages first, then the user's
+    /// reference stages). `open_read`, `open_write`, `write_cacheability`,
+    /// and [`Self::read_plan`] all derive their chains here — the single
+    /// place the base-then-reference iteration is spelled out.
+    fn compile_plan(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+        kind: EventKind,
+    ) -> Result<TransformPlan> {
+        let (provider, base_props, ref_props, snapshot) = {
+            let inner = self.inner.read();
+            let base = inner
+                .bases
+                .get(&doc)
+                .ok_or(PlacelessError::NoSuchDocument(doc))?;
+            let reference = inner
+                .refs
+                .get(&(user, doc))
+                .ok_or(PlacelessError::NoSuchReference(user, doc))?;
+            // Personal values shadow universal ones, so they come first.
+            let mut pairs = reference.personal.static_pairs();
+            pairs.extend(base.universal.static_pairs());
+            (
+                base.provider.clone(),
+                base.universal.interested(kind),
+                reference.personal.interested(kind),
+                PropsSnapshot::from_pairs(pairs),
+            )
+        };
+        // Tokens are captured outside the space lock: a transform token may
+        // consult external sources, and properties must never run under it.
+        Ok(TransformPlan::compile(
+            &self.clock,
+            doc,
+            user,
+            provider,
+            base_props,
+            ref_props,
+            snapshot,
         ))
     }
 
@@ -768,15 +762,6 @@ impl DocumentSpace {
     }
 }
 
-/// What `path_parts` extracts under the lock: the provider, the interested
-/// base and reference properties (in order), and the static-value snapshot.
-type PathParts = (
-    Arc<dyn BitProvider>,
-    Vec<Arc<dyn ActiveProperty>>,
-    Vec<Arc<dyn ActiveProperty>>,
-    PropsSnapshot,
-);
-
 /// Output wrapper that runs a hook after the inner sink commits.
 struct NotifyOnClose {
     inner: Option<Box<dyn OutputStream>>,
@@ -808,6 +793,7 @@ mod tests {
     use crate::cacheability::Cacheability;
     use crate::event::Interests;
     use crate::notifier::Invalidation;
+    use crate::property::PathCtx;
     use crate::streams::{TransformingInput, TransformingOutput};
     use parking_lot::Mutex;
 

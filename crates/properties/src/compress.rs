@@ -91,6 +91,12 @@ impl ActiveProperty for CompressAtRest {
         )))
     }
 
+    fn transform_token(&self, _ctx: &PathCtx<'_>) -> Option<Vec<u8>> {
+        // Decompression is parameterless; the version tag would change if
+        // the wire format ever did.
+        Some(b"rle-v1".to_vec())
+    }
+
     fn wrap_output(
         &self,
         _ctx: &PathCtx<'_>,

@@ -54,6 +54,12 @@ impl ActiveProperty for Rot13AtRest {
         Ok(Box::new(MappingInput::new(inner, rot13_byte)))
     }
 
+    fn transform_token(&self, _ctx: &PathCtx<'_>) -> Option<Vec<u8>> {
+        // The byte map is fixed: the read transform depends on nothing but
+        // its input, so a constant token makes the stage cacheable.
+        Some(b"rot13-v1".to_vec())
+    }
+
     fn wrap_output(
         &self,
         _ctx: &PathCtx<'_>,
@@ -98,5 +104,14 @@ mod tests {
     fn non_letters_untouched() {
         let prop = Rot13AtRest::new();
         assert_eq!(read_through(prop, b"123 !@# \n"), "123 !@# \n");
+    }
+
+    #[test]
+    fn token_is_constant() {
+        use crate::testutil::token_with_props;
+        let prop = Rot13AtRest::new();
+        let token = token_with_props(prop.as_ref(), &[]);
+        assert!(token.is_some());
+        assert_eq!(token, token_with_props(prop.as_ref(), &[("x", "y")]));
     }
 }

@@ -38,6 +38,26 @@ pub fn read_through_with_report(
     (bytes, report)
 }
 
+/// Resolves a property's transform token against the given static props
+/// (empty slice for a bare context).
+pub fn token_with_props(prop: &dyn ActiveProperty, pairs: &[(&str, &str)]) -> Option<Vec<u8>> {
+    let clock = VirtualClock::new();
+    let snap = PropsSnapshot::from_pairs(
+        pairs
+            .iter()
+            .map(|&(name, value)| (name.to_owned(), value.into()))
+            .collect(),
+    );
+    let ctx = PathCtx {
+        clock: &clock,
+        doc: DocumentId(1),
+        user: UserId(1),
+        site: EventSite::Reference(UserId(1)),
+        props: &snap,
+    };
+    prop.transform_token(&ctx)
+}
+
 /// Runs `input` through a property's write-path wrapper and returns what
 /// reached the sink.
 pub fn write_through(prop: Arc<dyn ActiveProperty>, input: &[u8]) -> Bytes {

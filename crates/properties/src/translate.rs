@@ -99,6 +99,18 @@ impl Translate {
         })
     }
 
+    /// Resolves the target language for one path.
+    fn resolved_language(&self, ctx: &PathCtx<'_>) -> String {
+        match &self.target {
+            Target::Fixed(lang) => lang.clone(),
+            Target::FromProperty => ctx
+                .props
+                .get("preferredLanguage")
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .unwrap_or_else(|| "en".to_owned()),
+        }
+    }
+
     /// Translates a whole buffer to `language`, leaving unknown words
     /// untouched. An unknown language leaves the text unchanged.
     pub fn translate(
@@ -155,19 +167,25 @@ impl ActiveProperty for Translate {
         _report: &mut PathReport,
         inner: Box<dyn InputStream>,
     ) -> Result<Box<dyn InputStream>> {
-        let language = match &self.target {
-            Target::Fixed(lang) => lang.clone(),
-            Target::FromProperty => ctx
-                .props
-                .get("preferredLanguage")
-                .and_then(|v| v.as_str().map(str::to_owned))
-                .unwrap_or_else(|| "en".to_owned()),
-        };
+        let language = self.resolved_language(ctx);
         let tables = self.tables.clone();
         Ok(Box::new(TransformingInput::new(
             inner,
             Box::new(move |bytes| Ok(Self::translate(&tables, &language, &bytes))),
         )))
+    }
+
+    fn transform_token(&self, ctx: &PathCtx<'_>) -> Option<Vec<u8>> {
+        // The output depends only on the resolved target language (the
+        // word tables are built in), so the token is that language — which
+        // also means a fixed-target translator and a preference-resolved
+        // one share stage entries when they agree. A changed
+        // `preferredLanguage` yields a new token, so the old stage entry
+        // simply stops being addressed: invalidation by construction.
+        let language = self.resolved_language(ctx);
+        let mut token = b"translate-v1:".to_vec();
+        token.extend_from_slice(language.as_bytes());
+        Some(token)
     }
 }
 
@@ -232,5 +250,31 @@ mod tests {
     fn no_preference_means_no_translation() {
         let prop = Translate::from_preferred_language();
         assert_eq!(read_through(prop, b"hello world"), "hello world");
+    }
+
+    #[test]
+    fn token_tracks_resolved_language() {
+        use crate::testutil::token_with_props;
+
+        let fixed_fr = Translate::to("fr");
+        let fixed_es = Translate::to("es");
+        let preferred = Translate::from_preferred_language();
+
+        // Different targets re-key the stage.
+        assert_ne!(
+            token_with_props(fixed_fr.as_ref(), &[]),
+            token_with_props(fixed_es.as_ref(), &[])
+        );
+        // A fixed target and a matching preference share the token (and
+        // hence the stage entry).
+        assert_eq!(
+            token_with_props(fixed_es.as_ref(), &[]),
+            token_with_props(preferred.as_ref(), &[("preferredLanguage", "es")])
+        );
+        // Changing the preference changes the token.
+        assert_ne!(
+            token_with_props(preferred.as_ref(), &[("preferredLanguage", "es")]),
+            token_with_props(preferred.as_ref(), &[("preferredLanguage", "fr")])
+        );
     }
 }

@@ -26,6 +26,9 @@ use std::sync::Arc;
 /// A runtime-authored active property backed by the PropLang interpreter.
 pub struct ScriptProperty {
     name: String,
+    /// The program text, retained so the transform token can fingerprint
+    /// it: editing a script re-keys every downstream stage signature.
+    source: String,
     program: Program,
     env: ExtEnv,
 }
@@ -35,6 +38,7 @@ impl ScriptProperty {
     pub fn compile(name: &str, source: &str, env: ExtEnv) -> Result<Arc<Self>> {
         Ok(Arc::new(Self {
             name: format!("proplang:{name}"),
+            source: source.to_owned(),
             program: parse(source)?,
             env,
         }))
@@ -136,6 +140,69 @@ impl ActiveProperty for ScriptProperty {
             }),
         )))
     }
+
+    fn transform_token(&self, ctx: &PathCtx<'_>) -> Option<Vec<u8>> {
+        // `subst` resolves `${prop:...}`/`${ext:...}` placeholders found in
+        // the *content* at runtime — its dependency set cannot be declared
+        // up front, so the stage stays opaque.
+        if has_subst(&self.program.stages) {
+            return None;
+        }
+        let mut token = Vec::new();
+        push_field(&mut token, self.source.as_bytes());
+        // Resolved static properties (already name-sorted): a changed value
+        // or shadowing change re-keys every downstream stage.
+        for (name, value) in collect_props(ctx, &self.program) {
+            push_field(&mut token, name.as_bytes());
+            push_field(&mut token, value.as_bytes());
+        }
+        // Declared external inputs, pinned by epoch — the paper's fourth
+        // invalidation cause folded straight into the signature chain.
+        let mut externals = ext_inputs(&self.program.stages);
+        externals.extend(self.program.watch_ext.iter().cloned());
+        externals.sort();
+        externals.dedup();
+        for name in externals {
+            // An unresolvable source makes the read fail later anyway;
+            // declare the stage opaque rather than sign a half-truth.
+            let source = self.env.get(&name)?;
+            push_field(&mut token, name.as_bytes());
+            token.extend_from_slice(&source.epoch().to_le_bytes());
+        }
+        Some(token)
+    }
+}
+
+/// Appends a length-prefixed field, keeping the token encoding
+/// concatenation-unambiguous.
+fn push_field(token: &mut Vec<u8>, field: &[u8]) {
+    token.extend_from_slice(&(field.len() as u64).to_le_bytes());
+    token.extend_from_slice(field);
+}
+
+/// Returns `true` if any stage (recursing through `if`) is `subst`.
+fn has_subst(stages: &[crate::ast::Stage]) -> bool {
+    use crate::ast::Stage;
+    stages.iter().any(|stage| match stage {
+        Stage::Subst => true,
+        Stage::If(_, inner) => has_subst(std::slice::from_ref(inner)),
+        _ => false,
+    })
+}
+
+/// Collects the external sources the pipeline reads (`append_ext`,
+/// recursing through `if`).
+fn ext_inputs(stages: &[crate::ast::Stage]) -> Vec<String> {
+    use crate::ast::Stage;
+    let mut out = Vec::new();
+    for stage in stages {
+        match stage {
+            Stage::AppendExt(name) => out.push(name.clone()),
+            Stage::If(_, inner) => out.extend(ext_inputs(std::slice::from_ref(inner))),
+            _ => {}
+        }
+    }
+    out
 }
 
 /// Pre-resolves every property name the program mentions.
@@ -351,6 +418,73 @@ mod tests {
         space.write_document(ALICE, doc, b"x").unwrap();
         let (bytes, _) = space.read_document(ALICE, doc).unwrap();
         assert_eq!(bytes, "x++", "once on write, once on read");
+    }
+
+    #[test]
+    fn transform_tokens_fingerprint_source_props_and_epochs() {
+        let env = ExtEnv::new();
+        let quotes = SimpleExternal::new("stock:XRX", "42.50");
+        env.add(quotes.clone());
+        let (space, doc) = setup("body");
+        let lang_id = space
+            .attach_static(Scope::Personal(ALICE), doc, "lang", "fr")
+            .unwrap();
+        let prop = ScriptProperty::compile(
+            "quotes",
+            "if(prop(\"lang\") == \"fr\", append(\" [fr]\")) | append_ext(\"stock:XRX\")",
+            env.clone(),
+        )
+        .unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, prop)
+            .unwrap();
+
+        let token = |space: &Arc<DocumentSpace>| {
+            let plan = space.read_plan(ALICE, doc).unwrap();
+            plan.stages.last().unwrap().token.clone()
+        };
+        let t0 = token(&space).expect("declared dependencies yield a token");
+        assert_eq!(token(&space).unwrap(), t0, "token is stable");
+
+        // An external-source change re-keys the stage.
+        quotes.set("43.00");
+        let t1 = token(&space).expect("still tokenised");
+        assert_ne!(t0, t1, "epoch bump must change the token");
+
+        // A static-property change re-keys the stage.
+        space
+            .remove_property(Scope::Personal(ALICE), doc, lang_id)
+            .unwrap();
+        space
+            .attach_static(Scope::Personal(ALICE), doc, "lang", "de")
+            .unwrap();
+        assert_ne!(token(&space).unwrap(), t1, "prop change must re-key");
+    }
+
+    #[test]
+    fn subst_and_unknown_externals_stay_opaque() {
+        let env = ExtEnv::new();
+        let (space, doc) = setup("x");
+        let subst = ScriptProperty::compile("s", "subst", env.clone()).unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, subst)
+            .unwrap();
+        let plan = space.read_plan(ALICE, doc).unwrap();
+        assert!(
+            plan.stages.last().unwrap().token.is_none(),
+            "subst has an undeclarable dependency set"
+        );
+
+        let (space, doc) = setup("x");
+        let ghost = ScriptProperty::compile("g", "append_ext(\"ghost\")", ExtEnv::new()).unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, ghost)
+            .unwrap();
+        let plan = space.read_plan(ALICE, doc).unwrap();
+        assert!(
+            plan.stages.last().unwrap().token.is_none(),
+            "unresolvable external source must not be signed"
+        );
     }
 
     #[test]

@@ -26,6 +26,9 @@ cargo test -q "${CARGO_FLAGS[@]}" --test fault_matrix
 echo "==> E-FAULT smoke (availability table under a scripted outage)"
 cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- fault
 
+echo "==> E-STAGE smoke (staged-plan partial hits; writes BENCH_stage.json)"
+cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- stage
+
 echo "==> cargo clippy (-D warnings)"
 cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 

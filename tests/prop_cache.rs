@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 fn key_strategy() -> impl Strategy<Value = EntryKey> {
-    (0u64..12, 0u64..4).prop_map(|(d, u)| (DocumentId(d), UserId(u)))
+    (0u64..12, 0u64..4).prop_map(|(d, u)| EntryKey::Version(DocumentId(d), UserId(u)))
 }
 
 /// Operations the store/policy models replay.
@@ -117,7 +117,10 @@ proptest! {
     fn gds_inflation_is_monotone(costs in proptest::collection::vec(1u64..10_000, 1..64)) {
         let mut gds = GreedyDualSize::new();
         for (i, &cost) in costs.iter().enumerate() {
-            gds.on_insert((DocumentId(i as u64), UserId(1)), &EntryAttrs::new(100, cost as f64));
+            gds.on_insert(
+                EntryKey::Version(DocumentId(i as u64), UserId(1)),
+                &EntryAttrs::new(100, cost as f64),
+            );
         }
         let mut last = gds.inflation();
         while gds.evict().is_some() {
@@ -131,10 +134,16 @@ proptest! {
     fn gds_pure_insert_evicts_cheapest_first(costs in proptest::collection::vec(1u64..1_000_000, 1..40)) {
         let mut gds = GreedyDualSize::new();
         for (i, &cost) in costs.iter().enumerate() {
-            gds.on_insert((DocumentId(i as u64), UserId(1)), &EntryAttrs::new(64, cost as f64));
+            gds.on_insert(
+                EntryKey::Version(DocumentId(i as u64), UserId(1)),
+                &EntryAttrs::new(64, cost as f64),
+            );
         }
         let mut evicted_costs = Vec::new();
-        while let Some((DocumentId(i), _)) = gds.evict() {
+        while let Some(victim) = gds.evict() {
+            let EntryKey::Version(DocumentId(i), _) = victim else {
+                panic!("only version keys were inserted");
+            };
             evicted_costs.push(costs[i as usize]);
         }
         let mut sorted = evicted_costs.clone();

@@ -1,16 +1,24 @@
 //! Property-based tests over the core data structures: digests, the
 //! cacheability lattice, stream transformer composition, the RLE codec,
-//! and the PropLang front end.
+//! stage signatures, and the PropLang front end.
 
 use bytes::Bytes;
-use placeless_cache::digest::{md5, Md5};
+use placeless_cache::digest::{md5, Md5, Signature};
+use placeless_core::bitprovider::MemoryProvider;
 use placeless_core::cacheability::{aggregate, Cacheability};
 use placeless_core::content::Params;
+use placeless_core::error::Result as CoreResult;
+use placeless_core::event::{EventKind, Interests};
+use placeless_core::id::{DocumentId, UserId};
+use placeless_core::plan::TransformPlan;
 use placeless_core::profile::{format_profile, parse_profile, PropertySpec};
+use placeless_core::property::{ActiveProperty, PathCtx, PathReport, PropsSnapshot};
 use placeless_core::streams::{read_all, InputStream, MemoryInput, TransformingInput};
 use placeless_properties::compress::{rle_compress, rle_decompress};
-use placeless_proplang::{parse, run, ExtEnv};
+use placeless_proplang::{parse, run, ExtEnv, ScriptProperty};
+use placeless_simenv::VirtualClock;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn any_cacheability() -> impl Strategy<Value = Cacheability> {
     prop_oneof![
@@ -18,6 +26,65 @@ fn any_cacheability() -> impl Strategy<Value = Cacheability> {
         Just(Cacheability::CacheableWithEvents),
         Just(Cacheability::Unrestricted),
     ]
+}
+
+/// A pass-through property with an arbitrary name and token, for probing
+/// the stage-signature scheme.
+struct TokenProp {
+    name: String,
+    token: Vec<u8>,
+}
+
+impl ActiveProperty for TokenProp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn interests(&self) -> Interests {
+        Interests::of(&[EventKind::GetInputStream])
+    }
+    fn wrap_input(
+        &self,
+        _ctx: &PathCtx<'_>,
+        _report: &mut PathReport,
+        inner: Box<dyn InputStream>,
+    ) -> CoreResult<Box<dyn InputStream>> {
+        Ok(inner)
+    }
+    fn transform_token(&self, _ctx: &PathCtx<'_>) -> Option<Vec<u8>> {
+        Some(self.token.clone())
+    }
+}
+
+/// Compiles a fresh one-stage plan and returns the stage's signature over
+/// `input` — each call builds everything from scratch, so equal results
+/// demonstrate cross-run stability.
+fn stage_sig(prop: Arc<dyn ActiveProperty>, input: &[u8]) -> Signature {
+    let clock = VirtualClock::new();
+    let plan = TransformPlan::compile(
+        &clock,
+        DocumentId(1),
+        UserId(1),
+        MemoryProvider::new("p", "body", 0),
+        vec![prop],
+        Vec::new(),
+        PropsSnapshot::default(),
+    );
+    plan.stage_signature(0, md5(input)).expect("tokened stage")
+}
+
+fn token_sig(name: &str, token: &[u8], input: &[u8]) -> Signature {
+    stage_sig(
+        Arc::new(TokenProp {
+            name: name.to_owned(),
+            token: token.to_vec(),
+        }),
+        input,
+    )
+}
+
+fn script_sig(source: &str, input: &[u8]) -> Signature {
+    let prop = ScriptProperty::compile("p", source, ExtEnv::new()).expect("compile");
+    stage_sig(prop, input)
 }
 
 proptest! {
@@ -201,6 +268,45 @@ proptest! {
         let program = parse("upper | lower").unwrap();
         let out = run(&program, text.as_bytes(), &|_| None, &ExtEnv::new()).unwrap();
         prop_assert_eq!(String::from_utf8(out).unwrap(), text.to_lowercase());
+    }
+
+    /// Stage signatures are stable across independently compiled plans,
+    /// and any change to the property's name, its parameters (token), or
+    /// its input re-keys the stage.
+    #[test]
+    fn stage_signatures_stable_and_sensitive(
+        name in "[a-z][a-z0-9-]{0,12}",
+        token in proptest::collection::vec(any::<u8>(), 0..48),
+        input in proptest::collection::vec(any::<u8>(), 0..256),
+        tweak in any::<u8>(),
+    ) {
+        let sig = token_sig(&name, &token, &input);
+        // Same (input, property, params) → same signature across runs.
+        prop_assert_eq!(token_sig(&name, &token, &input), sig);
+        // A parameter change re-keys.
+        let mut other_token = token.clone();
+        other_token.push(tweak);
+        prop_assert_ne!(token_sig(&name, &other_token, &input), sig);
+        // An input change re-keys.
+        let mut other_input = input.clone();
+        other_input.push(tweak);
+        prop_assert_ne!(token_sig(&name, &token, &other_input), sig);
+        // A different property re-keys.
+        prop_assert_ne!(token_sig(&format!("{name}x"), &token, &input), sig);
+    }
+
+    /// Changing a PropLang property's program text changes its stage
+    /// signature (the token folds in the source).
+    #[test]
+    fn proplang_program_text_rekeys_stages(
+        n in 1i64..40,
+        offset in 1i64..40,
+        input in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let m = n + offset;
+        let a = script_sig(&format!("take_lines({n})"), &input);
+        prop_assert_eq!(script_sig(&format!("take_lines({n})"), &input), a);
+        prop_assert_ne!(script_sig(&format!("take_lines({m})"), &input), a);
     }
 
     #[test]
