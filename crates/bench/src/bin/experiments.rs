@@ -8,15 +8,15 @@
 //!
 //! Experiments: `table1`, `notifier-verifier`, `replacement`, `sharing`,
 //! `consistency`, `qos`, `collections`, `chain`, `placement`,
-//! `revalidation`, `scale`, `fault`, `stage`.
+//! `revalidation`, `scale`, `fault`, `stage`, `crash`.
 //!
-//! The `stage` experiment additionally writes `BENCH_stage.json` next to
-//! the working directory so the staged-caching numbers are
-//! machine-readable run over run.
+//! The `stage` and `crash` experiments additionally write
+//! `BENCH_stage.json` / `BENCH_crash.json` next to the working directory
+//! so their numbers are machine-readable run over run.
 
 use placeless_bench::{
-    chain, collections, consistency, fault, nv, placement, qos, replacement, revalidation, scale,
-    sharing, stage, table1,
+    chain, collections, consistency, crash, fault, nv, placement, qos, replacement, revalidation,
+    scale, sharing, stage, table1,
 };
 use placeless_cache::ALL_POLICIES;
 
@@ -64,6 +64,88 @@ fn main() {
     if want("stage") {
         run_stage();
     }
+    if want("crash") {
+        run_crash();
+    }
+}
+
+fn run_crash() {
+    let params = crash::CrashParams::default();
+    println!("== E-CRASH: acknowledged-write durability across a scripted crash ==\n");
+    println!(
+        "crash at {:.1}s of a {:.1}s write timeline, {} docs, {} writes, flush every {}\n",
+        params.crash_at_micros as f64 / 1e6,
+        (params.writes * params.write_gap_micros) as f64 / 1e6,
+        params.docs,
+        params.writes,
+        params.flush_every
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "mode", "acked", "pre-flush", "lost docs", "replayed", "torn B", "flushes"
+    );
+    let results = crash::sweep(params);
+    for r in &results {
+        println!(
+            "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            r.label(),
+            r.acknowledged,
+            r.flushed_before_crash,
+            r.lost_docs,
+            r.replayed,
+            r.torn_bytes,
+            r.stats.flushes
+        );
+    }
+    println!("\n(the journal replays every acknowledged-but-unflushed write across the");
+    println!(" crash — zero loss; the torn in-flight append was never acknowledged)\n");
+
+    let json = crash_json(params, &results);
+    match std::fs::write("BENCH_crash.json", &json) {
+        Ok(()) => println!("wrote BENCH_crash.json\n"),
+        Err(e) => eprintln!("could not write BENCH_crash.json: {e}\n"),
+    }
+}
+
+/// Hand-formats the E-CRASH results as JSON (no serde in the tree).
+fn crash_json(params: crash::CrashParams, results: &[crash::CrashResult]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"crash\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"docs\": {}, \"writes\": {}, \"write_gap_micros\": {}, \
+         \"flush_every\": {}, \"crash_at_micros\": {}, \"torn_tail_bytes\": {}, \
+         \"seed\": {}}},\n",
+        params.docs,
+        params.writes,
+        params.write_gap_micros,
+        params.flush_every,
+        params.crash_at_micros,
+        params.torn_tail_bytes,
+        params.seed
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"journaled\": {}, \"acknowledged\": {}, \"flushed_before_crash\": {}, \
+             \"lost_docs\": {}, \"replayed\": {}, \"torn_bytes\": {}, \
+             \"journal_appends\": {}, \"journal_replays\": {}, \"writes_parked\": {}, \
+             \"flush_retries\": {}, \"write_conflicts\": {}, \"flushes\": {}}}{}\n",
+            r.journaled,
+            r.acknowledged,
+            r.flushed_before_crash,
+            r.lost_docs,
+            r.replayed,
+            r.torn_bytes,
+            r.stats.journal_appends,
+            r.stats.journal_replays,
+            r.stats.writes_parked,
+            r.stats.flush_retries,
+            r.stats.write_conflicts,
+            r.stats.flushes,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn run_stage() {

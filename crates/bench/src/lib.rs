@@ -19,10 +19,12 @@
 //! | [`scale`] | sharded-cache read-throughput scaling (wall-clock) | §4 implementation |
 //! | [`fault`] | read availability under origin outages | §3 robustness ablation |
 //! | [`stage`] | staged transform plans: partial hits over a shared base prefix | §3 per-user versions |
+//! | [`crash`] | write-journal durability across a scripted crash | §3 write-back robustness |
 
 pub mod chain;
 pub mod collections;
 pub mod consistency;
+pub mod crash;
 pub mod fault;
 pub mod nv;
 pub mod placement;

@@ -1,0 +1,389 @@
+//! The write-ahead journal for write-back caches.
+//!
+//! §3's write-back mode makes the cache the *only* holder of buffered
+//! user data until a flush succeeds — a crash or a failed flush must not
+//! lose writes the application already saw acknowledged. The journal is
+//! the durability half of that contract: every write-back write is
+//! appended here, to a [`StableStore`] (a simulated stable medium that
+//! survives scripted crashes), *before* the in-memory dirty map is
+//! updated; a flush acknowledges ([`WriteJournal::ack`]) and prunes a
+//! record only after the origin write succeeded.
+//!
+//! # Record format
+//!
+//! Records are framed, sequence-numbered, and checksummed so recovery can
+//! tell an intact prefix from the torn tail a crash leaves behind:
+//!
+//! ```text
+//! seq: u64 LE | doc: u64 LE | user: u64 LE | epoch: 16 bytes |
+//! data_len: u32 LE | data | md5(all of the above): 16 bytes
+//! ```
+//!
+//! `epoch` is the content signature of the rendition the writer last read
+//! for `(doc, user)` — [`NO_EPOCH`] when the writer never read the
+//! document. Recovery compares it against the origin's current rendition
+//! signature to detect write/invalidation conflicts (the origin moved on
+//! while the write sat buffered across a crash).
+//!
+//! # Recovery
+//!
+//! [`WriteJournal::open`] parses whatever the medium holds, keeps the
+//! longest intact prefix (every record framed correctly and matching its
+//! checksum), truncates anything after it — the torn last record a crash
+//! tore mid-append — and rebuilds the live set, deduplicating by
+//! `(doc, user)` with the highest sequence number winning (a superseded
+//! record may still sit on the medium between compactions).
+//!
+//! Everything here is synchronous and deterministic; the journal knows
+//! nothing about origins or retries — parking and draining policy live in
+//! [`crate::manager::DocumentCache`].
+
+use crate::digest::{md5, Signature};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use placeless_core::id::{DocumentId, UserId};
+use placeless_simenv::StableStore;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The epoch recorded when the writer never read the document: no base
+/// version is known, so recovery cannot detect conflicts for the record.
+pub const NO_EPOCH: Signature = Signature([0; 16]);
+
+/// Fixed bytes before the payload: seq + doc + user + epoch + data_len.
+const HEADER_LEN: usize = 8 + 8 + 8 + 16 + 4;
+/// Trailing checksum bytes.
+const CHECK_LEN: usize = 16;
+
+/// One journaled write-back write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Journal-wide sequence number (monotone per journal lifetime).
+    pub seq: u64,
+    /// Target document.
+    pub doc: DocumentId,
+    /// Writing user.
+    pub user: UserId,
+    /// Content signature of the rendition the writer last read, or
+    /// [`NO_EPOCH`] if unknown.
+    pub epoch: Signature,
+    /// The buffered write payload.
+    pub data: Bytes,
+}
+
+impl JournalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.data.len() + CHECK_LEN);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.doc.0.to_le_bytes());
+        out.extend_from_slice(&self.user.0.to_le_bytes());
+        out.extend_from_slice(&self.epoch.0);
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.data);
+        let check = md5(&out);
+        out.extend_from_slice(&check.0);
+        out
+    }
+
+    /// Decodes one record starting at `bytes[offset..]`. Returns the
+    /// record and the offset past it, or `None` if the bytes are torn
+    /// (incomplete) or fail their checksum.
+    fn decode(bytes: &[u8], offset: usize) -> Option<(Self, usize)> {
+        let rest = bytes.get(offset..)?;
+        if rest.len() < HEADER_LEN + CHECK_LEN {
+            return None;
+        }
+        let seq = u64::from_le_bytes(rest[0..8].try_into().expect("8 bytes"));
+        let doc = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+        let user = u64::from_le_bytes(rest[16..24].try_into().expect("8 bytes"));
+        let epoch: [u8; 16] = rest[24..40].try_into().expect("16 bytes");
+        let data_len = u32::from_le_bytes(rest[40..44].try_into().expect("4 bytes")) as usize;
+        let total = HEADER_LEN + data_len + CHECK_LEN;
+        if rest.len() < total {
+            return None;
+        }
+        let check_at = HEADER_LEN + data_len;
+        let stored: [u8; 16] = rest[check_at..total].try_into().expect("16 bytes");
+        if md5(&rest[..check_at]).0 != stored {
+            return None;
+        }
+        Some((
+            Self {
+                seq,
+                doc: DocumentId(doc),
+                user: UserId(user),
+                epoch: Signature(epoch),
+                data: Bytes::copy_from_slice(&rest[HEADER_LEN..check_at]),
+            },
+            offset + total,
+        ))
+    }
+}
+
+/// What [`WriteJournal::open`] found on the medium.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOutcome {
+    /// The live records (latest per `(doc, user)`), in sequence order.
+    pub records: Vec<JournalRecord>,
+    /// Intact records scanned, including superseded duplicates.
+    pub scanned: u64,
+    /// Bytes discarded past the intact prefix (the torn tail).
+    pub torn_bytes: u64,
+    /// `true` if the medium held a torn tail that was truncated away.
+    pub truncated: bool,
+}
+
+#[derive(Debug, Default)]
+struct JournalState {
+    next_seq: u64,
+    live: BTreeMap<u64, JournalRecord>,
+    by_key: HashMap<(DocumentId, UserId), u64>,
+    appends: u64,
+}
+
+impl JournalState {
+    /// Inserts `record` as the live write for its key, superseding any
+    /// earlier one (the stale bytes stay on the medium until the next
+    /// compaction; replay deduplicates by key).
+    fn insert(&mut self, record: JournalRecord) {
+        let key = (record.doc, record.user);
+        if let Some(old) = self.by_key.insert(key, record.seq) {
+            self.live.remove(&old);
+        }
+        self.live.insert(record.seq, record);
+    }
+}
+
+/// A write-ahead journal over a [`StableStore`].
+///
+/// Clones share state (like clones of the underlying store), so the
+/// cache and its construction site hold the same journal.
+#[derive(Debug, Clone)]
+pub struct WriteJournal {
+    store: StableStore,
+    state: Arc<Mutex<JournalState>>,
+}
+
+impl WriteJournal {
+    /// Opens a journal over `store`, recovering whatever intact records
+    /// the medium holds and truncating any torn tail.
+    ///
+    /// On a fresh medium the outcome is empty. Sequence numbering resumes
+    /// past the highest recovered record.
+    pub fn open(store: StableStore) -> (Self, ReplayOutcome) {
+        let image = store.contents();
+        let mut state = JournalState::default();
+        let mut outcome = ReplayOutcome::default();
+        let mut offset = 0;
+        while let Some((record, next)) = JournalRecord::decode(&image, offset) {
+            outcome.scanned += 1;
+            state.next_seq = state.next_seq.max(record.seq + 1);
+            state.insert(record);
+            offset = next;
+        }
+        if offset < image.len() {
+            outcome.torn_bytes = (image.len() - offset) as u64;
+            outcome.truncated = true;
+            store.truncate(offset as u64);
+        }
+        outcome.records = state.live.values().cloned().collect();
+        (
+            Self {
+                store,
+                state: Arc::new(Mutex::new(state)),
+            },
+            outcome,
+        )
+    }
+
+    /// Creates a journal over a fresh (or already-recovered) medium,
+    /// discarding any replay information.
+    pub fn new(store: StableStore) -> Self {
+        Self::open(store).0
+    }
+
+    /// Returns the underlying stable medium.
+    pub fn store(&self) -> &StableStore {
+        &self.store
+    }
+
+    /// Appends a write record, returning its sequence number. The record
+    /// is on the stable medium before this returns — the write-ahead
+    /// guarantee the cache relies on.
+    pub fn append(&self, doc: DocumentId, user: UserId, epoch: Signature, data: &[u8]) -> u64 {
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let record = JournalRecord {
+            seq,
+            doc,
+            user,
+            epoch,
+            data: Bytes::copy_from_slice(data),
+        };
+        self.store.append(&record.encode());
+        state.insert(record);
+        state.appends += 1;
+        seq
+    }
+
+    /// Acknowledges a flushed record: removes it from the live set (if
+    /// `seq` is still live — a newer write for the same key may have
+    /// superseded it) and compacts the medium down to the live records.
+    /// Returns `true` if the record was live.
+    pub fn ack(&self, seq: u64) -> bool {
+        let mut state = self.state.lock();
+        let Some(record) = state.live.remove(&seq) else {
+            return false;
+        };
+        let key = (record.doc, record.user);
+        if state.by_key.get(&key) == Some(&seq) {
+            state.by_key.remove(&key);
+        }
+        let mut image = Vec::new();
+        for live in state.live.values() {
+            image.extend_from_slice(&live.encode());
+        }
+        self.store.overwrite(&image);
+        true
+    }
+
+    /// Returns the live sequence number for `(doc, user)`, if any.
+    pub fn seq_for(&self, doc: DocumentId, user: UserId) -> Option<u64> {
+        self.state.lock().by_key.get(&(doc, user)).copied()
+    }
+
+    /// Returns the live records in sequence order.
+    pub fn live_records(&self) -> Vec<JournalRecord> {
+        self.state.lock().live.values().cloned().collect()
+    }
+
+    /// Returns how many records are live (unacknowledged).
+    pub fn len(&self) -> usize {
+        self.state.lock().live.len()
+    }
+
+    /// Returns `true` if no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns how many appends this handle's journal absorbed (not
+    /// counting records recovered at open).
+    pub fn append_count(&self) -> u64 {
+        self.state.lock().appends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: DocumentId = DocumentId(7);
+    const ALICE: UserId = UserId(1);
+    const BOB: UserId = UserId(2);
+
+    #[test]
+    fn append_ack_roundtrip() {
+        let (journal, outcome) = WriteJournal::open(StableStore::new());
+        assert!(outcome.records.is_empty());
+        assert!(!outcome.truncated);
+        let seq = journal.append(DOC, ALICE, NO_EPOCH, b"draft");
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal.seq_for(DOC, ALICE), Some(seq));
+        assert!(journal.ack(seq));
+        assert!(journal.is_empty());
+        assert!(journal.store().is_empty(), "ack compacts the medium");
+        assert!(!journal.ack(seq), "double ack is a no-op");
+    }
+
+    #[test]
+    fn newer_write_supersedes_and_ack_is_seq_precise() {
+        let journal = WriteJournal::new(StableStore::new());
+        let first = journal.append(DOC, ALICE, NO_EPOCH, b"v1");
+        let second = journal.append(DOC, ALICE, NO_EPOCH, b"v2");
+        assert_eq!(journal.len(), 1, "one live record per key");
+        assert!(
+            !journal.ack(first),
+            "acking the superseded seq must not drop the newer record"
+        );
+        assert_eq!(journal.seq_for(DOC, ALICE), Some(second));
+        assert_eq!(journal.live_records()[0].data, "v2");
+    }
+
+    #[test]
+    fn reopen_recovers_live_records_in_seq_order() {
+        let store = StableStore::new();
+        let journal = WriteJournal::new(store.clone());
+        journal.append(DOC, ALICE, NO_EPOCH, b"v1");
+        journal.append(DocumentId(9), BOB, md5(b"base"), b"other");
+        journal.append(DOC, ALICE, NO_EPOCH, b"v2");
+        drop(journal); // crash: in-memory state is gone, the medium is not
+
+        let (recovered, outcome) = WriteJournal::open(store);
+        assert_eq!(outcome.scanned, 3, "all three records were intact");
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.records.len(), 2, "deduplicated by key");
+        assert_eq!(outcome.records[0].data, "other");
+        assert_eq!(outcome.records[0].epoch, md5(b"base"));
+        assert_eq!(outcome.records[1].data, "v2", "latest seq wins");
+        let next = recovered.append(DOC, BOB, NO_EPOCH, b"new");
+        assert!(next >= 3, "sequence numbering resumes past recovery");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_recovered() {
+        let store = StableStore::new();
+        let journal = WriteJournal::new(store.clone());
+        journal.append(DOC, ALICE, NO_EPOCH, b"intact one");
+        let before = store.len();
+        journal.append(DOC, BOB, NO_EPOCH, b"torn in flight");
+        store.tear_tail((store.len() - before) / 2); // half the last record
+        drop(journal);
+
+        let (recovered, outcome) = WriteJournal::open(store.clone());
+        assert!(outcome.truncated);
+        assert!(outcome.torn_bytes > 0);
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.records[0].data, "intact one");
+        assert_eq!(
+            store.len(),
+            before,
+            "the medium was truncated back to the intact prefix"
+        );
+        assert_eq!(recovered.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_the_scan() {
+        let store = StableStore::new();
+        let journal = WriteJournal::new(store.clone());
+        journal.append(DOC, ALICE, NO_EPOCH, b"good");
+        let good_len = store.len();
+        journal.append(DOC, BOB, NO_EPOCH, b"bad");
+        // Flip a payload byte of the second record: framing is intact but
+        // the checksum no longer matches.
+        let mut image = store.contents();
+        let flip = good_len as usize + HEADER_LEN;
+        image[flip] ^= 0xFF;
+        store.overwrite(&image);
+
+        let (_, outcome) = WriteJournal::open(store);
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.records[0].data, "good");
+        assert!(outcome.truncated);
+    }
+
+    #[test]
+    fn empty_payload_and_large_payload_roundtrip() {
+        let store = StableStore::new();
+        let journal = WriteJournal::new(store.clone());
+        journal.append(DOC, ALICE, NO_EPOCH, b"");
+        let big = vec![0xAB; 10_000];
+        journal.append(DOC, BOB, NO_EPOCH, &big);
+        let (_, outcome) = WriteJournal::open(store);
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.records[0].data.len(), 0);
+        assert_eq!(outcome.records[1].data, big.as_slice());
+    }
+}

@@ -30,6 +30,7 @@
 pub use placeless_core::digest;
 
 pub mod entry;
+pub mod journal;
 pub mod keys;
 pub mod manager;
 pub mod policy;
@@ -39,8 +40,12 @@ pub mod stats;
 pub mod store;
 
 pub use digest::{md5, Md5, Signature};
+pub use journal::{JournalRecord, ReplayOutcome, WriteJournal, NO_EPOCH};
 pub use keys::SharedStore;
-pub use manager::{default_shard_count, CacheConfig, CacheConfigBuilder, DocumentCache, WriteMode};
+pub use manager::{
+    default_shard_count, CacheConfig, CacheConfigBuilder, ConflictHook, ConflictResolution,
+    DocumentCache, FlushReport, RecoveryReport, WriteConflict, WriteMode,
+};
 pub use policy::{
     by_name, EntryAttrs, EntryKey, GdsFrequency, GreedyDualSize, PolicyFactory, ReplacementPolicy,
     UnknownPolicy, ALL_POLICIES, STAGE_COST_DISCOUNT, STAGE_PIN_LEVEL,

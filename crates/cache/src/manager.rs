@@ -16,7 +16,11 @@
 //!   event so audit-like properties still fire;
 //! * the replacement policy (Greedy-Dual-Size by default) consumes the
 //!   **replacement costs** accumulated along the read path;
-//! * writes run **write-through** or **write-back**.
+//! * writes run **write-through** or **write-back**; both route through
+//!   the resilient write pipeline (retries, per-origin breakers shared
+//!   with the read path, deadline), and write-back can journal every
+//!   buffered write to stable storage for crash recovery
+//!   ([`CacheConfig::builder`]'s `journal`, [`DocumentCache::recover`]).
 //!
 //! # Concurrency architecture
 //!
@@ -58,9 +62,10 @@
 //!    holding no other cache lock;
 //! 2. a thread already holding a shard lock may probe sibling shards only
 //!    via `try_lock` (work-stealing eviction), which never blocks;
-//! 3. content-store stripe locks are **leaves**: taken after any shard
-//!    locks, released before returning, never two at once, and no shard
-//!    lock is ever requested while a stripe lock is held.
+//! 3. content-store stripe locks, the write-journal lock, and the
+//!    parked-set lock are **leaves**: taken after any shard locks,
+//!    released before returning, never two at once, and no shard lock is
+//!    ever requested while one of them is held.
 //!
 //! Every blocking edge therefore points from "holding nothing" to a shard
 //! lock, or from a shard lock to a stripe lock; the wait-for graph is
@@ -69,6 +74,7 @@
 //! middleware path may re-enter the cache through the invalidation bus.
 
 use crate::entry::EntryMeta;
+use crate::journal::{WriteJournal, NO_EPOCH};
 use crate::policy::{EntryAttrs, EntryKey, PolicyFactory, ReplacementPolicy, STAGE_PIN_LEVEL};
 use crate::prefetch::PrefetchConfig;
 use crate::resilience::{Admission, BackoffSchedule, BreakerSet, BreakerState, ResilienceConfig};
@@ -86,7 +92,7 @@ use placeless_core::space::DocumentSpace;
 use placeless_core::streams::read_all;
 use placeless_core::verifier::{run_all, Validity};
 use placeless_simenv::{Instant, LatencyModel, Link, Stopwatch, VirtualClock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -99,6 +105,104 @@ pub enum WriteMode {
     Through,
     /// Buffer writes locally; [`DocumentCache::flush`] pushes them.
     Back,
+}
+
+/// What a [`DocumentCache::flush`] accomplished — the write-side sibling
+/// of the read path's `PathReport`.
+///
+/// A flush only returns `Err` for infrastructure failures before any
+/// write is attempted (currently never); per-entry failures are reported
+/// here so one unreachable origin cannot hide the entries that *did*
+/// flush, and nothing is silently dropped.
+#[derive(Debug, Clone, Default)]
+pub struct FlushReport {
+    /// Dirty entries the flush attempted to write.
+    pub attempted: u64,
+    /// Entries whose origin write succeeded (and, with a journal, whose
+    /// journal record was acknowledged and pruned).
+    pub flushed: u64,
+    /// Entries parked in the journal after exhausting retries against a
+    /// transient failure: still dirty, still journaled, drained by a
+    /// later flush once the origin's breaker admits probes again.
+    /// Journal-configured caches only.
+    pub parked: Vec<(DocumentId, UserId)>,
+    /// Entries re-queued into the dirty maps with the error that stopped
+    /// them: transient failures without a journal, and non-transient
+    /// failures always.
+    pub requeued: Vec<(DocumentId, UserId, PlacelessError)>,
+}
+
+impl FlushReport {
+    /// Returns `true` if every attempted entry reached the origin.
+    pub fn is_clean(&self) -> bool {
+        self.parked.is_empty() && self.requeued.is_empty()
+    }
+
+    /// Returns how many entries remain dirty after this flush.
+    pub fn remaining(&self) -> u64 {
+        (self.parked.len() + self.requeued.len()) as u64
+    }
+}
+
+/// How [`DocumentCache::recover`] should resolve one write conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictResolution {
+    /// Keep the journaled write: re-queue it dirty so the next flush
+    /// pushes it over the newer origin version. The conflict is still
+    /// reported — this is an informed overwrite, not last-writer-wins by
+    /// omission.
+    KeepMine,
+    /// Keep the origin's version: drop the journaled write and
+    /// acknowledge its record.
+    KeepTheirs,
+}
+
+/// One recovered write whose base version no longer matches the origin:
+/// the origin moved on while the write sat buffered across the crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteConflict {
+    /// The conflicted document.
+    pub doc: DocumentId,
+    /// The user whose buffered write conflicts.
+    pub user: UserId,
+    /// Signature of the rendition the writer based the write on.
+    pub journal_epoch: Signature,
+    /// Signature of the origin's current rendition.
+    pub origin_signature: Signature,
+}
+
+impl WriteConflict {
+    /// Returns the conflict as the middleware error it surfaces as.
+    pub fn error(&self) -> PlacelessError {
+        PlacelessError::Conflict {
+            doc: self.doc,
+            user: self.user,
+        }
+    }
+}
+
+/// Resolution callback consulted by [`DocumentCache::recover`] for each
+/// [`WriteConflict`]; `None` defaults to [`ConflictResolution::KeepMine`].
+pub type ConflictHook = Arc<dyn Fn(&WriteConflict) -> ConflictResolution + Send + Sync>;
+
+/// What [`DocumentCache::recover`] did with the journal's live records.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Intact journal records considered for replay.
+    pub replayed: u64,
+    /// Records re-queued into the dirty maps (flushed by the next flush).
+    pub requeued: u64,
+    /// Conflicts detected (journal epoch vs. origin signature), however
+    /// they were resolved. Each surfaces as a non-fatal
+    /// [`PlacelessError::Conflict`] via [`WriteConflict::error`].
+    pub conflicts: Vec<WriteConflict>,
+    /// Conflicts resolved by keeping the journaled write.
+    pub kept_mine: u64,
+    /// Conflicts resolved by keeping the origin's version.
+    pub kept_theirs: u64,
+    /// Records dropped because their document no longer exists (the
+    /// write can never be applied).
+    pub dropped: u64,
 }
 
 /// Returns one shard per available CPU (the `shards: 0` default).
@@ -147,6 +251,13 @@ pub struct CacheConfig {
     /// by default: misses then execute the chain as one opaque stream,
     /// exactly as before.
     pub stage_cache: bool,
+    /// Durable write-ahead journal for write-back writes. When set, every
+    /// `WriteMode::Back` write is appended to the journal's stable medium
+    /// *before* the dirty map is updated, flushes acknowledge records only
+    /// after the origin write succeeds, and writes whose flush exhausts
+    /// its retries are *parked* in the journal instead of erroring. `None`
+    /// (the default) reproduces the unjournaled behaviour exactly.
+    pub journal: Option<WriteJournal>,
 }
 
 impl Default for CacheConfig {
@@ -162,6 +273,7 @@ impl Default for CacheConfig {
             shards: 0,
             resilience: ResilienceConfig::default(),
             stage_cache: false,
+            journal: None,
         }
     }
 }
@@ -254,10 +366,29 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Attaches a durable write-ahead journal for write-back writes (see
+    /// [`CacheConfig::journal`]). Pass a journal opened over the same
+    /// [`placeless_simenv::StableStore`] across restarts to recover
+    /// buffered writes with [`DocumentCache::recover`].
+    pub fn journal(mut self, journal: WriteJournal) -> Self {
+        self.config.journal = Some(journal);
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> CacheConfig {
         self.config
     }
+}
+
+/// One buffered write-back write: the data plus (journal configured) the
+/// sequence number of its journal record, so a flush acknowledges exactly
+/// the record it pushed — never a newer one that superseded it while the
+/// flush held no lock.
+#[derive(Debug, Clone)]
+struct DirtyEntry {
+    data: Bytes,
+    seq: Option<u64>,
 }
 
 /// One lock-striped slice of the cache's entry state. Content bytes live
@@ -266,7 +397,7 @@ struct Shard {
     sigs: HashMap<EntryKey, Signature>,
     meta: HashMap<EntryKey, EntryMeta>,
     policy: Box<dyn ReplacementPolicy>,
-    dirty: HashMap<EntryKey, Bytes>,
+    dirty: HashMap<EntryKey, DirtyEntry>,
 }
 
 use crate::digest::Signature;
@@ -287,6 +418,11 @@ pub struct DocumentCache {
     resilience: ResilienceConfig,
     stage_cache: bool,
     breakers: BreakerSet,
+    journal: Option<WriteJournal>,
+    /// Keys whose flush exhausted its retries and now sit in the journal
+    /// awaiting a breaker probe. Bookkeeping only (stats and reports);
+    /// the data itself stays in the dirty maps and the journal. Leaf lock.
+    parked: Mutex<HashSet<EntryKey>>,
     /// Highest invalidation-bus sequence number seen; `0` until the first
     /// delivery. Gaps mean dropped notifications (see
     /// [`DocumentCache::note_sequence`]).
@@ -327,6 +463,8 @@ impl DocumentCache {
             resilience: config.resilience,
             stage_cache: config.stage_cache,
             breakers: BreakerSet::new(),
+            journal: config.journal,
+            parked: Mutex::new(HashSet::new()),
             last_seq: AtomicU64::new(0),
         });
         cache.space.bus().subscribe(Arc::new(CacheSink {
@@ -339,6 +477,99 @@ impl DocumentCache {
     /// Creates a cache with the default configuration.
     pub fn with_defaults(space: Arc<DocumentSpace>) -> Arc<Self> {
         Self::new(space, CacheConfig::default())
+    }
+
+    /// Creates a cache after a crash, replaying the journal configured in
+    /// `config` into the dirty queue (warm restart).
+    ///
+    /// Open the journal over the surviving [`placeless_simenv::StableStore`]
+    /// first — [`WriteJournal::open`] truncates any torn tail the crash
+    /// left — then pass it in `config.journal`. Each intact record is
+    /// checked against the origin: if the record carries a base-version
+    /// epoch and the origin's current rendition no longer matches it, the
+    /// origin changed while the write sat buffered across the crash. That
+    /// is a [`WriteConflict`], resolved through `hook` (default:
+    /// [`ConflictResolution::KeepMine`]) and *reported*, never silently
+    /// last-writer-wins. Records whose origin is unreachable during
+    /// recovery are re-queued unchecked — the conflict check re-runs
+    /// implicitly when a human inspects the report, and the write itself
+    /// is preserved either way. Records whose document no longer exists
+    /// are dropped and acknowledged.
+    ///
+    /// Without a journal in `config`, this is exactly [`Self::new`] plus
+    /// an empty report.
+    pub fn recover(
+        space: Arc<DocumentSpace>,
+        config: CacheConfig,
+        hook: Option<ConflictHook>,
+    ) -> (Arc<Self>, RecoveryReport) {
+        let cache = Self::new(space, config);
+        let mut report = RecoveryReport::default();
+        let Some(journal) = cache.journal.clone() else {
+            return (cache, report);
+        };
+        for record in journal.live_records() {
+            report.replayed += 1;
+            AtomicCacheStats::bump(&cache.stats.journal_replays);
+            let conflict = if record.epoch == NO_EPOCH {
+                // The writer never read the document: no base version is
+                // known, so there is nothing to compare against.
+                None
+            } else {
+                match cache.space.read_document(record.user, record.doc) {
+                    Ok((bytes, _)) => {
+                        let origin_sig = ConcurrentStore::signature_of(&bytes);
+                        (origin_sig != record.epoch).then_some(WriteConflict {
+                            doc: record.doc,
+                            user: record.user,
+                            journal_epoch: record.epoch,
+                            origin_signature: origin_sig,
+                        })
+                    }
+                    Err(
+                        PlacelessError::NoSuchDocument(_) | PlacelessError::NoSuchReference(..),
+                    ) => {
+                        // The write's target is gone; it can never be
+                        // applied. Drop and acknowledge.
+                        journal.ack(record.seq);
+                        report.dropped += 1;
+                        continue;
+                    }
+                    // Origin unreachable (or any other read failure):
+                    // re-queue unchecked — losing the write would be worse
+                    // than flushing it unverified.
+                    Err(_) => None,
+                }
+            };
+            if let Some(conflict) = conflict {
+                AtomicCacheStats::bump(&cache.stats.write_conflicts);
+                let resolution = match &hook {
+                    Some(hook) => hook(&conflict),
+                    None => ConflictResolution::KeepMine,
+                };
+                report.conflicts.push(conflict);
+                match resolution {
+                    ConflictResolution::KeepMine => report.kept_mine += 1,
+                    ConflictResolution::KeepTheirs => {
+                        report.kept_theirs += 1;
+                        journal.ack(record.seq);
+                        continue;
+                    }
+                }
+            }
+            let key = EntryKey::Version(record.doc, record.user);
+            let mut shard = cache.shard(key).lock();
+            shard.dirty.insert(
+                key,
+                DirtyEntry {
+                    data: record.data.clone(),
+                    seq: Some(record.seq),
+                },
+            );
+            drop(shard);
+            report.requeued += 1;
+        }
+        (cache, report)
     }
 
     /// Returns this cache's id.
@@ -494,7 +725,7 @@ impl DocumentCache {
             let mut shard = self.shards[index].lock();
             // Dirty write-back data is the freshest view for its writer.
             if let Some(dirty) = shard.dirty.get(&key) {
-                Outcome::Dirty(dirty.clone())
+                Outcome::Dirty(dirty.data.clone())
             } else if shard.meta.contains_key(&key) {
                 let meta = shard.meta.get(&key).expect("checked above");
                 // `force_verify` (set after an invalidation gap) overrides
@@ -1059,9 +1290,10 @@ impl DocumentCache {
     /// Writes a document for `user` according to the configured
     /// [`WriteMode`].
     pub fn write(&self, user: UserId, doc: DocumentId, data: &[u8]) -> Result<()> {
+        let clock = self.space.clock().clone();
         match self.write_mode {
             WriteMode::Through => {
-                self.space.write_document(user, doc, data)?;
+                self.write_with_resilience(user, doc, data, &clock)?;
                 AtomicCacheStats::bump(&self.stats.writes);
                 // The source changed: every locally cached version of this
                 // document is stale, whatever notifiers may also say.
@@ -1072,7 +1304,32 @@ impl DocumentCache {
                 {
                     let key = EntryKey::Version(doc, user);
                     let mut shard = self.shard(key).lock();
-                    shard.dirty.insert(key, Bytes::copy_from_slice(data));
+                    if let Some(journal) = &self.journal {
+                        // Write-ahead: the record reaches stable storage
+                        // before the dirty map changes, so a crash between
+                        // the two loses nothing. The epoch is the signature
+                        // of the rendition this writer last saw resident —
+                        // recovery compares it against the origin to detect
+                        // conflicts.
+                        let epoch = shard.sigs.get(&key).copied().unwrap_or(NO_EPOCH);
+                        let seq = journal.append(doc, user, epoch, data);
+                        AtomicCacheStats::bump(&self.stats.journal_appends);
+                        shard.dirty.insert(
+                            key,
+                            DirtyEntry {
+                                data: Bytes::copy_from_slice(data),
+                                seq: Some(seq),
+                            },
+                        );
+                    } else {
+                        shard.dirty.insert(
+                            key,
+                            DirtyEntry {
+                                data: Bytes::copy_from_slice(data),
+                                seq: None,
+                            },
+                        );
+                    }
                 }
                 AtomicCacheStats::bump(&self.stats.writes);
                 // §3: write-path properties register their own cacheability
@@ -1092,30 +1349,168 @@ impl DocumentCache {
         }
     }
 
+    /// Executes one middleware write under the configured resilience
+    /// policy: breaker admission before every attempt, bounded retries
+    /// with deterministic backoff, and the fetch deadline. Successes and
+    /// failures are recorded on the *same* per-origin breakers the read
+    /// path uses, so a write-through storm of failures opens the breaker
+    /// for reads too (and vice versa). With the no-op default config this
+    /// is exactly one plain write — bit-identical to the pre-resilience
+    /// cache.
+    ///
+    /// Runs with no cache lock held.
+    fn write_with_resilience(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+        data: &[u8],
+        clock: &VirtualClock,
+    ) -> Result<()> {
+        if self.resilience.is_noop() {
+            return self.space.write_document(user, doc, data);
+        }
+        let origin = self
+            .space
+            .origin_of(doc)
+            .unwrap_or_else(|| format!("doc:{}", doc.0));
+        let started = clock.now();
+        let deadline = self.resilience.fetch_deadline_micros;
+        let mut backoff = BackoffSchedule::new(&self.resilience, doc.0 ^ user.0.rotate_left(32));
+        let mut attempt = 0u32;
+        loop {
+            if let Some(config) = &self.resilience.breaker {
+                if let Admission::Reject { retry_after } =
+                    self.breakers.admit(config, &origin, clock.now())
+                {
+                    return Err(PlacelessError::Unavailable {
+                        source: origin,
+                        retry_after: Some(retry_after),
+                    });
+                }
+            }
+            match self.space.write_document(user, doc, data) {
+                Ok(()) => {
+                    if let Some(config) = &self.resilience.breaker {
+                        self.breakers.record_success(config, &origin);
+                    }
+                    return Ok(());
+                }
+                Err(error) if error.is_transient() => {
+                    if let Some(config) = &self.resilience.breaker {
+                        if self.breakers.record_failure(config, &origin, clock.now()) {
+                            AtomicCacheStats::bump(&self.stats.breaker_trips);
+                        }
+                    }
+                    if attempt >= self.resilience.max_retries {
+                        return Err(error);
+                    }
+                    let delay = backoff.delay_micros(attempt);
+                    if let Some(budget) = deadline {
+                        if clock.now().since(started) + delay > budget {
+                            return Err(PlacelessError::Timeout {
+                                source: origin,
+                                elapsed_micros: clock.now().since(started),
+                            });
+                        }
+                    }
+                    clock.advance(delay);
+                    AtomicCacheStats::bump(&self.stats.flush_retries);
+                    attempt += 1;
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
     /// Pushes all buffered write-back data to the middleware.
     ///
-    /// Dirty data is drained holding one shard lock at a time; the
-    /// middleware writes then run with no cache lock held.
-    pub fn flush(&self) -> Result<()> {
-        let mut dirty: Vec<(EntryKey, Bytes)> = Vec::new();
+    /// Dirty data is drained holding one shard lock at a time, sorted
+    /// into a deterministic order, and written with no cache lock held.
+    /// A failed write no longer abandons the remaining entries: the
+    /// failed entry and every entry not yet attempted are re-queued into
+    /// their shards' dirty maps (a concurrent newer write for the same
+    /// key wins over the re-queue), and the returned [`FlushReport`]
+    /// names exactly what remains dirty.
+    ///
+    /// With a journal configured, a flushed record is acknowledged (and
+    /// the journal pruned) only after its origin write succeeded, and an
+    /// entry whose write exhausted its retries on a transient failure is
+    /// *parked*: it stays dirty and journaled, without failing the flush,
+    /// until a later flush finds the origin's breaker admitting probes
+    /// again. Non-transient failures are re-queued and reported either
+    /// way.
+    pub fn flush(&self) -> Result<FlushReport> {
+        let mut dirty: Vec<(EntryKey, DirtyEntry)> = Vec::new();
         for mutex in self.shards.iter() {
             dirty.extend(mutex.lock().dirty.drain());
         }
-        for (key, data) in dirty {
+        // HashMap drain order depends on the process hasher seed; sorting
+        // keeps flush outcomes (which entry hit the outage window first)
+        // reproducible for same-seed replays.
+        dirty.sort_by_key(|(key, _)| match key {
+            EntryKey::Version(doc, user) => (doc.0, user.0),
+            EntryKey::Stage(_) => (u64::MAX, u64::MAX),
+        });
+        let mut report = FlushReport::default();
+        for (key, entry) in dirty {
             let EntryKey::Version(doc, user) = key else {
                 // Dirty data is only ever buffered under version keys.
                 continue;
             };
-            self.space.write_document(user, doc, &data)?;
-            AtomicCacheStats::bump(&self.stats.flushes);
-            self.invalidate_doc(doc);
+            report.attempted += 1;
+            let clock = self.space.clock().clone();
+            match self.write_with_resilience(user, doc, &entry.data, &clock) {
+                Ok(()) => {
+                    AtomicCacheStats::bump(&self.stats.flushes);
+                    report.flushed += 1;
+                    if let (Some(journal), Some(seq)) = (&self.journal, entry.seq) {
+                        // Ack precisely this record; a newer write that
+                        // superseded it mid-flush keeps its own record.
+                        journal.ack(seq);
+                    }
+                    self.parked.lock().remove(&key);
+                    self.invalidate_doc(doc);
+                }
+                Err(error) => {
+                    self.requeue_dirty(key, entry);
+                    if self.journal.is_some() && error.is_transient() {
+                        // Parked: the write stays journaled and dirty; the
+                        // next flush after the origin's breaker half-opens
+                        // drains it.
+                        if self.parked.lock().insert(key) {
+                            AtomicCacheStats::bump(&self.stats.writes_parked);
+                        }
+                        report.parked.push((doc, user));
+                    } else {
+                        report.requeued.push((doc, user, error));
+                    }
+                }
+            }
         }
-        Ok(())
+        Ok(report)
+    }
+
+    /// Puts a drained dirty entry back without clobbering a newer write
+    /// that landed while the flush held no lock.
+    fn requeue_dirty(&self, key: EntryKey, entry: DirtyEntry) {
+        let mut shard = self.shard(key).lock();
+        shard.dirty.entry(key).or_insert(entry);
     }
 
     /// Returns how many writes are buffered (write-back mode).
     pub fn dirty_count(&self) -> usize {
         self.shards.iter().map(|s| s.lock().dirty.len()).sum()
+    }
+
+    /// Returns how many dirty entries are currently parked (their last
+    /// flush exhausted its retries against an unreachable origin).
+    pub fn parked_count(&self) -> usize {
+        self.parked.lock().len()
+    }
+
+    /// Returns the configured write journal, if any.
+    pub fn journal(&self) -> Option<&WriteJournal> {
+        self.journal.as_ref()
     }
 
     /// Drops every resident version of `doc`, sweeping the shards one at
@@ -1457,6 +1852,75 @@ mod tests {
         assert_eq!(provider.content(), "buffered");
         assert_eq!(cache.dirty_count(), 0);
         assert_eq!(cache.stats().flushes, 1);
+    }
+
+    #[test]
+    fn journal_records_writes_and_flush_acks_prune_it() {
+        let (space, provider, doc) = setup("v0", 100);
+        let journal = WriteJournal::new(placeless_simenv::StableStore::new());
+        let cache = DocumentCache::new(
+            space,
+            CacheConfig {
+                write_mode: WriteMode::Back,
+                journal: Some(journal.clone()),
+                ..quiet_config()
+            },
+        );
+        cache
+            .write(ALICE, doc, b"draft")
+            .expect("write must buffer");
+        assert_eq!(cache.stats().journal_appends, 1);
+        assert_eq!(journal.len(), 1, "journaled before the flush");
+        assert!(!journal.store().is_empty());
+        let report = cache.flush().expect("flush must succeed");
+        assert!(report.is_clean());
+        assert_eq!((report.attempted, report.flushed), (1, 1));
+        assert!(journal.is_empty(), "ack prunes the flushed record");
+        assert!(journal.store().is_empty(), "ack compacts the medium");
+        assert_eq!(provider.content(), "draft");
+    }
+
+    #[test]
+    fn recover_replays_journal_into_dirty_queue() {
+        let (space, provider, doc) = setup("v0", 100);
+        let medium = placeless_simenv::StableStore::new();
+        {
+            let cache = DocumentCache::new(
+                space.clone(),
+                CacheConfig {
+                    write_mode: WriteMode::Back,
+                    journal: Some(WriteJournal::new(medium.clone())),
+                    ..quiet_config()
+                },
+            );
+            cache
+                .write(ALICE, doc, b"buffered")
+                .expect("write must buffer");
+            // Crash: every in-memory structure dies unflushed; only the
+            // stable medium survives.
+        }
+        let (journal, outcome) = WriteJournal::open(medium);
+        assert_eq!(outcome.records.len(), 1);
+        let (cache, report) = DocumentCache::recover(
+            space,
+            CacheConfig {
+                write_mode: WriteMode::Back,
+                journal: Some(journal),
+                ..quiet_config()
+            },
+            None,
+        );
+        assert_eq!((report.replayed, report.requeued), (1, 1));
+        assert!(report.conflicts.is_empty());
+        assert_eq!(cache.dirty_count(), 1);
+        assert_eq!(cache.stats().journal_replays, 1);
+        assert_eq!(
+            cache.read(ALICE, doc).expect("read must succeed"),
+            "buffered",
+            "the recovered write is the writer's view again"
+        );
+        cache.flush().expect("flush must succeed");
+        assert_eq!(provider.content(), "buffered");
     }
 
     #[test]

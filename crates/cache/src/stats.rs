@@ -65,6 +65,21 @@ pub struct CacheStats {
     /// Logical bytes currently resident as intermediate stage entries (a
     /// gauge: rises on stage fills, falls when stage entries leave).
     pub stage_bytes: u64,
+    /// Write-back writes appended to the durable write journal before the
+    /// dirty map was updated (journal configured only).
+    pub journal_appends: u64,
+    /// Journaled writes replayed into the dirty queue by a warm restart
+    /// ([`crate::manager::DocumentCache::recover`]).
+    pub journal_replays: u64,
+    /// Dirty entries parked in the journal after a flush exhausted its
+    /// retries (drained when the origin's breaker lets probes through).
+    pub writes_parked: u64,
+    /// Write attempts repeated after a transient failure (write-through
+    /// and flush paths; the write-side sibling of `retries`).
+    pub flush_retries: u64,
+    /// Recovered writes that conflicted with a newer origin version
+    /// (journal epoch no longer matches the origin signature).
+    pub write_conflicts: u64,
 }
 
 impl CacheStats {
@@ -148,6 +163,11 @@ pub struct AtomicCacheStats {
     pub(crate) stage_hits: AtomicU64,
     pub(crate) stage_partial_hits: AtomicU64,
     pub(crate) stage_bytes: AtomicU64,
+    pub(crate) journal_appends: AtomicU64,
+    pub(crate) journal_replays: AtomicU64,
+    pub(crate) writes_parked: AtomicU64,
+    pub(crate) flush_retries: AtomicU64,
+    pub(crate) write_conflicts: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -193,6 +213,11 @@ impl AtomicCacheStats {
             stage_hits: self.stage_hits.load(Ordering::Relaxed),
             stage_partial_hits: self.stage_partial_hits.load(Ordering::Relaxed),
             stage_bytes: self.stage_bytes.load(Ordering::Relaxed),
+            journal_appends: self.journal_appends.load(Ordering::Relaxed),
+            journal_replays: self.journal_replays.load(Ordering::Relaxed),
+            writes_parked: self.writes_parked.load(Ordering::Relaxed),
+            flush_retries: self.flush_retries.load(Ordering::Relaxed),
+            write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
         }
     }
 }

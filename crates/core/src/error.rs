@@ -58,6 +58,18 @@ pub enum PlacelessError {
         /// Virtual microseconds consumed before giving up.
         elapsed_micros: u64,
     },
+    /// A recovered (journaled) write-back write conflicts with a newer
+    /// origin version: the origin changed after the write was buffered
+    /// but before it could be flushed. Non-fatal — recovery resolves it
+    /// through a keep-mine/keep-theirs hook and reports the conflict
+    /// rather than silently applying last-writer-wins. Not transient:
+    /// retrying cannot make the two versions agree.
+    Conflict {
+        /// The document whose buffered write conflicts.
+        doc: DocumentId,
+        /// The user whose buffered write conflicts.
+        user: UserId,
+    },
 }
 
 impl fmt::Display for PlacelessError {
@@ -97,6 +109,12 @@ impl fmt::Display for PlacelessError {
                 elapsed_micros,
             } => {
                 write!(f, "`{source}` timed out after {elapsed_micros}µs")
+            }
+            PlacelessError::Conflict { doc, user } => {
+                write!(
+                    f,
+                    "recovered write for {doc} by {user} conflicts with a newer origin version"
+                )
             }
         }
     }
@@ -143,6 +161,12 @@ mod tests {
         };
         assert!(err.to_string().contains("spell"));
         assert!(err.to_string().contains("dictionary missing"));
+        let err = PlacelessError::Conflict {
+            doc: DocumentId(3),
+            user: UserId(8),
+        };
+        assert!(err.to_string().contains("doc-3"), "{err}");
+        assert!(err.to_string().contains("conflicts"), "{err}");
     }
 
     #[test]
@@ -168,6 +192,14 @@ mod tests {
         assert!(timeout.is_transient());
         assert!(!PlacelessError::StreamClosed.is_transient());
         assert!(!PlacelessError::NoSuchDocument(DocumentId(1)).is_transient());
+        assert!(
+            !PlacelessError::Conflict {
+                doc: DocumentId(1),
+                user: UserId(2),
+            }
+            .is_transient(),
+            "a version conflict cannot be cured by retrying"
+        );
         assert!(unavailable.to_string().contains("retry after 1000µs"));
         assert!(timeout.to_string().contains("80000µs"));
     }

@@ -13,7 +13,11 @@
 //! * [`rng::SimRng`] — a small, seedable xorshift generator so every
 //!   experiment is reproducible bit-for-bit.
 //! * [`fault::FaultPlan`] — scripted, deterministic failure schedules
-//!   (outages, timeouts, latency spikes, partitions) attachable to links.
+//!   (outages, timeouts, latency spikes, partitions, process crashes)
+//!   attachable to links.
+//! * [`stable::StableStore`] — a simulated stable-storage medium whose
+//!   contents survive a scripted process crash (with torn-tail
+//!   truncation), backing the cache's write-ahead journal.
 //! * [`trace`] — workload generators (Zipf document popularity, read/write
 //!   mixes, user populations) used by the benchmark harness.
 //!
@@ -24,9 +28,11 @@ pub mod clock;
 pub mod fault;
 pub mod latency;
 pub mod rng;
+pub mod stable;
 pub mod trace;
 
 pub use clock::{Instant, Stopwatch, VirtualClock};
-pub use fault::{FaultError, FaultErrorKind, FaultPlan};
+pub use fault::{CrashEvent, FaultError, FaultErrorKind, FaultPlan};
 pub use latency::{LatencyModel, Link, LinkClass};
 pub use rng::SimRng;
+pub use stable::StableStore;

@@ -29,6 +29,9 @@ cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments 
 echo "==> E-STAGE smoke (staged-plan partial hits; writes BENCH_stage.json)"
 cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- stage
 
+echo "==> E-CRASH smoke (write-journal durability; writes BENCH_crash.json)"
+cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- crash
+
 echo "==> cargo clippy (-D warnings)"
 cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 

@@ -11,8 +11,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use placeless_bench::fault::{self, FaultParams, ResilienceMode};
 use placeless_cache::{
-    BreakerConfig, BreakerState, CacheConfig, CacheStats, DocumentCache, ResilienceConfig,
-    StalenessBound,
+    BreakerConfig, BreakerState, CacheConfig, CacheStats, ConflictHook, ConflictResolution,
+    DocumentCache, ResilienceConfig, StalenessBound, WriteConflict, WriteJournal, WriteMode,
 };
 use placeless_core::bitprovider::BitProvider;
 use placeless_core::cacheability::Cacheability;
@@ -23,7 +23,7 @@ use placeless_core::space::DocumentSpace;
 use placeless_core::streams::{InputStream, MemoryInput, OutputStream};
 use placeless_core::verifier::{ClosureVerifier, Validity, Verifier};
 use placeless_repository::{FsProvider, MemFs, WebProvider, WebServer};
-use placeless_simenv::{FaultPlan, Instant, LatencyModel, Link, VirtualClock};
+use placeless_simenv::{FaultPlan, Instant, LatencyModel, Link, StableStore, VirtualClock};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -463,6 +463,363 @@ fn e_fault_availability_ranks_and_replays() {
     }
 }
 
+/// Write-through failures are recorded on the *same* per-origin breakers
+/// the read path uses: a storm of failed writes opens the breaker for
+/// reads too, and a successful write probe closes it for both.
+#[test]
+fn write_through_failures_trip_the_shared_breaker() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/doc", "v0");
+    let link = lan(11);
+    link.set_fault_plan(FaultPlan::builder(11).outage(0, 100_000).build());
+    let doc = space.create_document(USER, FsProvider::new(fs.clone(), "/doc", link));
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Through)
+            .resilience(
+                ResilienceConfig::builder()
+                    .breaker(BreakerConfig {
+                        failure_threshold: 2,
+                        open_micros: 50_000,
+                        half_open_probes: 1,
+                    })
+                    .build(),
+            )
+            .build(),
+    );
+
+    // Two write-through failures against the dark origin trip the breaker.
+    assert!(cache.write(USER, doc, b"w1").is_err());
+    assert_eq!(cache.breaker_state("fs"), BreakerState::Closed);
+    assert!(cache.write(USER, doc, b"w2").is_err());
+    assert_eq!(cache.breaker_state("fs"), BreakerState::Open);
+
+    // The read path fast-fails on the breaker the writes opened.
+    let err = cache.read(USER, doc).expect_err("shared breaker rejects");
+    match err {
+        PlacelessError::Unavailable { retry_after, .. } => {
+            assert!(retry_after.is_some(), "cool-down is advertised")
+        }
+        other => panic!("expected Unavailable, got {other}"),
+    }
+
+    // Outage and cool-down over: a write probe succeeds and closes the
+    // breaker for reads as well.
+    clock.advance_to(Instant(200_000));
+    cache.write(USER, doc, b"w3").expect("origin is back");
+    assert_eq!(cache.breaker_state("fs"), BreakerState::Closed);
+    assert_eq!(fs.read("/doc").expect("file exists"), "w3");
+    assert_eq!(cache.read(USER, doc).expect("reads flow again"), "w3");
+    assert_eq!(cache.stats().breaker_trips, 1);
+}
+
+/// The flush data-loss regression: a mid-flush write failure used to
+/// abandon the failed entry *and* every entry not yet attempted. Now the
+/// flush keeps going, re-queues what failed, and reports it.
+#[test]
+fn flush_into_outage_loses_nothing_and_drains_later() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    let healthy = lan(12);
+    let dark = lan(13);
+    dark.set_fault_plan(FaultPlan::builder(13).outage(0, 400_000).build());
+    // Doc 0 flushes over a healthy link; docs 1 and 2 hit the outage.
+    fs.create("/d0", "old0");
+    fs.create("/d1", "old1");
+    fs.create("/d2", "old2");
+    let d0 = space.create_document(USER, FsProvider::new(fs.clone(), "/d0", healthy));
+    let d1 = space.create_document(USER, FsProvider::new(fs.clone(), "/d1", dark.clone()));
+    let d2 = space.create_document(USER, FsProvider::new(fs.clone(), "/d2", dark));
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .build(),
+    );
+    cache.write(USER, d0, b"new0").expect("buffers");
+    cache.write(USER, d1, b"new1").expect("buffers");
+    cache.write(USER, d2, b"new2").expect("buffers");
+    assert_eq!(cache.dirty_count(), 3);
+
+    let report = cache.flush().expect("flush reports, not errors");
+    assert!(!report.is_clean());
+    assert_eq!(report.attempted, 3);
+    assert_eq!(report.flushed, 1, "the healthy origin's entry flushed");
+    assert_eq!(
+        report.requeued.len(),
+        2,
+        "the dark origin's entries did not"
+    );
+    assert!(report
+        .requeued
+        .iter()
+        .all(|(doc, user, err)| (*doc == d1 || *doc == d2) && *user == USER && err.is_transient()));
+    assert_eq!(
+        cache.dirty_count(),
+        2,
+        "failed entries are re-queued, not dropped"
+    );
+    assert_eq!(fs.read("/d0").expect("file exists"), "new0");
+    assert_eq!(fs.read("/d1").expect("file exists"), "old1");
+
+    // Origin back: the re-queued entries drain completely.
+    clock.advance_to(Instant(500_000));
+    let report = cache.flush().expect("flush succeeds");
+    assert!(report.is_clean());
+    assert_eq!(report.flushed, 2);
+    assert_eq!(cache.dirty_count(), 0);
+    assert_eq!(fs.read("/d1").expect("file exists"), "new1");
+    assert_eq!(fs.read("/d2").expect("file exists"), "new2");
+    assert_eq!(cache.stats().flushes, 3);
+}
+
+/// A flush interrupted by a timeout window: the hung write is charged to
+/// the clock, surfaces as `Timeout`, and the entry stays dirty for the
+/// next flush.
+#[test]
+fn flush_interrupted_by_timeout_requeues_the_entry() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/doc", "old");
+    let link = lan(14);
+    link.set_fault_plan(FaultPlan::builder(14).timeout(0, 90_000).build());
+    let doc = space.create_document(USER, FsProvider::new(fs.clone(), "/doc", link));
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .build(),
+    );
+    cache.write(USER, doc, b"new").expect("buffers");
+
+    let report = cache.flush().expect("flush reports, not errors");
+    assert_eq!(report.flushed, 0);
+    let (_, _, err) = &report.requeued[0];
+    assert!(matches!(err, PlacelessError::Timeout { .. }), "{err}");
+    assert!(
+        clock.now().as_micros() >= 90_000,
+        "the hang was charged to the clock, now={}µs",
+        clock.now().as_micros()
+    );
+    assert_eq!(cache.dirty_count(), 1, "the write survived the timeout");
+    assert_eq!(fs.read("/doc").expect("file exists"), "old");
+
+    let report = cache.flush().expect("flush succeeds past the window");
+    assert!(report.is_clean());
+    assert_eq!(cache.dirty_count(), 0);
+    assert_eq!(fs.read("/doc").expect("file exists"), "new");
+}
+
+/// Crash mid-append: the torn last record is truncated away, the intact
+/// prefix is recovered into the dirty queue, and a flush pushes it.
+#[test]
+fn journal_replay_after_crash_truncates_the_torn_tail() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    let link = lan(15);
+    let mut docs = Vec::new();
+    for i in 0..3 {
+        let path = format!("/d{i}");
+        fs.create(&path, format!("old{i}"));
+        docs.push(space.create_document(USER, FsProvider::new(fs.clone(), &path, link.clone())));
+    }
+    let medium = StableStore::new();
+    {
+        let cache = DocumentCache::new(
+            space.clone(),
+            CacheConfig::builder()
+                .local_latency(LatencyModel::FREE)
+                .write_mode(WriteMode::Back)
+                .journal(WriteJournal::new(medium.clone()))
+                .build(),
+        );
+        cache.write(USER, docs[0], b"new0").expect("buffers");
+        cache.write(USER, docs[1], b"new1").expect("buffers");
+        let intact = medium.len();
+        cache.write(USER, docs[2], b"new2").expect("buffers");
+        // The crash tears the append that was in flight.
+        medium.tear_tail((medium.len() - intact) / 2);
+    } // crash: all in-memory cache state dies
+
+    let (journal, outcome) = WriteJournal::open(medium.clone());
+    assert!(outcome.truncated, "the torn tail was detected");
+    assert!(outcome.torn_bytes > 0);
+    assert_eq!(outcome.records.len(), 2, "the intact prefix survived");
+
+    let (cache, report) = DocumentCache::recover(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .journal(journal)
+            .build(),
+        None,
+    );
+    assert_eq!((report.replayed, report.requeued), (2, 2));
+    assert!(report.conflicts.is_empty());
+    assert_eq!(cache.dirty_count(), 2);
+    assert_eq!(cache.stats().journal_replays, 2);
+
+    let flush = cache.flush().expect("flush succeeds");
+    assert!(flush.is_clean());
+    assert_eq!(fs.read("/d0").expect("file exists"), "new0");
+    assert_eq!(fs.read("/d1").expect("file exists"), "new1");
+    assert_eq!(
+        fs.read("/d2").expect("file exists"),
+        "old2",
+        "the torn write was still in flight at the crash — never durable"
+    );
+    assert!(
+        medium.is_empty(),
+        "every recovered record was flushed, acked, and pruned"
+    );
+}
+
+/// Recovery finds the origin moved on while writes sat buffered across
+/// the crash: each conflict is surfaced (never silent last-writer-wins)
+/// and resolved per the hook — keep-mine re-queues, keep-theirs drops.
+#[test]
+fn recovery_conflicts_resolve_keep_mine_and_keep_theirs() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock, LatencyModel::FREE);
+    let origin_a = placeless_core::bitprovider::MemoryProvider::new("a", "base-a", 100);
+    let origin_b = placeless_core::bitprovider::MemoryProvider::new("b", "base-b", 100);
+    let doc_a = space.create_document(USER, origin_a.clone());
+    let doc_b = space.create_document(USER, origin_b.clone());
+    let medium = StableStore::new();
+    let config = || {
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .run_verifiers(false)
+    };
+    {
+        let cache = DocumentCache::new(
+            space.clone(),
+            config().journal(WriteJournal::new(medium.clone())).build(),
+        );
+        // Read first, so each journal record carries the epoch (the
+        // signature of the rendition the writer based its edit on).
+        cache.read(USER, doc_a).expect("warm");
+        cache.read(USER, doc_b).expect("warm");
+        cache.write(USER, doc_a, b"mine-a").expect("buffers");
+        cache.write(USER, doc_b, b"mine-b").expect("buffers");
+    } // crash before any flush
+
+    // Both origins change out of band while the process is down.
+    origin_a.set_out_of_band("theirs-a");
+    origin_b.set_out_of_band("theirs-b");
+
+    let (journal, outcome) = WriteJournal::open(medium.clone());
+    assert_eq!(outcome.records.len(), 2);
+    let hook: ConflictHook = Arc::new(move |conflict: &WriteConflict| {
+        if conflict.doc == doc_a {
+            ConflictResolution::KeepMine
+        } else {
+            ConflictResolution::KeepTheirs
+        }
+    });
+    let (cache, report) =
+        DocumentCache::recover(space, config().journal(journal.clone()).build(), Some(hook));
+    assert_eq!(report.replayed, 2);
+    assert_eq!(report.conflicts.len(), 2, "both divergences were detected");
+    assert_eq!((report.kept_mine, report.kept_theirs), (1, 1));
+    for conflict in &report.conflicts {
+        assert_ne!(conflict.journal_epoch, conflict.origin_signature);
+        assert!(
+            matches!(conflict.error(), PlacelessError::Conflict { .. }),
+            "conflicts surface as the non-fatal Conflict error"
+        );
+    }
+    assert_eq!(cache.stats().write_conflicts, 2);
+    assert_eq!(cache.dirty_count(), 1, "only the kept-mine write re-queued");
+    assert_eq!(journal.len(), 1, "keep-theirs acked its record away");
+
+    let flush = cache.flush().expect("flush succeeds");
+    assert!(flush.is_clean());
+    assert_eq!(
+        origin_a.content(),
+        "mine-a",
+        "keep-mine overwrote the origin"
+    );
+    assert_eq!(origin_b.content(), "theirs-b", "keep-theirs left it alone");
+    assert!(journal.is_empty());
+}
+
+/// A full parked-write lifecycle on the virtual clock, returning
+/// everything observable so the proptest below can compare runs.
+fn parked_drain_run(seed: u64, writes: u64) -> (CacheStats, usize, Vec<Bytes>) {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    let link = lan(seed);
+    link.set_fault_plan(FaultPlan::builder(seed).outage(30_000, 150_000).build());
+    let mut docs = Vec::new();
+    for i in 0..3 {
+        let path = format!("/d{i}");
+        fs.create(&path, format!("seed {i}"));
+        docs.push(space.create_document(USER, FsProvider::new(fs.clone(), &path, link.clone())));
+    }
+    let journal = WriteJournal::new(StableStore::new());
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .shards(1)
+            .journal(journal.clone())
+            .resilience(
+                ResilienceConfig::builder()
+                    .max_retries(2)
+                    .backoff_base_micros(500)
+                    .backoff_jitter_frac(128)
+                    .retry_seed(seed)
+                    .breaker(BreakerConfig {
+                        failure_threshold: 2,
+                        open_micros: 20_000,
+                        half_open_probes: 1,
+                    })
+                    .build(),
+            )
+            .build(),
+    );
+    for i in 0..writes {
+        let slot = Instant(i * 4_000);
+        if clock.now() < slot {
+            clock.advance_to(slot);
+        }
+        let doc = docs[(i % 3) as usize];
+        cache
+            .write(USER, doc, format!("v{i}").as_bytes())
+            .expect("write-back buffers unconditionally");
+        if i % 3 == 2 {
+            // Flushes inside the outage window park entries instead of
+            // losing them; flushes outside drain whatever is parked.
+            cache.flush().expect("flush reports, not errors");
+        }
+    }
+    // Past the outage and the breaker cool-down, everything drains.
+    clock.advance_to(Instant(400_000));
+    let final_report = cache.flush().expect("final flush succeeds");
+    assert!(final_report.is_clean(), "no origin is dark at the end");
+    assert_eq!(cache.dirty_count(), 0);
+    assert_eq!(cache.parked_count(), 0);
+    assert!(journal.is_empty(), "all acknowledged writes reached stable");
+    let contents = (0..3)
+        .map(|i| fs.read(&format!("/d{i}")).expect("file exists"))
+        .collect();
+    (cache.stats(), cache.len(), contents)
+}
+
 /// Deterministic replay of a full cache run under a probabilistic fault
 /// plan: same seed in, byte-for-byte equal stats out.
 fn faulted_run(seed: u64, error_rate: f64, reads: u64) -> (Vec<Option<Bytes>>, CacheStats, u64) {
@@ -558,5 +915,27 @@ proptest! {
         prop_assert_eq!(out_a, out_b);
         prop_assert_eq!(stats_a, stats_b);
         prop_assert_eq!(injected_a, injected_b);
+    }
+
+    /// Parked-write drains replay exactly: same seed, same park/retry/
+    /// breaker counters, same final origin contents — and no write is
+    /// ever lost, whatever the outage/flush interleaving.
+    #[test]
+    fn parked_write_drain_replays_exactly(
+        seed in any::<u64>(),
+        writes in 6u64..30,
+    ) {
+        let (stats_a, len_a, contents_a) = parked_drain_run(seed, writes);
+        let (stats_b, len_b, contents_b) = parked_drain_run(seed, writes);
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(len_a, len_b);
+        prop_assert_eq!(&contents_a, &contents_b);
+        // Zero loss: each origin holds exactly the last write it was sent.
+        for (i, content) in contents_a.iter().enumerate() {
+            let last = (0..writes).rev().find(|w| w % 3 == i as u64);
+            if let Some(last) = last {
+                prop_assert_eq!(content, &format!("v{last}"));
+            }
+        }
     }
 }
