@@ -8,15 +8,17 @@
 //!
 //! Experiments: `table1`, `notifier-verifier`, `replacement`, `sharing`,
 //! `consistency`, `qos`, `collections`, `chain`, `placement`,
-//! `revalidation`, `scale`, `fault`, `stage`, `crash`.
+//! `revalidation`, `scale`, `fault`, `stage`, `crash`, `load`.
 //!
-//! The `stage` and `crash` experiments additionally write
-//! `BENCH_stage.json` / `BENCH_crash.json` next to the working directory
-//! so their numbers are machine-readable run over run.
+//! The `stage`, `crash`, and `load` experiments additionally write
+//! `BENCH_stage.json` / `BENCH_crash.json` / `BENCH_load.json` next to
+//! the working directory so their numbers are machine-readable run over
+//! run. The `load` experiment honours `E_LOAD_USERS` / `E_LOAD_DOCS` /
+//! `E_LOAD_OPS` / `E_LOAD_THREADS` overrides for reduced CI smokes.
 
 use placeless_bench::{
-    chain, collections, consistency, crash, fault, nv, placement, qos, replacement, revalidation,
-    scale, sharing, stage, table1,
+    chain, collections, consistency, crash, fault, load, nv, placement, qos, replacement,
+    revalidation, scale, sharing, stage, table1,
 };
 use placeless_cache::ALL_POLICIES;
 
@@ -67,6 +69,121 @@ fn main() {
     if want("crash") {
         run_crash();
     }
+    if want("load") {
+        run_load();
+    }
+}
+
+fn run_load() {
+    let params = load::LoadParams::default().from_env();
+    println!(
+        "== E-LOAD: trace-driven load ({} users, {} docs, {} threads x {} ops, {:.0}% writes) ==\n",
+        params.users,
+        params.documents,
+        params.threads,
+        params.ops_per_thread,
+        params.write_fraction * 100.0
+    );
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>8} {:>9} {:>10} {:>9} {:>9}",
+        "shards", "reads/sec", "p50 us", "p99 us", "hit %", "partial", "coalesced", "stale", "peak"
+    );
+    let results = load::sweep(16, params);
+    for r in &results {
+        println!(
+            "{:<8} {:>12.0} {:>10.2} {:>10.2} {:>8.1} {:>9} {:>10} {:>9} {:>9}",
+            r.shards,
+            r.reads_per_sec(),
+            r.p50_nanos as f64 / 1_000.0,
+            r.p99_nanos as f64 / 1_000.0,
+            r.hit_frac() * 100.0,
+            r.class(load::HitClass::PartialHit),
+            r.class(load::HitClass::CoalescedWait),
+            r.class(load::HitClass::StaleServed),
+            r.stats.inflight_peak
+        );
+    }
+    println!("\n(the single-shard row is the global-lock design; the sharded cache must");
+    println!(" sustain more reads/sec under the same trace — on a single-CPU host the");
+    println!(" rows show parity instead)\n");
+
+    let probe = load::coalesce_probe(params.threads.max(2));
+    println!(
+        "coalesce probe: {} racing cold readers -> {} origin fetch, {} coalesced waits, identical bytes: {}\n",
+        probe.threads, probe.provider_fetches, probe.coalesced_waits, probe.identical
+    );
+
+    let json = load_json(params, &results, probe);
+    match std::fs::write("BENCH_load.json", &json) {
+        Ok(()) => println!("wrote BENCH_load.json\n"),
+        Err(e) => eprintln!("could not write BENCH_load.json: {e}\n"),
+    }
+}
+
+/// Hand-formats the E-LOAD results as JSON (no serde in the tree).
+fn load_json(
+    params: load::LoadParams,
+    results: &[load::LoadResult],
+    probe: load::CoalesceReport,
+) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"load\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"users\": {}, \"documents\": {}, \"doc_bytes\": {}, \
+         \"doc_theta\": {}, \"user_theta\": {}, \"locality\": {}, \"working_set\": {}, \
+         \"write_fraction\": {}, \"base_chain\": {}, \"threads\": {}, \
+         \"ops_per_thread\": {}, \"seed\": {}}},\n",
+        params.users,
+        params.documents,
+        params.doc_bytes,
+        params.doc_theta,
+        params.user_theta,
+        params.locality,
+        params.working_set,
+        params.write_fraction,
+        params.base_chain,
+        params.threads,
+        params.ops_per_thread,
+        params.seed
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"threads\": {}, \"reads\": {}, \"writes\": {}, \
+             \"write_errors\": {}, \"wall_micros\": {}, \"reads_per_sec\": {:.0}, \
+             \"p50_nanos\": {}, \"p99_nanos\": {}, \"hits\": {}, \"partial_hits\": {}, \
+             \"misses\": {}, \"coalesced_waits\": {}, \"stale_served\": {}, \
+             \"stage_hits\": {}, \"inflight_peak\": {}}}{}\n",
+            r.shards,
+            r.threads,
+            r.reads,
+            r.writes,
+            r.write_errors,
+            r.wall_micros,
+            r.reads_per_sec(),
+            r.p50_nanos,
+            r.p99_nanos,
+            r.class(load::HitClass::Hit),
+            r.class(load::HitClass::PartialHit),
+            r.class(load::HitClass::Miss),
+            r.class(load::HitClass::CoalescedWait),
+            r.class(load::HitClass::StaleServed),
+            r.stats.stage_hits,
+            r.stats.inflight_peak,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"probe\": {{\"threads\": {}, \"provider_fetches\": {}, \
+         \"coalesced_waits\": {}, \"identical\": {}, \"inflight_peak\": {}}}\n",
+        probe.threads,
+        probe.provider_fetches,
+        probe.coalesced_waits,
+        probe.identical,
+        probe.inflight_peak
+    ));
+    out.push_str("}\n");
+    out
 }
 
 fn run_crash() {

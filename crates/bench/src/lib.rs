@@ -20,12 +20,14 @@
 //! | [`fault`] | read availability under origin outages | §3 robustness ablation |
 //! | [`stage`] | staged transform plans: partial hits over a shared base prefix | §3 per-user versions |
 //! | [`crash`] | write-journal durability across a scripted crash | §3 write-back robustness |
+//! | [`load`] | trace-driven population load with single-flight coalescing | §4 implementation |
 
 pub mod chain;
 pub mod collections;
 pub mod consistency;
 pub mod crash;
 pub mod fault;
+pub mod load;
 pub mod nv;
 pub mod placement;
 pub mod qos;

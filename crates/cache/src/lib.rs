@@ -36,6 +36,7 @@ pub mod manager;
 pub mod policy;
 pub mod prefetch;
 pub mod resilience;
+pub mod singleflight;
 pub mod stats;
 pub mod store;
 
@@ -44,7 +45,8 @@ pub use journal::{JournalRecord, ReplayOutcome, WriteJournal, NO_EPOCH};
 pub use keys::SharedStore;
 pub use manager::{
     default_shard_count, CacheConfig, CacheConfigBuilder, ConflictHook, ConflictResolution,
-    DocumentCache, FlushReport, RecoveryReport, WriteConflict, WriteMode,
+    DocumentCache, FlushReport, HitClass, ReadOptions, ReadOutcome, RecoveryReport, WriteConflict,
+    WriteMode,
 };
 pub use policy::{
     by_name, EntryAttrs, EntryKey, GdsFrequency, GreedyDualSize, PolicyFactory, ReplacementPolicy,

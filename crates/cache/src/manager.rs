@@ -72,12 +72,29 @@
 //! acyclic and no deadlock is possible. Miss fetches, flush writes, and
 //! event forwarding run with **no** cache lock held, because the
 //! middleware path may re-enter the cache through the invalidation bus.
+//!
+//! ## Single-flight coalescing
+//!
+//! Concurrent misses on the same key are deduplicated by two
+//! [`crate::singleflight::FlightGroup`]s: one keyed by version key around
+//! the whole resilient miss fetch, one keyed by stage signature around
+//! each stage execution of the compiled-plan walk. The first thread in
+//! leads and computes; the rest block (holding no cache lock) and share
+//! the leader's cloneable outcome — bytes or error. Flight waits never
+//! cycle: a version leader may wait on a stage flight, but a stage leader
+//! only executes its transform. [`CacheConfig::max_inflight_per_origin`]
+//! adds per-origin back-pressure for the misses coalescing cannot merge
+//! (distinct keys, one origin). See the `singleflight` module docs for
+//! the full argument.
 
 use crate::entry::EntryMeta;
 use crate::journal::{WriteJournal, NO_EPOCH};
 use crate::policy::{EntryAttrs, EntryKey, PolicyFactory, ReplacementPolicy, STAGE_PIN_LEVEL};
 use crate::prefetch::PrefetchConfig;
-use crate::resilience::{Admission, BackoffSchedule, BreakerSet, BreakerState, ResilienceConfig};
+use crate::resilience::{
+    Admission, BackoffSchedule, BreakerSet, BreakerState, ResilienceConfig, StalenessBound,
+};
+use crate::singleflight::{FlightGroup, FlightResult, InflightWindow, Join};
 use crate::stats::{AtomicCacheStats, CacheStats};
 use crate::store::{ConcurrentStore, NoRoom};
 use bytes::Bytes;
@@ -258,6 +275,17 @@ pub struct CacheConfig {
     /// its retries are *parked* in the journal instead of erroring. `None`
     /// (the default) reproduces the unjournaled behaviour exactly.
     pub journal: Option<WriteJournal>,
+    /// Coalesce concurrent misses on the same key into one computation
+    /// (single-flight): the first thread fetches, the rest wait and share
+    /// its result — or its error. On by default; single-threaded
+    /// behaviour and statistics are identical either way, because a lone
+    /// reader always leads its own flight.
+    pub single_flight: bool,
+    /// Bound the number of concurrently in-flight origin fetches per
+    /// origin. Excess misses block at the cache until a slot frees,
+    /// queueing a miss storm instead of stampeding the origin. `None`
+    /// (the default) leaves fetch concurrency unbounded.
+    pub max_inflight_per_origin: Option<u32>,
 }
 
 impl Default for CacheConfig {
@@ -274,6 +302,8 @@ impl Default for CacheConfig {
             resilience: ResilienceConfig::default(),
             stage_cache: false,
             journal: None,
+            single_flight: true,
+            max_inflight_per_origin: None,
         }
     }
 }
@@ -375,10 +405,138 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Enables or disables single-flight miss coalescing (see
+    /// [`CacheConfig::single_flight`]).
+    pub fn single_flight(mut self, on: bool) -> Self {
+        self.config.single_flight = on;
+        self
+    }
+
+    /// Bounds concurrently in-flight origin fetches per origin (see
+    /// [`CacheConfig::max_inflight_per_origin`]).
+    pub fn max_inflight_per_origin(mut self, limit: u32) -> Self {
+        self.config.max_inflight_per_origin = Some(limit);
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> CacheConfig {
         self.config
     }
+}
+
+/// Per-read knobs for [`DocumentCache::read_with`].
+///
+/// `ReadOptions::default()` reproduces [`DocumentCache::read`] exactly.
+/// The struct is `#[non_exhaustive]` so later PRs can add knobs without
+/// breaking callers; construct it with [`ReadOptions::new`] (or
+/// `default()`) and the chainable setters:
+///
+/// ```
+/// use placeless_cache::ReadOptions;
+///
+/// let opts = ReadOptions::new().allow_stale(true).deadline_micros(5_000);
+/// assert!(opts.allow_stale);
+/// assert_eq!(opts.deadline_micros, Some(5_000));
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// Overrides the configured fetch deadline
+    /// ([`ResilienceConfig::fetch_deadline_micros`]) for this read only.
+    /// Like the configured deadline it bounds retry *scheduling* — a
+    /// backoff the remaining budget cannot cover fails the read with
+    /// [`PlacelessError::Timeout`] instead of sleeping. With the no-op
+    /// resilience default there are no retries to bound and the override
+    /// has no effect.
+    pub deadline_micros: Option<u64>,
+    /// Permits serving resident-but-unverifiable bytes when the origin is
+    /// unreachable, even if the cache has no configured
+    /// [`ResilienceConfig::serve_stale`] bound (the per-read bound is
+    /// [`StalenessBound::UNBOUNDED`]). A configured bound still applies
+    /// to every read regardless of this flag.
+    pub allow_stale: bool,
+    /// Executes the property chain as one opaque stream for this read,
+    /// skipping intermediate-result lookups *and* fills even when
+    /// [`CacheConfig::stage_cache`] is on. For measuring the stage
+    /// cache's contribution without rebuilding the cache.
+    pub bypass_stage_cache: bool,
+}
+
+impl ReadOptions {
+    /// Returns the defaults ([`DocumentCache::read`] semantics).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-read fetch deadline override.
+    pub fn deadline_micros(mut self, micros: u64) -> Self {
+        self.deadline_micros = Some(micros);
+        self
+    }
+
+    /// Sets the per-read stale-service opt-in.
+    pub fn allow_stale(mut self, allow: bool) -> Self {
+        self.allow_stale = allow;
+        self
+    }
+
+    /// Sets the per-read stage-cache bypass.
+    pub fn bypass_stage_cache(mut self, bypass: bool) -> Self {
+        self.bypass_stage_cache = bypass;
+        self
+    }
+}
+
+/// How a [`DocumentCache::read_with`] was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitClass {
+    /// Served from a resident entry (verifiers passed, or a verifier
+    /// replaced the content in place), or from the reader's own buffered
+    /// write-back data.
+    Hit,
+    /// A miss whose chain walk reused at least one cached intermediate
+    /// stage (the paper's per-user suffix over a shared base prefix).
+    PartialHit,
+    /// Fetched through the full read path, including uncacheable reads.
+    Miss,
+    /// Joined another thread's in-flight miss on the same key and shared
+    /// its bytes without fetching (counted under both `hits` and
+    /// `coalesced_waits` in [`CacheStats`]).
+    CoalescedWait,
+    /// Resident bytes of unknown freshness served in place of an
+    /// unreachable origin, within the staleness bound.
+    StaleServed,
+}
+
+impl HitClass {
+    /// A stable lowercase label for reports and JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HitClass::Hit => "hit",
+            HitClass::PartialHit => "partial_hit",
+            HitClass::Miss => "miss",
+            HitClass::CoalescedWait => "coalesced_wait",
+            HitClass::StaleServed => "stale_served",
+        }
+    }
+}
+
+/// What [`DocumentCache::read_with`] returned: the bytes plus how they
+/// were obtained, so callers classify service quality per read instead of
+/// re-deriving it from [`CacheStats`] deltas.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct ReadOutcome {
+    /// The document content.
+    pub bytes: Bytes,
+    /// How the read was served.
+    pub class: HitClass,
+    /// Virtual-clock microseconds this read observed, as charged by the
+    /// latency models along its path. Under concurrent load the virtual
+    /// clock advances globally, so per-read wall-clock timing belongs to
+    /// the caller (the load engine times reads with a wall stopwatch).
+    pub latency_micros: u64,
 }
 
 /// One buffered write-back write: the data plus (journal configured) the
@@ -427,6 +585,23 @@ pub struct DocumentCache {
     /// delivery. Gaps mean dropped notifications (see
     /// [`DocumentCache::note_sequence`]).
     last_seq: AtomicU64,
+    /// Single-flight coalescing enabled (see [`CacheConfig::single_flight`]).
+    single_flight: bool,
+    /// Open miss fetches keyed by version key.
+    version_flights: FlightGroup,
+    /// Open stage executions keyed by stage signature.
+    stage_flights: FlightGroup,
+    /// Per-origin fetch back-pressure, when configured.
+    window: Option<InflightWindow>,
+    /// Origin fetches currently running (gauge feeding `inflight_peak`).
+    inflight: AtomicU64,
+    /// Buffered write-back writes across all shards, maintained at every
+    /// dirty-map mutation so [`DocumentCache::dirty_count`] does not
+    /// sweep the shard locks.
+    dirty_gauge: AtomicU64,
+    /// Mirror of `parked.len()`, so [`DocumentCache::parked_count`] does
+    /// not take the parked lock.
+    parked_gauge: AtomicU64,
 }
 
 impl DocumentCache {
@@ -466,6 +641,15 @@ impl DocumentCache {
             journal: config.journal,
             parked: Mutex::new(HashSet::new()),
             last_seq: AtomicU64::new(0),
+            single_flight: config.single_flight,
+            version_flights: FlightGroup::new(),
+            stage_flights: FlightGroup::new(),
+            window: config
+                .max_inflight_per_origin
+                .map(|limit| InflightWindow::new(limit as usize)),
+            inflight: AtomicU64::new(0),
+            dirty_gauge: AtomicU64::new(0),
+            parked_gauge: AtomicU64::new(0),
         });
         cache.space.bus().subscribe(Arc::new(CacheSink {
             cache: Arc::downgrade(&cache),
@@ -559,14 +743,20 @@ impl DocumentCache {
             }
             let key = EntryKey::Version(record.doc, record.user);
             let mut shard = cache.shard(key).lock();
-            shard.dirty.insert(
-                key,
-                DirtyEntry {
-                    data: record.data.clone(),
-                    seq: Some(record.seq),
-                },
-            );
+            let inserted = shard
+                .dirty
+                .insert(
+                    key,
+                    DirtyEntry {
+                        data: record.data.clone(),
+                        seq: Some(record.seq),
+                    },
+                )
+                .is_none();
             drop(shard);
+            if inserted {
+                cache.dirty_gauge.fetch_add(1, Ordering::Relaxed);
+            }
             report.requeued += 1;
         }
         (cache, report)
@@ -702,7 +892,22 @@ impl DocumentCache {
     }
 
     /// Reads a document for `user`, serving from the cache when possible.
+    ///
+    /// Equivalent to [`Self::read_with`] with default [`ReadOptions`],
+    /// discarding the [`ReadOutcome`] classification.
     pub fn read(&self, user: UserId, doc: DocumentId) -> Result<Bytes> {
+        self.read_with(user, doc, ReadOptions::default())
+            .map(|outcome| outcome.bytes)
+    }
+
+    /// Reads a document for `user` under per-read [`ReadOptions`],
+    /// reporting how the read was served.
+    pub fn read_with(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+        opts: ReadOptions,
+    ) -> Result<ReadOutcome> {
         let key = EntryKey::Version(doc, user);
         let clock = self.space.clock().clone();
         let watch = Stopwatch::start(&clock);
@@ -811,7 +1016,14 @@ impl DocumentCache {
         };
 
         let stale = match outcome {
-            Outcome::Dirty(bytes) => return Ok(bytes),
+            Outcome::Dirty(bytes) => {
+                let latency_micros = watch.elapsed_micros();
+                return Ok(ReadOutcome {
+                    bytes,
+                    class: HitClass::Hit,
+                    latency_micros,
+                });
+            }
             Outcome::Serve(bytes, forward) => {
                 if forward {
                     self.space
@@ -821,7 +1033,12 @@ impl DocumentCache {
                 if let Some(link) = &self.access_link {
                     link.transfer(&clock, bytes.len() as u64);
                 }
-                return Ok(bytes);
+                let latency_micros = watch.elapsed_micros();
+                return Ok(ReadOutcome {
+                    bytes,
+                    class: HitClass::Hit,
+                    latency_micros,
+                });
             }
             Outcome::Miss => None,
             Outcome::MissWithStale {
@@ -831,41 +1048,86 @@ impl DocumentCache {
             } => Some((bytes, filled_at, forward)),
         };
 
-        // Miss path: execute the full read path with no shard lock held —
-        // the path may dispatch events that invalidate entries in this
-        // cache (lock-order rule: no cache lock across middleware calls).
-        let (bytes, report) = match self.fetch_with_resilience(user, doc, &clock) {
-            Ok(fetched) => fetched,
-            Err(error) if error.is_transient() => {
-                // Graceful degradation: within the staleness bound,
-                // resident bytes whose freshness is merely *unknown* may
-                // stand in for the unreachable origin. Verifier-rejected
-                // entries were dropped above and can never get here.
-                if let (Some(bound), Some((bytes, filled_at, forward))) =
-                    (self.resilience.serve_stale, stale)
-                {
-                    if bound.permits(filled_at, clock.now()) {
-                        AtomicCacheStats::bump(&self.stats.stale_served);
-                        self.local_latency.charge(&clock, bytes.len() as u64);
-                        if forward {
-                            self.space
-                                .post_cache_event(user, doc, EventKind::CacheRead)?;
-                            AtomicCacheStats::bump(&self.stats.events_forwarded);
+        // Miss path. Coalesce concurrent misses on this key into one
+        // flight: the first thread fetches, the rest wait (holding no
+        // cache lock) and share its outcome.
+        let guard = if self.single_flight {
+            match self.version_flights.join(key) {
+                Join::Leader(guard) => Some(guard),
+                Join::Waited(Some(FlightResult::Shared { bytes, forward, .. })) => {
+                    // Another thread's miss computed these bytes while we
+                    // waited; the read was served locally without touching
+                    // the origin, so it counts as a hit — plus the
+                    // coalescing counter that explains *why* it hit.
+                    AtomicCacheStats::bump(&self.stats.hits);
+                    AtomicCacheStats::bump(&self.stats.coalesced_waits);
+                    self.local_latency.charge(&clock, bytes.len() as u64);
+                    AtomicCacheStats::add(&self.stats.hit_micros, watch.elapsed_micros());
+                    if forward {
+                        // `CacheableWithEvents` demands an event per read:
+                        // every waiter posts its own.
+                        self.space
+                            .post_cache_event(user, doc, EventKind::CacheRead)?;
+                        AtomicCacheStats::bump(&self.stats.events_forwarded);
+                    }
+                    if let Some(link) = &self.access_link {
+                        link.transfer(&clock, bytes.len() as u64);
+                    }
+                    let latency_micros = watch.elapsed_micros();
+                    return Ok(ReadOutcome {
+                        bytes,
+                        class: HitClass::CoalescedWait,
+                        latency_micros,
+                    });
+                }
+                Join::Waited(Some(FlightResult::Failed(error))) => {
+                    // The flight's one fetch failed; every waiter shares
+                    // the error (and its own stale fallback, if any).
+                    AtomicCacheStats::bump(&self.stats.coalesced_waits);
+                    return self.stale_or_degraded(error, stale, user, doc, &clock, &opts, &watch);
+                }
+                // The leader's result may not be shared (uncacheable
+                // content must reach the origin per read) or the leader
+                // unwound without publishing: fetch independently.
+                Join::Waited(Some(FlightResult::Unshared)) | Join::Waited(None) => None,
+            }
+        } else {
+            None
+        };
+
+        // Execute the full read path with no shard lock held — the path
+        // may dispatch events that invalidate entries in this cache
+        // (lock-order rule: no cache lock across middleware calls).
+        let fetched = self.fetch_with_resilience(user, doc, &clock, &opts);
+        if let Some(guard) = guard {
+            guard.complete(match &fetched {
+                Ok((bytes, report, _)) => {
+                    if report.cacheability == Cacheability::Uncacheable {
+                        FlightResult::Unshared
+                    } else {
+                        FlightResult::Shared {
+                            bytes: bytes.clone(),
+                            forward: report.cacheability.requires_event_forwarding(),
                         }
-                        if let Some(link) = &self.access_link {
-                            link.transfer(&clock, bytes.len() as u64);
-                        }
-                        return Ok(bytes);
                     }
                 }
-                AtomicCacheStats::bump(&self.stats.degraded_errors);
-                return Err(error);
+                Err(error) => FlightResult::Failed(error.clone()),
+            });
+        }
+        let (bytes, report, stage_partial) = match fetched {
+            Ok(fetched) => fetched,
+            Err(error) => {
+                return self.stale_or_degraded(error, stale, user, doc, &clock, &opts, &watch)
             }
-            Err(error) => return Err(error),
         };
         if report.cacheability == Cacheability::Uncacheable {
             AtomicCacheStats::bump(&self.stats.uncacheable_reads);
-            return Ok(bytes);
+            let latency_micros = watch.elapsed_micros();
+            return Ok(ReadOutcome {
+                bytes,
+                class: HitClass::Miss,
+                latency_micros,
+            });
         }
         AtomicCacheStats::bump(&self.stats.misses);
         {
@@ -879,33 +1141,99 @@ impl DocumentCache {
         if let Some(link) = &self.access_link {
             link.transfer(&clock, bytes.len() as u64);
         }
-        Ok(bytes)
+        let latency_micros = watch.elapsed_micros();
+        Ok(ReadOutcome {
+            bytes,
+            class: if stage_partial {
+                HitClass::PartialHit
+            } else {
+                HitClass::Miss
+            },
+            latency_micros,
+        })
+    }
+
+    /// Terminal miss-path failure handling: a transient error may still
+    /// be served stale — resident bytes whose freshness is merely
+    /// *unknown* stand in for the unreachable origin within the effective
+    /// staleness bound (the configured [`ResilienceConfig::serve_stale`],
+    /// or an unbounded per-read window when `opts.allow_stale` is set).
+    /// Verifier-rejected entries were dropped before the fetch and can
+    /// never be served here. Everything else propagates the error.
+    #[allow(clippy::too_many_arguments)]
+    fn stale_or_degraded(
+        &self,
+        error: PlacelessError,
+        stale: Option<(Bytes, Instant, bool)>,
+        user: UserId,
+        doc: DocumentId,
+        clock: &VirtualClock,
+        opts: &ReadOptions,
+        watch: &Stopwatch,
+    ) -> Result<ReadOutcome> {
+        if error.is_transient() {
+            let bound = self
+                .resilience
+                .serve_stale
+                .or_else(|| opts.allow_stale.then_some(StalenessBound::UNBOUNDED));
+            if let (Some(bound), Some((bytes, filled_at, forward))) = (bound, stale) {
+                if bound.permits(filled_at, clock.now()) {
+                    AtomicCacheStats::bump(&self.stats.stale_served);
+                    self.local_latency.charge(clock, bytes.len() as u64);
+                    if forward {
+                        self.space
+                            .post_cache_event(user, doc, EventKind::CacheRead)?;
+                        AtomicCacheStats::bump(&self.stats.events_forwarded);
+                    }
+                    if let Some(link) = &self.access_link {
+                        link.transfer(clock, bytes.len() as u64);
+                    }
+                    let latency_micros = watch.elapsed_micros();
+                    return Ok(ReadOutcome {
+                        bytes,
+                        class: HitClass::StaleServed,
+                        latency_micros,
+                    });
+                }
+            }
+            AtomicCacheStats::bump(&self.stats.degraded_errors);
+        }
+        Err(error)
     }
 
     /// Executes the middleware read under the configured resilience
     /// policy: circuit-breaker admission before every attempt, bounded
     /// retries with deterministic exponential backoff charged to the
-    /// virtual clock, and an overall fetch deadline. With the no-op
-    /// default config this is exactly one plain read — bit-identical to
-    /// the pre-resilience cache.
+    /// virtual clock, and an overall fetch deadline (`opts` may override
+    /// the configured deadline per read). With the no-op default config
+    /// this is exactly one plain read — bit-identical to the
+    /// pre-resilience cache.
     ///
-    /// Runs with no cache lock held (the middleware path may re-enter
-    /// this cache through the invalidation bus).
+    /// Returns the bytes, the path report, and whether the chain walk
+    /// reused at least one cached stage. Runs with no cache lock held
+    /// (the middleware path may re-enter this cache through the
+    /// invalidation bus).
     fn fetch_with_resilience(
         &self,
         user: UserId,
         doc: DocumentId,
         clock: &VirtualClock,
-    ) -> Result<(Bytes, PathReport)> {
+        opts: &ReadOptions,
+    ) -> Result<(Bytes, PathReport, bool)> {
+        let use_stages = self.stage_cache && !opts.bypass_stage_cache;
         if self.resilience.is_noop() {
-            return self.fetch_once(user, doc, clock);
+            // A per-read deadline bounds retry scheduling; without
+            // retries there is nothing to bound, so the shortcut stands.
+            return self.fetch_once(user, doc, clock, use_stages);
         }
         let origin = self
             .space
             .origin_of(doc)
             .unwrap_or_else(|| format!("doc:{}", doc.0));
         let started = clock.now();
-        let deadline = self.resilience.fetch_deadline_micros;
+        let deadline = opts
+            .deadline_micros
+            .or(self.resilience.fetch_deadline_micros);
         // Salting the jitter stream with the key keeps concurrent fetches
         // from sharing one schedule while staying deterministic per key.
         let mut backoff = BackoffSchedule::new(&self.resilience, doc.0 ^ user.0.rotate_left(32));
@@ -922,7 +1250,7 @@ impl DocumentCache {
                     });
                 }
             }
-            match self.fetch_once(user, doc, clock) {
+            match self.fetch_once(user, doc, clock, use_stages) {
                 Ok(fetched) => {
                     if let Some(config) = &self.resilience.breaker {
                         self.breakers.record_success(config, &origin);
@@ -958,18 +1286,52 @@ impl DocumentCache {
     }
 
     /// Executes one middleware read attempt: the plain opaque-stream read,
-    /// or — with stage caching on — the compiled-plan walk with
-    /// intermediate-result lookups. Runs with no cache lock held.
+    /// or — with `use_stages` — the compiled-plan walk with
+    /// intermediate-result lookups. Every attempt claims a per-origin
+    /// window slot first (when configured) and is counted in the
+    /// in-flight gauge behind `inflight_peak`. Runs with no cache lock
+    /// held.
     fn fetch_once(
         &self,
         user: UserId,
         doc: DocumentId,
         clock: &VirtualClock,
-    ) -> Result<(Bytes, PathReport)> {
-        if self.stage_cache {
+        use_stages: bool,
+    ) -> Result<(Bytes, PathReport, bool)> {
+        let slot = self.begin_origin_fetch(doc);
+        let result = if use_stages {
             self.read_through_stages(user, doc, clock)
         } else {
-            self.space.read_document(user, doc)
+            self.space
+                .read_document(user, doc)
+                .map(|(bytes, report)| (bytes, report, false))
+        };
+        self.end_origin_fetch(slot);
+        result
+    }
+
+    /// Claims a per-origin window slot (when a window is configured) and
+    /// bumps the in-flight gauge feeding `inflight_peak`. Called holding
+    /// no cache lock; the window wait blocks holding no lock either.
+    fn begin_origin_fetch(&self, doc: DocumentId) -> Option<String> {
+        let origin = self.window.as_ref().map(|window| {
+            let origin = self
+                .space
+                .origin_of(doc)
+                .unwrap_or_else(|| format!("doc:{}", doc.0));
+            window.acquire(&origin);
+            origin
+        });
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        AtomicCacheStats::maximize(&self.stats.inflight_peak, now);
+        origin
+    }
+
+    /// Releases what [`Self::begin_origin_fetch`] claimed.
+    fn end_origin_fetch(&self, slot: Option<String>) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        if let (Some(window), Some(origin)) = (&self.window, slot) {
+            window.release(&origin);
         }
     }
 
@@ -984,12 +1346,23 @@ impl DocumentCache {
     /// up. Skipped stages do not charge the virtual clock (that is the
     /// saving) but still accrue their replacement cost and still register
     /// their path metadata (votes, verifiers, pins) via a lazy dummy wrap.
+    ///
+    /// With single-flight on, a stage that is neither resident nor being
+    /// computed opens a **stage flight** keyed by its signature; threads
+    /// that miss the same `(doc, stage)` signature while it is open wait
+    /// for the leader and account the shared output as a stage hit plus a
+    /// coalesced wait. Identical signatures imply identical input bytes
+    /// and transform prefix, so the leader's output is byte-for-byte what
+    /// every waiter's walk would have computed.
+    ///
+    /// Returns the bytes, the report, and whether any stage hit (resident
+    /// or coalesced).
     fn read_through_stages(
         &self,
         user: UserId,
         doc: DocumentId,
         clock: &VirtualClock,
-    ) -> Result<(Bytes, PathReport)> {
+    ) -> Result<(Bytes, PathReport, bool)> {
         let plan = self.space.read_plan(user, doc)?;
         let mut report = plan.seed_report(clock);
         let mut stream = plan.provider.open_input(clock)?;
@@ -1007,24 +1380,87 @@ impl DocumentCache {
                         AtomicCacheStats::bump(&self.stats.stage_hits);
                         any_hit = true;
                         bytes = cached;
+                    } else if self.single_flight {
+                        match self.stage_flights.join(EntryKey::Stage(stage_sig)) {
+                            Join::Leader(guard) => {
+                                // Re-check residency under leadership: a
+                                // previous flight may have filled this
+                                // signature between our lookup and now.
+                                if let Some(cached) = self.stage_lookup(stage_sig) {
+                                    plan.note_stage_hit(clock, index, &mut report, stage_sig)?;
+                                    AtomicCacheStats::bump(&self.stats.stage_hits);
+                                    any_hit = true;
+                                    guard.complete(FlightResult::Shared {
+                                        bytes: cached.clone(),
+                                        forward: false,
+                                    });
+                                    bytes = cached;
+                                } else {
+                                    match self.run_and_fill_stage(
+                                        &plan,
+                                        clock,
+                                        index,
+                                        &mut report,
+                                        bytes,
+                                        stage_sig,
+                                    ) {
+                                        Ok(output) => {
+                                            guard.complete(
+                                                if report.cacheability == Cacheability::Uncacheable
+                                                {
+                                                    // Must execute per read;
+                                                    // waiters run their own.
+                                                    FlightResult::Unshared
+                                                } else {
+                                                    FlightResult::Shared {
+                                                        bytes: output.clone(),
+                                                        forward: false,
+                                                    }
+                                                },
+                                            );
+                                            bytes = output;
+                                        }
+                                        Err(error) => {
+                                            guard.complete(FlightResult::Failed(error.clone()));
+                                            return Err(error);
+                                        }
+                                    }
+                                }
+                            }
+                            Join::Waited(Some(FlightResult::Shared { bytes: shared, .. })) => {
+                                plan.note_stage_hit(clock, index, &mut report, stage_sig)?;
+                                AtomicCacheStats::bump(&self.stats.stage_hits);
+                                AtomicCacheStats::bump(&self.stats.coalesced_waits);
+                                any_hit = true;
+                                bytes = shared;
+                            }
+                            Join::Waited(Some(FlightResult::Failed(error))) => {
+                                // Same signature, same computation: the
+                                // leader's failure is this walk's failure
+                                // (the resilience loop above may retry it).
+                                AtomicCacheStats::bump(&self.stats.coalesced_waits);
+                                return Err(error);
+                            }
+                            Join::Waited(Some(FlightResult::Unshared)) | Join::Waited(None) => {
+                                bytes = self.run_and_fill_stage(
+                                    &plan,
+                                    clock,
+                                    index,
+                                    &mut report,
+                                    bytes,
+                                    stage_sig,
+                                )?;
+                            }
+                        }
                     } else {
-                        bytes = plan.run_stage_buffered(
+                        bytes = self.run_and_fill_stage(
+                            &plan,
                             clock,
                             index,
                             &mut report,
                             bytes,
-                            Some(stage_sig),
+                            stage_sig,
                         )?;
-                        if report.cacheability != Cacheability::Uncacheable {
-                            // Replacement cost = everything it would take to
-                            // rebuild this intermediate: provider fetch plus
-                            // the chain prefix up to and including this stage.
-                            self.fill_stage(
-                                stage_sig,
-                                bytes.clone(),
-                                report.cost.effective_micros(),
-                            );
-                        }
                     }
                     chain_sig = stage_sig;
                 }
@@ -1040,7 +1476,28 @@ impl DocumentCache {
         if any_hit {
             AtomicCacheStats::bump(&self.stats.stage_partial_hits);
         }
-        Ok((bytes, report))
+        Ok((bytes, report, any_hit))
+    }
+
+    /// Executes one signed stage and retains its output — the plain,
+    /// uncoalesced stage miss path.
+    fn run_and_fill_stage(
+        &self,
+        plan: &placeless_core::plan::TransformPlan,
+        clock: &VirtualClock,
+        index: usize,
+        report: &mut PathReport,
+        input: Bytes,
+        stage_sig: Signature,
+    ) -> Result<Bytes> {
+        let output = plan.run_stage_buffered(clock, index, report, input, Some(stage_sig))?;
+        if report.cacheability != Cacheability::Uncacheable {
+            // Replacement cost = everything it would take to rebuild this
+            // intermediate: provider fetch plus the chain prefix up to and
+            // including this stage.
+            self.fill_stage(stage_sig, output.clone(), report.cost.effective_micros());
+        }
+        Ok(output)
     }
 
     /// Looks up an intermediate stage entry, registering the hit with the
@@ -1271,7 +1728,9 @@ impl DocumentCache {
                 }
                 // Fetch through the full property path, as a miss would.
                 let clock = self.space.clock().clone();
-                let Ok((bytes, report)) = self.fetch_once(user, sibling, &clock) else {
+                let Ok((bytes, report, _)) =
+                    self.fetch_once(user, sibling, &clock, self.stage_cache)
+                else {
                     continue;
                 };
                 if report.cacheability == Cacheability::Uncacheable {
@@ -1304,7 +1763,7 @@ impl DocumentCache {
                 {
                     let key = EntryKey::Version(doc, user);
                     let mut shard = self.shard(key).lock();
-                    if let Some(journal) = &self.journal {
+                    let inserted = if let Some(journal) = &self.journal {
                         // Write-ahead: the record reaches stable storage
                         // before the dirty map changes, so a crash between
                         // the two loses nothing. The epoch is the signature
@@ -1314,21 +1773,31 @@ impl DocumentCache {
                         let epoch = shard.sigs.get(&key).copied().unwrap_or(NO_EPOCH);
                         let seq = journal.append(doc, user, epoch, data);
                         AtomicCacheStats::bump(&self.stats.journal_appends);
-                        shard.dirty.insert(
-                            key,
-                            DirtyEntry {
-                                data: Bytes::copy_from_slice(data),
-                                seq: Some(seq),
-                            },
-                        );
+                        shard
+                            .dirty
+                            .insert(
+                                key,
+                                DirtyEntry {
+                                    data: Bytes::copy_from_slice(data),
+                                    seq: Some(seq),
+                                },
+                            )
+                            .is_none()
                     } else {
-                        shard.dirty.insert(
-                            key,
-                            DirtyEntry {
-                                data: Bytes::copy_from_slice(data),
-                                seq: None,
-                            },
-                        );
+                        shard
+                            .dirty
+                            .insert(
+                                key,
+                                DirtyEntry {
+                                    data: Bytes::copy_from_slice(data),
+                                    seq: None,
+                                },
+                            )
+                            .is_none()
+                    };
+                    drop(shard);
+                    if inserted {
+                        self.dirty_gauge.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 AtomicCacheStats::bump(&self.stats.writes);
@@ -1444,6 +1913,8 @@ impl DocumentCache {
         for mutex in self.shards.iter() {
             dirty.extend(mutex.lock().dirty.drain());
         }
+        self.dirty_gauge
+            .fetch_sub(dirty.len() as u64, Ordering::Relaxed);
         // HashMap drain order depends on the process hasher seed; sorting
         // keeps flush outcomes (which entry hit the outage window first)
         // reproducible for same-seed replays.
@@ -1468,7 +1939,9 @@ impl DocumentCache {
                         // superseded it mid-flush keeps its own record.
                         journal.ack(seq);
                     }
-                    self.parked.lock().remove(&key);
+                    if self.parked.lock().remove(&key) {
+                        self.parked_gauge.fetch_sub(1, Ordering::Relaxed);
+                    }
                     self.invalidate_doc(doc);
                 }
                 Err(error) => {
@@ -1478,6 +1951,7 @@ impl DocumentCache {
                         // next flush after the origin's breaker half-opens
                         // drains it.
                         if self.parked.lock().insert(key) {
+                            self.parked_gauge.fetch_add(1, Ordering::Relaxed);
                             AtomicCacheStats::bump(&self.stats.writes_parked);
                         }
                         report.parked.push((doc, user));
@@ -1494,18 +1968,44 @@ impl DocumentCache {
     /// that landed while the flush held no lock.
     fn requeue_dirty(&self, key: EntryKey, entry: DirtyEntry) {
         let mut shard = self.shard(key).lock();
-        shard.dirty.entry(key).or_insert(entry);
+        let vacant = !shard.dirty.contains_key(&key);
+        if vacant {
+            shard.dirty.insert(key, entry);
+        }
+        drop(shard);
+        if vacant {
+            self.dirty_gauge.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Returns how many writes are buffered (write-back mode).
+    ///
+    /// Reads an atomic gauge maintained at every dirty-map mutation —
+    /// no shard lock is taken, so a sampling thread (the load engine's)
+    /// never perturbs readers. Like [`Self::stats`], a moment-in-time
+    /// approximation under concurrency, exact at quiescence.
     pub fn dirty_count(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().dirty.len()).sum()
+        self.dirty_gauge.load(Ordering::Relaxed) as usize
     }
 
     /// Returns how many dirty entries are currently parked (their last
     /// flush exhausted its retries against an unreachable origin).
+    /// Lock-free; see [`Self::dirty_count`] for the precision contract.
     pub fn parked_count(&self) -> usize {
-        self.parked.lock().len()
+        self.parked_gauge.load(Ordering::Relaxed) as usize
+    }
+
+    /// Returns how many reads are currently blocked waiting on another
+    /// thread's in-flight computation (version and stage flights
+    /// together). Zero whenever the cache is quiescent.
+    pub fn waiting_reads(&self) -> u64 {
+        self.version_flights.waiting() + self.stage_flights.waiting()
+    }
+
+    /// Returns how many origin fetch attempts are running right now (the
+    /// gauge whose high-water mark is `CacheStats::inflight_peak`).
+    pub fn inflight_fetches(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
     }
 
     /// Returns the configured write journal, if any.

@@ -36,6 +36,12 @@ impl StalenessBound {
     /// No stale service at all.
     pub const ZERO: Self = Self { max_age_micros: 0 };
 
+    /// Any age is acceptable (used by per-read `allow_stale` opt-ins that
+    /// name no window of their own).
+    pub const UNBOUNDED: Self = Self {
+        max_age_micros: u64::MAX,
+    };
+
     /// Allows serving entries up to `max_age_micros` old.
     pub fn micros(max_age_micros: u64) -> Self {
         Self { max_age_micros }

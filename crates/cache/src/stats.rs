@@ -5,6 +5,7 @@
 //! trade-off), latency sums over the virtual clock, and sharing/eviction
 //! bookkeeping.
 
+use std::ops::Sub;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters accumulated by a [`crate::manager::DocumentCache`].
@@ -80,6 +81,12 @@ pub struct CacheStats {
     /// Recovered writes that conflicted with a newer origin version
     /// (journal epoch no longer matches the origin signature).
     pub write_conflicts: u64,
+    /// Reads that joined another thread's in-flight miss on the same key
+    /// and shared its result instead of fetching (single-flight).
+    pub coalesced_waits: u64,
+    /// High-water mark of concurrently in-flight origin fetches (a peak,
+    /// not a monotone sum; [`CacheStats::delta`] keeps the later value).
+    pub inflight_peak: u64,
 }
 
 impl CacheStats {
@@ -127,6 +134,71 @@ impl CacheStats {
             Some(self.miss_micros as f64 / self.misses as f64 / 1_000.0)
         }
     }
+
+    /// Returns the counters accumulated since `earlier` was snapshotted.
+    ///
+    /// Monotone counters subtract (saturating, so a stale `earlier` from a
+    /// different cache degrades to zero rather than wrapping). The two
+    /// non-monotone fields keep the later observation: `stage_bytes` is a
+    /// residency gauge and `inflight_peak` a high-water mark, so "the
+    /// difference" is not meaningful for either.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            uncacheable_reads: self
+                .uncacheable_reads
+                .saturating_sub(earlier.uncacheable_reads),
+            notifier_invalidations: self
+                .notifier_invalidations
+                .saturating_sub(earlier.notifier_invalidations),
+            verifier_invalidations: self
+                .verifier_invalidations
+                .saturating_sub(earlier.verifier_invalidations),
+            verifier_replacements: self
+                .verifier_replacements
+                .saturating_sub(earlier.verifier_replacements),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            shared_fills: self.shared_fills.saturating_sub(earlier.shared_fills),
+            events_forwarded: self
+                .events_forwarded
+                .saturating_sub(earlier.events_forwarded),
+            hit_micros: self.hit_micros.saturating_sub(earlier.hit_micros),
+            miss_micros: self.miss_micros.saturating_sub(earlier.miss_micros),
+            verify_micros: self.verify_micros.saturating_sub(earlier.verify_micros),
+            writes: self.writes.saturating_sub(earlier.writes),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            pinned_fills: self.pinned_fills.saturating_sub(earlier.pinned_fills),
+            retries: self.retries.saturating_sub(earlier.retries),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            stale_served: self.stale_served.saturating_sub(earlier.stale_served),
+            degraded_errors: self.degraded_errors.saturating_sub(earlier.degraded_errors),
+            notifier_gaps: self.notifier_gaps.saturating_sub(earlier.notifier_gaps),
+            stage_hits: self.stage_hits.saturating_sub(earlier.stage_hits),
+            stage_partial_hits: self
+                .stage_partial_hits
+                .saturating_sub(earlier.stage_partial_hits),
+            stage_bytes: self.stage_bytes,
+            journal_appends: self.journal_appends.saturating_sub(earlier.journal_appends),
+            journal_replays: self.journal_replays.saturating_sub(earlier.journal_replays),
+            writes_parked: self.writes_parked.saturating_sub(earlier.writes_parked),
+            flush_retries: self.flush_retries.saturating_sub(earlier.flush_retries),
+            write_conflicts: self.write_conflicts.saturating_sub(earlier.write_conflicts),
+            coalesced_waits: self.coalesced_waits.saturating_sub(earlier.coalesced_waits),
+            inflight_peak: self.inflight_peak,
+        }
+    }
+}
+
+impl Sub for CacheStats {
+    type Output = CacheStats;
+
+    /// `later - earlier` is shorthand for [`CacheStats::delta`].
+    fn sub(self, earlier: CacheStats) -> CacheStats {
+        self.delta(&earlier)
+    }
 }
 
 /// Lock-free counters shared by every shard of a sharded cache.
@@ -168,6 +240,8 @@ pub struct AtomicCacheStats {
     pub(crate) writes_parked: AtomicU64,
     pub(crate) flush_retries: AtomicU64,
     pub(crate) write_conflicts: AtomicU64,
+    pub(crate) coalesced_waits: AtomicU64,
+    pub(crate) inflight_peak: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -183,6 +257,12 @@ impl AtomicCacheStats {
     /// tracks resident bytes rather than a monotone sum).
     pub(crate) fn sub(counter: &AtomicU64, amount: u64) {
         counter.fetch_sub(amount, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water-mark counter to `observed` if it is larger
+    /// (used for `inflight_peak`).
+    pub(crate) fn maximize(counter: &AtomicU64, observed: u64) {
+        counter.fetch_max(observed, Ordering::Relaxed);
     }
 
     /// Returns a plain-old-data copy of the counters.
@@ -218,6 +298,8 @@ impl AtomicCacheStats {
             writes_parked: self.writes_parked.load(Ordering::Relaxed),
             flush_retries: self.flush_retries.load(Ordering::Relaxed),
             write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
+            inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
         }
     }
 }
@@ -269,6 +351,56 @@ mod tests {
         assert_eq!(stats.hit_rate(), Some(0.75));
         assert_eq!(stats.mean_hit_ms(), Some(2.0));
         assert_eq!(stats.mean_miss_ms(), Some(10.0));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let earlier = CacheStats {
+            hits: 10,
+            misses: 4,
+            stage_bytes: 900,
+            inflight_peak: 3,
+            ..Default::default()
+        };
+        let later = CacheStats {
+            hits: 25,
+            misses: 4,
+            coalesced_waits: 6,
+            stage_bytes: 300,
+            inflight_peak: 7,
+            ..Default::default()
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.hits, 15);
+        assert_eq!(d.misses, 0);
+        assert_eq!(d.coalesced_waits, 6);
+        // Non-monotone fields carry the later observation.
+        assert_eq!(d.stage_bytes, 300);
+        assert_eq!(d.inflight_peak, 7);
+        // The Sub impl is the same operation.
+        assert_eq!(later - earlier, d);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_wrapping() {
+        let earlier = CacheStats {
+            hits: 9,
+            ..Default::default()
+        };
+        let later = CacheStats {
+            hits: 2,
+            ..Default::default()
+        };
+        assert_eq!(later.delta(&earlier).hits, 0);
+    }
+
+    #[test]
+    fn maximize_is_a_high_water_mark() {
+        let atomic = AtomicCacheStats::default();
+        AtomicCacheStats::maximize(&atomic.inflight_peak, 4);
+        AtomicCacheStats::maximize(&atomic.inflight_peak, 9);
+        AtomicCacheStats::maximize(&atomic.inflight_peak, 6);
+        assert_eq!(atomic.snapshot().inflight_peak, 9);
     }
 
     #[test]

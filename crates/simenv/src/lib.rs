@@ -36,3 +36,4 @@ pub use fault::{CrashEvent, FaultError, FaultErrorKind, FaultPlan};
 pub use latency::{LatencyModel, Link, LinkClass};
 pub use rng::SimRng;
 pub use stable::StableStore;
+pub use trace::{AccessEvent, TraceBuilder, TraceSampler, WorkloadBuilder, ZipfSampler};

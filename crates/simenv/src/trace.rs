@@ -177,6 +177,200 @@ impl WorkloadBuilder {
     }
 }
 
+/// Builds a [`TraceSampler`]: the million-user workload model behind the
+/// E-LOAD experiment.
+///
+/// [`WorkloadBuilder`] materializes an event vector, which is fine for
+/// thousands of events but not for load tests that stream tens of
+/// millions of accesses from many threads. A `TraceSampler` instead holds
+/// only the distribution tables (two Zipf CDFs) and derives everything
+/// per-user *statelessly* from the seed — no per-user allocations, so a
+/// 10^6-user population costs two tables, not a million working sets.
+///
+/// The model, following the Zipf-popularity trace methodology of the
+/// Greedy-Dual-Size line of work:
+///
+/// * **which user** acts next is Zipf-distributed with exponent
+///   `user_theta` (a few heavy users, a long tail);
+/// * **which document** they touch is, with probability `locality`, drawn
+///   uniformly from the user's own `working_set` documents (derived from
+///   the user index by a fixed mix hash — the per-user skew), and
+///   otherwise from the global Zipf popularity with exponent `doc_theta`;
+/// * **whether** the access writes is an independent `write_fraction`
+///   coin.
+///
+/// # Examples
+///
+/// ```
+/// use placeless_simenv::trace::TraceBuilder;
+///
+/// let sampler = TraceBuilder::new(42).users(1_000).documents(64).build();
+/// let mut rng = sampler.stream(0);
+/// let event = sampler.next_event(&mut rng);
+/// assert!(event.user < 1_000 && event.doc < 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    seed: u64,
+    users: usize,
+    documents: usize,
+    doc_theta: f64,
+    user_theta: f64,
+    locality: f64,
+    working_set: usize,
+    write_fraction: f64,
+}
+
+impl TraceBuilder {
+    /// Creates a builder with load-test defaults (1000 users, 256
+    /// documents, doc theta 0.9, user theta 0.6, 30 % locality over an
+    /// 8-document working set, 2 % writes).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            users: 1_000,
+            documents: 256,
+            doc_theta: 0.9,
+            user_theta: 0.6,
+            locality: 0.3,
+            working_set: 8,
+            write_fraction: 0.02,
+        }
+    }
+
+    /// Sets the simulated user population.
+    pub fn users(mut self, n: usize) -> Self {
+        self.users = n.max(1);
+        self
+    }
+
+    /// Sets the number of documents in the corpus.
+    pub fn documents(mut self, n: usize) -> Self {
+        self.documents = n.max(1);
+        self
+    }
+
+    /// Sets the Zipf exponent for global document popularity.
+    pub fn doc_theta(mut self, theta: f64) -> Self {
+        self.doc_theta = theta;
+        self
+    }
+
+    /// Sets the Zipf exponent for user activity skew.
+    pub fn user_theta(mut self, theta: f64) -> Self {
+        self.user_theta = theta;
+        self
+    }
+
+    /// Sets the fraction of accesses directed at the acting user's own
+    /// working set rather than the global popularity distribution.
+    pub fn locality(mut self, fraction: f64) -> Self {
+        self.locality = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-user working-set size, in documents.
+    pub fn working_set(mut self, docs: usize) -> Self {
+        self.working_set = docs.max(1);
+        self
+    }
+
+    /// Sets the fraction of accesses that are writes.
+    pub fn write_fraction(mut self, fraction: f64) -> Self {
+        self.write_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builds the sampler (precomputes the two Zipf tables).
+    pub fn build(&self) -> TraceSampler {
+        TraceSampler {
+            seed: self.seed,
+            users: ZipfSampler::new(self.users, self.user_theta),
+            docs: ZipfSampler::new(self.documents, self.doc_theta),
+            documents: self.documents,
+            locality: self.locality,
+            working_set: self.working_set,
+            write_fraction: self.write_fraction,
+        }
+    }
+}
+
+/// The immutable, thread-shareable workload model built by
+/// [`TraceBuilder`]. All mutable state lives in the per-stream [`SimRng`],
+/// so any number of threads can sample one `TraceSampler` concurrently,
+/// each on its own deterministic stream.
+#[derive(Debug, Clone)]
+pub struct TraceSampler {
+    seed: u64,
+    users: ZipfSampler,
+    docs: ZipfSampler,
+    documents: usize,
+    locality: f64,
+    working_set: usize,
+    write_fraction: f64,
+}
+
+/// SplitMix64 finalizer: the fixed mix hash behind stream seeding and
+/// stateless working-set derivation.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl TraceSampler {
+    /// Returns the user universe size.
+    pub fn users(&self) -> usize {
+        self.users.universe()
+    }
+
+    /// Returns the document universe size.
+    pub fn documents(&self) -> usize {
+        self.documents
+    }
+
+    /// Returns the write fraction the sampler was built with.
+    pub fn write_fraction(&self) -> f64 {
+        self.write_fraction
+    }
+
+    /// Returns the deterministic generator for stream `stream_id`
+    /// (typically one stream per worker thread). Streams with distinct
+    /// ids diverge; the same `(seed, stream_id)` pair always reproduces
+    /// the same event sequence.
+    pub fn stream(&self, stream_id: u64) -> SimRng {
+        SimRng::seeded(mix64(self.seed ^ mix64(stream_id)) | 1)
+    }
+
+    /// Returns the document in `user`'s working set at `slot`
+    /// (`slot < working_set`), derived statelessly from the seed — the
+    /// same `(user, slot)` always names the same document, with no
+    /// per-user table.
+    pub fn working_doc(&self, user: usize, slot: usize) -> usize {
+        let h =
+            mix64(self.seed ^ (user as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (slot as u64));
+        (h % self.documents as u64) as usize
+    }
+
+    /// Samples the next access on `rng`'s stream.
+    pub fn next_event(&self, rng: &mut SimRng) -> AccessEvent {
+        let user = self.users.sample(rng);
+        let doc = if rng.chance(self.locality) {
+            self.working_doc(user, rng.next_below(self.working_set as u64) as usize)
+        } else {
+            self.docs.sample(rng)
+        };
+        let is_write = rng.chance(self.write_fraction);
+        AccessEvent {
+            user,
+            doc,
+            is_write,
+            think_micros: 0,
+        }
+    }
+}
+
 /// Generates deterministic pseudo-text of roughly `bytes` length.
 ///
 /// Used by repositories and benches to fill documents with word-like content
@@ -302,6 +496,68 @@ mod tests {
             .events(300)
             .build();
         assert!(events.iter().all(|e| !e.is_write));
+    }
+
+    #[test]
+    fn trace_sampler_streams_are_deterministic_and_independent() {
+        let sampler = TraceBuilder::new(11).users(500).documents(64).build();
+        let run = |stream: u64| {
+            let mut rng = sampler.stream(stream);
+            (0..200)
+                .map(|_| sampler.next_event(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(0), "same stream must replay identically");
+        assert_ne!(run(0), run(1), "distinct streams must diverge");
+    }
+
+    #[test]
+    fn trace_sampler_respects_universe_bounds() {
+        let sampler = TraceBuilder::new(3)
+            .users(9)
+            .documents(17)
+            .working_set(4)
+            .locality(0.5)
+            .build();
+        let mut rng = sampler.stream(7);
+        for _ in 0..1_000 {
+            let e = sampler.next_event(&mut rng);
+            assert!(e.user < 9 && e.doc < 17);
+        }
+    }
+
+    #[test]
+    fn working_set_is_stable_per_user() {
+        let sampler = TraceBuilder::new(5).documents(1_024).working_set(8).build();
+        for user in [0usize, 1, 999_999] {
+            for slot in 0..8 {
+                assert_eq!(
+                    sampler.working_doc(user, slot),
+                    sampler.working_doc(user, slot)
+                );
+                assert!(sampler.working_doc(user, slot) < 1_024);
+            }
+        }
+        // Different users should (overwhelmingly) see different sets.
+        let a: Vec<_> = (0..8).map(|s| sampler.working_doc(1, s)).collect();
+        let b: Vec<_> = (0..8).map(|s| sampler.working_doc(2, s)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn locality_one_confines_reads_to_working_sets() {
+        let sampler = TraceBuilder::new(9)
+            .users(50)
+            .documents(4_096)
+            .working_set(4)
+            .locality(1.0)
+            .build();
+        let mut rng = sampler.stream(0);
+        for _ in 0..500 {
+            let e = sampler.next_event(&mut rng);
+            let set: Vec<_> = (0..4).map(|s| sampler.working_doc(e.user, s)).collect();
+            assert!(set.contains(&e.doc), "doc {} outside working set", e.doc);
+        }
     }
 
     #[test]

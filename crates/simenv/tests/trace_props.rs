@@ -1,0 +1,109 @@
+//! Property tests for the workload generators: same-seed determinism,
+//! universe bounds, and the locality knob of the million-user trace model.
+
+use placeless_simenv::rng::SimRng;
+use placeless_simenv::trace::{TraceBuilder, ZipfSampler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A `ZipfSampler` replays bit-for-bit from the same seed: two RNGs
+    /// seeded alike drive identical rank sequences.
+    #[test]
+    fn zipf_same_seed_replays(seed in 1u64..1_000_000, n in 1usize..2_000,
+                              theta in 0.0f64..1.5) {
+        let sampler = ZipfSampler::new(n, theta);
+        let mut a = SimRng::seeded(seed);
+        let mut b = SimRng::seeded(seed);
+        for _ in 0..64 {
+            let ra = sampler.sample(&mut a);
+            let rb = sampler.sample(&mut b);
+            prop_assert_eq!(ra, rb);
+            prop_assert!(ra < n);
+        }
+    }
+
+    /// Different seeds drive the sampler onto diverging rank sequences
+    /// (for any universe big enough that collisions aren't forced).
+    #[test]
+    fn zipf_seeds_diverge(seed in 1u64..1_000_000, n in 32usize..2_000) {
+        let sampler = ZipfSampler::new(n, 0.9);
+        let mut a = SimRng::seeded(seed);
+        let mut b = SimRng::seeded(seed ^ 0xDEAD_BEEF);
+        let sa: Vec<_> = (0..64).map(|_| sampler.sample(&mut a)).collect();
+        let sb: Vec<_> = (0..64).map(|_| sampler.sample(&mut b)).collect();
+        prop_assert_ne!(sa, sb);
+    }
+
+    /// A trace stream is a pure function of `(seed, stream_id)`: rebuilding
+    /// the sampler and replaying the stream reproduces every event, and all
+    /// events stay inside the configured universes.
+    #[test]
+    fn trace_same_seed_replays(seed in 0u64..1_000_000, stream in 0u64..64,
+                               users in 1usize..10_000, docs in 1usize..4_096,
+                               locality in 0.0f64..1.0, writes in 0.0f64..1.0) {
+        let build = || {
+            TraceBuilder::new(seed)
+                .users(users)
+                .documents(docs)
+                .locality(locality)
+                .write_fraction(writes)
+                .build()
+        };
+        let sampler_a = build();
+        let sampler_b = build();
+        let mut a = sampler_a.stream(stream);
+        let mut b = sampler_b.stream(stream);
+        for _ in 0..64 {
+            let ea = sampler_a.next_event(&mut a);
+            let eb = sampler_b.next_event(&mut b);
+            prop_assert_eq!(ea, eb);
+            prop_assert!(ea.user < users && ea.doc < docs);
+        }
+    }
+
+    /// Distinct stream ids diverge even under one seed, so per-thread
+    /// streams don't accidentally mirror each other.
+    #[test]
+    fn trace_streams_diverge(seed in 0u64..1_000_000, stream in 0u64..1_000) {
+        let sampler = TraceBuilder::new(seed).users(10_000).documents(4_096).build();
+        let mut a = sampler.stream(stream);
+        let mut b = sampler.stream(stream + 1);
+        let ea: Vec<_> = (0..64).map(|_| sampler.next_event(&mut a)).collect();
+        let eb: Vec<_> = (0..64).map(|_| sampler.next_event(&mut b)).collect();
+        prop_assert_ne!(ea, eb);
+    }
+
+    /// With locality pinned to 1.0 every access lands in the acting user's
+    /// working set; with 0.0 the working-set path is never taken, so the
+    /// trace is insensitive to the working-set size.
+    #[test]
+    fn trace_locality_extremes(seed in 0u64..1_000_000, ws in 1usize..16) {
+        let local = TraceBuilder::new(seed)
+            .users(100)
+            .documents(2_048)
+            .working_set(ws)
+            .locality(1.0)
+            .build();
+        let mut rng = local.stream(0);
+        for _ in 0..32 {
+            let e = local.next_event(&mut rng);
+            let in_set = (0..ws).any(|s| local.working_doc(e.user, s) == e.doc);
+            prop_assert!(in_set, "doc {} escaped the working set", e.doc);
+        }
+
+        let base = TraceBuilder::new(seed)
+            .users(100)
+            .documents(2_048)
+            .working_set(1)
+            .locality(0.0);
+        let global_a = base.clone().build();
+        let global_b = base.working_set(ws).build();
+        let mut a = global_a.stream(3);
+        let mut b = global_b.stream(3);
+        for _ in 0..32 {
+            prop_assert_eq!(global_a.next_event(&mut a), global_b.next_event(&mut b));
+        }
+    }
+}

@@ -32,6 +32,10 @@ cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments 
 echo "==> E-CRASH smoke (write-journal durability; writes BENCH_crash.json)"
 cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- crash
 
+echo "==> E-LOAD smoke (trace-driven load + coalesce probe; writes BENCH_load.json)"
+E_LOAD_USERS=20000 E_LOAD_OPS=4000 E_LOAD_THREADS=4 \
+  cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- load
+
 echo "==> cargo clippy (-D warnings)"
 cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 

@@ -31,7 +31,9 @@ pub use placeless_simenv as simenv;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use placeless_cache::{CacheConfig, DocumentCache, WriteMode};
+    pub use placeless_cache::{
+        CacheConfig, DocumentCache, HitClass, ReadOptions, ReadOutcome, WriteMode,
+    };
     pub use placeless_core::prelude::*;
     pub use placeless_nfs::{CachedBackend, DirectBackend, Editor, NfsServer, OpenMode};
     pub use placeless_properties::*;
