@@ -14,7 +14,9 @@
 //! `BENCH_stage.json` / `BENCH_crash.json` / `BENCH_load.json` next to
 //! the working directory so their numbers are machine-readable run over
 //! run. The `load` experiment honours `E_LOAD_USERS` / `E_LOAD_DOCS` /
-//! `E_LOAD_OPS` / `E_LOAD_THREADS` overrides for reduced CI smokes.
+//! `E_LOAD_OPS` / `E_LOAD_THREADS` overrides (and `E_LOAD_WMIX_WRITES` /
+//! `E_LOAD_WMIX_DOCS` / `E_LOAD_WMIX_FLUSH_EVERY` for the write-mix flush
+//! smoke) for reduced CI smokes.
 
 use placeless_bench::{
     chain, collections, consistency, crash, fault, load, nv, placement, qos, replacement,
@@ -113,7 +115,35 @@ fn run_load() {
         probe.threads, probe.provider_fetches, probe.coalesced_waits, probe.identical
     );
 
-    let json = load_json(params, &results, probe);
+    let wmix_params = load::WriteMixParams::default().from_env();
+    println!(
+        "write mix: {} write-back writes over {} docs, flush every {} (x{} users)",
+        wmix_params.writes, wmix_params.documents, wmix_params.flush_every, wmix_params.users
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>11} {:>13} {:>13}",
+        "flush mode", "entries", "flushes", "batches", "origin ops", "ops/entry", "flush us"
+    );
+    let wmix = load::write_mix(wmix_params);
+    for r in &wmix {
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>11} {:>13.2} {:>13}",
+            if r.batched { "batched" } else { "per-entry" },
+            r.entries_flushed,
+            r.flush_calls,
+            r.flush_batches,
+            r.origin_ops,
+            r.ops_per_entry(),
+            r.flush_micros
+        );
+    }
+    let amortization = wmix[0].ops_per_entry() / wmix[1].ops_per_entry();
+    println!(
+        "\n(grouped flushes amortize origin round-trips {amortization:.2}x; write_mix() \
+         asserts >= 2x)\n"
+    );
+
+    let json = load_json(params, &results, probe, wmix_params, &wmix);
     match std::fs::write("BENCH_load.json", &json) {
         Ok(()) => println!("wrote BENCH_load.json\n"),
         Err(e) => eprintln!("could not write BENCH_load.json: {e}\n"),
@@ -125,6 +155,8 @@ fn load_json(
     params: load::LoadParams,
     results: &[load::LoadResult],
     probe: load::CoalesceReport,
+    wmix_params: load::WriteMixParams,
+    wmix: &[load::WriteMixResult],
 ) -> String {
     let mut out = String::from("{\n  \"experiment\": \"load\",\n");
     out.push_str(&format!(
@@ -175,12 +207,50 @@ fn load_json(
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"probe\": {{\"threads\": {}, \"provider_fetches\": {}, \
-         \"coalesced_waits\": {}, \"identical\": {}, \"inflight_peak\": {}}}\n",
+         \"coalesced_waits\": {}, \"identical\": {}, \"inflight_peak\": {}}},\n",
         probe.threads,
         probe.provider_fetches,
         probe.coalesced_waits,
         probe.identical,
         probe.inflight_peak
+    ));
+    out.push_str("  \"write_mix\": {\n");
+    out.push_str(&format!(
+        "    \"params\": {{\"users\": {}, \"documents\": {}, \"writes\": {}, \
+         \"flush_every\": {}, \"doc_theta\": {}, \"user_theta\": {}, \"seed\": {}}},\n",
+        wmix_params.users,
+        wmix_params.documents,
+        wmix_params.writes,
+        wmix_params.flush_every,
+        wmix_params.doc_theta,
+        wmix_params.user_theta,
+        wmix_params.seed
+    ));
+    out.push_str("    \"runs\": [\n");
+    for (i, r) in wmix.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"mode\": \"{}\", \"entries_flushed\": {}, \"flush_calls\": {}, \
+             \"flush_batches\": {}, \"batched_writes\": {}, \"origin_ops\": {}, \
+             \"ops_per_entry\": {:.4}, \"flush_micros\": {}}}{}\n",
+            if r.batched { "batched" } else { "per_entry" },
+            r.entries_flushed,
+            r.flush_calls,
+            r.flush_batches,
+            r.batched_writes,
+            r.origin_ops,
+            r.ops_per_entry(),
+            r.flush_micros,
+            if i + 1 == wmix.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ],\n");
+    let amortization = if wmix.len() == 2 {
+        wmix[0].ops_per_entry() / wmix[1].ops_per_entry()
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "    \"round_trip_amortization\": {amortization:.4}\n  }}\n"
     ));
     out.push_str("}\n");
     out

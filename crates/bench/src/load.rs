@@ -18,11 +18,18 @@
 //! leader inside the provider until every other thread has queued behind
 //! the same `(doc, stage)` flight, then asserts the fetch ran exactly once
 //! and that `coalesced_waits` accounts for all the waiters.
+//!
+//! The **write mix** is measured by [`write_mix`]: the same Zipf
+//! population drives write-back writes, and periodic flushes are run once
+//! with per-entry flushing and once with the batched per-origin scheduler,
+//! counting middleware origin operations per flushed entry. The batched
+//! run must amortize origin round-trips at least 2× — like the coalesce
+//! probe, an acceptance check rather than a soft measurement.
 
 use crate::support::TagProperty;
 use bytes::Bytes;
 pub use placeless_cache::HitClass;
-use placeless_cache::{CacheConfig, CacheStats, DocumentCache, ReadOptions};
+use placeless_cache::{CacheConfig, CacheStats, DocumentCache, ReadOptions, WriteMode};
 use placeless_core::prelude::*;
 use placeless_simenv::trace::{lorem_bytes, TraceBuilder};
 use placeless_simenv::{LatencyModel, VirtualClock};
@@ -448,6 +455,208 @@ pub fn coalesce_probe(threads: usize) -> CoalesceReport {
     report
 }
 
+/// Parameters for the E-LOAD write-mix flush measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteMixParams {
+    /// Simulated user population.
+    pub users: usize,
+    /// Documents in the corpus (each its own memory origin, so a flush
+    /// group forms per popular document across its dirty users).
+    pub documents: usize,
+    /// Write-back writes issued.
+    pub writes: usize,
+    /// Flush after every this many writes (plus one final flush).
+    pub flush_every: usize,
+    /// Zipf exponent of global document popularity.
+    pub doc_theta: f64,
+    /// Zipf exponent of user activity skew.
+    pub user_theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WriteMixParams {
+    fn default() -> Self {
+        Self {
+            users: 20_000,
+            documents: 64,
+            writes: 4_000,
+            flush_every: 1_000,
+            doc_theta: 0.9,
+            user_theta: 0.6,
+            seed: 42,
+        }
+    }
+}
+
+impl WriteMixParams {
+    /// Applies `E_LOAD_WMIX_WRITES` / `E_LOAD_WMIX_DOCS` /
+    /// `E_LOAD_WMIX_FLUSH_EVERY` environment overrides, so CI can run a
+    /// reduced flush smoke without a separate code path.
+    pub fn from_env(mut self) -> Self {
+        let get = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        };
+        if let Some(v) = get("E_LOAD_WMIX_WRITES") {
+            self.writes = v.max(1);
+        }
+        if let Some(v) = get("E_LOAD_WMIX_DOCS") {
+            self.documents = v.max(1);
+        }
+        if let Some(v) = get("E_LOAD_WMIX_FLUSH_EVERY") {
+            self.flush_every = v.max(1);
+        }
+        self
+    }
+}
+
+/// One write-mix run: the same trace flushed with or without the batched
+/// per-origin scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteMixResult {
+    /// Whether [`placeless_cache::CacheConfig::batched_flush`] was on.
+    pub batched: bool,
+    /// Dirty entries pushed to the middleware across all flushes.
+    pub entries_flushed: u64,
+    /// `flush()` calls issued.
+    pub flush_calls: u64,
+    /// Grouped origin operations issued (stats delta; zero per-entry).
+    pub flush_batches: u64,
+    /// Entries written through a grouped batch (stats delta).
+    pub batched_writes: u64,
+    /// Middleware origin operations charged during the flushes.
+    pub origin_ops: u64,
+    /// Virtual microseconds the flushes consumed.
+    pub flush_micros: u64,
+}
+
+impl WriteMixResult {
+    /// Origin operations per flushed entry — the round-trip amortization
+    /// metric the batched scheduler is gated on.
+    pub fn ops_per_entry(&self) -> f64 {
+        self.origin_ops as f64 / self.entries_flushed.max(1) as f64
+    }
+}
+
+/// Runs the write mix twice over one trace — per-entry flushing, then the
+/// batched per-origin scheduler — and asserts the batched run amortizes
+/// origin round-trips at least 2×.
+///
+/// # Panics
+///
+/// Panics if any flush is not clean, if `FlushReport` accounting is not
+/// exact (`attempted == flushed + parked + requeued`), if the two modes
+/// disagree on what was flushed, or if the amortization falls below 2× —
+/// this is the E-LOAD write-mix acceptance check.
+pub fn write_mix(params: WriteMixParams) -> [WriteMixResult; 2] {
+    let per_entry = write_mix_one(params, false);
+    let batched = write_mix_one(params, true);
+    assert_eq!(
+        per_entry.entries_flushed, batched.entries_flushed,
+        "same trace, same flush points, same dirty entries"
+    );
+    assert_eq!(per_entry.flush_batches, 0, "per-entry mode must not batch");
+    assert!(batched.flush_batches > 0, "batched mode never grouped");
+    assert_eq!(
+        batched.batched_writes, batched.entries_flushed,
+        "every healthy-origin entry flushes through its group"
+    );
+    let amortization = per_entry.ops_per_entry() / batched.ops_per_entry();
+    assert!(
+        amortization >= 2.0,
+        "grouped flushes must amortize origin round-trips >= 2x, got {amortization:.2}"
+    );
+    [per_entry, batched]
+}
+
+fn write_mix_one(params: WriteMixParams, batched: bool) -> WriteMixResult {
+    let sampler = TraceBuilder::new(params.seed)
+        .users(params.users)
+        .documents(params.documents)
+        .doc_theta(params.doc_theta)
+        .user_theta(params.user_theta)
+        .write_fraction(1.0)
+        .build();
+    let mut rng = sampler.stream(0);
+    let events: Vec<placeless_simenv::trace::AccessEvent> = (0..params.writes)
+        .map(|_| sampler.next_event(&mut rng))
+        .collect();
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    for e in &events {
+        pairs.insert((e.user, e.doc));
+    }
+
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let mut docs = Vec::with_capacity(params.documents);
+    for d in 0..params.documents {
+        let provider = MemoryProvider::new(
+            &format!("doc{d}"),
+            lorem_bytes(params.seed + d as u64, 128),
+            200,
+        );
+        docs.push(space.create_document(UserId(0), provider));
+    }
+    for &(user, doc) in &pairs {
+        space
+            .add_reference(UserId(user as u64 + 1), docs[doc])
+            .expect("reference");
+    }
+
+    let cache = DocumentCache::new(
+        space.clone(),
+        CacheConfig::builder()
+            .capacity_bytes(1 << 30)
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .batched_flush(batched)
+            .build(),
+    );
+    let clock = space.clock().clone();
+    let before = cache.stats();
+    let mut result = WriteMixResult {
+        batched,
+        entries_flushed: 0,
+        flush_calls: 0,
+        flush_batches: 0,
+        batched_writes: 0,
+        origin_ops: 0,
+        flush_micros: 0,
+    };
+    let flush_now = |result: &mut WriteMixResult| {
+        let ops0 = space.ops_count();
+        let t0 = clock.now();
+        let report = cache.flush().expect("flush");
+        assert!(report.is_clean(), "healthy origins must flush clean");
+        assert_eq!(
+            report.attempted,
+            report.flushed + (report.parked.len() + report.requeued.len()) as u64,
+            "flush accounting must be exact"
+        );
+        result.entries_flushed += report.flushed;
+        result.flush_calls += 1;
+        result.origin_ops += space.ops_count() - ops0;
+        result.flush_micros += clock.now().since(t0);
+    };
+    for (i, e) in events.iter().enumerate() {
+        let user = UserId(e.user as u64 + 1);
+        let body = format!("rev {i} by {}", e.user);
+        cache
+            .write(user, docs[e.doc], body.as_bytes())
+            .expect("buffered write");
+        if (i + 1) % params.flush_every == 0 {
+            flush_now(&mut result);
+        }
+    }
+    flush_now(&mut result);
+    let stats = cache.stats().delta(&before);
+    result.flush_batches = stats.flush_batches;
+    result.batched_writes = stats.batched_writes;
+    assert_eq!(cache.dirty_count(), 0, "nothing may stay dirty");
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,5 +734,42 @@ mod tests {
         assert_eq!(r.provider_fetches, 1);
         assert_eq!(r.coalesced_waits, 5);
         assert!(r.inflight_peak >= 1);
+    }
+
+    #[test]
+    fn write_mix_amortizes_origin_round_trips() {
+        let params = WriteMixParams {
+            users: 2_000,
+            documents: 32,
+            writes: 600,
+            flush_every: 300,
+            ..WriteMixParams::default()
+        };
+        // write_mix() itself asserts the >= 2x amortization contract.
+        let [per_entry, batched] = write_mix(params);
+        assert_eq!(per_entry.flush_calls, batched.flush_calls);
+        assert!(batched.origin_ops < per_entry.origin_ops);
+        assert!(
+            batched.flush_micros <= per_entry.flush_micros,
+            "grouped commits must not cost more virtual time"
+        );
+        assert!(batched.flush_batches >= batched.flush_calls);
+    }
+
+    #[test]
+    fn write_mix_is_deterministic_per_seed() {
+        let params = WriteMixParams {
+            users: 1_000,
+            documents: 16,
+            writes: 200,
+            flush_every: 100,
+            ..WriteMixParams::default()
+        };
+        let [_, a] = write_mix(params);
+        let [_, b] = write_mix(params);
+        assert_eq!(a.entries_flushed, b.entries_flushed);
+        assert_eq!(a.flush_batches, b.flush_batches);
+        assert_eq!(a.origin_ops, b.origin_ops);
+        assert_eq!(a.flush_micros, b.flush_micros);
     }
 }

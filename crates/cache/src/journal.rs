@@ -232,20 +232,37 @@ impl WriteJournal {
     /// superseded it) and compacts the medium down to the live records.
     /// Returns `true` if the record was live.
     pub fn ack(&self, seq: u64) -> bool {
+        self.ack_batch(std::slice::from_ref(&seq)) == 1
+    }
+
+    /// Acknowledges a whole batch of flushed records in one pass: every
+    /// still-live `seq` is removed, then the medium is compacted *once*
+    /// — the grouped-flush counterpart of [`WriteJournal::ack`], which
+    /// rewrites the medium per record. Sequence numbers that were
+    /// superseded by a newer write (or already acknowledged) are skipped
+    /// exactly as in `ack`. Returns how many records were live.
+    pub fn ack_batch(&self, seqs: &[u64]) -> usize {
         let mut state = self.state.lock();
-        let Some(record) = state.live.remove(&seq) else {
-            return false;
-        };
-        let key = (record.doc, record.user);
-        if state.by_key.get(&key) == Some(&seq) {
-            state.by_key.remove(&key);
+        let mut removed = 0;
+        for &seq in seqs {
+            let Some(record) = state.live.remove(&seq) else {
+                continue;
+            };
+            let key = (record.doc, record.user);
+            if state.by_key.get(&key) == Some(&seq) {
+                state.by_key.remove(&key);
+            }
+            removed += 1;
+        }
+        if removed == 0 {
+            return 0;
         }
         let mut image = Vec::new();
         for live in state.live.values() {
             image.extend_from_slice(&live.encode());
         }
         self.store.overwrite(&image);
-        true
+        removed
     }
 
     /// Returns the live sequence number for `(doc, user)`, if any.
@@ -295,6 +312,31 @@ mod tests {
         assert!(journal.is_empty());
         assert!(journal.store().is_empty(), "ack compacts the medium");
         assert!(!journal.ack(seq), "double ack is a no-op");
+    }
+
+    #[test]
+    fn ack_batch_compacts_once_and_skips_superseded_records() {
+        let journal = WriteJournal::new(StableStore::new());
+        let a = journal.append(DOC, ALICE, NO_EPOCH, b"alice v1");
+        let superseded = journal.append(DOC, BOB, NO_EPOCH, b"bob v1");
+        let b = journal.append(DOC, BOB, NO_EPOCH, b"bob v2");
+        let keep = journal.append(DocumentId(8), ALICE, NO_EPOCH, b"other");
+        let rewrites_before = journal.store().rewrite_count();
+        // One batch ack: two live seqs, one already-acked seq.
+        assert_eq!(journal.ack_batch(&[a, b, superseded]), 2);
+        assert_eq!(
+            journal.store().rewrite_count(),
+            rewrites_before + 1,
+            "the whole batch compacts the medium once"
+        );
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal.seq_for(DocumentId(8), ALICE), Some(keep));
+        assert_eq!(journal.ack_batch(&[a, b]), 0, "double batch ack is a no-op");
+        assert_eq!(
+            journal.store().rewrite_count(),
+            rewrites_before + 1,
+            "an all-stale batch does not rewrite the medium"
+        );
     }
 
     #[test]

@@ -105,11 +105,11 @@ use placeless_core::event::EventKind;
 use placeless_core::id::{CacheId, DocumentId, UserId};
 use placeless_core::notifier::{Invalidation, InvalidationSink};
 use placeless_core::property::PathReport;
-use placeless_core::space::DocumentSpace;
+use placeless_core::space::{BatchWrite, DocumentSpace};
 use placeless_core::streams::read_all;
 use placeless_core::verifier::{run_all, Validity};
 use placeless_simenv::{Instant, LatencyModel, Link, Stopwatch, VirtualClock};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -147,17 +147,28 @@ pub struct FlushReport {
     /// them: transient failures without a journal, and non-transient
     /// failures always.
     pub requeued: Vec<(DocumentId, UserId, PlacelessError)>,
+    /// Per-origin groups the batched scheduler formed (one per distinct
+    /// origin among the drained entries). Zero when batched flushing is
+    /// disabled and every entry is written individually.
+    pub batches: u64,
+    /// Drained entries whose key was not an [`EntryKey::Version`] —
+    /// an invariant violation (the dirty maps only ever buffer version
+    /// keys). They are re-queued, never written, and counted here
+    /// instead of in `attempted` so
+    /// `attempted == flushed + parked.len() + requeued.len()` always
+    /// holds.
+    pub skipped_non_version: u64,
 }
 
 impl FlushReport {
     /// Returns `true` if every attempted entry reached the origin.
     pub fn is_clean(&self) -> bool {
-        self.parked.is_empty() && self.requeued.is_empty()
+        self.parked.is_empty() && self.requeued.is_empty() && self.skipped_non_version == 0
     }
 
     /// Returns how many entries remain dirty after this flush.
     pub fn remaining(&self) -> u64 {
-        (self.parked.len() + self.requeued.len()) as u64
+        (self.parked.len() + self.requeued.len()) as u64 + self.skipped_non_version
     }
 }
 
@@ -286,6 +297,14 @@ pub struct CacheConfig {
     /// queueing a miss storm instead of stampeding the origin. `None`
     /// (the default) leaves fetch concurrency unbounded.
     pub max_inflight_per_origin: Option<u32>,
+    /// Group drained dirty entries by origin and flush each group as one
+    /// grouped origin operation: one breaker admission decision, one
+    /// backoff schedule, and one in-flight-window slot cover the whole
+    /// group, and the space charges its middleware hops once per group
+    /// instead of once per entry. Park/requeue/journal semantics stay
+    /// per entry — the batch write returns one result per entry. On by
+    /// default; `false` restores the serial per-entry flush exactly.
+    pub batched_flush: bool,
 }
 
 impl Default for CacheConfig {
@@ -304,6 +323,7 @@ impl Default for CacheConfig {
             journal: None,
             single_flight: true,
             max_inflight_per_origin: None,
+            batched_flush: true,
         }
     }
 }
@@ -416,6 +436,13 @@ impl CacheConfigBuilder {
     /// [`CacheConfig::max_inflight_per_origin`]).
     pub fn max_inflight_per_origin(mut self, limit: u32) -> Self {
         self.config.max_inflight_per_origin = Some(limit);
+        self
+    }
+
+    /// Enables or disables per-origin flush batching (see
+    /// [`CacheConfig::batched_flush`]).
+    pub fn batched_flush(mut self, on: bool) -> Self {
+        self.config.batched_flush = on;
         self
     }
 
@@ -587,6 +614,8 @@ pub struct DocumentCache {
     last_seq: AtomicU64,
     /// Single-flight coalescing enabled (see [`CacheConfig::single_flight`]).
     single_flight: bool,
+    /// Per-origin flush batching enabled (see [`CacheConfig::batched_flush`]).
+    batched_flush: bool,
     /// Open miss fetches keyed by version key.
     version_flights: FlightGroup,
     /// Open stage executions keyed by stage signature.
@@ -642,6 +671,7 @@ impl DocumentCache {
             parked: Mutex::new(HashSet::new()),
             last_seq: AtomicU64::new(0),
             single_flight: config.single_flight,
+            batched_flush: config.batched_flush,
             version_flights: FlightGroup::new(),
             stage_flights: FlightGroup::new(),
             window: config
@@ -1269,7 +1299,14 @@ impl DocumentCache {
                     let delay = backoff.delay_micros(attempt);
                     if let Some(budget) = deadline {
                         // Don't start a backoff the deadline can't cover.
-                        if clock.now().since(started) + delay > budget {
+                        // The caller still waited out the rest of its
+                        // budget discovering that, so charge the
+                        // truncated wait to the clock before reporting —
+                        // `elapsed_micros` then covers the backoff that
+                        // overran, not just the attempts before it.
+                        let elapsed = clock.now().since(started);
+                        if elapsed + delay > budget {
+                            clock.advance(budget.saturating_sub(elapsed));
                             return Err(PlacelessError::Timeout {
                                 source: origin,
                                 elapsed_micros: clock.now().since(started),
@@ -1875,7 +1912,13 @@ impl DocumentCache {
                     }
                     let delay = backoff.delay_micros(attempt);
                     if let Some(budget) = deadline {
-                        if clock.now().since(started) + delay > budget {
+                        // As on the read path: a backoff the budget
+                        // cannot cover fails the write, but the truncated
+                        // wait is still charged to the clock first so the
+                        // reported elapsed time includes it.
+                        let elapsed = clock.now().since(started);
+                        if elapsed + delay > budget {
+                            clock.advance(budget.saturating_sub(elapsed));
                             return Err(PlacelessError::Timeout {
                                 source: origin,
                                 elapsed_micros: clock.now().since(started),
@@ -1895,7 +1938,13 @@ impl DocumentCache {
     ///
     /// Dirty data is drained holding one shard lock at a time, sorted
     /// into a deterministic order, and written with no cache lock held.
-    /// A failed write no longer abandons the remaining entries: the
+    /// With [`CacheConfig::batched_flush`] (the default) the drained
+    /// entries are grouped by origin and each group is written as one
+    /// grouped origin operation — one breaker admission decision, one
+    /// backoff schedule, and one pair of middleware hops per group
+    /// attempt instead of per entry — while every per-entry outcome
+    /// below still holds, because the batch write returns one result per
+    /// entry. A failed write no longer abandons the remaining entries: the
     /// failed entry and every entry not yet attempted are re-queued into
     /// their shards' dirty maps (a concurrent newer write for the same
     /// key wins over the re-queue), and the returned [`FlushReport`]
@@ -1916,52 +1965,251 @@ impl DocumentCache {
         self.dirty_gauge
             .fetch_sub(dirty.len() as u64, Ordering::Relaxed);
         // HashMap drain order depends on the process hasher seed; sorting
-        // keeps flush outcomes (which entry hit the outage window first)
-        // reproducible for same-seed replays.
-        dirty.sort_by_key(|(key, _)| match key {
-            EntryKey::Version(doc, user) => (doc.0, user.0),
-            EntryKey::Stage(_) => (u64::MAX, u64::MAX),
-        });
+        // by the full key (derived `Ord`: every version key before every
+        // stage key, no ties between distinct keys) keeps flush outcomes
+        // (which entry hit the outage window first) reproducible for
+        // same-seed replays.
+        dirty.sort_by_key(|(key, _)| *key);
         let mut report = FlushReport::default();
+        let clock = self.space.clock().clone();
+        let mut entries: Vec<(DocumentId, UserId, DirtyEntry)> = Vec::with_capacity(dirty.len());
         for (key, entry) in dirty {
-            let EntryKey::Version(doc, user) = key else {
-                // Dirty data is only ever buffered under version keys.
-                continue;
-            };
-            report.attempted += 1;
-            let clock = self.space.clock().clone();
-            match self.write_with_resilience(user, doc, &entry.data, &clock) {
-                Ok(()) => {
-                    AtomicCacheStats::bump(&self.stats.flushes);
-                    report.flushed += 1;
-                    if let (Some(journal), Some(seq)) = (&self.journal, entry.seq) {
-                        // Ack precisely this record; a newer write that
-                        // superseded it mid-flush keeps its own record.
-                        journal.ack(seq);
-                    }
-                    if self.parked.lock().remove(&key) {
-                        self.parked_gauge.fetch_sub(1, Ordering::Relaxed);
-                    }
-                    self.invalidate_doc(doc);
-                }
-                Err(error) => {
+            match key {
+                EntryKey::Version(doc, user) => entries.push((doc, user, entry)),
+                EntryKey::Stage(_) => {
+                    // Dirty data is only ever buffered under version keys;
+                    // a stage key here is an invariant violation. Don't
+                    // drop the bytes on the floor: put the entry back and
+                    // surface the skip in the report.
+                    debug_assert!(false, "non-version key {key:?} in a dirty map");
                     self.requeue_dirty(key, entry);
-                    if self.journal.is_some() && error.is_transient() {
-                        // Parked: the write stays journaled and dirty; the
-                        // next flush after the origin's breaker half-opens
-                        // drains it.
-                        if self.parked.lock().insert(key) {
-                            self.parked_gauge.fetch_add(1, Ordering::Relaxed);
-                            AtomicCacheStats::bump(&self.stats.writes_parked);
-                        }
-                        report.parked.push((doc, user));
-                    } else {
-                        report.requeued.push((doc, user, error));
-                    }
+                    report.skipped_non_version += 1;
                 }
             }
         }
+        if self.batched_flush {
+            // Group by origin, preserving the sorted entry order inside
+            // each group; BTreeMap keeps the group order itself
+            // deterministic too.
+            let mut groups: BTreeMap<String, Vec<(DocumentId, UserId, DirtyEntry)>> =
+                BTreeMap::new();
+            for (doc, user, entry) in entries {
+                let origin = self
+                    .space
+                    .origin_of(doc)
+                    .unwrap_or_else(|| format!("doc:{}", doc.0));
+                groups.entry(origin).or_default().push((doc, user, entry));
+            }
+            for (origin, group) in groups {
+                self.flush_group(&origin, group, &clock, &mut report);
+            }
+        } else {
+            for (doc, user, entry) in entries {
+                self.flush_one(doc, user, entry, &clock, &mut report);
+            }
+        }
+        debug_assert_eq!(
+            report.attempted,
+            report.flushed + (report.parked.len() + report.requeued.len()) as u64,
+            "flush accounting must be non-lossy"
+        );
         Ok(report)
+    }
+
+    /// Writes one drained dirty entry through [`Self::write_with_resilience`]
+    /// and settles the outcome — the pre-batching per-entry flush path,
+    /// kept verbatim for [`CacheConfig::batched_flush`]` = false`.
+    fn flush_one(
+        &self,
+        doc: DocumentId,
+        user: UserId,
+        entry: DirtyEntry,
+        clock: &VirtualClock,
+        report: &mut FlushReport,
+    ) {
+        report.attempted += 1;
+        match self.write_with_resilience(user, doc, &entry.data, clock) {
+            Ok(()) => {
+                AtomicCacheStats::bump(&self.stats.flushes);
+                report.flushed += 1;
+                if let (Some(journal), Some(seq)) = (&self.journal, entry.seq) {
+                    // Ack precisely this record; a newer write that
+                    // superseded it mid-flush keeps its own record.
+                    journal.ack(seq);
+                }
+                let key = EntryKey::Version(doc, user);
+                if self.parked.lock().remove(&key) {
+                    self.parked_gauge.fetch_sub(1, Ordering::Relaxed);
+                }
+                self.invalidate_doc(doc);
+            }
+            Err(error) => self.settle_flush_failure(doc, user, entry, error, report),
+        }
+    }
+
+    /// Flushes one per-origin group of drained dirty entries as grouped
+    /// origin operations.
+    ///
+    /// One breaker admission decision, one origin-salted backoff
+    /// schedule, and one in-flight-window slot cover each *attempt* on
+    /// the whole group; the group write itself goes through
+    /// [`DocumentSpace::write_documents`], which returns one result per
+    /// entry. Outcomes stay per entry: successes are acknowledged in the
+    /// journal as a batch (one compaction), transient failures stay
+    /// pending for the group's next retry, and non-transient failures
+    /// are re-queued immediately. Entries still pending when the retry
+    /// budget (or deadline, or breaker) gives out are parked or
+    /// re-queued exactly as the per-entry path would have done.
+    fn flush_group(
+        &self,
+        origin: &str,
+        group: Vec<(DocumentId, UserId, DirtyEntry)>,
+        clock: &VirtualClock,
+        report: &mut FlushReport,
+    ) {
+        report.attempted += group.len() as u64;
+        report.batches += 1;
+        let mut pending = group;
+        let started = clock.now();
+        let deadline = self.resilience.fetch_deadline_micros;
+        let mut backoff = BackoffSchedule::for_origin(&self.resilience, origin);
+        let mut attempt = 0u32;
+        loop {
+            // One admission decision covers the whole group.
+            if let Some(config) = &self.resilience.breaker {
+                if let Admission::Reject { retry_after } =
+                    self.breakers.admit(config, origin, clock.now())
+                {
+                    let error = PlacelessError::Unavailable {
+                        source: origin.to_owned(),
+                        retry_after: Some(retry_after),
+                    };
+                    for (doc, user, entry) in pending {
+                        self.settle_flush_failure(doc, user, entry, error.clone(), report);
+                    }
+                    return;
+                }
+            }
+            // One grouped origin operation per attempt, behind one
+            // per-origin window slot (when configured).
+            AtomicCacheStats::bump(&self.stats.flush_batches);
+            let writes: Vec<BatchWrite> = pending
+                .iter()
+                .map(|(doc, user, entry)| BatchWrite {
+                    user: *user,
+                    doc: *doc,
+                    data: entry.data.clone(),
+                })
+                .collect();
+            if let Some(window) = &self.window {
+                window.acquire(origin);
+            }
+            let results = self.space.write_documents(&writes);
+            if let Some(window) = &self.window {
+                window.release(origin);
+            }
+            debug_assert_eq!(results.len(), pending.len());
+            let mut acks: Vec<u64> = Vec::new();
+            let mut transient: Vec<(DocumentId, UserId, DirtyEntry, PlacelessError)> = Vec::new();
+            for ((doc, user, entry), result) in pending.drain(..).zip(results) {
+                match result {
+                    Ok(()) => {
+                        AtomicCacheStats::bump(&self.stats.flushes);
+                        AtomicCacheStats::bump(&self.stats.batched_writes);
+                        report.flushed += 1;
+                        if self.journal.is_some() {
+                            if let Some(seq) = entry.seq {
+                                acks.push(seq);
+                            }
+                        }
+                        let key = EntryKey::Version(doc, user);
+                        if self.parked.lock().remove(&key) {
+                            self.parked_gauge.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        self.invalidate_doc(doc);
+                    }
+                    Err(error) if error.is_transient() => {
+                        transient.push((doc, user, entry, error));
+                    }
+                    Err(error) => self.settle_flush_failure(doc, user, entry, error, report),
+                }
+            }
+            if let Some(journal) = &self.journal {
+                if !acks.is_empty() {
+                    // Acks are seq-precise exactly like the per-entry
+                    // path, but the medium compacts once per batch.
+                    journal.ack_batch(&acks);
+                }
+            }
+            // One breaker record covers the batch attempt: the origin
+            // either answered for the group or dropped (part of) it.
+            if let Some(config) = &self.resilience.breaker {
+                if transient.is_empty() {
+                    self.breakers.record_success(config, origin);
+                } else if self.breakers.record_failure(config, origin, clock.now()) {
+                    AtomicCacheStats::bump(&self.stats.breaker_trips);
+                }
+            }
+            if transient.is_empty() {
+                return;
+            }
+            if attempt >= self.resilience.max_retries {
+                for (doc, user, entry, error) in transient {
+                    self.settle_flush_failure(doc, user, entry, error, report);
+                }
+                return;
+            }
+            let delay = backoff.delay_micros(attempt);
+            if let Some(budget) = deadline {
+                // Same deadline accounting as the per-entry retry loops:
+                // the truncated wait is charged before reporting.
+                let elapsed = clock.now().since(started);
+                if elapsed + delay > budget {
+                    clock.advance(budget.saturating_sub(elapsed));
+                    let error = PlacelessError::Timeout {
+                        source: origin.to_owned(),
+                        elapsed_micros: clock.now().since(started),
+                    };
+                    for (doc, user, entry, _) in transient {
+                        self.settle_flush_failure(doc, user, entry, error.clone(), report);
+                    }
+                    return;
+                }
+            }
+            clock.advance(delay);
+            AtomicCacheStats::bump(&self.stats.flush_retries);
+            attempt += 1;
+            pending = transient
+                .into_iter()
+                .map(|(doc, user, entry, _)| (doc, user, entry))
+                .collect();
+        }
+    }
+
+    /// Settles one failed flush entry: re-queues the data (a concurrent
+    /// newer write wins) and either parks it (journal configured and the
+    /// failure transient — it stays journaled and dirty until a later
+    /// flush finds the origin's breaker admitting probes again) or
+    /// reports it re-queued with the error.
+    fn settle_flush_failure(
+        &self,
+        doc: DocumentId,
+        user: UserId,
+        entry: DirtyEntry,
+        error: PlacelessError,
+        report: &mut FlushReport,
+    ) {
+        let key = EntryKey::Version(doc, user);
+        self.requeue_dirty(key, entry);
+        if self.journal.is_some() && error.is_transient() {
+            if self.parked.lock().insert(key) {
+                self.parked_gauge.fetch_add(1, Ordering::Relaxed);
+                AtomicCacheStats::bump(&self.stats.writes_parked);
+            }
+            report.parked.push((doc, user));
+        } else {
+            report.requeued.push((doc, user, error));
+        }
     }
 
     /// Puts a drained dirty entry back without clobbering a newer write

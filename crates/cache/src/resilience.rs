@@ -371,6 +371,21 @@ impl BackoffSchedule {
         }
     }
 
+    /// Creates a schedule salted by an origin key instead of a per-fetch
+    /// id, so one deterministic jitter stream covers a whole per-origin
+    /// flush group regardless of which entries happen to be in it. The
+    /// salt is an FNV-1a hash of the key — stable across processes,
+    /// unlike the std hasher, which the same-seed-replay guarantee
+    /// forbids.
+    pub fn for_origin(config: &ResilienceConfig, origin: &str) -> Self {
+        let mut salt: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in origin.as_bytes() {
+            salt ^= u64::from(*byte);
+            salt = salt.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::new(config, salt)
+    }
+
     /// Returns the delay in virtual µs before retry `attempt` (0-based),
     /// consuming one RNG sample when jitter is enabled.
     pub fn delay_micros(&mut self, attempt: u32) -> u64 {
@@ -550,6 +565,29 @@ mod tests {
         let schedules_differ =
             (0..4).any(|n| BackoffSchedule::new(&jittered, 7).delay_micros(n) != c.delay_micros(n));
         assert!(schedules_differ, "different salt, different jitter");
+    }
+
+    #[test]
+    fn origin_salted_backoff_is_stable_per_origin() {
+        let jittered = ResilienceConfig::builder()
+            .backoff_base_micros(1_000)
+            .backoff_jitter_frac(64)
+            .retry_seed(42)
+            .build();
+        let mut a = BackoffSchedule::for_origin(&jittered, "fs");
+        let mut b = BackoffSchedule::for_origin(&jittered, "fs");
+        for attempt in 0..4 {
+            assert_eq!(
+                a.delay_micros(attempt),
+                b.delay_micros(attempt),
+                "same origin, same schedule"
+            );
+        }
+        let mut other = BackoffSchedule::for_origin(&jittered, "dms");
+        let schedules_differ = (0..4).any(|n| {
+            BackoffSchedule::for_origin(&jittered, "fs").delay_micros(n) != other.delay_micros(n)
+        });
+        assert!(schedules_differ, "different origin, different jitter");
     }
 
     #[test]

@@ -78,6 +78,14 @@ pub struct CacheStats {
     /// Write attempts repeated after a transient failure (write-through
     /// and flush paths; the write-side sibling of `retries`).
     pub flush_retries: u64,
+    /// Grouped origin write operations issued by the batched flush
+    /// scheduler — one per per-origin group per attempt (a retried
+    /// group counts again).
+    pub flush_batches: u64,
+    /// Dirty entries whose origin write succeeded as part of a grouped
+    /// flush batch (`flushes` counts these too; the difference is the
+    /// per-entry fallback path).
+    pub batched_writes: u64,
     /// Recovered writes that conflicted with a newer origin version
     /// (journal epoch no longer matches the origin signature).
     pub write_conflicts: u64,
@@ -185,6 +193,8 @@ impl CacheStats {
             journal_replays: self.journal_replays.saturating_sub(earlier.journal_replays),
             writes_parked: self.writes_parked.saturating_sub(earlier.writes_parked),
             flush_retries: self.flush_retries.saturating_sub(earlier.flush_retries),
+            flush_batches: self.flush_batches.saturating_sub(earlier.flush_batches),
+            batched_writes: self.batched_writes.saturating_sub(earlier.batched_writes),
             write_conflicts: self.write_conflicts.saturating_sub(earlier.write_conflicts),
             coalesced_waits: self.coalesced_waits.saturating_sub(earlier.coalesced_waits),
             inflight_peak: self.inflight_peak,
@@ -239,6 +249,8 @@ pub struct AtomicCacheStats {
     pub(crate) journal_replays: AtomicU64,
     pub(crate) writes_parked: AtomicU64,
     pub(crate) flush_retries: AtomicU64,
+    pub(crate) flush_batches: AtomicU64,
+    pub(crate) batched_writes: AtomicU64,
     pub(crate) write_conflicts: AtomicU64,
     pub(crate) coalesced_waits: AtomicU64,
     pub(crate) inflight_peak: AtomicU64,
@@ -297,6 +309,8 @@ impl AtomicCacheStats {
             journal_replays: self.journal_replays.load(Ordering::Relaxed),
             writes_parked: self.writes_parked.load(Ordering::Relaxed),
             flush_retries: self.flush_retries.load(Ordering::Relaxed),
+            flush_batches: self.flush_batches.load(Ordering::Relaxed),
+            batched_writes: self.batched_writes.load(Ordering::Relaxed),
             write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
             coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
             inflight_peak: self.inflight_peak.load(Ordering::Relaxed),

@@ -39,6 +39,21 @@ pub trait BitProvider: Send + Sync {
     /// sink is closed.
     fn open_output(&self, clock: &VirtualClock) -> Result<Box<dyn OutputStream>>;
 
+    /// Commits several already-transformed payloads in one grouped
+    /// repository round-trip, returning one result per payload (in
+    /// order). `None` — the default — means the provider cannot batch;
+    /// callers then fall back to one [`BitProvider::open_output`] commit
+    /// per payload, which preserves per-entry fault semantics exactly.
+    ///
+    /// Implementations must keep failures *per payload*: a fault that
+    /// affects the whole round-trip (an unreachable origin) fails every
+    /// payload, but one payload's rejection must not poison its
+    /// neighbours.
+    fn commit_batch(&self, clock: &VirtualClock, payloads: &[Bytes]) -> Option<Vec<Result<()>>> {
+        let _ = (clock, payloads);
+        None
+    }
+
     /// Returns a verifier implementing this repository's consistency
     /// mechanism, or `None` if the repository offers none.
     fn make_verifier(&self, clock: &VirtualClock) -> Option<Box<dyn Verifier>>;
@@ -137,6 +152,24 @@ impl BitProvider for MemoryProvider {
         })))
     }
 
+    fn commit_batch(&self, clock: &VirtualClock, payloads: &[Bytes]) -> Option<Vec<Result<()>>> {
+        // One grouped store round-trip: the latency is charged once for
+        // the whole batch, then each payload commits (bumping the epoch)
+        // in order, so the last payload is the surviving content.
+        clock.advance(self.fetch_cost);
+        let mut state = self.state.lock();
+        Some(
+            payloads
+                .iter()
+                .map(|bytes| {
+                    state.0 += 1;
+                    state.1 = bytes.clone();
+                    Ok(())
+                })
+                .collect(),
+        )
+    }
+
     fn make_verifier(&self, _clock: &VirtualClock) -> Option<Box<dyn Verifier>> {
         // Poll the modification epoch, like polling a file's mtime.
         let seen = self.epoch();
@@ -188,6 +221,19 @@ mod tests {
         sink.close().unwrap();
         assert_eq!(provider.content(), "new content");
         assert_eq!(clock.now().as_micros(), 100);
+    }
+
+    #[test]
+    fn batch_commit_charges_cost_once_and_applies_in_order() {
+        let clock = VirtualClock::new();
+        let provider = MemoryProvider::new("t", "old", 100);
+        let payloads = [Bytes::from_static(b"v1"), Bytes::from_static(b"v2")];
+        let results = provider.commit_batch(&clock, &payloads).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(clock.now().as_micros(), 100, "one round-trip for the batch");
+        assert_eq!(provider.content(), "v2", "last payload wins");
+        assert_eq!(provider.epoch(), 2, "each payload bumps the epoch");
     }
 
     #[test]

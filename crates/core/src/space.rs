@@ -26,9 +26,9 @@ use crate::property::{
     ActiveProperty, AttachedProperty, EventCtx, FollowUp, PathReport, PropsSnapshot,
 };
 use crate::registry::PropertyRegistry;
-use crate::streams::{read_all, write_all, InputStream, OutputStream};
+use crate::streams::{read_all, write_all, CollectOutput, InputStream, OutputStream};
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use placeless_simenv::{LatencyModel, VirtualClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -581,17 +581,33 @@ impl DocumentSpace {
 
         // Innermost: fire ContentWritten after the provider commits.
         let sink = plan.provider.open_output(&self.clock)?;
-        let space = Arc::clone(self);
-        let mut stream: Box<dyn OutputStream> = Box::new(NotifyOnClose {
-            inner: Some(sink),
-            hook: Some(Box::new(move || {
-                space.dispatch(DocumentEvent::new(EventKind::ContentWritten, doc).by(user))
-            })),
-        });
+        self.wrap_write_stack(&plan, user, doc, sink, true)
+    }
 
-        // Wrap base properties, then reference properties, each handing its
-        // custom stream outward; the application ends up writing into the
-        // outermost (reference-side) wrapper.
+    /// Wraps `sink` with the write-path property stages of `plan` — base
+    /// properties first, then reference properties, each handing its
+    /// custom stream outward, so the application ends up writing into the
+    /// outermost (reference-side) wrapper. With `notify`, the innermost
+    /// layer fires `ContentWritten` after the sink commits.
+    fn wrap_write_stack(
+        self: &Arc<Self>,
+        plan: &TransformPlan,
+        user: UserId,
+        doc: DocumentId,
+        sink: Box<dyn OutputStream>,
+        notify: bool,
+    ) -> Result<Box<dyn OutputStream>> {
+        let mut stream: Box<dyn OutputStream> = if notify {
+            let space = Arc::clone(self);
+            Box::new(NotifyOnClose {
+                inner: Some(sink),
+                hook: Some(Box::new(move || {
+                    space.dispatch(DocumentEvent::new(EventKind::ContentWritten, doc).by(user))
+                })),
+            })
+        } else {
+            sink
+        };
         let mut report = PathReport::default();
         for index in 0..plan.len() {
             stream = plan.wrap_output_stage(&self.clock, index, &mut report, stream)?;
@@ -623,6 +639,125 @@ impl DocumentSpace {
         let mut stream = self.open_write(user, doc)?;
         write_all(stream.as_mut(), data)?;
         stream.close()
+    }
+
+    /// Writes several complete documents as one *grouped origin
+    /// operation*, returning one result per entry, in entry order.
+    ///
+    /// The two middleware hops are charged once for the whole group — the
+    /// amortization the write-back cache's batched flush scheduler
+    /// exists to collect. Every entry still runs its own full property
+    /// chain, and runs of consecutive entries sharing a bit-provider
+    /// commit through [`BitProvider::commit_batch`] in a single
+    /// repository round-trip when the provider supports it (per-entry
+    /// [`BitProvider::open_output`] commits otherwise). Per-entry
+    /// semantics are unchanged: a chain or commit failure fails only
+    /// that entry, and `ContentWritten` fires for each entry whose
+    /// commit succeeded.
+    pub fn write_documents(self: &Arc<Self>, writes: &[BatchWrite]) -> Vec<Result<()>> {
+        enum Slot {
+            Ready(TransformPlan, Bytes),
+            Failed(PlacelessError),
+        }
+        if writes.is_empty() {
+            return Vec::new();
+        }
+        // Two middleware hops cover the whole group.
+        self.charge_op(0);
+        self.charge_op(0);
+        // Run each entry's property chain into a collector first, so the
+        // provider sees the post-transform payload exactly as a lone
+        // `write_document` would have committed it.
+        let slots: Vec<Slot> = writes
+            .iter()
+            .map(|w| {
+                let plan = match self.compile_plan(w.user, w.doc, EventKind::GetOutputStream) {
+                    Ok(plan) => plan,
+                    Err(error) => return Slot::Failed(error),
+                };
+                if !plan.provider.writable() {
+                    return Slot::Failed(PlacelessError::ReadOnly(w.doc));
+                }
+                match self.run_write_chain(&plan, w) {
+                    Ok(payload) => Slot::Ready(plan, payload),
+                    Err(error) => Slot::Failed(error),
+                }
+            })
+            .collect();
+        let mut results: Vec<Result<()>> = slots.iter().map(|_| Ok(())).collect();
+        let mut i = 0;
+        while i < slots.len() {
+            let Slot::Ready(plan, _) = &slots[i] else {
+                if let Slot::Failed(error) = &slots[i] {
+                    results[i] = Err(error.clone());
+                }
+                i += 1;
+                continue;
+            };
+            // Extend the run over consecutive ready entries that share
+            // this provider instance; entry order within the run is
+            // preserved, so same-document writes land newest-last.
+            let provider = Arc::clone(&plan.provider);
+            let mut payloads: Vec<Bytes> = Vec::new();
+            let mut j = i;
+            while j < slots.len() {
+                match &slots[j] {
+                    Slot::Ready(p, bytes) if Arc::ptr_eq(&p.provider, &provider) => {
+                        payloads.push(bytes.clone());
+                        j += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let committed = match provider.commit_batch(&self.clock, &payloads) {
+                Some(committed) => committed,
+                // The provider cannot batch: fall back to one sink
+                // round-trip per payload, each failing independently.
+                None => payloads
+                    .iter()
+                    .map(|bytes| {
+                        let mut sink = provider.open_output(&self.clock)?;
+                        write_all(sink.as_mut(), bytes)?;
+                        sink.close()
+                    })
+                    .collect(),
+            };
+            debug_assert_eq!(committed.len(), payloads.len());
+            for offset in 0..payloads.len() {
+                let w = &writes[i + offset];
+                let result = committed
+                    .get(offset)
+                    .cloned()
+                    .unwrap_or(Err(PlacelessError::StreamClosed));
+                results[i + offset] = result.and_then(|()| {
+                    self.dispatch(DocumentEvent::new(EventKind::ContentWritten, w.doc).by(w.user))
+                });
+            }
+            i = j;
+        }
+        results
+    }
+
+    /// Runs one entry's write-path property chain to completion into a
+    /// collector, returning the provider-ready payload.
+    fn run_write_chain(self: &Arc<Self>, plan: &TransformPlan, w: &BatchWrite) -> Result<Bytes> {
+        let captured: Arc<Mutex<Option<Bytes>>> = Arc::new(Mutex::new(None));
+        let sink = {
+            let captured = Arc::clone(&captured);
+            Box::new(CollectOutput::new(move |bytes| {
+                *captured.lock() = Some(bytes);
+                Ok(())
+            }))
+        };
+        let mut stream = self.wrap_write_stack(plan, w.user, w.doc, sink, false)?;
+        write_all(stream.as_mut(), &w.data)?;
+        stream.close()?;
+        let bytes = captured.lock().take();
+        debug_assert!(
+            bytes.is_some(),
+            "the collector closes before the chain returns"
+        );
+        Ok(bytes.unwrap_or_default())
     }
 
     /// The shared chain-assembly helper: snapshots the base and reference
@@ -760,6 +895,18 @@ impl DocumentSpace {
         }
         Ok(())
     }
+}
+
+/// One entry of a grouped origin write; see
+/// [`DocumentSpace::write_documents`].
+#[derive(Debug, Clone)]
+pub struct BatchWrite {
+    /// The writing user (selects the reference-side property chain).
+    pub user: UserId,
+    /// The target document.
+    pub doc: DocumentId,
+    /// The complete new content, pre-transform.
+    pub data: Bytes,
 }
 
 /// Output wrapper that runs a hook after the inner sink commits.

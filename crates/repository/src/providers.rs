@@ -18,6 +18,7 @@ use crate::dms::Dms;
 use crate::livefeed::LiveFeed;
 use crate::memfs::MemFs;
 use crate::webserver::WebServer;
+use bytes::Bytes;
 use placeless_core::bitprovider::BitProvider;
 use placeless_core::cacheability::Cacheability;
 use placeless_core::error::{PlacelessError, Result};
@@ -96,6 +97,29 @@ impl BitProvider for FsProvider {
                 Ok(())
             }
         })))
+    }
+
+    fn commit_batch(&self, clock: &VirtualClock, payloads: &[Bytes]) -> Option<Vec<Result<()>>> {
+        // One link probe and one combined transfer cover the whole
+        // batch; a dark link fails every payload with the same fault.
+        if let Err(error) = check_link(&self.link, clock, &self.describe()) {
+            return Some(payloads.iter().map(|_| Err(error.clone())).collect());
+        }
+        let total: u64 = payloads.iter().map(|bytes| bytes.len() as u64).sum();
+        self.link.transfer(clock, total);
+        Some(
+            payloads
+                .iter()
+                .map(|bytes| {
+                    if self.fs.exists(&self.path) {
+                        self.fs.write_direct(&self.path, bytes.clone())
+                    } else {
+                        self.fs.create(&self.path, bytes.clone());
+                        Ok(())
+                    }
+                })
+                .collect(),
+        )
     }
 
     fn make_verifier(&self, _clock: &VirtualClock) -> Option<Box<dyn Verifier>> {
@@ -510,6 +534,44 @@ mod tests {
         dms.check_in("spec", "doug", "v2").unwrap();
         assert_eq!(bus.counters().0, 1, "check-in posted an invalidation");
         let _ = clock;
+    }
+
+    #[test]
+    fn fs_batch_commit_charges_one_probe_and_applies_in_order() {
+        let clock = VirtualClock::new();
+        let fs = MemFs::new(clock.clone());
+        fs.create("/doc", "old");
+        let provider = FsProvider::new(fs.clone(), "/doc", lan());
+        let t0 = clock.now();
+        let payloads = [Bytes::from_static(b"v1"), Bytes::from_static(b"v2")];
+        let results = provider.commit_batch(&clock, &payloads).unwrap();
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(fs.read("/doc").unwrap(), "v2", "last payload wins");
+        let batched = clock.now().since(t0);
+        // The per-payload path pays the probe RTT per commit; the batch
+        // pays it once, so two payloads must cost less than two commits.
+        let single = provider.link.estimate_micros(2);
+        assert!(batched < 2 * single, "{batched} vs 2x{single}");
+    }
+
+    #[test]
+    fn fs_batch_commit_on_dark_link_fails_every_payload() {
+        use placeless_simenv::FaultPlan;
+        let clock = VirtualClock::new();
+        let fs = MemFs::new(clock.clone());
+        fs.create("/doc", "old");
+        let link = lan();
+        link.set_fault_plan(FaultPlan::builder(5).outage(0, 10_000).build());
+        let provider = FsProvider::new(fs.clone(), "/doc", link);
+        let payloads = [Bytes::from_static(b"v1"), Bytes::from_static(b"v2")];
+        let results = provider.commit_batch(&clock, &payloads).unwrap();
+        assert_eq!(results.len(), 2);
+        for result in &results {
+            let err = result.as_ref().unwrap_err();
+            assert!(matches!(err, PlacelessError::Unavailable { .. }), "{err}");
+            assert!(err.is_transient());
+        }
+        assert_eq!(fs.read("/doc").unwrap(), "old", "nothing committed");
     }
 
     #[test]

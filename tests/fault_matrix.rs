@@ -755,6 +755,243 @@ fn recovery_conflicts_resolve_keep_mine_and_keep_theirs() {
     assert!(journal.is_empty());
 }
 
+/// A grouped flush whose origin batch straddles an outage: the healthy
+/// document's write lands and its journal record is acknowledged even
+/// though its batch-mates failed, while only the dark documents park.
+/// Batching never coarsens per-entry outcomes.
+#[test]
+fn batched_flush_straddling_outage_parks_only_failed_entries() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    let healthy = lan(21);
+    let dark = lan(22);
+    dark.set_fault_plan(FaultPlan::builder(22).outage(0, 300_000).build());
+    fs.create("/a", "old a");
+    fs.create("/b", "old b");
+    fs.create("/c", "old c");
+    let a = space.create_document(USER, FsProvider::new(fs.clone(), "/a", healthy));
+    let b = space.create_document(USER, FsProvider::new(fs.clone(), "/b", dark.clone()));
+    let c = space.create_document(USER, FsProvider::new(fs.clone(), "/c", dark));
+    let journal = WriteJournal::new(StableStore::new());
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .journal(journal.clone())
+            .build(),
+    );
+    cache.write(USER, a, b"new a").expect("buffers");
+    cache.write(USER, b, b"new b").expect("buffers");
+    cache.write(USER, c, b"new c").expect("buffers");
+    assert_eq!(journal.len(), 3);
+
+    let report = cache.flush().expect("flush reports, not errors");
+    // All three documents share the "fs" origin: one group, one batch.
+    assert_eq!(report.batches, 1);
+    assert_eq!(report.attempted, 3);
+    assert_eq!(report.flushed, 1, "the healthy entry landed");
+    let mut parked: Vec<DocumentId> = report.parked.iter().map(|(d, _)| *d).collect();
+    parked.sort();
+    let mut dark_docs = vec![b, c];
+    dark_docs.sort();
+    assert_eq!(parked, dark_docs, "only the dark entries parked");
+    assert!(report.requeued.is_empty());
+    assert_eq!(
+        report.attempted,
+        report.flushed + (report.parked.len() + report.requeued.len()) as u64
+    );
+    // The successful entry's journal record was acknowledged even though
+    // the rest of its batch failed; the parked records stay durable.
+    assert_eq!(journal.len(), 2, "only the parked records stay journaled");
+    assert_eq!(fs.read("/a").expect("file exists"), "new a");
+    assert_eq!(fs.read("/b").expect("file exists"), "old b");
+    let stats = cache.stats();
+    assert!(stats.flush_batches >= 1, "the grouped path ran");
+    assert_eq!(stats.batched_writes, 1, "one entry succeeded via the batch");
+    assert_eq!(stats.writes_parked, 2);
+
+    // Past the outage and the breaker cool-down, the parked half of the
+    // batch drains and the journal empties.
+    clock.advance_to(Instant(500_000));
+    let report = cache.flush().expect("second flush");
+    assert!(report.is_clean());
+    assert!(journal.is_empty());
+    assert_eq!(fs.read("/b").expect("file exists"), "new b");
+    assert_eq!(fs.read("/c").expect("file exists"), "new c");
+}
+
+/// Grouping never merges origins: a dark filesystem origin trips its own
+/// breaker while a healthy web origin in the same flush keeps flushing,
+/// and the open breaker rejects only its own group on the next pass.
+#[test]
+fn mixed_origin_batches_keep_breaker_isolation() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/f0", "old");
+    fs.create("/f1", "old");
+    let dark = lan(23);
+    dark.set_fault_plan(FaultPlan::builder(23).outage(0, 1_000_000).build());
+    let f0 = space.create_document(USER, FsProvider::new(fs.clone(), "/f0", dark.clone()));
+    let f1 = space.create_document(USER, FsProvider::new(fs.clone(), "/f1", dark));
+    let server = WebServer::new("origin");
+    server.publish("/w0", "old", 60_000_000);
+    server.publish("/w1", "old", 60_000_000);
+    let web = lan(24);
+    let w0 = space.create_document(
+        USER,
+        WebProvider::with_revalidation(server.clone(), "/w0", web.clone()),
+    );
+    let w1 = space.create_document(
+        USER,
+        WebProvider::with_revalidation(server.clone(), "/w1", web),
+    );
+    let journal = WriteJournal::new(StableStore::new());
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .journal(journal.clone())
+            .resilience(
+                ResilienceConfig::builder()
+                    .breaker(BreakerConfig {
+                        failure_threshold: 1,
+                        open_micros: 50_000,
+                        half_open_probes: 1,
+                    })
+                    .build(),
+            )
+            .build(),
+    );
+    for (doc, body) in [
+        (f0, "new f0"),
+        (f1, "new f1"),
+        (w0, "new w0"),
+        (w1, "new w1"),
+    ] {
+        cache.write(USER, doc, body.as_bytes()).expect("buffers");
+    }
+
+    let report = cache.flush().expect("flush reports, not errors");
+    assert_eq!(report.batches, 2, "one group per origin");
+    assert_eq!(report.flushed, 2, "the healthy web origin flushed");
+    assert_eq!(report.parked.len(), 2, "the dark fs origin parked");
+    assert_eq!(
+        report.attempted,
+        report.flushed + (report.parked.len() + report.requeued.len()) as u64
+    );
+    assert_eq!(cache.breaker_state("fs"), BreakerState::Open);
+    assert_eq!(cache.breaker_state("http://origin"), BreakerState::Closed);
+    assert_eq!(server.get("/w0").expect("served").body, "new w0");
+    assert_eq!(server.get("/w1").expect("served").body, "new w1");
+    assert_eq!(fs.read("/f0").expect("file exists"), "old");
+
+    // While the fs breaker is open, a fresh web write still flushes; the
+    // parked fs entries are rejected at admission without a probe.
+    cache.write(USER, w0, b"newer w0").expect("buffers");
+    let report = cache.flush().expect("second flush");
+    assert_eq!(report.flushed, 1);
+    assert_eq!(report.parked.len(), 2, "fs entries re-park without probing");
+    assert_eq!(
+        report.attempted,
+        report.flushed + (report.parked.len() + report.requeued.len()) as u64
+    );
+    assert_eq!(cache.breaker_state("http://origin"), BreakerState::Closed);
+    assert_eq!(server.get("/w0").expect("served").body, "newer w0");
+}
+
+/// A grouped-flush lifecycle over two origins (filesystem and web) with
+/// staggered outage windows, returning everything observable so the
+/// replay proptest below can compare runs byte for byte.
+fn grouped_flush_run(seed: u64, writes: u64) -> (CacheStats, usize, Vec<Bytes>) {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    let fs_link = lan(seed);
+    fs_link.set_fault_plan(FaultPlan::builder(seed).outage(30_000, 150_000).build());
+    let server = WebServer::new("origin");
+    let web_link = lan(seed.wrapping_add(1));
+    web_link.set_fault_plan(
+        FaultPlan::builder(seed.wrapping_add(1))
+            .outage(80_000, 200_000)
+            .build(),
+    );
+    let mut docs = Vec::new();
+    for i in 0..2 {
+        let path = format!("/d{i}");
+        fs.create(&path, format!("seed {i}"));
+        docs.push(space.create_document(USER, FsProvider::new(fs.clone(), &path, fs_link.clone())));
+    }
+    for i in 2..4 {
+        let path = format!("/d{i}");
+        server.publish(&path, format!("seed {i}"), 60_000_000);
+        docs.push(space.create_document(
+            USER,
+            WebProvider::with_revalidation(server.clone(), &path, web_link.clone()),
+        ));
+    }
+    let journal = WriteJournal::new(StableStore::new());
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .batched_flush(true)
+            .shards(1)
+            .journal(journal.clone())
+            .resilience(
+                ResilienceConfig::builder()
+                    .max_retries(2)
+                    .backoff_base_micros(500)
+                    .backoff_jitter_frac(128)
+                    .retry_seed(seed)
+                    .breaker(BreakerConfig {
+                        failure_threshold: 2,
+                        open_micros: 20_000,
+                        half_open_probes: 1,
+                    })
+                    .build(),
+            )
+            .build(),
+    );
+    for i in 0..writes {
+        let slot = Instant(i * 4_000);
+        if clock.now() < slot {
+            clock.advance_to(slot);
+        }
+        let doc = docs[(i % 4) as usize];
+        cache
+            .write(USER, doc, format!("v{i}").as_bytes())
+            .expect("write-back buffers unconditionally");
+        if i % 4 == 3 {
+            let report = cache.flush().expect("flush reports, not errors");
+            // The batched scheduler is never lossy, whatever the
+            // outage/flush interleaving.
+            assert_eq!(
+                report.attempted,
+                report.flushed + (report.parked.len() + report.requeued.len()) as u64
+            );
+        }
+    }
+    // Past both outages and the breaker cool-downs, everything drains.
+    clock.advance_to(Instant(600_000));
+    let final_report = cache.flush().expect("final flush succeeds");
+    assert!(final_report.is_clean(), "no origin is dark at the end");
+    assert_eq!(cache.dirty_count(), 0);
+    assert_eq!(cache.parked_count(), 0);
+    assert!(journal.is_empty(), "all acknowledged writes reached stable");
+    let mut contents: Vec<Bytes> = (0..2)
+        .map(|i| fs.read(&format!("/d{i}")).expect("file exists"))
+        .collect();
+    for i in 2..4 {
+        contents.push(server.get(&format!("/d{i}")).expect("served").body);
+    }
+    (cache.stats(), cache.len(), contents)
+}
+
 /// A full parked-write lifecycle on the virtual clock, returning
 /// everything observable so the proptest below can compare runs.
 fn parked_drain_run(seed: u64, writes: u64) -> (CacheStats, usize, Vec<Bytes>) {
@@ -933,6 +1170,29 @@ proptest! {
         // Zero loss: each origin holds exactly the last write it was sent.
         for (i, content) in contents_a.iter().enumerate() {
             let last = (0..writes).rev().find(|w| w % 3 == i as u64);
+            if let Some(last) = last {
+                prop_assert_eq!(content, &format!("v{last}"));
+            }
+        }
+    }
+
+    /// Grouped flushing replays exactly: same seed, same batch/park/
+    /// breaker counters, same final contents on both origins — and no
+    /// write is lost to the grouping, whatever the interleaving.
+    #[test]
+    fn grouped_flush_replays_exactly(
+        seed in any::<u64>(),
+        writes in 8u64..40,
+    ) {
+        let (stats_a, len_a, contents_a) = grouped_flush_run(seed, writes);
+        let (stats_b, len_b, contents_b) = grouped_flush_run(seed, writes);
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(len_a, len_b);
+        prop_assert_eq!(&contents_a, &contents_b);
+        // Zero loss through the batched path: each document holds the
+        // last write it was sent.
+        for (i, content) in contents_a.iter().enumerate() {
+            let last = (0..writes).rev().find(|w| w % 4 == i as u64);
             if let Some(last) = last {
                 prop_assert_eq!(content, &format!("v{last}"));
             }
