@@ -8,18 +8,18 @@
 //!
 //! Experiments: `table1`, `notifier-verifier`, `replacement`, `sharing`,
 //! `consistency`, `qos`, `collections`, `chain`, `placement`,
-//! `revalidation`, `scale`, `fault`, `stage`, `crash`, `load`.
+//! `revalidation`, `scale`, `fault`, `stage`, `crash`, `load`, `merge`.
 //!
-//! The `stage`, `crash`, and `load` experiments additionally write
-//! `BENCH_stage.json` / `BENCH_crash.json` / `BENCH_load.json` next to
-//! the working directory so their numbers are machine-readable run over
-//! run. The `load` experiment honours `E_LOAD_USERS` / `E_LOAD_DOCS` /
+//! The `stage`, `crash`, `load`, and `merge` experiments additionally
+//! write `BENCH_stage.json` / `BENCH_crash.json` / `BENCH_load.json` /
+//! `BENCH_merge.json` next to the working directory so their numbers are
+//! machine-readable run over run. The `load` experiment honours `E_LOAD_USERS` / `E_LOAD_DOCS` /
 //! `E_LOAD_OPS` / `E_LOAD_THREADS` overrides (and `E_LOAD_WMIX_WRITES` /
 //! `E_LOAD_WMIX_DOCS` / `E_LOAD_WMIX_FLUSH_EVERY` for the write-mix flush
 //! smoke) for reduced CI smokes.
 
 use placeless_bench::{
-    chain, collections, consistency, crash, fault, load, nv, placement, qos, replacement,
+    chain, collections, consistency, crash, fault, load, merge, nv, placement, qos, replacement,
     revalidation, scale, sharing, stage, table1,
 };
 use placeless_cache::ALL_POLICIES;
@@ -74,6 +74,78 @@ fn main() {
     if want("load") {
         run_load();
     }
+    if want("merge") {
+        run_merge();
+    }
+}
+
+fn run_merge() {
+    let params = merge::MergeParams::default();
+    println!("== E-MERGE: op-based multi-writer merge across crash + partition ==\n");
+    println!(
+        "two writers, {}+{} edits each, crash after phase 1, partition [{:.0}ms, {:.0}ms)\n",
+        params.edits_phase1,
+        params.edits_phase2,
+        params.partition_from as f64 / 1_000.0,
+        params.partition_until as f64 / 1_000.0
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "mode", "acked", "lost", "merged", "rebases", "replayed"
+    );
+    let results = merge::sweep(params);
+    for r in &results {
+        println!(
+            "{:<12} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            r.mode.label(),
+            r.acknowledged,
+            r.lost,
+            r.conflicts_merged,
+            r.merge_rebases,
+            r.replayed
+        );
+    }
+    println!("\n(op-merge rebases every conflicted edit onto the origin's current content —");
+    println!(" zero acknowledged edits lost; the binary modes pick a side and lose the other)\n");
+
+    let json = merge_json(params, &results);
+    match std::fs::write("BENCH_merge.json", &json) {
+        Ok(()) => println!("wrote BENCH_merge.json\n"),
+        Err(e) => eprintln!("could not write BENCH_merge.json: {e}\n"),
+    }
+}
+
+/// Hand-formats the E-MERGE results as JSON (no serde in the tree).
+fn merge_json(params: merge::MergeParams, results: &[merge::MergeResult]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"merge\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"edits_phase1\": {}, \"edits_phase2\": {}, \
+         \"edit_gap_micros\": {}, \"partition_from\": {}, \"partition_until\": {}, \
+         \"torn_tail_bytes\": {}, \"seed\": {}}},\n",
+        params.edits_phase1,
+        params.edits_phase2,
+        params.edit_gap_micros,
+        params.partition_from,
+        params.partition_until,
+        params.torn_tail_bytes,
+        params.seed
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"acknowledged\": {}, \"lost\": {}, \
+             \"conflicts_merged\": {}, \"merge_rebases\": {}, \"replayed\": {}}}{}\n",
+            r.mode.label(),
+            r.acknowledged,
+            r.lost,
+            r.conflicts_merged,
+            r.merge_rebases,
+            r.replayed,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn run_load() {

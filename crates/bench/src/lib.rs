@@ -21,6 +21,7 @@
 //! | [`stage`] | staged transform plans: partial hits over a shared base prefix | §3 per-user versions |
 //! | [`crash`] | write-journal durability across a scripted crash | §3 write-back robustness |
 //! | [`load`] | trace-driven population load with single-flight coalescing | §4 implementation |
+//! | [`merge`] | op-based multi-writer merge vs binary conflict resolution | §3 write-back robustness |
 
 pub mod chain;
 pub mod collections;
@@ -28,6 +29,7 @@ pub mod consistency;
 pub mod crash;
 pub mod fault;
 pub mod load;
+pub mod merge;
 pub mod nv;
 pub mod placement;
 pub mod qos;

@@ -12,18 +12,37 @@
 //! # Record format
 //!
 //! Records are framed, sequence-numbered, and checksummed so recovery can
-//! tell an intact prefix from the torn tail a crash leaves behind:
+//! tell an intact prefix from the torn tail a crash leaves behind. The
+//! original (v1) frame carries an opaque payload:
 //!
 //! ```text
 //! seq: u64 LE | doc: u64 LE | user: u64 LE | epoch: 16 bytes |
 //! data_len: u32 LE | data | md5(all of the above): 16 bytes
 //! ```
 //!
+//! A record that additionally carries typed operations ([`DocOp`]) sets
+//! the high bit of the length field ([`OPS_FLAG`] — payloads are far below
+//! 2 GiB, so the bit is free) and inserts the op section between the
+//! header and the payload:
+//!
+//! ```text
+//! seq | doc | user | epoch | data_len∣OPS_FLAG: u32 LE |
+//! writer_seq: u64 LE | ops_len: u32 LE | ops | data | md5: 16 bytes
+//! ```
+//!
+//! `data` is always the *materialized* view (base at `epoch` with `ops`
+//! applied), so a reader that ignores ops — or a conflict handler that
+//! falls back to keep-mine — behaves exactly like v1. Plain writes encode
+//! v1 frames byte-for-byte, keeping old media replayable and new media
+//! readable by old code paths.
+//!
 //! `epoch` is the content signature of the rendition the writer last read
 //! for `(doc, user)` — [`NO_EPOCH`] when the writer never read the
 //! document. Recovery compares it against the origin's current rendition
 //! signature to detect write/invalidation conflicts (the origin moved on
-//! while the write sat buffered across a crash).
+//! while the write sat buffered across a crash). `writer_seq` is the
+//! per-`(doc, user)` causal sequence: together with the epoch it orders
+//! concurrent writers deterministically during a merge.
 //!
 //! # Recovery
 //!
@@ -42,6 +61,7 @@ use crate::digest::{md5, Signature};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use placeless_core::id::{DocumentId, UserId};
+use placeless_core::op::{decode_ops, encode_ops, DocOp};
 use placeless_simenv::StableStore;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -54,9 +74,14 @@ pub const NO_EPOCH: Signature = Signature([0; 16]);
 const HEADER_LEN: usize = 8 + 8 + 8 + 16 + 4;
 /// Trailing checksum bytes.
 const CHECK_LEN: usize = 16;
+/// High bit of the length field: set when the frame carries an op section
+/// (`writer_seq` + encoded op list) between the header and the payload.
+const OPS_FLAG: u32 = 0x8000_0000;
+/// Extra fixed bytes in an op-carrying frame: writer_seq + ops_len.
+const OPS_HEADER_LEN: usize = 8 + 4;
 
 /// One journaled write-back write.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JournalRecord {
     /// Journal-wide sequence number (monotone per journal lifetime).
     pub seq: u64,
@@ -67,18 +92,55 @@ pub struct JournalRecord {
     /// Content signature of the rendition the writer last read, or
     /// [`NO_EPOCH`] if unknown.
     pub epoch: Signature,
-    /// The buffered write payload.
+    /// The buffered write payload: the writer's materialized view (base
+    /// at `epoch` with `ops` applied, when ops are present).
     pub data: Bytes,
+    /// Typed operations accumulated since `epoch`, oldest first. Empty
+    /// for plain full-body writes — such records cannot be rebased.
+    pub ops: Vec<DocOp>,
+    /// Per-`(doc, user)` causal sequence at the time of the write; `0`
+    /// for plain writes that never participated in op tracking.
+    pub writer_seq: u64,
 }
 
 impl JournalRecord {
+    /// True when the record's ops can be rebased onto a different base
+    /// than they were authored against.
+    pub fn rebasable(&self) -> bool {
+        placeless_core::op::rebasable(&self.ops)
+    }
+
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_LEN + self.data.len() + CHECK_LEN);
+        let plain = self.ops.is_empty() && self.writer_seq == 0;
+        let ops_wire = if plain {
+            Vec::new()
+        } else {
+            encode_ops(&self.ops)
+        };
+        let mut out = Vec::with_capacity(
+            HEADER_LEN
+                + if plain {
+                    0
+                } else {
+                    OPS_HEADER_LEN + ops_wire.len()
+                }
+                + self.data.len()
+                + CHECK_LEN,
+        );
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.doc.0.to_le_bytes());
         out.extend_from_slice(&self.user.0.to_le_bytes());
         out.extend_from_slice(&self.epoch.0);
-        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        let mut len_field = self.data.len() as u32;
+        if !plain {
+            len_field |= OPS_FLAG;
+        }
+        out.extend_from_slice(&len_field.to_le_bytes());
+        if !plain {
+            out.extend_from_slice(&self.writer_seq.to_le_bytes());
+            out.extend_from_slice(&(ops_wire.len() as u32).to_le_bytes());
+            out.extend_from_slice(&ops_wire);
+        }
         out.extend_from_slice(&self.data);
         let check = md5(&out);
         out.extend_from_slice(&check.0);
@@ -97,23 +159,48 @@ impl JournalRecord {
         let doc = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
         let user = u64::from_le_bytes(rest[16..24].try_into().expect("8 bytes"));
         let epoch: [u8; 16] = rest[24..40].try_into().expect("16 bytes");
-        let data_len = u32::from_le_bytes(rest[40..44].try_into().expect("4 bytes")) as usize;
-        let total = HEADER_LEN + data_len + CHECK_LEN;
+        let len_field = u32::from_le_bytes(rest[40..44].try_into().expect("4 bytes"));
+        let has_ops = len_field & OPS_FLAG != 0;
+        let data_len = (len_field & !OPS_FLAG) as usize;
+        let mut writer_seq = 0u64;
+        let mut data_at = HEADER_LEN;
+        if has_ops {
+            if rest.len() < HEADER_LEN + OPS_HEADER_LEN + CHECK_LEN {
+                return None;
+            }
+            writer_seq = u64::from_le_bytes(rest[44..52].try_into().expect("8 bytes"));
+            let ops_len = u32::from_le_bytes(rest[52..56].try_into().expect("4 bytes")) as usize;
+            data_at = HEADER_LEN + OPS_HEADER_LEN + ops_len;
+        }
+        let check_at = data_at.checked_add(data_len)?;
+        let total = check_at + CHECK_LEN;
         if rest.len() < total {
             return None;
         }
-        let check_at = HEADER_LEN + data_len;
         let stored: [u8; 16] = rest[check_at..total].try_into().expect("16 bytes");
         if md5(&rest[..check_at]).0 != stored {
             return None;
         }
+        let ops = if has_ops {
+            let wire = &rest[HEADER_LEN + OPS_HEADER_LEN..data_at];
+            let mut at = 0;
+            let ops = decode_ops(wire, &mut at)?;
+            if at != wire.len() {
+                return None; // trailing garbage inside the op section
+            }
+            ops
+        } else {
+            Vec::new()
+        };
         Some((
             Self {
                 seq,
                 doc: DocumentId(doc),
                 user: UserId(user),
                 epoch: Signature(epoch),
-                data: Bytes::copy_from_slice(&rest[HEADER_LEN..check_at]),
+                data: Bytes::copy_from_slice(&rest[data_at..check_at]),
+                ops,
+                writer_seq,
             },
             offset + total,
         ))
@@ -211,6 +298,34 @@ impl WriteJournal {
     /// is on the stable medium before this returns — the write-ahead
     /// guarantee the cache relies on.
     pub fn append(&self, doc: DocumentId, user: UserId, epoch: Signature, data: &[u8]) -> u64 {
+        self.append_record(doc, user, epoch, data, Vec::new(), 0)
+    }
+
+    /// Appends an op-carrying record: `data` is the writer's materialized
+    /// view, `ops` the typed edits accumulated since `epoch` (oldest
+    /// first), and `writer_seq` the per-`(doc, user)` causal sequence.
+    /// Same write-ahead guarantee as [`WriteJournal::append`].
+    pub fn append_op(
+        &self,
+        doc: DocumentId,
+        user: UserId,
+        epoch: Signature,
+        data: &[u8],
+        ops: Vec<DocOp>,
+        writer_seq: u64,
+    ) -> u64 {
+        self.append_record(doc, user, epoch, data, ops, writer_seq)
+    }
+
+    fn append_record(
+        &self,
+        doc: DocumentId,
+        user: UserId,
+        epoch: Signature,
+        data: &[u8],
+        ops: Vec<DocOp>,
+        writer_seq: u64,
+    ) -> u64 {
         let mut state = self.state.lock();
         let seq = state.next_seq;
         state.next_seq += 1;
@@ -220,6 +335,8 @@ impl WriteJournal {
             user,
             epoch,
             data: Bytes::copy_from_slice(data),
+            ops,
+            writer_seq,
         };
         self.store.append(&record.encode());
         state.insert(record);
@@ -414,6 +531,78 @@ mod tests {
         assert_eq!(outcome.records.len(), 1);
         assert_eq!(outcome.records[0].data, "good");
         assert!(outcome.truncated);
+    }
+
+    #[test]
+    fn plain_append_is_byte_identical_to_the_v1_frame() {
+        // The parity contract: a journal that never sees ops produces the
+        // exact PR-4 medium image, byte for byte.
+        let store = StableStore::new();
+        let journal = WriteJournal::new(store.clone());
+        journal.append(DOC, ALICE, md5(b"base"), b"payload");
+
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&0u64.to_le_bytes());
+        v1.extend_from_slice(&DOC.0.to_le_bytes());
+        v1.extend_from_slice(&ALICE.0.to_le_bytes());
+        v1.extend_from_slice(&md5(b"base").0);
+        v1.extend_from_slice(&(b"payload".len() as u32).to_le_bytes());
+        v1.extend_from_slice(b"payload");
+        let check = md5(&v1);
+        v1.extend_from_slice(&check.0);
+        assert_eq!(store.contents(), v1);
+    }
+
+    #[test]
+    fn op_records_roundtrip_across_reopen() {
+        use placeless_core::content::PropertyValue;
+        let store = StableStore::new();
+        let journal = WriteJournal::new(store.clone());
+        let ops = vec![
+            DocOp::Append(Bytes::from("tail")),
+            DocOp::SetProperty {
+                name: "color".into(),
+                value: PropertyValue::Str("blue".into()),
+            },
+        ];
+        journal.append_op(DOC, ALICE, md5(b"base"), b"base-tail", ops.clone(), 3);
+        journal.append(DOC, BOB, NO_EPOCH, b"plain");
+        drop(journal);
+
+        let (_, outcome) = WriteJournal::open(store);
+        assert_eq!(outcome.records.len(), 2);
+        let alice = &outcome.records[0];
+        assert_eq!(alice.data, "base-tail");
+        assert_eq!(alice.ops, ops);
+        assert_eq!(alice.writer_seq, 3);
+        assert!(alice.rebasable());
+        let bob = &outcome.records[1];
+        assert!(bob.ops.is_empty());
+        assert_eq!(bob.writer_seq, 0);
+        assert!(!bob.rebasable());
+    }
+
+    #[test]
+    fn torn_op_record_is_truncated_like_a_plain_one() {
+        let store = StableStore::new();
+        let journal = WriteJournal::new(store.clone());
+        journal.append(DOC, ALICE, NO_EPOCH, b"intact");
+        let before = store.len();
+        journal.append_op(
+            DOC,
+            BOB,
+            md5(b"base"),
+            b"view",
+            vec![DocOp::Append(Bytes::from("view"))],
+            1,
+        );
+        store.tear_tail((store.len() - before) / 2);
+        drop(journal);
+
+        let (_, outcome) = WriteJournal::open(store);
+        assert!(outcome.truncated);
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.records[0].data, "intact");
     }
 
     #[test]

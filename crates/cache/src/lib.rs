@@ -33,6 +33,7 @@ pub mod entry;
 pub mod journal;
 pub mod keys;
 pub mod manager;
+pub mod merge;
 pub mod policy;
 pub mod prefetch;
 pub mod resilience;
@@ -48,6 +49,7 @@ pub use manager::{
     DocumentCache, FlushReport, HitClass, ReadOptions, ReadOutcome, RecoveryReport, WriteConflict,
     WriteMode,
 };
+pub use merge::{Contribution, MergePolicy, MergeReport};
 pub use policy::{
     by_name, EntryAttrs, EntryKey, GdsFrequency, GreedyDualSize, PolicyFactory, ReplacementPolicy,
     UnknownPolicy, ALL_POLICIES, STAGE_COST_DISCOUNT, STAGE_PIN_LEVEL,

@@ -89,6 +89,7 @@
 
 use crate::entry::EntryMeta;
 use crate::journal::{WriteJournal, NO_EPOCH};
+use crate::merge::{MergePolicy, MergeReport};
 use crate::policy::{EntryAttrs, EntryKey, PolicyFactory, ReplacementPolicy, STAGE_PIN_LEVEL};
 use crate::prefetch::PrefetchConfig;
 use crate::resilience::{
@@ -104,8 +105,9 @@ use placeless_core::error::{PlacelessError, Result};
 use placeless_core::event::EventKind;
 use placeless_core::id::{CacheId, DocumentId, UserId};
 use placeless_core::notifier::{Invalidation, InvalidationSink};
+use placeless_core::op::{apply_all, rebasable, DocOp};
 use placeless_core::property::PathReport;
-use placeless_core::space::{BatchWrite, DocumentSpace};
+use placeless_core::space::{BatchWrite, DocumentSpace, Scope};
 use placeless_core::streams::read_all;
 use placeless_core::verifier::{run_all, Validity};
 use placeless_simenv::{Instant, LatencyModel, Link, Stopwatch, VirtualClock};
@@ -154,14 +156,23 @@ pub struct FlushReport {
     /// Drained entries whose key was not an [`EntryKey::Version`] —
     /// an invariant violation (the dirty maps only ever buffer version
     /// keys). They are re-queued, never written, and counted here
-    /// instead of in `attempted` so
-    /// `attempted == flushed + parked.len() + requeued.len()` always
-    /// holds.
+    /// instead of in `attempted` so `attempted == flushed + parked.len()
+    /// + requeued.len() + dropped.len()` always holds.
     pub skipped_non_version: u64,
+    /// Entries deliberately dropped by an unmergeable-conflict
+    /// `KeepTheirs` resolution (merge policy configured): the origin's
+    /// newer version won, the journaled write was acknowledged and
+    /// discarded. Empty without a [`crate::MergePolicy`].
+    pub dropped: Vec<(DocumentId, UserId)>,
+    /// What the merge policy did with flush-time write conflicts. Empty
+    /// (all zeros) without a [`crate::MergePolicy`].
+    pub merge: MergeReport,
 }
 
 impl FlushReport {
-    /// Returns `true` if every attempted entry reached the origin.
+    /// Returns `true` if every attempted entry was resolved — written to
+    /// the origin, or deliberately dropped by a `KeepTheirs` merge
+    /// fallback — and nothing remains dirty.
     pub fn is_clean(&self) -> bool {
         self.parked.is_empty() && self.requeued.is_empty() && self.skipped_non_version == 0
     }
@@ -169,6 +180,26 @@ impl FlushReport {
     /// Returns how many entries remain dirty after this flush.
     pub fn remaining(&self) -> u64 {
         (self.parked.len() + self.requeued.len()) as u64 + self.skipped_non_version
+    }
+}
+
+impl std::fmt::Display for FlushReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flushed {}/{} in {} batch(es); {} parked, {} requeued, {} dropped, {} skipped",
+            self.flushed,
+            self.attempted,
+            self.batches,
+            self.parked.len(),
+            self.requeued.len(),
+            self.dropped.len(),
+            self.skipped_non_version,
+        )?;
+        if !self.merge.is_empty() {
+            write!(f, "; merge: {}", self.merge)?;
+        }
+        Ok(())
     }
 }
 
@@ -231,6 +262,28 @@ pub struct RecoveryReport {
     /// Records dropped because their document no longer exists (the
     /// write can never be applied).
     pub dropped: u64,
+    /// What the merge policy did with recovery conflicts. Empty (all
+    /// zeros) without a [`crate::MergePolicy`].
+    pub merge: MergeReport,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replayed {}, requeued {}; {} conflict(s) ({} kept mine, {} kept theirs), {} dropped",
+            self.replayed,
+            self.requeued,
+            self.conflicts.len(),
+            self.kept_mine,
+            self.kept_theirs,
+            self.dropped,
+        )?;
+        if !self.merge.is_empty() {
+            write!(f, "; merge: {}", self.merge)?;
+        }
+        Ok(())
+    }
 }
 
 /// Returns one shard per available CPU (the `shards: 0` default).
@@ -305,6 +358,17 @@ pub struct CacheConfig {
     /// per entry — the batch write returns one result per entry. On by
     /// default; `false` restores the serial per-entry flush exactly.
     pub batched_flush: bool,
+    /// Operation-based conflict resolution. When set, write conflicts
+    /// detected during recovery *and* flush are routed through the merge
+    /// policy first: a conflicted write whose journal record carries
+    /// rebasable typed ops ([`placeless_core::op::DocOp`], via
+    /// [`DocumentCache::write_op`]) is rebased onto the origin's current
+    /// content — both sides' edits survive — and only unmergeable
+    /// conflicts (plain full-body writes) fall back to the binary
+    /// keep-mine/keep-theirs hooks. `None` (the default) preserves the
+    /// binary PR-4 behaviour exactly: no origin probes, no rebases,
+    /// byte-identical flush payloads.
+    pub merge: Option<MergePolicy>,
 }
 
 impl Default for CacheConfig {
@@ -324,6 +388,7 @@ impl Default for CacheConfig {
             single_flight: true,
             max_inflight_per_origin: None,
             batched_flush: true,
+            merge: None,
         }
     }
 }
@@ -443,6 +508,13 @@ impl CacheConfigBuilder {
     /// [`CacheConfig::batched_flush`]).
     pub fn batched_flush(mut self, on: bool) -> Self {
         self.config.batched_flush = on;
+        self
+    }
+
+    /// Enables operation-based conflict resolution (see
+    /// [`CacheConfig::merge`]).
+    pub fn merge(mut self, policy: MergePolicy) -> Self {
+        self.config.merge = Some(policy);
         self
     }
 
@@ -574,6 +646,15 @@ pub struct ReadOutcome {
 struct DirtyEntry {
     data: Bytes,
     seq: Option<u64>,
+    /// Typed ops accumulated since `epoch`, oldest first — the delta a
+    /// merge can rebase. Empty for plain full-body writes.
+    ops: Vec<DocOp>,
+    /// Content signature of the base rendition the buffered write was
+    /// authored against ([`NO_EPOCH`] when unknown). The flush-time
+    /// conflict probe compares it against the origin's current rendition.
+    epoch: Signature,
+    /// Per-`(doc, user)` causal sequence; `0` for plain writes.
+    writer_seq: u64,
 }
 
 /// One lock-striped slice of the cache's entry state. Content bytes live
@@ -631,6 +712,12 @@ pub struct DocumentCache {
     /// Mirror of `parked.len()`, so [`DocumentCache::parked_count`] does
     /// not take the parked lock.
     parked_gauge: AtomicU64,
+    /// Operation-based conflict resolution, when configured (see
+    /// [`CacheConfig::merge`]).
+    merge: Option<MergePolicy>,
+    /// Per-`(doc, user)` causal sequence counters for op-based writes,
+    /// seeded from replayed journal records on recovery. Leaf lock.
+    writer_seqs: Mutex<HashMap<(DocumentId, UserId), u64>>,
 }
 
 impl DocumentCache {
@@ -680,6 +767,8 @@ impl DocumentCache {
             inflight: AtomicU64::new(0),
             dirty_gauge: AtomicU64::new(0),
             parked_gauge: AtomicU64::new(0),
+            merge: config.merge,
+            writer_seqs: Mutex::new(HashMap::new()),
         });
         cache.space.bus().subscribe(Arc::new(CacheSink {
             cache: Arc::downgrade(&cache),
@@ -725,6 +814,14 @@ impl DocumentCache {
         for record in journal.live_records() {
             report.replayed += 1;
             AtomicCacheStats::bump(&cache.stats.journal_replays);
+            // Seed the causal counter so post-recovery ops continue this
+            // writer's sequence instead of restarting it.
+            if record.writer_seq > 0 {
+                let mut seqs = cache.writer_seqs.lock();
+                let counter = seqs.entry((record.doc, record.user)).or_insert(0);
+                *counter = (*counter).max(record.writer_seq);
+            }
+            let mut origin_bytes: Option<Bytes> = None;
             let conflict = if record.epoch == NO_EPOCH {
                 // The writer never read the document: no base version is
                 // known, so there is nothing to compare against.
@@ -733,12 +830,14 @@ impl DocumentCache {
                 match cache.space.read_document(record.user, record.doc) {
                     Ok((bytes, _)) => {
                         let origin_sig = ConcurrentStore::signature_of(&bytes);
-                        (origin_sig != record.epoch).then_some(WriteConflict {
+                        let conflict = (origin_sig != record.epoch).then_some(WriteConflict {
                             doc: record.doc,
                             user: record.user,
                             journal_epoch: record.epoch,
                             origin_signature: origin_sig,
-                        })
+                        });
+                        origin_bytes = Some(bytes);
+                        conflict
                     }
                     Err(
                         PlacelessError::NoSuchDocument(_) | PlacelessError::NoSuchReference(..),
@@ -755,34 +854,68 @@ impl DocumentCache {
                     Err(_) => None,
                 }
             };
+            let mut entry = DirtyEntry {
+                data: record.data.clone(),
+                seq: Some(record.seq),
+                ops: record.ops.clone(),
+                epoch: record.epoch,
+                writer_seq: record.writer_seq,
+            };
             if let Some(conflict) = conflict {
                 AtomicCacheStats::bump(&cache.stats.write_conflicts);
-                let resolution = match &hook {
-                    Some(hook) => hook(&conflict),
-                    None => ConflictResolution::KeepMine,
-                };
-                report.conflicts.push(conflict);
-                match resolution {
-                    ConflictResolution::KeepMine => report.kept_mine += 1,
-                    ConflictResolution::KeepTheirs => {
-                        report.kept_theirs += 1;
-                        journal.ack(record.seq);
-                        continue;
+                if cache.merge.is_some() {
+                    report.merge.examined += 1;
+                }
+                if cache.merge.is_some() && record.rebasable() {
+                    // Operation-based resolution: re-apply the writer's
+                    // typed ops onto the origin's *current* content, so
+                    // both the crashed writer's edits and whatever landed
+                    // at the origin meanwhile survive. The re-queued
+                    // entry's epoch advances to the rebased base so the
+                    // flush does not re-detect the same conflict.
+                    let origin = origin_bytes
+                        .clone()
+                        .expect("a conflict implies a successful origin read");
+                    entry.data = apply_all(&origin, &record.ops);
+                    entry.epoch = conflict.origin_signature;
+                    AtomicCacheStats::bump(&cache.stats.conflicts_merged);
+                    for _ in &record.ops {
+                        AtomicCacheStats::bump(&cache.stats.merge_rebases);
+                    }
+                    report.merge.merged += 1;
+                    report.merge.rebases += record.ops.len() as u64;
+                    report.conflicts.push(conflict);
+                } else {
+                    // Unmergeable (or no merge policy): fall back to the
+                    // binary hooks — the call-site hook first, then the
+                    // policy's fallback, then keep-mine.
+                    let resolution = match (&hook, &cache.merge) {
+                        (Some(hook), _) => hook(&conflict),
+                        (None, Some(policy)) => policy.resolve_unmergeable(&conflict),
+                        (None, None) => ConflictResolution::KeepMine,
+                    };
+                    report.conflicts.push(conflict);
+                    match resolution {
+                        ConflictResolution::KeepMine => {
+                            report.kept_mine += 1;
+                            if cache.merge.is_some() {
+                                report.merge.kept_mine += 1;
+                            }
+                        }
+                        ConflictResolution::KeepTheirs => {
+                            report.kept_theirs += 1;
+                            if cache.merge.is_some() {
+                                report.merge.kept_theirs += 1;
+                            }
+                            journal.ack(record.seq);
+                            continue;
+                        }
                     }
                 }
             }
             let key = EntryKey::Version(record.doc, record.user);
             let mut shard = cache.shard(key).lock();
-            let inserted = shard
-                .dirty
-                .insert(
-                    key,
-                    DirtyEntry {
-                        data: record.data.clone(),
-                        seq: Some(record.seq),
-                    },
-                )
-                .is_none();
+            let inserted = shard.dirty.insert(key, entry).is_none();
             drop(shard);
             if inserted {
                 cache.dirty_gauge.fetch_add(1, Ordering::Relaxed);
@@ -1800,38 +1933,34 @@ impl DocumentCache {
                 {
                     let key = EntryKey::Version(doc, user);
                     let mut shard = self.shard(key).lock();
-                    let inserted = if let Some(journal) = &self.journal {
+                    // The epoch is the signature of the rendition this
+                    // writer last saw resident — recovery and the
+                    // flush-time merge probe compare it against the
+                    // origin to detect conflicts.
+                    let epoch = shard.sigs.get(&key).copied().unwrap_or(NO_EPOCH);
+                    let seq = self.journal.as_ref().map(|journal| {
                         // Write-ahead: the record reaches stable storage
                         // before the dirty map changes, so a crash between
-                        // the two loses nothing. The epoch is the signature
-                        // of the rendition this writer last saw resident —
-                        // recovery compares it against the origin to detect
-                        // conflicts.
-                        let epoch = shard.sigs.get(&key).copied().unwrap_or(NO_EPOCH);
+                        // the two loses nothing.
                         let seq = journal.append(doc, user, epoch, data);
                         AtomicCacheStats::bump(&self.stats.journal_appends);
-                        shard
-                            .dirty
-                            .insert(
-                                key,
-                                DirtyEntry {
-                                    data: Bytes::copy_from_slice(data),
-                                    seq: Some(seq),
-                                },
-                            )
-                            .is_none()
-                    } else {
-                        shard
-                            .dirty
-                            .insert(
-                                key,
-                                DirtyEntry {
-                                    data: Bytes::copy_from_slice(data),
-                                    seq: None,
-                                },
-                            )
-                            .is_none()
-                    };
+                        seq
+                    });
+                    // A full-body write supersedes any accumulated op
+                    // delta: the entry reverts to an opaque snapshot.
+                    let inserted = shard
+                        .dirty
+                        .insert(
+                            key,
+                            DirtyEntry {
+                                data: Bytes::copy_from_slice(data),
+                                seq,
+                                ops: Vec::new(),
+                                epoch,
+                                writer_seq: 0,
+                            },
+                        )
+                        .is_none();
                     drop(shard);
                     if inserted {
                         self.dirty_gauge.fetch_add(1, Ordering::Relaxed);
@@ -1853,6 +1982,126 @@ impl DocumentCache {
                 Ok(())
             }
         }
+    }
+
+    /// Applies one typed operation ([`DocOp`]) to a document — the
+    /// op-based write API that makes buffered writes *mergeable*.
+    ///
+    /// In write-through mode the op is applied to the origin's current
+    /// content and written immediately ([`DocOp::SetProperty`] attaches
+    /// the property directly). In write-back mode the op is folded into
+    /// the entry's accumulated delta: the dirty entry keeps both the
+    /// materialized view (what a read of the buffered write returns, and
+    /// what a binary keep-mine resolution would flush) *and* the op list
+    /// since the base epoch, journaled together via
+    /// [`WriteJournal::append_op`], so crash recovery and flush can
+    /// rebase the delta onto a origin that moved on concurrently — see
+    /// [`CacheConfig::merge`].
+    pub fn write_op(&self, user: UserId, doc: DocumentId, op: DocOp) -> Result<()> {
+        if self.write_mode == WriteMode::Through {
+            if let DocOp::SetProperty { name, value } = &op {
+                self.space
+                    .attach_static(Scope::Personal(user), doc, name, value.clone())?;
+                AtomicCacheStats::bump(&self.stats.writes);
+                return Ok(());
+            }
+            let (base, _) = self.space.read_document(user, doc)?;
+            return self.write(user, doc, &op.apply(&base));
+        }
+        let key = EntryKey::Version(doc, user);
+        // Resolve the base view without holding the shard lock across a
+        // middleware read: if neither a buffered write nor a resident
+        // rendition provides the base, read the origin first and re-take
+        // the lock (a buffered write that lands in between wins).
+        let mut origin_base: Option<(Bytes, Signature)> = None;
+        loop {
+            let mut shard = self.shard(key).lock();
+            let (base, epoch, prior_ops, prior_writer_seq) =
+                if let Some(entry) = shard.dirty.get(&key) {
+                    // A pending plain write is an opaque snapshot: represent
+                    // it as a full-body op so the combined delta stays honest
+                    // (it pins the body and is therefore unmergeable, exactly
+                    // like the plain write itself).
+                    let prior = if entry.ops.is_empty() {
+                        vec![DocOp::Replace(entry.data.clone())]
+                    } else {
+                        entry.ops.clone()
+                    };
+                    (entry.data.clone(), entry.epoch, prior, entry.writer_seq)
+                } else if let Some((sig, bytes)) = shard
+                    .sigs
+                    .get(&key)
+                    .and_then(|sig| self.store.get(*sig).map(|bytes| (*sig, bytes)))
+                {
+                    (bytes, sig, Vec::new(), 0)
+                } else if let Some((bytes, sig)) = origin_base.take() {
+                    (bytes, sig, Vec::new(), 0)
+                } else {
+                    drop(shard);
+                    origin_base = Some(match self.space.read_document(user, doc) {
+                        Ok((bytes, _)) => {
+                            let sig = ConcurrentStore::signature_of(&bytes);
+                            (bytes, sig)
+                        }
+                        Err(
+                            error @ (PlacelessError::NoSuchDocument(_)
+                            | PlacelessError::NoSuchReference(..)),
+                        ) => return Err(error),
+                        // Origin unreachable: the op must still not be lost.
+                        // Start the delta from an empty base with no epoch;
+                        // the flush applies the ops server-side onto whatever
+                        // the origin holds by then.
+                        Err(_) => (Bytes::new(), NO_EPOCH),
+                    });
+                    continue;
+                };
+            let view = op.apply(&base);
+            let mut ops = prior_ops;
+            ops.push(op.clone());
+            let writer_seq = {
+                let mut seqs = self.writer_seqs.lock();
+                let counter = seqs.entry((doc, user)).or_insert(0);
+                // Monotone past both this cache's counter and whatever a
+                // recovered entry carried.
+                *counter = (*counter).max(prior_writer_seq) + 1;
+                *counter
+            };
+            let seq = self.journal.as_ref().map(|journal| {
+                let seq = journal.append_op(doc, user, epoch, &view, ops.clone(), writer_seq);
+                AtomicCacheStats::bump(&self.stats.journal_appends);
+                seq
+            });
+            let inserted = shard
+                .dirty
+                .insert(
+                    key,
+                    DirtyEntry {
+                        data: view,
+                        seq,
+                        ops,
+                        epoch,
+                        writer_seq,
+                    },
+                )
+                .is_none();
+            drop(shard);
+            if inserted {
+                self.dirty_gauge.fetch_add(1, Ordering::Relaxed);
+            }
+            break;
+        }
+        AtomicCacheStats::bump(&self.stats.writes);
+        // Same write-path event forwarding as a plain write-back write.
+        let forward = self
+            .space
+            .write_cacheability(user, doc)?
+            .requires_event_forwarding();
+        if forward {
+            self.space
+                .post_cache_event(user, doc, EventKind::CacheWrite)?;
+            AtomicCacheStats::bump(&self.stats.events_forwarded);
+        }
+        Ok(())
     }
 
     /// Executes one middleware write under the configured resilience
@@ -2010,7 +2259,8 @@ impl DocumentCache {
         }
         debug_assert_eq!(
             report.attempted,
-            report.flushed + (report.parked.len() + report.requeued.len()) as u64,
+            report.flushed
+                + (report.parked.len() + report.requeued.len() + report.dropped.len()) as u64,
             "flush accounting must be non-lossy"
         );
         Ok(report)
@@ -2023,11 +2273,14 @@ impl DocumentCache {
         &self,
         doc: DocumentId,
         user: UserId,
-        entry: DirtyEntry,
+        mut entry: DirtyEntry,
         clock: &VirtualClock,
         report: &mut FlushReport,
     ) {
         report.attempted += 1;
+        if self.merge.is_some() && !self.settle_conflict_per_entry(doc, user, &mut entry, report) {
+            return; // the conflict was resolved by dropping the entry
+        }
         match self.write_with_resilience(user, doc, &entry.data, clock) {
             Ok(()) => {
                 AtomicCacheStats::bump(&self.stats.flushes);
@@ -2070,6 +2323,12 @@ impl DocumentCache {
         report.attempted += group.len() as u64;
         report.batches += 1;
         let mut pending = group;
+        if self.merge.is_some() {
+            pending = self.route_conflicts_through_merge(pending, report);
+            if pending.is_empty() {
+                return;
+            }
+        }
         let started = clock.now();
         let deadline = self.resilience.fetch_deadline_micros;
         let mut backoff = BackoffSchedule::for_origin(&self.resilience, origin);
@@ -2099,6 +2358,16 @@ impl DocumentCache {
                     user: *user,
                     doc: *doc,
                     data: entry.data.clone(),
+                    // With a merge policy, rebasable deltas travel as ops
+                    // and are applied server-side onto the origin's
+                    // current content — concurrent writers through other
+                    // caches are merged, not clobbered. Without one,
+                    // payloads are byte-identical to the pre-merge cache.
+                    ops: if self.merge.is_some() && rebasable(&entry.ops) {
+                        entry.ops.clone()
+                    } else {
+                        Vec::new()
+                    },
                 })
                 .collect();
             if let Some(window) = &self.window {
@@ -2183,6 +2452,150 @@ impl DocumentCache {
                 .into_iter()
                 .map(|(doc, user, entry, _)| (doc, user, entry))
                 .collect();
+        }
+    }
+
+    /// Probes each entry's base epoch against the origin's current
+    /// rendition and routes every conflict through the merge policy
+    /// (merge configured; the grouped-flush path). Returns the entries
+    /// that should still be written:
+    ///
+    /// * rebasable conflicts stay — their ops travel server-side and are
+    ///   rebased onto the origin's current content by `write_documents`;
+    /// * unmergeable conflicts resolved `KeepMine` stay as full-body
+    ///   writes (the informed PR-4 overwrite);
+    /// * unmergeable conflicts resolved `KeepTheirs` are dropped: their
+    ///   journal record is acknowledged and the drop is reported.
+    ///
+    /// Entries with no base epoch, and entries whose origin is currently
+    /// unreachable, pass through unassessed — the write attempt itself
+    /// will surface any failure, and ops still rebase server-side.
+    fn route_conflicts_through_merge(
+        &self,
+        entries: Vec<(DocumentId, UserId, DirtyEntry)>,
+        report: &mut FlushReport,
+    ) -> Vec<(DocumentId, UserId, DirtyEntry)> {
+        let Some(policy) = &self.merge else {
+            return entries;
+        };
+        let mut sigs: HashMap<(DocumentId, UserId), Option<Signature>> = HashMap::new();
+        let mut kept = Vec::with_capacity(entries.len());
+        for (doc, user, entry) in entries {
+            if entry.epoch == NO_EPOCH {
+                kept.push((doc, user, entry));
+                continue;
+            }
+            // One probe per (doc, user) rendition, shared across retries
+            // of the same flush via the memo map.
+            let probed = *sigs.entry((doc, user)).or_insert_with(|| {
+                self.space
+                    .read_document(user, doc)
+                    .ok()
+                    .map(|(bytes, _)| ConcurrentStore::signature_of(&bytes))
+            });
+            let Some(origin_sig) = probed else {
+                kept.push((doc, user, entry));
+                continue;
+            };
+            if origin_sig == entry.epoch {
+                kept.push((doc, user, entry));
+                continue;
+            }
+            // The origin moved on while the write sat buffered: a flush-
+            // time write conflict.
+            AtomicCacheStats::bump(&self.stats.write_conflicts);
+            report.merge.examined += 1;
+            if rebasable(&entry.ops) {
+                AtomicCacheStats::bump(&self.stats.conflicts_merged);
+                for _ in &entry.ops {
+                    AtomicCacheStats::bump(&self.stats.merge_rebases);
+                }
+                report.merge.merged += 1;
+                report.merge.rebases += entry.ops.len() as u64;
+                kept.push((doc, user, entry));
+                continue;
+            }
+            let conflict = WriteConflict {
+                doc,
+                user,
+                journal_epoch: entry.epoch,
+                origin_signature: origin_sig,
+            };
+            match policy.resolve_unmergeable(&conflict) {
+                ConflictResolution::KeepMine => {
+                    report.merge.kept_mine += 1;
+                    kept.push((doc, user, entry));
+                }
+                ConflictResolution::KeepTheirs => {
+                    report.merge.kept_theirs += 1;
+                    if let (Some(journal), Some(seq)) = (&self.journal, entry.seq) {
+                        journal.ack(seq);
+                    }
+                    report.dropped.push((doc, user));
+                }
+            }
+        }
+        kept
+    }
+
+    /// The per-entry sibling of [`Self::route_conflicts_through_merge`]
+    /// for the legacy unbatched flush path. The per-entry path has no
+    /// grouped op write, so a rebasable conflict is rebased *cache-side*:
+    /// the entry's data becomes the origin's current content with the
+    /// ops folded in, and its epoch advances to match. Returns `false`
+    /// when the entry was resolved by dropping it (`KeepTheirs`).
+    fn settle_conflict_per_entry(
+        &self,
+        doc: DocumentId,
+        user: UserId,
+        entry: &mut DirtyEntry,
+        report: &mut FlushReport,
+    ) -> bool {
+        let Some(policy) = &self.merge else {
+            return true;
+        };
+        if entry.epoch == NO_EPOCH {
+            return true;
+        }
+        let Ok((origin, _)) = self.space.read_document(user, doc) else {
+            return true; // unreachable origin: the write attempt decides
+        };
+        let origin_sig = ConcurrentStore::signature_of(&origin);
+        if origin_sig == entry.epoch {
+            return true;
+        }
+        AtomicCacheStats::bump(&self.stats.write_conflicts);
+        report.merge.examined += 1;
+        if rebasable(&entry.ops) {
+            entry.data = apply_all(&origin, &entry.ops);
+            entry.epoch = origin_sig;
+            AtomicCacheStats::bump(&self.stats.conflicts_merged);
+            for _ in &entry.ops {
+                AtomicCacheStats::bump(&self.stats.merge_rebases);
+            }
+            report.merge.merged += 1;
+            report.merge.rebases += entry.ops.len() as u64;
+            return true;
+        }
+        let conflict = WriteConflict {
+            doc,
+            user,
+            journal_epoch: entry.epoch,
+            origin_signature: origin_sig,
+        };
+        match policy.resolve_unmergeable(&conflict) {
+            ConflictResolution::KeepMine => {
+                report.merge.kept_mine += 1;
+                true
+            }
+            ConflictResolution::KeepTheirs => {
+                report.merge.kept_theirs += 1;
+                if let (Some(journal), Some(seq)) = (&self.journal, entry.seq) {
+                    journal.ack(seq);
+                }
+                report.dropped.push((doc, user));
+                false
+            }
         }
     }
 
@@ -2818,6 +3231,7 @@ mod tests {
             .local_latency(LatencyModel::FREE)
             .prefetch(PrefetchConfig::up_to(3))
             .shards(2)
+            .merge(MergePolicy::new())
             .build();
         assert_eq!(config.capacity_bytes, 4_096);
         assert_eq!(config.policy.name(), "lfu");
@@ -2825,6 +3239,8 @@ mod tests {
         assert_eq!(config.write_mode, WriteMode::Back);
         assert_eq!(config.shards, 2);
         assert!(config.prefetch.enabled);
+        assert!(config.merge.is_some());
+        assert!(CacheConfig::default().merge.is_none(), "merge defaults off");
         assert!(CacheConfig::builder().policy_name("bogus").is_err());
 
         let (space, _provider, doc) = setup("built", 100);
@@ -2837,6 +3253,114 @@ mod tests {
             cache.read(ALICE, doc).expect("read must succeed"),
             "dirty",
             "write-back took"
+        );
+    }
+
+    #[test]
+    fn write_op_buffers_a_mergeable_delta_and_flushes_it() {
+        use placeless_core::op::DocOp;
+        let (space, provider, doc) = setup("base;", 100);
+        let journal = WriteJournal::new(placeless_simenv::StableStore::new());
+        let cache = DocumentCache::new(
+            space,
+            CacheConfig {
+                write_mode: WriteMode::Back,
+                journal: Some(journal.clone()),
+                merge: Some(MergePolicy::new()),
+                ..quiet_config()
+            },
+        );
+        cache.read(ALICE, doc).expect("read must succeed");
+        cache
+            .write_op(ALICE, doc, DocOp::Append(Bytes::from("a1;")))
+            .expect("op write must buffer");
+        cache
+            .write_op(ALICE, doc, DocOp::Append(Bytes::from("a2;")))
+            .expect("op write must buffer");
+        // The buffered view materializes the accumulated delta.
+        assert_eq!(
+            cache.read(ALICE, doc).expect("read must succeed"),
+            "base;a1;a2;"
+        );
+        // The journal record carries both ops with a causal sequence.
+        let records = journal.live_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].ops.len(), 2);
+        assert_eq!(records[0].writer_seq, 2);
+        assert!(records[0].rebasable());
+        let report = cache.flush().expect("flush must run");
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(provider.content(), "base;a1;a2;");
+        assert!(journal.is_empty(), "flush acks the op record");
+    }
+
+    #[test]
+    fn plain_write_supersedes_the_op_delta() {
+        use placeless_core::op::DocOp;
+        let (space, _provider, doc) = setup("base", 100);
+        let journal = WriteJournal::new(placeless_simenv::StableStore::new());
+        let cache = DocumentCache::new(
+            space,
+            CacheConfig {
+                write_mode: WriteMode::Back,
+                journal: Some(journal.clone()),
+                ..quiet_config()
+            },
+        );
+        cache
+            .write_op(ALICE, doc, DocOp::Append(Bytes::from("!")))
+            .expect("op write must buffer");
+        assert!(!journal.live_records()[0].ops.is_empty());
+        cache
+            .write(ALICE, doc, b"rewritten")
+            .expect("write buffers");
+        let records = journal.live_records();
+        assert_eq!(records.len(), 1, "the plain write supersedes the delta");
+        assert!(records[0].ops.is_empty());
+        assert_eq!(records[0].data, "rewritten");
+        // A later op over the pending snapshot folds it in as a
+        // full-body op: correct view, deliberately unmergeable.
+        cache
+            .write_op(ALICE, doc, DocOp::Append(Bytes::from("?")))
+            .expect("op write must buffer");
+        assert_eq!(
+            cache.read(ALICE, doc).expect("read must succeed"),
+            "rewritten?"
+        );
+        assert!(!journal.live_records()[0].rebasable());
+    }
+
+    #[test]
+    fn write_op_through_mode_applies_to_current_content() {
+        use placeless_core::op::DocOp;
+        let (space, provider, doc) = setup("hello world", 100);
+        let cache = DocumentCache::new(space.clone(), quiet_config());
+        cache
+            .write_op(
+                ALICE,
+                doc,
+                DocOp::ReplaceRange {
+                    start: 6,
+                    end: 11,
+                    data: Bytes::from("there"),
+                },
+            )
+            .expect("through-mode op writes immediately");
+        assert_eq!(provider.content(), "hello there");
+        cache
+            .write_op(
+                ALICE,
+                doc,
+                DocOp::SetProperty {
+                    name: "mood".into(),
+                    value: placeless_core::content::PropertyValue::Str("calm".into()),
+                },
+            )
+            .expect("property op attaches");
+        let description = space.describe(ALICE, doc).expect("describe");
+        assert!(
+            description.personal.iter().any(|p| p.name == "mood"),
+            "SetProperty attached a personal property"
         );
     }
 

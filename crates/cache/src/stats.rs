@@ -89,6 +89,12 @@ pub struct CacheStats {
     /// Recovered writes that conflicted with a newer origin version
     /// (journal epoch no longer matches the origin signature).
     pub write_conflicts: u64,
+    /// Write conflicts resolved by rebasing the writer's typed ops onto
+    /// the origin's current content (merge policy) instead of the binary
+    /// keep-mine/keep-theirs hooks.
+    pub conflicts_merged: u64,
+    /// Individual typed ops re-applied across all merge resolutions.
+    pub merge_rebases: u64,
     /// Reads that joined another thread's in-flight miss on the same key
     /// and shared its result instead of fetching (single-flight).
     pub coalesced_waits: u64,
@@ -196,6 +202,10 @@ impl CacheStats {
             flush_batches: self.flush_batches.saturating_sub(earlier.flush_batches),
             batched_writes: self.batched_writes.saturating_sub(earlier.batched_writes),
             write_conflicts: self.write_conflicts.saturating_sub(earlier.write_conflicts),
+            conflicts_merged: self
+                .conflicts_merged
+                .saturating_sub(earlier.conflicts_merged),
+            merge_rebases: self.merge_rebases.saturating_sub(earlier.merge_rebases),
             coalesced_waits: self.coalesced_waits.saturating_sub(earlier.coalesced_waits),
             inflight_peak: self.inflight_peak,
         }
@@ -252,6 +262,8 @@ pub struct AtomicCacheStats {
     pub(crate) flush_batches: AtomicU64,
     pub(crate) batched_writes: AtomicU64,
     pub(crate) write_conflicts: AtomicU64,
+    pub(crate) conflicts_merged: AtomicU64,
+    pub(crate) merge_rebases: AtomicU64,
     pub(crate) coalesced_waits: AtomicU64,
     pub(crate) inflight_peak: AtomicU64,
 }
@@ -312,6 +324,8 @@ impl AtomicCacheStats {
             flush_batches: self.flush_batches.load(Ordering::Relaxed),
             batched_writes: self.batched_writes.load(Ordering::Relaxed),
             write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
+            conflicts_merged: self.conflicts_merged.load(Ordering::Relaxed),
+            merge_rebases: self.merge_rebases.load(Ordering::Relaxed),
             coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
             inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
         }

@@ -54,6 +54,7 @@ pub mod event;
 pub mod external;
 pub mod id;
 pub mod notifier;
+pub mod op;
 pub mod plan;
 pub mod profile;
 pub mod property;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::external::{ExternalSource, SimpleExternal};
     pub use crate::id::{CacheId, DocumentId, PropertyId, UserId};
     pub use crate::notifier::{Invalidation, InvalidationBus, InvalidationSink};
+    pub use crate::op::{apply_all, rebasable, DocOp};
     pub use crate::plan::{PlanStage, TransformPlan};
     pub use crate::profile::{apply_profile, format_profile, parse_profile, PropertySpec};
     pub use crate::property::{

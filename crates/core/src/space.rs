@@ -667,23 +667,47 @@ impl DocumentSpace {
         self.charge_op(0);
         // Run each entry's property chain into a collector first, so the
         // provider sees the post-transform payload exactly as a lone
-        // `write_document` would have committed it.
-        let slots: Vec<Slot> = writes
-            .iter()
-            .map(|w| {
-                let plan = match self.compile_plan(w.user, w.doc, EventKind::GetOutputStream) {
-                    Ok(plan) => plan,
-                    Err(error) => return Slot::Failed(error),
+        // `write_document` would have committed it. Op-carrying entries
+        // resolve their content against a batch-local view map: the first
+        // op entry for a document reads the origin's current rendition,
+        // and every later same-document entry composes on the batch's
+        // accumulated view, so entries in one group never clobber each
+        // other.
+        let mut batch_view: HashMap<DocumentId, Bytes> = HashMap::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(writes.len());
+        for w in writes {
+            let plan = match self.compile_plan(w.user, w.doc, EventKind::GetOutputStream) {
+                Ok(plan) => plan,
+                Err(error) => {
+                    slots.push(Slot::Failed(error));
+                    continue;
+                }
+            };
+            if !plan.provider.writable() {
+                slots.push(Slot::Failed(PlacelessError::ReadOnly(w.doc)));
+                continue;
+            }
+            let content = if w.ops.is_empty() {
+                w.data.clone()
+            } else {
+                let base = match batch_view.get(&w.doc) {
+                    Some(view) => view.clone(),
+                    None => match self.read_document(w.user, w.doc) {
+                        Ok((bytes, _)) => bytes,
+                        Err(error) => {
+                            slots.push(Slot::Failed(error));
+                            continue;
+                        }
+                    },
                 };
-                if !plan.provider.writable() {
-                    return Slot::Failed(PlacelessError::ReadOnly(w.doc));
-                }
-                match self.run_write_chain(&plan, w) {
-                    Ok(payload) => Slot::Ready(plan, payload),
-                    Err(error) => Slot::Failed(error),
-                }
-            })
-            .collect();
+                crate::op::apply_all(&base, &w.ops)
+            };
+            batch_view.insert(w.doc, content.clone());
+            match self.run_write_chain(&plan, w.user, w.doc, &content) {
+                Ok(payload) => slots.push(Slot::Ready(plan, payload)),
+                Err(error) => slots.push(Slot::Failed(error)),
+            }
+        }
         let mut results: Vec<Result<()>> = slots.iter().map(|_| Ok(())).collect();
         let mut i = 0;
         while i < slots.len() {
@@ -730,6 +754,19 @@ impl DocumentSpace {
                     .cloned()
                     .unwrap_or(Err(PlacelessError::StreamClosed));
                 results[i + offset] = result.and_then(|()| {
+                    // Property ops ride the content commit: attached only
+                    // once the bits are durably at the origin, so a failed
+                    // entry never half-applies.
+                    for op in &w.ops {
+                        if let crate::op::DocOp::SetProperty { name, value } = op {
+                            self.attach_static(
+                                Scope::Personal(w.user),
+                                w.doc,
+                                name,
+                                value.clone(),
+                            )?;
+                        }
+                    }
                     self.dispatch(DocumentEvent::new(EventKind::ContentWritten, w.doc).by(w.user))
                 });
             }
@@ -740,7 +777,13 @@ impl DocumentSpace {
 
     /// Runs one entry's write-path property chain to completion into a
     /// collector, returning the provider-ready payload.
-    fn run_write_chain(self: &Arc<Self>, plan: &TransformPlan, w: &BatchWrite) -> Result<Bytes> {
+    fn run_write_chain(
+        self: &Arc<Self>,
+        plan: &TransformPlan,
+        user: UserId,
+        doc: DocumentId,
+        data: &[u8],
+    ) -> Result<Bytes> {
         let captured: Arc<Mutex<Option<Bytes>>> = Arc::new(Mutex::new(None));
         let sink = {
             let captured = Arc::clone(&captured);
@@ -749,8 +792,8 @@ impl DocumentSpace {
                 Ok(())
             }))
         };
-        let mut stream = self.wrap_write_stack(plan, w.user, w.doc, sink, false)?;
-        write_all(stream.as_mut(), &w.data)?;
+        let mut stream = self.wrap_write_stack(plan, user, doc, sink, false)?;
+        write_all(stream.as_mut(), data)?;
         stream.close()?;
         let bytes = captured.lock().take();
         debug_assert!(
@@ -905,8 +948,31 @@ pub struct BatchWrite {
     pub user: UserId,
     /// The target document.
     pub doc: DocumentId,
-    /// The complete new content, pre-transform.
+    /// The complete new content, pre-transform. Ignored as content when
+    /// `ops` is non-empty (it then documents the writer's own view, for
+    /// observability only).
     pub data: Bytes,
+    /// Typed operations to apply *server-side* onto the origin's current
+    /// content instead of committing `data` verbatim — the op-based merge
+    /// path: the effective content is the origin's rendition (as the
+    /// writing user sees it) with every content op folded in, so a write
+    /// rebased over a concurrent writer preserves both sides' edits.
+    /// [`crate::op::DocOp::SetProperty`] ops attach their property after
+    /// the content commit succeeds. Empty (the default) commits `data`
+    /// exactly as before.
+    pub ops: Vec<crate::op::DocOp>,
+}
+
+impl BatchWrite {
+    /// A plain full-body batch entry (no server-side ops).
+    pub fn new(user: UserId, doc: DocumentId, data: Bytes) -> Self {
+        Self {
+            user,
+            doc,
+            data,
+            ops: Vec::new(),
+        }
+    }
 }
 
 /// Output wrapper that runs a hook after the inner sink commits.

@@ -2,7 +2,8 @@
 //!
 //! A [`FaultPlan`] scripts failures against the virtual clock: error
 //! windows, timeout windows, latency spikes, drop-next-N counters, a
-//! partition toggle, scripted process crashes, and an optional
+//! partition toggle, scheduled partition windows, scripted process
+//! crashes, and an optional
 //! per-operation error probability. All
 //! randomness flows through a [`SimRng`] seeded at plan construction, so a
 //! given plan replays the *exact* same failure sequence on every run —
@@ -130,6 +131,7 @@ struct PlanState {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     outages: Arc<[Window]>,
+    partitions: Arc<[Window]>,
     timeouts: Arc<[Window]>,
     spikes: Arc<[(Window, u64)]>,
     crashes: Arc<[CrashEvent]>,
@@ -144,6 +146,7 @@ impl FaultPlan {
     pub fn builder(seed: u64) -> FaultPlanBuilder {
         FaultPlanBuilder {
             outages: Vec::new(),
+            partitions: Vec::new(),
             timeouts: Vec::new(),
             spikes: Vec::new(),
             crashes: Vec::new(),
@@ -170,8 +173,18 @@ impl FaultPlan {
     }
 
     /// Returns `true` if the partition toggle is currently set.
+    ///
+    /// Scheduled [`FaultPlanBuilder::partition`] windows are not
+    /// reflected here; use [`FaultPlan::in_partition_window`] for those.
     pub fn is_partitioned(&self) -> bool {
         self.state.lock().partitioned
+    }
+
+    /// Returns `true` if the current virtual time falls inside a
+    /// scheduled [`FaultPlanBuilder::partition`] window.
+    pub fn in_partition_window(&self, clock: &VirtualClock) -> bool {
+        let now = clock.now().as_micros();
+        self.partitions.iter().any(|w| w.contains(now))
     }
 
     /// Returns a snapshot of what the plan has injected so far.
@@ -219,6 +232,10 @@ impl FaultPlan {
             state.drop_next -= 1;
             return fail(&mut state, FaultErrorKind::Unavailable, self.retry_hint);
         }
+        if let Some(w) = self.partitions.iter().find(|w| w.contains(now)) {
+            let after = Some(w.remaining(now));
+            return fail(&mut state, FaultErrorKind::Unavailable, after);
+        }
         if let Some(w) = self.timeouts.iter().find(|w| w.contains(now)) {
             let after = Some(w.remaining(now));
             return fail(&mut state, FaultErrorKind::Timeout, after);
@@ -244,6 +261,7 @@ impl FaultPlan {
 #[derive(Debug, Clone)]
 pub struct FaultPlanBuilder {
     outages: Vec<Window>,
+    partitions: Vec<Window>,
     timeouts: Vec<Window>,
     spikes: Vec<(Window, u64)>,
     crashes: Vec<CrashEvent>,
@@ -257,6 +275,18 @@ impl FaultPlanBuilder {
     /// microseconds.
     pub fn outage(mut self, from: u64, until: u64) -> Self {
         self.outages.push(Window { from, until });
+        self
+    }
+
+    /// Schedules a network partition window `[from, until)` in virtual
+    /// microseconds: operations inside it fail with
+    /// [`FaultErrorKind::Unavailable`] and a `retry_after` hint pointing
+    /// at the heal time. Semantically this is an outage whose cause is
+    /// the network rather than the origin — kept as a separate schedule
+    /// so experiments can script "partition one writer mid-flush" and
+    /// report partition and outage effects independently.
+    pub fn partition(mut self, from: u64, until: u64) -> Self {
+        self.partitions.push(Window { from, until });
         self
     }
 
@@ -305,6 +335,7 @@ impl FaultPlanBuilder {
         self.crashes.sort_by_key(|c| c.at_micros);
         FaultPlan {
             outages: self.outages.into(),
+            partitions: self.partitions.into(),
             timeouts: self.timeouts.into(),
             spikes: self.spikes.into(),
             crashes: self.crashes.into(),
@@ -379,6 +410,23 @@ mod tests {
         assert_eq!(err.retry_after, Some(500));
         plan.set_partitioned(false);
         assert!(plan.assess(&clock).is_ok());
+    }
+
+    #[test]
+    fn partition_window_fails_until_heal() {
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::builder(1).partition(200, 600).build();
+        assert!(plan.assess(&clock).is_ok(), "before the partition");
+        assert!(!plan.in_partition_window(&clock));
+        clock.advance(250);
+        assert!(plan.in_partition_window(&clock));
+        let err = plan.assess(&clock).unwrap_err();
+        assert_eq!(err.kind, FaultErrorKind::Unavailable);
+        assert_eq!(err.retry_after, Some(350), "hint points at the heal");
+        clock.advance(350);
+        assert!(plan.assess(&clock).is_ok(), "healed at the window end");
+        assert!(!plan.in_partition_window(&clock));
+        assert!(!plan.is_partitioned(), "the manual toggle is untouched");
     }
 
     #[test]

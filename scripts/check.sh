@@ -32,6 +32,9 @@ cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments 
 echo "==> E-CRASH smoke (write-journal durability; writes BENCH_crash.json)"
 cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- crash
 
+echo "==> E-MERGE smoke (op-based multi-writer merge; writes BENCH_merge.json)"
+cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- merge
+
 echo "==> E-LOAD smoke (trace-driven load + coalesce probe + write mix; writes BENCH_load.json)"
 E_LOAD_USERS=20000 E_LOAD_OPS=4000 E_LOAD_THREADS=4 \
   E_LOAD_WMIX_WRITES=800 E_LOAD_WMIX_DOCS=48 E_LOAD_WMIX_FLUSH_EVERY=400 \

@@ -12,13 +12,15 @@ use parking_lot::Mutex;
 use placeless_bench::fault::{self, FaultParams, ResilienceMode};
 use placeless_cache::{
     BreakerConfig, BreakerState, CacheConfig, CacheStats, ConflictHook, ConflictResolution,
-    DocumentCache, ResilienceConfig, StalenessBound, WriteConflict, WriteJournal, WriteMode,
+    DocumentCache, MergePolicy, ResilienceConfig, StalenessBound, WriteConflict, WriteJournal,
+    WriteMode,
 };
 use placeless_core::bitprovider::BitProvider;
 use placeless_core::cacheability::Cacheability;
 use placeless_core::error::{PlacelessError, Result};
 use placeless_core::id::{DocumentId, UserId};
 use placeless_core::notifier::Invalidation;
+use placeless_core::op::DocOp;
 use placeless_core::space::DocumentSpace;
 use placeless_core::streams::{InputStream, MemoryInput, OutputStream};
 use placeless_core::verifier::{ClosureVerifier, Validity, Verifier};
@@ -1197,5 +1199,242 @@ proptest! {
                 prop_assert_eq!(content, &format!("v{last}"));
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operation-based multi-writer merge
+// ---------------------------------------------------------------------
+
+const BOB: UserId = UserId(2);
+
+/// Write-back + journal + merge policy over a shared FsProvider document.
+fn merge_config(journal: WriteJournal) -> CacheConfig {
+    CacheConfig::builder()
+        .local_latency(LatencyModel::FREE)
+        .write_mode(WriteMode::Back)
+        .shards(1)
+        .journal(journal)
+        .merge(MergePolicy::new())
+        .build()
+}
+
+/// Two write-back caches append typed ops to one document; one crashes
+/// with its edits only journaled. Recovery detects that the origin moved
+/// under the crashed writer and rebases its ops onto the survivor's
+/// landed content — neither writer's acknowledged edits are lost.
+#[test]
+fn two_writers_crash_then_recovery_merges_both_edit_streams() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/shared", "seed;");
+    let doc = space.create_document(USER, FsProvider::new(fs.clone(), "/shared", lan(61)));
+    space.add_reference(BOB, doc).expect("doc exists");
+
+    let medium = StableStore::new();
+    let alice = DocumentCache::new(
+        space.clone(),
+        merge_config(WriteJournal::new(medium.clone())),
+    );
+    let bob = DocumentCache::new(
+        space.clone(),
+        merge_config(WriteJournal::new(StableStore::new())),
+    );
+    alice.read(USER, doc).expect("warm fill");
+    bob.read(BOB, doc).expect("warm fill");
+    for token in ["A1;", "A2;"] {
+        alice
+            .write_op(USER, doc, DocOp::Append(Bytes::from(token)))
+            .expect("op write buffers");
+    }
+    for token in ["B1;", "B2;"] {
+        bob.write_op(BOB, doc, DocOp::Append(Bytes::from(token)))
+            .expect("op write buffers");
+    }
+    assert!(bob.flush().expect("healthy origin").is_clean());
+    drop(alice); // crash: Alice's buffered ops survive only in her journal
+
+    let (journal, _) = WriteJournal::open(medium);
+    let (recovered, report) = DocumentCache::recover(space, merge_config(journal), None);
+    assert_eq!(report.replayed, 1, "one cumulative record per (doc, user)");
+    assert_eq!(report.conflicts.len(), 1, "the origin moved under Alice");
+    assert_eq!(report.merge.merged, 1);
+    assert_eq!(report.merge.rebases, 2, "both appends were rebased");
+    assert_eq!(report.kept_mine + report.kept_theirs, 0, "nobody lost");
+    assert!(report.to_string().contains("merge:"), "{report}");
+    assert!(recovered.flush().expect("healthy origin").is_clean());
+
+    assert_eq!(
+        fs.read("/shared").expect("file exists"),
+        Bytes::from("seed;B1;B2;A1;A2;"),
+        "canonical order: Bob landed first, Alice rebases on top"
+    );
+    let stats = recovered.stats();
+    assert_eq!(stats.conflicts_merged, 1);
+    assert_eq!(stats.merge_rebases, 2);
+}
+
+/// A scheduled partition window isolates one cache mid-flush: its
+/// entries park, the other writer lands after the heal, and the parked
+/// retry then merges onto the moved origin instead of clobbering it.
+#[test]
+fn partition_mid_flush_parks_then_merges_after_heal() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/shared", "seed;");
+    let link = lan(62);
+    link.set_fault_plan(FaultPlan::builder(62).partition(50_000, 150_000).build());
+    let doc = space.create_document(USER, FsProvider::new(fs.clone(), "/shared", link));
+    space.add_reference(BOB, doc).expect("doc exists");
+
+    let alice = DocumentCache::new(
+        space.clone(),
+        merge_config(WriteJournal::new(StableStore::new())),
+    );
+    let bob = DocumentCache::new(
+        space.clone(),
+        merge_config(WriteJournal::new(StableStore::new())),
+    );
+    alice.read(USER, doc).expect("warm fill");
+    bob.read(BOB, doc).expect("warm fill");
+    alice
+        .write_op(USER, doc, DocOp::Append(Bytes::from("A;")))
+        .expect("op write buffers");
+    bob.write_op(BOB, doc, DocOp::Append(Bytes::from("B;")))
+        .expect("op write buffers");
+
+    // Bob tries to save inside the partition: nothing lands, nothing is
+    // lost — the entry parks and stays dirty.
+    clock.advance_to(Instant(60_000));
+    let parked = bob.flush().expect("the flush itself runs");
+    assert!(!parked.is_clean(), "{parked}");
+    assert_eq!(parked.flushed, 0);
+    assert!(bob.dirty_count() > 0, "the write is still buffered");
+
+    // After the heal, Alice lands first; Bob's retry faces a moved
+    // origin and rebases his op onto it.
+    clock.advance_to(Instant(160_000));
+    assert!(alice.flush().expect("healed origin").is_clean());
+    let healed = bob.flush().expect("healed origin");
+    assert!(healed.is_clean(), "{healed}");
+    assert!(!healed.merge.is_empty(), "the retry went through the merge");
+
+    assert_eq!(
+        fs.read("/shared").expect("file exists"),
+        Bytes::from("seed;A;B;"),
+        "both appends survive the partition"
+    );
+    assert_eq!(bob.stats().conflicts_merged, 1);
+    assert!(
+        bob.stats().writes_parked > 0,
+        "the partition parked the write"
+    );
+}
+
+/// With `merge: None` (the default) the write-back pipeline is the
+/// pre-merge one: plain v1 journal frames, no flush-time conflict probe,
+/// and a concurrent writer is blindly overwritten — last writer wins.
+#[test]
+fn merge_disabled_preserves_the_blind_overwrite_pipeline() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/shared", "seed");
+    let doc = space.create_document(USER, FsProvider::new(fs.clone(), "/shared", lan(63)));
+    space.add_reference(BOB, doc).expect("doc exists");
+
+    let medium = StableStore::new();
+    let plain_config = || {
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .shards(1)
+            .journal(WriteJournal::new(medium.clone()))
+            .build()
+    };
+    let alice = DocumentCache::new(space.clone(), plain_config());
+    let bob = DocumentCache::new(
+        space.clone(),
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .write_mode(WriteMode::Back)
+            .shards(1)
+            .build(),
+    );
+    alice.read(USER, doc).expect("warm fill");
+    alice.write(USER, doc, b"alice version").expect("buffers");
+    bob.write(BOB, doc, b"bob version").expect("buffers");
+    assert!(bob.flush().expect("healthy origin").is_clean());
+
+    // The journal holds a plain v1 frame: no ops, no causal sequence.
+    let records = {
+        let (journal, _) = WriteJournal::open(medium.clone());
+        journal.live_records()
+    };
+    assert_eq!(records.len(), 1);
+    assert!(records[0].ops.is_empty(), "plain writes journal no ops");
+    assert_eq!(records[0].writer_seq, 0);
+
+    // Flush never probes the origin: the moved document is clobbered
+    // without a conflict being counted anywhere.
+    assert!(alice.flush().expect("healthy origin").is_clean());
+    assert_eq!(
+        fs.read("/shared").expect("file exists"),
+        Bytes::from("alice version"),
+        "last writer wins, exactly as before the merge subsystem"
+    );
+    let stats = alice.stats();
+    assert_eq!(stats.write_conflicts, 0, "no probe ran");
+    assert_eq!(stats.conflicts_merged, 0);
+    assert_eq!(stats.merge_rebases, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replaying the same contribution set through `merge_onto` is
+    /// order-independent (canonical causal order, not arrival order) and
+    /// idempotent (duplicate deliveries collapse) — the property that
+    /// makes recovery-then-flush safe to repeat after a second crash.
+    #[test]
+    fn merge_replay_is_order_independent_and_idempotent(
+        seed in any::<u64>(),
+        writers in 1u64..4,
+        edits in 1u64..5,
+    ) {
+        use placeless_cache::merge::{merge_onto, Contribution};
+        let origin = Bytes::from("origin;");
+        let mut contributions = Vec::new();
+        let mut seq = 0u64;
+        for w in 1..=writers {
+            for e in 1..=edits {
+                seq += 1;
+                contributions.push(Contribution {
+                    user: UserId(w),
+                    writer_seq: e,
+                    seq,
+                    ops: vec![DocOp::Append(Bytes::from(format!("w{w}e{e};")))],
+                });
+            }
+        }
+        // A deterministic shuffle driven by the proptest seed.
+        let mut shuffled = contributions.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let (in_order, rebased_a) = merge_onto(&origin, contributions.clone());
+        let (out_of_order, rebased_b) = merge_onto(&origin, shuffled);
+        prop_assert_eq!(&in_order, &out_of_order, "arrival order must not matter");
+        prop_assert_eq!(rebased_a, rebased_b);
+        // Duplicate delivery of every contribution changes nothing.
+        let mut doubled = contributions.clone();
+        doubled.extend(contributions);
+        let (deduped, rebased_c) = merge_onto(&origin, doubled);
+        prop_assert_eq!(&in_order, &deduped, "replay must be idempotent");
+        prop_assert_eq!(rebased_a, rebased_c);
     }
 }
