@@ -2,17 +2,20 @@
 //! implementation-side half of "document access latencies are affected by
 //! the interposition of active property execution".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use placeless_bench::support::DelayProperty;
 use placeless_core::prelude::*;
 use placeless_simenv::{LatencyModel, VirtualClock};
 use std::hint::black_box;
 use std::sync::Arc;
 
-fn space_with_chain(chain: usize) -> (Arc<DocumentSpace>, DocumentId, UserId) {
+fn space_with_chain_and_body(
+    chain: usize,
+    body_bytes: usize,
+) -> (Arc<DocumentSpace>, DocumentId, UserId) {
     let user = UserId(1);
     let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
-    let provider = MemoryProvider::new("doc", vec![b'x'; 4_096], 0);
+    let provider = MemoryProvider::new("doc", vec![b'x'; body_bytes], 0);
     let doc = space.create_document(user, provider);
     for _ in 0..chain {
         space
@@ -22,6 +25,10 @@ fn space_with_chain(chain: usize) -> (Arc<DocumentSpace>, DocumentId, UserId) {
     (space, doc, user)
 }
 
+fn space_with_chain(chain: usize) -> (Arc<DocumentSpace>, DocumentId, UserId) {
+    space_with_chain_and_body(chain, 4_096)
+}
+
 fn bench_read_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_path_chain");
     for chain in [0usize, 2, 8, 32] {
@@ -29,6 +36,25 @@ fn bench_read_path(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(chain), &chain, |b, _| {
             b.iter(|| black_box(space.read_document(user, doc).expect("read")))
         });
+    }
+    group.finish();
+}
+
+/// The body-size axis: a fixed three-stage pass-through chain over
+/// growing bodies, reported as throughput so criterion echoes ns/byte.
+/// With the zero-copy chunk path, identity stages forward the provider's
+/// refcounted slice, so the per-byte cost must stay flat (hashing-bound)
+/// rather than growing with copies per stage.
+fn bench_read_path_body_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_path_body_size");
+    for body_bytes in [4usize << 10, 256 << 10, 4 << 20] {
+        let (space, doc, user) = space_with_chain_and_body(3, body_bytes);
+        group.throughput(Throughput::Bytes(body_bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}KiB", body_bytes >> 10)),
+            &body_bytes,
+            |b, _| b.iter(|| black_box(space.read_document(user, doc).expect("read"))),
+        );
     }
     group.finish();
 }
@@ -49,5 +75,10 @@ fn bench_write_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_read_path, bench_write_path);
+criterion_group!(
+    benches,
+    bench_read_path,
+    bench_read_path_body_size,
+    bench_write_path
+);
 criterion_main!(benches);

@@ -435,6 +435,50 @@ fn run_stage() {
     println!("\n(with staging, later users replay only the per-user suffix over the");
     println!(" shared base prefix; the base intermediates are resident exactly once)\n");
 
+    // Acceptance gate: the lease-anchored streaming walk must serve a
+    // later user's staged miss at no more than half the pre-lease cost
+    // (two middleware hops + provider fetch + the per-user tag stage).
+    let pre_lease_micros = 600 + params.fetch_micros + params.tag_micros;
+    let on = results
+        .iter()
+        .find(|r| r.stage_cache)
+        .expect("staged run present");
+    assert!(
+        on.later_user_mean_micros * 2 <= pre_lease_micros,
+        "later-user staged read {} us regressed past half the pre-lease path {} us",
+        on.later_user_mean_micros,
+        pre_lease_micros
+    );
+    println!(
+        "later-user gate: {} us <= {} us / 2 (plan lease + verified root, ok)",
+        on.later_user_mean_micros, pre_lease_micros
+    );
+
+    // Zero-copy probe: a pass-through chain over a 4 MiB body must hand
+    // the same refcounted slice through every stage — no materialization.
+    let probe = stage::streaming_passthrough_probe(4 << 20, 3);
+    assert!(
+        probe.zero_copy,
+        "pass-through chain materialized a copy of the body"
+    );
+    println!(
+        "zero-copy probe: {} MiB through {} identity stages, {:.3} ns/byte, output is the input slice",
+        probe.body_bytes >> 20,
+        probe.chain,
+        probe.ns_per_byte
+    );
+
+    // Big-document smoke: a 4 MiB live-feed frame through a three-stage
+    // chain (uncacheable, nothing retained; asserts internally).
+    let smoke = stage::big_doc_smoke(4 << 20);
+    println!(
+        "big-doc smoke: {} MiB live frame + 3 stages, {} uncacheable reads, {} bytes resident, {:.3} ns/byte\n",
+        smoke.frame_bytes >> 20,
+        smoke.uncacheable_reads,
+        smoke.resident_bytes,
+        smoke.ns_per_byte
+    );
+
     let json = stage_json(params, &results);
     match std::fs::write("BENCH_stage.json", &json) {
         Ok(()) => println!("wrote BENCH_stage.json\n"),

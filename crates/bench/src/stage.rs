@@ -15,6 +15,7 @@
 //! so any saving must come from the staged prefix.
 
 use crate::support::TagProperty;
+use bytes::Bytes;
 use placeless_cache::{CacheConfig, CacheStats, DocumentCache};
 use placeless_core::prelude::*;
 use placeless_simenv::trace::lorem_bytes;
@@ -162,6 +163,144 @@ pub fn run_one(stage_cache: bool, params: StageParams) -> StageResult {
 /// Runs the off/on pair.
 pub fn sweep(params: StageParams) -> Vec<StageResult> {
     vec![run_one(false, params), run_one(true, params)]
+}
+
+/// Result of the zero-copy pass-through probe.
+#[derive(Debug, Clone, Copy)]
+pub struct PassthroughProbe {
+    /// Body size driven through the chain.
+    pub body_bytes: usize,
+    /// Chain depth (all identity stages).
+    pub chain: usize,
+    /// The final output shares the input allocation: no stage copied.
+    pub zero_copy: bool,
+    /// Wall-clock nanoseconds per body byte for the full chain walk.
+    pub ns_per_byte: f64,
+}
+
+/// Drives one body through a pass-through (identity) chain with the
+/// streaming executor and checks the walk never materializes a copy: the
+/// final output *is* the input allocation (same pointer, same length), so
+/// peak residency is one body regardless of chain depth — strictly below
+/// the chunk-size × depth bound a chunk-buffering executor would need.
+pub fn streaming_passthrough_probe(body_bytes: usize, chain: usize) -> PassthroughProbe {
+    use placeless_core::plan::StagePipeline;
+
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let body = lorem_bytes(11, body_bytes);
+    let provider = MemoryProvider::new("doc", body.clone(), 0);
+    let user = UserId(1);
+    let doc = space.create_document(user, provider);
+    for i in 0..chain {
+        space
+            .attach_active(
+                Scope::Universal,
+                doc,
+                crate::support::DelayProperty::new(i as u64),
+            )
+            .expect("attach identity stage");
+    }
+    let plan = space.read_plan(user, doc).expect("plan");
+    let input = Bytes::from(body);
+    let sig = md5(&input);
+    let started = std::time::Instant::now();
+    let mut report = plan.seed_report(&clock);
+    let mut pipeline = StagePipeline::from_root(&plan, input.clone(), sig);
+    for index in 0..plan.len() {
+        pipeline.execute(&clock, index, &mut report).expect("stage");
+    }
+    let (out, out_sig) = pipeline.finish();
+    let elapsed = started.elapsed();
+    let out = out.expect("pipeline bytes");
+    let zero_copy =
+        out.len() == input.len() && out.as_ptr() == input.as_ptr() && out_sig == Some(sig);
+    PassthroughProbe {
+        body_bytes,
+        chain,
+        zero_copy,
+        ns_per_byte: elapsed.as_nanos() as f64 / body_bytes.max(1) as f64,
+    }
+}
+
+/// Result of the big-document live-feed smoke.
+#[derive(Debug, Clone, Copy)]
+pub struct BigDocSmoke {
+    /// Live-feed frame size.
+    pub frame_bytes: usize,
+    /// One rendition's size (frame plus the three stage markers).
+    pub out_bytes: usize,
+    /// Uncacheable reads counted (both reads must forward to the feed).
+    pub uncacheable_reads: u64,
+    /// Physical bytes resident afterwards (must be zero).
+    pub resident_bytes: u64,
+    /// Wall-clock nanoseconds per output byte across both reads.
+    pub ns_per_byte: f64,
+}
+
+/// Streams a multi-MiB live-feed frame through a three-stage tagging
+/// chain. The feed votes `Uncacheable` and offers no verifier, so every
+/// read must reach the repository, re-run the full chain, and leave
+/// nothing resident — the worst case for the streaming executor, which
+/// still must not regress correctness: both renditions carry the chain's
+/// markers in order, and consecutive frames differ.
+pub fn big_doc_smoke(frame_bytes: usize) -> BigDocSmoke {
+    use placeless_repository::{LiveFeed, LiveFeedProvider};
+    use placeless_simenv::{Link, LinkClass};
+
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::new(clock.clone());
+    let feed = LiveFeed::new("cam", frame_bytes, 9);
+    let provider = LiveFeedProvider::new(feed, Link::of_class(LinkClass::Lan, 0));
+    let user = UserId(1);
+    let doc = space.create_document(user, provider);
+    for i in 0..3 {
+        space
+            .attach_active(
+                Scope::Universal,
+                doc,
+                TagProperty::new(&format!("big-{i}"), 10),
+            )
+            .expect("attach tag");
+    }
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .capacity_bytes(u64::MAX)
+            .stage_cache(true)
+            .build(),
+    );
+    let started = std::time::Instant::now();
+    let first = cache.read(user, doc).expect("first read");
+    let second = cache.read(user, doc).expect("second read");
+    let elapsed = started.elapsed();
+    let markers = b"[big-0][big-1][big-2]";
+    for rendition in [&first, &second] {
+        assert_eq!(
+            rendition.len(),
+            frame_bytes + markers.len(),
+            "rendition must be the frame plus the three markers"
+        );
+        assert!(
+            rendition.ends_with(markers),
+            "stage markers must appear in chain order"
+        );
+    }
+    assert_ne!(first, second, "live frames must differ read to read");
+    let stats = cache.stats();
+    assert_eq!(stats.uncacheable_reads, 2, "both reads forward to the feed");
+    let (resident_bytes, _) = cache.resident_bytes();
+    assert_eq!(
+        resident_bytes, 0,
+        "uncacheable content must not be retained"
+    );
+    BigDocSmoke {
+        frame_bytes,
+        out_bytes: frame_bytes + markers.len(),
+        uncacheable_reads: stats.uncacheable_reads,
+        resident_bytes,
+        ns_per_byte: elapsed.as_nanos() as f64 / (2 * (frame_bytes + markers.len())) as f64,
+    }
 }
 
 #[cfg(test)]

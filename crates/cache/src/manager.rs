@@ -106,10 +106,11 @@ use placeless_core::event::EventKind;
 use placeless_core::id::{CacheId, DocumentId, UserId};
 use placeless_core::notifier::{Invalidation, InvalidationSink};
 use placeless_core::op::{apply_all, rebasable, DocOp};
+use placeless_core::plan::{StagePipeline, TransformPlan};
 use placeless_core::property::PathReport;
-use placeless_core::space::{BatchWrite, DocumentSpace, Scope};
-use placeless_core::streams::read_all;
-use placeless_core::verifier::{run_all, Validity};
+use placeless_core::space::{BaseChainLease, BatchWrite, DocumentSpace, Scope};
+use placeless_core::streams::read_all_digest;
+use placeless_core::verifier::{run_all, Validity, Verifier};
 use placeless_simenv::{Instant, LatencyModel, Link, Stopwatch, VirtualClock};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -668,6 +669,28 @@ struct Shard {
 
 use crate::digest::Signature;
 
+/// Fast-path state for one document's staged read walk (see
+/// [`DocumentCache::read_through_stages`]).
+struct PlanLease {
+    /// The space-issued compiled view of the base half of the property
+    /// chain, validated against the base document's chain epoch on every
+    /// use — reusing it saves one middleware hop per walk.
+    chain: Arc<BaseChainLease>,
+    /// The provider rendition last fetched through this lease, when the
+    /// provider could hand out a verifier for it.
+    root: Option<RootLease>,
+}
+
+/// A verifier-guarded root content signature: "the provider bytes still
+/// digest to `sig`", as attested by `verifier`. The verifier is captured
+/// *before* the bytes it covers are fetched, so a write landing between
+/// capture and fetch reads as `Invalid` (a wasted refetch) — never as
+/// `Valid` over stale bytes.
+struct RootLease {
+    sig: Signature,
+    verifier: Box<dyn Verifier>,
+}
+
 /// An application-level cache over a [`DocumentSpace`].
 pub struct DocumentCache {
     id: CacheId,
@@ -718,6 +741,10 @@ pub struct DocumentCache {
     /// Per-`(doc, user)` causal sequence counters for op-based writes,
     /// seeded from replayed journal records on recovery. Leaf lock.
     writer_seqs: Mutex<HashMap<(DocumentId, UserId), u64>>,
+    /// Per-document staged-read leases (see [`PlanLease`]). Leaf lock; the
+    /// root verifier runs under it, but verifiers touch only provider
+    /// internals, never cache state.
+    leases: Mutex<HashMap<DocumentId, PlanLease>>,
 }
 
 impl DocumentCache {
@@ -769,6 +796,7 @@ impl DocumentCache {
             parked_gauge: AtomicU64::new(0),
             merge: config.merge,
             writer_seqs: Mutex::new(HashMap::new()),
+            leases: Mutex::new(HashMap::new()),
         });
         cache.space.bus().subscribe(Arc::new(CacheSink {
             cache: Arc::downgrade(&cache),
@@ -1264,7 +1292,7 @@ impl DocumentCache {
         let fetched = self.fetch_with_resilience(user, doc, &clock, &opts);
         if let Some(guard) = guard {
             guard.complete(match &fetched {
-                Ok((bytes, report, _)) => {
+                Ok((bytes, report, _, _)) => {
                     if report.cacheability == Cacheability::Uncacheable {
                         FlightResult::Unshared
                     } else {
@@ -1277,7 +1305,7 @@ impl DocumentCache {
                 Err(error) => FlightResult::Failed(error.clone()),
             });
         }
-        let (bytes, report, stage_partial) = match fetched {
+        let (bytes, report, stage_partial, content_sig) = match fetched {
             Ok(fetched) => fetched,
             Err(error) => {
                 return self.stale_or_degraded(error, stale, user, doc, &clock, &opts, &watch)
@@ -1295,7 +1323,15 @@ impl DocumentCache {
         AtomicCacheStats::bump(&self.stats.misses);
         {
             let mut shard = self.shards[index].lock();
-            self.fill_locked(index, &mut shard, key, bytes.clone(), report, false);
+            self.fill_locked(
+                index,
+                &mut shard,
+                key,
+                bytes.clone(),
+                report,
+                false,
+                content_sig,
+            );
         }
         AtomicCacheStats::add(&self.stats.miss_micros, watch.elapsed_micros());
         if self.prefetch.enabled {
@@ -1382,7 +1418,7 @@ impl DocumentCache {
         doc: DocumentId,
         clock: &VirtualClock,
         opts: &ReadOptions,
-    ) -> Result<(Bytes, PathReport, bool)> {
+    ) -> Result<(Bytes, PathReport, bool, Option<Signature>)> {
         let use_stages = self.stage_cache && !opts.bypass_stage_cache;
         if self.resilience.is_noop() {
             // A per-read deadline bounds retry scheduling; without
@@ -1467,14 +1503,14 @@ impl DocumentCache {
         doc: DocumentId,
         clock: &VirtualClock,
         use_stages: bool,
-    ) -> Result<(Bytes, PathReport, bool)> {
+    ) -> Result<(Bytes, PathReport, bool, Option<Signature>)> {
         let slot = self.begin_origin_fetch(doc);
         let result = if use_stages {
             self.read_through_stages(user, doc, clock)
         } else {
             self.space
                 .read_document(user, doc)
-                .map(|(bytes, report)| (bytes, report, false))
+                .map(|(bytes, report)| (bytes, report, false, None))
         };
         self.end_origin_fetch(slot);
         result
@@ -1505,17 +1541,29 @@ impl DocumentCache {
         }
     }
 
-    /// Walks the compiled [`TransformPlan`](placeless_core::plan::TransformPlan)
-    /// stage by stage, executing each stage buffered and skipping stages
+    /// Walks the compiled [`TransformPlan`] through a
+    /// [`StagePipeline`], streaming each executed stage in one chunked
+    /// pass (output digest folded as the chunks flow) and skipping stages
     /// whose output is already resident under its stage signature.
     ///
-    /// The provider bytes are always fetched fresh: they root the signature
-    /// chain, so a stage hit is *proof* that the resident intermediate was
-    /// derived from exactly these source bytes by exactly this transform —
-    /// stale intermediates are never served, they just stop being looked
-    /// up. Skipped stages do not charge the virtual clock (that is the
-    /// saving) but still accrue their replacement cost and still register
-    /// their path metadata (votes, verifiers, pins) via a lazy dummy wrap.
+    /// Two leases make the repeat walk cheap. The **chain lease** is the
+    /// space's compiled view of the base half of the property chain,
+    /// validated against the base document's chain epoch inside
+    /// [`DocumentSpace::read_plan_cached`] — reusing it saves one
+    /// middleware hop. The **root lease** is the provider content
+    /// signature captured at the last fetch, guarded by the provider's
+    /// own verifier: the verifier runs on *every* use (this is the
+    /// lease's soundness condition, not `run_verifiers` freshness
+    /// policy), and only `Valid` lets the walk anchor its signature chain
+    /// on the leased digest without refetching the provider bytes at all.
+    /// A walk that never executes a stage — every signed stage hits —
+    /// then never materializes the root. Stale intermediates are never
+    /// served either way: a stage hit is *proof* that the resident
+    /// intermediate was derived from exactly the attested source bytes by
+    /// exactly this transform prefix. Skipped stages do not charge the
+    /// virtual clock (that is the saving) but still accrue their
+    /// replacement cost and still register their path metadata (votes,
+    /// verifiers, pins) via a lazy dummy wrap.
     ///
     /// With single-flight on, a stage that is neither resident nor being
     /// computed opens a **stage flight** keyed by its signature; threads
@@ -1525,70 +1573,128 @@ impl DocumentCache {
     /// and transform prefix, so the leader's output is byte-for-byte what
     /// every waiter's walk would have computed.
     ///
-    /// Returns the bytes, the report, and whether any stage hit (resident
-    /// or coalesced).
+    /// Returns the bytes, the report, whether any stage hit (resident or
+    /// coalesced), and the final content digest when the walk knows it
+    /// (spares the install path a full re-hash).
     fn read_through_stages(
         &self,
         user: UserId,
         doc: DocumentId,
         clock: &VirtualClock,
-    ) -> Result<(Bytes, PathReport, bool)> {
-        let plan = self.space.read_plan(user, doc)?;
+    ) -> Result<(Bytes, PathReport, bool, Option<Signature>)> {
+        // Lease probe. The root half is consumed only if its verifier —
+        // charged to this walk — still vouches for the leased signature.
+        let (chain_lease, root_sig) = {
+            let mut leases = self.leases.lock();
+            match leases.get_mut(&doc) {
+                Some(lease) => {
+                    let chain = Arc::clone(&lease.chain);
+                    let root = lease.root.as_ref().and_then(|root| {
+                        let cost = root.verifier.cost_micros();
+                        clock.advance(cost);
+                        AtomicCacheStats::add(&self.stats.verify_micros, cost);
+                        (root.verifier.check(clock) == Validity::Valid).then_some(root.sig)
+                    });
+                    if root.is_none() {
+                        lease.root = None;
+                    }
+                    (Some(chain), root)
+                }
+                None => (None, None),
+            }
+        };
+        let (plan, chain_lease, _chain_reused) =
+            self.space
+                .read_plan_cached(user, doc, chain_lease.as_ref())?;
         let mut report = plan.seed_report(clock);
-        let mut stream = plan.provider.open_input(clock)?;
-        let mut bytes = read_all(stream.as_mut())?;
-        drop(stream);
-        // The chain signature: the provider digest, then each signed
-        // stage's signature (or a digest of an opaque stage's real output).
-        let mut chain_sig = ConcurrentStore::signature_of(&bytes);
+        // The walk anchors either on the verified root signature (no
+        // fetch, no bytes until a stage actually needs them) or on freshly
+        // fetched provider bytes, their digest folded in the same pass.
+        let mut fetched_root: Option<Signature> = None;
+        let mut root_verifier: Option<Box<dyn Verifier>> = None;
+        let mut pipeline = match root_sig {
+            Some(sig) => {
+                AtomicCacheStats::bump(&self.stats.root_reuses);
+                StagePipeline::from_signature(&plan, sig)
+            }
+            None => {
+                // Capture the verifier before the bytes it vouches for: a
+                // write landing in between reads as Invalid next time (a
+                // wasted refetch), never as Valid over stale bytes.
+                root_verifier = plan.provider.make_verifier(clock);
+                let mut stream = plan.provider.open_input(clock)?;
+                let (bytes, sig) = read_all_digest(stream.as_mut())?;
+                drop(stream);
+                fetched_root = Some(sig);
+                StagePipeline::from_root(&plan, bytes, sig)
+            }
+        };
         let mut any_hit = false;
         for index in 0..plan.len() {
-            match plan.stage_signature(index, chain_sig) {
+            match pipeline.stage_signature(index) {
                 Some(stage_sig) => {
-                    if let Some(cached) = self.stage_lookup(stage_sig) {
-                        plan.note_stage_hit(clock, index, &mut report, stage_sig)?;
+                    if let Some((cached, content_sig)) = self.stage_lookup(stage_sig) {
+                        pipeline.adopt_hit(
+                            clock,
+                            index,
+                            &mut report,
+                            stage_sig,
+                            cached,
+                            Some(content_sig),
+                        )?;
                         AtomicCacheStats::bump(&self.stats.stage_hits);
                         any_hit = true;
-                        bytes = cached;
                     } else if self.single_flight {
                         match self.stage_flights.join(EntryKey::Stage(stage_sig)) {
                             Join::Leader(guard) => {
                                 // Re-check residency under leadership: a
                                 // previous flight may have filled this
                                 // signature between our lookup and now.
-                                if let Some(cached) = self.stage_lookup(stage_sig) {
-                                    plan.note_stage_hit(clock, index, &mut report, stage_sig)?;
-                                    AtomicCacheStats::bump(&self.stats.stage_hits);
-                                    any_hit = true;
-                                    guard.complete(FlightResult::Shared {
-                                        bytes: cached.clone(),
-                                        forward: false,
-                                    });
-                                    bytes = cached;
-                                } else {
-                                    match self.run_and_fill_stage(
-                                        &plan,
+                                if let Some((cached, content_sig)) = self.stage_lookup(stage_sig) {
+                                    pipeline.adopt_hit(
                                         clock,
                                         index,
                                         &mut report,
-                                        bytes,
                                         stage_sig,
+                                        cached.clone(),
+                                        Some(content_sig),
+                                    )?;
+                                    AtomicCacheStats::bump(&self.stats.stage_hits);
+                                    any_hit = true;
+                                    guard.complete(FlightResult::Shared {
+                                        bytes: cached,
+                                        forward: false,
+                                    });
+                                } else {
+                                    match self.run_and_fill_stage(
+                                        &plan,
+                                        &mut pipeline,
+                                        clock,
+                                        index,
+                                        &mut report,
+                                        &mut fetched_root,
+                                        &mut root_verifier,
                                     ) {
-                                        Ok(output) => {
+                                        Ok((output, executed_sig)) => {
                                             guard.complete(
                                                 if report.cacheability == Cacheability::Uncacheable
+                                                    || executed_sig != stage_sig
                                                 {
-                                                    // Must execute per read;
-                                                    // waiters run their own.
+                                                    // Uncacheable content
+                                                    // must execute per read;
+                                                    // a rebased walk (stale
+                                                    // root lease) computed
+                                                    // something else than
+                                                    // this flight promised.
+                                                    // Waiters run their own.
                                                     FlightResult::Unshared
                                                 } else {
                                                     FlightResult::Shared {
-                                                        bytes: output.clone(),
+                                                        bytes: output,
                                                         forward: false,
                                                     }
                                                 },
                                             );
-                                            bytes = output;
                                         }
                                         Err(error) => {
                                             guard.complete(FlightResult::Failed(error.clone()));
@@ -1598,11 +1704,17 @@ impl DocumentCache {
                                 }
                             }
                             Join::Waited(Some(FlightResult::Shared { bytes: shared, .. })) => {
-                                plan.note_stage_hit(clock, index, &mut report, stage_sig)?;
+                                pipeline.adopt_hit(
+                                    clock,
+                                    index,
+                                    &mut report,
+                                    stage_sig,
+                                    shared,
+                                    None,
+                                )?;
                                 AtomicCacheStats::bump(&self.stats.stage_hits);
                                 AtomicCacheStats::bump(&self.stats.coalesced_waits);
                                 any_hit = true;
-                                bytes = shared;
                             }
                             Join::Waited(Some(FlightResult::Failed(error))) => {
                                 // Same signature, same computation: the
@@ -1612,67 +1724,150 @@ impl DocumentCache {
                                 return Err(error);
                             }
                             Join::Waited(Some(FlightResult::Unshared)) | Join::Waited(None) => {
-                                bytes = self.run_and_fill_stage(
+                                self.run_and_fill_stage(
                                     &plan,
+                                    &mut pipeline,
                                     clock,
                                     index,
                                     &mut report,
-                                    bytes,
-                                    stage_sig,
+                                    &mut fetched_root,
+                                    &mut root_verifier,
                                 )?;
                             }
                         }
                     } else {
-                        bytes = self.run_and_fill_stage(
+                        self.run_and_fill_stage(
                             &plan,
+                            &mut pipeline,
                             clock,
                             index,
                             &mut report,
-                            bytes,
-                            stage_sig,
+                            &mut fetched_root,
+                            &mut root_verifier,
                         )?;
                     }
-                    chain_sig = stage_sig;
                 }
                 None => {
-                    // Opaque stage: executes on every read; the signature
-                    // chain restarts from its actual output, so downstream
-                    // stages stay cacheable.
-                    bytes = plan.run_stage_buffered(clock, index, &mut report, bytes, None)?;
-                    chain_sig = ConcurrentStore::signature_of(&bytes);
+                    // Opaque stage: executes on every read; the pipeline
+                    // restarts the signature chain from its actual output
+                    // digest, so downstream stages stay cacheable.
+                    self.materialize_root(
+                        &plan,
+                        &mut pipeline,
+                        clock,
+                        &mut fetched_root,
+                        &mut root_verifier,
+                    )?;
+                    pipeline.execute(clock, index, &mut report)?;
                 }
             }
         }
         if any_hit {
             AtomicCacheStats::bump(&self.stats.stage_partial_hits);
         }
-        Ok((bytes, report, any_hit))
+        // A walk whose every stage hit never needed the root — until now:
+        // the caller wants the final content.
+        self.materialize_root(
+            &plan,
+            &mut pipeline,
+            clock,
+            &mut fetched_root,
+            &mut root_verifier,
+        )?;
+        let (bytes, content_sig) = pipeline.finish();
+        let bytes = bytes.expect("pipeline bytes materialized after the walk");
+        // Refresh the lease for the next walk: the chain half always (it
+        // is epoch-validated on use), the root half only when this walk
+        // fetched the provider bytes and could capture a verifier over
+        // them (a fetch with no verifier clears any stale root lease).
+        {
+            let mut leases = self.leases.lock();
+            let lease = leases.entry(doc).or_insert_with(|| PlanLease {
+                chain: Arc::clone(&chain_lease),
+                root: None,
+            });
+            lease.chain = chain_lease;
+            if let Some(sig) = fetched_root {
+                lease.root = root_verifier
+                    .take()
+                    .map(|verifier| RootLease { sig, verifier });
+            }
+        }
+        Ok((bytes, report, any_hit, content_sig))
     }
 
-    /// Executes one signed stage and retains its output — the plain,
-    /// uncoalesced stage miss path.
-    fn run_and_fill_stage(
+    /// Ensures the pipeline holds real bytes, fetching the provider root
+    /// when a lease-anchored walk reaches a point that needs content. The
+    /// pipeline can only be byteless at the chain head (every processed
+    /// stage leaves bytes behind), so when the fetched digest contradicts
+    /// the leased signature — the lease lost its race with a writer
+    /// between the verifier probe and this fetch — rebasing the pipeline
+    /// on the real root is a clean restart of the walk, not a mid-chain
+    /// splice.
+    fn materialize_root<'p>(
         &self,
-        plan: &placeless_core::plan::TransformPlan,
+        plan: &'p TransformPlan,
+        pipeline: &mut StagePipeline<'p>,
+        clock: &VirtualClock,
+        fetched_root: &mut Option<Signature>,
+        root_verifier: &mut Option<Box<dyn Verifier>>,
+    ) -> Result<()> {
+        if pipeline.has_bytes() {
+            return Ok(());
+        }
+        *root_verifier = plan.provider.make_verifier(clock);
+        let mut stream = plan.provider.open_input(clock)?;
+        let (bytes, sig) = read_all_digest(stream.as_mut())?;
+        drop(stream);
+        *fetched_root = Some(sig);
+        if sig == pipeline.chain_signature() {
+            pipeline.supply_root(bytes);
+        } else {
+            *pipeline = StagePipeline::from_root(plan, bytes, sig);
+        }
+        Ok(())
+    }
+
+    /// Executes one signed stage through the pipeline and retains its
+    /// output — the plain, uncoalesced stage miss path. Returns the bytes
+    /// and the signature the stage actually executed under; the latter
+    /// differs from the caller's expectation only when materializing the
+    /// root rebased the walk onto a newer provider rendition.
+    #[allow(clippy::too_many_arguments)]
+    fn run_and_fill_stage<'p>(
+        &self,
+        plan: &'p TransformPlan,
+        pipeline: &mut StagePipeline<'p>,
         clock: &VirtualClock,
         index: usize,
         report: &mut PathReport,
-        input: Bytes,
-        stage_sig: Signature,
-    ) -> Result<Bytes> {
-        let output = plan.run_stage_buffered(clock, index, report, input, Some(stage_sig))?;
+        fetched_root: &mut Option<Signature>,
+        root_verifier: &mut Option<Box<dyn Verifier>>,
+    ) -> Result<(Bytes, Signature)> {
+        self.materialize_root(plan, pipeline, clock, fetched_root, root_verifier)?;
+        let stage_sig = pipeline
+            .stage_signature(index)
+            .expect("run_and_fill_stage is only called for signed stages");
+        let output = pipeline.execute(clock, index, report)?;
         if report.cacheability != Cacheability::Uncacheable {
             // Replacement cost = everything it would take to rebuild this
             // intermediate: provider fetch plus the chain prefix up to and
             // including this stage.
-            self.fill_stage(stage_sig, output.clone(), report.cost.effective_micros());
+            self.fill_stage(
+                stage_sig,
+                output.bytes.clone(),
+                Some(output.content_sig),
+                report.cost.effective_micros(),
+            );
         }
-        Ok(output)
+        Ok((output.bytes, stage_sig))
     }
 
     /// Looks up an intermediate stage entry, registering the hit with the
-    /// entry's shard policy. Briefly takes one shard lock.
-    fn stage_lookup(&self, sig: Signature) -> Option<Bytes> {
+    /// entry's shard policy. Briefly takes one shard lock. Returns the
+    /// bytes together with their stored content digest, so the pipeline
+    /// can carry the digest forward without re-hashing.
+    fn stage_lookup(&self, sig: Signature) -> Option<(Bytes, Signature)> {
         let key = EntryKey::Stage(sig);
         let mut shard = self.shard(key).lock();
         let content_sig = *shard.sigs.get(&key)?;
@@ -1681,13 +1876,16 @@ impl DocumentCache {
             meta.hits += 1;
         }
         shard.policy.on_hit(key);
-        Some(bytes)
+        Some((bytes, content_sig))
     }
 
     /// Inserts an intermediate stage output under its stage signature,
     /// competing for residency like any other entry but tagged
     /// [`STAGE_PIN_LEVEL`] so cost-aware policies discount it.
-    fn fill_stage(&self, sig: Signature, bytes: Bytes, cost: f64) {
+    /// `content_sig` is the output's already-computed digest (the
+    /// streaming executor folds it as the chunks flow), sparing the
+    /// install a second full pass over the bytes.
+    fn fill_stage(&self, sig: Signature, bytes: Bytes, content_sig: Option<Signature>, cost: f64) {
         let key = EntryKey::Stage(sig);
         let index = self.shard_index(key);
         let mut shard = self.shards[index].lock();
@@ -1702,7 +1900,15 @@ impl DocumentCache {
             bytes.len() as u64,
             self.space.clock().now(),
         );
-        self.install_locked(index, &mut shard, key, bytes, meta, STAGE_PIN_LEVEL);
+        self.install_locked(
+            index,
+            &mut shard,
+            key,
+            bytes,
+            meta,
+            STAGE_PIN_LEVEL,
+            content_sig,
+        );
     }
 
     /// Records an invalidation-bus sequence number and reacts to gaps.
@@ -1762,6 +1968,7 @@ impl DocumentCache {
     /// from a sibling shard and otherwise gives the entry up (with
     /// `shards: 1` that reproduces the original "evict the entry just
     /// inserted" behaviour, statistics included).
+    #[allow(clippy::too_many_arguments)]
     fn fill_locked(
         &self,
         index: usize,
@@ -1770,6 +1977,7 @@ impl DocumentCache {
         bytes: Bytes,
         report: PathReport,
         prefetched: bool,
+        content_sig: Option<Signature>,
     ) {
         let clock = self.space.clock();
         let mut meta = EntryMeta::new(
@@ -1781,12 +1989,16 @@ impl DocumentCache {
         );
         meta.pinned = report.pinned;
         meta.prefetched = prefetched;
-        self.install_locked(index, shard, key, bytes, meta, 0);
+        self.install_locked(index, shard, key, bytes, meta, 0, content_sig);
     }
 
     /// The shared insert-with-reservation loop behind [`Self::fill_locked`]
     /// (final versions) and [`Self::fill_stage`] (intermediates). Caller
-    /// holds the shard lock for `index`.
+    /// holds the shard lock for `index`. `known_sig` is the content digest
+    /// when the read path already computed it in-stream; the store is
+    /// content-addressed, so a wrong digest would corrupt sharing —
+    /// debug builds re-hash and compare.
+    #[allow(clippy::too_many_arguments)]
     fn install_locked(
         &self,
         index: usize,
@@ -1795,6 +2007,7 @@ impl DocumentCache {
         bytes: Bytes,
         meta: EntryMeta,
         pin_level: u8,
+        known_sig: Option<Signature>,
     ) {
         let size = meta.size;
         let cost = meta.cost_micros;
@@ -1817,7 +2030,17 @@ impl DocumentCache {
         } else {
             shard.policy.on_insert(key, &attrs);
         }
-        let sig = ConcurrentStore::signature_of(&bytes);
+        let sig = match known_sig {
+            Some(sig) => {
+                debug_assert_eq!(
+                    sig,
+                    ConcurrentStore::signature_of(&bytes),
+                    "known content signature must match the bytes being installed"
+                );
+                sig
+            }
+            None => ConcurrentStore::signature_of(&bytes),
+        };
         loop {
             match self.store.try_acquire(sig, &bytes, self.capacity_bytes) {
                 Ok(shared) => {
@@ -1898,7 +2121,7 @@ impl DocumentCache {
                 }
                 // Fetch through the full property path, as a miss would.
                 let clock = self.space.clock().clone();
-                let Ok((bytes, report, _)) =
+                let Ok((bytes, report, _, content_sig)) =
                     self.fetch_once(user, sibling, &clock, self.stage_cache)
                 else {
                     continue;
@@ -1909,7 +2132,7 @@ impl DocumentCache {
                 let key = EntryKey::Version(sibling, user);
                 let index = self.shard_index(key);
                 let mut shard = self.shards[index].lock();
-                self.fill_locked(index, &mut shard, key, bytes, report, true);
+                self.fill_locked(index, &mut shard, key, bytes, report, true, content_sig);
                 AtomicCacheStats::bump(&self.stats.prefetches);
                 budget -= 1;
             }
@@ -2677,6 +2900,10 @@ impl DocumentCache {
     /// Drops every resident version of `doc`, sweeping the shards one at
     /// a time (no two shard locks are ever held together).
     fn invalidate_doc(&self, doc: DocumentId) {
+        // Hygiene, not correctness: both lease halves self-validate on use
+        // (chain epoch, root verifier), but a doc-wide invalidation makes
+        // them unlikely to validate again — free the memory now.
+        self.leases.lock().remove(&doc);
         for mutex in self.shards.iter() {
             let mut shard = mutex.lock();
             let keys: Vec<EntryKey> = shard
@@ -2703,6 +2930,7 @@ impl DocumentCache {
                 }
             }
             Invalidation::Document(doc) => {
+                self.leases.lock().remove(&doc);
                 for mutex in self.shards.iter() {
                     let mut shard = mutex.lock();
                     let keys: Vec<EntryKey> = shard
@@ -3170,6 +3398,112 @@ mod tests {
         let stats = back.stats();
         assert_eq!(stats.writes, 2);
         assert_eq!(stats.flushes, 1, "coalesced into one flush");
+    }
+
+    /// A minimal signed tagging transform for the plan-lease tests.
+    struct LeaseTag;
+    impl ActiveProperty for LeaseTag {
+        fn name(&self) -> &str {
+            "lease-tag"
+        }
+        fn interests(&self) -> Interests {
+            Interests::of(&[EventKind::GetInputStream])
+        }
+        fn execution_cost_micros(&self) -> u64 {
+            50
+        }
+        fn wrap_input(
+            &self,
+            _ctx: &PathCtx<'_>,
+            _report: &mut PathReport,
+            inner: Box<dyn InputStream>,
+        ) -> Result<Box<dyn InputStream>> {
+            Ok(Box::new(TransformingInput::new(
+                inner,
+                Box::new(|b| {
+                    let mut v = b.to_vec();
+                    v.extend_from_slice(b"[t]");
+                    Ok(Bytes::from(v))
+                }),
+            )))
+        }
+        fn transform_token(&self, _ctx: &PathCtx<'_>) -> Option<Vec<u8>> {
+            Some(b"t".to_vec())
+        }
+    }
+
+    fn lease_setup() -> (
+        Arc<DocumentSpace>,
+        Arc<MemoryProvider>,
+        DocumentId,
+        VirtualClock,
+    ) {
+        let clock = VirtualClock::new();
+        let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::new(300, 0));
+        let provider = MemoryProvider::new("t", "body", 1_000);
+        let doc = space.create_document(ALICE, provider.clone());
+        space.add_reference(BOB, doc).expect("reference");
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(LeaseTag))
+            .expect("attach");
+        (space, provider, doc, clock)
+    }
+
+    fn lease_config() -> CacheConfig {
+        CacheConfig {
+            local_latency: LatencyModel::FREE,
+            stage_cache: true,
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_lease_serves_later_staged_walks_without_refetching() {
+        let (space, _provider, doc, clock) = lease_setup();
+        let cache = DocumentCache::new(space, lease_config());
+
+        assert_eq!(cache.read(ALICE, doc).expect("first read"), "body[t]");
+        assert_eq!(cache.stats().root_reuses, 0, "cold walk must fetch");
+
+        // Bob's first read is a version miss, but the whole staged walk is
+        // served off the leases: the chain lease saves one hop, the
+        // verified root signature elides the provider fetch, and the tag
+        // stage is adopted from the intermediate store.
+        let t0 = clock.now();
+        assert_eq!(cache.read(BOB, doc).expect("later read"), "body[t]");
+        let later = clock.now().since(t0);
+        let stats = cache.stats();
+        assert_eq!(stats.root_reuses, 1, "root fetch elided via the lease");
+        assert_eq!(stats.stage_hits, 1, "tag stage adopted, not executed");
+        assert!(
+            later < 1_000,
+            "later walk ({later} us) must not pay the 1000 us provider fetch"
+        );
+    }
+
+    #[test]
+    fn stale_root_lease_refetches_fresh_provider_bytes() {
+        let (space, provider, doc, _clock) = lease_setup();
+        space.add_reference(UserId(3), doc).expect("reference");
+        let cache = DocumentCache::new(space, lease_config());
+
+        assert_eq!(cache.read(ALICE, doc).expect("first read"), "body[t]");
+        assert_eq!(cache.read(BOB, doc).expect("leased read"), "body[t]");
+        assert_eq!(cache.stats().root_reuses, 1);
+
+        // An out-of-band provider change fires no events; only the lease's
+        // verifier can catch it — and must, on the very next walk.
+        provider.set_out_of_band("body2");
+        assert_eq!(
+            cache.read(UserId(3), doc).expect("post-change read"),
+            "body2[t]",
+            "stale root lease must never anchor a walk on old bytes"
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            stats.root_reuses, 1,
+            "the invalidated root lease is not reused"
+        );
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct CacheStats {
     /// stage hit — the paper's per-user suffix served over a shared base
     /// prefix.
     pub stage_partial_hits: u64,
+    /// Staged walks that anchored on a verifier-attested root content
+    /// signature instead of refetching the provider bytes (the plan-lease
+    /// fast path).
+    pub root_reuses: u64,
     /// Logical bytes currently resident as intermediate stage entries (a
     /// gauge: rises on stage fills, falls when stage entries leave).
     pub stage_bytes: u64,
@@ -194,6 +198,7 @@ impl CacheStats {
             stage_partial_hits: self
                 .stage_partial_hits
                 .saturating_sub(earlier.stage_partial_hits),
+            root_reuses: self.root_reuses.saturating_sub(earlier.root_reuses),
             stage_bytes: self.stage_bytes,
             journal_appends: self.journal_appends.saturating_sub(earlier.journal_appends),
             journal_replays: self.journal_replays.saturating_sub(earlier.journal_replays),
@@ -254,6 +259,7 @@ pub struct AtomicCacheStats {
     pub(crate) notifier_gaps: AtomicU64,
     pub(crate) stage_hits: AtomicU64,
     pub(crate) stage_partial_hits: AtomicU64,
+    pub(crate) root_reuses: AtomicU64,
     pub(crate) stage_bytes: AtomicU64,
     pub(crate) journal_appends: AtomicU64,
     pub(crate) journal_replays: AtomicU64,
@@ -316,6 +322,7 @@ impl AtomicCacheStats {
             notifier_gaps: self.notifier_gaps.load(Ordering::Relaxed),
             stage_hits: self.stage_hits.load(Ordering::Relaxed),
             stage_partial_hits: self.stage_partial_hits.load(Ordering::Relaxed),
+            root_reuses: self.root_reuses.load(Ordering::Relaxed),
             stage_bytes: self.stage_bytes.load(Ordering::Relaxed),
             journal_appends: self.journal_appends.load(Ordering::Relaxed),
             journal_replays: self.journal_replays.load(Ordering::Relaxed),

@@ -13,14 +13,18 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Signature(pub [u8; 16]);
 
+/// Lowercase hex digits, indexed by nibble.
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
 impl Signature {
     /// Renders the digest as lowercase hex.
     pub fn to_hex(&self) -> String {
-        let mut s = String::with_capacity(32);
-        for b in self.0 {
-            s.push_str(&format!("{b:02x}"));
+        let mut out = [0u8; 32];
+        for (i, b) in self.0.iter().enumerate() {
+            out[i * 2] = HEX_DIGITS[(b >> 4) as usize];
+            out[i * 2 + 1] = HEX_DIGITS[(b & 0x0f) as usize];
         }
-        s
+        String::from_utf8(out.to_vec()).expect("hex digits are ASCII")
     }
 }
 

@@ -20,6 +20,11 @@ pub struct BaseDocument {
     pub provider: Arc<dyn BitProvider>,
     /// Universal properties, seen by all users with a reference.
     pub universal: PropertyList,
+    /// Monotone counter bumped on every universal property mutation
+    /// (attach, remove, modify, reorder). Caches holding a compiled view
+    /// of the base half of the chain compare epochs to decide whether the
+    /// view is still current without re-walking the property list.
+    pub chain_epoch: u64,
 }
 
 impl BaseDocument {
@@ -29,6 +34,7 @@ impl BaseDocument {
             id,
             provider,
             universal: PropertyList::new(),
+            chain_epoch: 0,
         }
     }
 }

@@ -212,6 +212,7 @@ impl TransformPlan {
             cost_micros: stage.cost_micros,
             cached: false,
             signature: None,
+            bytes: 0,
         });
         Ok(stream)
     }
@@ -257,8 +258,87 @@ impl TransformPlan {
             cost_micros: stage.cost_micros,
             cached: false,
             signature,
+            bytes: out.len() as u64,
         });
         Ok(out)
+    }
+
+    /// Executes stage `index` over `input` through the chunked streaming
+    /// path, computing the output's content digest *in the same pass* that
+    /// collects the bytes. Cost accounting, report entries, and output
+    /// bytes are identical to [`Self::run_stage_buffered`]; the differences
+    /// are purely execution strategy:
+    ///
+    /// - pass-through stages (wrappers that forward the input slice
+    ///   unchanged) return the input `Bytes` itself, and when `input_sig`
+    ///   is known the digest is carried forward without re-hashing;
+    /// - transforming stages have their output hashed chunk-by-chunk as it
+    ///   is collected, so no separate `md5(bytes)` pass runs afterwards.
+    ///
+    /// `signature` is the stage's *addressing* signature (recorded for
+    /// observability, `None` for opaque stages); `input_sig` is the content
+    /// digest of `input` when the caller already knows it.
+    pub fn run_stage_streaming(
+        &self,
+        clock: &VirtualClock,
+        index: usize,
+        report: &mut PathReport,
+        input: Bytes,
+        input_sig: Option<Signature>,
+        signature: Option<Signature>,
+    ) -> Result<StageOutput> {
+        let ctx = self.ctx(clock, index);
+        let stage = &self.stages[index];
+        clock.advance(stage.cost_micros);
+        report.add_cost(stage.cost_micros);
+        let input_ptr = input.as_ptr();
+        let input_len = input.len();
+        let inner: Box<dyn InputStream> = Box::new(MemoryInput::new(input.clone()));
+        let mut wrapped = stage.prop.wrap_input(&ctx, report, inner)?;
+        // Drain chunkwise. `input` stays alive for the whole drain, so a
+        // chunk aliasing its allocation proves the stage is pass-through.
+        let mut chunks: Vec<Bytes> = Vec::new();
+        let mut total = 0usize;
+        while let Some(chunk) = wrapped.read_chunk()? {
+            total += chunk.len();
+            chunks.push(chunk);
+        }
+        let passthrough = total == input_len
+            && match chunks.as_slice() {
+                [] => true,
+                [only] => std::ptr::eq(only.as_ptr(), input_ptr),
+                _ => false,
+            };
+        let (bytes, content_sig) = if chunks.len() <= 1 {
+            let bytes = chunks.pop().unwrap_or_default();
+            let content_sig = match input_sig {
+                Some(sig) if passthrough => sig,
+                _ => {
+                    let mut md5 = Md5::new();
+                    md5.update(&bytes);
+                    md5.finalize()
+                }
+            };
+            (bytes, content_sig)
+        } else {
+            let mut md5 = Md5::new();
+            let mut buf = Vec::with_capacity(total);
+            for chunk in &chunks {
+                md5.update(chunk);
+                buf.extend_from_slice(chunk);
+            }
+            (Bytes::from(buf), md5.finalize())
+        };
+        report.executed.push(stage.prop.name().to_owned());
+        report.record_stage(StageRecord {
+            name: stage.prop.name().to_owned(),
+            site: stage.site,
+            cost_micros: stage.cost_micros,
+            cached: false,
+            signature,
+            bytes: total as u64,
+        });
+        Ok(StageOutput { bytes, content_sig })
     }
 
     /// Registers stage `index`'s path-metadata without executing its
@@ -277,6 +357,7 @@ impl TransformPlan {
         index: usize,
         report: &mut PathReport,
         signature: Signature,
+        bytes: u64,
     ) -> Result<()> {
         let ctx = self.ctx(clock, index);
         let stage = &self.stages[index];
@@ -289,6 +370,7 @@ impl TransformPlan {
             cost_micros: stage.cost_micros,
             cached: true,
             signature: Some(signature),
+            bytes,
         });
         Ok(())
     }
@@ -311,6 +393,172 @@ impl std::fmt::Debug for TransformPlan {
             .field("base_len", &self.base_len)
             .field("stages", &self.stages)
             .finish()
+    }
+}
+
+/// One streamed stage execution's result: the output bytes and their MD5,
+/// produced in the same pass (see [`TransformPlan::run_stage_streaming`]).
+#[derive(Debug, Clone)]
+pub struct StageOutput {
+    /// The stage's output content.
+    pub bytes: Bytes,
+    /// Content digest of `bytes`.
+    pub content_sig: Signature,
+}
+
+/// Streaming walk state for executing a [`TransformPlan`] stage by stage.
+///
+/// The pipeline threads three things through the chain in one pass:
+///
+/// - the resident chain bytes (shared [`Bytes`], handed from stage to stage
+///   without copying);
+/// - the **chain signature** addressing the next stage — the previous
+///   stage's stage signature, or the content digest where the chain
+///   (re)starts (at the root, and after every opaque stage);
+/// - the **content digest** of the resident bytes, when known, so
+///   pass-through stages and cache installs never re-hash content the
+///   pipeline already digested.
+///
+/// Callers (the document space's plain path, and the cache's staged miss
+/// walk) interleave [`StagePipeline::execute`] with
+/// [`StagePipeline::adopt_hit`] for stages whose output they already hold.
+/// A pipeline may also start from a known root *signature* without the
+/// bytes ([`StagePipeline::from_signature`]): as long as every stage hits,
+/// the root content is never materialized, and the first stage that needs
+/// to execute asks for it via [`StagePipeline::has_bytes`] /
+/// [`StagePipeline::supply_root`].
+pub struct StagePipeline<'p> {
+    plan: &'p TransformPlan,
+    bytes: Option<Bytes>,
+    chain_sig: Signature,
+    content_sig: Option<Signature>,
+}
+
+impl<'p> StagePipeline<'p> {
+    /// Starts a pipeline from materialized root bytes whose digest is
+    /// `root_sig` (the chain's anchor signature).
+    pub fn from_root(plan: &'p TransformPlan, bytes: Bytes, root_sig: Signature) -> Self {
+        Self {
+            plan,
+            bytes: Some(bytes),
+            chain_sig: root_sig,
+            content_sig: Some(root_sig),
+        }
+    }
+
+    /// Starts a pipeline from a known root signature *without* the root
+    /// bytes — the cache's lease fast path. The bytes are only required if
+    /// a stage must execute before any cached output was adopted; probe
+    /// [`Self::has_bytes`] and call [`Self::supply_root`] then.
+    pub fn from_signature(plan: &'p TransformPlan, root_sig: Signature) -> Self {
+        Self {
+            plan,
+            bytes: None,
+            chain_sig: root_sig,
+            content_sig: Some(root_sig),
+        }
+    }
+
+    /// Returns `true` once the pipeline holds resident bytes for its
+    /// current position.
+    pub fn has_bytes(&self) -> bool {
+        self.bytes.is_some()
+    }
+
+    /// Supplies the root content for a pipeline started from a signature.
+    /// The caller asserts `bytes` digest to the pipeline's root signature.
+    pub fn supply_root(&mut self, bytes: Bytes) {
+        debug_assert!(self.bytes.is_none(), "root already materialized");
+        debug_assert_eq!(
+            crate::digest::md5(&bytes),
+            self.chain_sig,
+            "supplied root must match the leased root signature"
+        );
+        self.bytes = Some(bytes);
+    }
+
+    /// The signature addressing the next stage (root digest, previous stage
+    /// signature, or post-opaque content digest).
+    pub fn chain_signature(&self) -> Signature {
+        self.chain_sig
+    }
+
+    /// Stage `index`'s addressing signature given the current chain
+    /// position, or `None` if the stage is opaque.
+    pub fn stage_signature(&self, index: usize) -> Option<Signature> {
+        self.plan.stage_signature(index, self.chain_sig)
+    }
+
+    /// The resident bytes at the current chain position, if materialized.
+    pub fn current(&self) -> Option<&Bytes> {
+        self.bytes.as_ref()
+    }
+
+    /// Content digest of the resident bytes, when known.
+    pub fn content_signature(&self) -> Option<Signature> {
+        self.content_sig
+    }
+
+    /// Executes stage `index` through the streaming path and advances the
+    /// chain. Returns the stage's output (for cache installs: the bytes
+    /// plus their already-computed content digest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root bytes were never materialized (see
+    /// [`Self::supply_root`]).
+    pub fn execute(
+        &mut self,
+        clock: &VirtualClock,
+        index: usize,
+        report: &mut PathReport,
+    ) -> Result<StageOutput> {
+        let input = self
+            .bytes
+            .clone()
+            .expect("pipeline bytes materialized before execute");
+        let stage_sig = self.stage_signature(index);
+        let out = self.plan.run_stage_streaming(
+            clock,
+            index,
+            report,
+            input,
+            self.content_sig,
+            stage_sig,
+        )?;
+        // Signed stages chain on their stage signature; opaque stages
+        // restart the chain from their actual output digest.
+        self.chain_sig = stage_sig.unwrap_or(out.content_sig);
+        self.content_sig = Some(out.content_sig);
+        self.bytes = Some(out.bytes.clone());
+        Ok(out)
+    }
+
+    /// Adopts a cached output for stage `index` (a stage-store hit):
+    /// registers the hit's path metadata and advances the chain without
+    /// executing the transform. `content_sig` is the stored entry's content
+    /// digest when the store tracked it.
+    pub fn adopt_hit(
+        &mut self,
+        clock: &VirtualClock,
+        index: usize,
+        report: &mut PathReport,
+        stage_sig: Signature,
+        bytes: Bytes,
+        content_sig: Option<Signature>,
+    ) -> Result<()> {
+        self.plan
+            .note_stage_hit(clock, index, report, stage_sig, bytes.len() as u64)?;
+        self.chain_sig = stage_sig;
+        self.content_sig = content_sig;
+        self.bytes = Some(bytes);
+        Ok(())
+    }
+
+    /// Finishes the walk, returning the final bytes and (when known) their
+    /// content digest.
+    pub fn finish(self) -> (Option<Bytes>, Option<Signature>) {
+        (self.bytes, self.content_sig)
     }
 }
 
@@ -447,7 +695,7 @@ mod tests {
         let clock = VirtualClock::new();
         let mut report = PathReport::default();
         let sig = md5(b"whatever");
-        plan.note_stage_hit(&clock, 0, &mut report, sig).unwrap();
+        plan.note_stage_hit(&clock, 0, &mut report, sig, 5).unwrap();
         assert_eq!(clock.now().0, 0, "hit must not charge execution time");
         assert_eq!(
             report.cost.raw_micros(),
@@ -457,5 +705,175 @@ mod tests {
         assert!(report.executed.is_empty(), "transform did not execute");
         assert_eq!(report.stage_hits(), 1);
         assert_eq!(report.stages[0].signature, Some(sig));
+        assert_eq!(report.stages[0].bytes, 5);
+    }
+
+    /// A pass-through property: wraps without changing the stream.
+    struct Identity;
+
+    impl ActiveProperty for Identity {
+        fn name(&self) -> &str {
+            "identity"
+        }
+        fn interests(&self) -> Interests {
+            Interests::of(&[EventKind::GetInputStream])
+        }
+        fn execution_cost_micros(&self) -> u64 {
+            7
+        }
+        fn wrap_input(
+            &self,
+            _ctx: &PathCtx<'_>,
+            _report: &mut PathReport,
+            inner: Box<dyn InputStream>,
+        ) -> Result<Box<dyn InputStream>> {
+            Ok(inner)
+        }
+        fn transform_token(&self, _ctx: &PathCtx<'_>) -> Option<Vec<u8>> {
+            Some(b"id".to_vec())
+        }
+    }
+
+    #[test]
+    fn run_stage_streaming_matches_buffered_output_cost_and_records() {
+        let make = || plan_of(vec![("a", Some(b"t"))]);
+        let body = Bytes::from_static(b"body");
+        let root = md5(&body);
+
+        let plan = make();
+        let clock_b = VirtualClock::new();
+        let mut report_b = PathReport::default();
+        let sig = plan.stage_signature(0, root);
+        let buffered = plan
+            .run_stage_buffered(&clock_b, 0, &mut report_b, body.clone(), sig)
+            .unwrap();
+
+        let clock_s = VirtualClock::new();
+        let mut report_s = PathReport::default();
+        let streamed = plan
+            .run_stage_streaming(&clock_s, 0, &mut report_s, body, Some(root), sig)
+            .unwrap();
+
+        assert_eq!(streamed.bytes, buffered);
+        assert_eq!(streamed.content_sig, md5(&buffered));
+        assert_eq!(clock_s.now(), clock_b.now());
+        assert_eq!(report_s.cost.raw_micros(), report_b.cost.raw_micros());
+        assert_eq!(report_s.executed, report_b.executed);
+        assert_eq!(report_s.stages.len(), 1);
+        assert_eq!(report_s.stages[0].signature, sig);
+        assert_eq!(report_s.stages[0].bytes, buffered.len() as u64);
+    }
+
+    #[test]
+    fn run_stage_streaming_passthrough_forwards_slice_and_digest() {
+        let clock = VirtualClock::new();
+        let provider = crate::bitprovider::MemoryProvider::new("p", "body", 0);
+        let plan = TransformPlan::compile(
+            &clock,
+            DocumentId(1),
+            UserId(1),
+            provider,
+            vec![Arc::new(Identity) as Arc<dyn ActiveProperty>],
+            Vec::new(),
+            PropsSnapshot::default(),
+        );
+        let body = Bytes::from_static(b"pass through body");
+        let root = md5(&body);
+        let mut report = PathReport::default();
+        let sig = plan.stage_signature(0, root);
+        let out = plan
+            .run_stage_streaming(&clock, 0, &mut report, body.clone(), Some(root), sig)
+            .unwrap();
+        assert!(
+            std::ptr::eq(out.bytes.as_ptr(), body.as_ptr()),
+            "identity stage must forward the input slice"
+        );
+        assert_eq!(
+            out.content_sig, root,
+            "digest carried forward, not rehashed"
+        );
+        assert_eq!(clock.now().0, 7, "execution cost still charged");
+    }
+
+    #[test]
+    fn stage_pipeline_chains_executions_and_hits() {
+        let plan = plan_of(vec![("a", Some(b"t1")), ("b", Some(b"t2"))]);
+        let body = Bytes::from_static(b"body");
+        let root = md5(&body);
+        let clock = VirtualClock::new();
+        let mut report = PathReport::default();
+
+        let mut pipe = StagePipeline::from_root(&plan, body, root);
+        assert_eq!(pipe.chain_signature(), root);
+        let s0 = pipe.stage_signature(0).unwrap();
+        let out0 = pipe.execute(&clock, 0, &mut report).unwrap();
+        assert_eq!(out0.bytes, "bodya");
+        assert_eq!(out0.content_sig, md5(b"bodya"));
+        assert_eq!(
+            pipe.chain_signature(),
+            s0,
+            "signed stage chains on its signature"
+        );
+
+        // Adopt stage 1 from a hypothetical cache instead of executing.
+        let s1 = pipe.stage_signature(1).unwrap();
+        assert_eq!(s1, plan.stage_signature(1, s0).unwrap());
+        pipe.adopt_hit(
+            &clock,
+            1,
+            &mut report,
+            s1,
+            Bytes::from_static(b"bodyab"),
+            Some(md5(b"bodyab")),
+        )
+        .unwrap();
+        let (bytes, content) = pipe.finish();
+        assert_eq!(bytes.unwrap(), "bodyab");
+        assert_eq!(content.unwrap(), md5(b"bodyab"));
+        assert_eq!(report.stage_hits(), 1);
+    }
+
+    #[test]
+    fn stage_pipeline_opaque_stage_restarts_chain_at_output_digest() {
+        let plan = plan_of(vec![("a", None), ("b", Some(b"t"))]);
+        let body = Bytes::from_static(b"body");
+        let clock = VirtualClock::new();
+        let mut report = PathReport::default();
+        let mut pipe = StagePipeline::from_root(&plan, body.clone(), md5(&body));
+        assert!(
+            pipe.stage_signature(0).is_none(),
+            "opaque stage unaddressable"
+        );
+        let out = pipe.execute(&clock, 0, &mut report).unwrap();
+        assert_eq!(out.bytes, "bodya");
+        assert_eq!(
+            pipe.chain_signature(),
+            md5(b"bodya"),
+            "chain restarts from the opaque output digest"
+        );
+        assert_eq!(
+            pipe.stage_signature(1).unwrap(),
+            plan.stage_signature(1, md5(b"bodya")).unwrap()
+        );
+    }
+
+    #[test]
+    fn stage_pipeline_from_signature_defers_root_materialization() {
+        let plan = plan_of(vec![("a", Some(b"t"))]);
+        let body = Bytes::from_static(b"body");
+        let root = md5(&body);
+        let mut pipe = StagePipeline::from_signature(&plan, root);
+        assert!(!pipe.has_bytes());
+        assert_eq!(
+            pipe.stage_signature(0).unwrap(),
+            plan.stage_signature(0, root).unwrap(),
+            "addressing works without the bytes"
+        );
+        pipe.supply_root(body);
+        assert!(pipe.has_bytes());
+        let clock = VirtualClock::new();
+        let mut report = PathReport::default();
+        let out = pipe.execute(&clock, 0, &mut report).unwrap();
+        assert_eq!(out.bytes, "bodya");
     }
 }

@@ -96,6 +96,10 @@ pub struct StageRecord {
     /// The stage signature, when the stage is content-addressable
     /// (`None` for opaque stages that declared no transform token).
     pub signature: Option<Signature>,
+    /// How many bytes the stage produced (its output length). Zero when
+    /// unknown — stream-wrapped replays observe no byte count, and cache
+    /// hits adopt the stored entry's length instead.
+    pub bytes: u64,
 }
 
 /// What the read path reports back alongside the content stream.

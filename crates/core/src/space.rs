@@ -26,13 +26,49 @@ use crate::property::{
     ActiveProperty, AttachedProperty, EventCtx, FollowUp, PathReport, PropsSnapshot,
 };
 use crate::registry::PropertyRegistry;
-use crate::streams::{read_all, write_all, CollectOutput, InputStream, OutputStream};
+use crate::streams::{
+    read_all, write_all, write_all_bytes, CollectOutput, InputStream, OutputStream,
+};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use placeless_simenv::{LatencyModel, VirtualClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A snapshot of one document's *base half* of the read chain, issued by
+/// [`DocumentSpace::read_plan_cached`] and held by a cache across reads.
+///
+/// The lease carries the user-independent inputs of plan compilation — the
+/// bit-provider handle, the universal properties interested in the read
+/// path, and the universal static pairs — stamped with the base document's
+/// chain epoch at capture. While the epoch still matches, the space can
+/// compile a user's read plan from the lease plus a fresh personal half in
+/// a single middleware hop. Any universal property mutation bumps the
+/// epoch and silently retires every outstanding lease; nothing else about
+/// a document can invalidate one, because everything else (personal
+/// properties, static shadowing, transform tokens) is re-read on every
+/// compile.
+pub struct BaseChainLease {
+    /// The document the lease covers.
+    pub doc: DocumentId,
+    /// The base chain epoch at capture time.
+    pub epoch: u64,
+    provider: Arc<dyn BitProvider>,
+    base_props: Vec<Arc<dyn ActiveProperty>>,
+    universal_pairs: Vec<(String, PropertyValue)>,
+}
+
+impl std::fmt::Debug for BaseChainLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaseChainLease")
+            .field("doc", &self.doc)
+            .field("epoch", &self.epoch)
+            .field("base_props", &self.base_props.len())
+            .field("universal_pairs", &self.universal_pairs.len())
+            .finish()
+    }
+}
 
 /// Where a property operation targets: the base (universal) or a user's
 /// reference (personal).
@@ -124,6 +160,23 @@ impl DocumentSpace {
     fn charge_op(&self, bytes: u64) {
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.middleware.charge(&self.clock, bytes);
+    }
+
+    /// Advances `doc`'s chain epoch when a universal property mutated.
+    /// Must run under the `inner` write lock, in the same critical section
+    /// as the mutation itself.
+    fn bump_chain_epoch(inner: &mut Inner, scope: Scope, doc: DocumentId) {
+        if matches!(scope, Scope::Universal) {
+            if let Some(base) = inner.bases.get_mut(&doc) {
+                base.chain_epoch += 1;
+            }
+        }
+    }
+
+    /// Returns `doc`'s current chain epoch — the counter behind
+    /// [`BaseChainLease`] validation.
+    pub fn chain_epoch(&self, doc: DocumentId) -> Option<u64> {
+        self.inner.read().bases.get(&doc).map(|b| b.chain_epoch)
     }
 
     // ------------------------------------------------------------------
@@ -353,6 +406,7 @@ impl DocumentSpace {
         {
             let mut inner = self.inner.write();
             self.list_mut(&mut inner, scope, doc)?.attach(id, prop);
+            Self::bump_chain_epoch(&mut inner, scope, doc);
         }
         self.dispatch(
             DocumentEvent::new(EventKind::PropertySet, doc).about_property(scope.site(), id, &name),
@@ -370,7 +424,9 @@ impl DocumentSpace {
         self.charge_op(0);
         let removed = {
             let mut inner = self.inner.write();
-            self.list_mut(&mut inner, scope, doc)?.remove(id)?
+            let removed = self.list_mut(&mut inner, scope, doc)?.remove(id)?;
+            Self::bump_chain_epoch(&mut inner, scope, doc);
+            removed
         };
         self.dispatch(
             DocumentEvent::new(EventKind::PropertyRemoved, doc).about_property(
@@ -396,6 +452,7 @@ impl DocumentSpace {
             let mut inner = self.inner.write();
             self.list_mut(&mut inner, scope, doc)?
                 .replace(id, replacement)?;
+            Self::bump_chain_epoch(&mut inner, scope, doc);
         }
         self.dispatch(
             DocumentEvent::new(EventKind::PropertyModified, doc).about_property(
@@ -425,6 +482,7 @@ impl DocumentSpace {
                 .name()
                 .to_owned();
             list.move_to(id, index)?;
+            Self::bump_chain_epoch(&mut inner, scope, doc);
             name
         };
         self.dispatch(
@@ -538,6 +596,102 @@ impl DocumentSpace {
         self.charge_op(0);
         self.charge_op(0);
         self.compile_plan(user, doc, EventKind::GetInputStream)
+    }
+
+    /// Compiles the read-path plan, reusing a previously issued
+    /// [`BaseChainLease`] when it is still current.
+    ///
+    /// With a valid lease the base half of the chain (provider handle,
+    /// universal properties, universal statics) comes from the lease and
+    /// only **one** middleware hop is charged — the user's reference
+    /// server, which tracks base-chain epochs through the same event
+    /// machinery that feeds notifiers and validates the lease as part of
+    /// admitting the request. The personal half (reference properties and
+    /// personal statics) is always read fresh, and transform tokens are
+    /// always recaptured at compile time, so per-user state and
+    /// external-input epochs can never go stale through a lease.
+    ///
+    /// A missing, foreign, or out-of-epoch lease falls back to the full
+    /// two-hop compile of [`Self::read_plan`] and returns a fresh lease.
+    ///
+    /// Returns `(plan, lease, reused)` where `reused` says whether the
+    /// passed lease was honoured.
+    pub fn read_plan_cached(
+        &self,
+        user: UserId,
+        doc: DocumentId,
+        lease: Option<&Arc<BaseChainLease>>,
+    ) -> Result<(TransformPlan, Arc<BaseChainLease>, bool)> {
+        let (provider, base_props, ref_props, snapshot, fresh_lease) = {
+            let inner = self.inner.read();
+            let base = inner
+                .bases
+                .get(&doc)
+                .ok_or(PlacelessError::NoSuchDocument(doc))?;
+            let reference = inner
+                .refs
+                .get(&(user, doc))
+                .ok_or(PlacelessError::NoSuchReference(user, doc))?;
+            // Personal values shadow universal ones, so they come first.
+            let personal_pairs = reference.personal.static_pairs();
+            let ref_props = reference.personal.interested(EventKind::GetInputStream);
+            match lease {
+                Some(l) if l.doc == doc && l.epoch == base.chain_epoch => {
+                    let mut pairs = personal_pairs;
+                    pairs.extend(l.universal_pairs.iter().cloned());
+                    (
+                        l.provider.clone(),
+                        l.base_props.clone(),
+                        ref_props,
+                        PropsSnapshot::from_pairs(pairs),
+                        None,
+                    )
+                }
+                _ => {
+                    let universal_pairs = base.universal.static_pairs();
+                    let base_props = base.universal.interested(EventKind::GetInputStream);
+                    let mut pairs = personal_pairs;
+                    pairs.extend(universal_pairs.iter().cloned());
+                    let fresh = Arc::new(BaseChainLease {
+                        doc,
+                        epoch: base.chain_epoch,
+                        provider: base.provider.clone(),
+                        base_props: base_props.clone(),
+                        universal_pairs,
+                    });
+                    (
+                        base.provider.clone(),
+                        base_props,
+                        ref_props,
+                        PropsSnapshot::from_pairs(pairs),
+                        Some(fresh),
+                    )
+                }
+            }
+        };
+        let reused = fresh_lease.is_none();
+        // One hop (the reference server) on lease reuse; the usual two
+        // when the base server had to re-send its half of the chain.
+        self.charge_op(0);
+        if !reused {
+            self.charge_op(0);
+        }
+        // Tokens are captured outside the space lock, fresh on every
+        // compile — exactly as in `compile_plan`.
+        let plan = TransformPlan::compile(
+            &self.clock,
+            doc,
+            user,
+            provider,
+            base_props,
+            ref_props,
+            snapshot,
+        );
+        let lease_out = match fresh_lease {
+            Some(fresh) => fresh,
+            None => Arc::clone(lease.expect("reused implies a lease was passed")),
+        };
+        Ok((plan, lease_out, reused))
     }
 
     /// Returns the origin key of `doc`'s bit-provider — the grouping key
@@ -703,7 +857,7 @@ impl DocumentSpace {
                 crate::op::apply_all(&base, &w.ops)
             };
             batch_view.insert(w.doc, content.clone());
-            match self.run_write_chain(&plan, w.user, w.doc, &content) {
+            match self.run_write_chain(&plan, w.user, w.doc, content) {
                 Ok(payload) => slots.push(Slot::Ready(plan, payload)),
                 Err(error) => slots.push(Slot::Failed(error)),
             }
@@ -741,7 +895,7 @@ impl DocumentSpace {
                     .iter()
                     .map(|bytes| {
                         let mut sink = provider.open_output(&self.clock)?;
-                        write_all(sink.as_mut(), bytes)?;
+                        write_all_bytes(sink.as_mut(), bytes.clone())?;
                         sink.close()
                     })
                     .collect(),
@@ -782,7 +936,7 @@ impl DocumentSpace {
         plan: &TransformPlan,
         user: UserId,
         doc: DocumentId,
-        data: &[u8],
+        data: Bytes,
     ) -> Result<Bytes> {
         let captured: Arc<Mutex<Option<Bytes>>> = Arc::new(Mutex::new(None));
         let sink = {
@@ -793,7 +947,10 @@ impl DocumentSpace {
             }))
         };
         let mut stream = self.wrap_write_stack(plan, user, doc, sink, false)?;
-        write_all(stream.as_mut(), data)?;
+        // The chunk path: a chain with no transforming stages hands the
+        // caller's refcounted buffer straight to the collector, so
+        // identity write chains never copy the payload.
+        write_all_bytes(stream.as_mut(), data)?;
         stream.close()?;
         let bytes = captured.lock().take();
         debug_assert!(
@@ -1488,5 +1645,131 @@ mod tests {
         assert_eq!(space.documents(), vec![doc]);
         assert!(space.has_reference(ALICE, doc));
         assert!(!space.has_reference(UserId(9), doc));
+    }
+
+    #[test]
+    fn chain_epoch_bumps_on_universal_mutations_only() {
+        let (space, doc) = setup("x");
+        assert_eq!(space.chain_epoch(doc), Some(0));
+
+        let id = space
+            .attach_static(Scope::Universal, doc, "versioned", true)
+            .unwrap();
+        assert_eq!(space.chain_epoch(doc), Some(1));
+
+        // Personal mutations never touch the base half.
+        let personal = space
+            .attach_static(Scope::Personal(ALICE), doc, "color", "red")
+            .unwrap();
+        space
+            .remove_property(Scope::Personal(ALICE), doc, personal)
+            .unwrap();
+        assert_eq!(space.chain_epoch(doc), Some(1));
+
+        space
+            .modify_property(
+                Scope::Universal,
+                doc,
+                id,
+                AttachedProperty::Static {
+                    name: "versioned".into(),
+                    value: false.into(),
+                },
+            )
+            .unwrap();
+        assert_eq!(space.chain_epoch(doc), Some(2));
+
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(Upper))
+            .unwrap();
+        assert_eq!(space.chain_epoch(doc), Some(3));
+        space
+            .reorder_property(Scope::Universal, doc, id, 1)
+            .unwrap();
+        assert_eq!(space.chain_epoch(doc), Some(4));
+        space.remove_property(Scope::Universal, doc, id).unwrap();
+        assert_eq!(space.chain_epoch(doc), Some(5));
+    }
+
+    #[test]
+    fn read_plan_cached_reuses_the_base_half_and_saves_a_hop() {
+        let clock = VirtualClock::new();
+        let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::new(300, 0));
+        let provider = MemoryProvider::new("test", "hello", 0);
+        let doc = space.create_document(ALICE, provider);
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(Suffix("-base")))
+            .unwrap();
+        space
+            .attach_active(Scope::Personal(ALICE), doc, Arc::new(Upper))
+            .unwrap();
+
+        let t0 = clock.now();
+        let (fresh_plan, lease, reused) = space.read_plan_cached(ALICE, doc, None).unwrap();
+        assert!(!reused);
+        assert_eq!(clock.now().since(t0), 600, "cold compile costs two hops");
+
+        let t1 = clock.now();
+        let (cached_plan, lease2, reused) =
+            space.read_plan_cached(ALICE, doc, Some(&lease)).unwrap();
+        assert!(reused);
+        assert_eq!(clock.now().since(t1), 300, "lease reuse costs one hop");
+        assert!(
+            Arc::ptr_eq(&lease, &lease2),
+            "valid lease is returned as-is"
+        );
+
+        // Same chain either way: same stage count and same signatures
+        // rooted at the same digest.
+        assert_eq!(fresh_plan.len(), cached_plan.len());
+        let root = crate::digest::md5(b"hello");
+        for index in 0..fresh_plan.len() {
+            assert_eq!(
+                fresh_plan.stage_signature(index, root),
+                cached_plan.stage_signature(index, root)
+            );
+        }
+    }
+
+    #[test]
+    fn stale_chain_lease_falls_back_to_a_fresh_compile() {
+        let (space, doc) = setup("hello");
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(Suffix("-v1")))
+            .unwrap();
+        let (plan, lease, _) = space.read_plan_cached(ALICE, doc, None).unwrap();
+        assert_eq!(plan.len(), 1);
+
+        // A universal mutation bumps the epoch under the lease.
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(Upper))
+            .unwrap();
+        let (plan, lease2, reused) = space.read_plan_cached(ALICE, doc, Some(&lease)).unwrap();
+        assert!(!reused, "stale lease must not be reused");
+        assert_eq!(plan.len(), 2, "fresh compile sees the new base stage");
+        assert_eq!(lease2.epoch, space.chain_epoch(doc).unwrap());
+
+        let (bytes, _) = space.read_document(ALICE, doc).unwrap();
+        assert_eq!(bytes, "HELLO-V1");
+    }
+
+    #[test]
+    fn chain_lease_reuse_still_sees_fresh_personal_properties() {
+        let (space, doc) = setup("hello");
+        space
+            .attach_active(Scope::Universal, doc, Arc::new(Suffix("-base")))
+            .unwrap();
+        let (plan, lease, _) = space.read_plan_cached(ALICE, doc, None).unwrap();
+        assert_eq!(plan.len(), 1);
+
+        // Personal attach leaves the lease valid, yet the compiled plan
+        // must include the new reference stage: only the base half is
+        // cached.
+        space
+            .attach_active(Scope::Personal(ALICE), doc, Arc::new(Upper))
+            .unwrap();
+        let (plan, _, reused) = space.read_plan_cached(ALICE, doc, Some(&lease)).unwrap();
+        assert!(reused);
+        assert_eq!(plan.len(), 2, "personal half recompiled fresh");
     }
 }

@@ -9,15 +9,57 @@
 //! provides buffering adapters ([`TransformingInput`],
 //! [`TransformingOutput`]) that apply a whole-buffer function at the right
 //! moment while still presenting a streaming interface to the layers above.
+//!
+//! ## Chunked fast path
+//!
+//! Beyond the byte-oriented `read`/`write` contract, streams expose a
+//! chunked fast path: [`InputStream::read_chunk`] yields refcounted
+//! [`Bytes`] slices and [`OutputStream::write_bytes`] accepts them, so
+//! in-memory sources ([`MemoryInput`]), observers ([`TapInput`]) and
+//! whole-buffer sinks ([`CollectOutput`]) hand content through without
+//! copying. [`InputStream::size_hint`] lets collectors preallocate exactly
+//! once. [`read_all`] returns a source's single chunk as-is — a read
+//! through a pass-through chain is zero-copy end to end — and
+//! [`read_all_digest`] folds an incremental MD5 over the same single pass.
 
+use crate::digest::{Md5, Signature};
 use crate::error::{PlacelessError, Result};
 use bytes::Bytes;
+
+/// Chunk size of the copying [`InputStream::read_chunk`] fallback (and of
+/// the byte-oriented [`read_all`] of old). Sources that can hand out
+/// refcounted slices ignore it; the bound matters only for streams that
+/// truly produce bytes incrementally.
+pub const CHUNK_SIZE: usize = 4096;
 
 /// A readable stream of document content.
 pub trait InputStream: Send {
     /// Reads up to `buf.len()` bytes, returning how many were read; zero
     /// means end of stream.
     fn read(&mut self, buf: &mut [u8]) -> Result<usize>;
+
+    /// Returns the number of bytes remaining on the stream, when cheaply
+    /// known. Collectors use it to allocate once; `None` (the default)
+    /// means unknown, not zero.
+    fn size_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Reads the next chunk of the stream, or `None` at end of stream.
+    ///
+    /// The default bridges [`InputStream::read`] through a [`CHUNK_SIZE`]
+    /// stack buffer (one copy). In-memory sources override it to hand out
+    /// refcounted slices of their backing allocation — the zero-copy fast
+    /// path the streaming stage executor rides.
+    fn read_chunk(&mut self) -> Result<Option<Bytes>> {
+        let mut buf = [0u8; CHUNK_SIZE];
+        let n = self.read(&mut buf)?;
+        Ok(if n == 0 {
+            None
+        } else {
+            Some(Bytes::copy_from_slice(&buf[..n]))
+        })
+    }
 }
 
 /// A writable sink for document content.
@@ -28,20 +70,77 @@ pub trait OutputStream: Send {
     /// Completes the write; transforms that buffer whole documents flush
     /// here, and bit-provider sinks commit here.
     fn close(&mut self) -> Result<()>;
+
+    /// Writes a whole refcounted chunk. Semantically identical to
+    /// `write`-ing the full slice; buffering sinks override it to adopt
+    /// the chunk without copying when it is the only content they see.
+    fn write_bytes(&mut self, chunk: Bytes) -> Result<()> {
+        let mut data: &[u8] = &chunk;
+        while !data.is_empty() {
+            let n = self.write(data)?;
+            if n == 0 {
+                return Err(PlacelessError::StreamClosed);
+            }
+            data = &data[n..];
+        }
+        Ok(())
+    }
 }
 
 /// Reads an input stream to the end.
+///
+/// Rides the chunk fast path: a source that yields exactly one chunk (any
+/// in-memory buffer) is returned as that refcounted slice with no copy and
+/// no allocation; multi-chunk streams collect into a single buffer sized
+/// from [`InputStream::size_hint`].
 pub fn read_all(stream: &mut dyn InputStream) -> Result<Bytes> {
-    let mut out = Vec::new();
-    let mut buf = [0u8; 4096];
-    loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
-        }
-        out.extend_from_slice(&buf[..n]);
+    let first = match stream.read_chunk()? {
+        None => return Ok(Bytes::new()),
+        Some(c) => c,
+    };
+    let second = match stream.read_chunk()? {
+        None => return Ok(first),
+        Some(c) => c,
+    };
+    let hint = stream.size_hint().unwrap_or(0) as usize;
+    let mut out = Vec::with_capacity(first.len() + second.len() + hint);
+    out.extend_from_slice(&first);
+    out.extend_from_slice(&second);
+    while let Some(chunk) = stream.read_chunk()? {
+        out.extend_from_slice(&chunk);
     }
     Ok(Bytes::from(out))
+}
+
+/// Reads an input stream to the end while folding an incremental MD5 over
+/// the same pass — one traversal produces both the bytes and their content
+/// signature, with the same zero-copy single-chunk fast path as
+/// [`read_all`].
+pub fn read_all_digest(stream: &mut dyn InputStream) -> Result<(Bytes, Signature)> {
+    let mut ctx = Md5::new();
+    let first = match stream.read_chunk()? {
+        None => return Ok((Bytes::new(), ctx.finalize())),
+        Some(c) => {
+            ctx.update(&c);
+            c
+        }
+    };
+    let second = match stream.read_chunk()? {
+        None => return Ok((first, ctx.finalize())),
+        Some(c) => {
+            ctx.update(&c);
+            c
+        }
+    };
+    let hint = stream.size_hint().unwrap_or(0) as usize;
+    let mut out = Vec::with_capacity(first.len() + second.len() + hint);
+    out.extend_from_slice(&first);
+    out.extend_from_slice(&second);
+    while let Some(chunk) = stream.read_chunk()? {
+        ctx.update(&chunk);
+        out.extend_from_slice(&chunk);
+    }
+    Ok((Bytes::from(out), ctx.finalize()))
 }
 
 /// Writes an entire buffer to an output stream (without closing it).
@@ -54,6 +153,13 @@ pub fn write_all(stream: &mut dyn OutputStream, mut data: &[u8]) -> Result<()> {
         data = &data[n..];
     }
     Ok(())
+}
+
+/// Writes a refcounted buffer through the zero-copy chunk path (without
+/// closing the stream). Buffering sinks adopt the allocation instead of
+/// copying it.
+pub fn write_all_bytes(stream: &mut dyn OutputStream, data: Bytes) -> Result<()> {
+    stream.write_bytes(data)
 }
 
 /// An input stream over an in-memory buffer.
@@ -77,6 +183,21 @@ impl InputStream for MemoryInput {
         self.pos += n;
         Ok(n)
     }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some((self.data.len() - self.pos) as u64)
+    }
+
+    fn read_chunk(&mut self) -> Result<Option<Bytes>> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        // The whole remainder as one refcounted slice: no copy, and if the
+        // stream is unread this is the source buffer itself.
+        let chunk = self.data.slice(self.pos..);
+        self.pos = self.data.len();
+        Ok(Some(chunk))
+    }
 }
 
 /// Callback invoked with the complete content when the stream closes.
@@ -84,8 +205,13 @@ type OnClose = Box<dyn FnOnce(Bytes) -> Result<()> + Send>;
 
 /// An output stream that buffers everything and hands the final bytes to a
 /// callback on close.
+///
+/// A single [`OutputStream::write_bytes`] chunk is adopted as-is (the
+/// callback receives the writer's own refcounted buffer); byte-oriented
+/// writes or multiple chunks fall back to one collected allocation.
 pub struct CollectOutput {
     buf: Vec<u8>,
+    fast: Option<Bytes>,
     on_close: Option<OnClose>,
 }
 
@@ -94,7 +220,29 @@ impl CollectOutput {
     pub fn new(on_close: impl FnOnce(Bytes) -> Result<()> + Send + 'static) -> Self {
         Self {
             buf: Vec::new(),
+            fast: None,
             on_close: Some(Box::new(on_close)),
+        }
+    }
+
+    /// Like [`CollectOutput::new`], with the buffer preallocated for
+    /// `size_hint` bytes so known-length writers collect in one allocation.
+    pub fn with_size_hint(
+        size_hint: usize,
+        on_close: impl FnOnce(Bytes) -> Result<()> + Send + 'static,
+    ) -> Self {
+        Self {
+            buf: Vec::with_capacity(size_hint),
+            fast: None,
+            on_close: Some(Box::new(on_close)),
+        }
+    }
+
+    /// Spills the fast-path chunk into the byte buffer when mixed writes
+    /// force a real collection.
+    fn spill(&mut self) {
+        if let Some(chunk) = self.fast.take() {
+            self.buf.extend_from_slice(&chunk);
         }
     }
 }
@@ -104,13 +252,33 @@ impl OutputStream for CollectOutput {
         if self.on_close.is_none() {
             return Err(PlacelessError::StreamClosed);
         }
+        self.spill();
         self.buf.extend_from_slice(buf);
         Ok(buf.len())
     }
 
+    fn write_bytes(&mut self, chunk: Bytes) -> Result<()> {
+        if self.on_close.is_none() {
+            return Err(PlacelessError::StreamClosed);
+        }
+        if self.buf.is_empty() && self.fast.is_none() {
+            self.fast = Some(chunk);
+        } else {
+            self.spill();
+            self.buf.extend_from_slice(&chunk);
+        }
+        Ok(())
+    }
+
     fn close(&mut self) -> Result<()> {
         match self.on_close.take() {
-            Some(f) => f(Bytes::from(std::mem::take(&mut self.buf))),
+            Some(f) => {
+                let content = match self.fast.take() {
+                    Some(chunk) => chunk,
+                    None => Bytes::from(std::mem::take(&mut self.buf)),
+                };
+                f(content)
+            }
             None => Err(PlacelessError::StreamClosed),
         }
     }
@@ -143,6 +311,9 @@ impl TransformingInput {
     fn materialize(&mut self) -> Result<()> {
         if self.buffered.is_none() {
             let mut inner = self.inner.take().expect("materialize runs once");
+            // `read_all` honours the inner stream's size hint, so the
+            // buffering this adapter cannot avoid is a single allocation —
+            // or none, when the inner stream hands over one slice.
             let raw = read_all(inner.as_mut())?;
             let transform = self.transform.take().expect("materialize runs once");
             self.buffered = Some(MemoryInput::new(transform(raw)?));
@@ -159,6 +330,19 @@ impl InputStream for TransformingInput {
             .expect("materialized above")
             .read(buf)
     }
+
+    fn size_hint(&self) -> Option<u64> {
+        // Known only once materialized; must stay lazy before that.
+        self.buffered.as_ref().and_then(|b| b.size_hint())
+    }
+
+    fn read_chunk(&mut self) -> Result<Option<Bytes>> {
+        self.materialize()?;
+        self.buffered
+            .as_mut()
+            .expect("materialized above")
+            .read_chunk()
+    }
 }
 
 /// An output stream that buffers writes, applies a whole-content transform
@@ -167,6 +351,7 @@ pub struct TransformingOutput {
     inner: Option<Box<dyn OutputStream>>,
     transform: Option<TransformFn>,
     buf: Vec<u8>,
+    fast: Option<Bytes>,
 }
 
 impl TransformingOutput {
@@ -176,6 +361,13 @@ impl TransformingOutput {
             inner: Some(inner),
             transform: Some(transform),
             buf: Vec::new(),
+            fast: None,
+        }
+    }
+
+    fn spill(&mut self) {
+        if let Some(chunk) = self.fast.take() {
+            self.buf.extend_from_slice(&chunk);
         }
     }
 }
@@ -185,15 +377,33 @@ impl OutputStream for TransformingOutput {
         if self.inner.is_none() {
             return Err(PlacelessError::StreamClosed);
         }
+        self.spill();
         self.buf.extend_from_slice(buf);
         Ok(buf.len())
+    }
+
+    fn write_bytes(&mut self, chunk: Bytes) -> Result<()> {
+        if self.inner.is_none() {
+            return Err(PlacelessError::StreamClosed);
+        }
+        if self.buf.is_empty() && self.fast.is_none() {
+            self.fast = Some(chunk);
+        } else {
+            self.spill();
+            self.buf.extend_from_slice(&chunk);
+        }
+        Ok(())
     }
 
     fn close(&mut self) -> Result<()> {
         let mut inner = self.inner.take().ok_or(PlacelessError::StreamClosed)?;
         let transform = self.transform.take().expect("present until close");
-        let transformed = transform(Bytes::from(std::mem::take(&mut self.buf)))?;
-        write_all(inner.as_mut(), &transformed)?;
+        let payload = match self.fast.take() {
+            Some(chunk) => chunk,
+            None => Bytes::from(std::mem::take(&mut self.buf)),
+        };
+        let transformed = transform(payload)?;
+        inner.write_bytes(transformed)?;
         inner.close()
     }
 }
@@ -223,6 +433,26 @@ impl InputStream for MappingInput {
             *b = (self.map)(*b);
         }
         Ok(n)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        // Byte-wise maps are length-preserving.
+        self.inner.size_hint()
+    }
+
+    fn read_chunk(&mut self) -> Result<Option<Bytes>> {
+        // The map rewrites every byte, so one copy per chunk is inherent;
+        // chunk granularity still follows the inner stream.
+        Ok(match self.inner.read_chunk()? {
+            None => None,
+            Some(chunk) => {
+                let mut mapped = chunk.to_vec();
+                for b in &mut mapped {
+                    *b = (self.map)(*b);
+                }
+                Some(Bytes::from(mapped))
+            }
+        })
     }
 }
 
@@ -283,11 +513,28 @@ impl InputStream for TapInput {
         (self.tap)(&buf[..n]);
         Ok(n)
     }
+
+    fn size_hint(&self) -> Option<u64> {
+        self.inner.size_hint()
+    }
+
+    fn read_chunk(&mut self) -> Result<Option<Bytes>> {
+        // Observe and forward the inner chunk unchanged — the refcounted
+        // slice passes through without a copy.
+        Ok(match self.inner.read_chunk()? {
+            None => None,
+            Some(chunk) => {
+                (self.tap)(&chunk);
+                Some(chunk)
+            }
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::digest::md5;
     use std::sync::{Arc, Mutex};
 
     fn mem(data: &[u8]) -> Box<dyn InputStream> {
@@ -309,6 +556,67 @@ mod tests {
         assert_eq!(stream.read(&mut buf).unwrap(), 2);
         assert_eq!(&buf[..2], b"ef");
         assert_eq!(stream.read(&mut buf).unwrap(), 0, "EOF");
+    }
+
+    #[test]
+    fn memory_input_chunk_is_zero_copy() {
+        let source = Bytes::from_static(b"refcounted");
+        let mut stream = MemoryInput::new(source.clone());
+        assert_eq!(stream.size_hint(), Some(10));
+        let chunk = stream.read_chunk().unwrap().unwrap();
+        assert!(
+            std::ptr::eq(chunk.as_ptr(), source.as_ptr()),
+            "chunk must alias the source allocation"
+        );
+        assert_eq!(stream.size_hint(), Some(0));
+        assert!(stream.read_chunk().unwrap().is_none(), "EOF");
+    }
+
+    #[test]
+    fn memory_input_chunk_after_partial_read_slices_the_remainder() {
+        let source = Bytes::from_static(b"abcdef");
+        let mut stream = MemoryInput::new(source.clone());
+        let mut buf = [0u8; 2];
+        stream.read(&mut buf).unwrap();
+        let chunk = stream.read_chunk().unwrap().unwrap();
+        assert_eq!(chunk, "cdef");
+        assert!(std::ptr::eq(chunk.as_ptr(), source[2..].as_ptr()));
+    }
+
+    #[test]
+    fn read_all_returns_single_chunk_without_copying() {
+        let source = Bytes::from_static(b"zero copy end to end");
+        let mut stream = MemoryInput::new(source.clone());
+        let out = read_all(&mut stream).unwrap();
+        assert_eq!(out, source);
+        assert!(std::ptr::eq(out.as_ptr(), source.as_ptr()));
+    }
+
+    #[test]
+    fn default_read_chunk_bridges_byte_readers() {
+        // An input stream implementing only `read`, one byte at a time.
+        struct OneByte(Vec<u8>);
+        impl InputStream for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+                if self.0.is_empty() || buf.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0.remove(0);
+                Ok(1)
+            }
+        }
+        let mut s = OneByte(b"chunked".to_vec());
+        assert_eq!(s.size_hint(), None, "default hint is unknown");
+        assert_eq!(read_all(&mut s).unwrap(), "chunked");
+    }
+
+    #[test]
+    fn read_all_digest_matches_separate_passes() {
+        for body in [&b""[..], b"short", &[0xa5u8; 10_000]] {
+            let (bytes, sig) = read_all_digest(mem(body).as_mut()).unwrap();
+            assert_eq!(bytes, *body);
+            assert_eq!(sig, md5(body));
+        }
     }
 
     #[test]
@@ -334,7 +642,45 @@ mod tests {
         let mut out = CollectOutput::new(|_| Ok(()));
         out.close().unwrap();
         assert_eq!(out.write(b"x").unwrap_err(), PlacelessError::StreamClosed);
+        assert_eq!(
+            out.write_bytes(Bytes::from_static(b"x")).unwrap_err(),
+            PlacelessError::StreamClosed
+        );
         assert_eq!(out.close().unwrap_err(), PlacelessError::StreamClosed);
+    }
+
+    #[test]
+    fn collect_output_adopts_a_single_chunk_without_copying() {
+        let source = Bytes::from_static(b"adopted wholesale");
+        let captured = Arc::new(Mutex::new(None));
+        let sink = captured.clone();
+        let mut out = CollectOutput::new(move |bytes| {
+            *sink.lock().unwrap() = Some(bytes);
+            Ok(())
+        });
+        out.write_bytes(source.clone()).unwrap();
+        out.close().unwrap();
+        let got = captured.lock().unwrap().take().unwrap();
+        assert_eq!(got, source);
+        assert!(
+            std::ptr::eq(got.as_ptr(), source.as_ptr()),
+            "single chunk must pass through refcounted"
+        );
+    }
+
+    #[test]
+    fn collect_output_mixed_writes_still_collect_in_order() {
+        let captured = Arc::new(Mutex::new(None));
+        let sink = captured.clone();
+        let mut out = CollectOutput::new(move |bytes| {
+            *sink.lock().unwrap() = Some(bytes);
+            Ok(())
+        });
+        out.write_bytes(Bytes::from_static(b"one ")).unwrap();
+        write_all(&mut out, b"two ").unwrap();
+        out.write_bytes(Bytes::from_static(b"three")).unwrap();
+        out.close().unwrap();
+        assert_eq!(captured.lock().unwrap().as_ref().unwrap(), "one two three");
     }
 
     #[test]
@@ -347,10 +693,25 @@ mod tests {
 
     #[test]
     fn transforming_input_is_lazy_until_first_read() {
-        // The transform must not run during construction: build with a
-        // transform that would fail, never read, and observe no panic.
+        // The transform must not run during construction or on size_hint:
+        // build with a transform that would fail, probe the hint, never
+        // read, and observe no panic.
         let inner = mem(b"data");
-        let _t = TransformingInput::new(inner, Box::new(|_| Err(PlacelessError::StreamClosed)));
+        let t = TransformingInput::new(inner, Box::new(|_| Err(PlacelessError::StreamClosed)));
+        assert_eq!(t.size_hint(), None, "hint unknown before materializing");
+    }
+
+    #[test]
+    fn transforming_input_identity_passes_the_slice_through() {
+        let source = Bytes::from_static(b"identity transform");
+        let inner = Box::new(MemoryInput::new(source.clone()));
+        let mut t = TransformingInput::new(inner, Box::new(Ok));
+        let out = read_all(&mut t).unwrap();
+        assert_eq!(out, source);
+        assert!(
+            std::ptr::eq(out.as_ptr(), source.as_ptr()),
+            "identity chain must not materialize a copy"
+        );
     }
 
     #[test]
@@ -384,6 +745,26 @@ mod tests {
         write_all(&mut out, b"save me").unwrap();
         out.close().unwrap();
         assert_eq!(captured.lock().unwrap().as_ref().unwrap(), "SAVE ME");
+    }
+
+    #[test]
+    fn transforming_output_identity_chunk_reaches_the_sink_unscathed() {
+        let source = Bytes::from_static(b"written once");
+        let captured = Arc::new(Mutex::new(None));
+        let sink = captured.clone();
+        let collect = CollectOutput::new(move |bytes| {
+            *sink.lock().unwrap() = Some(bytes);
+            Ok(())
+        });
+        let mut out = TransformingOutput::new(Box::new(collect), Box::new(Ok));
+        write_all_bytes(&mut out, source.clone()).unwrap();
+        out.close().unwrap();
+        let got = captured.lock().unwrap().take().unwrap();
+        assert_eq!(got, source);
+        assert!(
+            std::ptr::eq(got.as_ptr(), source.as_ptr()),
+            "identity write chain must forward the caller's buffer"
+        );
     }
 
     #[test]
@@ -451,6 +832,14 @@ mod tests {
     }
 
     #[test]
+    fn mapping_input_chunk_path_maps_and_keeps_the_hint() {
+        let mut m = MappingInput::new(mem(b"abc"), |b| b.to_ascii_uppercase());
+        assert_eq!(m.size_hint(), Some(3));
+        assert_eq!(m.read_chunk().unwrap().unwrap(), "ABC");
+        assert!(m.read_chunk().unwrap().is_none());
+    }
+
+    #[test]
     fn mapping_output_streams_bytewise() {
         let captured = Arc::new(Mutex::new(None));
         let sink = captured.clone();
@@ -473,6 +862,20 @@ mod tests {
         });
         assert_eq!(read_all(&mut t).unwrap(), "watched");
         assert_eq!(seen.lock().unwrap().as_slice(), b"watched");
+    }
+
+    #[test]
+    fn tap_input_forwards_chunks_zero_copy() {
+        let source = Bytes::from_static(b"observed");
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let tap_sink = seen.clone();
+        let mut t = TapInput::new(Box::new(MemoryInput::new(source.clone())), move |chunk| {
+            tap_sink.lock().unwrap().extend_from_slice(chunk)
+        });
+        assert_eq!(t.size_hint(), Some(8));
+        let chunk = t.read_chunk().unwrap().unwrap();
+        assert!(std::ptr::eq(chunk.as_ptr(), source.as_ptr()));
+        assert_eq!(seen.lock().unwrap().as_slice(), b"observed");
     }
 
     #[test]

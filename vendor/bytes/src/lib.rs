@@ -4,21 +4,36 @@
 //! workspace vendors the small slice of the `bytes` API it actually uses:
 //! [`Bytes`] as a cheaply clonable, immutable byte buffer. Cloning shares
 //! the underlying allocation (`Arc<[u8]>`), which is the property the cache
-//! relies on when many entries reference the same content.
+//! relies on when many entries reference the same content, and
+//! [`Bytes::slice`] produces refcounted sub-views of the same allocation,
+//! which is what lets the streaming transform pipeline hand chunks between
+//! stages without copying.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// A cheaply clonable immutable byte buffer.
+/// A cheaply clonable immutable byte buffer, viewing a sub-range of a
+/// shared allocation.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Self {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
     /// Creates an empty buffer.
     pub fn new() -> Self {
         Self::default()
@@ -26,65 +41,93 @@ impl Bytes {
 
     /// Creates a buffer from a static byte slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self { data: bytes.into() }
+        Self::from_arc(bytes.into())
     }
 
     /// Creates a buffer by copying `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { data: data.into() }
+        Self::from_arc(data.into())
     }
 
     /// Returns the number of bytes in the buffer.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Returns `true` if the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Returns the contents as a plain slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a sub-view of the buffer sharing the same allocation — no
+    /// bytes are copied, only the refcount is bumped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching slice
+    /// indexing semantics.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Self {
+            data: self.data.clone(),
+            offset: self.offset + start,
+            len: end - start,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: v.into() }
+        Self::from_arc(v.into())
     }
 }
 
 impl From<String> for Bytes {
     fn from(s: String) -> Self {
-        Self {
-            data: s.into_bytes().into(),
-        }
+        Self::from_arc(s.into_bytes().into())
     }
 }
 
@@ -102,7 +145,7 @@ impl From<&'static [u8]> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        Self { data: b.into() }
+        Self::from_arc(b.into())
     }
 }
 
@@ -115,7 +158,7 @@ impl FromIterator<u8> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -126,7 +169,7 @@ impl fmt::Debug for Bytes {
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self.as_slice().hash(state);
     }
 }
 
@@ -134,7 +177,7 @@ impl Eq for Bytes {}
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -146,7 +189,7 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
@@ -155,13 +198,13 @@ macro_rules! eq_via_bytes {
         impl PartialEq<$ty> for Bytes {
             fn eq(&self, other: &$ty) -> bool {
                 let other: &[u8] = other.as_ref();
-                self.data[..] == *other
+                *self.as_slice() == *other
             }
         }
         impl PartialEq<Bytes> for $ty {
             fn eq(&self, other: &Bytes) -> bool {
                 let this: &[u8] = self.as_ref();
-                *this == other.data[..]
+                *this == *other.as_slice()
             }
         }
     )*};
@@ -195,5 +238,53 @@ mod tests {
     fn empty_and_debug() {
         assert!(Bytes::new().is_empty());
         assert_eq!(format!("{:?}", Bytes::from_static(b"a\n")), "b\"a\\n\"");
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let full = Bytes::from_static(b"hello world");
+        let word = full.slice(6..);
+        assert_eq!(word, "world");
+        assert!(std::ptr::eq(
+            word.as_slice().as_ptr(),
+            full.as_slice()[6..].as_ptr()
+        ));
+        // Slices of slices compose.
+        let tail = word.slice(1..3);
+        assert_eq!(tail, "or");
+        let empty = word.slice(5..5);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn slice_range_forms() {
+        let b = Bytes::from_static(b"abcdef");
+        assert_eq!(b.slice(..), "abcdef");
+        assert_eq!(b.slice(2..), "cdef");
+        assert_eq!(b.slice(..4), "abcd");
+        assert_eq!(b.slice(1..=2), "bc");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from_static(b"abc").slice(1..5);
+    }
+
+    #[test]
+    fn sliced_views_compare_hash_and_debug_by_view() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Bytes::from_static(b"xxabcxx").slice(2..5);
+        let b = Bytes::from_static(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let hash = |v: &Bytes| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b), "hash must follow the visible view");
+        assert_eq!(format!("{a:?}"), "b\"abc\"");
+        assert_eq!(a.to_vec(), b"abc");
     }
 }
