@@ -8,19 +8,23 @@
 //!
 //! Experiments: `table1`, `notifier-verifier`, `replacement`, `sharing`,
 //! `consistency`, `qos`, `collections`, `chain`, `placement`,
-//! `revalidation`, `scale`, `fault`, `stage`, `crash`, `load`, `merge`.
+//! `revalidation`, `scale`, `fault`, `stage`, `crash`, `load`, `merge`,
+//! `overload`.
 //!
-//! The `stage`, `crash`, `load`, and `merge` experiments additionally
-//! write `BENCH_stage.json` / `BENCH_crash.json` / `BENCH_load.json` /
-//! `BENCH_merge.json` next to the working directory so their numbers are
-//! machine-readable run over run. The `load` experiment honours `E_LOAD_USERS` / `E_LOAD_DOCS` /
+//! The `stage`, `crash`, `load`, `merge`, and `overload` experiments
+//! additionally write `BENCH_stage.json` / `BENCH_crash.json` /
+//! `BENCH_load.json` / `BENCH_merge.json` / `BENCH_overload.json` next to
+//! the working directory so their numbers are machine-readable run over
+//! run. The `load` experiment honours `E_LOAD_USERS` / `E_LOAD_DOCS` /
 //! `E_LOAD_OPS` / `E_LOAD_THREADS` overrides (and `E_LOAD_WMIX_WRITES` /
 //! `E_LOAD_WMIX_DOCS` / `E_LOAD_WMIX_FLUSH_EVERY` for the write-mix flush
-//! smoke) for reduced CI smokes.
+//! smoke); the `overload` experiment honours `E_OVERLOAD_THREADS` /
+//! `E_OVERLOAD_EVENTS` / `E_OVERLOAD_INTENSITY` /
+//! `E_OVERLOAD_WALL_MICROS` for reduced CI smokes.
 
 use placeless_bench::{
-    chain, collections, consistency, crash, fault, load, merge, nv, placement, qos, replacement,
-    revalidation, scale, sharing, stage, table1,
+    chain, collections, consistency, crash, fault, load, merge, nv, overload, placement, qos,
+    replacement, revalidation, scale, sharing, stage, table1,
 };
 use placeless_cache::ALL_POLICIES;
 
@@ -76,6 +80,9 @@ fn main() {
     }
     if want("merge") {
         run_merge();
+    }
+    if want("overload") {
+        run_overload();
     }
 }
 
@@ -142,6 +149,130 @@ fn merge_json(params: merge::MergeParams, results: &[merge::MergeResult]) -> Str
             r.merge_rebases,
             r.replayed,
             if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_overload() {
+    let params = overload::OverloadParams::default().from_env();
+    println!(
+        "== E-OVERLOAD: {}x burst over saturation ({} + {} + {} reads, {} base threads) ==\n",
+        params.burst_intensity,
+        params.sat_events,
+        params.burst_events,
+        params.recover_events,
+        params.base_threads
+    );
+    println!(
+        "service {} us virtual / {} us wall per fetch, deadline {} us, SLO {} us\n",
+        params.service_virtual_micros,
+        params.service_wall_micros,
+        params.deadline_micros,
+        params.slo_micros
+    );
+    let cells = overload::run_overload(params);
+    for cell in &cells {
+        println!(
+            "{}:",
+            if cell.protected {
+                "protected (deadlines + overload control)"
+            } else {
+                "unprotected (overload: None)"
+            }
+        );
+        println!(
+            "  {:<12} {:>5} {:>8} {:>9} {:>6} {:>8} {:>10} {:>12}",
+            "phase", "x", "offered", "admitted", "shed", "on-time", "p99v us", "goodput/s"
+        );
+        for p in &cell.phases {
+            println!(
+                "  {:<12} {:>5} {:>8} {:>9} {:>6} {:>8} {:>10} {:>12.0}",
+                p.name,
+                p.intensity,
+                p.offered,
+                p.admitted,
+                p.shed,
+                p.on_time,
+                p.p99_virtual_micros,
+                p.goodput()
+            );
+        }
+        println!(
+            "  retained {:.0}% of saturation goodput; sheds fg/refresh/prefetch \
+             {}/{}/{}; brownout shifts {}\n",
+            cell.retained() * 100.0,
+            cell.stats.sheds_foreground,
+            cell.stats.sheds_refresh,
+            cell.stats.sheds_prefetch,
+            cell.stats.brownout_shifts
+        );
+    }
+    println!("(the protected cell trades explicit sheds for bounded latency; the");
+    println!(" unprotected cell admits everything and lets queueing blow the SLO)\n");
+
+    let json = overload_json(params, &cells);
+    match std::fs::write("BENCH_overload.json", &json) {
+        Ok(()) => println!("wrote BENCH_overload.json\n"),
+        Err(e) => eprintln!("could not write BENCH_overload.json: {e}\n"),
+    }
+}
+
+/// Hand-formats the E-OVERLOAD results as JSON (no serde in the tree).
+fn overload_json(params: overload::OverloadParams, cells: &[overload::CellResult]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"overload\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"base_threads\": {}, \"sat_events\": {}, \"burst_events\": {}, \
+         \"recover_events\": {}, \"burst_intensity\": {}, \"service_virtual_micros\": {}, \
+         \"service_wall_micros\": {}, \"deadline_micros\": {}, \"slo_micros\": {}, \
+         \"seed\": {}}},\n",
+        params.base_threads,
+        params.sat_events,
+        params.burst_events,
+        params.recover_events,
+        params.burst_intensity,
+        params.service_virtual_micros,
+        params.service_wall_micros,
+        params.deadline_micros,
+        params.slo_micros,
+        params.seed
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"protected\": {}, \"retained\": {:.4},\n",
+            cell.protected,
+            cell.retained()
+        ));
+        out.push_str(&format!(
+            "     \"sheds_foreground\": {}, \"sheds_refresh\": {}, \"sheds_prefetch\": {}, \
+             \"brownout_shifts\": {},\n",
+            cell.stats.sheds_foreground,
+            cell.stats.sheds_refresh,
+            cell.stats.sheds_prefetch,
+            cell.stats.brownout_shifts
+        ));
+        out.push_str("     \"phases\": [\n");
+        for (j, p) in cell.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"name\": \"{}\", \"intensity\": {}, \"offered\": {}, \
+                 \"admitted\": {}, \"shed\": {}, \"on_time\": {}, \
+                 \"p99_virtual_micros\": {}, \"goodput_per_virtual_sec\": {:.2}}}{}\n",
+                p.name,
+                p.intensity,
+                p.offered,
+                p.admitted,
+                p.shed,
+                p.on_time,
+                p.p99_virtual_micros,
+                p.goodput(),
+                if j + 1 == cell.phases.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "     ]}}{}\n",
+            if i + 1 == cells.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");

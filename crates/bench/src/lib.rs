@@ -22,6 +22,7 @@
 //! | [`crash`] | write-journal durability across a scripted crash | §3 write-back robustness |
 //! | [`load`] | trace-driven population load with single-flight coalescing | §4 implementation |
 //! | [`merge`] | op-based multi-writer merge vs binary conflict resolution | §3 write-back robustness |
+//! | [`overload`] | deadline-aware admission and brownout under a 10× burst | §3 robustness ablation |
 
 pub mod chain;
 pub mod collections;
@@ -31,6 +32,7 @@ pub mod fault;
 pub mod load;
 pub mod merge;
 pub mod nv;
+pub mod overload;
 pub mod placement;
 pub mod qos;
 pub mod replacement;

@@ -223,7 +223,7 @@ pub fn run_one(mode: MergeMode, params: MergeParams) -> MergeResult {
     // Bob saves; Alice crashes mid-edit. Her in-flight journal append is
     // torn, so that one edit was never acknowledged — losing it is
     // correct in every mode.
-    b.cache.flush().expect("healthy origin");
+    let _ = b.cache.flush().expect("healthy origin");
     let before = medium_a.len();
     a.buffer.push_str("A-torn;");
     match mode {
@@ -249,7 +249,7 @@ pub fn run_one(mode: MergeMode, params: MergeParams) -> MergeResult {
     let (recovered, recovery) =
         DocumentCache::recover(space.clone(), config(journal_a), hook.clone());
     a.cache = recovered;
-    a.cache.flush().expect("healthy origin");
+    let _ = a.cache.flush().expect("healthy origin");
 
     // Phase 2: both writers reload and keep editing; a partition then
     // isolates the origin. Bob tries to save inside the window (his
@@ -265,8 +265,8 @@ pub fn run_one(mode: MergeMode, params: MergeParams) -> MergeResult {
     clock.advance_to(Instant(params.partition_from + 1_000));
     let _ = b.cache.flush().expect("flush itself runs; entries park");
     clock.advance_to(Instant(params.partition_until + 1_000));
-    a.cache.flush().expect("healed origin");
-    b.cache.flush().expect("healed origin");
+    let _ = a.cache.flush().expect("healed origin");
+    let _ = b.cache.flush().expect("healed origin");
 
     let final_bytes = fs.read("/srv/shared").expect("file exists");
     let final_content = String::from_utf8(final_bytes.to_vec()).expect("utf-8 content");

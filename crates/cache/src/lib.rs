@@ -24,6 +24,9 @@
 //!   bounded retries with deterministic backoff, per-origin circuit
 //!   breakers, and serve-stale degradation within a
 //!   [`resilience::StalenessBound`]; all off by default.
+//! * [`overload::OverloadConfig`] — overload control: deadline-aware
+//!   admission against per-origin queues, AIMD concurrency limits,
+//!   priority-class shedding, and a brownout ladder; off by default.
 //! * [`stats::CacheStats`] — the counters every experiment reports
 //!   (accumulated lock-free in [`stats::AtomicCacheStats`]).
 
@@ -34,6 +37,7 @@ pub mod journal;
 pub mod keys;
 pub mod manager;
 pub mod merge;
+pub mod overload;
 pub mod policy;
 pub mod prefetch;
 pub mod resilience;
@@ -50,14 +54,15 @@ pub use manager::{
     WriteMode,
 };
 pub use merge::{Contribution, MergePolicy, MergeReport};
+pub use overload::{expected_completion_micros, BrownoutLevel, OverloadConfig, Priority};
 pub use policy::{
     by_name, EntryAttrs, EntryKey, GdsFrequency, GreedyDualSize, PolicyFactory, ReplacementPolicy,
     UnknownPolicy, ALL_POLICIES, STAGE_COST_DISCOUNT, STAGE_PIN_LEVEL,
 };
 pub use prefetch::PrefetchConfig;
 pub use resilience::{
-    Admission, BreakerConfig, BreakerSet, BreakerState, ResilienceConfig, ResilienceConfigBuilder,
-    StalenessBound,
+    retry_floor, Admission, BreakerConfig, BreakerSet, BreakerState, ResilienceConfig,
+    ResilienceConfigBuilder, StalenessBound,
 };
 pub use stats::CacheStats;
 pub use store::ConcurrentStore;

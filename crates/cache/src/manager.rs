@@ -90,12 +90,13 @@
 use crate::entry::EntryMeta;
 use crate::journal::{WriteJournal, NO_EPOCH};
 use crate::merge::{MergePolicy, MergeReport};
+use crate::overload::{BrownoutLevel, OverloadConfig, OverloadController, Priority};
 use crate::policy::{EntryAttrs, EntryKey, PolicyFactory, ReplacementPolicy, STAGE_PIN_LEVEL};
 use crate::prefetch::PrefetchConfig;
 use crate::resilience::{
     Admission, BackoffSchedule, BreakerSet, BreakerState, ResilienceConfig, StalenessBound,
 };
-use crate::singleflight::{FlightGroup, FlightResult, InflightWindow, Join};
+use crate::singleflight::{Acquire, FlightGroup, FlightResult, InflightWindow, Join};
 use crate::stats::{AtomicCacheStats, CacheStats};
 use crate::store::{ConcurrentStore, NoRoom};
 use bytes::Bytes;
@@ -133,7 +134,10 @@ pub enum WriteMode {
 /// A flush only returns `Err` for infrastructure failures before any
 /// write is attempted (currently never); per-entry failures are reported
 /// here so one unreachable origin cannot hide the entries that *did*
-/// flush, and nothing is silently dropped.
+/// flush, and nothing is silently dropped — which also makes the report
+/// `#[must_use]`: dropping it unexamined loses the parked/requeued
+/// entries it carries.
+#[must_use = "inspect the report: it may carry parked or requeued writes"]
 #[derive(Debug, Clone, Default)]
 pub struct FlushReport {
     /// Dirty entries the flush attempted to write.
@@ -370,6 +374,14 @@ pub struct CacheConfig {
     /// binary PR-4 behaviour exactly: no origin probes, no rebases,
     /// byte-identical flush payloads.
     pub merge: Option<MergePolicy>,
+    /// Overload control: deadline-aware admission against the per-origin
+    /// in-flight windows, AIMD concurrency limits driven by observed
+    /// fetch latency, priority-class shedding, and the brownout ladder
+    /// (see [`crate::overload`]). Requires an in-flight window: when
+    /// `max_inflight_per_origin` is unset, the window is created with
+    /// the overload config's `max_inflight` ceiling. `None` (the
+    /// default) reproduces the uncontrolled behaviour exactly.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for CacheConfig {
@@ -390,6 +402,7 @@ impl Default for CacheConfig {
             max_inflight_per_origin: None,
             batched_flush: true,
             merge: None,
+            overload: None,
         }
     }
 }
@@ -519,6 +532,12 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Enables overload control (see [`CacheConfig::overload`]).
+    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+        self.config.overload = Some(overload);
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> CacheConfig {
         self.config
@@ -561,6 +580,12 @@ pub struct ReadOptions {
     /// [`CacheConfig::stage_cache`] is on. For measuring the stage
     /// cache's contribution without rebuilding the cache.
     pub bypass_stage_cache: bool,
+    /// Scheduling class for overload control: under pressure the cache
+    /// sheds [`Priority::Prefetch`] first, [`Priority::Refresh`] next,
+    /// and [`Priority::Foreground`] (the default) last. Without
+    /// [`CacheConfig::overload`] the class is recorded but never acted
+    /// on.
+    pub priority: Priority,
 }
 
 impl ReadOptions {
@@ -584,6 +609,12 @@ impl ReadOptions {
     /// Sets the per-read stage-cache bypass.
     pub fn bypass_stage_cache(mut self, bypass: bool) -> Self {
         self.bypass_stage_cache = bypass;
+        self
+    }
+
+    /// Sets the read's overload priority class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -624,7 +655,10 @@ impl HitClass {
 
 /// What [`DocumentCache::read_with`] returned: the bytes plus how they
 /// were obtained, so callers classify service quality per read instead of
-/// re-deriving it from [`CacheStats`] deltas.
+/// re-deriving it from [`CacheStats`] deltas. `#[must_use]`: dropping an
+/// outcome unexamined silently discards the degraded/stale service
+/// classification.
+#[must_use = "inspect the outcome's class: it may be stale or degraded service"]
 #[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct ReadOutcome {
@@ -691,6 +725,26 @@ struct RootLease {
     verifier: Box<dyn Verifier>,
 }
 
+/// Per-fetch overload context threaded from [`DocumentCache::read_with`]
+/// through retries, window admission, and stage computation: the read's
+/// priority class and the virtual instant its deadline budget expires.
+/// `deadline_at` is only ever `Some` when overload control is configured
+/// — without it the deadline keeps its original meaning (bounding retry
+/// scheduling only) and no new check fires.
+#[derive(Clone, Copy)]
+struct FetchCtx {
+    priority: Priority,
+    deadline_at: Option<Instant>,
+}
+
+/// A claimed per-origin window slot plus when the fetch started, so
+/// releasing it can feed the observed service time to the AIMD
+/// controller.
+struct OriginSlot {
+    origin: String,
+    started: Instant,
+}
+
 /// An application-level cache over a [`DocumentSpace`].
 pub struct DocumentCache {
     id: CacheId,
@@ -726,6 +780,9 @@ pub struct DocumentCache {
     stage_flights: FlightGroup,
     /// Per-origin fetch back-pressure, when configured.
     window: Option<InflightWindow>,
+    /// Overload control (deadline-aware admission, AIMD limits, brownout
+    /// ladder), when configured. Always paired with a `window`.
+    overload: Option<OverloadController>,
     /// Origin fetches currently running (gauge feeding `inflight_peak`).
     inflight: AtomicU64,
     /// Buffered write-back writes across all shards, maintained at every
@@ -788,9 +845,19 @@ impl DocumentCache {
             batched_flush: config.batched_flush,
             version_flights: FlightGroup::new(),
             stage_flights: FlightGroup::new(),
-            window: config
-                .max_inflight_per_origin
-                .map(|limit| InflightWindow::new(limit as usize)),
+            window: {
+                // Overload control needs a window to meter admission
+                // through; fall back to its ceiling when no static
+                // per-origin bound was configured.
+                let limit = config.max_inflight_per_origin.or_else(|| {
+                    config
+                        .overload
+                        .as_ref()
+                        .map(|overload| overload.max_inflight)
+                });
+                limit.map(|limit| InflightWindow::new(limit as usize))
+            },
+            overload: config.overload.map(OverloadController::new),
             inflight: AtomicU64::new(0),
             dirty_gauge: AtomicU64::new(0),
             parked_gauge: AtomicU64::new(0),
@@ -1239,6 +1306,43 @@ impl DocumentCache {
             } => Some((bytes, filled_at, forward)),
         };
 
+        // Overload gates on the miss path: feed the brownout ladder one
+        // pressure sample, then apply its rungs before any fetch work.
+        if let Some(controller) = &self.overload {
+            let level = self.observe_overload_pressure(&clock);
+            // Rung 4: reject background misses outright — only
+            // foreground reads still compete for origin capacity (each
+            // remains subject to deadline-aware admission below).
+            if level.rejects_background() && opts.priority < Priority::Foreground {
+                self.count_shed(opts.priority);
+                return Err(PlacelessError::Overloaded {
+                    retry_after: controller.config().retry_after_micros,
+                });
+            }
+            // Rung 1: serve the resident stale candidate without
+            // fetching at all, within the brownout staleness bound (or
+            // the resilience bound when none is configured). A hit the
+            // origin never sees is capacity reclaimed.
+            if level.widens_stale() {
+                if let Some((bytes, filled_at, forward)) = &stale {
+                    let bound = controller
+                        .config()
+                        .brownout_stale
+                        .or(self.resilience.serve_stale);
+                    if bound.is_some_and(|bound| bound.permits(*filled_at, clock.now())) {
+                        return self.serve_stale_candidate(
+                            bytes.clone(),
+                            *forward,
+                            user,
+                            doc,
+                            &clock,
+                            &watch,
+                        );
+                    }
+                }
+            }
+        }
+
         // Miss path. Coalesce concurrent misses on this key into one
         // flight: the first thread fetches, the rest wait (holding no
         // cache lock) and share its outcome.
@@ -1335,7 +1439,13 @@ impl DocumentCache {
         }
         AtomicCacheStats::add(&self.stats.miss_micros, watch.elapsed_micros());
         if self.prefetch.enabled {
-            self.prefetch_collection_siblings(user, doc);
+            // Brownout rung 3: sibling prefetch is the most speculative
+            // work in the cache, so it is the first whole feature shed.
+            if self.brownout_level().sheds_prefetch() {
+                self.count_shed(Priority::Prefetch);
+            } else {
+                self.prefetch_collection_siblings(user, doc);
+            }
         }
         if let Some(link) = &self.access_link {
             link.transfer(&clock, bytes.len() as u64);
@@ -1377,27 +1487,44 @@ impl DocumentCache {
                 .or_else(|| opts.allow_stale.then_some(StalenessBound::UNBOUNDED));
             if let (Some(bound), Some((bytes, filled_at, forward))) = (bound, stale) {
                 if bound.permits(filled_at, clock.now()) {
-                    AtomicCacheStats::bump(&self.stats.stale_served);
-                    self.local_latency.charge(clock, bytes.len() as u64);
-                    if forward {
-                        self.space
-                            .post_cache_event(user, doc, EventKind::CacheRead)?;
-                        AtomicCacheStats::bump(&self.stats.events_forwarded);
-                    }
-                    if let Some(link) = &self.access_link {
-                        link.transfer(clock, bytes.len() as u64);
-                    }
-                    let latency_micros = watch.elapsed_micros();
-                    return Ok(ReadOutcome {
-                        bytes,
-                        class: HitClass::StaleServed,
-                        latency_micros,
-                    });
+                    return self.serve_stale_candidate(bytes, forward, user, doc, clock, watch);
                 }
             }
             AtomicCacheStats::bump(&self.stats.degraded_errors);
         }
         Err(error)
+    }
+
+    /// Serves resident stale bytes in place of a fetch: counts the stale
+    /// service, charges local latency and the access link, and forwards
+    /// the read event when the entry's cacheability demands one per
+    /// read. Callers have already checked the applicable staleness
+    /// bound.
+    fn serve_stale_candidate(
+        &self,
+        bytes: Bytes,
+        forward: bool,
+        user: UserId,
+        doc: DocumentId,
+        clock: &VirtualClock,
+        watch: &Stopwatch,
+    ) -> Result<ReadOutcome> {
+        AtomicCacheStats::bump(&self.stats.stale_served);
+        self.local_latency.charge(clock, bytes.len() as u64);
+        if forward {
+            self.space
+                .post_cache_event(user, doc, EventKind::CacheRead)?;
+            AtomicCacheStats::bump(&self.stats.events_forwarded);
+        }
+        if let Some(link) = &self.access_link {
+            link.transfer(clock, bytes.len() as u64);
+        }
+        let latency_micros = watch.elapsed_micros();
+        Ok(ReadOutcome {
+            bytes,
+            class: HitClass::StaleServed,
+            latency_micros,
+        })
     }
 
     /// Executes the middleware read under the configured resilience
@@ -1420,19 +1547,31 @@ impl DocumentCache {
         opts: &ReadOptions,
     ) -> Result<(Bytes, PathReport, bool, Option<Signature>)> {
         let use_stages = self.stage_cache && !opts.bypass_stage_cache;
+        let deadline = opts
+            .deadline_micros
+            .or(self.resilience.fetch_deadline_micros);
+        let ctx = FetchCtx {
+            priority: opts.priority,
+            // The budget instant exists only under overload control;
+            // without it the deadline keeps bounding retry scheduling
+            // alone, exactly as before.
+            deadline_at: if self.overload.is_some() {
+                deadline.map(|budget| clock.now().plus(budget))
+            } else {
+                None
+            },
+        };
         if self.resilience.is_noop() {
             // A per-read deadline bounds retry scheduling; without
-            // retries there is nothing to bound, so the shortcut stands.
-            return self.fetch_once(user, doc, clock, use_stages);
+            // retries there is nothing to bound, so the shortcut stands
+            // (overload admission still applies inside `fetch_once`).
+            return self.fetch_once(user, doc, clock, use_stages, ctx);
         }
         let origin = self
             .space
             .origin_of(doc)
             .unwrap_or_else(|| format!("doc:{}", doc.0));
         let started = clock.now();
-        let deadline = opts
-            .deadline_micros
-            .or(self.resilience.fetch_deadline_micros);
         // Salting the jitter stream with the key keeps concurrent fetches
         // from sharing one schedule while staying deterministic per key.
         let mut backoff = BackoffSchedule::new(&self.resilience, doc.0 ^ user.0.rotate_left(32));
@@ -1449,7 +1588,7 @@ impl DocumentCache {
                     });
                 }
             }
-            match self.fetch_once(user, doc, clock, use_stages) {
+            match self.fetch_once(user, doc, clock, use_stages, ctx) {
                 Ok(fetched) => {
                     if let Some(config) = &self.resilience.breaker {
                         self.breakers.record_success(config, &origin);
@@ -1465,7 +1604,16 @@ impl DocumentCache {
                     if attempt >= self.resilience.max_retries {
                         return Err(error);
                     }
-                    let delay = backoff.delay_micros(attempt);
+                    // A provider `retry_after` hint floors the backoff:
+                    // retrying sooner than the origin said it could
+                    // recover is a wasted attempt. A hint beyond the
+                    // schedule's own horizon means no wait this loop is
+                    // prepared to make can reach recovery — give up now.
+                    let floor = crate::resilience::retry_floor(&error);
+                    if floor > self.resilience.hint_horizon_micros() {
+                        return Err(error);
+                    }
+                    let delay = backoff.delay_micros(attempt).max(floor);
                     if let Some(budget) = deadline {
                         // Don't start a backoff the deadline can't cover.
                         // The caller still waited out the rest of its
@@ -1495,50 +1643,155 @@ impl DocumentCache {
     /// or — with `use_stages` — the compiled-plan walk with
     /// intermediate-result lookups. Every attempt claims a per-origin
     /// window slot first (when configured) and is counted in the
-    /// in-flight gauge behind `inflight_peak`. Runs with no cache lock
-    /// held.
+    /// in-flight gauge behind `inflight_peak`; with overload control the
+    /// claim is deadline-aware and may shed the attempt with
+    /// [`PlacelessError::Overloaded`]. Runs with no cache lock held.
     fn fetch_once(
         &self,
         user: UserId,
         doc: DocumentId,
         clock: &VirtualClock,
         use_stages: bool,
+        ctx: FetchCtx,
     ) -> Result<(Bytes, PathReport, bool, Option<Signature>)> {
-        let slot = self.begin_origin_fetch(doc);
+        let slot = self.begin_origin_fetch(doc, clock, ctx)?;
         let result = if use_stages {
-            self.read_through_stages(user, doc, clock)
+            self.read_through_stages(user, doc, clock, ctx)
         } else {
             self.space
                 .read_document(user, doc)
                 .map(|(bytes, report)| (bytes, report, false, None))
         };
-        self.end_origin_fetch(slot);
+        self.end_origin_fetch(slot, clock);
         result
     }
 
     /// Claims a per-origin window slot (when a window is configured) and
-    /// bumps the in-flight gauge feeding `inflight_peak`. Called holding
-    /// no cache lock; the window wait blocks holding no lock either.
-    fn begin_origin_fetch(&self, doc: DocumentId) -> Option<String> {
-        let origin = self.window.as_ref().map(|window| {
-            let origin = self
-                .space
-                .origin_of(doc)
-                .unwrap_or_else(|| format!("doc:{}", doc.0));
-            window.acquire(&origin);
-            origin
-        });
+    /// bumps the in-flight gauge feeding `inflight_peak`. Without
+    /// overload control the claim blocks until a slot frees, exactly as
+    /// before. With overload control the claim is deadline-aware
+    /// ([`InflightWindow::acquire_until`]): a request whose remaining
+    /// budget cannot cover the expected queue wait plus service time —
+    /// or whose deadline lapses while parked — is shed with
+    /// [`PlacelessError::Overloaded`] and counted against its priority
+    /// class. Called holding no cache lock; the window wait blocks
+    /// holding no lock either.
+    fn begin_origin_fetch(
+        &self,
+        doc: DocumentId,
+        clock: &VirtualClock,
+        ctx: FetchCtx,
+    ) -> Result<Option<OriginSlot>> {
+        let slot = match &self.window {
+            None => None,
+            Some(window) => {
+                let origin = self
+                    .space
+                    .origin_of(doc)
+                    .unwrap_or_else(|| format!("doc:{}", doc.0));
+                match &self.overload {
+                    None => window.acquire(&origin),
+                    Some(controller) => {
+                        let expected = controller.expected_service_micros(&origin);
+                        match window.acquire_until(&origin, clock, ctx.deadline_at, expected) {
+                            Acquire::Admitted { queued_micros } => {
+                                AtomicCacheStats::add(&self.stats.queue_wait_micros, queued_micros);
+                            }
+                            Acquire::Shed { queued_micros } => {
+                                AtomicCacheStats::add(&self.stats.queue_wait_micros, queued_micros);
+                                self.count_shed(ctx.priority);
+                                return Err(PlacelessError::Overloaded {
+                                    retry_after: controller.config().retry_after_micros,
+                                });
+                            }
+                        }
+                    }
+                }
+                Some(OriginSlot {
+                    origin,
+                    started: clock.now(),
+                })
+            }
+        };
         let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         AtomicCacheStats::maximize(&self.stats.inflight_peak, now);
-        origin
+        Ok(slot)
     }
 
-    /// Releases what [`Self::begin_origin_fetch`] claimed.
-    fn end_origin_fetch(&self, slot: Option<String>) {
+    /// Releases what [`Self::begin_origin_fetch`] claimed and, with
+    /// overload control, feeds the observed fetch latency to the AIMD
+    /// controller — the returned width immediately resizes this origin's
+    /// window. The observation is virtual-clock time, which under
+    /// concurrency includes advances charged by other threads; AIMD only
+    /// needs the signal to rise under load and fall when it drains, and
+    /// it does.
+    fn end_origin_fetch(&self, slot: Option<OriginSlot>, clock: &VirtualClock) {
         self.inflight.fetch_sub(1, Ordering::Relaxed);
-        if let (Some(window), Some(origin)) = (&self.window, slot) {
-            window.release(&origin);
+        if let (Some(window), Some(slot)) = (&self.window, slot) {
+            window.release(&slot.origin);
+            if let Some(controller) = &self.overload {
+                let observed = clock.now().since(slot.started);
+                let width = controller.observe_fetch(&slot.origin, observed);
+                window.set_limit(&slot.origin, width as usize);
+            }
         }
+    }
+
+    /// Bumps the shed counter for `priority`.
+    fn count_shed(&self, priority: Priority) {
+        AtomicCacheStats::bump(match priority {
+            Priority::Foreground => &self.stats.sheds_foreground,
+            Priority::Refresh => &self.stats.sheds_refresh,
+            Priority::Prefetch => &self.stats.sheds_prefetch,
+        });
+    }
+
+    /// Current brownout rung ([`BrownoutLevel::Normal`] without overload
+    /// control).
+    fn brownout_level(&self) -> BrownoutLevel {
+        self.overload
+            .as_ref()
+            .map(|controller| controller.level())
+            .unwrap_or(BrownoutLevel::Normal)
+    }
+
+    /// Feeds the brownout ladder one pressure sample (readers parked on
+    /// origin windows plus readers blocked on miss flights) and records
+    /// any transition in the stats. Returns the post-sample level.
+    fn observe_overload_pressure(&self, clock: &VirtualClock) -> BrownoutLevel {
+        let Some(controller) = &self.overload else {
+            return BrownoutLevel::Normal;
+        };
+        let waiters = self
+            .window
+            .as_ref()
+            .map(|window| window.queued_total())
+            .unwrap_or(0)
+            + self.version_flights.waiting();
+        if let Some((_, to)) = controller.observe_pressure(clock.now(), waiters) {
+            AtomicCacheStats::bump(&self.stats.brownout_shifts);
+            AtomicCacheStats::set(&self.stats.brownout_level, u64::from(to.rung()));
+        }
+        controller.level()
+    }
+
+    /// Budget check before each expensive stage step (fires only when
+    /// overload control supplied a deadline instant): a walk whose
+    /// budget already lapsed is shed instead of computing doomed stages.
+    fn check_stage_budget(&self, ctx: FetchCtx, clock: &VirtualClock) -> Result<()> {
+        let Some(controller) = &self.overload else {
+            return Ok(());
+        };
+        if ctx
+            .deadline_at
+            .is_some_and(|deadline| clock.now() >= deadline)
+        {
+            self.count_shed(ctx.priority);
+            return Err(PlacelessError::Overloaded {
+                retry_after: controller.config().retry_after_micros,
+            });
+        }
+        Ok(())
     }
 
     /// Walks the compiled [`TransformPlan`] through a
@@ -1581,6 +1834,7 @@ impl DocumentCache {
         user: UserId,
         doc: DocumentId,
         clock: &VirtualClock,
+        ctx: FetchCtx,
     ) -> Result<(Bytes, PathReport, bool, Option<Signature>)> {
         // Lease probe. The root half is consumed only if its verifier —
         // charged to this walk — still vouches for the leased signature.
@@ -1631,6 +1885,10 @@ impl DocumentCache {
         };
         let mut any_hit = false;
         for index in 0..plan.len() {
+            // Every expensive step checks remaining budget first: a walk
+            // whose deadline lapsed mid-chain is shed before executing
+            // (or even looking up) the next stage.
+            self.check_stage_budget(ctx, clock)?;
             match pipeline.stage_signature(index) {
                 Some(stage_sig) => {
                     if let Some((cached, content_sig)) = self.stage_lookup(stage_sig) {
@@ -1886,6 +2144,12 @@ impl DocumentCache {
     /// streaming executor folds it as the chunks flow), sparing the
     /// install a second full pass over the bytes.
     fn fill_stage(&self, sig: Signature, bytes: Bytes, content_sig: Option<Signature>, cost: f64) {
+        // Brownout rung 2: under sustained pressure the output is still
+        // computed and served, but not persisted — stage-cache churn is
+        // pure overhead when the cache is fighting for its life.
+        if self.brownout_level().skips_stage_fills() {
+            return;
+        }
         let key = EntryKey::Stage(sig);
         let index = self.shard_index(key);
         let mut shard = self.shards[index].lock();
@@ -2106,7 +2370,26 @@ impl DocumentCache {
     }
 
     /// Pulls collection siblings of `doc` into the cache after a miss.
+    ///
+    /// Sibling fetches carry [`Priority::Prefetch`], so with overload
+    /// control they are the first work deadline-aware admission sheds —
+    /// and one `Overloaded` verdict abandons the rest of the batch
+    /// rather than hammering a window that just refused speculative
+    /// work.
     fn prefetch_collection_siblings(&self, user: UserId, doc: DocumentId) {
+        let ctx = FetchCtx {
+            priority: Priority::Prefetch,
+            // Speculative work gets the configured fetch budget as its
+            // deadline: a prefetch the origin cannot serve inside the
+            // budget a demand read would get is not worth queueing for.
+            deadline_at: if self.overload.is_some() {
+                self.resilience
+                    .fetch_deadline_micros
+                    .map(|budget| self.space.clock().now().plus(budget))
+            } else {
+                None
+            },
+        };
         let mut budget = self.prefetch.max_per_miss;
         for collection in self.space.collections_of(doc) {
             for sibling in self.space.collection_members(&collection) {
@@ -2121,9 +2404,11 @@ impl DocumentCache {
                 }
                 // Fetch through the full property path, as a miss would.
                 let clock = self.space.clock().clone();
-                let Ok((bytes, report, _, content_sig)) =
-                    self.fetch_once(user, sibling, &clock, self.stage_cache)
-                else {
+                let fetched = self.fetch_once(user, sibling, &clock, self.stage_cache, ctx);
+                if matches!(&fetched, Err(PlacelessError::Overloaded { .. })) {
+                    return;
+                }
+                let Ok((bytes, report, _, content_sig)) = fetched else {
                     continue;
                 };
                 if report.cacheability == Cacheability::Uncacheable {
@@ -2382,7 +2667,14 @@ impl DocumentCache {
                     if attempt >= self.resilience.max_retries {
                         return Err(error);
                     }
-                    let delay = backoff.delay_micros(attempt);
+                    // As on the read path, a provider `retry_after` hint
+                    // floors the backoff wait, and a hint beyond the
+                    // schedule's horizon fails the write at once.
+                    let floor = crate::resilience::retry_floor(&error);
+                    if floor > self.resilience.hint_horizon_micros() {
+                        return Err(error);
+                    }
+                    let delay = backoff.delay_micros(attempt).max(floor);
                     if let Some(budget) = deadline {
                         // As on the read path: a backoff the budget
                         // cannot cover fails the write, but the truncated
@@ -2651,7 +2943,23 @@ impl DocumentCache {
                 }
                 return;
             }
-            let delay = backoff.delay_micros(attempt);
+            // The largest `retry_after` hint among the group's transient
+            // failures floors the backoff: the group retries as one, so
+            // it waits for the slowest origin-reported recovery. Beyond
+            // the schedule's horizon the group settles its failures now
+            // instead of waiting out an advertised outage.
+            let floor = transient
+                .iter()
+                .map(|(_, _, _, error)| crate::resilience::retry_floor(error))
+                .max()
+                .unwrap_or(0);
+            if floor > self.resilience.hint_horizon_micros() {
+                for (doc, user, entry, error) in transient {
+                    self.settle_flush_failure(doc, user, entry, error, report);
+                }
+                return;
+            }
+            let delay = backoff.delay_micros(attempt).max(floor);
             if let Some(budget) = deadline {
                 // Same deadline accounting as the per-entry retry loops:
                 // the truncated wait is charged before reporting.
@@ -2890,6 +3198,17 @@ impl DocumentCache {
     /// gauge whose high-water mark is `CacheStats::inflight_peak`).
     pub fn inflight_fetches(&self) -> u64 {
         self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Returns how many readers are currently parked waiting for a
+    /// per-origin window slot — the brownout ladder's pressure gauge.
+    /// Zero without a configured [`CacheConfigBuilder::max_inflight_per_origin`]
+    /// window, and zero whenever the cache is quiescent.
+    pub fn queued_fetches(&self) -> u64 {
+        self.window
+            .as_ref()
+            .map(|window| window.queued_total())
+            .unwrap_or(0)
     }
 
     /// Returns the configured write journal, if any.
@@ -3237,7 +3556,7 @@ mod tests {
             cache.read(ALICE, doc).expect("read must succeed"),
             "buffered"
         );
-        cache.flush().expect("flush must push every dirty entry");
+        let _ = cache.flush().expect("flush must push every dirty entry");
         assert_eq!(provider.content(), "buffered");
         assert_eq!(cache.dirty_count(), 0);
         assert_eq!(cache.stats().flushes, 1);
@@ -3308,7 +3627,7 @@ mod tests {
             "buffered",
             "the recovered write is the writer's view again"
         );
-        cache.flush().expect("flush must succeed");
+        let _ = cache.flush().expect("flush must succeed");
         assert_eq!(provider.content(), "buffered");
     }
 
@@ -3394,7 +3713,7 @@ mod tests {
             .expect("write-back must buffer");
         back.write(ALICE, doc, b"d")
             .expect("write-back must buffer");
-        back.flush().expect("flush must push every dirty entry");
+        let _ = back.flush().expect("flush must push every dirty entry");
         let stats = back.stats();
         assert_eq!(stats.writes, 2);
         assert_eq!(stats.flushes, 1, "coalesced into one flush");

@@ -129,6 +129,19 @@ impl ResilienceConfig {
             && self.breaker.is_none()
             && self.serve_stale.is_none()
     }
+
+    /// The longest single backoff this config's schedule could ever
+    /// grant (the final attempt's delay at maximum jitter), in virtual
+    /// µs. A provider `retry_after` hint beyond this horizon means the
+    /// origin will not be back within any wait the retry loop is
+    /// prepared to make — the loop gives up immediately instead of
+    /// burning attempts it was told would fail, or stalling the read for
+    /// the whole advertised outage.
+    pub fn hint_horizon_micros(&self) -> u64 {
+        let exp = self.max_retries.saturating_sub(1).min(20);
+        let base = self.backoff_base_micros.saturating_mul(1 << exp);
+        base.saturating_add(base * u64::from(self.backoff_jitter_frac) / 256)
+    }
 }
 
 /// Builder for [`ResilienceConfig`].
@@ -402,6 +415,24 @@ impl BackoffSchedule {
     }
 }
 
+/// Extracts the provider's `retry_after` hint from a transient failure,
+/// in virtual µs (0 when the error carries none). Retry loops use it as
+/// a **floor** for the next backoff wait: when the origin said how long
+/// its outage lasts, retrying sooner is a guaranteed-wasted attempt, so
+/// the wait is `max(backoff, hint)` — never shorter than the hint, and
+/// never shorter than the schedule either. A hint beyond
+/// [`ResilienceConfig::hint_horizon_micros`] makes the loop give up at
+/// once instead (see there).
+pub fn retry_floor(error: &placeless_core::error::PlacelessError) -> u64 {
+    match error {
+        placeless_core::error::PlacelessError::Unavailable {
+            retry_after: Some(hint),
+            ..
+        } => *hint,
+        _ => 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +448,50 @@ mod tests {
             .serve_stale(StalenessBound::micros(1))
             .build()
             .is_noop());
+    }
+
+    #[test]
+    fn retry_floor_reads_only_unavailable_hints() {
+        use placeless_core::error::PlacelessError;
+        let hinted = PlacelessError::Unavailable {
+            source: "o".into(),
+            retry_after: Some(7_500),
+        };
+        let unhinted = PlacelessError::Unavailable {
+            source: "o".into(),
+            retry_after: None,
+        };
+        let timeout = PlacelessError::Timeout {
+            source: "o".into(),
+            elapsed_micros: 9,
+        };
+        assert_eq!(retry_floor(&hinted), 7_500);
+        assert_eq!(retry_floor(&unhinted), 0);
+        assert_eq!(retry_floor(&timeout), 0, "timeouts carry no hint");
+    }
+
+    #[test]
+    fn hint_horizon_is_the_final_attempts_maximum_delay() {
+        let config = ResilienceConfig::builder()
+            .max_retries(3)
+            .backoff_base_micros(1_000)
+            .build();
+        // Final (0-based) retry is attempt 2: 1_000 << 2, no jitter.
+        assert_eq!(config.hint_horizon_micros(), 4_000);
+        let jittered = ResilienceConfig::builder()
+            .max_retries(3)
+            .backoff_base_micros(1_000)
+            .backoff_jitter_frac(64)
+            .build();
+        assert_eq!(jittered.hint_horizon_micros(), 5_000, "max jitter included");
+        let fail_fast = ResilienceConfig::builder()
+            .backoff_base_micros(1_000)
+            .build();
+        assert_eq!(
+            fail_fast.hint_horizon_micros(),
+            1_000,
+            "zero retries still report the base horizon"
+        );
     }
 
     #[test]

@@ -105,6 +105,21 @@ pub struct CacheStats {
     /// High-water mark of concurrently in-flight origin fetches (a peak,
     /// not a monotone sum; [`CacheStats::delta`] keeps the later value).
     pub inflight_peak: u64,
+    /// Foreground reads shed under overload (`Overloaded` returned).
+    pub sheds_foreground: u64,
+    /// Refresh-class reads shed under overload.
+    pub sheds_refresh: u64,
+    /// Prefetch work shed under overload (admission, brownout, or the
+    /// collection-prefetch gate).
+    pub sheds_prefetch: u64,
+    /// Brownout ladder transitions (each one-rung move, up or down).
+    pub brownout_shifts: u64,
+    /// Current brownout rung, 0 (normal) through 4 (reject) — a gauge;
+    /// [`CacheStats::delta`] keeps the later value.
+    pub brownout_level: u64,
+    /// Total virtual microseconds readers spent parked on origin
+    /// windows before being admitted or shed (queue-wait accounting).
+    pub queue_wait_micros: u64,
 }
 
 impl CacheStats {
@@ -141,6 +156,11 @@ impl CacheStats {
         } else {
             Some(served as f64 / total as f64)
         }
+    }
+
+    /// Total reads shed under overload across all priority classes.
+    pub fn sheds_total(&self) -> u64 {
+        self.sheds_foreground + self.sheds_refresh + self.sheds_prefetch
     }
 
     /// Returns the mean miss latency in milliseconds, or `None` without
@@ -213,6 +233,16 @@ impl CacheStats {
             merge_rebases: self.merge_rebases.saturating_sub(earlier.merge_rebases),
             coalesced_waits: self.coalesced_waits.saturating_sub(earlier.coalesced_waits),
             inflight_peak: self.inflight_peak,
+            sheds_foreground: self
+                .sheds_foreground
+                .saturating_sub(earlier.sheds_foreground),
+            sheds_refresh: self.sheds_refresh.saturating_sub(earlier.sheds_refresh),
+            sheds_prefetch: self.sheds_prefetch.saturating_sub(earlier.sheds_prefetch),
+            brownout_shifts: self.brownout_shifts.saturating_sub(earlier.brownout_shifts),
+            brownout_level: self.brownout_level,
+            queue_wait_micros: self
+                .queue_wait_micros
+                .saturating_sub(earlier.queue_wait_micros),
         }
     }
 }
@@ -272,6 +302,12 @@ pub struct AtomicCacheStats {
     pub(crate) merge_rebases: AtomicU64,
     pub(crate) coalesced_waits: AtomicU64,
     pub(crate) inflight_peak: AtomicU64,
+    pub(crate) sheds_foreground: AtomicU64,
+    pub(crate) sheds_refresh: AtomicU64,
+    pub(crate) sheds_prefetch: AtomicU64,
+    pub(crate) brownout_shifts: AtomicU64,
+    pub(crate) brownout_level: AtomicU64,
+    pub(crate) queue_wait_micros: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -293,6 +329,12 @@ impl AtomicCacheStats {
     /// (used for `inflight_peak`).
     pub(crate) fn maximize(counter: &AtomicU64, observed: u64) {
         counter.fetch_max(observed, Ordering::Relaxed);
+    }
+
+    /// Overwrites a level-style gauge (used for `brownout_level`, which
+    /// tracks the ladder's current rung rather than a sum).
+    pub(crate) fn set(counter: &AtomicU64, value: u64) {
+        counter.store(value, Ordering::Relaxed);
     }
 
     /// Returns a plain-old-data copy of the counters.
@@ -335,6 +377,12 @@ impl AtomicCacheStats {
             merge_rebases: self.merge_rebases.load(Ordering::Relaxed),
             coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
             inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
+            sheds_foreground: self.sheds_foreground.load(Ordering::Relaxed),
+            sheds_refresh: self.sheds_refresh.load(Ordering::Relaxed),
+            sheds_prefetch: self.sheds_prefetch.load(Ordering::Relaxed),
+            brownout_shifts: self.brownout_shifts.load(Ordering::Relaxed),
+            brownout_level: self.brownout_level.load(Ordering::Relaxed),
+            queue_wait_micros: self.queue_wait_micros.load(Ordering::Relaxed),
         }
     }
 }
@@ -395,6 +443,8 @@ mod tests {
             misses: 4,
             stage_bytes: 900,
             inflight_peak: 3,
+            sheds_prefetch: 2,
+            brownout_level: 3,
             ..Default::default()
         };
         let later = CacheStats {
@@ -403,15 +453,19 @@ mod tests {
             coalesced_waits: 6,
             stage_bytes: 300,
             inflight_peak: 7,
+            sheds_prefetch: 5,
+            brownout_level: 1,
             ..Default::default()
         };
         let d = later.delta(&earlier);
         assert_eq!(d.hits, 15);
         assert_eq!(d.misses, 0);
         assert_eq!(d.coalesced_waits, 6);
+        assert_eq!(d.sheds_prefetch, 3, "sheds are monotone counters");
         // Non-monotone fields carry the later observation.
         assert_eq!(d.stage_bytes, 300);
         assert_eq!(d.inflight_peak, 7);
+        assert_eq!(d.brownout_level, 1, "the level is a gauge");
         // The Sub impl is the same operation.
         assert_eq!(later - earlier, d);
     }

@@ -70,6 +70,15 @@ pub enum PlacelessError {
         /// The user whose buffered write conflicts.
         user: UserId,
     },
+    /// The cache shed this request under overload: its remaining deadline
+    /// budget could not cover the expected queue wait plus service time,
+    /// or the brownout ladder rejected its priority class. Not transient:
+    /// an immediate retry would join the same queue and be shed again —
+    /// callers should back off at least `retry_after` first.
+    Overloaded {
+        /// Suggested wait before retrying (µs from now).
+        retry_after: u64,
+    },
 }
 
 impl fmt::Display for PlacelessError {
@@ -115,6 +124,9 @@ impl fmt::Display for PlacelessError {
                     f,
                     "recovered write for {doc} by {user} conflicts with a newer origin version"
                 )
+            }
+            PlacelessError::Overloaded { retry_after } => {
+                write!(f, "shed under overload (retry after {retry_after}µs)")
             }
         }
     }
@@ -200,6 +212,12 @@ mod tests {
             .is_transient(),
             "a version conflict cannot be cured by retrying"
         );
+        let shed = PlacelessError::Overloaded { retry_after: 5_000 };
+        assert!(
+            !shed.is_transient(),
+            "an immediate retry would join the same overloaded queue"
+        );
+        assert!(shed.to_string().contains("retry after 5000µs"), "{shed}");
         assert!(unavailable.to_string().contains("retry after 1000µs"));
         assert!(timeout.to_string().contains("80000µs"));
     }

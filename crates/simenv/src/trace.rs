@@ -371,6 +371,85 @@ impl TraceSampler {
     }
 }
 
+/// One phase of a [`BurstSchedule`]: a run of events offered at some
+/// multiple of the baseline arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstPhase {
+    /// Number of events in this phase (per driving stream).
+    pub events: usize,
+    /// Offered-load multiplier relative to the baseline rate. `1` is the
+    /// calibrated steady state; `10` is a 10× burst.
+    pub intensity: u32,
+}
+
+/// A piecewise-constant offered-load schedule for trace-driven engines.
+///
+/// Load experiments need more than a flat arrival rate: overload tests
+/// alternate a calibrated steady phase with bursts several times above
+/// capacity, and measure how the cache degrades and recovers. A
+/// `BurstSchedule` captures that shape declaratively so the engine and
+/// the experiment report agree on where each phase starts and ends.
+///
+/// # Examples
+///
+/// ```
+/// use placeless_simenv::trace::BurstSchedule;
+///
+/// let schedule = BurstSchedule::steady(1_000).phase(500, 10).phase(250, 1);
+/// assert_eq!(schedule.total_events(), 1_750);
+/// assert_eq!(schedule.intensity_at(0), 1);
+/// assert_eq!(schedule.intensity_at(1_000), 10);
+/// assert_eq!(schedule.intensity_at(1_600), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BurstSchedule {
+    phases: Vec<BurstPhase>,
+}
+
+impl BurstSchedule {
+    /// Starts a schedule with a steady phase of `events` at intensity 1.
+    pub fn steady(events: usize) -> Self {
+        Self {
+            phases: vec![BurstPhase {
+                events,
+                intensity: 1,
+            }],
+        }
+    }
+
+    /// Appends a phase of `events` offered at `intensity`× the baseline.
+    pub fn phase(mut self, events: usize, intensity: u32) -> Self {
+        self.phases.push(BurstPhase {
+            events,
+            intensity: intensity.max(1),
+        });
+        self
+    }
+
+    /// Returns the phases in order.
+    pub fn phases(&self) -> &[BurstPhase] {
+        &self.phases
+    }
+
+    /// Total events across all phases.
+    pub fn total_events(&self) -> usize {
+        self.phases.iter().map(|p| p.events).sum()
+    }
+
+    /// Returns the intensity governing event `index` (indices past the end
+    /// keep the final phase's intensity, so open-ended drivers stay valid).
+    pub fn intensity_at(&self, index: usize) -> u32 {
+        let mut cursor = index;
+        for phase in &self.phases {
+            if cursor < phase.events {
+                return phase.intensity;
+            }
+            cursor -= phase.events;
+        }
+        self.phases.last().map(|p| p.intensity).unwrap_or(1)
+    }
+}
+
 /// Generates deterministic pseudo-text of roughly `bytes` length.
 ///
 /// Used by repositories and benches to fill documents with word-like content
@@ -558,6 +637,29 @@ mod tests {
             let set: Vec<_> = (0..4).map(|s| sampler.working_doc(e.user, s)).collect();
             assert!(set.contains(&e.doc), "doc {} outside working set", e.doc);
         }
+    }
+
+    #[test]
+    fn burst_schedule_maps_indices_to_phases() {
+        let schedule = BurstSchedule::steady(100).phase(50, 10).phase(25, 2);
+        assert_eq!(schedule.total_events(), 175);
+        assert_eq!(schedule.phases().len(), 3);
+        assert_eq!(schedule.intensity_at(0), 1);
+        assert_eq!(schedule.intensity_at(99), 1);
+        assert_eq!(schedule.intensity_at(100), 10);
+        assert_eq!(schedule.intensity_at(149), 10);
+        assert_eq!(schedule.intensity_at(150), 2);
+        assert_eq!(
+            schedule.intensity_at(10_000),
+            2,
+            "past the end keeps the final intensity"
+        );
+    }
+
+    #[test]
+    fn burst_schedule_floors_intensity_at_one() {
+        let schedule = BurstSchedule::steady(10).phase(10, 0);
+        assert_eq!(schedule.intensity_at(15), 1);
     }
 
     #[test]

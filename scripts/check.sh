@@ -41,6 +41,10 @@ E_LOAD_USERS=20000 E_LOAD_OPS=4000 E_LOAD_THREADS=4 \
   E_LOAD_WMIX_WRITES=800 E_LOAD_WMIX_DOCS=48 E_LOAD_WMIX_FLUSH_EVERY=400 \
   cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- load
 
+echo "==> E-OVERLOAD smoke (deadline admission + brownout under a 10x burst; writes BENCH_overload.json)"
+E_OVERLOAD_EVENTS=300 E_OVERLOAD_THREADS=4 E_OVERLOAD_WALL_MICROS=150 \
+  cargo run -q --release "${CARGO_FLAGS[@]}" -p placeless-bench --bin experiments -- overload
+
 echo "==> cargo clippy (-D warnings)"
 cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 

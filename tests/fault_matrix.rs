@@ -168,6 +168,9 @@ fn timeout_during_revalidation_charges_and_surfaces() {
 
 /// The per-fetch deadline bounds retry storms: a fetch that would retry
 /// past the budget aborts with `Timeout` instead of backing off forever.
+/// (The failures are hint-less — `error_rate`, not an outage window — so
+/// the retry loop keeps backing off instead of honouring a
+/// `retry_after` it cannot reach; the deadline is what stops it.)
 #[test]
 fn fetch_deadline_caps_the_retry_budget() {
     let clock = VirtualClock::new();
@@ -175,7 +178,7 @@ fn fetch_deadline_caps_the_retry_budget() {
     let fs = MemFs::new(clock.clone());
     fs.create("/doc", "body");
     let link = lan(4);
-    link.set_fault_plan(FaultPlan::builder(4).outage(0, 10_000_000).build());
+    link.set_fault_plan(FaultPlan::builder(4).error_rate(1.0).build());
     let doc = space.create_document(USER, FsProvider::new(fs, "/doc", link));
     let cache = DocumentCache::new(
         space,
@@ -201,6 +204,87 @@ fn fetch_deadline_caps_the_retry_budget() {
         stats.retries
     );
     assert!(clock.now().as_micros() <= 40_000, "no unbounded backoff");
+}
+
+/// A provider `retry_after` hint within the schedule's horizon floors
+/// every backoff wait: the loop never retries sooner than the origin
+/// said it could recover.
+#[test]
+fn retry_after_hint_floors_the_backoff() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/doc", "body");
+    let link = lan(5);
+    link.set_fault_plan(
+        FaultPlan::builder(5)
+            .error_rate(1.0)
+            .retry_hint(6_000)
+            .build(),
+    );
+    let doc = space.create_document(USER, FsProvider::new(fs, "/doc", link));
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .resilience(
+                ResilienceConfig::builder()
+                    .max_retries(2)
+                    .backoff_base_micros(4_000)
+                    .retry_seed(5)
+                    .build(),
+            )
+            .build(),
+    );
+
+    let err = cache.read(USER, doc).expect_err("origin keeps failing");
+    assert!(matches!(err, PlacelessError::Unavailable { .. }), "{err}");
+    let stats = cache.stats();
+    assert_eq!(stats.retries, 2, "hint within horizon keeps the loop going");
+    // Waits were max(backoff, hint): 6_000 then max(8_000, 6_000).
+    assert!(
+        clock.now().as_micros() >= 14_000,
+        "floored backoffs must be charged, now={}µs",
+        clock.now().as_micros()
+    );
+}
+
+/// A `retry_after` hint beyond the schedule's horizon fails the fetch at
+/// once: the origin told us it will not recover within any wait the loop
+/// is prepared to make, so burning attempts (or stalling for the whole
+/// advertised outage) is pointless.
+#[test]
+fn unreachable_retry_hint_fails_fast() {
+    let clock = VirtualClock::new();
+    let space = DocumentSpace::with_middleware_cost(clock.clone(), LatencyModel::FREE);
+    let fs = MemFs::new(clock.clone());
+    fs.create("/doc", "body");
+    let link = lan(6);
+    link.set_fault_plan(FaultPlan::builder(6).outage(0, 10_000_000).build());
+    let doc = space.create_document(USER, FsProvider::new(fs, "/doc", link));
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .resilience(
+                ResilienceConfig::builder()
+                    .max_retries(10)
+                    .backoff_base_micros(4_000)
+                    .retry_seed(6)
+                    .build(),
+            )
+            .build(),
+    );
+
+    let err = cache.read(USER, doc).expect_err("origin is dark for 10s");
+    assert!(matches!(err, PlacelessError::Unavailable { .. }), "{err}");
+    let stats = cache.stats();
+    assert_eq!(stats.retries, 0, "no retry can reach a 10s-away recovery");
+    assert!(
+        clock.now().as_micros() <= 50_000,
+        "the loop must not wait out the advertised outage, now={}µs",
+        clock.now().as_micros()
+    );
 }
 
 /// Breaker lifecycle: consecutive failures trip it open, open fast-fails
@@ -1043,7 +1127,7 @@ fn parked_drain_run(seed: u64, writes: u64) -> (CacheStats, usize, Vec<Bytes>) {
         if i % 3 == 2 {
             // Flushes inside the outage window park entries instead of
             // losing them; flushes outside drain whatever is parked.
-            cache.flush().expect("flush reports, not errors");
+            let _ = cache.flush().expect("flush reports, not errors");
         }
     }
     // Past the outage and the breaker cool-down, everything drains.

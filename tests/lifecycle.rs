@@ -108,7 +108,7 @@ fn write_back_forwards_events_when_a_property_demands_them() {
     assert_eq!(provider.content(), "v0");
     assert_eq!(*writes_seen.lock(), 3);
     assert_eq!(cache.stats().events_forwarded, 3);
-    cache.flush().unwrap();
+    let _ = cache.flush().unwrap();
     assert_eq!(provider.content(), "v3");
 }
 

@@ -98,7 +98,7 @@ fn write_back_cache_coalesces_saves_then_publishes() {
 
     // Flush: one write reaches the provider, notifiers fire, the reader
     // cache drops its stale entry.
-    writer_cache.flush().unwrap();
+    let _ = writer_cache.flush().unwrap();
     assert_eq!(provider.content(), "draft 3");
     assert!(!reader_cache.contains(ALICE, doc));
     assert_eq!(writer_cache.stats().flushes, 1);

@@ -1,0 +1,389 @@
+//! Overload-control integration tests: deadline-aware admission on the
+//! per-origin window, deterministic shed decisions, and the `overload:
+//! None` parity contract — all end to end through [`DocumentCache`].
+
+use bytes::Bytes;
+use placeless_cache::{
+    CacheConfig, CacheStats, DocumentCache, OverloadConfig, Priority, ReadOptions,
+};
+use placeless_core::bitprovider::BitProvider;
+use placeless_core::error::{PlacelessError, Result};
+use placeless_core::id::UserId;
+use placeless_core::space::DocumentSpace;
+use placeless_core::streams::{InputStream, MemoryInput, OutputStream};
+use placeless_core::verifier::Verifier;
+use placeless_simenv::{LatencyModel, SimRng, VirtualClock};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const USER: UserId = UserId(1);
+
+/// All providers in this file share one origin key, so every document
+/// competes for the same per-origin inflight window.
+const ORIGIN: &str = "hold:origin";
+
+/// Spin-waits (wall clock) until `ready` holds; panics after 5 seconds so
+/// a broken test fails instead of hanging the suite.
+fn wait_until(what: &str, ready: impl Fn() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !ready() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+}
+
+/// A provider whose fetch parks (wall clock) holding its window slot
+/// until the test releases it, then charges `advance_micros` to the
+/// virtual clock. Lets a test keep the origin window provably full.
+struct HoldProvider {
+    body: Bytes,
+    advance_micros: u64,
+    held: AtomicBool,
+    release: AtomicBool,
+}
+
+impl HoldProvider {
+    fn new(advance_micros: u64) -> Arc<Self> {
+        Arc::new(Self {
+            body: Bytes::from_static(b"held body"),
+            advance_micros,
+            held: AtomicBool::new(false),
+            release: AtomicBool::new(false),
+        })
+    }
+
+    fn held(&self) -> bool {
+        self.held.load(Ordering::SeqCst)
+    }
+
+    fn release(&self) {
+        self.release.store(true, Ordering::SeqCst);
+    }
+}
+
+impl BitProvider for HoldProvider {
+    fn describe(&self) -> String {
+        ORIGIN.to_owned()
+    }
+
+    fn open_input(&self, clock: &VirtualClock) -> Result<Box<dyn InputStream>> {
+        self.held.store(true, Ordering::SeqCst);
+        wait_until("holder release", || self.release.load(Ordering::SeqCst));
+        clock.advance(self.advance_micros);
+        Ok(Box::new(MemoryInput::new(self.body.clone())))
+    }
+
+    fn open_output(&self, _clock: &VirtualClock) -> Result<Box<dyn OutputStream>> {
+        Err(PlacelessError::Repository("read-only".to_owned()))
+    }
+
+    fn make_verifier(&self, _clock: &VirtualClock) -> Option<Box<dyn Verifier>> {
+        None
+    }
+
+    fn fetch_cost_micros(&self) -> u64 {
+        self.advance_micros
+    }
+}
+
+/// A counting provider with a fixed virtual fetch cost on the shared
+/// origin key.
+struct CheapProvider {
+    body: Bytes,
+    cost_micros: u64,
+    fetches: AtomicU64,
+}
+
+impl CheapProvider {
+    fn new(cost_micros: u64) -> Arc<Self> {
+        Arc::new(Self {
+            body: Bytes::from_static(b"cheap body"),
+            cost_micros,
+            fetches: AtomicU64::new(0),
+        })
+    }
+
+    fn fetches(&self) -> u64 {
+        self.fetches.load(Ordering::SeqCst)
+    }
+}
+
+impl BitProvider for CheapProvider {
+    fn describe(&self) -> String {
+        ORIGIN.to_owned()
+    }
+
+    fn open_input(&self, clock: &VirtualClock) -> Result<Box<dyn InputStream>> {
+        self.fetches.fetch_add(1, Ordering::SeqCst);
+        clock.advance(self.cost_micros);
+        Ok(Box::new(MemoryInput::new(self.body.clone())))
+    }
+
+    fn open_output(&self, _clock: &VirtualClock) -> Result<Box<dyn OutputStream>> {
+        Err(PlacelessError::Repository("read-only".to_owned()))
+    }
+
+    fn make_verifier(&self, _clock: &VirtualClock) -> Option<Box<dyn Verifier>> {
+        None
+    }
+
+    fn fetch_cost_micros(&self) -> u64 {
+        self.cost_micros
+    }
+}
+
+/// A reader parked on a full origin window whose deadline lapses before
+/// a slot frees is shed with the non-transient `Overloaded` — never
+/// served late — and the wait it did make is charged to the queue-wait
+/// counter and its priority's shed counter.
+#[test]
+fn deadline_expired_while_queued_sheds_instead_of_serving_late() {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let clock = space.clock().clone();
+    let holder = HoldProvider::new(3_000);
+    let doc_hold = space.create_document(USER, holder.clone());
+    let victim_origin = CheapProvider::new(500);
+    let doc_victim = space.create_document(USER, victim_origin.clone());
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .max_inflight_per_origin(1)
+            .overload(
+                OverloadConfig::default()
+                    .expected_service_micros(1_000)
+                    .inflight_bounds(1, 1)
+                    .retry_after_micros(9_999),
+            )
+            .build(),
+    );
+
+    std::thread::scope(|scope| {
+        let hold_read = {
+            let cache = &cache;
+            scope.spawn(move || cache.read(USER, doc_hold))
+        };
+        // The holder owns the origin's only slot before the victim
+        // arrives, so the victim's admission check sees a full window.
+        wait_until("holder to claim the slot", || holder.held());
+
+        let victim = {
+            let cache = &cache;
+            scope.spawn(move || {
+                cache.read_with(
+                    USER,
+                    doc_victim,
+                    ReadOptions::default().deadline_micros(10_000),
+                )
+            })
+        };
+        // Budget 10_000 covers the expected 1_000 µs service, so the
+        // victim queues rather than shedding on arrival — provably so,
+        // via the window's pressure gauge.
+        wait_until("victim to park on the window", || {
+            cache.queued_fetches() == 1
+        });
+
+        // The deadline lapses while the victim is still parked. The
+        // parked reader notices on its next poll and sheds.
+        clock.advance(20_000);
+        let error = victim.join().unwrap().expect_err("doomed read must shed");
+        match error {
+            PlacelessError::Overloaded { retry_after } => assert_eq!(retry_after, 9_999),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+
+        holder.release();
+        let body = hold_read.join().unwrap().expect("holder read succeeds");
+        assert_eq!(body, "held body");
+    });
+
+    assert_eq!(
+        victim_origin.fetches(),
+        0,
+        "a shed read must never reach the origin"
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.sheds_foreground, 1, "default priority is foreground");
+    assert_eq!(stats.sheds_total(), 1);
+    assert_eq!(
+        stats.queue_wait_micros, 20_000,
+        "the doomed wait is charged to the queue-wait counter"
+    );
+    assert_eq!(stats.misses, 1, "only the holder's fill counts as a miss");
+    assert_eq!(cache.queued_fetches(), 0, "no reader left parked");
+}
+
+fn priority_for(rng: &mut SimRng) -> Priority {
+    match rng.next_below(3) {
+        0 => Priority::Prefetch,
+        1 => Priority::Refresh,
+        _ => Priority::Foreground,
+    }
+}
+
+/// One seeded overload scenario: phase A offers doomed short-deadline
+/// reads against a full window (every one sheds on the admission
+/// predicate), phase B offers comfortable reads against a free window
+/// (every one admits). Returns the per-read outcome trace and the final
+/// stats snapshot; both must be pure functions of the seed.
+fn shed_decision_trace(seed: u64) -> (Vec<String>, CacheStats) {
+    let mut rng = SimRng::seeded(seed);
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let clock = space.clock().clone();
+    let holder = HoldProvider::new(3_000);
+    let doc_hold = space.create_document(USER, holder.clone());
+    let doomed: Vec<_> = (0..8)
+        .map(|_| space.create_document(USER, CheapProvider::new(500)))
+        .collect();
+    let comfortable: Vec<_> = (0..8)
+        .map(|_| space.create_document(USER, CheapProvider::new(500)))
+        .collect();
+    let cache = DocumentCache::new(
+        space,
+        CacheConfig::builder()
+            .local_latency(LatencyModel::FREE)
+            .max_inflight_per_origin(1)
+            .overload(
+                OverloadConfig::default()
+                    .expected_service_micros(2_000)
+                    .inflight_bounds(1, 4)
+                    .retry_after_micros(7_777),
+            )
+            .build(),
+    );
+
+    let mut trace = Vec::new();
+    std::thread::scope(|scope| {
+        let hold_read = {
+            let cache = &cache;
+            scope.spawn(move || cache.read(USER, doc_hold))
+        };
+        wait_until("holder to claim the slot", || holder.held());
+
+        // Phase A: the window is full and the cold-start expected
+        // service time is 2_000 µs, so any deadline below that is shed
+        // at the admission predicate — a decision driven only by the
+        // seeded (deadline, priority) stream and the virtual clock.
+        for &doc in &doomed {
+            let deadline = rng.next_range(1, 2_000);
+            let priority = priority_for(&mut rng);
+            let opts = ReadOptions::default()
+                .deadline_micros(deadline)
+                .priority(priority);
+            match cache.read_with(USER, doc, opts) {
+                Err(PlacelessError::Overloaded { retry_after }) => trace.push(format!(
+                    "shed deadline={deadline} class={} retry_after={retry_after}",
+                    priority.label()
+                )),
+                other => panic!("doomed read must shed, got {other:?}"),
+            }
+        }
+
+        holder.release();
+        let body = hold_read.join().unwrap().expect("holder read succeeds");
+        trace.push(format!("holder bytes={}", body.len()));
+    });
+
+    // Phase B: the window is free again; comfortable deadlines admit.
+    for &doc in &comfortable {
+        clock.advance(rng.next_below(1_000));
+        let deadline = rng.next_range(10_000, 20_000);
+        let priority = priority_for(&mut rng);
+        let opts = ReadOptions::default()
+            .deadline_micros(deadline)
+            .priority(priority);
+        let outcome = cache
+            .read_with(USER, doc, opts)
+            .expect("comfortable read admits");
+        trace.push(format!(
+            "ok deadline={deadline} class={:?} latency={}",
+            outcome.class, outcome.latency_micros
+        ));
+    }
+
+    (trace, cache.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shed decisions are deterministic: the same seed replays the same
+    /// per-read outcomes and the same final counters, because admission
+    /// is a pure function of the virtual clock, the queue state, and
+    /// the seeded (deadline, priority) stream.
+    #[test]
+    fn same_seed_replays_identical_shed_decisions(seed in any::<u64>()) {
+        let (first_trace, first_stats) = shed_decision_trace(seed);
+        let (second_trace, second_stats) = shed_decision_trace(seed);
+        prop_assert_eq!(&first_trace, &second_trace);
+        prop_assert_eq!(first_stats, second_stats);
+        // Every doomed read shed, every comfortable read admitted.
+        prop_assert_eq!(first_stats.sheds_total(), 8);
+        prop_assert_eq!(first_trace.len(), 17);
+    }
+}
+
+/// One fixed single-threaded workload over six shared-origin documents:
+/// each is read cold (miss) and then warm (hit).
+fn parity_workload(overload: Option<OverloadConfig>, with_opts: bool) -> (Vec<Bytes>, CacheStats) {
+    let space = DocumentSpace::with_middleware_cost(VirtualClock::new(), LatencyModel::FREE);
+    let docs: Vec<_> = (0..6)
+        .map(|_| space.create_document(USER, CheapProvider::new(500)))
+        .collect();
+    let mut config = CacheConfig::builder()
+        .local_latency(LatencyModel::FREE)
+        .max_inflight_per_origin(2);
+    if let Some(overload) = overload {
+        config = config.overload(overload);
+    }
+    let cache = DocumentCache::new(space, config.build());
+
+    let priorities = [Priority::Foreground, Priority::Refresh, Priority::Prefetch];
+    let mut bodies = Vec::new();
+    for round in 0..2 {
+        for (i, &doc) in docs.iter().enumerate() {
+            let opts = if with_opts {
+                ReadOptions::default()
+                    .deadline_micros(50_000)
+                    .priority(priorities[(round + i) % priorities.len()])
+            } else {
+                ReadOptions::default()
+            };
+            bodies.push(cache.read_with(USER, doc, opts).expect("read").bytes);
+        }
+    }
+    (bodies, cache.stats())
+}
+
+/// The parity contract, both halves. With `overload: None` the new
+/// `ReadOptions` fields are inert — priorities and deadlines change
+/// nothing observable. And an *uncontended* workload under overload
+/// control is byte-for-byte identical to the unprotected cache: the
+/// subsystem only becomes visible under pressure.
+#[test]
+fn overload_none_parity_and_uncontended_transparency() {
+    let (baseline_bodies, baseline) = parity_workload(None, false);
+    let (opted_bodies, opted) = parity_workload(None, true);
+    let (protected_bodies, protected) = parity_workload(Some(OverloadConfig::default()), true);
+
+    assert_eq!(baseline_bodies, opted_bodies);
+    assert_eq!(
+        baseline, opted,
+        "priorities and deadlines must be inert without the subsystem"
+    );
+    assert_eq!(baseline_bodies, protected_bodies);
+    assert_eq!(
+        baseline, protected,
+        "an uncontended read stream must not observe overload control"
+    );
+    assert_eq!(baseline.sheds_total(), 0);
+    assert_eq!(baseline.brownout_shifts, 0);
+    assert_eq!(baseline.queue_wait_micros, 0);
+    assert_eq!(baseline.hits, 6);
+    assert_eq!(baseline.misses, 6);
+}

@@ -191,12 +191,12 @@ fn stress_write_back_flush_races_with_readers() {
         let cache = &cache;
         scope.spawn(move |_| {
             for _ in 0..20 {
-                cache.flush().unwrap();
+                let _ = cache.flush().unwrap();
             }
         });
     })
     .unwrap();
-    cache.flush().unwrap();
+    let _ = cache.flush().unwrap();
     assert_eq!(cache.dirty_count(), 0, "final flush drained everything");
     let stats = cache.stats();
     assert!(stats.writes > 0);
